@@ -1,0 +1,83 @@
+// Command solros-bench regenerates the paper's evaluation: one subcommand
+// per table or figure (run with no arguments to list them, or "all" to run
+// everything). Output is a plain table of (series, x, value) points per
+// experiment — the same rows the paper plots.
+//
+// Usage:
+//
+//	solros-bench            # list experiments
+//	solros-bench fig1a      # run one experiment
+//	solros-bench all        # run every experiment in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"solros/internal/bench"
+)
+
+var (
+	csvOut = flag.String("csv", "", "also append results as CSV to this file")
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		return
+	}
+	switch args[0] {
+	case "all":
+		for _, id := range bench.IDs() {
+			runOne(id)
+		}
+	case "help":
+		usage()
+	default:
+		for _, id := range args {
+			if _, _, ok := bench.Lookup(id); !ok {
+				fmt.Fprintf(os.Stderr, "solros-bench: unknown experiment %q\n\n", id)
+				usage()
+				os.Exit(2)
+			}
+		}
+		for _, id := range args {
+			runOne(id)
+		}
+	}
+}
+
+func runOne(id string) {
+	run, desc, _ := bench.Lookup(id)
+	fmt.Printf("==== %s: %s ====\n", id, desc)
+	start := time.Now()
+	rows := run()
+	fmt.Print(bench.Format(rows))
+	fmt.Printf("---- %s done in %v (wall clock) ----\n\n", id, time.Since(start).Round(time.Millisecond))
+	if *csvOut != "" {
+		f, err := os.OpenFile(*csvOut, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "solros-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		for _, r := range rows {
+			fmt.Fprintf(f, "%s,%s,%s,%g,%s\n", r.Fig, r.Series, r.X, r.Value, r.Unit)
+		}
+	}
+}
+
+func usage() {
+	fmt.Println("solros-bench — regenerate the Solros paper's tables and figures")
+	fmt.Println("\nusage: solros-bench [-csv out.csv] <experiment>...")
+	fmt.Println("\nexperiments:")
+	for _, e := range bench.Experiments {
+		fmt.Printf("  %-8s %s\n", e.ID, e.Desc)
+	}
+	fmt.Println("  all      run everything in paper order")
+}

@@ -1,0 +1,45 @@
+// Command solros-fsck verifies a solrosfs image's invariants: superblock
+// sanity, extent bounds, double allocation, bitmap consistency, and
+// directory-tree reachability. Exit status 0 = clean, 1 = problems found.
+//
+//	solros-fsck image.sfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"solros/internal/fs"
+	"solros/internal/pcie"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every problem")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: solros-fsck [-v] image.sfs")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "solros-fsck:", err)
+		os.Exit(2)
+	}
+	img := pcie.NewMemory(int64(len(data)))
+	copy(img.Slice(0, int64(len(data))), data)
+	rep := fs.Check(img)
+	fmt.Printf("%s: %d files, %d directories, %d blocks in use\n",
+		flag.Arg(0), rep.Files, rep.Dirs, rep.UsedBlocks)
+	if rep.OK() {
+		fmt.Println("clean")
+		return
+	}
+	fmt.Printf("%d problems\n", len(rep.Problems))
+	if *verbose {
+		for _, p := range rep.Problems {
+			fmt.Println("  -", p)
+		}
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command solros-mkfs formats a solrosfs image file, optionally copying a
+// directory tree into it, and prints the resulting geometry.
+//
+//	solros-mkfs -size 64M -inodes 1024 image.sfs
+//	solros-mkfs -size 64M -from ./corpus image.sfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"solros/internal/block"
+	"solros/internal/fs"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+func main() {
+	size := flag.String("size", "64M", "image size (K/M/G suffixes)")
+	inodes := flag.Uint("inodes", 0, "inode count (0 = auto)")
+	from := flag.String("from", "", "directory tree to copy into the image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: solros-mkfs [-size N] [-inodes N] [-from dir] image.sfs")
+		os.Exit(2)
+	}
+	out := flag.Arg(0)
+	bytes, err := parseSize(*size)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	img := pcie.NewMemory(bytes)
+	if err := fs.Mkfs(img, uint32(*inodes)); err != nil {
+		log.Fatal(err)
+	}
+
+	if *from != "" {
+		if err := copyTree(img, *from); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := os.WriteFile(out, img.Slice(0, img.Size()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	rep := fs.Check(img)
+	fmt.Printf("%s: %d bytes, %d files, %d dirs, %d blocks used, fsck %s\n",
+		out, bytes, rep.Files, rep.Dirs, rep.UsedBlocks, okString(rep.OK()))
+}
+
+// copyTree walks src and writes every regular file into the image through
+// a real mount over an instant in-memory disk view of the image.
+func copyTree(img *pcie.Memory, src string) error {
+	fab := pcie.New(64 << 20)
+	disk := block.WrapImage(fab, img)
+	var werr error
+	e := sim.NewEngine()
+	e.Spawn("copy", 0, func(p *sim.Proc) {
+		fsys, err := fs.Mount(p, fab, disk)
+		if err != nil {
+			werr = err
+			return
+		}
+		werr = filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			rel, err := filepath.Rel(src, path)
+			if err != nil || rel == "." {
+				return err
+			}
+			dst := "/" + filepath.ToSlash(rel)
+			if info.IsDir() {
+				return fsys.Mkdir(p, dst)
+			}
+			if !info.Mode().IsRegular() {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			f, err := fsys.Create(p, dst)
+			if err != nil {
+				return err
+			}
+			_, err = f.Write(p, 0, data)
+			return err
+		})
+		if werr == nil {
+			werr = fsys.Sync(p)
+		}
+	})
+	if err := e.Run(); err != nil {
+		return err
+	}
+	return werr
+}
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func okString(ok bool) string {
+	if ok {
+		return "clean"
+	}
+	return "DIRTY"
+}

@@ -1,0 +1,111 @@
+// Image search served from the co-processor (the paper's second
+// application, §6.2): the descriptor database lives on solrosfs and is
+// loaded through the Solros file-system service; queries arrive from an
+// external client over the network service; each query fans across the
+// Phi's cores.
+//
+//	go run ./examples/imagesearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"solros/internal/apps/imagesearch"
+	"solros/internal/core"
+	"solros/internal/sim"
+	"solros/internal/workload"
+)
+
+const (
+	vectors = 16 << 10 // 2 MB database
+	queries = 20
+	port    = 9000
+)
+
+func main() {
+	m := core.NewMachine(core.Config{Phis: 1, DiskBytes: 64 << 20, PhiMemBytes: 64 << 20})
+	m.EnableNetwork()
+
+	dbBytes := workload.Features(7, vectors)
+
+	err := m.Run(func(p *sim.Proc, m *core.Machine) {
+		// Seed the database file.
+		f, err := m.FS.Create(p, "/imgdb")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := f.Write(p, 0, dbBytes); err != nil {
+			log.Fatal(err)
+		}
+
+		phi := m.Phis[0]
+		if err := phi.Net.Listen(p, port); err != nil {
+			log.Fatal(err)
+		}
+
+		done := sim.NewWaitGroup("imagesearch")
+		done.Add(2)
+
+		// The co-processor server.
+		p.Spawn("server", func(sp *sim.Proc) {
+			defer sp.DoneWG(done)
+			fd, err := phi.FS.Open(sp, "/imgdb", 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			buf := phi.FS.AllocBuffer(int64(len(dbBytes)))
+			if _, err := phi.FS.Read(sp, fd, 0, buf, int64(len(dbBytes))); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("server: loaded %d descriptors via the FS service at t=%v\n",
+				vectors, sp.Now())
+			db := &imagesearch.DB{Vectors: buf.Data}
+			sock, err := phi.Net.Accept(sp, port)
+			if err != nil {
+				return
+			}
+			for q := 0; q < queries; q++ {
+				query, err := sock.RecvFull(sp, workload.FeatureDim)
+				if err != nil || len(query) != workload.FeatureDim {
+					return
+				}
+				best, dist := db.SearchParallel(sp, phi.Pool, 32, query)
+				_ = dist
+				sock.Send(sp, workload.EncodeU32(uint32(best)))
+			}
+		})
+
+		// The external client.
+		p.Spawn("client", func(cp *sim.Proc) {
+			defer cp.DoneWG(done)
+			cp.Advance(100 * sim.Microsecond)
+			conn, err := m.ClientStack.Dial(cp, m.HostStack, port)
+			if err != nil {
+				log.Fatal(err)
+			}
+			side := conn.Side(m.ClientStack)
+			start := cp.Now()
+			correct := 0
+			for q := 0; q < queries; q++ {
+				want := (q * 53) % vectors
+				side.Send(cp, workload.Query(dbBytes, q*53))
+				reply, err := side.RecvFull(cp, 4)
+				if err != nil || len(reply) != 4 {
+					log.Fatal("short reply")
+				}
+				if int(workload.DecodeU32(reply)) == want {
+					correct++
+				}
+			}
+			elapsed := cp.Now() - start
+			side.Close(cp)
+			fmt.Printf("client: %d/%d correct nearest neighbours, %.0f queries/s (virtual)\n",
+				correct, queries, float64(queries)/elapsed.Seconds())
+		})
+		p.WaitWG(done)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

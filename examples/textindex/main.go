@@ -1,0 +1,103 @@
+// Text indexing on the co-processor (the paper's first application, §6.2):
+// seed a corpus on solrosfs, then index it from the Xeon Phi with all 61
+// cores pulling chunks through the Solros file-system service, and query
+// the resulting inverted index.
+//
+//	go run ./examples/textindex
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"solros/internal/apps/textindex"
+	"solros/internal/core"
+	"solros/internal/dataplane"
+	"solros/internal/sim"
+	"solros/internal/workload"
+)
+
+const (
+	files     = 8
+	fileBytes = 1 << 20
+	chunk     = 256 << 10
+	workers   = 32
+)
+
+func main() {
+	m := core.NewMachine(core.Config{Phis: 1, DiskBytes: 64 << 20, PhiMemBytes: 64 << 20})
+	err := m.Run(func(p *sim.Proc, m *core.Machine) {
+		// Seed the corpus through the host file system.
+		if err := m.FS.Mkdir(p, "/corpus"); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < files; i++ {
+			f, err := m.FS.Create(p, fmt.Sprintf("/corpus/doc%d", i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := f.Write(p, 0, workload.Corpus(int64(i), fileBytes)); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// Index from the co-processor: a worker pool pulls (file,
+		// offset) items from a shared queue.
+		phi := m.Phis[0]
+		type item struct {
+			file int
+			off  int64
+		}
+		var queue []item
+		for f := 0; f < files; f++ {
+			for off := int64(0); off < fileBytes; off += chunk {
+				queue = append(queue, item{f, off})
+			}
+		}
+		next := 0
+		shards := make([]*textindex.Index, workers)
+		start := p.Now()
+		core.Parallel(p, workers, "indexer", func(w int, wp *sim.Proc) {
+			shards[w] = textindex.NewIndex()
+			buf := phi.FS.AllocBuffer(chunk)
+			open := map[int]dataplane.Fd{}
+			for {
+				if next >= len(queue) {
+					return
+				}
+				it := queue[next]
+				next++
+				fd, ok := open[it.file]
+				if !ok {
+					var err error
+					fd, err = phi.FS.Open(wp, fmt.Sprintf("/corpus/doc%d", it.file), 0)
+					if err != nil {
+						log.Fatal(err)
+					}
+					open[it.file] = fd
+				}
+				n, err := phi.FS.Read(wp, fd, it.off, buf, chunk)
+				if err != nil {
+					log.Fatal(err)
+				}
+				shards[w].AddDocument(wp, phi.Pool.Core(w), int32(it.file), buf.Data[:n])
+			}
+		})
+		index := textindex.NewIndex()
+		for _, s := range shards {
+			index.Merge(s)
+		}
+		elapsed := p.Now() - start
+
+		total := int64(files * fileBytes)
+		fmt.Printf("indexed %d MB in %v (virtual) — %.0f MB/s\n",
+			total>>20, elapsed, float64(total)/elapsed.Seconds()/1e6)
+		fmt.Printf("documents: %d, distinct terms: %d\n", index.Docs, index.Terms())
+		for _, term := range []string{"solros", "coprocessor", "data"} {
+			fmt.Printf("  postings for %q: %d\n", term, len(index.Lookup(term)))
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

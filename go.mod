@@ -1,0 +1,3 @@
+module solros
+
+go 1.22

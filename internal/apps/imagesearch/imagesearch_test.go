@@ -1,0 +1,92 @@
+package imagesearch
+
+import (
+	"testing"
+
+	"solros/internal/cpu"
+	"solros/internal/sim"
+	"solros/internal/workload"
+)
+
+func TestFindsPerturbedRecord(t *testing.T) {
+	db := &DB{Vectors: workload.Features(1, 500)}
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			q := workload.Query(db.Vectors, i*37)
+			best, dist := db.Search(p, &cpu.Core{Kind: cpu.Host}, q, 0, db.Len())
+			if best != (i*37)%db.Len() {
+				t.Errorf("query %d matched record %d (dist %d), want %d", i, best, dist, (i*37)%db.Len())
+			}
+		}
+	})
+	e.MustRun()
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	db := &DB{Vectors: workload.Features(2, 1000)}
+	pool := cpu.PhiPool()
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		q := workload.Query(db.Vectors, 123)
+		serialIdx, serialDist := db.Search(p, pool.Core(0), q, 0, db.Len())
+		parIdx, parDist := db.SearchParallel(p, pool, 16, q)
+		if parIdx != serialIdx || parDist != serialDist {
+			t.Errorf("parallel (%d,%d) != serial (%d,%d)", parIdx, parDist, serialIdx, serialDist)
+		}
+	})
+	e.MustRun()
+}
+
+func TestParallelSpeedsUpWallClock(t *testing.T) {
+	db := &DB{Vectors: workload.Features(3, 4000)}
+	pool := cpu.PhiPool()
+	q := workload.Query(db.Vectors, 5)
+	elapsed := func(workers int) sim.Time {
+		var dt sim.Time
+		e := sim.NewEngine()
+		e.Spawn("t", 0, func(p *sim.Proc) {
+			start := p.Now()
+			db.SearchParallel(p, pool, workers, q)
+			dt = p.Now() - start
+		})
+		e.MustRun()
+		return dt
+	}
+	one, many := elapsed(1), elapsed(32)
+	if many*4 >= one {
+		t.Fatalf("32 workers (%v) should be >4x faster than 1 (%v)", many, one)
+	}
+}
+
+func TestPhiAggregateBeatsHostSerial(t *testing.T) {
+	// The Phi's 61 slow cores should out-scan a single host core — the
+	// reason image search belongs on the co-processor at all.
+	db := &DB{Vectors: workload.Features(4, 4000)}
+	q := workload.Query(db.Vectors, 9)
+	hostTime := func() sim.Time {
+		var dt sim.Time
+		e := sim.NewEngine()
+		e.Spawn("t", 0, func(p *sim.Proc) {
+			start := p.Now()
+			db.Search(p, &cpu.Core{Kind: cpu.Host}, q, 0, db.Len())
+			dt = p.Now() - start
+		})
+		e.MustRun()
+		return dt
+	}()
+	phiTime := func() sim.Time {
+		var dt sim.Time
+		e := sim.NewEngine()
+		e.Spawn("t", 0, func(p *sim.Proc) {
+			start := p.Now()
+			db.SearchParallel(p, cpu.PhiPool(), 61, q)
+			dt = p.Now() - start
+		})
+		e.MustRun()
+		return dt
+	}()
+	if phiTime >= hostTime {
+		t.Fatalf("61 phi cores (%v) should beat 1 host core (%v)", phiTime, hostTime)
+	}
+}

@@ -1,0 +1,92 @@
+package textindex
+
+import (
+	"testing"
+
+	"solros/internal/cpu"
+	"solros/internal/sim"
+	"solros/internal/workload"
+)
+
+func runIndexed(t *testing.T, content []byte) *Index {
+	t.Helper()
+	ix := NewIndex()
+	core := &cpu.Core{Kind: cpu.Host}
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		ix.AddDocument(p, core, 0, content)
+	})
+	e.MustRun()
+	return ix
+}
+
+func TestTokenizesAndPosts(t *testing.T) {
+	ix := runIndexed(t, []byte("solros data plane data"))
+	if got := len(ix.Lookup("data")); got != 2 {
+		t.Fatalf("postings for 'data' = %d, want 2", got)
+	}
+	if got := len(ix.Lookup("solros")); got != 1 {
+		t.Fatalf("postings for 'solros' = %d, want 1", got)
+	}
+	if ix.Lookup("solros")[0].Off != 0 {
+		t.Fatal("wrong offset for first token")
+	}
+	if ix.Terms() != 3 {
+		t.Fatalf("terms = %d, want 3", ix.Terms())
+	}
+}
+
+func TestHandlesSeparatorsAndEmpty(t *testing.T) {
+	ix := runIndexed(t, []byte("  \n\t a  b\n"))
+	if ix.Terms() != 2 {
+		t.Fatalf("terms = %d, want 2", ix.Terms())
+	}
+	ix2 := runIndexed(t, nil)
+	if ix2.Terms() != 0 {
+		t.Fatal("empty doc produced terms")
+	}
+}
+
+func TestMergeCombinesShards(t *testing.T) {
+	a := runIndexed(t, []byte("x y"))
+	b := runIndexed(t, []byte("y z"))
+	a.Merge(b)
+	if len(a.Lookup("y")) != 2 || a.Docs != 2 {
+		t.Fatalf("merge wrong: y=%d docs=%d", len(a.Lookup("y")), a.Docs)
+	}
+}
+
+func TestComputeChargedByCoreKind(t *testing.T) {
+	content := workload.Corpus(1, 1<<20)
+	cost := func(kind cpu.Kind) sim.Time {
+		var dt sim.Time
+		e := sim.NewEngine()
+		e.Spawn("t", 0, func(p *sim.Proc) {
+			ix := NewIndex()
+			start := p.Now()
+			ix.AddDocument(p, &cpu.Core{Kind: kind}, 0, content)
+			dt = p.Now() - start
+		})
+		e.MustRun()
+		return dt
+	}
+	h, ph := cost(cpu.Host), cost(cpu.Phi)
+	if ph <= h {
+		t.Fatalf("phi per-thread compute (%v) should exceed host (%v)", ph, h)
+	}
+}
+
+func TestCorpusIndexingFindsZipfSkew(t *testing.T) {
+	ix := runIndexed(t, workload.Corpus(7, 1<<18))
+	// The most common term should dominate.
+	max, total := 0, 0
+	for _, posts := range ix.Postings {
+		if len(posts) > max {
+			max = len(posts)
+		}
+		total += len(posts)
+	}
+	if max*3 < total/ix.Terms()*10 {
+		t.Fatalf("no skew: max=%d mean=%d", max, total/ix.Terms())
+	}
+}

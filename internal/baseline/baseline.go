@@ -1,0 +1,314 @@
+// Package baseline implements the systems Solros is compared against in
+// the paper's evaluation:
+//
+//   - Host: an application on the host using the file system directly —
+//     the "maximum-possible performance" reference (Figures 1a, 11, 12).
+//   - Phi-Linux (virtio): the co-processor-centric architecture — a
+//     full solrosfs runs on the Xeon Phi over a virtblk device whose host
+//     side stages every request through host memory and a CPU copy
+//     across the PCIe window (Figures 1a, 11c, 12c, 13a).
+//   - Phi-Linux (NFS): the co-processor mounts the host's file system
+//     over NFS on TCP over the MPSS virtual ethernet (Figures 11d, 12d).
+//   - Host-centric: the host app mediates all I/O and pushes data to the
+//     co-processor afterwards (Figure 2a), used by application
+//     comparisons.
+package baseline
+
+import (
+	"solros/internal/block"
+	"solros/internal/cpu"
+	"solros/internal/fs"
+	"solros/internal/model"
+	"solros/internal/nvme"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+// VirtioDisk is the stock mic virtblk path: the co-processor's block
+// requests are shipped to a host SCIF module, which drives the NVMe with
+// per-request doorbells/interrupts into a host bounce buffer, then copies
+// the data across the system-mapped PCIe window with CPU load/stores. The
+// host module is single-threaded, so concurrent co-processor threads
+// serialize behind it.
+type VirtioDisk struct {
+	fab *pcie.Fabric
+	phi *pcie.Device
+	ssd *nvme.Device
+	// host-side bounce buffer
+	bounce pcie.Loc
+	mu     *sim.Lock
+}
+
+// NewVirtioDisk builds the virtblk path for one co-processor.
+func NewVirtioDisk(fab *pcie.Fabric, phi *pcie.Device, ssd *nvme.Device) *VirtioDisk {
+	return &VirtioDisk{
+		fab:    fab,
+		phi:    phi,
+		ssd:    ssd,
+		bounce: pcie.Loc{Off: fab.HostRAM.Alloc(model.VirtioRequestCap)},
+		mu:     sim.NewLock("virtio-host"),
+	}
+}
+
+// Capacity reports the backing device size.
+func (v *VirtioDisk) Capacity() int64 { return v.ssd.Capacity() }
+
+// Image exposes the backing flash image.
+func (v *VirtioDisk) Image() *pcie.Memory { return v.ssd.Image() }
+
+// Vector serves block operations request-by-request; the coalesce hint is
+// ignored — the stock driver has no IO-vector interface, which is exactly
+// the point of the comparison.
+func (v *VirtioDisk) Vector(p *sim.Proc, ops []block.Op, _ bool) error {
+	for _, op := range ops {
+		for chunk := int64(0); chunk < op.Bytes; chunk += model.VirtioRequestCap {
+			n := op.Bytes - chunk
+			if n > model.VirtioRequestCap {
+				n = model.VirtioRequestCap
+			}
+			if err := v.request(p, op.Write, op.Off+chunk, n,
+				pcie.Loc{Dev: op.Target.Dev, Off: op.Target.Off + chunk}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (v *VirtioDisk) request(p *sim.Proc, write bool, off, n int64, target pcie.Loc) error {
+	// Guest side: build the vring descriptor, kick the host (one PCIe
+	// transaction from the Phi).
+	v.fab.Txn(p, cpu.Phi)
+	// Host SCIF module is a single service thread.
+	p.Acquire(v.mu)
+	p.Advance(model.VirtioKickCost)
+	var err error
+	if write {
+		// CPU copy guest -> bounce across the PCIe window, then disk.
+		v.fab.Memcpy(p, cpu.Host, target, v.bounce, n)
+		err = v.ssd.WriteAt(p, off, n, v.bounce, false)
+	} else {
+		err = v.ssd.ReadAt(p, off, n, v.bounce, false)
+		if err == nil {
+			// CPU copy bounce -> guest: the "CPU-based copy in
+			// virtio" that the paper's zero-copy DMA replaces.
+			v.fab.Memcpy(p, cpu.Host, v.bounce, target, n)
+		}
+	}
+	p.Release(v.mu)
+	if err != nil {
+		return err
+	}
+	// Completion interrupt on the co-processor.
+	p.Advance(model.PhiInterruptCost)
+	return nil
+}
+
+// PhiLinuxFS is the co-processor-centric file system: a full solrosfs
+// running on the Xeon Phi itself (over any block device — virtio in the
+// stock configuration), with every call charged the full-stack cost on a
+// lean core (Figure 13a's 5x-the-stub component).
+type PhiLinuxFS struct {
+	FS  *fs.FS
+	phi *pcie.Device
+}
+
+// MountPhiLinux formats nothing; it mounts an existing image through the
+// given disk with staging buffers in co-processor memory.
+func MountPhiLinux(p *sim.Proc, fab *pcie.Fabric, disk block.Device, phi *pcie.Device) (*PhiLinuxFS, error) {
+	fsys, err := fs.MountAt(p, fab, disk, phi.Mem)
+	if err != nil {
+		return nil, err
+	}
+	return &PhiLinuxFS{FS: fsys, phi: phi}, nil
+}
+
+func (pl *PhiLinuxFS) syscall(p *sim.Proc) {
+	p.Advance(model.FSFullCostPhi)
+}
+
+// Open opens a file, charging the full FS stack cost.
+func (pl *PhiLinuxFS) Open(p *sim.Proc, path string) (*fs.File, error) {
+	pl.syscall(p)
+	return pl.FS.Open(p, path)
+}
+
+// Create creates a file.
+func (pl *PhiLinuxFS) Create(p *sim.Proc, path string) (*fs.File, error) {
+	pl.syscall(p)
+	return pl.FS.Create(p, path)
+}
+
+// Read reads into a buffer in co-processor memory.
+func (pl *PhiLinuxFS) Read(p *sim.Proc, f *fs.File, off, n int64, target pcie.Loc) error {
+	pl.syscall(p)
+	if off >= f.Size() {
+		return nil
+	}
+	if off+n > f.Size() {
+		n = f.Size() - off
+	}
+	return f.ReadTo(p, off, n, target, false)
+}
+
+// Write writes from a buffer in co-processor memory.
+func (pl *PhiLinuxFS) Write(p *sim.Proc, f *fs.File, off, n int64, source pcie.Loc) error {
+	pl.syscall(p)
+	return f.WriteFrom(p, off, n, source, false)
+}
+
+// NFSFS is the co-processor's NFS mount of the host file system: every
+// call crosses the MPSS virtual ethernet (TCP over SCIF), pays NFS/RPC
+// processing on the slow cores, and moves data in rsize/wsize chunks
+// through the veth's single memcpy channel.
+type NFSFS struct {
+	Host *fs.FS
+	fab  *pcie.Fabric
+	phi  *pcie.Device
+	veth *sim.Resource
+}
+
+// NewNFS builds the NFS-over-PCIe path against the host-mounted fs.
+func NewNFS(fab *pcie.Fabric, host *fs.FS, phi *pcie.Device) *NFSFS {
+	return &NFSFS{
+		Host: host,
+		fab:  fab,
+		phi:  phi,
+		veth: sim.NewResource("mic-veth", model.VethBandwidth, model.VethLatency),
+	}
+}
+
+// rpc charges one NFS round trip: client processing on the Phi, a veth
+// message each way, server processing on the host.
+func (n *NFSFS) rpc(p *sim.Proc, payload int64) {
+	p.Advance(model.NFSPerCallCost * sim.Time(cpu.Phi.SystemsSlowdown()))
+	p.Use(n.veth, payload)
+	p.Advance(model.NFSPerCallCost) // nfsd on the host
+}
+
+// Open resolves a path over NFS.
+func (n *NFSFS) Open(p *sim.Proc, path string) (*fs.File, error) {
+	n.rpc(p, 128)
+	return n.Host.Open(p, path)
+}
+
+// Create creates a file over NFS.
+func (n *NFSFS) Create(p *sim.Proc, path string) (*fs.File, error) {
+	n.rpc(p, 128)
+	return n.Host.Create(p, path)
+}
+
+// Read fetches [off, off+count) in rsize chunks into co-processor memory.
+func (n *NFSFS) Read(p *sim.Proc, f *fs.File, off, count int64, target pcie.Loc) error {
+	if off >= f.Size() {
+		return nil
+	}
+	if off+count > f.Size() {
+		count = f.Size() - off
+	}
+	loc, _, put := n.Host.Staging(model.NFSTransferCap)
+	defer put()
+	for chunk := int64(0); chunk < count; chunk += model.NFSTransferCap {
+		sz := count - chunk
+		if sz > model.NFSTransferCap {
+			sz = model.NFSTransferCap
+		}
+		// Server reads from disk into its page cache / staging.
+		aOff := (off + chunk) &^ (fs.BlockSize - 1)
+		span := ((off + chunk + sz + fs.BlockSize - 1) &^ (fs.BlockSize - 1)) - aOff
+		if lim := (f.Size() + fs.BlockSize - 1) &^ (fs.BlockSize - 1); aOff+span > lim {
+			span = lim - aOff
+		}
+		if err := f.ReadTo(p, aOff, span, loc, false); err != nil {
+			return err
+		}
+		// READ reply crosses the veth; client copies into the target
+		// buffer and pays TCP+NFS processing per chunk.
+		n.rpc(p, sz)
+		n.fab.Memcpy(p, cpu.Phi, loc, pcie.Loc{Dev: target.Dev, Off: target.Off + chunk}, sz)
+	}
+	return nil
+}
+
+// Write pushes data in wsize chunks from co-processor memory.
+func (n *NFSFS) Write(p *sim.Proc, f *fs.File, off, count int64, source pcie.Loc) error {
+	loc, buf, put := n.Host.Staging(model.NFSTransferCap)
+	defer put()
+	for chunk := int64(0); chunk < count; chunk += model.NFSTransferCap {
+		sz := count - chunk
+		if sz > model.NFSTransferCap {
+			sz = model.NFSTransferCap
+		}
+		n.fab.Memcpy(p, cpu.Phi, pcie.Loc{Dev: source.Dev, Off: source.Off + chunk}, loc, sz)
+		n.rpc(p, sz)
+		if _, err := f.Write(p, off+chunk, buf[:sz]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HostDirect is the host reference point: an application on the host
+// reading/writing the file system with plain syscalls.
+type HostDirect struct {
+	FS *fs.FS
+}
+
+// Open opens with a syscall cost.
+func (h *HostDirect) Open(p *sim.Proc, path string) (*fs.File, error) {
+	p.Advance(model.SyscallBaseCost)
+	return h.FS.Open(p, path)
+}
+
+// Create creates with a syscall cost.
+func (h *HostDirect) Create(p *sim.Proc, path string) (*fs.File, error) {
+	p.Advance(model.SyscallBaseCost)
+	return h.FS.Create(p, path)
+}
+
+// Read performs a direct read into host memory. Unlike the Solros driver
+// the stock host path takes one interrupt per NVMe command (no
+// coalescing), which is why Solros can edge past the host at large
+// request sizes (Figure 1a).
+func (h *HostDirect) Read(p *sim.Proc, f *fs.File, off, n int64, target pcie.Loc) error {
+	p.Advance(model.SyscallBaseCost)
+	if off >= f.Size() {
+		return nil
+	}
+	if off+n > f.Size() {
+		n = f.Size() - off
+	}
+	return f.ReadTo(p, off, n, target, false)
+}
+
+// Write performs a direct write from host memory.
+func (h *HostDirect) Write(p *sim.Proc, f *fs.File, off, n int64, source pcie.Loc) error {
+	p.Advance(model.SyscallBaseCost)
+	return f.WriteFrom(p, off, n, source, false)
+}
+
+// HostCentric is the Figure 2(a) architecture: a host application reads
+// data into host memory and then pushes it to the co-processor with a
+// second DMA, doubling PCIe traffic.
+type HostCentric struct {
+	Host HostDirect
+	fab  *pcie.Fabric
+}
+
+// NewHostCentric wraps a host file system for host-mediated co-processor
+// I/O.
+func NewHostCentric(fab *pcie.Fabric, fsys *fs.FS) *HostCentric {
+	return &HostCentric{Host: HostDirect{FS: fsys}, fab: fab}
+}
+
+// ReadToPhi stages the file range in host memory and copies it onward to
+// the co-processor.
+func (hc *HostCentric) ReadToPhi(p *sim.Proc, f *fs.File, off, n int64, target pcie.Loc) error {
+	loc, buf, put := hc.Host.FS.Staging(n)
+	defer put()
+	if err := hc.Host.Read(p, f, off, n, loc); err != nil {
+		return err
+	}
+	hc.fab.CopyIn(p, nil, cpu.Host, target, buf[:n], pcie.Adaptive)
+	return nil
+}

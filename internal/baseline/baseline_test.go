@@ -1,0 +1,212 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"solros/internal/block"
+	"solros/internal/fs"
+	"solros/internal/nvme"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+// rig builds a fabric with one SSD, one same-socket phi, and a formatted
+// file system image.
+func rig() (*pcie.Fabric, *nvme.Device, *pcie.Device) {
+	fab := pcie.New(128 << 20)
+	ssd := nvme.New(fab, "nvme0", 0, 64<<20)
+	phi := fab.AddPhi("phi0", 0, 64<<20)
+	if err := fs.Mkfs(ssd.Image(), 0); err != nil {
+		panic(err)
+	}
+	return fab, ssd, phi
+}
+
+func TestVirtioDiskMovesDataCorrectly(t *testing.T) {
+	fab, ssd, phi := rig()
+	vd := NewVirtioDisk(fab, phi, ssd)
+	want := bytes.Repeat([]byte{0xC3}, 200<<10) // spans multiple 64K requests
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		src := phi.Mem.Alloc(int64(len(want)))
+		copy(phi.Mem.Slice(src, int64(len(want))), want)
+		if err := vd.Vector(p, []block.Op{{Write: true, Off: 1 << 20, Bytes: int64(len(want)), Target: pcie.Loc{Dev: phi, Off: src}}}, false); err != nil {
+			t.Error(err)
+			return
+		}
+		dst := phi.Mem.Alloc(int64(len(want)))
+		if err := vd.Vector(p, []block.Op{{Off: 1 << 20, Bytes: int64(len(want)), Target: pcie.Loc{Dev: phi, Off: dst}}}, false); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(phi.Mem.Slice(dst, int64(len(want))), want) {
+			t.Error("virtio round trip corrupted data")
+		}
+	})
+	e.MustRun()
+}
+
+func TestPhiLinuxMountAndIO(t *testing.T) {
+	fab, ssd, phi := rig()
+	vd := NewVirtioDisk(fab, phi, ssd)
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		pl, err := MountPhiLinux(p, fab, vd, phi)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f, err := pl.Create(p, "/data")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := phi.Mem.Alloc(64 << 10)
+		payload := bytes.Repeat([]byte{7}, 64<<10)
+		copy(phi.Mem.Slice(buf, 64<<10), payload)
+		if err := pl.Write(p, f, 0, 64<<10, pcie.Loc{Dev: phi, Off: buf}); err != nil {
+			t.Error(err)
+			return
+		}
+		out := phi.Mem.Alloc(64 << 10)
+		if err := pl.Read(p, f, 0, 64<<10, pcie.Loc{Dev: phi, Off: out}); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(phi.Mem.Slice(out, 64<<10), payload) {
+			t.Error("phi-linux read corrupted")
+		}
+	})
+	e.MustRun()
+}
+
+// seededHostFS mounts a host FS with one file of the given size.
+func seededHostFS(p *sim.Proc, fab *pcie.Fabric, ssd *nvme.Device, size int64) (*fs.FS, *fs.File) {
+	fsys, err := fs.Mount(p, fab, block.NVMe{Dev: ssd})
+	if err != nil {
+		panic(err)
+	}
+	f, err := fsys.Create(p, "/bench")
+	if err != nil {
+		panic(err)
+	}
+	if err := f.Truncate(p, size); err != nil {
+		panic(err)
+	}
+	return fsys, f
+}
+
+func TestRelativeThroughputShape(t *testing.T) {
+	// The Figure 11 ordering at 512 KB random reads, single thread:
+	// Host ~ P2P >> virtio >= NFS-ish territory. We measure per-path
+	// time for the same 8 MB of reads.
+	const bs = 512 << 10
+	const total = 8 << 20
+	timeOf := func(read func(p *sim.Proc, f *fs.File, off int64) error) sim.Time {
+		fab, ssd, phi := rig()
+		_ = phi
+		var dt sim.Time
+		e := sim.NewEngine()
+		e.Spawn("t", 0, func(p *sim.Proc) {
+			_, f := seededHostFS(p, fab, ssd, total)
+			start := p.Now()
+			for off := int64(0); off < total; off += bs {
+				if err := read(p, f, off); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			dt = p.Now() - start
+		})
+		e.MustRun()
+		return dt
+	}
+
+	hostT := timeOf(func(p *sim.Proc, f *fs.File, off int64) error {
+		return f.ReadTo(p, off, bs, pcie.Loc{Off: 0}, false)
+	})
+
+	// Virtio full stack.
+	virtioT := func() sim.Time {
+		fab, ssd, phi := rig()
+		vd := NewVirtioDisk(fab, phi, ssd)
+		var dt sim.Time
+		e := sim.NewEngine()
+		e.Spawn("t", 0, func(p *sim.Proc) {
+			pl, err := MountPhiLinux(p, fab, vd, phi)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f, _ := pl.Create(p, "/bench")
+			if err := f.Truncate(p, total); err != nil {
+				t.Error(err)
+				return
+			}
+			buf := phi.Mem.Alloc(bs)
+			start := p.Now()
+			for off := int64(0); off < total; off += bs {
+				if err := pl.Read(p, f, off, bs, pcie.Loc{Dev: phi, Off: buf}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			dt = p.Now() - start
+		})
+		e.MustRun()
+		return dt
+	}()
+
+	// NFS.
+	nfsT := func() sim.Time {
+		fab, ssd, phi := rig()
+		var dt sim.Time
+		e := sim.NewEngine()
+		e.Spawn("t", 0, func(p *sim.Proc) {
+			fsys, f := seededHostFS(p, fab, ssd, total)
+			nfs := NewNFS(fab, fsys, phi)
+			buf := phi.Mem.Alloc(bs)
+			start := p.Now()
+			for off := int64(0); off < total; off += bs {
+				if err := nfs.Read(p, f, off, bs, pcie.Loc{Dev: phi, Off: buf}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			dt = p.Now() - start
+		})
+		e.MustRun()
+		return dt
+	}()
+
+	if !(hostT < virtioT && hostT < nfsT) {
+		t.Fatalf("host (%v) should beat virtio (%v) and NFS (%v)", hostT, virtioT, nfsT)
+	}
+	if virtioRatio := float64(virtioT) / float64(hostT); virtioRatio < 3 {
+		t.Fatalf("virtio/host time ratio = %.1f, want >> 1 (paper: ~10-19x)", virtioRatio)
+	}
+	if nfsRatio := float64(nfsT) / float64(hostT); nfsRatio < 3 {
+		t.Fatalf("nfs/host time ratio = %.1f, want >> 1", nfsRatio)
+	}
+	t.Logf("512KB reads of 8MB: host=%v virtio=%v nfs=%v", hostT, virtioT, nfsT)
+}
+
+func TestHostCentricDoublesPCIeTraffic(t *testing.T) {
+	fab, ssd, phi := rig()
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		fsys, f := seededHostFS(p, fab, ssd, 1<<20)
+		hc := NewHostCentric(fab, fsys)
+		before := fab.Transactions()
+		buf := phi.Mem.Alloc(1 << 20)
+		if err := hc.ReadToPhi(p, f, 0, 1<<20, pcie.Loc{Dev: phi, Off: buf}); err != nil {
+			t.Error(err)
+			return
+		}
+		if fab.Transactions() <= before {
+			t.Error("host-centric path recorded no PCIe traffic")
+		}
+	})
+	e.MustRun()
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests lock in the *shapes* the reproduction must preserve: who
+// wins, by roughly what factor, where crossovers fall. They run the
+// cheaper experiments end to end.
+
+func valueOf(t *testing.T, rows []Row, series, x string) float64 {
+	t.Helper()
+	for _, r := range rows {
+		if r.Series == series && r.X == x {
+			return r.Value
+		}
+	}
+	t.Fatalf("no row for series=%q x=%q", series, x)
+	return 0
+}
+
+func TestLookupAndIDs(t *testing.T) {
+	for _, id := range IDs() {
+		if _, desc, ok := Lookup(id); !ok || desc == "" {
+			t.Fatalf("experiment %q not resolvable", id)
+		}
+	}
+	if _, _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestFormatGroupsBySeries(t *testing.T) {
+	rows := []Row{
+		row("f", "a", "1", 1, "u"),
+		row("f", "a", "2", 2, "u"),
+		row("f", "b", "1", 3, "u"),
+	}
+	out := Format(rows)
+	if strings.Count(out, "# f — a") != 1 || strings.Count(out, "# f — b") != 1 {
+		t.Fatalf("bad grouping:\n%s", out)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rows := Fig4()
+	// DMA beats memcpy at 8MB; memcpy beats DMA at 64B; host-initiated
+	// beats phi-initiated.
+	if valueOf(t, rows, "phi->host/dma-host-init", "8MB") <= valueOf(t, rows, "phi->host/memcpy-host", "8MB") {
+		t.Error("8MB: DMA should beat memcpy")
+	}
+	if valueOf(t, rows, "phi->host/memcpy-host", "64B") <= valueOf(t, rows, "phi->host/dma-host-init", "64B") {
+		t.Error("64B: memcpy should beat DMA")
+	}
+	if valueOf(t, rows, "phi->host/dma-host-init", "8MB") <= valueOf(t, rows, "phi->host/dma-phi-init", "8MB") {
+		t.Error("host-initiated DMA should beat phi-initiated")
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	rows := Fig1b()
+	host := valueOf(t, rows, "host", "p99")
+	sol := valueOf(t, rows, "phi-solros", "p99")
+	phi := valueOf(t, rows, "phi-linux", "p99")
+	if !(host < sol && sol < phi) {
+		t.Fatalf("p99 ordering wrong: host=%.1f solros=%.1f phi=%.1f", host, sol, phi)
+	}
+	if phi < 4*sol {
+		t.Fatalf("phi-linux p99 (%.1f us) should be >=4x solros (%.1f us); paper ~7x", phi, sol)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows := Fig13()
+	vTotal := valueOf(t, rows, "phi-virtio", "total")
+	sTotal := valueOf(t, rows, "phi-solros", "total")
+	if vTotal < 5*sTotal {
+		t.Fatalf("512KB read: virtio (%.3f ms) should be >=5x solros (%.3f ms); paper ~14x", vTotal, sTotal)
+	}
+	vCopy := valueOf(t, rows, "phi-virtio", "block/transport")
+	sCopy := valueOf(t, rows, "phi-solros", "proxy/transport")
+	if vCopy < 20*sCopy {
+		t.Fatalf("virtio CPU copy (%.3f ms) should dwarf solros transport (%.3f ms); paper 171x", vCopy, sCopy)
+	}
+	// Stub vs full FS (Figure 13a's 5x claim, our model: 30us vs 8us).
+	vFS := valueOf(t, rows, "phi-virtio", "file-system")
+	sFS := valueOf(t, rows, "phi-solros", "fs-stub")
+	if vFS < 3*sFS {
+		t.Fatalf("full FS on Phi (%.3f) should be >=3x the stub (%.3f); paper 5x", vFS, sFS)
+	}
+}
+
+func TestFig16LinearScaling(t *testing.T) {
+	rows := Fig16()
+	one := valueOf(t, rows, "round-robin", "1")
+	four := valueOf(t, rows, "round-robin", "4")
+	if four < 3*one {
+		t.Fatalf("4 phis (%.0f) should be >=3x 1 phi (%.0f)", four, one)
+	}
+}
+
+func TestFig18SolrosWins(t *testing.T) {
+	rows := Fig18()
+	sol := valueOf(t, rows, "phi-solros", "search")
+	phi := valueOf(t, rows, "phi-linux", "search")
+	ratio := sol / phi
+	if ratio < 1.4 || ratio > 4 {
+		t.Fatalf("image search solros/phi-linux = %.2f, want ~2 (paper: 2x)", ratio)
+	}
+}
+
+func TestAblationDirections(t *testing.T) {
+	rows := Ablations()
+	if valueOf(t, rows, "nvme-coalescing", "on") <= valueOf(t, rows, "nvme-coalescing", "off") {
+		t.Error("coalescing on should beat off")
+	}
+	if valueOf(t, rows, "nvme-coalescing", "off-irq/op") <= valueOf(t, rows, "nvme-coalescing", "on-irq/op") {
+		t.Error("coalescing should reduce interrupts per op")
+	}
+	if valueOf(t, rows, "ring-master", "at-phi(sender)") <= valueOf(t, rows, "ring-master", "at-host") {
+		t.Error("master at the co-processor should win for RPC streams")
+	}
+	if valueOf(t, rows, "combine-batch", "64") <= valueOf(t, rows, "combine-batch", "1") {
+		t.Error("larger combining batches should win")
+	}
+	if valueOf(t, rows, "shared-cache", "on") <= valueOf(t, rows, "shared-cache", "off") {
+		t.Error("shared cache should speed up the second co-processor's reread")
+	}
+}
+
+func TestTable1CountsThisRepo(t *testing.T) {
+	rows := Table1()
+	total := valueOf(t, rows, "TOTAL", "impl")
+	if total < 5000 {
+		t.Fatalf("implementation LoC = %.0f, implausibly low (walker broken?)", total)
+	}
+	if valueOf(t, rows, "TOTAL", "test") <= 0 {
+		t.Fatal("no test lines counted")
+	}
+}

@@ -1,0 +1,545 @@
+package bench
+
+import (
+	"fmt"
+
+	"solros/internal/apps/imagesearch"
+	"solros/internal/apps/textindex"
+	"solros/internal/baseline"
+	"solros/internal/block"
+	"solros/internal/core"
+	"solros/internal/cpu"
+	"solros/internal/dataplane"
+	"solros/internal/fs"
+	"solros/internal/netstack"
+	"solros/internal/ninep"
+	"solros/internal/nvme"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/workload"
+)
+
+// Text-indexing experiment geometry: a corpus of files scanned once by a
+// pool of workers pulling (file, chunk) work items from a shared queue —
+// the Phi variants use all 61 cores, the host its 24.
+const (
+	tiFiles     = 16
+	tiFileBytes = 2 << 20
+	tiChunk     = 512 << 10
+	tiWorkers   = 61
+)
+
+// tiWork enumerates (file, offset) work items.
+func tiWork() [][2]int64 {
+	var items [][2]int64
+	for f := int64(0); f < tiFiles; f++ {
+		for off := int64(0); off < tiFileBytes; off += tiChunk {
+			items = append(items, [2]int64{f, off})
+		}
+	}
+	return items
+}
+
+func tiPath(i int) string { return fmt.Sprintf("/corpus/doc%02d", i) }
+
+// seedCorpus writes the corpus through a host-mounted fs and syncs it so
+// another mount of the same image sees it.
+func seedCorpus(p *sim.Proc, fsys *fs.FS) {
+	if err := fsys.Mkdir(p, "/corpus"); err != nil {
+		panic(err)
+	}
+	for i := 0; i < tiFiles; i++ {
+		f, err := fsys.Create(p, tiPath(i))
+		if err != nil {
+			panic(err)
+		}
+		if _, err := f.Write(p, 0, workload.Corpus(int64(i+1), tiFileBytes)); err != nil {
+			panic(err)
+		}
+	}
+	if err := fsys.Sync(p); err != nil {
+		panic(err)
+	}
+}
+
+// dataplaneFd is a typed alias to keep the work-queue map tidy.
+type dataplaneFd = dataplane.Fd
+
+// Fig17 reproduces the text-indexing application (§6.2): scan the corpus
+// and build an inverted index, on Solros, the stock Phi (virtio), and the
+// host. Reported as corpus MB/s.
+func Fig17() []Row {
+	totalBytes := int64(tiFiles * tiFileBytes)
+	var rows []Row
+
+	// --- Phi-Solros: stub reads (P2P), 61 lean cores tokenize.
+	{
+		m := core.NewMachine(core.Config{Phis: 1, DiskBytes: fsDiskBytes, PhiMemBytes: 128 << 20})
+		var secs float64
+		var terms int
+		m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+			seedCorpus(p, mm.FS)
+			phi := mm.Phis[0]
+			items := tiWork()
+			next := 0
+			shards := make([]*textindex.Index, tiWorkers)
+			start := p.Now()
+			core.Parallel(p, tiWorkers, "indexer", func(i int, wp *sim.Proc) {
+				shards[i] = textindex.NewIndex()
+				fds := map[int64]dataplaneFd{}
+				buf := phi.FS.AllocBuffer(tiChunk)
+				for {
+					if next >= len(items) {
+						return
+					}
+					it := items[next]
+					next++
+					fd, ok := fds[it[0]]
+					if !ok {
+						f, err := phi.FS.Open(wp, tiPath(int(it[0])), 0)
+						if err != nil {
+							panic(err)
+						}
+						fd = dataplaneFd(f)
+						fds[it[0]] = fd
+					}
+					n, err := phi.FS.Read(wp, dataplane.Fd(fd), it[1], buf, tiChunk)
+					if err != nil {
+						panic(err)
+					}
+					shards[i].AddDocument(wp, phi.Pool.Core(i), int32(it[0]), buf.Data[:n])
+				}
+			})
+			final := textindex.NewIndex()
+			for _, s := range shards {
+				final.Merge(s)
+			}
+			secs = (p.Now() - start).Seconds()
+			terms = final.Terms()
+		})
+		if terms == 0 {
+			panic("fig17: solros produced empty index")
+		}
+		rows = append(rows, row("fig17", "phi-solros", "indexing", mbs(totalBytes, secs), "MB/s"))
+	}
+
+	// --- Stock Phi over virtio: full FS on the Phi, slow I/O path.
+	{
+		fab := pcie.New(256 << 20)
+		ssd := nvme.New(fab, "nvme0", 0, fsDiskBytes)
+		phi := fab.AddPhi("phi0", 0, 128<<20)
+		if err := fs.Mkfs(ssd.Image(), 0); err != nil {
+			panic(err)
+		}
+		vd := baseline.NewVirtioDisk(fab, phi, ssd)
+		var secs float64
+		e := sim.NewEngine()
+		e.Spawn("main", 0, func(p *sim.Proc) {
+			// Seed via a host mount of the same image, then remount
+			// from the Phi.
+			seedFS, err := fs.Mount(p, fab, block.NVMe{Dev: ssd})
+			if err != nil {
+				panic(err)
+			}
+			seedCorpus(p, seedFS)
+			pl, err := baseline.MountPhiLinux(p, fab, vd, phi)
+			if err != nil {
+				panic(err)
+			}
+			pool := cpu.PhiPool()
+			items := tiWork()
+			next := 0
+			files := map[int64]*fs.File{}
+			start := p.Now()
+			core.Parallel(p, tiWorkers, "indexer", func(i int, wp *sim.Proc) {
+				ix := textindex.NewIndex()
+				bufOff := phi.Mem.Alloc(tiChunk)
+				for {
+					if next >= len(items) {
+						return
+					}
+					it := items[next]
+					next++
+					f, ok := files[it[0]]
+					if !ok {
+						var err error
+						f, err = pl.Open(wp, tiPath(int(it[0])))
+						if err != nil {
+							panic(err)
+						}
+						files[it[0]] = f
+					}
+					if err := pl.Read(wp, f, it[1], tiChunk, pcie.Loc{Dev: phi, Off: bufOff}); err != nil {
+						panic(err)
+					}
+					ix.AddDocument(wp, pool.Core(i), int32(it[0]), phi.Mem.Slice(bufOff, tiChunk))
+				}
+			})
+			secs = (p.Now() - start).Seconds()
+		})
+		e.MustRun()
+		rows = append(rows, row("fig17", "phi-virtio", "indexing", mbs(totalBytes, secs), "MB/s"))
+	}
+
+	// --- Host-centric (Figure 2a): a host app reads the corpus and
+	// pushes each chunk to the co-processor, which tokenizes it. Data
+	// crosses PCIe twice as many times as necessary and the host
+	// mediates every transfer.
+	{
+		fab := pcie.New(256 << 20)
+		ssd := nvme.New(fab, "nvme0", 0, fsDiskBytes)
+		phi := fab.AddPhi("phi0", 0, 128<<20)
+		if err := fs.Mkfs(ssd.Image(), 0); err != nil {
+			panic(err)
+		}
+		var secs float64
+		e := sim.NewEngine()
+		e.Spawn("main", 0, func(p *sim.Proc) {
+			fsys, err := fs.Mount(p, fab, block.NVMe{Dev: ssd})
+			if err != nil {
+				panic(err)
+			}
+			seedCorpus(p, fsys)
+			hc := baseline.NewHostCentric(fab, fsys)
+			pool := cpu.PhiPool()
+			items := tiWork()
+			next := 0
+			files := map[int64]*fs.File{}
+			start := p.Now()
+			core.Parallel(p, tiWorkers, "indexer", func(i int, wp *sim.Proc) {
+				ix := textindex.NewIndex()
+				bufOff := phi.Mem.Alloc(tiChunk)
+				for {
+					if next >= len(items) {
+						return
+					}
+					it := items[next]
+					next++
+					f, ok := files[it[0]]
+					if !ok {
+						var err error
+						f, err = hc.Host.Open(wp, tiPath(int(it[0])))
+						if err != nil {
+							panic(err)
+						}
+						files[it[0]] = f
+					}
+					if err := hc.ReadToPhi(wp, f, it[1], tiChunk, pcie.Loc{Dev: phi, Off: bufOff}); err != nil {
+						panic(err)
+					}
+					ix.AddDocument(wp, pool.Core(i), int32(it[0]), phi.Mem.Slice(bufOff, tiChunk))
+				}
+			})
+			secs = (p.Now() - start).Seconds()
+		})
+		e.MustRun()
+		rows = append(rows, row("fig17", "host-centric-phi", "indexing", mbs(totalBytes, secs), "MB/s"))
+	}
+
+	// --- Host: direct reads, 16 fat cores tokenize.
+	{
+		fab := pcie.New(256 << 20)
+		ssd := nvme.New(fab, "nvme0", 0, fsDiskBytes)
+		if err := fs.Mkfs(ssd.Image(), 0); err != nil {
+			panic(err)
+		}
+		var secs float64
+		e := sim.NewEngine()
+		e.Spawn("main", 0, func(p *sim.Proc) {
+			fsys, err := fs.Mount(p, fab, block.NVMe{Dev: ssd})
+			if err != nil {
+				panic(err)
+			}
+			seedCorpus(p, fsys)
+			hd := &baseline.HostDirect{FS: fsys}
+			pool := cpu.HostPool()
+			items := tiWork()
+			next := 0
+			files := map[int64]*fs.File{}
+			start := p.Now()
+			core.Parallel(p, 24, "indexer", func(i int, wp *sim.Proc) {
+				ix := textindex.NewIndex()
+				loc, stage, put := fsys.Staging(tiChunk)
+				defer put()
+				for {
+					if next >= len(items) {
+						return
+					}
+					it := items[next]
+					next++
+					f, ok := files[it[0]]
+					if !ok {
+						var err error
+						f, err = hd.Open(wp, tiPath(int(it[0])))
+						if err != nil {
+							panic(err)
+						}
+						files[it[0]] = f
+					}
+					if err := hd.Read(wp, f, it[1], tiChunk, loc); err != nil {
+						panic(err)
+					}
+					ix.AddDocument(wp, pool.Core(i), int32(it[0]), stage[:tiChunk])
+				}
+			})
+			secs = (p.Now() - start).Seconds()
+		})
+		e.MustRun()
+		rows = append(rows, row("fig17", "host", "indexing", mbs(totalBytes, secs), "MB/s"))
+	}
+	return rows
+}
+
+// Image-search experiment geometry.
+const (
+	isVectors = 48 << 10 // 48K descriptors = 6 MB database
+	isQueries = 40
+	isPort    = 7400
+)
+
+// Fig18 reproduces the image-search application (§6.2): a similarity
+// server on the co-processor — database loaded from the file system,
+// queries over the network, parallel scan on the lean cores. Reported as
+// queries/sec end to end (including database load).
+func Fig18() []Row {
+	dbBytes := workload.Features(99, isVectors)
+	var rows []Row
+
+	// --- Phi-Solros.
+	{
+		m := core.NewMachine(core.Config{Phis: 1, DiskBytes: fsDiskBytes, PhiMemBytes: 128 << 20})
+		m.EnableNetwork()
+		var secs float64
+		m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+			// Seed the database file.
+			f, err := mm.FS.Create(p, "/imgdb")
+			if err != nil {
+				panic(err)
+			}
+			if _, err := f.Write(p, 0, dbBytes); err != nil {
+				panic(err)
+			}
+			phi := mm.Phis[0]
+			phi.Net.Listen(p, isPort)
+			done := sim.NewWaitGroup("imgsearch")
+			done.Add(2)
+			start := p.Now()
+			p.Spawn("server", func(sp *sim.Proc) {
+				defer sp.DoneWG(done)
+				// Load the database through the Solros FS service.
+				fd, err := phi.FS.Open(sp, "/imgdb", 0)
+				if err != nil {
+					panic(err)
+				}
+				buf := phi.FS.AllocBuffer(int64(len(dbBytes)))
+				if _, err := phi.FS.Read(sp, fd, 0, buf, int64(len(dbBytes))); err != nil {
+					panic(err)
+				}
+				db := &imagesearch.DB{Vectors: buf.Data}
+				sock, err := phi.Net.Accept(sp, isPort)
+				if err != nil {
+					return
+				}
+				for q := 0; q < isQueries; q++ {
+					query, err := sock.RecvFull(sp, workload.FeatureDim)
+					if err != nil || len(query) != workload.FeatureDim {
+						return
+					}
+					best, _ := db.SearchParallel(sp, phi.Pool, 61, query)
+					sock.Send(sp, workload.EncodeU32(uint32(best)))
+				}
+			})
+			p.Spawn("client", func(cp *sim.Proc) {
+				defer cp.DoneWG(done)
+				cp.Advance(100 * sim.Microsecond)
+				conn, err := m.ClientStack.Dial(cp, m.HostStack, isPort)
+				if err != nil {
+					panic(err)
+				}
+				side := conn.Side(m.ClientStack)
+				for q := 0; q < isQueries; q++ {
+					side.Send(cp, workload.Query(dbBytes, q*101))
+					reply, err := side.RecvFull(cp, 4)
+					if err != nil || len(reply) != 4 {
+						return
+					}
+					if got := int(workload.DecodeU32(reply)); got != (q*101)%isVectors {
+						panic(fmt.Sprintf("fig18: wrong answer %d for query %d", got, q))
+					}
+				}
+				side.Close(cp)
+			})
+			p.WaitWG(done)
+			secs = (p.Now() - start).Seconds()
+		})
+		rows = append(rows, row("fig18", "phi-solros", "search", float64(isQueries)/secs, "queries/s"))
+	}
+
+	// --- Stock Phi: virtio load + bridged serialized TCP.
+	{
+		fab := pcie.New(256 << 20)
+		ssd := nvme.New(fab, "nvme0", 0, fsDiskBytes)
+		phi := fab.AddPhi("phi0", 0, 128<<20)
+		if err := fs.Mkfs(ssd.Image(), 0); err != nil {
+			panic(err)
+		}
+		vd := baseline.NewVirtioDisk(fab, phi, ssd)
+		net := netstack.NewNetwork(fab)
+		client := net.NewStack("client", cpu.Host, nil)
+		server := net.NewStack("phi-server", cpu.Phi, phi)
+		server.Serialized = true
+		var secs float64
+		e := sim.NewEngine()
+		e.Spawn("main", 0, func(p *sim.Proc) {
+			seedFS, err := fs.Mount(p, fab, block.NVMe{Dev: ssd})
+			if err != nil {
+				panic(err)
+			}
+			f, err := seedFS.Create(p, "/imgdb")
+			if err != nil {
+				panic(err)
+			}
+			if _, err := f.Write(p, 0, dbBytes); err != nil {
+				panic(err)
+			}
+			seedFS.Sync(p)
+			done := sim.NewWaitGroup("imgsearch")
+			done.Add(2)
+			l, err := server.Listen(isPort)
+			if err != nil {
+				panic(err)
+			}
+			start := p.Now()
+			p.Spawn("server", func(sp *sim.Proc) {
+				defer sp.DoneWG(done)
+				pl, err := baseline.MountPhiLinux(sp, fab, vd, phi)
+				if err != nil {
+					panic(err)
+				}
+				file, err := pl.Open(sp, "/imgdb")
+				if err != nil {
+					panic(err)
+				}
+				bufOff := phi.Mem.Alloc(int64(len(dbBytes)))
+				if err := pl.Read(sp, file, 0, int64(len(dbBytes)), pcie.Loc{Dev: phi, Off: bufOff}); err != nil {
+					panic(err)
+				}
+				db := &imagesearch.DB{Vectors: phi.Mem.Slice(bufOff, int64(len(dbBytes)))}
+				pool := cpu.PhiPool()
+				conn, ok := l.Accept(sp)
+				if !ok {
+					return
+				}
+				side := conn.Side(server)
+				for q := 0; q < isQueries; q++ {
+					query, err := side.RecvFull(sp, workload.FeatureDim)
+					if err != nil || len(query) != workload.FeatureDim {
+						return
+					}
+					best, _ := db.SearchParallel(sp, pool, 61, query)
+					side.Send(sp, workload.EncodeU32(uint32(best)))
+				}
+			})
+			p.Spawn("client", func(cp *sim.Proc) {
+				defer cp.DoneWG(done)
+				cp.Advance(500 * sim.Microsecond)
+				var conn *netstack.Conn
+				var err error
+				for try := 0; try < 100; try++ {
+					conn, err = client.Dial(cp, server, isPort)
+					if err == nil {
+						break
+					}
+					cp.Advance(sim.Millisecond)
+				}
+				if err != nil {
+					panic(err)
+				}
+				side := conn.Side(client)
+				for q := 0; q < isQueries; q++ {
+					side.Send(cp, workload.Query(dbBytes, q*101))
+					if _, err := side.RecvFull(cp, 4); err != nil {
+						return
+					}
+				}
+				side.Close(cp)
+			})
+			p.WaitWG(done)
+			secs = (p.Now() - start).Seconds()
+		})
+		e.MustRun()
+		rows = append(rows, row("fig18", "phi-linux", "search", float64(isQueries)/secs, "queries/s"))
+	}
+	return rows
+}
+
+// Fig19 measures control-plane scalability (§6.3): aggregate file-system
+// throughput as co-processor count grows, with one shared control-plane
+// OS. Two regimes: device-bound P2P reads saturate the SSD; cache-hit
+// reads scale with the proxy itself.
+func Fig19() []Row {
+	var rows []Row
+	for _, regime := range []string{"nvme-p2p", "cache-hit"} {
+		for _, phis := range []int{1, 2, 4} {
+			const bs = 64 << 10
+			const opsPerWorker = 24
+			const workersPerPhi = 8
+			m := core.NewMachine(core.Config{
+				Phis:         phis,
+				DiskBytes:    fsDiskBytes,
+				PhiMemBytes:  64 << 20,
+				CacheBytes:   64 << 20,
+				ProxyWorkers: 8,
+			})
+			var secs float64
+			m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+				// One 8 MB file per phi.
+				for i := range mm.Phis {
+					f, err := mm.FS.Create(p, fmt.Sprintf("/f%d", i))
+					if err != nil {
+						panic(err)
+					}
+					if err := f.Truncate(p, 8<<20); err != nil {
+						panic(err)
+					}
+					if regime == "cache-hit" {
+						if err := mm.FSProxy.Prefetch(p, fmt.Sprintf("/f%d", i)); err != nil {
+							panic(err)
+						}
+					}
+				}
+				start := p.Now()
+				done := sim.NewWaitGroup("fig19")
+				done.Add(len(mm.Phis))
+				for i, phi := range mm.Phis {
+					i, phi := i, phi
+					p.Spawn("phi-workers", func(pp *sim.Proc) {
+						defer pp.DoneWG(done)
+						flags := uint32(0)
+						if regime == "cache-hit" {
+							flags = ninep.OBuffer
+						}
+						core.Parallel(pp, workersPerPhi, "reader", func(w int, wp *sim.Proc) {
+							fd, err := phi.FS.Open(wp, fmt.Sprintf("/f%d", i), flags)
+							if err != nil {
+								panic(err)
+							}
+							buf := phi.FS.AllocBuffer(bs)
+							offs := workload.Offsets(int64(i*100+w), 8<<20, bs, opsPerWorker)
+							for _, off := range offs {
+								if _, err := phi.FS.Read(wp, fd, off, buf, bs); err != nil {
+									panic(err)
+								}
+							}
+						})
+					})
+				}
+				p.WaitWG(done)
+				secs = (p.Now() - start).Seconds()
+			})
+			total := int64(phis) * workersPerPhi * opsPerWorker * bs
+			rows = append(rows, row("fig19", regime, fmt.Sprintf("%d", phis), gbs(total, secs), "GB/s"))
+		}
+	}
+	return rows
+}

@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"fmt"
+
+	"solros/internal/baseline"
+	"solros/internal/block"
+	"solros/internal/core"
+	"solros/internal/fs"
+	"solros/internal/model"
+	"solros/internal/nvme"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/workload"
+)
+
+// Storage experiment geometry. The paper uses a 4 GB file on a 1.2 TB
+// SSD; we scale to 64 MB on a 96 MB disk — random-read shape is size-
+// independent once the file dwarfs every cache in play.
+const (
+	fsFileBytes = 64 << 20
+	fsDiskBytes = 96 << 20
+	// fsPointBytes is the I/O volume per measured point.
+	fsPointBytes = 128 << 20
+)
+
+var fsBlockSizes = []int64{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20}
+
+func opsFor(threads int, bs int64) int {
+	ops := int(fsPointBytes / (int64(threads) * bs))
+	if ops < 2 {
+		ops = 2
+	}
+	return ops
+}
+
+// fioPoint measures aggregate random read/write throughput in GB/s for
+// one (system, threads, block size) cell.
+type fioSystem interface {
+	// run executes the whole matrix measurement for this system.
+	run(write bool, threads int, bs int64) float64
+	name() string
+}
+
+// --- Phi-Solros -------------------------------------------------------------
+
+type solrosFio struct {
+	label     string
+	phis      int
+	usePhi    int
+	forceP2P  bool
+	coalesce  bool
+	diskBytes int64
+}
+
+func (s *solrosFio) name() string { return s.label }
+
+func (s *solrosFio) run(write bool, threads int, bs int64) float64 {
+	m := core.NewMachine(core.Config{
+		Phis:         s.phis,
+		DiskBytes:    s.diskBytes,
+		PhiMemBytes:  int64(threads)*bs + (64 << 20),
+		HostRAMBytes: 256 << 20,
+		ForceP2P:     s.forceP2P,
+		CoalesceOff:  !s.coalesce,
+		ProxyWorkers: 8,
+	})
+	var secs float64
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		phi := mm.Phis[s.usePhi]
+		fd, err := phi.FS.Open(p, "/bench", 2 /* OCreate */)
+		if err != nil {
+			panic(err)
+		}
+		if err := mustTruncate(p, mm, "/bench"); err != nil {
+			panic(err)
+		}
+		ops := opsFor(threads, bs)
+		offs := workload.Offsets(42, fsFileBytes, bs, threads*ops)
+		start := p.Now()
+		core.Parallel(p, threads, "fio", func(i int, wp *sim.Proc) {
+			buf := phi.FS.AllocBuffer(bs)
+			for k := 0; k < ops; k++ {
+				off := offs[i*ops+k]
+				var err error
+				if write {
+					_, err = phi.FS.Write(wp, fd, off, buf, bs)
+				} else {
+					_, err = phi.FS.Read(wp, fd, off, buf, bs)
+				}
+				if err != nil {
+					panic(err)
+				}
+			}
+		})
+		secs = (p.Now() - start).Seconds()
+	})
+	return gbs(int64(threads*opsFor(threads, bs))*bs, secs)
+}
+
+// mustTruncate grows the benchmark file to fsFileBytes via the host FS
+// (seeding, not part of the measurement).
+func mustTruncate(p *sim.Proc, m *core.Machine, path string) error {
+	f, err := m.FS.Open(p, path)
+	if err != nil {
+		return err
+	}
+	return f.Truncate(p, fsFileBytes)
+}
+
+// --- Host -------------------------------------------------------------------
+
+type hostFio struct{}
+
+func (hostFio) name() string { return "host" }
+
+func (hostFio) run(write bool, threads int, bs int64) float64 {
+	fab := pcie.New(256 << 20)
+	ssd := nvme.New(fab, "nvme0", 0, fsDiskBytes)
+	if err := fs.Mkfs(ssd.Image(), 0); err != nil {
+		panic(err)
+	}
+	var secs float64
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		fsys, err := fs.Mount(p, fab, block.NVMe{Dev: ssd})
+		if err != nil {
+			panic(err)
+		}
+		hd := &baseline.HostDirect{FS: fsys}
+		f, err := hd.Create(p, "/bench")
+		if err != nil {
+			panic(err)
+		}
+		if err := f.Truncate(p, fsFileBytes); err != nil {
+			panic(err)
+		}
+		ops := opsFor(threads, bs)
+		offs := workload.Offsets(42, fsFileBytes, bs, threads*ops)
+		start := p.Now()
+		core.Parallel(p, threads, "fio", func(i int, wp *sim.Proc) {
+			loc, _, put := fsys.Staging(bs)
+			defer put()
+			for k := 0; k < ops; k++ {
+				off := offs[i*ops+k]
+				var err error
+				if write {
+					err = hd.Write(wp, f, off, bs, loc)
+				} else {
+					err = hd.Read(wp, f, off, bs, loc)
+				}
+				if err != nil {
+					panic(err)
+				}
+			}
+		})
+		secs = (p.Now() - start).Seconds()
+	})
+	e.MustRun()
+	return gbs(int64(threads*opsFor(threads, bs))*bs, secs)
+}
+
+// --- Phi-Linux (virtio) -------------------------------------------------------
+
+type virtioFio struct{}
+
+func (virtioFio) name() string { return "phi-virtio" }
+
+func (virtioFio) run(write bool, threads int, bs int64) float64 {
+	fab := pcie.New(256 << 20)
+	ssd := nvme.New(fab, "nvme0", 0, fsDiskBytes)
+	phi := fab.AddPhi("phi0", 0, int64(threads)*bs+(64<<20))
+	if err := fs.Mkfs(ssd.Image(), 0); err != nil {
+		panic(err)
+	}
+	vd := baseline.NewVirtioDisk(fab, phi, ssd)
+	var secs float64
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		pl, err := baseline.MountPhiLinux(p, fab, vd, phi)
+		if err != nil {
+			panic(err)
+		}
+		f, err := pl.Create(p, "/bench")
+		if err != nil {
+			panic(err)
+		}
+		if err := f.Truncate(p, fsFileBytes); err != nil {
+			panic(err)
+		}
+		ops := opsFor(threads, bs)
+		offs := workload.Offsets(42, fsFileBytes, bs, threads*ops)
+		start := p.Now()
+		core.Parallel(p, threads, "fio", func(i int, wp *sim.Proc) {
+			buf := pcie.Loc{Dev: phi, Off: phi.Mem.Alloc(bs)}
+			for k := 0; k < ops; k++ {
+				off := offs[i*ops+k]
+				var err error
+				if write {
+					err = pl.Write(wp, f, off, bs, buf)
+				} else {
+					err = pl.Read(wp, f, off, bs, buf)
+				}
+				if err != nil {
+					panic(err)
+				}
+			}
+		})
+		secs = (p.Now() - start).Seconds()
+	})
+	e.MustRun()
+	return gbs(int64(threads*opsFor(threads, bs))*bs, secs)
+}
+
+// --- Phi-Linux (NFS) ----------------------------------------------------------
+
+type nfsFio struct{}
+
+func (nfsFio) name() string { return "phi-nfs" }
+
+func (nfsFio) run(write bool, threads int, bs int64) float64 {
+	fab := pcie.New(256 << 20)
+	ssd := nvme.New(fab, "nvme0", 0, fsDiskBytes)
+	phi := fab.AddPhi("phi0", 0, int64(threads)*bs+(64<<20))
+	if err := fs.Mkfs(ssd.Image(), 0); err != nil {
+		panic(err)
+	}
+	var secs float64
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		fsys, err := fs.Mount(p, fab, block.NVMe{Dev: ssd})
+		if err != nil {
+			panic(err)
+		}
+		nfs := baseline.NewNFS(fab, fsys, phi)
+		f, err := nfs.Create(p, "/bench")
+		if err != nil {
+			panic(err)
+		}
+		if err := f.Truncate(p, fsFileBytes); err != nil {
+			panic(err)
+		}
+		ops := opsFor(threads, bs)
+		offs := workload.Offsets(42, fsFileBytes, bs, threads*ops)
+		start := p.Now()
+		core.Parallel(p, threads, "fio", func(i int, wp *sim.Proc) {
+			buf := pcie.Loc{Dev: phi, Off: phi.Mem.Alloc(bs)}
+			for k := 0; k < ops; k++ {
+				off := offs[i*ops+k]
+				var err error
+				if write {
+					err = nfs.Write(wp, f, off, bs, buf)
+				} else {
+					err = nfs.Read(wp, f, off, bs, buf)
+				}
+				if err != nil {
+					panic(err)
+				}
+			}
+		})
+		secs = (p.Now() - start).Seconds()
+	})
+	e.MustRun()
+	return gbs(int64(threads*opsFor(threads, bs))*bs, secs)
+}
+
+func newSolrosFio() *solrosFio {
+	return &solrosFio{label: "phi-solros", phis: 1, coalesce: true, diskBytes: fsDiskBytes}
+}
+
+func newSolrosCrossNUMAFio() *solrosFio {
+	// Two phis so phi1 lands on socket 1; ForceP2P disables the
+	// control plane's buffered fallback, exposing the QPI relay cap.
+	return &solrosFio{label: "phi-solros-xnuma-p2p", phis: 2, usePhi: 1, forceP2P: true, coalesce: true, diskBytes: fsDiskBytes}
+}
+
+// Fig1a is the headline storage figure: random read throughput vs block
+// size at 8 threads for all five architectures.
+func Fig1a() []Row {
+	systems := []fioSystem{
+		hostFio{},
+		newSolrosFio(),
+		newSolrosCrossNUMAFio(),
+		virtioFio{},
+		nfsFio{},
+	}
+	var rows []Row
+	for _, sys := range systems {
+		for _, bs := range fsBlockSizes {
+			v := sys.run(false, 8, bs)
+			rows = append(rows, row("fig1a", sys.name(), sizeLabel(bs), v, "GB/s"))
+		}
+	}
+	return rows
+}
+
+var fsThreadAxis = []int{1, 4, 8, 32, 61}
+
+// figMatrix runs the Figure 11/12 thread x block-size matrix.
+func figMatrix(fig string, write bool) []Row {
+	systems := []fioSystem{hostFio{}, newSolrosFio(), virtioFio{}, nfsFio{}}
+	var rows []Row
+	for _, sys := range systems {
+		for _, threads := range fsThreadAxis {
+			for _, bs := range fsBlockSizes {
+				v := sys.run(write, threads, bs)
+				rows = append(rows, row(fig,
+					fmt.Sprintf("%s/t=%d", sys.name(), threads), sizeLabel(bs), v, "GB/s"))
+			}
+		}
+	}
+	return rows
+}
+
+// Fig11 is the random-read throughput matrix (§6.1.2).
+func Fig11() []Row { return figMatrix("fig11", false) }
+
+// Fig12 is the random-write throughput matrix (§6.1.2).
+func Fig12() []Row { return figMatrix("fig12", true) }
+
+// Fig13 decomposes the 512 KB random-read latency (a) and the 64 B TCP
+// round trip (b) into layers, comparing Solros against the stock Phi.
+func Fig13() []Row {
+	rows := fig13FS()
+	return append(rows, fig13Net()...)
+}
+
+// fig13FS measures per-512KB-read latency and splits it into storage
+// (flash service), transport (PCIe + driver), and file-system CPU layers
+// using the device's busy-time accounting.
+func fig13FS() []Row {
+	const bs = 512 << 10
+	const ops = 64
+
+	// Solros path.
+	m := core.NewMachine(core.Config{DiskBytes: fsDiskBytes, PhiMemBytes: 96 << 20, ProxyWorkers: 1})
+	var solTotal, solStorage sim.Time
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		phi := mm.Phis[0]
+		fd, _ := phi.FS.Open(p, "/bench", 2)
+		mustTruncate(p, mm, "/bench")
+		offs := workload.Offsets(7, fsFileBytes, bs, ops)
+		buf := phi.FS.AllocBuffer(bs)
+		st0 := mm.SSD.Stats()
+		_ = st0
+		startBusy := flashBusy(mm.SSD)
+		start := p.Now()
+		for _, off := range offs {
+			if _, err := phi.FS.Read(p, fd, off, buf, bs); err != nil {
+				panic(err)
+			}
+		}
+		solTotal = (p.Now() - start) / ops
+		solStorage = (flashBusy(mm.SSD) - startBusy) / ops
+	})
+	solFS := sim.Time(model.FSStubCost + model.FSProxyCost)
+	solTransport := solTotal - solStorage - solFS
+	if solTransport < 0 {
+		solTransport = 0
+	}
+
+	// Stock Phi (virtio) path.
+	fab := pcie.New(256 << 20)
+	ssd := nvme.New(fab, "nvme0", 0, fsDiskBytes)
+	phi := fab.AddPhi("phi0", 0, 96<<20)
+	fs.Mkfs(ssd.Image(), 0)
+	vd := baseline.NewVirtioDisk(fab, phi, ssd)
+	var vTotal, vStorage sim.Time
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		pl, err := baseline.MountPhiLinux(p, fab, vd, phi)
+		if err != nil {
+			panic(err)
+		}
+		f, _ := pl.Create(p, "/bench")
+		f.Truncate(p, fsFileBytes)
+		offs := workload.Offsets(7, fsFileBytes, bs, ops)
+		buf := pcie.Loc{Dev: phi, Off: phi.Mem.Alloc(bs)}
+		startBusy := flashBusy(ssd)
+		start := p.Now()
+		for _, off := range offs {
+			if err := pl.Read(p, f, off, bs, buf); err != nil {
+				panic(err)
+			}
+		}
+		vTotal = (p.Now() - start) / ops
+		vStorage = (flashBusy(ssd) - startBusy) / ops
+	})
+	e.MustRun()
+	vFS := sim.Time(model.FSFullCostPhi)
+	vTransport := vTotal - vStorage - vFS
+	if vTransport < 0 {
+		vTransport = 0
+	}
+
+	ms := func(t sim.Time) float64 { return t.Seconds() * 1e3 }
+	return []Row{
+		row("fig13a", "phi-virtio", "storage", ms(vStorage), "ms"),
+		row("fig13a", "phi-virtio", "block/transport", ms(vTransport), "ms"),
+		row("fig13a", "phi-virtio", "file-system", ms(vFS), "ms"),
+		row("fig13a", "phi-virtio", "total", ms(vTotal), "ms"),
+		row("fig13a", "phi-solros", "storage", ms(solStorage), "ms"),
+		row("fig13a", "phi-solros", "proxy/transport", ms(solTransport), "ms"),
+		row("fig13a", "phi-solros", "fs-stub", ms(solFS), "ms"),
+		row("fig13a", "phi-solros", "total", ms(solTotal), "ms"),
+	}
+}
+
+// flashBusy sums the SSD's read+write backend busy time.
+func flashBusy(d *nvme.Device) sim.Time {
+	return d.FlashBusy()
+}

@@ -1,0 +1,432 @@
+package bench
+
+import (
+	"fmt"
+
+	"solros/internal/controlplane"
+	"solros/internal/core"
+	"solros/internal/cpu"
+	"solros/internal/model"
+	"solros/internal/netstack"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/stats"
+)
+
+// netSystem identifies a server deployment for the network experiments.
+type netSystem string
+
+const (
+	netHost     netSystem = "host"
+	netSolros   netSystem = "phi-solros"
+	netPhiLinux netSystem = "phi-linux"
+)
+
+// tcpLatencies runs `clients` concurrent 64-byte ping-pong connections for
+// `rounds` each against the given server deployment and returns every RTT
+// sample. Concurrency is what spreads the distribution: the stock Phi's
+// serialized stack queues under load, fattening its tail (Figure 1b).
+func tcpLatencies(system netSystem, clients, rounds int) []sim.Time {
+	const port = 7100
+	var samples []sim.Time
+
+	switch system {
+	case netSolros:
+		m := core.NewMachine(core.Config{Phis: 1})
+		m.EnableNetwork()
+		m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+			phi := mm.Phis[0]
+			if err := phi.Net.Listen(p, port); err != nil {
+				panic(err)
+			}
+			done := sim.NewWaitGroup("pingpong")
+			done.Add(2 * clients)
+			for c := 0; c < clients; c++ {
+				p.Spawn("phi-server", func(sp *sim.Proc) {
+					defer sp.DoneWG(done)
+					sock, err := phi.Net.Accept(sp, port)
+					if err != nil {
+						return
+					}
+					for r := 0; r < rounds; r++ {
+						msg, err := sock.RecvFull(sp, 64)
+						if err != nil || len(msg) != 64 {
+							return
+						}
+						sock.Send(sp, msg)
+					}
+				})
+			}
+			for c := 0; c < clients; c++ {
+				p.Spawn("client", func(cp *sim.Proc) {
+					defer cp.DoneWG(done)
+					cp.Advance(100 * sim.Microsecond)
+					conn, err := m.ClientStack.Dial(cp, m.HostStack, port)
+					if err != nil {
+						panic(err)
+					}
+					side := conn.Side(m.ClientStack)
+					msg := make([]byte, 64)
+					for r := 0; r < rounds; r++ {
+						start := cp.Now()
+						side.Send(cp, msg)
+						side.RecvFull(cp, 64)
+						samples = append(samples, cp.Now()-start)
+					}
+					side.Close(cp)
+				})
+			}
+			p.WaitWG(done)
+		})
+		return samples
+
+	case netHost, netPhiLinux:
+		fab := pcie.New(128 << 20)
+		var bridge *pcie.Device
+		kind := cpu.Host
+		serialized := false
+		if system == netPhiLinux {
+			bridge = fab.AddPhi("phi0", 0, 1<<20)
+			kind = cpu.Phi
+			serialized = true
+		}
+		net := netstack.NewNetwork(fab)
+		client := net.NewStack("client", cpu.Host, nil)
+		server := net.NewStack("server", kind, bridge)
+		server.Serialized = serialized
+		e := sim.NewEngine()
+		l, err := server.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		wg := sim.NewWaitGroup("pp")
+		wg.Add(2 * clients)
+		for c := 0; c < clients; c++ {
+			e.Spawn("server", 0, func(sp *sim.Proc) {
+				defer sp.DoneWG(wg)
+				conn, ok := l.Accept(sp)
+				if !ok {
+					return
+				}
+				side := conn.Side(server)
+				for r := 0; r < rounds; r++ {
+					msg, err := side.RecvFull(sp, 64)
+					if err != nil || len(msg) != 64 {
+						return
+					}
+					side.Send(sp, msg)
+				}
+			})
+			e.Spawn("client", 0, func(cp *sim.Proc) {
+				defer cp.DoneWG(wg)
+				cp.Advance(20 * sim.Microsecond)
+				conn, err := client.Dial(cp, server, port)
+				if err != nil {
+					panic(err)
+				}
+				side := conn.Side(client)
+				msg := make([]byte, 64)
+				for r := 0; r < rounds; r++ {
+					start := cp.Now()
+					side.Send(cp, msg)
+					side.RecvFull(cp, 64)
+					samples = append(samples, cp.Now()-start)
+				}
+				side.Close(cp)
+			})
+		}
+		e.Spawn("join", 0, func(p *sim.Proc) { p.WaitWG(wg) })
+		e.MustRun()
+		return samples
+	}
+	panic("unknown system " + string(system))
+}
+
+var latencyPercentiles = []float64{10, 25, 50, 75, 90, 95, 99}
+
+// toSample folds raw RTTs into a stats.Sample.
+func toSample(xs []sim.Time) *stats.Sample {
+	var s stats.Sample
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return &s
+}
+
+// Fig1b is the headline network figure: the 64 B message latency
+// distribution for host, Phi-Solros, and stock Phi endpoints.
+func Fig1b() []Row {
+	var rows []Row
+	for _, sys := range []netSystem{netHost, netSolros, netPhiLinux} {
+		s := toSample(tcpLatencies(sys, 16, 40))
+		for _, pct := range latencyPercentiles {
+			rows = append(rows, row("fig1b", string(sys), fmt.Sprintf("p%.0f", pct),
+				s.Percentile(pct).Seconds()*1e6, "us"))
+		}
+	}
+	return rows
+}
+
+// Fig15 reports the same experiment as tail-latency summary rows
+// (reconstructed from §6.1.3's latency discussion).
+func Fig15() []Row {
+	var rows []Row
+	for _, sys := range []netSystem{netHost, netSolros, netPhiLinux} {
+		s := toSample(tcpLatencies(sys, 16, 40))
+		for _, pct := range []float64{50, 90, 99} {
+			rows = append(rows, row("fig15", string(sys), fmt.Sprintf("p%.0f", pct),
+				s.Percentile(pct).Seconds()*1e6, "us"))
+		}
+	}
+	return rows
+}
+
+// fig13Net decomposes the 64 B round trip into protocol-stack time and
+// proxy/transport time for Solros vs the stock Phi (Figure 13b).
+func fig13Net() []Row {
+	meanRTT := func(sys netSystem) sim.Time {
+		return toSample(tcpLatencies(sys, 1, 50)).Mean()
+	}
+	sol := meanRTT(netSolros)
+	phi := meanRTT(netPhiLinux)
+
+	// Per round trip the server-side stack touches 2 segments; the
+	// client contributes identically in both deployments, so we report
+	// the server-side split.
+	hostStack := 2 * model.TCPSegmentCost
+	phiStack := 2 * model.TCPSegmentCost * sim.Time(cpu.Phi.SystemsSlowdown())
+	us := func(t sim.Time) float64 { return t.Seconds() * 1e6 }
+	wire := 2 * model.WireLatency
+	solProxy := sol - hostStack - wire
+	phiRest := phi - phiStack - wire
+	if solProxy < 0 {
+		solProxy = 0
+	}
+	if phiRest < 0 {
+		phiRest = 0
+	}
+	return []Row{
+		row("fig13b", "phi-linux", "network-stack", us(phiStack), "us"),
+		row("fig13b", "phi-linux", "bridge/wire", us(phi-phiStack), "us"),
+		row("fig13b", "phi-linux", "total-rtt", us(phi), "us"),
+		row("fig13b", "phi-solros", "network-stack(host)", us(hostStack), "us"),
+		row("fig13b", "phi-solros", "proxy/transport", us(solProxy), "us"),
+		row("fig13b", "phi-solros", "total-rtt", us(sol), "us"),
+	}
+}
+
+// Fig14 sweeps message size for a request-sink throughput test: the
+// client streams messages of the given size; the server consumes them
+// (reconstructed network-throughput figure).
+func Fig14() []Row {
+	sizes := []int{64, 512, 4 << 10, 16 << 10, 64 << 10}
+	const perPoint = 4 << 20
+	var rows []Row
+	for _, sys := range []netSystem{netHost, netSolros, netPhiLinux} {
+		for _, size := range sizes {
+			count := perPoint / size
+			if count < 16 {
+				count = 16
+			}
+			g := tcpSinkThroughput(sys, size, count)
+			rows = append(rows, row("fig14", string(sys), sizeLabel(int64(size)), g, "Gb/s"))
+		}
+	}
+	return rows
+}
+
+// tcpSinkThroughput measures client->server goodput in Gb/s.
+func tcpSinkThroughput(system netSystem, msgSize, count int) float64 {
+	const port = 7200
+	total := int64(msgSize) * int64(count)
+	var elapsed sim.Time
+
+	switch system {
+	case netSolros:
+		m := core.NewMachine(core.Config{Phis: 1})
+		m.EnableNetwork()
+		m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+			phi := mm.Phis[0]
+			phi.Net.Listen(p, port)
+			done := sim.NewWaitGroup("sink")
+			done.Add(2)
+			p.Spawn("phi-sink", func(sp *sim.Proc) {
+				defer sp.DoneWG(done)
+				sock, err := phi.Net.Accept(sp, port)
+				if err != nil {
+					return
+				}
+				start := sp.Now()
+				got, _ := sock.RecvFull(sp, int(total))
+				if int64(len(got)) == total {
+					elapsed = sp.Now() - start
+				}
+			})
+			p.Spawn("client", func(cp *sim.Proc) {
+				defer cp.DoneWG(done)
+				cp.Advance(50 * sim.Microsecond)
+				conn, err := m.ClientStack.Dial(cp, m.HostStack, port)
+				if err != nil {
+					panic(err)
+				}
+				side := conn.Side(m.ClientStack)
+				msg := make([]byte, msgSize)
+				for i := 0; i < count; i++ {
+					side.Send(cp, msg)
+				}
+				side.Close(cp)
+			})
+			p.WaitWG(done)
+		})
+
+	case netHost, netPhiLinux:
+		fab := pcie.New(128 << 20)
+		var bridge *pcie.Device
+		kind := cpu.Host
+		if system == netPhiLinux {
+			bridge = fab.AddPhi("phi0", 0, 1<<20)
+			kind = cpu.Phi
+		}
+		net := netstack.NewNetwork(fab)
+		client := net.NewStack("client", cpu.Host, nil)
+		server := net.NewStack("server", kind, bridge)
+		server.Serialized = system == netPhiLinux
+		e := sim.NewEngine()
+		l, _ := server.Listen(port)
+		e.Spawn("server", 0, func(sp *sim.Proc) {
+			conn, ok := l.Accept(sp)
+			if !ok {
+				return
+			}
+			start := sp.Now()
+			got, _ := conn.Side(server).RecvFull(sp, int(total))
+			if int64(len(got)) == total {
+				elapsed = sp.Now() - start
+			}
+		})
+		e.Spawn("client", 0, func(cp *sim.Proc) {
+			cp.Advance(20 * sim.Microsecond)
+			conn, err := client.Dial(cp, server, port)
+			if err != nil {
+				panic(err)
+			}
+			side := conn.Side(client)
+			msg := make([]byte, msgSize)
+			for i := 0; i < count; i++ {
+				side.Send(cp, msg)
+			}
+			side.Close(cp)
+		})
+		e.MustRun()
+	}
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(total) * 8 / elapsed.Seconds() / 1e9
+}
+
+// Fig16 scales the shared listening socket across co-processor counts:
+// aggregate request throughput for a 64 B request / 1 KB response service
+// with per-request co-processor compute (reconstructed from §4.4.3's
+// design and §6's scalability discussion). Both of the paper's forwarding
+// rules run: connection-based round robin and content-based hashing.
+func Fig16() []Row {
+	var rows []Row
+	rows = append(rows, fig16Series("round-robin", nil)...)
+	rows = append(rows, fig16Series("content-hash", func() controlplane.Balancer {
+		return &controlplane.ContentBalancer{Key: controlplane.FNV1a}
+	})...)
+	return rows
+}
+
+func fig16Series(name string, mkBalancer func() controlplane.Balancer) []Row {
+	const (
+		port        = 7300
+		connPerPhi  = 8
+		reqsPerConn = 40
+		respBytes   = 1024
+	)
+	var rows []Row
+	for _, phis := range []int{1, 2, 4} {
+		m := core.NewMachine(core.Config{Phis: phis})
+		m.EnableNetwork()
+		conns := connPerPhi * phis
+		var elapsed sim.Time
+		var served int64
+		m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+			if mkBalancer != nil {
+				mm.TCPProxy.Balance = mkBalancer()
+			}
+			for _, phi := range mm.Phis {
+				if err := phi.Net.Listen(p, port); err != nil {
+					panic(err)
+				}
+			}
+			// With content-based sharding per-phi connection counts are
+			// hash-dependent, so servers loop until the proxy is
+			// stopped rather than expecting a fixed share.
+			done := sim.NewWaitGroup("kv-clients")
+			done.Add(conns)
+			serversDone := sim.NewWaitGroup("kv-servers")
+			for _, phi := range mm.Phis {
+				phi := phi
+				for c := 0; c < connPerPhi; c++ {
+					c := c
+					serversDone.Add(1)
+					p.Spawn("kv-server", func(sp *sim.Proc) {
+						defer sp.DoneWG(serversDone)
+						resp := make([]byte, respBytes)
+						core := phi.Pool.Core(c)
+						for {
+							sock, err := phi.Net.Accept(sp, port)
+							if err != nil {
+								return
+							}
+							for {
+								req, err := sock.RecvFull(sp, 64)
+								if err != nil || len(req) != 64 {
+									break
+								}
+								// Per-request service compute on
+								// the co-processor (hash + lookup).
+								core.Compute(sp, 10*sim.Microsecond)
+								sock.Send(sp, resp)
+								served++
+							}
+						}
+					})
+				}
+			}
+			start := p.Now()
+			for c := 0; c < conns; c++ {
+				c := c
+				p.Spawn("kv-client", func(cp *sim.Proc) {
+					defer cp.DoneWG(done)
+					cp.Advance(100 * sim.Microsecond)
+					conn, err := m.ClientStack.Dial(cp, m.HostStack, port)
+					if err != nil {
+						panic(err)
+					}
+					side := conn.Side(m.ClientStack)
+					req := make([]byte, 64)
+					req[0], req[1] = byte(c), byte(c>>8) // shard key
+					for r := 0; r < reqsPerConn; r++ {
+						side.Send(cp, req)
+						if _, err := side.RecvFull(cp, respBytes); err != nil {
+							return
+						}
+					}
+					side.Close(cp)
+				})
+			}
+			p.WaitWG(done)
+			elapsed = p.Now() - start
+			mm.TCPProxy.Stop(p)
+			p.WaitWG(serversDone)
+		})
+		total := float64(conns * reqsPerConn)
+		rows = append(rows, row("fig16", name, fmt.Sprintf("%d", phis),
+			total/elapsed.Seconds()/1000, "Kreq/s"))
+	}
+	return rows
+}

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"solros/internal/cpu"
+	"solros/internal/model"
+	"solros/internal/pcie"
+	"solros/internal/queue"
+	"solros/internal/ringbuf"
+	"solros/internal/sim"
+	"solros/internal/transport"
+)
+
+// Fig4 characterizes the PCIe fabric (the paper's calibration figure):
+// bandwidth of DMA and load/store transfers in both directions for sizes
+// 64 B - 8 MB. These series are what every other experiment's data paths
+// are built from.
+func Fig4() []Row {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 32<<20)
+	sizes := []int64{64, 512, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 1 << 20, 4 << 20, 8 << 20}
+	var rows []Row
+	for _, dir := range []string{"phi->host", "host->phi"} {
+		src, dst := pcie.Loc{Dev: phi}, pcie.Loc{}
+		if dir == "host->phi" {
+			src, dst = pcie.Loc{}, pcie.Loc{Dev: phi}
+		}
+		for _, mech := range []string{"dma-host-init", "dma-phi-init", "memcpy-host", "memcpy-phi"} {
+			for _, n := range sizes {
+				var t sim.Time
+				switch mech {
+				case "dma-host-init":
+					t = fab.DMATime(cpu.Host, src, dst, n)
+				case "dma-phi-init":
+					t = fab.DMATime(cpu.Phi, src, dst, n)
+				case "memcpy-host":
+					t = pcie.MemcpyTime(cpu.Host, n)
+				case "memcpy-phi":
+					t = pcie.MemcpyTime(cpu.Phi, n)
+				}
+				rows = append(rows, row("fig4", dir+"/"+mech, sizeLabel(n), mbs(n, t.Seconds()), "MB/s"))
+			}
+		}
+	}
+	return rows
+}
+
+// fig8Threads is the thread axis for the scalability experiments.
+var fig8Threads = []int{1, 2, 4, 8, 16, 32, 61}
+
+// Fig8 is the real-concurrency enqueue-dequeue pair benchmark (§6.1.1):
+// 64-byte elements, the combining ring vs the two-lock queue under ticket
+// and MCS spinlocks. It runs actual goroutines and measures wall-clock
+// throughput, so absolute numbers depend on the machine; the claim is the
+// ordering at high thread counts.
+func Fig8() []Row {
+	const duration = 150 * time.Millisecond
+	payload := make([]byte, 64)
+	var rows []Row
+	for _, algo := range []string{"solros-combining", "two-lock-ticket", "two-lock-mcs"} {
+		for _, threads := range fig8Threads {
+			pairs := runPairBenchmark(algo, threads, duration, payload)
+			rows = append(rows, row("fig8", algo, fmt.Sprintf("%d", threads),
+				float64(pairs)/duration.Seconds()/1000, "Kpairs/s"))
+		}
+	}
+	return rows
+}
+
+// runPairBenchmark spins `threads` goroutines each alternating enqueue and
+// dequeue for the duration, returning completed pairs.
+func runPairBenchmark(algo string, threads int, d time.Duration, payload []byte) int64 {
+	var stop atomic.Bool
+	var pairs atomic.Int64
+
+	var enqueue func() bool
+	var dequeue func() bool
+	switch algo {
+	case "solros-combining":
+		r := ringbuf.New(1<<20, 4096, model.CombineBatch)
+		enqueue = func() bool {
+			e, err := r.Enqueue(len(payload))
+			if err != nil {
+				return false
+			}
+			e.CopyIn(payload)
+			e.SetReady()
+			return true
+		}
+		dequeue = func() bool {
+			e, err := r.Dequeue()
+			if err != nil {
+				return false
+			}
+			e.SetDone()
+			return true
+		}
+	case "two-lock-ticket", "two-lock-mcs":
+		var q *queue.TwoLock
+		if algo == "two-lock-ticket" {
+			q = queue.NewTwoLockTicket()
+		} else {
+			q = queue.NewTwoLockMCS()
+		}
+		enqueue = func() bool { q.Enqueue(payload); return true }
+		dequeue = func() bool { _, ok := q.Dequeue(); return ok }
+	default:
+		panic("unknown algo " + algo)
+	}
+
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for !stop.Load() {
+				if !enqueue() {
+					runtime.Gosched()
+					continue
+				}
+				for !dequeue() {
+					if stop.Load() {
+						pairs.Add(local)
+						return
+					}
+					runtime.Gosched()
+				}
+				local++
+			}
+			pairs.Add(local)
+		}()
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return pairs.Load()
+}
+
+// ringStream measures one-way message throughput over a PCIe ring in
+// virtual time: senders on one end, one receiver on the other.
+func ringStream(phiSends bool, senders, msgSize, perSender int, opt transport.Options) float64 {
+	fab := pcie.New(256 << 20)
+	phi := fab.AddPhi("phi0", 0, 256<<20)
+	opt.CapBytes = 4 << 20
+	if int64(8*msgSize) > opt.CapBytes {
+		opt.CapBytes = int64(8 * msgSize)
+	}
+	opt.Slots = 2048
+	var master *pcie.Device
+	if phiSends {
+		master = phi // §4.2.2: master at the sender side
+	}
+	ring := transport.NewRing(fab, master, opt)
+	var recvPort *transport.Port
+	if phiSends {
+		recvPort = ring.Port(nil, cpu.Host)
+	} else {
+		recvPort = ring.Port(phi, cpu.Phi)
+	}
+	total := senders * perSender
+	var end sim.Time
+	e := sim.NewEngine()
+	for s := 0; s < senders; s++ {
+		var sp *transport.Port
+		if phiSends {
+			sp = ring.Port(phi, cpu.Phi)
+		} else {
+			sp = ring.Port(nil, cpu.Host)
+		}
+		e.Spawn("sender", 0, func(p *sim.Proc) {
+			msg := make([]byte, msgSize)
+			for i := 0; i < perSender; i++ {
+				sp.Send(p, msg)
+			}
+		})
+	}
+	e.Spawn("receiver", 0, func(p *sim.Proc) {
+		for i := 0; i < total; i++ {
+			if _, ok := recvPort.Recv(p); !ok {
+				return
+			}
+		}
+		end = p.Now()
+	})
+	e.MustRun()
+	return float64(total) / end.Seconds()
+}
+
+// ringStreamMasterHost measures a phi->host stream over a ring whose
+// master (storage) lives in host memory — the wrong placement per §4.2.2,
+// used as an ablation.
+func ringStreamMasterHost(senders, msgSize, perSender int) float64 {
+	fab := pcie.New(256 << 20)
+	phi := fab.AddPhi("phi0", 0, 256<<20)
+	ring := transport.NewRing(fab, nil, transport.Options{CapBytes: 4 << 20, Slots: 2048})
+	recvPort := ring.Port(nil, cpu.Host)
+	total := senders * perSender
+	var end sim.Time
+	e := sim.NewEngine()
+	for s := 0; s < senders; s++ {
+		sp := ring.Port(phi, cpu.Phi)
+		e.Spawn("sender", 0, func(p *sim.Proc) {
+			msg := make([]byte, msgSize)
+			for i := 0; i < perSender; i++ {
+				sp.Send(p, msg)
+			}
+		})
+	}
+	e.Spawn("receiver", 0, func(p *sim.Proc) {
+		for i := 0; i < total; i++ {
+			if _, ok := recvPort.Recv(p); !ok {
+				return
+			}
+		}
+		end = p.Now()
+	})
+	e.MustRun()
+	return float64(total) / end.Seconds()
+}
+
+// Fig9 compares lazy vs eager control-variable replication across thread
+// counts, both directions, 64-byte elements (§6.1.1, "Optimization for
+// PCIe").
+func Fig9() []Row {
+	var rows []Row
+	per := 400
+	for _, dir := range []struct {
+		name     string
+		phiSends bool
+	}{{"phi->host", true}, {"host->phi", false}} {
+		for _, mode := range []struct {
+			name string
+			m    transport.UpdateMode
+		}{{"lazy", transport.Lazy}, {"eager", transport.Eager}} {
+			for _, threads := range fig8Threads {
+				ops := ringStream(dir.phiSends, threads, 64, per, transport.Options{Update: mode.m})
+				rows = append(rows, row("fig9", dir.name+"/"+mode.name,
+					fmt.Sprintf("%d", threads), ops/1000, "Kops/s"))
+			}
+		}
+	}
+	return rows
+}
+
+// Fig10 sweeps element size with eight concurrent senders under the three
+// copy mechanisms (§6.1.1, Figure 10): memcpy wins small, DMA wins large,
+// adaptive tracks the winner.
+func Fig10() []Row {
+	sizes := []int64{512, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 1 << 20, 4 << 20}
+	var rows []Row
+	for _, mech := range []struct {
+		name string
+		m    pcie.Mech
+	}{{"memcpy", pcie.Memcpy}, {"dma", pcie.DMA}, {"adaptive", pcie.Adaptive}} {
+		for _, size := range sizes {
+			per := 64
+			if size >= 1<<20 {
+				per = 8
+			}
+			ops := ringStream(true, 8, int(size), per, transport.Options{Copy: mech.m})
+			rows = append(rows, row("fig10", mech.name, sizeLabel(size),
+				gbs(int64(float64(size)*ops), 1), "GB/s"))
+		}
+	}
+	return rows
+}

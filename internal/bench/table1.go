@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Table1 is the analog of the paper's Table 1 ("Summary of lines of
+// modifications"): lines of Go code per module of this reproduction,
+// split into implementation and tests.
+func Table1() []Row {
+	root := repoRoot()
+	counts := map[string][2]int{} // module -> [impl, test]
+	filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return nil
+		}
+		parts := strings.Split(filepath.ToSlash(rel), "/")
+		var module string
+		switch parts[0] {
+		case "internal":
+			if len(parts) < 2 {
+				return nil
+			}
+			module = "internal/" + parts[1]
+			if parts[1] == "apps" && len(parts) > 2 {
+				module = "internal/apps/" + parts[2]
+			}
+		case "cmd", "examples":
+			module = parts[0]
+		default:
+			module = "(root)"
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil
+		}
+		lines := strings.Count(string(data), "\n")
+		c := counts[module]
+		if strings.HasSuffix(path, "_test.go") {
+			c[1] += lines
+		} else {
+			c[0] += lines
+		}
+		counts[module] = c
+		return nil
+	})
+	modules := make([]string, 0, len(counts))
+	for m := range counts {
+		modules = append(modules, m)
+	}
+	sort.Strings(modules)
+	var rows []Row
+	totalImpl, totalTest := 0, 0
+	for _, m := range modules {
+		c := counts[m]
+		rows = append(rows, row("table1", m, "impl", float64(c[0]), "lines"))
+		rows = append(rows, row("table1", m, "test", float64(c[1]), "lines"))
+		totalImpl += c[0]
+		totalTest += c[1]
+	}
+	rows = append(rows, row("table1", "TOTAL", "impl", float64(totalImpl), "lines"))
+	rows = append(rows, row("table1", "TOTAL", "test", float64(totalTest), "lines"))
+	return rows
+}
+
+// repoRoot locates the module root from this source file's position.
+func repoRoot() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "."
+	}
+	// file = <root>/internal/bench/table1.go
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}

@@ -1,0 +1,81 @@
+package block
+
+import (
+	"bytes"
+	"testing"
+
+	"solros/internal/nvme"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+func TestMemDiskRoundTrip(t *testing.T) {
+	fab := pcie.New(1 << 20)
+	d := NewMemDisk(fab, 1<<20)
+	want := bytes.Repeat([]byte{0xAB}, 8192)
+	copy(fab.HostRAM.Slice(0, 8192), want)
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		if err := d.Vector(p, []Op{{Write: true, Off: 4096, Bytes: 8192, Target: pcie.Loc{}}}, true); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.Vector(p, []Op{{Off: 4096, Bytes: 8192, Target: pcie.Loc{Off: 65536}}}, true); err != nil {
+			t.Error(err)
+			return
+		}
+	})
+	e.MustRun()
+	if !bytes.Equal(fab.HostRAM.Slice(65536, 8192), want) {
+		t.Fatal("round trip corrupted")
+	}
+}
+
+func TestMemDiskBounds(t *testing.T) {
+	fab := pcie.New(1 << 20)
+	d := NewMemDisk(fab, 4096)
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		if err := d.Vector(p, []Op{{Off: 0, Bytes: 8192, Target: pcie.Loc{}}}, true); err == nil {
+			t.Error("out-of-range read accepted")
+		}
+		if err := d.Vector(p, []Op{{Off: -512, Bytes: 512, Target: pcie.Loc{}}}, true); err == nil {
+			t.Error("negative offset accepted")
+		}
+	})
+	e.MustRun()
+}
+
+func TestNVMeAdapterAlignment(t *testing.T) {
+	fab := pcie.New(4 << 20)
+	ssd := nvme.New(fab, "n", 0, 1<<20)
+	ad := NVMe{Dev: ssd}
+	if ad.Capacity() != 1<<20 {
+		t.Fatal("capacity mismatch")
+	}
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		if err := ad.Vector(p, []Op{{Off: 100, Bytes: 512, Target: pcie.Loc{}}}, true); err == nil {
+			t.Error("unaligned offset accepted")
+		}
+		if err := ad.Vector(p, []Op{{Off: 512, Bytes: 512, Target: pcie.Loc{}}}, true); err != nil {
+			t.Error(err)
+		}
+	})
+	e.MustRun()
+}
+
+func TestWrapImageSharesBacking(t *testing.T) {
+	fab := pcie.New(1 << 20)
+	img := pcie.NewMemory(8192)
+	d := WrapImage(fab, img)
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		copy(fab.HostRAM.Slice(0, 4), []byte("data"))
+		d.Vector(p, []Op{{Write: true, Off: 0, Bytes: 4, Target: pcie.Loc{}}}, true)
+	})
+	e.MustRun()
+	if !bytes.Equal(img.Slice(0, 4), []byte("data")) {
+		t.Fatal("WrapImage does not share the image backing")
+	}
+}

@@ -1,0 +1,129 @@
+// Package cache implements the control-plane OS's shared host-side buffer
+// cache (§4.3.2): an LRU page cache in host RAM, shared by all data-plane
+// OSes, used by the file-system proxy's buffered mode and its prefetching
+// of files accessed by multiple co-processors.
+package cache
+
+import (
+	"container/list"
+
+	"solros/internal/pcie"
+)
+
+// PageSize matches the file-system block size.
+const PageSize = 4096
+
+// key identifies a cached page: an inode and a file block index.
+type key struct {
+	Ino uint32
+	Blk int64
+}
+
+type page struct {
+	k   key
+	loc pcie.Loc
+	elt *list.Element
+}
+
+// Cache is a fixed-capacity LRU page cache backed by host RAM.
+type Cache struct {
+	pages    map[key]*page
+	lru      *list.List // front = most recent
+	freeLocs []pcie.Loc
+	capacity int
+
+	hits, misses, evictions int64
+}
+
+// New carves capacityBytes of page frames out of host RAM.
+func New(fab *pcie.Fabric, capacityBytes int64) *Cache {
+	n := int(capacityBytes / PageSize)
+	if n < 1 {
+		n = 1
+	}
+	c := &Cache{
+		pages:    make(map[key]*page, n),
+		lru:      list.New(),
+		capacity: n,
+	}
+	base := fab.HostRAM.Alloc(int64(n) * PageSize)
+	for i := 0; i < n; i++ {
+		c.freeLocs = append(c.freeLocs, pcie.Loc{Off: base + int64(i)*PageSize})
+	}
+	return c
+}
+
+// Lookup returns the page frame holding (ino, blk) if cached, promoting it
+// to most-recently-used.
+func (c *Cache) Lookup(ino uint32, blk int64) (pcie.Loc, bool) {
+	pg, ok := c.pages[key{ino, blk}]
+	if !ok {
+		c.misses++
+		return pcie.Loc{}, false
+	}
+	c.hits++
+	c.lru.MoveToFront(pg.elt)
+	return pg.loc, true
+}
+
+// Insert returns a frame for (ino, blk), evicting the LRU page if needed.
+// The caller fills the frame (e.g. by DMA from the SSD). If the page is
+// already cached its existing frame is returned.
+func (c *Cache) Insert(ino uint32, blk int64) pcie.Loc {
+	k := key{ino, blk}
+	if pg, ok := c.pages[k]; ok {
+		c.lru.MoveToFront(pg.elt)
+		return pg.loc
+	}
+	var loc pcie.Loc
+	if len(c.freeLocs) > 0 {
+		loc = c.freeLocs[len(c.freeLocs)-1]
+		c.freeLocs = c.freeLocs[:len(c.freeLocs)-1]
+	} else {
+		victim := c.lru.Back().Value.(*page)
+		c.lru.Remove(victim.elt)
+		delete(c.pages, victim.k)
+		c.evictions++
+		loc = victim.loc
+	}
+	pg := &page{k: k, loc: loc}
+	pg.elt = c.lru.PushFront(pg)
+	c.pages[k] = pg
+	return loc
+}
+
+// Invalidate drops every cached page of the inode (unlink, truncate,
+// uncached write).
+func (c *Cache) Invalidate(ino uint32) {
+	for k, pg := range c.pages {
+		if k.Ino == ino {
+			c.lru.Remove(pg.elt)
+			delete(c.pages, k)
+			c.freeLocs = append(c.freeLocs, pg.loc)
+		}
+	}
+}
+
+// InvalidateRange drops cached pages overlapping [off, off+n) of the inode.
+func (c *Cache) InvalidateRange(ino uint32, off, n int64) {
+	first := off / PageSize
+	last := (off + n - 1) / PageSize
+	for blk := first; blk <= last; blk++ {
+		if pg, ok := c.pages[key{ino, blk}]; ok {
+			c.lru.Remove(pg.elt)
+			delete(c.pages, key{ino, blk})
+			c.freeLocs = append(c.freeLocs, pg.loc)
+		}
+	}
+}
+
+// Stats reports hits, misses, and evictions.
+func (c *Cache) Stats() (hits, misses, evictions int64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// Len reports the number of resident pages.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Capacity reports the page-frame count.
+func (c *Cache) Capacity() int { return c.capacity }

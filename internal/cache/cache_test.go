@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"testing"
+
+	"solros/internal/pcie"
+)
+
+func newCache(pages int) *Cache {
+	fab := pcie.New(int64(pages+8) * PageSize)
+	return New(fab, int64(pages)*PageSize)
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newCache(4)
+	if _, ok := c.Lookup(1, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	loc := c.Insert(1, 0)
+	got, ok := c.Lookup(1, 0)
+	if !ok || got != loc {
+		t.Fatalf("lookup after insert: ok=%v", ok)
+	}
+	h, m, _ := c.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("stats hits=%d misses=%d", h, m)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newCache(2)
+	c.Insert(1, 0)
+	c.Insert(1, 1)
+	c.Lookup(1, 0) // promote block 0
+	c.Insert(1, 2) // must evict block 1
+	if _, ok := c.Lookup(1, 1); ok {
+		t.Fatal("LRU victim still cached")
+	}
+	if _, ok := c.Lookup(1, 0); !ok {
+		t.Fatal("recently used page evicted")
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestInsertExistingReturnsSameFrame(t *testing.T) {
+	c := newCache(4)
+	a := c.Insert(3, 7)
+	b := c.Insert(3, 7)
+	if a != b {
+		t.Fatal("re-insert moved the page to a different frame")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newCache(8)
+	for blk := int64(0); blk < 4; blk++ {
+		c.Insert(9, blk)
+	}
+	c.Insert(10, 0)
+	c.Invalidate(9)
+	if c.Len() != 1 {
+		t.Fatalf("len after invalidate = %d, want 1", c.Len())
+	}
+	if _, ok := c.Lookup(10, 0); !ok {
+		t.Fatal("unrelated inode's page dropped")
+	}
+	// Frames must be reusable.
+	for blk := int64(0); blk < 7; blk++ {
+		c.Insert(11, blk)
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want 8", c.Len())
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c := newCache(8)
+	for blk := int64(0); blk < 6; blk++ {
+		c.Insert(5, blk)
+	}
+	c.InvalidateRange(5, 1*PageSize, 2*PageSize) // blocks 1,2
+	for blk := int64(0); blk < 6; blk++ {
+		_, ok := c.Lookup(5, blk)
+		want := blk != 1 && blk != 2
+		if ok != want {
+			t.Fatalf("block %d cached=%v want %v", blk, ok, want)
+		}
+	}
+}
+
+func TestDistinctInodesDistinctPages(t *testing.T) {
+	c := newCache(4)
+	a := c.Insert(1, 0)
+	b := c.Insert(2, 0)
+	if a == b {
+		t.Fatal("different inodes share a frame")
+	}
+}

@@ -1,0 +1,54 @@
+package controlplane
+
+import (
+	"testing"
+
+	"solros/internal/pcie"
+)
+
+func devs(n int) []*pcie.Device {
+	f := pcie.New(1 << 20)
+	out := make([]*pcie.Device, n)
+	for i := range out {
+		out[i] = f.AddPhi("phi", 0, 4096)
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := &RoundRobin{}
+	members := devs(3)
+	load := []int{0, 0, 0}
+	got := []int{}
+	for i := 0; i < 7; i++ {
+		got = append(got, rr.Pick(80, members, load))
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pick sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLeastLoadedPicksMin(t *testing.T) {
+	ll := LeastLoaded{}
+	members := devs(4)
+	if got := ll.Pick(80, members, []int{3, 1, 4, 1}); got != 1 {
+		t.Fatalf("pick = %d, want 1 (first minimum)", got)
+	}
+	if got := ll.Pick(80, members, []int{0, 0, 0, 0}); got != 0 {
+		t.Fatalf("pick = %d, want 0 on ties", got)
+	}
+}
+
+func TestPortEncoding(t *testing.T) {
+	for _, port := range []int{0, 80, 8080, 65535} {
+		if got := DecodePort(encodePort(port)); got != port {
+			t.Fatalf("port %d round-tripped to %d", port, got)
+		}
+	}
+	if DecodePort(nil) != 0 || DecodePort([]byte{1}) != 0 {
+		t.Fatal("short payload should decode to 0")
+	}
+}

@@ -1,0 +1,606 @@
+// Package controlplane implements the host side of Solros: the
+// file-system proxy with its data-path policy (peer-to-peer vs. buffered,
+// §4.3.2), the shared host-side buffer cache, and — in tcpproxy.go — the
+// network proxy with the shared listening socket and pluggable load
+// balancing (§4.4).
+package controlplane
+
+import (
+	"fmt"
+	"strings"
+
+	"solros/internal/cache"
+	"solros/internal/cpu"
+	"solros/internal/fs"
+	"solros/internal/model"
+	"solros/internal/ninep"
+	"solros/internal/nvme"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/transport"
+)
+
+// DataPath labels which mode served a transfer, for stats and tests.
+type DataPath int
+
+const (
+	// PathP2P is a direct disk <-> co-processor DMA.
+	PathP2P DataPath = iota
+	// PathBuffered stages through the host buffer cache.
+	PathBuffered
+	// PathCacheHit served entirely from the cache.
+	PathCacheHit
+)
+
+// FSProxy is the control-plane file-system service: it pulls RPCs from
+// every co-processor's request ring, executes them against the host file
+// system, and picks the data path using system-wide knowledge (PCIe
+// topology, cache residency, open flags).
+type FSProxy struct {
+	FS    *fs.FS
+	SSD   *nvme.Device
+	Cache *cache.Cache
+
+	fabric *pcie.Fabric
+	// Coalesce enables the optimized IO-vector driver (§5); disabling it
+	// is the ablation that shows why Solros can beat the host (Fig 1a).
+	Coalesce bool
+	// ForceP2P disables the topology check (ablation for the cross-NUMA
+	// series in Fig 1a).
+	ForceP2P bool
+	// DisableCache bypasses the shared buffer cache (ablation).
+	DisableCache bool
+
+	// AutoPrefetch watches file popularity: once a file has been read
+	// by more than one co-processor, the proxy pulls it into the shared
+	// cache in the background so later readers hit host memory (§4.3:
+	// the control plane "prefetches frequently accessed files from
+	// multiple co-processors"). Enabled by default.
+	AutoPrefetch bool
+
+	channels []*channel
+	opens    map[uint32]*openFile
+	readers  map[uint32]map[*pcie.Device]bool // ino -> co-processors that read it
+	fetching map[uint32]bool
+
+	// stats
+	p2pOps, bufferedOps, cacheHitOps, prefetches int64
+}
+
+type channel struct {
+	phi  *pcie.Device
+	req  *transport.Port
+	resp *transport.Port
+}
+
+type openFile struct {
+	f     *fs.File
+	phi   *pcie.Device
+	flags uint32
+	path  string
+}
+
+// NewFSProxy builds a proxy over a mounted file system and SSD.
+func NewFSProxy(fab *pcie.Fabric, fsys *fs.FS, ssd *nvme.Device, cacheBytes int64) *FSProxy {
+	return &FSProxy{
+		FS:           fsys,
+		SSD:          ssd,
+		Cache:        cache.New(fab, cacheBytes),
+		fabric:       fab,
+		Coalesce:     true,
+		AutoPrefetch: true,
+		opens:        make(map[uint32]*openFile),
+		readers:      make(map[uint32]map[*pcie.Device]bool),
+		fetching:     make(map[uint32]bool),
+	}
+}
+
+// Attach registers a co-processor's RPC ring pair (proxy-side ports).
+func (px *FSProxy) Attach(phi *pcie.Device, req, resp *transport.Port) {
+	px.channels = append(px.channels, &channel{phi: phi, req: req, resp: resp})
+}
+
+// Start spawns workers proxy procs per attached co-processor channel.
+// Each worker pulls requests and serves them; workers exit when the
+// request ring closes.
+func (px *FSProxy) Start(p *sim.Proc, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	for _, ch := range px.channels {
+		for w := 0; w < workers; w++ {
+			ch := ch
+			p.Spawn(fmt.Sprintf("fsproxy-%s-%d", ch.phi.Name, w), func(wp *sim.Proc) {
+				px.serve(wp, ch)
+			})
+		}
+	}
+}
+
+func (px *FSProxy) serve(p *sim.Proc, ch *channel) {
+	for {
+		raw, ok := ch.req.Recv(p)
+		if !ok {
+			return
+		}
+		m, err := ninep.Decode(raw)
+		if err != nil {
+			panic("fsproxy: corrupt request: " + err.Error())
+		}
+		p.Advance(model.FSProxyCost)
+		resp := px.handle(p, ch, m)
+		resp.Tag = m.Tag
+		ch.resp.Send(p, resp.Encode())
+	}
+}
+
+func rerror(err error) *ninep.Msg {
+	return &ninep.Msg{Type: ninep.Rerror, Err: err.Error()}
+}
+
+// fidKey spreads fids across co-processors (each channel has its own fid
+// space; we namespace by device pointer identity via a per-proxy map key).
+func (px *FSProxy) fidKey(ch *channel, fid uint32) uint32 {
+	for i, c := range px.channels {
+		if c == ch {
+			return uint32(i)<<24 | fid
+		}
+	}
+	panic("fsproxy: unknown channel")
+}
+
+func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
+	switch m.Type {
+	case ninep.Topen, ninep.Tcreate:
+		var f *fs.File
+		var err error
+		if m.Type == ninep.Tcreate {
+			f, err = px.FS.OpenOrCreate(p, m.Name)
+		} else {
+			f, err = px.FS.Open(p, m.Name)
+		}
+		if err != nil {
+			return rerror(err)
+		}
+		px.opens[px.fidKey(ch, m.Fid)] = &openFile{f: f, phi: ch.phi, flags: m.Flags, path: m.Name}
+		return &ninep.Msg{Type: ninep.Ropen, Size: f.Size()}
+
+	case ninep.Tclose:
+		delete(px.opens, px.fidKey(ch, m.Fid))
+		return &ninep.Msg{Type: ninep.Rclose}
+
+	case ninep.Tread:
+		of, ok := px.opens[px.fidKey(ch, m.Fid)]
+		if !ok {
+			return rerror(fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+		}
+		n, err := px.read(p, of, m.Off, m.Count, m.Addr)
+		if err != nil {
+			return rerror(err)
+		}
+		return &ninep.Msg{Type: ninep.Rread, Count: n}
+
+	case ninep.Twrite:
+		of, ok := px.opens[px.fidKey(ch, m.Fid)]
+		if !ok {
+			return rerror(fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+		}
+		n, err := px.write(p, of, m.Off, m.Count, m.Addr)
+		if err != nil {
+			return rerror(err)
+		}
+		return &ninep.Msg{Type: ninep.Rwrite, Count: n}
+
+	case ninep.Tstat:
+		st, err := px.FS.Stat(p, m.Name)
+		if err != nil {
+			return rerror(err)
+		}
+		return &ninep.Msg{Type: ninep.Rstat, Size: st.Size, Mode: st.Mode}
+
+	case ninep.Tunlink:
+		if err := px.FS.Unlink(p, m.Name); err != nil {
+			return rerror(err)
+		}
+		return &ninep.Msg{Type: ninep.Runlink}
+
+	case ninep.Tmkdir:
+		if err := px.FS.Mkdir(p, m.Name); err != nil {
+			return rerror(err)
+		}
+		return &ninep.Msg{Type: ninep.Rmkdir}
+
+	case ninep.Treaddir:
+		ents, err := px.FS.ReadDir(p, m.Name)
+		if err != nil {
+			return rerror(err)
+		}
+		var data []byte
+		for _, d := range ents {
+			data = append(data, byte(len(d.Name)))
+			data = append(data, d.Name...)
+		}
+		return &ninep.Msg{Type: ninep.Rreaddir, Data: data}
+
+	case ninep.Ttrunc:
+		of, ok := px.opens[px.fidKey(ch, m.Fid)]
+		if !ok {
+			return rerror(fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+		}
+		if err := of.f.Truncate(p, m.Size); err != nil {
+			return rerror(err)
+		}
+		px.Cache.Invalidate(of.f.Ino())
+		return &ninep.Msg{Type: ninep.Rtrunc}
+
+	case ninep.Trename:
+		// Name carries "old\x00new".
+		parts := strings.SplitN(m.Name, "\x00", 2)
+		if len(parts) != 2 {
+			return rerror(fmt.Errorf("fsproxy: malformed rename %q", m.Name))
+		}
+		if err := px.FS.Rename(p, parts[0], parts[1]); err != nil {
+			return rerror(err)
+		}
+		return &ninep.Msg{Type: ninep.Rrename}
+
+	case ninep.Tlink:
+		parts := strings.SplitN(m.Name, "\x00", 2)
+		if len(parts) != 2 {
+			return rerror(fmt.Errorf("fsproxy: malformed link %q", m.Name))
+		}
+		if err := px.FS.Link(p, parts[0], parts[1]); err != nil {
+			return rerror(err)
+		}
+		return &ninep.Msg{Type: ninep.Rlink}
+
+	case ninep.Tsync:
+		if err := px.FS.Sync(p); err != nil {
+			return rerror(err)
+		}
+		return &ninep.Msg{Type: ninep.Rsync}
+	}
+	return rerror(fmt.Errorf("fsproxy: unhandled message %v", m.Type))
+}
+
+// choosePath is the §4.3.2 decision: buffered when the file demands it
+// (O_BUFFER), when the topology would throttle P2P (crossing a NUMA
+// boundary drops to ~300 MB/s), or when the cache already holds the data;
+// peer-to-peer otherwise.
+func (px *FSProxy) choosePath(of *openFile, off, n int64, forRead bool) DataPath {
+	if !px.DisableCache && forRead && px.fullyCached(of.f.Ino(), off, n) {
+		return PathCacheHit
+	}
+	if of.flags&ninep.OBuffer != 0 {
+		return PathBuffered
+	}
+	if !px.ForceP2P && pcie.CrossNUMA(px.SSD.PCIeDev, of.phi) {
+		return PathBuffered
+	}
+	return PathP2P
+}
+
+func (px *FSProxy) fullyCached(ino uint32, off, n int64) bool {
+	if n == 0 {
+		return false
+	}
+	for blk := off / cache.PageSize; blk <= (off+n-1)/cache.PageSize; blk++ {
+		if _, ok := px.Cache.Lookup(ino, blk); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// read serves Tread: clamp to EOF, choose the path, move the data into
+// co-processor memory at addr.
+func (px *FSProxy) read(p *sim.Proc, of *openFile, off, n, addr int64) (int64, error) {
+	if off >= of.f.Size() {
+		return 0, nil
+	}
+	if off+n > of.f.Size() {
+		n = of.f.Size() - off
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	px.notePopularity(p, of)
+	dst := pcie.Loc{Dev: of.phi, Off: addr}
+	switch px.choosePath(of, off, n, true) {
+	case PathP2P:
+		px.p2pOps++
+		// Zero-copy: translate extents (fiemap) and let the SSD's DMA
+		// engine write straight into co-processor memory. Block-align
+		// the disk I/O while landing the requested window at addr.
+		aOff := off &^ (fs.BlockSize - 1)
+		head := off - aOff
+		span := (head + n + fs.BlockSize - 1) &^ (fs.BlockSize - 1)
+		if lim := px.alignedLimit(of.f); aOff+span > lim {
+			span = lim - aOff
+		}
+		if err := of.f.ReadTo(p, aOff, span, pcie.Loc{Dev: of.phi, Off: addr - head}, px.Coalesce); err != nil {
+			return 0, err
+		}
+		return n, nil
+	case PathCacheHit:
+		px.cacheHitOps++
+		return n, px.pushFromCache(p, of, off, n, dst)
+	default:
+		px.bufferedOps++
+		return n, px.bufferedRead(p, of, off, n, dst)
+	}
+}
+
+func (px *FSProxy) alignedLimit(f *fs.File) int64 {
+	return (f.Size() + fs.BlockSize - 1) &^ (fs.BlockSize - 1)
+}
+
+// bufferedRead fills cache pages from disk as needed, then DMA-pushes them
+// to the co-processor with host-initiated transfers.
+func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pcie.Loc) error {
+	ino := of.f.Ino()
+	first := off / cache.PageSize
+	last := (off + n - 1) / cache.PageSize
+	limit := px.alignedLimit(of.f)
+
+	// Fill missing pages: batch contiguous misses into one disk vector.
+	var missLocs []pcie.Loc
+	var missStart int64 = -1
+	flush := func(endBlk int64) error {
+		if missStart < 0 {
+			return nil
+		}
+		span := int64(len(missLocs)) * cache.PageSize
+		if missStart*cache.PageSize+span > limit {
+			span = limit - missStart*cache.PageSize
+		}
+		// Pages are scattered frames; issue one op per frame but let
+		// the driver coalesce doorbells/interrupts across the vector.
+		ops := make([]pcie.Loc, 0, len(missLocs))
+		_ = ops
+		for i, loc := range missLocs {
+			sz := int64(cache.PageSize)
+			pOff := (missStart + int64(i)) * cache.PageSize
+			if pOff+sz > limit {
+				sz = limit - pOff
+			}
+			if sz <= 0 {
+				break
+			}
+			if err := of.f.ReadTo(p, pOff, sz, loc, px.Coalesce); err != nil {
+				return err
+			}
+		}
+		missLocs = missLocs[:0]
+		missStart = -1
+		return nil
+	}
+	for blk := first; blk <= last; blk++ {
+		if px.DisableCache {
+			break
+		}
+		if _, ok := px.Cache.Lookup(ino, blk); ok {
+			if err := flush(blk); err != nil {
+				return err
+			}
+			continue
+		}
+		if missStart < 0 {
+			missStart = blk
+		} else if missStart+int64(len(missLocs)) != blk {
+			if err := flush(blk); err != nil {
+				return err
+			}
+			missStart = blk
+		}
+		missLocs = append(missLocs, px.Cache.Insert(ino, blk))
+	}
+	if err := flush(last + 1); err != nil {
+		return err
+	}
+	if px.DisableCache {
+		// Stage through scratch host memory instead of the cache.
+		loc, _, put := px.FS.Staging(n)
+		defer put()
+		aOff := off &^ (cache.PageSize - 1)
+		span := ((off + n + cache.PageSize - 1) &^ (cache.PageSize - 1)) - aOff
+		if aOff+span > limit {
+			span = limit - aOff
+		}
+		if err := of.f.ReadTo(p, aOff, span, loc, px.Coalesce); err != nil {
+			return err
+		}
+		return px.pushHostToPhi(p, pcie.Loc{Off: loc.Off + (off - aOff)}, dst, n)
+	}
+	return px.pushFromCache(p, of, off, n, dst)
+}
+
+// pushFromCache copies [off, off+n) from resident cache pages to the
+// co-processor. The pages are scattered host frames, so the proxy builds
+// DMA descriptor chains: one channel setup per model.DMAChainBytes of
+// traffic, all pages in a chain streaming back to back.
+func (px *FSProxy) pushFromCache(p *sim.Proc, of *openFile, off, n int64, dst pcie.Loc) error {
+	ino := of.f.Ino()
+	type piece struct {
+		src   pcie.Loc
+		dstOf int64
+		n     int64
+	}
+	var pieces []piece
+	done := int64(0)
+	for done < n {
+		pos := off + done
+		blk := pos / cache.PageSize
+		inPage := pos % cache.PageSize
+		chunk := cache.PageSize - inPage
+		if chunk > n-done {
+			chunk = n - done
+		}
+		loc, ok := px.Cache.Lookup(ino, blk)
+		if !ok {
+			return fmt.Errorf("fsproxy: page %d of inode %d evicted mid-read", blk, ino)
+		}
+		pieces = append(pieces, piece{pcie.Loc{Off: loc.Off + inPage}, done, chunk})
+		done += chunk
+	}
+	// Issue descriptor chains.
+	var chainBytes int64
+	var latest sim.Time
+	startChain := func() {
+		p.Advance(model.DMASetupHost)
+		px.fabric.CountTxn(1)
+		chainBytes = 0
+		latest = 0
+	}
+	endChain := func() {
+		if latest > 0 {
+			p.AdvanceTo(latest)
+		}
+	}
+	startChain()
+	for _, pc := range pieces {
+		if chainBytes+pc.n > model.DMAChainBytes {
+			endChain()
+			startChain()
+		}
+		dstMem := px.fabric.Mem(pcie.Loc{Dev: dst.Dev})
+		copy(dstMem.Slice(dst.Off+pc.dstOf, pc.n), px.fabric.HostRAM.Slice(pc.src.Off, pc.n))
+		if t := px.fabric.StreamAsync(p, nil, dst.Dev, pc.n); t > latest {
+			latest = t
+		}
+		chainBytes += pc.n
+	}
+	endChain()
+	return nil
+}
+
+// pushHostToPhi moves n bytes of host memory to co-processor memory using
+// the host's DMA engines with descriptor chaining: one setup per
+// model.DMAChainBytes of traffic.
+func (px *FSProxy) pushHostToPhi(p *sim.Proc, src, dst pcie.Loc, n int64) error {
+	buf := px.fabric.HostRAM.Slice(src.Off, n)
+	for chunk := int64(0); chunk < n; chunk += model.DMAChainBytes {
+		sz := n - chunk
+		if sz > model.DMAChainBytes {
+			sz = model.DMAChainBytes
+		}
+		px.fabric.CopyIn(p, nil, cpu.Host, pcie.Loc{Dev: dst.Dev, Off: dst.Off + chunk}, buf[chunk:chunk+sz], pcie.Adaptive)
+	}
+	return nil
+}
+
+// pullPhiToHost moves n bytes from co-processor memory into host memory.
+func (px *FSProxy) pullPhiToHost(p *sim.Proc, src, dst pcie.Loc, n int64) error {
+	buf := px.fabric.HostRAM.Slice(dst.Off, n)
+	for chunk := int64(0); chunk < n; chunk += model.DMAChainBytes {
+		sz := n - chunk
+		if sz > model.DMAChainBytes {
+			sz = model.DMAChainBytes
+		}
+		px.fabric.CopyOut(p, nil, cpu.Host, pcie.Loc{Dev: src.Dev, Off: src.Off + chunk}, buf[chunk:chunk+sz], pcie.Adaptive)
+	}
+	return nil
+}
+
+// write serves Twrite.
+func (px *FSProxy) write(p *sim.Proc, of *openFile, off, n, addr int64) (int64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	src := pcie.Loc{Dev: of.phi, Off: addr}
+	// Written ranges supersede cached pages either way.
+	if !px.DisableCache {
+		px.Cache.InvalidateRange(of.f.Ino(), off, n)
+	}
+	switch px.choosePath(of, off, n, false) {
+	case PathP2P:
+		px.p2pOps++
+		if off%fs.BlockSize == 0 && n%fs.BlockSize == 0 {
+			// Aligned: the disk's DMA engine pulls straight from
+			// co-processor memory.
+			return n, of.f.WriteFrom(p, off, n, src, px.Coalesce)
+		}
+		// Unaligned tail: stage the edges through host memory via the
+		// file system's read-modify-write path.
+		fallthrough
+	default:
+		px.bufferedOps++
+		loc, buf, put := px.FS.Staging(n)
+		defer put()
+		if err := px.pullPhiToHost(p, src, loc, n); err != nil {
+			return 0, err
+		}
+		_, err := writeViaStaging(p, of.f, off, buf[:n])
+		return n, err
+	}
+}
+
+// writeViaStaging funnels a buffered write through the file's standard
+// write path (read-modify-write on unaligned edges).
+func writeViaStaging(p *sim.Proc, f *fs.File, off int64, data []byte) (int, error) {
+	return f.Write(p, off, data)
+}
+
+// notePopularity records which co-processors read a file; when a second
+// distinct co-processor shows interest, a background proc prefetches the
+// whole file into the shared cache.
+func (px *FSProxy) notePopularity(p *sim.Proc, of *openFile) {
+	if !px.AutoPrefetch || px.DisableCache {
+		return
+	}
+	ino := of.f.Ino()
+	set := px.readers[ino]
+	if set == nil {
+		set = make(map[*pcie.Device]bool)
+		px.readers[ino] = set
+	}
+	set[of.phi] = true
+	if len(set) < 2 || px.fetching[ino] {
+		return
+	}
+	// The file cannot be larger than the cache, or prefetching would
+	// just thrash it.
+	if of.f.Size() > int64(px.Cache.Capacity())*cache.PageSize/2 {
+		return
+	}
+	px.fetching[ino] = true
+	path := of.path
+	p.Spawn("fsproxy-prefetch", func(pp *sim.Proc) {
+		if err := px.Prefetch(pp, path); err == nil {
+			px.prefetches++
+		}
+	})
+}
+
+// Prefetch loads a whole file into the shared buffer cache (§4.3: the
+// proxy "prefetches frequently accessed files from multiple co-processors
+// to the host memory").
+func (px *FSProxy) Prefetch(p *sim.Proc, path string) error {
+	f, err := px.FS.Open(p, path)
+	if err != nil {
+		return err
+	}
+	limit := px.alignedLimit(f)
+	for pos := int64(0); pos < limit; pos += cache.PageSize {
+		if _, ok := px.Cache.Lookup(f.Ino(), pos/cache.PageSize); ok {
+			continue
+		}
+		loc := px.Cache.Insert(f.Ino(), pos/cache.PageSize)
+		sz := int64(cache.PageSize)
+		if pos+sz > limit {
+			sz = limit - pos
+		}
+		if err := f.ReadTo(p, pos, sz, loc, px.Coalesce); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PathStats reports how many operations each data path served.
+func (px *FSProxy) PathStats() (p2p, buffered, cacheHit int64) {
+	return px.p2pOps, px.bufferedOps, px.cacheHitOps
+}
+
+// Prefetches reports completed background prefetches.
+func (px *FSProxy) Prefetches() int64 { return px.prefetches }

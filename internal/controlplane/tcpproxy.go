@@ -1,0 +1,377 @@
+package controlplane
+
+import (
+	"fmt"
+
+	"solros/internal/model"
+	"solros/internal/netstack"
+	"solros/internal/ninep"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/transport"
+)
+
+// Balancer decides which member co-processor a new connection on a shared
+// listening socket goes to (§4.4.3). Solros provides connection-based
+// round robin and least-loaded policies; users can plug their own.
+type Balancer interface {
+	// Pick returns an index into members. load[i] is the member's
+	// current active connection count.
+	Pick(port int, members []*pcie.Device, load []int) int
+}
+
+// RoundRobin cycles through members per new connection.
+type RoundRobin struct{ next int }
+
+// Pick implements Balancer.
+func (rr *RoundRobin) Pick(port int, members []*pcie.Device, load []int) int {
+	i := rr.next % len(members)
+	rr.next++
+	return i
+}
+
+// LeastLoaded picks the member with the fewest active connections.
+type LeastLoaded struct{}
+
+// Pick implements Balancer.
+func (LeastLoaded) Pick(port int, members []*pcie.Device, load []int) int {
+	best := 0
+	for i := 1; i < len(load); i++ {
+		if load[i] < load[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ContentBalancer implements the paper's content-based forwarding rule
+// ("e.g., for each request of key/value store", §4.4.3): the proxy peeks
+// the connection's first bytes and routes by Key. A ContentBalancer also
+// satisfies Balancer as a fallback (round robin) for protocols that send
+// no early data.
+type ContentBalancer struct {
+	// Key maps the first payload bytes to a shard key; the connection
+	// goes to members[key % len(members)].
+	Key func(first []byte) uint32
+	rr  RoundRobin
+}
+
+// Pick is the no-payload fallback.
+func (cb *ContentBalancer) Pick(port int, members []*pcie.Device, load []int) int {
+	return cb.rr.Pick(port, members, load)
+}
+
+// PickContent routes by the first payload bytes.
+func (cb *ContentBalancer) PickContent(first []byte, members int) int {
+	return int(cb.Key(first)) % members
+}
+
+// FNV1a is a convenient content key: hash of the first request bytes.
+func FNV1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// TCPProxy is the control-plane network service: the full TCP stack runs
+// on host cores; data-plane stubs reach it through per-co-processor RPC
+// and event/data rings. It implements the shared listening socket with
+// pluggable load balancing.
+type TCPProxy struct {
+	Stack   *netstack.Stack
+	fabric  *pcie.Fabric
+	nets    map[*pcie.Device]*netChannel
+	order   []*pcie.Device
+	shared  map[int]*sharedListener
+	conns   map[uint64]*proxConn
+	nextID  uint64
+	Balance Balancer
+}
+
+type netChannel struct {
+	phi      *pcie.Device
+	rpcReq   *transport.Port
+	rpcResp  *transport.Port
+	outbound *transport.Port // phi -> host data (ring master at phi)
+	inbound  *transport.Port // host -> phi events/data (ring master at host)
+	active   int
+}
+
+type sharedListener struct {
+	port     int
+	listener *netstack.Listener
+	members  []*pcie.Device
+}
+
+type proxConn struct {
+	id   uint64
+	side *netstack.Side
+	ch   *netChannel
+}
+
+// NewTCPProxy builds the proxy around the host's stack.
+func NewTCPProxy(fab *pcie.Fabric, stack *netstack.Stack) *TCPProxy {
+	return &TCPProxy{
+		Stack:   stack,
+		fabric:  fab,
+		nets:    make(map[*pcie.Device]*netChannel),
+		shared:  make(map[int]*sharedListener),
+		conns:   make(map[uint64]*proxConn),
+		Balance: &RoundRobin{},
+	}
+}
+
+// AttachNet registers a co-processor's network rings (proxy-side ports).
+func (px *TCPProxy) AttachNet(phi *pcie.Device, rpcReq, rpcResp, outbound, inbound *transport.Port) {
+	px.nets[phi] = &netChannel{phi: phi, rpcReq: rpcReq, rpcResp: rpcResp, outbound: outbound, inbound: inbound}
+	px.order = append(px.order, phi)
+}
+
+// Start spawns the proxy's service procs: one RPC server and one outbound
+// pump per co-processor.
+func (px *TCPProxy) Start(p *sim.Proc) {
+	for _, phi := range px.order {
+		ch := px.nets[phi]
+		p.Spawn("tcpproxy-rpc-"+phi.Name, func(wp *sim.Proc) { px.serveRPC(wp, ch) })
+		p.Spawn("tcpproxy-out-"+phi.Name, func(wp *sim.Proc) { px.outboundPump(wp, ch) })
+	}
+}
+
+func (px *TCPProxy) serveRPC(p *sim.Proc, ch *netChannel) {
+	for {
+		raw, ok := ch.rpcReq.Recv(p)
+		if !ok {
+			return
+		}
+		m, err := ninep.Decode(raw)
+		if err != nil {
+			panic("tcpproxy: corrupt rpc: " + err.Error())
+		}
+		p.Advance(model.FSProxyCost)
+		resp := px.handleRPC(p, ch, m)
+		resp.Tag = m.Tag
+		ch.rpcResp.Send(p, resp.Encode())
+	}
+}
+
+func (px *TCPProxy) handleRPC(p *sim.Proc, ch *netChannel, m *ninep.Msg) *ninep.Msg {
+	switch m.Type {
+	case ninep.Tlisten:
+		port := int(m.Off)
+		sl, ok := px.shared[port]
+		if !ok {
+			l, err := px.Stack.Listen(port)
+			if err != nil {
+				return rerror(err)
+			}
+			sl = &sharedListener{port: port, listener: l}
+			px.shared[port] = sl
+			p.Spawn(fmt.Sprintf("tcpproxy-accept-%d", port), func(ap *sim.Proc) {
+				px.acceptPump(ap, sl)
+			})
+		}
+		for _, mem := range sl.members {
+			if mem == ch.phi {
+				return rerror(fmt.Errorf("tcpproxy: %s already listens on %d", ch.phi.Name, port))
+			}
+		}
+		sl.members = append(sl.members, ch.phi)
+		return &ninep.Msg{Type: ninep.Rlisten}
+
+	case ninep.Tconnect:
+		dst := px.Stack.LookupPeer(m.Name)
+		if dst == nil {
+			return rerror(fmt.Errorf("tcpproxy: unknown host %q", m.Name))
+		}
+		conn, err := px.Stack.Dial(p, dst, int(m.Off))
+		if err != nil {
+			return rerror(err)
+		}
+		pc := px.register(p, conn.Side(px.Stack), ch)
+		return &ninep.Msg{Type: ninep.Rconnect, Addr: int64(pc.id)}
+
+	case ninep.Tsockclose:
+		pc, ok := px.conns[uint64(m.Addr)]
+		if !ok {
+			return rerror(fmt.Errorf("tcpproxy: unknown conn %d", m.Addr))
+		}
+		pc.side.Close(p)
+		pc.ch.active--
+		delete(px.conns, pc.id)
+		return &ninep.Msg{Type: ninep.Rsockclose}
+	}
+	return rerror(fmt.Errorf("tcpproxy: unhandled rpc %v", m.Type))
+}
+
+// acceptPump accepts inbound connections on a shared listener and shards
+// each to a member co-processor chosen by the balancer. With a
+// content-based balancer, the pump peeks the connection's first payload
+// before deciding (each accepted connection gets its own peek proc so a
+// slow client cannot head-of-line block the listener).
+func (px *TCPProxy) acceptPump(p *sim.Proc, sl *sharedListener) {
+	for {
+		conn, ok := sl.listener.Accept(p)
+		if !ok {
+			return
+		}
+		if len(sl.members) == 0 {
+			conn.Side(px.Stack).Close(p)
+			continue
+		}
+		cb, contentBased := px.Balance.(*ContentBalancer)
+		if !contentBased {
+			load := make([]int, len(sl.members))
+			for i, mem := range sl.members {
+				load[i] = px.nets[mem].active
+			}
+			member := sl.members[px.Balance.Pick(sl.port, sl.members, load)]
+			px.admit(p, sl, conn.Side(px.Stack), member, nil)
+			continue
+		}
+		side := conn.Side(px.Stack)
+		p.Spawn("tcpproxy-peek", func(pp *sim.Proc) {
+			first, err := side.Recv(pp, 4096)
+			if err != nil || len(first) == 0 {
+				side.Close(pp)
+				return
+			}
+			member := sl.members[cb.PickContent(first, len(sl.members))]
+			px.admit(pp, sl, side, member, first)
+		})
+	}
+}
+
+// admit binds an accepted connection to a member and delivers the accept
+// event (plus any peeked data) to its inbound ring. The accept frame is
+// enqueued strictly before the connection's pump starts so data frames
+// can never overtake it.
+func (px *TCPProxy) admit(p *sim.Proc, sl *sharedListener, side *netstack.Side, member *pcie.Device, peeked []byte) {
+	ch := px.nets[member]
+	pc := px.track(side, ch)
+	ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameAccept, pc.id, encodePort(sl.port)))
+	if len(peeked) > 0 {
+		ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameData, pc.id, peeked))
+	}
+	px.startPump(p, pc)
+}
+
+func encodePort(port int) []byte {
+	return []byte{byte(port), byte(port >> 8)}
+}
+
+// DecodePort recovers the port from a FrameAccept payload.
+func DecodePort(b []byte) int {
+	if len(b) < 2 {
+		return 0
+	}
+	return int(b[0]) | int(b[1])<<8
+}
+
+// register tracks a host-side connection for a channel and spawns its
+// inbound pump, which relays stream data into the co-processor's inbound
+// ring.
+func (px *TCPProxy) register(p *sim.Proc, side *netstack.Side, ch *netChannel) *proxConn {
+	pc := px.track(side, ch)
+	px.startPump(p, pc)
+	return pc
+}
+
+// track records a proxied connection without starting its pump.
+func (px *TCPProxy) track(side *netstack.Side, ch *netChannel) *proxConn {
+	px.nextID++
+	pc := &proxConn{id: px.nextID, side: side, ch: ch}
+	px.conns[pc.id] = pc
+	ch.active++
+	return pc
+}
+
+func (px *TCPProxy) startPump(p *sim.Proc, pc *proxConn) {
+	p.Spawn(fmt.Sprintf("tcpproxy-in-%d", pc.id), func(ip *sim.Proc) {
+		px.inboundPump(ip, pc)
+	})
+}
+
+// inboundPump relays one connection's inbound stream into the ring,
+// coalescing back-to-back segments into large frames so the co-processor
+// pulls data with a few big DMAs instead of one small copy per packet —
+// the point of the large inbound ring (§4.4.1).
+func (px *TCPProxy) inboundPump(p *sim.Proc, pc *proxConn) {
+	const frameCap = 60 << 10
+	for {
+		data, err := pc.side.Recv(p, frameCap)
+		if err != nil {
+			return // closed locally
+		}
+		if len(data) == 0 {
+			pc.ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameEOF, pc.id, nil))
+			return
+		}
+		frame := append([]byte(nil), data...)
+		for len(frame) < frameCap && pc.side.Buffered() > 0 {
+			more, err := pc.side.Recv(p, frameCap-len(frame))
+			if err != nil || len(more) == 0 {
+				break
+			}
+			frame = append(frame, more...)
+		}
+		pc.ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameData, pc.id, frame))
+	}
+}
+
+// outboundPump pulls frames from a co-processor's outbound ring and
+// forwards them onto the host-side connections.
+func (px *TCPProxy) outboundPump(p *sim.Proc, ch *netChannel) {
+	for {
+		raw, ok := ch.outbound.Recv(p)
+		if !ok {
+			return
+		}
+		kind, id, payload, err := ninep.DecodeFrame(raw)
+		if err != nil {
+			panic("tcpproxy: " + err.Error())
+		}
+		pc, ok := px.conns[id]
+		if !ok {
+			continue // raced with close
+		}
+		switch kind {
+		case ninep.FrameData:
+			if _, err := pc.side.Send(p, payload); err != nil {
+				// Peer gone; drop and let EOF propagate.
+				continue
+			}
+		case ninep.FrameClose:
+			pc.side.Close(p)
+			pc.ch.active--
+			delete(px.conns, id)
+		}
+	}
+}
+
+// Stop closes listeners and all proxied connections so pumps drain, and
+// notifies every data plane that its shared listeners are gone.
+func (px *TCPProxy) Stop(p *sim.Proc) {
+	for _, sl := range px.shared {
+		sl.listener.Close(p)
+	}
+	for id, pc := range px.conns {
+		pc.side.Close(p)
+		delete(px.conns, id)
+	}
+	for _, phi := range px.order {
+		px.nets[phi].inbound.Send(p, ninep.EncodeFrame(ninep.FrameListenClosed, 0, nil))
+	}
+}
+
+// ActiveConns reports per-co-processor active connection counts keyed by
+// device name, for load-balancing tests.
+func (px *TCPProxy) ActiveConns() map[string]int {
+	out := make(map[string]int, len(px.nets))
+	for phi, ch := range px.nets {
+		out[phi.Name] = ch.active
+	}
+	return out
+}

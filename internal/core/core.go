@@ -1,0 +1,234 @@
+// Package core assembles a Solros machine: the PCIe fabric with its NUMA
+// topology, Xeon Phi co-processors, the NVMe SSD with a solrosfs file
+// system, the control-plane proxies on the host, and data-plane stubs on
+// every co-processor. It is the top-level API examples and benchmarks
+// program against.
+package core
+
+import (
+	"fmt"
+
+	"solros/internal/block"
+	"solros/internal/controlplane"
+	"solros/internal/cpu"
+	"solros/internal/dataplane"
+	"solros/internal/fs"
+	"solros/internal/model"
+	"solros/internal/netstack"
+	"solros/internal/nvme"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/transport"
+)
+
+// Config sizes a machine. Zero values take the defaults noted per field.
+// The paper's testbed is 2 sockets x 24 cores, 4 Xeon Phis (2 per
+// socket), and one NVMe SSD on socket 0 (§6).
+type Config struct {
+	// Phis is the co-processor count (default 1). Phis are striped
+	// across sockets: the first half on socket 0, the rest on socket 1,
+	// as in the paper's testbed.
+	Phis int
+	// PhiMemBytes is each co-processor's on-card memory (default 64 MB).
+	PhiMemBytes int64
+	// HostRAMBytes is host DRAM backing rings, cache, and staging
+	// (default 256 MB).
+	HostRAMBytes int64
+	// DiskBytes is the NVMe capacity (default 64 MB).
+	DiskBytes int64
+	// CacheBytes is the shared host buffer cache (default 16 MB).
+	CacheBytes int64
+	// ProxyWorkers is the number of proxy procs per co-processor
+	// channel (default 4).
+	ProxyWorkers int
+	// CoalesceOff disables the optimized IO-vector NVMe driver
+	// (ablation; §5).
+	CoalesceOff bool
+	// ForceP2P disables the proxy's cross-NUMA buffered fallback
+	// (ablation for Figure 1a's cross-NUMA series).
+	ForceP2P bool
+	// DisableCache bypasses the shared buffer cache (ablation).
+	DisableCache bool
+	// RingOptions overrides transport ring parameters.
+	RingOptions transport.Options
+	// LinkGenScale multiplies co-processor PCIe link bandwidth (1 =
+	// the paper's Gen2 x16; 2 ~ Gen3; 4 ~ Gen4) for interconnect
+	// sensitivity studies.
+	LinkGenScale int
+	// SkipMkfs leaves the disk unformatted so an existing image can be
+	// installed (reboot/recovery scenarios); copy it into SSD.Image()
+	// before Run.
+	SkipMkfs bool
+}
+
+func (c *Config) fill() {
+	if c.Phis == 0 {
+		c.Phis = 1
+	}
+	if c.PhiMemBytes == 0 {
+		c.PhiMemBytes = 64 << 20
+	}
+	if c.HostRAMBytes == 0 {
+		c.HostRAMBytes = 256 << 20
+	}
+	if c.DiskBytes == 0 {
+		c.DiskBytes = 64 << 20
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 16 << 20
+	}
+	if c.ProxyWorkers == 0 {
+		c.ProxyWorkers = 4
+	}
+	if c.RingOptions.CapBytes == 0 {
+		c.RingOptions.CapBytes = 4 << 20
+	}
+	if c.LinkGenScale == 0 {
+		c.LinkGenScale = 1
+	}
+}
+
+// Phi is one co-processor with its data-plane OS.
+type Phi struct {
+	Dev  *pcie.Device
+	Conn *dataplane.Conn
+	FS   *dataplane.FSClient
+	Net  *dataplane.NetClient
+	Pool *cpu.Pool
+
+	proxyReq, proxyResp *transport.Port
+	netConn             *dataplane.Conn
+}
+
+// Machine is an assembled Solros system.
+type Machine struct {
+	Engine  *sim.Engine
+	Fabric  *pcie.Fabric
+	SSD     *nvme.Device
+	FS      *fs.FS
+	FSProxy *controlplane.FSProxy
+	Phis    []*Phi
+	Host    *cpu.Pool
+
+	// Networking (nil unless EnableNetwork was called).
+	Net         *netstack.Network
+	HostStack   *netstack.Stack
+	ClientStack *netstack.Stack
+	TCPProxy    *controlplane.TCPProxy
+
+	cfg    Config
+	booted bool
+}
+
+// NewMachine builds and formats a machine; the file system is mkfs'ed but
+// not yet mounted (that happens in Run's boot phase, under timing).
+func NewMachine(cfg Config) *Machine {
+	cfg.fill()
+	fab := pcie.New(cfg.HostRAMBytes)
+	m := &Machine{
+		Engine: sim.NewEngine(),
+		Fabric: fab,
+		Host:   cpu.HostPool(),
+		cfg:    cfg,
+	}
+	m.SSD = nvme.New(fab, "nvme0", 0, cfg.DiskBytes)
+	if !cfg.SkipMkfs {
+		if err := fs.Mkfs(m.SSD.Image(), 0); err != nil {
+			panic("core: mkfs: " + err.Error())
+		}
+	}
+	for i := 0; i < cfg.Phis; i++ {
+		socket := 0
+		if cfg.Phis > 1 && i >= (cfg.Phis+1)/2 {
+			socket = 1
+		}
+		scale := int64(cfg.LinkGenScale)
+		dev := fab.AddDevice(fmt.Sprintf("phi%d", i), socket, cfg.PhiMemBytes,
+			scale*model.LinkBWPhiToHost, scale*model.LinkBWHostToPhi)
+		conn, reqPort, respPort := dataplane.NewConn(fab, dev, cfg.RingOptions)
+		m.Phis = append(m.Phis, &Phi{
+			Dev:       dev,
+			Conn:      conn,
+			FS:        dataplane.NewFSClient(conn),
+			Pool:      cpu.PhiPool(),
+			proxyReq:  reqPort,
+			proxyResp: respPort,
+		})
+	}
+	return m
+}
+
+// boot mounts the file system and starts the control-plane proxy and
+// data-plane dispatchers, all under timing.
+func (m *Machine) boot(p *sim.Proc) {
+	if m.booted {
+		return
+	}
+	m.booted = true
+	fsys, err := fs.Mount(p, m.Fabric, block.NVMe{Dev: m.SSD})
+	if err != nil {
+		panic("core: mount: " + err.Error())
+	}
+	m.FS = fsys
+	m.FSProxy = controlplane.NewFSProxy(m.Fabric, fsys, m.SSD, m.cfg.CacheBytes)
+	m.FSProxy.Coalesce = !m.cfg.CoalesceOff
+	m.FSProxy.ForceP2P = m.cfg.ForceP2P
+	m.FSProxy.DisableCache = m.cfg.DisableCache
+	for _, phi := range m.Phis {
+		m.FSProxy.Attach(phi.Dev, phi.proxyReq, phi.proxyResp)
+		phi.Conn.Start(p)
+	}
+	m.FSProxy.Start(p, m.cfg.ProxyWorkers)
+	m.bootNetwork(p)
+}
+
+// shutdown closes every RPC connection so service procs drain and exit.
+func (m *Machine) shutdown(p *sim.Proc) {
+	m.shutdownNetwork(p)
+	for _, phi := range m.Phis {
+		phi.Conn.Close(p)
+	}
+}
+
+// Run boots the machine, executes main, then shuts it down; it returns
+// when the virtual-time simulation has fully drained. main must not
+// return before the workload procs it spawned have finished (use
+// Parallel).
+func (m *Machine) Run(main func(p *sim.Proc, m *Machine)) error {
+	m.Engine.Spawn("main", 0, func(p *sim.Proc) {
+		m.boot(p)
+		main(p, m)
+		m.shutdown(p)
+	})
+	return m.Engine.Run()
+}
+
+// MustRun is Run but panics on simulation deadlock.
+func (m *Machine) MustRun(main func(p *sim.Proc, m *Machine)) {
+	if err := m.Run(main); err != nil {
+		panic(err)
+	}
+}
+
+// Parallel spawns n workload procs and blocks until all complete. worker
+// receives its index and a dedicated Proc; by convention it pins itself
+// to hardware thread i of whatever pool it targets.
+func Parallel(p *sim.Proc, n int, name string, worker func(i int, wp *sim.Proc)) {
+	wg := sim.NewWaitGroup(name)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Spawn(fmt.Sprintf("%s-%d", name, i), func(wp *sim.Proc) {
+			worker(i, wp)
+			wp.DoneWG(wg)
+		})
+	}
+	p.WaitWG(wg)
+}
+
+// PhiCount reports the configured number of co-processors.
+func (m *Machine) PhiCount() int { return len(m.Phis) }
+
+// DefaultPhiThreads reports the paper's per-Phi core count, for sizing
+// workloads.
+func DefaultPhiThreads() int { return model.PhiCores }

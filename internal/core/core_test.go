@@ -1,0 +1,537 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"solros/internal/fs"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+)
+
+func TestEndToEndCreateWriteRead(t *testing.T) {
+	m := NewMachine(Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		phi := m.Phis[0]
+		fd, err := phi.FS.Open(p, "/hello", ninep.OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := phi.FS.AllocBuffer(8192)
+		payload := bytes.Repeat([]byte("solros"), 1000)
+		copy(buf.Data, payload)
+		n, err := phi.FS.Write(p, fd, 0, buf, int64(len(payload)))
+		if err != nil || n != int64(len(payload)) {
+			t.Errorf("write n=%d err=%v", n, err)
+			return
+		}
+		// Read into a second buffer and compare.
+		rbuf := phi.FS.AllocBuffer(8192)
+		n, err = phi.FS.Read(p, fd, 0, rbuf, int64(len(payload)))
+		if err != nil || n != int64(len(payload)) {
+			t.Errorf("read n=%d err=%v", n, err)
+			return
+		}
+		if !bytes.Equal(rbuf.Data[:n], payload) {
+			t.Error("payload corrupted through the full Solros stack")
+		}
+		if err := phi.FS.Close(p, fd); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestEndToEndMetadataOps(t *testing.T) {
+	m := NewMachine(Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		if err := c.Mkdir(p, "/data"); err != nil {
+			t.Error(err)
+			return
+		}
+		fd, err := c.Open(p, "/data/f1", ninep.OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := c.AllocBuffer(4096)
+		c.Write(p, fd, 0, buf, 100)
+		size, mode, err := c.Stat(p, "/data/f1")
+		if err != nil || size != 100 || mode != fs.ModeFile {
+			t.Errorf("stat size=%d mode=%d err=%v", size, mode, err)
+		}
+		names, err := c.ReadDir(p, "/data")
+		if err != nil || len(names) != 1 || names[0] != "f1" {
+			t.Errorf("readdir = %v err=%v", names, err)
+		}
+		if err := c.Truncate(p, fd, 10); err != nil {
+			t.Error(err)
+		}
+		size, _, _ = c.Stat(p, "/data/f1")
+		if size != 10 {
+			t.Errorf("size after truncate = %d", size)
+		}
+		if err := c.Unlink(p, "/data/f1"); err != nil {
+			t.Error(err)
+		}
+		if _, _, err := c.Stat(p, "/data/f1"); err == nil {
+			t.Error("stat after unlink succeeded")
+		}
+		if err := c.Sync(p); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestErrorsPropagateOverRPC(t *testing.T) {
+	m := NewMachine(Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		if _, err := c.Open(p, "/missing", 0); err == nil {
+			t.Error("open of missing file succeeded over RPC")
+		}
+		if err := c.Unlink(p, "/also-missing"); err == nil {
+			t.Error("unlink of missing file succeeded over RPC")
+		}
+	})
+}
+
+func TestP2PUsedOnSameSocketBufferedAcrossNUMA(t *testing.T) {
+	// Phis 0,1 on socket 0 (same as SSD) use P2P; phis on socket 1 fall
+	// back to buffered mode (§4.3.2, Figure 1a).
+	m := NewMachine(Config{Phis: 4})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		seed, err := m.Phis[0].FS.Open(p, "/shared", ninep.OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := m.Phis[0].FS.AllocBuffer(1 << 20)
+		m.Phis[0].FS.Write(p, seed, 0, buf, 1<<20)
+
+		p2p0, buf0, _ := m.FSProxy.PathStats()
+		// Same-socket read.
+		fd, _ := m.Phis[1].FS.Open(p, "/shared", 0)
+		rb := m.Phis[1].FS.AllocBuffer(1 << 20)
+		if _, err := m.Phis[1].FS.Read(p, fd, 0, rb, 1<<20); err != nil {
+			t.Error(err)
+			return
+		}
+		p2p1, buf1, _ := m.FSProxy.PathStats()
+		if p2p1 <= p2p0 {
+			t.Errorf("same-socket read did not use P2P (p2p %d->%d, buffered %d->%d)", p2p0, p2p1, buf0, buf1)
+		}
+		// Cross-socket read.
+		fd3, _ := m.Phis[3].FS.Open(p, "/shared", 0)
+		rb3 := m.Phis[3].FS.AllocBuffer(1 << 20)
+		if _, err := m.Phis[3].FS.Read(p, fd3, 0, rb3, 1<<20); err != nil {
+			t.Error(err)
+			return
+		}
+		_, buf2, _ := m.FSProxy.PathStats()
+		if buf2 <= buf1 {
+			t.Errorf("cross-NUMA read did not use buffered path (buffered %d->%d)", buf1, buf2)
+		}
+	})
+}
+
+func TestOBufferForcesBufferedPath(t *testing.T) {
+	m := NewMachine(Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, _ := c.Open(p, "/f", ninep.OCreate|ninep.OBuffer)
+		buf := c.AllocBuffer(64 << 10)
+		c.Write(p, fd, 0, buf, 64<<10)
+		c.Read(p, fd, 0, buf, 64<<10)
+		p2p, buffered, hits := m.FSProxy.PathStats()
+		if p2p != 0 {
+			t.Errorf("O_BUFFER file used P2P %d times (buffered=%d hits=%d)", p2p, buffered, hits)
+		}
+	})
+}
+
+func TestSharedCacheServesSecondPhi(t *testing.T) {
+	// A file read by one co-processor in buffered mode should hit the
+	// shared cache when another co-processor reads it.
+	m := NewMachine(Config{Phis: 2})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c0, c1 := m.Phis[0].FS, m.Phis[1].FS
+		fd, _ := c0.Open(p, "/shared", ninep.OCreate|ninep.OBuffer)
+		buf := c0.AllocBuffer(256 << 10)
+		c0.Write(p, fd, 0, buf, 256<<10)
+		c0.Read(p, fd, 0, buf, 256<<10) // populates cache
+		_, _, hits0 := m.FSProxy.PathStats()
+		fd1, _ := c1.Open(p, "/shared", 0)
+		rb := c1.AllocBuffer(256 << 10)
+		if _, err := c1.Read(p, fd1, 0, rb, 256<<10); err != nil {
+			t.Error(err)
+			return
+		}
+		_, _, hits1 := m.FSProxy.PathStats()
+		if hits1 <= hits0 {
+			t.Errorf("second phi's read missed the shared cache (hits %d->%d)", hits0, hits1)
+		}
+	})
+}
+
+func TestConcurrentPhiWorkers(t *testing.T) {
+	m := NewMachine(Config{Phis: 2, DiskBytes: 128 << 20, PhiMemBytes: 128 << 20})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		// Seed a file per phi.
+		for i, phi := range m.Phis {
+			fd, err := phi.FS.Open(p, fileName(i), ninep.OCreate)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b := phi.FS.AllocBuffer(4 << 20)
+			phi.FS.Write(p, fd, 0, b, 4<<20)
+			phi.FS.Close(p, fd)
+		}
+		// 8 workers per phi read random-ish offsets concurrently.
+		for pi, phi := range m.Phis {
+			pi, phi := pi, phi
+			Parallel(p, 8, "reader", func(i int, wp *sim.Proc) {
+				fd, err := phi.FS.Open(wp, fileName(pi), 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b := phi.FS.AllocBuffer(64 << 10)
+				for k := 0; k < 10; k++ {
+					off := int64((i*131 + k*4099) % 60 << 10)
+					if _, err := phi.FS.Read(wp, fd, off, b, 64<<10); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			})
+		}
+	})
+}
+
+func fileName(i int) string {
+	return []string{"/a", "/b", "/c", "/d"}[i]
+}
+
+func TestCoalescingAblationSlower(t *testing.T) {
+	// With coalescing off, a fragmented large read costs extra doorbell
+	// rings and interrupts, so it must be slower.
+	elapsed := func(coalesceOff bool) sim.Time {
+		m := NewMachine(Config{Phis: 1, CoalesceOff: coalesceOff, DiskBytes: 128 << 20, PhiMemBytes: 128 << 20})
+		var dt sim.Time
+		m.MustRun(func(p *sim.Proc, m *Machine) {
+			c := m.Phis[0].FS
+			fd, _ := c.Open(p, "/big", ninep.OCreate)
+			b := c.AllocBuffer(8 << 20)
+			c.Write(p, fd, 0, b, 8<<20)
+			start := p.Now()
+			for i := 0; i < 4; i++ {
+				c.Read(p, fd, int64(i)*(2<<20), b, 2<<20)
+			}
+			dt = p.Now() - start
+		})
+		return dt
+	}
+	fast := elapsed(false)
+	slow := elapsed(true)
+	if fast >= slow {
+		t.Fatalf("coalesced reads (%v) should be faster than per-command interrupts (%v)", fast, slow)
+	}
+}
+
+func TestAutoPrefetchKicksInForPopularFiles(t *testing.T) {
+	// After two different co-processors read the same file, the proxy
+	// prefetches it; a third reader's requests hit the cache.
+	m := NewMachine(Config{Phis: 4, CacheBytes: 32 << 20})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		f, err := m.FS.Create(p, "/hot")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Truncate(p, 4<<20)
+		read := func(i int) {
+			fd, err := m.Phis[i].FS.Open(p, "/hot", 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b := m.Phis[i].FS.AllocBuffer(1 << 20)
+			m.Phis[i].FS.Read(p, fd, 0, b, 1<<20)
+		}
+		read(0)
+		read(1) // second distinct phi -> prefetch triggers
+		// Give the background prefetch time to finish.
+		p.Advance(50 * sim.Millisecond)
+		if m.FSProxy.Prefetches() == 0 {
+			t.Error("no prefetch happened for a file read by two co-processors")
+		}
+		_, _, hits0 := m.FSProxy.PathStats()
+		read(2)
+		_, _, hits1 := m.FSProxy.PathStats()
+		if hits1 <= hits0 {
+			t.Errorf("third reader missed the prefetched cache (hits %d->%d)", hits0, hits1)
+		}
+	})
+}
+
+func TestAutoPrefetchSkipsHugeFiles(t *testing.T) {
+	// Files larger than half the cache must not be prefetched.
+	m := NewMachine(Config{Phis: 2, CacheBytes: 4 << 20, DiskBytes: 96 << 20})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		f, _ := m.FS.Create(p, "/huge")
+		f.Truncate(p, 16<<20)
+		for i := 0; i < 2; i++ {
+			fd, _ := m.Phis[i].FS.Open(p, "/huge", 0)
+			b := m.Phis[i].FS.AllocBuffer(1 << 20)
+			m.Phis[i].FS.Read(p, fd, 0, b, 1<<20)
+		}
+		p.Advance(50 * sim.Millisecond)
+		if m.FSProxy.Prefetches() != 0 {
+			t.Error("prefetched a file larger than half the cache")
+		}
+	})
+}
+
+func TestMediaErrorPropagatesToApplication(t *testing.T) {
+	// An injected NVMe media error must surface as an RPC error at the
+	// co-processor application, and the machine must keep working for
+	// subsequent I/O.
+	m := NewMachine(Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, err := c.Open(p, "/f", ninep.OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := c.AllocBuffer(64 << 10)
+		if _, err := c.Write(p, fd, 0, buf, 64<<10); err != nil {
+			t.Error(err)
+			return
+		}
+		m.SSD.InjectErrors(1)
+		if _, err := c.Read(p, fd, 0, buf, 64<<10); err == nil {
+			t.Error("read during injected media error succeeded")
+		}
+		// The fault is gone; the stack must have recovered.
+		if _, err := c.Read(p, fd, 0, buf, 64<<10); err != nil {
+			t.Errorf("read after fault cleared: %v", err)
+		}
+		if m.SSD.Stats().MediaErrors != 1 {
+			t.Errorf("media errors = %d, want 1", m.SSD.Stats().MediaErrors)
+		}
+		if err := c.Sync(p); err != nil {
+			t.Error(err)
+		}
+	})
+	// Metadata must still be consistent after the failed I/O.
+	if rep := fs.Check(m.SSD.Image()); !rep.OK() {
+		t.Fatalf("fsck after injected fault: %v", rep.Problems)
+	}
+}
+
+func TestRenameOverRPC(t *testing.T) {
+	m := NewMachine(Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, _ := c.Open(p, "/before", ninep.OCreate)
+		buf := c.AllocBuffer(4096)
+		c.Write(p, fd, 0, buf, 64)
+		if err := c.Rename(p, "/before", "/after"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, _, err := c.Stat(p, "/before"); err == nil {
+			t.Error("old path still stats")
+		}
+		size, _, err := c.Stat(p, "/after")
+		if err != nil || size != 64 {
+			t.Errorf("new path: size=%d err=%v", size, err)
+		}
+		if err := c.Rename(p, "/nope", "/x"); err == nil {
+			t.Error("rename of missing file succeeded over RPC")
+		}
+	})
+}
+
+func TestMachineRunsAreDeterministic(t *testing.T) {
+	// Two identical machines running the same workload must end at the
+	// same virtual time, byte for byte — the property that makes every
+	// benchmark in this repository reproducible.
+	run := func() sim.Time {
+		m := NewMachine(Config{Phis: 2})
+		var end sim.Time
+		m.MustRun(func(p *sim.Proc, m *Machine) {
+			Parallel(p, 6, "worker", func(i int, wp *sim.Proc) {
+				phi := m.Phis[i%2]
+				fd, err := phi.FS.Open(wp, fileName(i%2), ninep.OCreate)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b := phi.FS.AllocBuffer(256 << 10)
+				for k := 0; k < 5; k++ {
+					phi.FS.Write(wp, fd, int64(k)*(256<<10), b, 256<<10)
+					phi.FS.Read(wp, fd, int64(k)*(256<<10), b, 256<<10)
+				}
+			})
+			end = p.Now()
+		})
+		return end
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestLinkOverRPC(t *testing.T) {
+	m := NewMachine(Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, _ := c.Open(p, "/file", ninep.OCreate)
+		buf := c.AllocBuffer(4096)
+		c.Write(p, fd, 0, buf, 128)
+		if err := c.Link(p, "/file", "/linked"); err != nil {
+			t.Error(err)
+			return
+		}
+		size, _, err := c.Stat(p, "/linked")
+		if err != nil || size != 128 {
+			t.Errorf("linked stat size=%d err=%v", size, err)
+		}
+		if err := c.Unlink(p, "/file"); err != nil {
+			t.Error(err)
+		}
+		if _, _, err := c.Stat(p, "/linked"); err != nil {
+			t.Error("link broken after original unlinked")
+		}
+	})
+}
+
+func TestReportContainsCounters(t *testing.T) {
+	m := NewMachine(Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, _ := c.Open(p, "/r", ninep.OCreate)
+		b := c.AllocBuffer(4096)
+		c.Write(p, fd, 0, b, 4096)
+		rep := m.Report()
+		for _, want := range []string{"fs proxy:", "buffer cache:", "nvme:", "pcie:", "phi0 rpc rings:"} {
+			if !strings.Contains(rep, want) {
+				t.Errorf("report missing %q:\n%s", want, rep)
+			}
+		}
+	})
+}
+
+func TestDataSurvivesMachineReboot(t *testing.T) {
+	// Write through the full stack, sync, "power off", boot a second
+	// machine on the same disk image, and read the data back.
+	payload := bytes.Repeat([]byte("durable"), 1000)
+	m1 := NewMachine(Config{Phis: 1, DiskBytes: 32 << 20})
+	m1.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		if err := c.Mkdir(p, "/persist"); err != nil {
+			t.Error(err)
+			return
+		}
+		fd, err := c.Open(p, "/persist/me", ninep.OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := c.AllocBuffer(8192)
+		copy(buf.Data, payload)
+		c.Write(p, fd, 0, buf, int64(len(payload)))
+		if err := c.Sync(p); err != nil {
+			t.Error(err)
+		}
+	})
+	// The image must already be fsck-clean at "power off".
+	if rep := fs.Check(m1.SSD.Image()); !rep.OK() {
+		t.Fatalf("fsck at shutdown: %v", rep.Problems)
+	}
+	m2 := NewMachine(Config{Phis: 1, DiskBytes: 32 << 20, SkipMkfs: true})
+	img1 := m1.SSD.Image()
+	img2 := m2.SSD.Image()
+	copy(img2.Slice(0, img2.Size()), img1.Slice(0, img1.Size()))
+	m2.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, err := c.Open(p, "/persist/me", 0)
+		if err != nil {
+			t.Error("file lost across reboot:", err)
+			return
+		}
+		buf := c.AllocBuffer(8192)
+		n, err := c.Read(p, fd, 0, buf, int64(len(payload)))
+		if err != nil || int(n) != len(payload) || !bytes.Equal(buf.Data[:n], payload) {
+			t.Errorf("reboot read n=%d err=%v", n, err)
+		}
+	})
+}
+
+func TestCrossNUMAWriteIntegrity(t *testing.T) {
+	// A socket-1 co-processor's writes go through the buffered path
+	// (pull to host staging, then disk); the bytes must round-trip.
+	m := NewMachine(Config{Phis: 4})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		phi := m.Phis[3] // socket 1
+		fd, err := phi.FS.Open(p, "/xnuma", ninep.OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		payload := bytes.Repeat([]byte{0xE7}, 300<<10)
+		buf := phi.FS.AllocBuffer(int64(len(payload)))
+		copy(buf.Data, payload)
+		if _, err := phi.FS.Write(p, fd, 0, buf, int64(len(payload))); err != nil {
+			t.Error(err)
+			return
+		}
+		_, buffered, _ := m.FSProxy.PathStats()
+		if buffered == 0 {
+			t.Error("cross-NUMA write did not take the buffered path")
+		}
+		// Read back from a socket-0 co-processor (P2P path).
+		fd0, _ := m.Phis[0].FS.Open(p, "/xnuma", 0)
+		rb := m.Phis[0].FS.AllocBuffer(int64(len(payload)))
+		n, err := m.Phis[0].FS.Read(p, fd0, 0, rb, int64(len(payload)))
+		if err != nil || int(n) != len(payload) || !bytes.Equal(rb.Data[:n], payload) {
+			t.Errorf("cross-NUMA written data corrupted: n=%d err=%v", n, err)
+		}
+	})
+}
+
+func TestUnalignedWriteThroughRPC(t *testing.T) {
+	// Unaligned offsets force the proxy's staged read-modify-write; the
+	// surrounding bytes must survive.
+	m := NewMachine(Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, _ := c.Open(p, "/unaligned", ninep.OCreate)
+		base := bytes.Repeat([]byte{'A'}, 12<<10)
+		buf := c.AllocBuffer(16 << 10)
+		copy(buf.Data, base)
+		c.Write(p, fd, 0, buf, int64(len(base)))
+		// Overwrite 1000 bytes spanning a block boundary at offset 3596.
+		patch := bytes.Repeat([]byte{'Z'}, 1000)
+		pb := c.AllocBuffer(1024)
+		copy(pb.Data, patch)
+		if _, err := c.Write(p, fd, 3596, pb, 1000); err != nil {
+			t.Error(err)
+			return
+		}
+		rb := c.AllocBuffer(16 << 10)
+		n, _ := c.Read(p, fd, 0, rb, int64(len(base)))
+		want := append([]byte{}, base...)
+		copy(want[3596:], patch)
+		if int(n) != len(base) || !bytes.Equal(rb.Data[:n], want) {
+			t.Error("unaligned RPC write corrupted surrounding data")
+		}
+	})
+}

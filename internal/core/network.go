@@ -1,0 +1,66 @@
+package core
+
+import (
+	"solros/internal/controlplane"
+	"solros/internal/cpu"
+	"solros/internal/dataplane"
+	"solros/internal/netstack"
+	"solros/internal/sim"
+	"solros/internal/transport"
+)
+
+// Networking assembly: the host NIC and stack, an external client machine,
+// the control-plane TCP proxy, and per-co-processor network stubs.
+
+// EnableNetwork must be called before Run. It attaches the network service
+// to every co-processor and creates an external client machine named
+// "client" on the same 100 GbE network (§6's client box).
+func (m *Machine) EnableNetwork() {
+	if m.Net != nil {
+		return
+	}
+	m.Net = netstack.NewNetwork(m.Fabric)
+	m.HostStack = m.Net.NewStack("solros-host", cpu.Host, nil)
+	m.ClientStack = m.Net.NewStack("client", cpu.Host, nil)
+	m.TCPProxy = controlplane.NewTCPProxy(m.Fabric, m.HostStack)
+	for _, phi := range m.Phis {
+		rpcConn, reqPort, respPort := dataplane.NewConn(m.Fabric, phi.Dev, m.cfg.RingOptions)
+		stubOut, stubIn, proxyOut, proxyIn := dataplane.NewNetRings(m.Fabric, phi.Dev, ringOptionsForNet(m.cfg.RingOptions))
+		phi.Net = dataplane.NewNetClient(rpcConn, stubOut, stubIn)
+		phi.netConn = rpcConn
+		m.TCPProxy.AttachNet(phi.Dev, reqPort, respPort, proxyOut, proxyIn)
+	}
+}
+
+// bootNetwork starts the network service procs; called from boot when
+// networking is enabled.
+func (m *Machine) bootNetwork(p *sim.Proc) {
+	if m.Net == nil {
+		return
+	}
+	for _, phi := range m.Phis {
+		phi.Net.Start(p)
+	}
+	m.TCPProxy.Start(p)
+}
+
+// shutdownNetwork tears the network service down so its procs drain.
+func (m *Machine) shutdownNetwork(p *sim.Proc) {
+	if m.Net == nil {
+		return
+	}
+	m.TCPProxy.Stop(p)
+	for _, phi := range m.Phis {
+		phi.Net.CloseRings(p)
+		phi.netConn.Close(p)
+	}
+}
+
+// ringOptionsForNet returns the larger inbound/outbound ring sizing used
+// by the network service.
+func ringOptionsForNet(base transport.Options) transport.Options {
+	if base.CapBytes < 8<<20 {
+		base.CapBytes = 8 << 20
+	}
+	return base
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders a human-readable status digest of the machine: data-path
+// decisions, cache effectiveness, device counters, and per-co-processor
+// ring traffic. Examples print it after a run; operators of a real Solros
+// deployment would scrape the same counters.
+func (m *Machine) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "solros machine: %d co-processor(s), disk %d MB, cache %d MB\n",
+		len(m.Phis), m.cfg.DiskBytes>>20, m.cfg.CacheBytes>>20)
+
+	if m.FSProxy != nil {
+		p2p, buffered, hits := m.FSProxy.PathStats()
+		fmt.Fprintf(&b, "fs proxy: p2p=%d buffered=%d cache-hits=%d prefetches=%d\n",
+			p2p, buffered, hits, m.FSProxy.Prefetches())
+		ch, cm, ce := m.FSProxy.Cache.Stats()
+		fmt.Fprintf(&b, "buffer cache: %d/%d pages, hits=%d misses=%d evictions=%d\n",
+			m.FSProxy.Cache.Len(), m.FSProxy.Cache.Capacity(), ch, cm, ce)
+	}
+	st := m.SSD.Stats()
+	fmt.Fprintf(&b, "nvme: %d commands, %d doorbells, %d interrupts, read %d MB, written %d MB",
+		st.Commands, st.Doorbells, st.Interrupts, st.ReadBytes>>20, st.WriteBytes>>20)
+	if st.MediaErrors > 0 {
+		fmt.Fprintf(&b, ", MEDIA ERRORS: %d", st.MediaErrors)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "pcie: %d transactions\n", m.Fabric.Transactions())
+
+	for i, phi := range m.Phis {
+		sent, recv, bytes := phi.Conn.RingStats()
+		fmt.Fprintf(&b, "phi%d rpc rings: %d sent / %d received (%d KB)\n",
+			i, sent, recv, bytes>>10)
+	}
+	if m.TCPProxy != nil {
+		fmt.Fprintf(&b, "tcp proxy active conns: %v\n", m.TCPProxy.ActiveConns())
+	}
+	return b.String()
+}

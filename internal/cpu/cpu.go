@@ -1,0 +1,107 @@
+// Package cpu models the two processor classes of the Solros testbed: fat,
+// fast host cores (Xeon E5-2670 v3) and lean, slow, massively parallel
+// co-processor cores (Xeon Phi). The model's single job is to charge a
+// piece of code its relative cost on the core type it runs on — the paper's
+// central claim is that branchy I/O-stack code belongs on fast cores while
+// data-parallel compute belongs on the many lean cores.
+package cpu
+
+import (
+	"solros/internal/model"
+	"solros/internal/sim"
+)
+
+// Kind identifies a processor class.
+type Kind int
+
+const (
+	// Host is a fat out-of-order server core.
+	Host Kind = iota
+	// Phi is a lean in-order co-processor core.
+	Phi
+)
+
+func (k Kind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "phi"
+}
+
+// SystemsSlowdown reports the multiplier for control-flow divergent
+// systems code (file systems, network protocol stacks) on this core kind.
+func (k Kind) SystemsSlowdown() int64 {
+	if k == Phi {
+		return model.PhiSystemsSlowdown
+	}
+	return 1
+}
+
+// ComputeSlowdown reports the multiplier for data-parallel application
+// compute on this core kind.
+func (k Kind) ComputeSlowdown() int64 {
+	if k == Phi {
+		return model.PhiComputeSlowdown
+	}
+	return 1
+}
+
+// Core is one hardware thread of a given kind. Experiments bind each
+// simulated software thread to its own Core, matching the paper's setup
+// (it never oversubscribes hardware threads).
+type Core struct {
+	Kind Kind
+	// ID is the hardware thread index within its processor.
+	ID int
+}
+
+// Systems charges the Proc d of systems-code work scaled by the core's
+// systems slowdown.
+func (c *Core) Systems(p *sim.Proc, d sim.Time) {
+	p.Advance(d * sim.Time(c.Kind.SystemsSlowdown()))
+}
+
+// Compute charges the Proc d of data-parallel compute scaled by the core's
+// compute slowdown.
+func (c *Core) Compute(p *sim.Proc, d sim.Time) {
+	p.Advance(d * sim.Time(c.Kind.ComputeSlowdown()))
+}
+
+// TouchBytes charges per-byte processing (copies, checksums, parsing) at
+// psPerByte picoseconds per byte on a host core, scaled by the systems
+// slowdown.
+func (c *Core) TouchBytes(p *sim.Proc, n int64, psPerByte int64) {
+	ns := n * psPerByte / 1000
+	p.Advance(sim.Time(ns) * sim.Time(c.Kind.SystemsSlowdown()))
+}
+
+// Pool is a set of cores of one kind.
+type Pool struct {
+	Kind  Kind
+	cores []*Core
+}
+
+// NewPool creates n cores of the given kind.
+func NewPool(kind Kind, n int) *Pool {
+	p := &Pool{Kind: kind}
+	for i := 0; i < n; i++ {
+		p.cores = append(p.cores, &Core{Kind: kind, ID: i})
+	}
+	return p
+}
+
+// Size reports the number of cores in the pool.
+func (p *Pool) Size() int { return len(p.cores) }
+
+// Core returns hardware thread i (modulo pool size, so callers may spawn
+// more workers than cores when modelling SMT oversubscription).
+func (p *Pool) Core(i int) *Core { return p.cores[i%len(p.cores)] }
+
+// HostPool returns the paper's host: 2 sockets x 24 cores.
+func HostPool() *Pool {
+	return NewPool(Host, model.HostSockets*model.HostCoresPerSocket)
+}
+
+// PhiPool returns one Xeon Phi: 61 cores (244 hardware threads reachable
+// via modulo indexing).
+func PhiPool() *Pool { return NewPool(Phi, model.PhiCores) }

@@ -1,0 +1,70 @@
+package cpu
+
+import (
+	"testing"
+
+	"solros/internal/model"
+	"solros/internal/sim"
+)
+
+func TestKindStrings(t *testing.T) {
+	if Host.String() != "host" || Phi.String() != "phi" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestSlowdowns(t *testing.T) {
+	if Host.SystemsSlowdown() != 1 || Host.ComputeSlowdown() != 1 {
+		t.Fatal("host cores must have unit slowdown")
+	}
+	if Phi.SystemsSlowdown() != model.PhiSystemsSlowdown {
+		t.Fatal("phi systems slowdown wrong")
+	}
+	if Phi.ComputeSlowdown() != model.PhiComputeSlowdown {
+		t.Fatal("phi compute slowdown wrong")
+	}
+	if Phi.SystemsSlowdown() <= Phi.ComputeSlowdown() {
+		t.Fatal("branchy systems code must suffer more than data-parallel compute on a Phi")
+	}
+}
+
+func TestChargesScale(t *testing.T) {
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		h := &Core{Kind: Host}
+		ph := &Core{Kind: Phi}
+		start := p.Now()
+		h.Systems(p, 100)
+		hostCost := p.Now() - start
+		start = p.Now()
+		ph.Systems(p, 100)
+		phiCost := p.Now() - start
+		if phiCost != hostCost*sim.Time(model.PhiSystemsSlowdown) {
+			t.Errorf("systems charge: host=%v phi=%v", hostCost, phiCost)
+		}
+		start = p.Now()
+		ph.TouchBytes(p, 1000, 2000) // 2ns/byte at host speed
+		if got := p.Now() - start; got != sim.Time(2000*int64(model.PhiSystemsSlowdown)) {
+			t.Errorf("TouchBytes = %v", got)
+		}
+	})
+	e.MustRun()
+}
+
+func TestPools(t *testing.T) {
+	h := HostPool()
+	if h.Size() != model.HostSockets*model.HostCoresPerSocket {
+		t.Fatalf("host pool size = %d", h.Size())
+	}
+	p := PhiPool()
+	if p.Size() != model.PhiCores {
+		t.Fatalf("phi pool size = %d", p.Size())
+	}
+	// Modulo indexing covers SMT oversubscription.
+	if p.Core(0) != p.Core(model.PhiCores) {
+		t.Fatal("modulo core indexing broken")
+	}
+	if p.Core(0) == p.Core(1) {
+		t.Fatal("distinct indices must map to distinct cores")
+	}
+}

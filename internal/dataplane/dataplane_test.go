@@ -1,0 +1,117 @@
+package dataplane
+
+import (
+	"testing"
+
+	"solros/internal/ninep"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/transport"
+)
+
+// echoProxy runs a trivial control-plane loop that answers every request
+// with an R-message of the given type.
+func echoProxy(p *sim.Proc, req, resp *transport.Port) {
+	p.Spawn("echo-proxy", func(wp *sim.Proc) {
+		for {
+			raw, ok := req.Recv(wp)
+			if !ok {
+				return
+			}
+			m, err := ninep.Decode(raw)
+			if err != nil {
+				panic(err)
+			}
+			out := &ninep.Msg{Type: ninep.Ropen, Tag: m.Tag, Size: int64(m.Fid)}
+			resp.Send(wp, out.Encode())
+		}
+	})
+}
+
+func TestCallRoundTripAndTagMatching(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, respPort := NewConn(fab, phi, transport.Options{CapBytes: 1 << 20})
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		echoProxy(p, reqPort, respPort)
+		// Concurrent callers: responses must route back by tag.
+		wg := sim.NewWaitGroup("callers")
+		wg.Add(8)
+		for i := 0; i < 8; i++ {
+			fid := uint32(i + 100)
+			p.Spawn("caller", func(cp *sim.Proc) {
+				defer cp.DoneWG(wg)
+				resp, err := conn.Call(cp, &ninep.Msg{Type: ninep.Topen, Fid: fid})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.Size != int64(fid) {
+					t.Errorf("caller %d got response for fid %d", fid, resp.Size)
+				}
+			})
+		}
+		p.WaitWG(wg)
+		conn.Close(p)
+	})
+	e.MustRun()
+}
+
+func TestCallAfterCloseFails(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, respPort := NewConn(fab, phi, transport.Options{})
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		// A proxy that never answers; the pending call must fail once
+		// the connection closes.
+		p.Spawn("mute-proxy", func(wp *sim.Proc) {
+			for {
+				if _, ok := reqPort.Recv(wp); !ok {
+					return
+				}
+			}
+		})
+		_ = respPort
+		p.Spawn("closer", func(cp *sim.Proc) {
+			cp.Advance(100 * sim.Microsecond)
+			conn.Close(cp)
+		})
+		if _, err := conn.Call(p, &ninep.Msg{Type: ninep.Tstat, Name: "/x"}); err == nil {
+			t.Error("call survived connection close")
+		}
+	})
+	e.MustRun()
+}
+
+func TestAllocBufferDistinct(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, _, _ := NewConn(fab, phi, transport.Options{})
+	c := NewFSClient(conn)
+	a := c.AllocBuffer(4096)
+	b := c.AllocBuffer(4096)
+	if a.Addr == b.Addr {
+		t.Fatal("buffers share memory")
+	}
+	a.Data[0] = 1
+	if b.Data[0] == 1 && a.Addr+4096 > b.Addr {
+		t.Fatal("buffer regions overlap")
+	}
+}
+
+func TestNetRingPlacement(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	stubOut, stubIn, proxyOut, proxyIn := NewNetRings(fab, phi, transport.Options{})
+	// §4.4.1: outbound master at the co-processor, inbound at the host.
+	if stubOut.Ring() == stubIn.Ring() {
+		t.Fatal("rings must be distinct")
+	}
+	if stubOut.Ring() != proxyOut.Ring() || stubIn.Ring() != proxyIn.Ring() {
+		t.Fatal("stub and proxy ports must share rings")
+	}
+}

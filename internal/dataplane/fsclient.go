@@ -1,0 +1,173 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"solros/internal/ninep"
+	"solros/internal/sim"
+)
+
+// FSClient is the data-plane file-system stub: it "transforms a file
+// system call from an application to a corresponding RPC, as there exists
+// a one-to-one mapping between an RPC and a file system call" (§4.3.1).
+// Read and write buffers live in co-processor memory; the RPC carries
+// their physical addresses so the control plane can arrange zero-copy
+// transfers between the disk and this memory.
+type FSClient struct {
+	conn *Conn
+	fids map[uint32]*fidState
+	next uint32
+}
+
+type fidState struct {
+	path  string
+	flags uint32
+	size  int64
+}
+
+// Fd is a data-plane file descriptor.
+type Fd uint32
+
+// NewFSClient wraps an RPC connection in the file-system stub API.
+func NewFSClient(conn *Conn) *FSClient {
+	return &FSClient{conn: conn, fids: make(map[uint32]*fidState)}
+}
+
+// Buffer is an application I/O buffer in co-processor memory: the stub's
+// equivalent of a pinned user page. Data points into the device's exported
+// memory region; Addr is the physical address carried in RPCs.
+type Buffer struct {
+	Addr int64
+	Data []byte
+}
+
+// AllocBuffer carves an n-byte I/O buffer out of co-processor memory.
+func (c *FSClient) AllocBuffer(n int64) Buffer {
+	off := c.conn.Phi.Mem.Alloc(n)
+	return Buffer{Addr: off, Data: c.conn.Phi.Mem.Slice(off, n)}
+}
+
+// Open opens (or with ninep.OCreate creates) path, returning a descriptor.
+func (c *FSClient) Open(p *sim.Proc, path string, flags uint32) (Fd, error) {
+	typ := ninep.Topen
+	if flags&ninep.OCreate != 0 {
+		typ = ninep.Tcreate
+	}
+	c.next++
+	fid := c.next
+	resp, err := c.conn.Call(p, &ninep.Msg{Type: typ, Fid: fid, Name: path, Flags: flags})
+	if err != nil {
+		return 0, err
+	}
+	c.fids[fid] = &fidState{path: path, flags: flags, size: resp.Size}
+	return Fd(fid), nil
+}
+
+// Close releases a descriptor.
+func (c *FSClient) Close(p *sim.Proc, fd Fd) error {
+	if _, ok := c.fids[uint32(fd)]; !ok {
+		return fmt.Errorf("dataplane: bad fd %d", fd)
+	}
+	_, err := c.conn.Call(p, &ninep.Msg{Type: ninep.Tclose, Fid: uint32(fd)})
+	delete(c.fids, uint32(fd))
+	return err
+}
+
+// Read reads n bytes at off into buf (co-processor memory), returning the
+// bytes read. The RPC carries buf's physical address; data lands in buf by
+// device DMA without staging through this stub.
+func (c *FSClient) Read(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (int64, error) {
+	if n > int64(len(buf.Data)) {
+		return 0, fmt.Errorf("dataplane: read %d into %d-byte buffer", n, len(buf.Data))
+	}
+	resp, err := c.conn.Call(p, &ninep.Msg{
+		Type: ninep.Tread, Fid: uint32(fd), Off: off, Count: n, Addr: buf.Addr,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Write writes the first n bytes of buf at off. The caller must have
+// placed the payload in buf.Data beforehand (it is the application's own
+// memory).
+func (c *FSClient) Write(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (int64, error) {
+	if n > int64(len(buf.Data)) {
+		return 0, fmt.Errorf("dataplane: write %d from %d-byte buffer", n, len(buf.Data))
+	}
+	resp, err := c.conn.Call(p, &ninep.Msg{
+		Type: ninep.Twrite, Fid: uint32(fd), Off: off, Count: n, Addr: buf.Addr,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if st := c.fids[uint32(fd)]; st != nil && off+resp.Count > st.size {
+		st.size = off + resp.Count
+	}
+	return resp.Count, nil
+}
+
+// Stat returns file metadata.
+func (c *FSClient) Stat(p *sim.Proc, path string) (size int64, mode uint16, err error) {
+	resp, err := c.conn.Call(p, &ninep.Msg{Type: ninep.Tstat, Name: path})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Size, resp.Mode, nil
+}
+
+// Unlink removes a file or empty directory.
+func (c *FSClient) Unlink(p *sim.Proc, path string) error {
+	_, err := c.conn.Call(p, &ninep.Msg{Type: ninep.Tunlink, Name: path})
+	return err
+}
+
+// Mkdir creates a directory.
+func (c *FSClient) Mkdir(p *sim.Proc, path string) error {
+	_, err := c.conn.Call(p, &ninep.Msg{Type: ninep.Tmkdir, Name: path})
+	return err
+}
+
+// ReadDir lists a directory. Entries travel inline in the response.
+func (c *FSClient) ReadDir(p *sim.Proc, path string) ([]string, error) {
+	resp, err := c.conn.Call(p, &ninep.Msg{Type: ninep.Treaddir, Name: path})
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	data := resp.Data
+	for len(data) > 0 {
+		n := int(data[0])
+		if len(data) < 1+n {
+			return nil, fmt.Errorf("dataplane: corrupt readdir payload")
+		}
+		names = append(names, string(data[1:1+n]))
+		data = data[1+n:]
+	}
+	return names, nil
+}
+
+// Rename moves a file or directory.
+func (c *FSClient) Rename(p *sim.Proc, oldPath, newPath string) error {
+	_, err := c.conn.Call(p, &ninep.Msg{Type: ninep.Trename, Name: oldPath + "\x00" + newPath})
+	return err
+}
+
+// Link creates a hard link to an existing file.
+func (c *FSClient) Link(p *sim.Proc, oldPath, newPath string) error {
+	_, err := c.conn.Call(p, &ninep.Msg{Type: ninep.Tlink, Name: oldPath + "\x00" + newPath})
+	return err
+}
+
+// Truncate resizes a file.
+func (c *FSClient) Truncate(p *sim.Proc, fd Fd, size int64) error {
+	_, err := c.conn.Call(p, &ninep.Msg{Type: ninep.Ttrunc, Fid: uint32(fd), Size: size})
+	return err
+}
+
+// Sync asks the control plane to flush file-system metadata.
+func (c *FSClient) Sync(p *sim.Proc) error {
+	_, err := c.conn.Call(p, &ninep.Msg{Type: ninep.Tsync})
+	return err
+}

@@ -1,0 +1,75 @@
+package dataplane
+
+import (
+	"solros/internal/sim"
+)
+
+// Poller is the data plane's readiness-multiplexing API (epoll-like),
+// built directly on the event dispatcher of §4.4.2: the dispatcher already
+// demultiplexes inbound ring events to per-socket queues, so readiness is
+// a local property and a server thread can wait on many sockets at once
+// without spinning on each.
+type Poller struct {
+	nc      *NetClient
+	watched map[uint64]*Socket
+	cond    *sim.Cond
+}
+
+// NewPoller returns an empty poller on this network stub.
+func (nc *NetClient) NewPoller() *Poller {
+	return &Poller{
+		nc:      nc,
+		watched: make(map[uint64]*Socket),
+		cond:    sim.NewCond("poller"),
+	}
+}
+
+// Watch adds a socket to the poll set.
+func (pl *Poller) Watch(s *Socket) {
+	pl.watched[s.ID] = s
+	if s.poller != nil && s.poller != pl {
+		panic("dataplane: socket watched by two pollers")
+	}
+	s.poller = pl
+}
+
+// Unwatch removes a socket from the poll set.
+func (pl *Poller) Unwatch(s *Socket) {
+	delete(pl.watched, s.ID)
+	s.poller = nil
+}
+
+// ready collects watched sockets with data or EOF pending.
+func (pl *Poller) ready() []*Socket {
+	var out []*Socket
+	for _, s := range pl.watched {
+		if len(s.recvq) > 0 || s.eof {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Wait blocks until at least one watched socket is readable (has data or
+// EOF) and returns all currently readable ones. It returns nil if the
+// poll set is empty or the stub is shutting down.
+func (pl *Poller) Wait(p *sim.Proc) []*Socket {
+	for {
+		if len(pl.watched) == 0 {
+			return nil
+		}
+		if rs := pl.ready(); len(rs) > 0 {
+			return rs
+		}
+		if pl.nc.inbound.Ring().Closed() {
+			return nil
+		}
+		p.Wait(pl.cond)
+	}
+}
+
+// notify is called by the dispatcher when a watched socket becomes
+// readable.
+func (pl *Poller) notify(p *sim.Proc) {
+	p.Broadcast(pl.cond)
+}

@@ -1,0 +1,128 @@
+// Package dataplane implements the co-processor side of Solros: a lean
+// RPC stub per OS service (§4.3.1, §4.4.1) plus the event dispatcher that
+// demultiplexes inbound completions (§4.4.2). There is deliberately no
+// file system or network protocol code here — that is the whole point of
+// the architecture.
+package dataplane
+
+import (
+	"fmt"
+
+	"solros/internal/cpu"
+	"solros/internal/model"
+	"solros/internal/ninep"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/transport"
+)
+
+// Core-kind aliases used across the package's ring construction.
+const (
+	cpuPhiKind  = cpu.Phi
+	cpuHostKind = cpu.Host
+)
+
+// Conn is a request/response RPC connection from one co-processor to the
+// control plane: a pair of transport rings (both masters in co-processor
+// memory, §4.3.1) and a single dispatcher proc that routes responses to
+// waiting callers by tag.
+type Conn struct {
+	Phi  *pcie.Device
+	req  *transport.Port // stub -> proxy
+	resp *transport.Port // proxy -> stub
+
+	nextTag uint16
+	pending map[uint16]*call
+	started bool
+}
+
+type call struct {
+	resp *ninep.Msg
+	cond *sim.Cond
+}
+
+// NewConn builds the ring pair for a co-processor on the fabric. Both
+// master rings live in co-processor memory so the stub's operations are
+// local and the fast host crosses the bus (§4.3.1). It returns the stub's
+// connection and the proxy-side ports.
+func NewConn(f *pcie.Fabric, phi *pcie.Device, opt transport.Options) (*Conn, *transport.Port, *transport.Port) {
+	reqRing := transport.NewRing(f, phi, opt)
+	respRing := transport.NewRing(f, phi, opt)
+	c := &Conn{
+		Phi:     phi,
+		req:     reqRing.Port(phi, cpu.Phi),
+		resp:    respRing.Port(phi, cpu.Phi),
+		pending: make(map[uint16]*call),
+	}
+	return c, reqRing.Port(nil, cpu.Host), respRing.Port(nil, cpu.Host)
+}
+
+// Start launches the connection's dispatcher proc, which runs until the
+// response ring is closed.
+func (c *Conn) Start(p *sim.Proc) {
+	if c.started {
+		return
+	}
+	c.started = true
+	p.Spawn(c.Phi.Name+"-dispatcher", func(dp *sim.Proc) {
+		for {
+			raw, ok := c.resp.Recv(dp)
+			if !ok {
+				// Wake every waiter with an error response.
+				for tag, pc := range c.pending {
+					pc.resp = &ninep.Msg{Type: ninep.Rerror, Tag: tag, Err: "connection closed"}
+					dp.Broadcast(pc.cond)
+				}
+				return
+			}
+			m, err := ninep.Decode(raw)
+			if err != nil {
+				panic("dataplane: corrupt response: " + err.Error())
+			}
+			pc, ok := c.pending[m.Tag]
+			if !ok {
+				panic(fmt.Sprintf("dataplane: response for unknown tag %d", m.Tag))
+			}
+			pc.resp = m
+			dp.Signal(pc.cond)
+		}
+	})
+}
+
+// Call sends m and blocks until its response arrives. The stub cost
+// charged here is the whole data-plane OS contribution per syscall
+// (Figure 13a): marshal, ring operation, demultiplex.
+func (c *Conn) Call(p *sim.Proc, m *ninep.Msg) (*ninep.Msg, error) {
+	if !c.started {
+		panic("dataplane: Call before Start")
+	}
+	p.Advance(model.FSStubCost)
+	c.nextTag++
+	m.Tag = c.nextTag
+	pc := &call{cond: sim.NewCond(fmt.Sprintf("rpc-tag-%d", m.Tag))}
+	c.pending[m.Tag] = pc
+	c.req.Send(p, m.Encode())
+	for pc.resp == nil {
+		p.Wait(pc.cond)
+	}
+	delete(c.pending, m.Tag)
+	if err := pc.resp.Error(); err != nil {
+		return nil, err
+	}
+	return pc.resp, nil
+}
+
+// RingStats reports request-ring messages sent, response-ring messages
+// received, and request payload bytes, for machine status reports.
+func (c *Conn) RingStats() (sent, received, sentBytes int64) {
+	reqSent, _, reqBytes := c.req.Ring().Stats()
+	_, respRecv, _ := c.resp.Ring().Stats()
+	return reqSent, respRecv, reqBytes
+}
+
+// Close shuts down both rings; in-flight calls fail with "connection
+// closed" and the dispatcher exits.
+func (c *Conn) Close(p *sim.Proc) {
+	c.req.Close(p)
+	c.resp.Close(p)
+}

@@ -1,0 +1,190 @@
+package fs
+
+import (
+	"fmt"
+
+	"solros/internal/pcie"
+)
+
+// CheckReport summarizes an offline consistency check of a solrosfs image.
+type CheckReport struct {
+	Files, Dirs int
+	UsedBlocks  int64
+	Problems    []string
+}
+
+// OK reports whether the image passed every invariant.
+func (r *CheckReport) OK() bool { return len(r.Problems) == 0 }
+
+func (r *CheckReport) addf(format string, args ...any) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// Check runs an offline fsck over a raw image: superblock sanity, extent
+// bounds, double allocation, bitmap consistency with reachable inodes, and
+// directory-tree reachability. It never modifies the image.
+func Check(img *pcie.Memory) *CheckReport {
+	r := &CheckReport{}
+	var sb superblock
+	if img.Size() < BlockSize {
+		r.addf("image smaller than one block")
+		return r
+	}
+	if err := sb.decode(img.Slice(0, BlockSize)); err != nil {
+		r.addf("superblock: %v", err)
+		return r
+	}
+	nblocks := sb.NBlocks
+	if int64(nblocks)*BlockSize > img.Size() {
+		r.addf("superblock block count %d exceeds image", nblocks)
+		return r
+	}
+	bitmap := img.Slice(int64(sb.BitmapStart)*BlockSize, int64(sb.BitmapBlocks)*BlockSize)
+	used := func(b uint32) bool { return bitmap[b/8]&(1<<(b%8)) != 0 }
+
+	// Load all inodes.
+	inodes := make([]inode, sb.NInodes)
+	for i := range inodes {
+		in := &inodes[i]
+		in.ino = uint32(i)
+		slot := img.Slice(int64(sb.ITableStart)*BlockSize+int64(i)*InodeSize, InodeSize)
+		spilled := in.decodeFrom(slot)
+		if spilled > 0 {
+			if in.indirect == 0 || uint64(in.indirect) >= nblocks {
+				r.addf("inode %d: %d spilled extents but bad indirect block %d", i, spilled, in.indirect)
+				continue
+			}
+			in.decodeIndirect(img.Slice(int64(in.indirect)*BlockSize, BlockSize), spilled)
+		}
+	}
+
+	// Walk extents: bounds, overlap, bitmap agreement.
+	owner := make(map[uint32]uint32) // block -> ino
+	claim := func(ino, b uint32) {
+		if b < sb.DataStart || uint64(b) >= nblocks {
+			r.addf("inode %d: block %d outside data area", ino, b)
+			return
+		}
+		if prev, dup := owner[b]; dup {
+			r.addf("block %d claimed by inodes %d and %d", b, prev, ino)
+			return
+		}
+		owner[b] = ino
+		if !used(b) {
+			r.addf("inode %d: block %d in use but free in bitmap", ino, b)
+		}
+		r.UsedBlocks++
+	}
+	for i := range inodes {
+		in := &inodes[i]
+		switch in.mode {
+		case ModeFree:
+			continue
+		case ModeFile:
+			r.Files++
+		case ModeDir:
+			r.Dirs++
+		default:
+			r.addf("inode %d: unknown mode %d", i, in.mode)
+			continue
+		}
+		var logical uint32
+		for _, e := range in.extents {
+			if e.Logical != logical {
+				r.addf("inode %d: extent hole at logical %d (expected %d)", i, e.Logical, logical)
+			}
+			logical = e.Logical + e.Count
+			for b := e.Start; b < e.Start+e.Count; b++ {
+				claim(uint32(i), b)
+			}
+		}
+		if in.indirect != 0 {
+			claim(uint32(i), in.indirect)
+		}
+		if maxSize := int64(logical) * BlockSize; in.size > maxSize {
+			r.addf("inode %d: size %d exceeds allocation %d", i, in.size, maxSize)
+		}
+	}
+
+	// Bitmap leak check: every used data block must have an owner.
+	for b := uint64(sb.DataStart); b < nblocks; b++ {
+		if used(uint32(b)) {
+			if _, ok := owner[uint32(b)]; !ok {
+				r.addf("block %d marked used but unowned (leak)", b)
+			}
+		}
+	}
+
+	// Reachability from the root.
+	if sb.NInodes <= RootIno || inodes[RootIno].mode != ModeDir {
+		r.addf("root inode missing or not a directory")
+		return r
+	}
+	seen := make(map[uint32]int)
+	var walk func(ino uint32)
+	walk = func(ino uint32) {
+		seen[ino]++
+		in := &inodes[ino]
+		if in.mode == ModeDir && seen[ino] > 1 {
+			r.addf("directory inode %d reached twice (cycle or duplicate link)", ino)
+			return
+		}
+		if in.mode != ModeDir {
+			// Regular files may be reached once per hard link.
+			if seen[ino] > int(in.nlink) {
+				r.addf("inode %d reached %d times but nlink=%d", ino, seen[ino], in.nlink)
+			}
+			return
+		}
+		content := readInodeImage(img, in)
+		ents, err := parseDirents(content)
+		if err != nil {
+			r.addf("inode %d: corrupt directory content", ino)
+			return
+		}
+		for _, d := range ents {
+			if d.Ino == 0 || uint64(d.Ino) >= uint64(sb.NInodes) {
+				r.addf("dir inode %d: entry %q has bad inode %d", ino, d.Name, d.Ino)
+				continue
+			}
+			if inodes[d.Ino].mode == ModeFree {
+				r.addf("dir inode %d: entry %q points to free inode %d", ino, d.Name, d.Ino)
+				continue
+			}
+			walk(d.Ino)
+		}
+	}
+	walk(RootIno)
+	for i := range inodes {
+		in := &inodes[i]
+		if in.mode == ModeFree {
+			continue
+		}
+		if seen[uint32(i)] == 0 {
+			r.addf("inode %d allocated but unreachable from root", i)
+			continue
+		}
+		if in.mode == ModeFile && seen[uint32(i)] != int(in.nlink) {
+			r.addf("inode %d: nlink=%d but %d directory entries reference it", i, in.nlink, seen[uint32(i)])
+		}
+	}
+	return r
+}
+
+// readInodeImage reads an inode's full content straight from the image
+// (offline, no timing).
+func readInodeImage(img *pcie.Memory, in *inode) []byte {
+	out := make([]byte, in.size)
+	for _, e := range in.extents {
+		lo := int64(e.Logical) * BlockSize
+		if lo >= in.size {
+			break
+		}
+		n := int64(e.Count) * BlockSize
+		if lo+n > in.size {
+			n = in.size - lo
+		}
+		copy(out[lo:lo+n], img.Slice(int64(e.Start)*BlockSize, n))
+	}
+	return out
+}

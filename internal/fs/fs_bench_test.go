@@ -1,0 +1,129 @@
+package fs
+
+import (
+	"fmt"
+	"testing"
+
+	"solros/internal/block"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+// benchFS mounts a fresh FS and runs fn once per b.N inside one Proc.
+func benchFS(b *testing.B, diskMB int64, fn func(p *sim.Proc, fsys *FS)) {
+	b.Helper()
+	fab := pcie.New(512 << 20)
+	disk := block.NewMemDisk(fab, diskMB<<20)
+	if err := Mkfs(disk.Image(), 0); err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine()
+	e.Spawn("bench", 0, func(p *sim.Proc) {
+		fsys, err := Mount(p, fab, disk)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		b.ResetTimer()
+		fn(p, fsys)
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCreateUnlinkFile(b *testing.B) {
+	// Create+unlink pairs so arbitrary b.N cannot exhaust the inode
+	// table.
+	benchFS(b, 256, func(p *sim.Proc, fsys *FS) {
+		for i := 0; i < b.N; i++ {
+			name := fmt.Sprintf("/f%d", i%512)
+			if _, err := fsys.Create(p, name); err != nil {
+				b.Fatal(err)
+			}
+			if err := fsys.Unlink(p, name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkWrite4K(b *testing.B) {
+	benchFS(b, 256, func(p *sim.Proc, fsys *FS) {
+		f, _ := fsys.Create(p, "/bench")
+		buf := make([]byte, 4096)
+		for i := 0; i < b.N; i++ {
+			off := int64(i%4096) * 4096
+			if _, err := f.Write(p, off, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.SetBytes(4096)
+}
+
+func BenchmarkRead4K(b *testing.B) {
+	benchFS(b, 256, func(p *sim.Proc, fsys *FS) {
+		f, _ := fsys.Create(p, "/bench")
+		f.Truncate(p, 16<<20)
+		buf := make([]byte, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := int64(i%4096) * 4096
+			if _, err := f.Read(p, off, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.SetBytes(4096)
+}
+
+func BenchmarkPathLookupDeep(b *testing.B) {
+	benchFS(b, 64, func(p *sim.Proc, fsys *FS) {
+		fsys.Mkdir(p, "/a")
+		fsys.Mkdir(p, "/a/b")
+		fsys.Mkdir(p, "/a/b/c")
+		fsys.Create(p, "/a/b/c/leaf")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fsys.Open(p, "/a/b/c/leaf"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFiemap(b *testing.B) {
+	benchFS(b, 256, func(p *sim.Proc, fsys *FS) {
+		f, _ := fsys.Create(p, "/bench")
+		f.Truncate(p, 64<<20)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Fiemap(int64(i%1024)*4096, 1<<20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkCheck(b *testing.B) {
+	fab := pcie.New(256 << 20)
+	disk := block.NewMemDisk(fab, 64<<20)
+	Mkfs(disk.Image(), 0)
+	e := sim.NewEngine()
+	e.Spawn("seed", 0, func(p *sim.Proc) {
+		fsys, _ := Mount(p, fab, disk)
+		for i := 0; i < 50; i++ {
+			f, _ := fsys.Create(p, fmt.Sprintf("/f%d", i))
+			f.Truncate(p, 256<<10)
+		}
+		fsys.Sync(p)
+	})
+	e.MustRun()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := Check(disk.Image()); !rep.OK() {
+			b.Fatal(rep.Problems)
+		}
+	}
+}

@@ -1,0 +1,869 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"solros/internal/block"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+// newFS mounts a fresh solrosfs on an instant in-memory disk and runs fn
+// inside a sim Proc.
+func withFS(t *testing.T, diskMB int64, fn func(p *sim.Proc, fsys *FS, disk block.Device)) {
+	t.Helper()
+	fab := pcie.New(256 << 20)
+	disk := block.NewMemDisk(fab, diskMB<<20)
+	if err := Mkfs(disk.Image(), 0); err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	e.Spawn("test", 0, func(p *sim.Proc) {
+		fsys, err := Mount(p, fab, disk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fn(p, fsys, disk)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMkfsAndMount(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		ents, err := fsys.ReadDir(p, "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("fresh root has %d entries", len(ents))
+		}
+	})
+}
+
+func TestMkfsTooSmall(t *testing.T) {
+	img := pcie.NewMemory(8 * BlockSize)
+	if err := Mkfs(img, 0); err == nil {
+		t.Fatal("Mkfs on 8-block device should fail")
+	}
+}
+
+func TestMountUnformatted(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	disk := block.NewMemDisk(fab, 16<<20)
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		if _, err := Mount(p, fab, disk); err == nil {
+			t.Error("mount of unformatted disk succeeded")
+		}
+	})
+	e.MustRun()
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		f, err := fsys.Create(p, "/hello.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := []byte("the quick brown fox")
+		if _, err := f.Write(p, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		n, err := f.Read(p, 0, got)
+		if err != nil || n != len(data) {
+			t.Fatalf("read n=%d err=%v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("got %q", got)
+		}
+		if f.Size() != int64(len(data)) {
+			t.Fatalf("size = %d", f.Size())
+		}
+	})
+}
+
+func TestUnalignedOverwrite(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		f, _ := fsys.Create(p, "/f")
+		base := bytes.Repeat([]byte{'a'}, 3*BlockSize)
+		f.Write(p, 0, base)
+		// Overwrite a range spanning a block boundary at odd offsets.
+		patch := bytes.Repeat([]byte{'B'}, 1000)
+		if _, err := f.Write(p, BlockSize-500, patch); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 3*BlockSize)
+		f.Read(p, 0, got)
+		want := append([]byte{}, base...)
+		copy(want[BlockSize-500:], patch)
+		if !bytes.Equal(got, want) {
+			t.Fatal("unaligned overwrite corrupted surrounding data")
+		}
+		if f.Size() != int64(3*BlockSize) {
+			t.Fatalf("overwrite changed size to %d", f.Size())
+		}
+	})
+}
+
+func TestReadPastEOF(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		f, _ := fsys.Create(p, "/f")
+		f.Write(p, 0, []byte("abc"))
+		buf := make([]byte, 10)
+		n, err := f.Read(p, 0, buf)
+		if err != nil || n != 3 {
+			t.Fatalf("short read n=%d err=%v", n, err)
+		}
+		n, err = f.Read(p, 100, buf)
+		if err != nil || n != 0 {
+			t.Fatalf("read past EOF n=%d err=%v", n, err)
+		}
+	})
+}
+
+func TestCreateExisting(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		fsys.Create(p, "/f")
+		if _, err := fsys.Create(p, "/f"); err != ErrExist {
+			t.Fatalf("err = %v, want ErrExist", err)
+		}
+	})
+}
+
+func TestOpenMissing(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		if _, err := fsys.Open(p, "/nope"); err != ErrNotExist {
+			t.Fatalf("err = %v, want ErrNotExist", err)
+		}
+	})
+}
+
+func TestDirectoriesNested(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		if err := fsys.Mkdir(p, "/a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.Mkdir(p, "/a/b"); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fsys.Create(p, "/a/b/c.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write(p, 0, []byte("deep"))
+		st, err := fsys.Stat(p, "/a/b/c.txt")
+		if err != nil || st.Size != 4 || st.Mode != ModeFile {
+			t.Fatalf("stat = %+v err=%v", st, err)
+		}
+		ents, _ := fsys.ReadDir(p, "/a")
+		if len(ents) != 1 || ents[0].Name != "b" || ents[0].Type != ModeDir {
+			t.Fatalf("readdir /a = %+v", ents)
+		}
+		if _, err := fsys.Create(p, "/a/b/c.txt/d"); err != ErrNotDir {
+			t.Fatalf("create under file: err = %v, want ErrNotDir", err)
+		}
+	})
+}
+
+func TestUnlinkFreesSpace(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		f, _ := fsys.Create(p, "/big")
+		f.Write(p, 0, make([]byte, 1<<20))
+		usedBefore := countUsed(fsys)
+		if err := fsys.Unlink(p, "/big"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fsys.Open(p, "/big"); err != ErrNotExist {
+			t.Fatal("file still visible after unlink")
+		}
+		if got := countUsed(fsys); got >= usedBefore {
+			t.Fatalf("blocks not freed: before=%d after=%d", usedBefore, got)
+		}
+	})
+}
+
+func TestUnlinkNonEmptyDir(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		fsys.Mkdir(p, "/d")
+		fsys.Create(p, "/d/x")
+		if err := fsys.Unlink(p, "/d"); err != ErrNotEmpty {
+			t.Fatalf("err = %v, want ErrNotEmpty", err)
+		}
+		fsys.Unlink(p, "/d/x")
+		if err := fsys.Unlink(p, "/d"); err != nil {
+			t.Fatalf("unlink empty dir: %v", err)
+		}
+	})
+}
+
+func TestTruncateShrinkAndGrow(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		f, _ := fsys.Create(p, "/f")
+		f.Write(p, 0, make([]byte, 10*BlockSize))
+		used := countUsed(fsys)
+		if err := f.Truncate(p, 2*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != 2*BlockSize {
+			t.Fatalf("size after shrink = %d", f.Size())
+		}
+		if got := countUsed(fsys); got >= used {
+			t.Fatal("shrink did not free blocks")
+		}
+		if err := f.Truncate(p, 5*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != 5*BlockSize {
+			t.Fatalf("size after grow = %d", f.Size())
+		}
+	})
+}
+
+func TestPersistenceAcrossRemount(t *testing.T) {
+	fab := pcie.New(256 << 20)
+	disk := block.NewMemDisk(fab, 32<<20)
+	if err := Mkfs(disk.Image(), 0); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("persist"), 4096)
+	e := sim.NewEngine()
+	e.Spawn("writer", 0, func(p *sim.Proc) {
+		fsys, err := Mount(p, fab, disk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fsys.Mkdir(p, "/dir")
+		f, _ := fsys.Create(p, "/dir/file")
+		f.Write(p, 0, data)
+		if err := fsys.Sync(p); err != nil {
+			t.Error(err)
+		}
+	})
+	e.MustRun()
+	// Fresh mount from the same image.
+	e = sim.NewEngine()
+	e.Spawn("reader", 0, func(p *sim.Proc) {
+		fsys, err := Mount(p, fab, disk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f, err := fsys.Open(p, "/dir/file")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got := make([]byte, len(data))
+		n, err := f.Read(p, 0, got)
+		if err != nil || n != len(data) || !bytes.Equal(got, data) {
+			t.Errorf("remount read n=%d err=%v equal=%v", n, err, bytes.Equal(got, data))
+		}
+	})
+	e.MustRun()
+	if rep := Check(disk.Image()); !rep.OK() {
+		t.Fatalf("fsck after remount: %v", rep.Problems)
+	}
+}
+
+func TestLargeFileSpillsToIndirect(t *testing.T) {
+	withFS(t, 64, func(p *sim.Proc, fsys *FS, disk block.Device) {
+		// Force fragmentation: interleave two files so extents cannot
+		// merge, pushing one past InlineExtents.
+		a, _ := fsys.Create(p, "/a")
+		b, _ := fsys.Create(p, "/b")
+		chunk := make([]byte, BlockSize)
+		for i := 0; i < InlineExtents+8; i++ {
+			if _, err := a.Write(p, int64(i)*BlockSize, chunk); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Write(p, int64(i)*BlockSize, chunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(a.in.extents) <= InlineExtents {
+			t.Skipf("allocator kept file contiguous (%d extents); cannot exercise spill", len(a.in.extents))
+		}
+		if err := fsys.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		if rep := Check(disk.Image()); !rep.OK() {
+			t.Fatalf("fsck: %v", rep.Problems)
+		}
+	})
+}
+
+func TestFiemapMatchesData(t *testing.T) {
+	withFS(t, 32, func(p *sim.Proc, fsys *FS, disk block.Device) {
+		f, _ := fsys.Create(p, "/f")
+		data := make([]byte, 6*BlockSize)
+		rnd := rand.New(rand.NewSource(7))
+		rnd.Read(data)
+		f.Write(p, 0, data)
+		exts, err := f.Fiemap(0, int64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reassemble the file straight from the image via the extents.
+		got := make([]byte, len(data))
+		for _, e := range exts {
+			n := int64(e.Count) * BlockSize
+			lo := int64(e.Logical) * BlockSize
+			if lo+n > int64(len(data)) {
+				n = int64(len(data)) - lo
+			}
+			copy(got[lo:lo+n], disk.Image().Slice(int64(e.Start)*BlockSize, n))
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("fiemap extents do not reproduce file content")
+		}
+	})
+}
+
+func TestZeroCopyReadToDeviceMemory(t *testing.T) {
+	fab := pcie.New(256 << 20)
+	phi := fab.AddPhi("phi0", 0, 64<<20)
+	disk := block.NewMemDisk(fab, 32<<20)
+	Mkfs(disk.Image(), 0)
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		fsys, err := Mount(p, fab, disk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f, _ := fsys.Create(p, "/data")
+		want := bytes.Repeat([]byte{0x5A}, 2*BlockSize)
+		f.Write(p, 0, want)
+		if err := f.ReadTo(p, 0, int64(len(want)), pcie.Loc{Dev: phi, Off: 8192}, true); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(phi.Mem.Slice(8192, int64(len(want))), want) {
+			t.Error("zero-copy read did not land in device memory")
+		}
+	})
+	e.MustRun()
+}
+
+func TestNoSpace(t *testing.T) {
+	withFS(t, 1, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		f, _ := fsys.Create(p, "/f")
+		_, err := f.Write(p, 0, make([]byte, 2<<20))
+		if err != ErrNoSpace {
+			t.Fatalf("err = %v, want ErrNoSpace", err)
+		}
+	})
+}
+
+func TestPathValidation(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		if _, err := fsys.Open(p, "relative"); err == nil {
+			t.Error("relative path accepted")
+		}
+		if _, err := fsys.Open(p, "/a/../b"); err == nil {
+			t.Error(".. accepted")
+		}
+		long := "/"
+		for i := 0; i < 300; i++ {
+			long += "x"
+		}
+		if _, err := fsys.Create(p, long); err != ErrNameTooLon {
+			t.Errorf("long name err = %v", err)
+		}
+	})
+}
+
+func TestManyFilesFsckClean(t *testing.T) {
+	fab := pcie.New(512 << 20)
+	disk := block.NewMemDisk(fab, 64<<20)
+	Mkfs(disk.Image(), 0)
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		fsys, err := Mount(p, fab, disk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rnd := rand.New(rand.NewSource(42))
+		for i := 0; i < 40; i++ {
+			name := fmt.Sprintf("/file%02d", i)
+			f, err := fsys.Create(p, name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Write(p, 0, make([]byte, rnd.Intn(200*1024)))
+		}
+		// Delete every third file.
+		for i := 0; i < 40; i += 3 {
+			fsys.Unlink(p, fmt.Sprintf("/file%02d", i))
+		}
+		fsys.Sync(p)
+	})
+	e.MustRun()
+	if rep := Check(disk.Image()); !rep.OK() {
+		t.Fatalf("fsck problems: %v", rep.Problems)
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	fab := pcie.New(256 << 20)
+	disk := block.NewMemDisk(fab, 16<<20)
+	Mkfs(disk.Image(), 0)
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		fsys, _ := Mount(p, fab, disk)
+		f, _ := fsys.Create(p, "/f")
+		f.Write(p, 0, make([]byte, BlockSize))
+		fsys.Sync(p)
+	})
+	e.MustRun()
+	if rep := Check(disk.Image()); !rep.OK() {
+		t.Fatalf("baseline not clean: %v", rep.Problems)
+	}
+	// Corrupt: clear a used bitmap bit.
+	var sb superblock
+	sb.decode(disk.Image().Slice(0, BlockSize))
+	bm := disk.Image().Slice(int64(sb.BitmapStart)*BlockSize, BlockSize)
+	bm[len(bm)-1] = 0 // clobber tail-guard bits
+	corrupt := false
+	for b := int(sb.DataStart); b < int(sb.DataStart)+64; b++ {
+		if bm[b/8]&(1<<(b%8)) != 0 {
+			bm[b/8] &^= 1 << (b % 8)
+			corrupt = true
+			break
+		}
+	}
+	if !corrupt {
+		t.Skip("no data block found to corrupt")
+	}
+	if rep := Check(disk.Image()); rep.OK() {
+		t.Fatal("fsck missed bitmap corruption")
+	}
+}
+
+// Property: random write/read sequences behave like an in-memory file.
+func TestFileModelProperty(t *testing.T) {
+	type opDesc struct {
+		Off  uint16
+		Data []byte
+	}
+	f := func(ops []opDesc) bool {
+		if len(ops) > 12 {
+			ops = ops[:12]
+		}
+		ok := true
+		withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+			file, err := fsys.Create(p, "/model")
+			if err != nil {
+				ok = false
+				return
+			}
+			var model []byte
+			for _, o := range ops {
+				off := int(o.Off) % 20000
+				if len(o.Data) == 0 {
+					continue
+				}
+				if _, err := file.Write(p, int64(off), o.Data); err != nil {
+					ok = false
+					return
+				}
+				if need := off + len(o.Data); need > len(model) {
+					model = append(model, make([]byte, need-len(model))...)
+				}
+				copy(model[off:], o.Data)
+			}
+			if file.Size() != int64(len(model)) {
+				ok = false
+				return
+			}
+			got := make([]byte, len(model))
+			n, err := file.Read(p, 0, got)
+			if err != nil || n != len(model) {
+				ok = false
+				return
+			}
+			// Compare only bytes we actually wrote; gap bytes between
+			// writes are unspecified (no-hole FS), so rebuild a mask.
+			written := make([]bool, len(model))
+			for _, o := range ops {
+				off := int(o.Off) % 20000
+				for i := range o.Data {
+					if off+i < len(written) {
+						written[off+i] = true
+					}
+				}
+			}
+			for i := range model {
+				if written[i] && got[i] != model[i] {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countUsed tallies allocated blocks from the in-memory bitmap.
+func countUsed(fsys *FS) int {
+	n := 0
+	for b := uint64(0); b < fsys.sb.NBlocks; b++ {
+		if fsys.blockUsed(uint32(b)) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRenameWithinDirectory(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, disk block.Device) {
+		f, _ := fsys.Create(p, "/old")
+		f.Write(p, 0, []byte("content"))
+		if err := fsys.Rename(p, "/old", "/new"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fsys.Open(p, "/old"); err != ErrNotExist {
+			t.Fatal("old name still resolves")
+		}
+		g, err := fsys.Open(p, "/new")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 7)
+		g.Read(p, 0, buf)
+		if string(buf) != "content" {
+			t.Fatalf("content after rename = %q", buf)
+		}
+		fsys.Sync(p)
+		if rep := Check(disk.Image()); !rep.OK() {
+			t.Fatalf("fsck: %v", rep.Problems)
+		}
+	})
+}
+
+func TestRenameAcrossDirectories(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, disk block.Device) {
+		fsys.Mkdir(p, "/a")
+		fsys.Mkdir(p, "/b")
+		f, _ := fsys.Create(p, "/a/file")
+		f.Write(p, 0, []byte("xyz"))
+		if err := fsys.Rename(p, "/a/file", "/b/moved"); err != nil {
+			t.Fatal(err)
+		}
+		if ents, _ := fsys.ReadDir(p, "/a"); len(ents) != 0 {
+			t.Fatal("/a still has entries")
+		}
+		st, err := fsys.Stat(p, "/b/moved")
+		if err != nil || st.Size != 3 {
+			t.Fatalf("stat moved: %+v err=%v", st, err)
+		}
+		fsys.Sync(p)
+		if rep := Check(disk.Image()); !rep.OK() {
+			t.Fatalf("fsck: %v", rep.Problems)
+		}
+	})
+}
+
+func TestRenameRefusesClobberAndCycles(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		fsys.Create(p, "/x")
+		fsys.Create(p, "/y")
+		if err := fsys.Rename(p, "/x", "/y"); err != ErrExist {
+			t.Fatalf("clobber err = %v, want ErrExist", err)
+		}
+		fsys.Mkdir(p, "/d")
+		if err := fsys.Rename(p, "/d", "/d/sub"); err == nil {
+			t.Fatal("moved a directory into itself")
+		}
+		if err := fsys.Rename(p, "/missing", "/z"); err != ErrNotExist {
+			t.Fatalf("missing source err = %v", err)
+		}
+	})
+}
+
+func TestRenameDirectoryKeepsChildren(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, disk block.Device) {
+		fsys.Mkdir(p, "/dir")
+		f, _ := fsys.Create(p, "/dir/kid")
+		f.Write(p, 0, []byte("hi"))
+		if err := fsys.Rename(p, "/dir", "/renamed"); err != nil {
+			t.Fatal(err)
+		}
+		st, err := fsys.Stat(p, "/renamed/kid")
+		if err != nil || st.Size != 2 {
+			t.Fatalf("child lost after dir rename: %+v err=%v", st, err)
+		}
+		fsys.Sync(p)
+		if rep := Check(disk.Image()); !rep.OK() {
+			t.Fatalf("fsck: %v", rep.Problems)
+		}
+	})
+}
+
+func TestHardLinkSharesData(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, disk block.Device) {
+		f, _ := fsys.Create(p, "/orig")
+		f.Write(p, 0, []byte("shared bytes"))
+		if err := fsys.Link(p, "/orig", "/alias"); err != nil {
+			t.Fatal(err)
+		}
+		g, err := fsys.Open(p, "/alias")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 12)
+		g.Read(p, 0, buf)
+		if string(buf) != "shared bytes" {
+			t.Fatalf("alias content = %q", buf)
+		}
+		// Writes through one name are visible through the other.
+		g.Write(p, 0, []byte("SHARED"))
+		f2, _ := fsys.Open(p, "/orig")
+		f2.Read(p, 0, buf)
+		if string(buf[:6]) != "SHARED" {
+			t.Fatal("write through alias not visible through original")
+		}
+		fsys.Sync(p)
+		if rep := Check(disk.Image()); !rep.OK() {
+			t.Fatalf("fsck: %v", rep.Problems)
+		}
+	})
+}
+
+func TestHardLinkUnlinkSemantics(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, disk block.Device) {
+		f, _ := fsys.Create(p, "/orig")
+		f.Write(p, 0, make([]byte, BlockSize))
+		fsys.Link(p, "/orig", "/alias")
+		used := countUsed(fsys)
+		// Removing one name keeps the data alive.
+		if err := fsys.Unlink(p, "/orig"); err != nil {
+			t.Fatal(err)
+		}
+		if got := countUsed(fsys); got != used {
+			t.Fatalf("blocks freed while a link remains: %d -> %d", used, got)
+		}
+		if _, err := fsys.Open(p, "/alias"); err != nil {
+			t.Fatal("surviving link broken")
+		}
+		fsys.Sync(p)
+		if rep := Check(disk.Image()); !rep.OK() {
+			t.Fatalf("fsck with live link: %v", rep.Problems)
+		}
+		// Removing the last name frees the blocks.
+		if err := fsys.Unlink(p, "/alias"); err != nil {
+			t.Fatal(err)
+		}
+		if got := countUsed(fsys); got >= used {
+			t.Fatal("blocks not freed after last link removed")
+		}
+		fsys.Sync(p)
+		if rep := Check(disk.Image()); !rep.OK() {
+			t.Fatalf("fsck after last unlink: %v", rep.Problems)
+		}
+	})
+}
+
+func TestHardLinkRejectsDirectories(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		fsys.Mkdir(p, "/d")
+		if err := fsys.Link(p, "/d", "/d2"); err != ErrIsDir {
+			t.Fatalf("err = %v, want ErrIsDir", err)
+		}
+		fsys.Create(p, "/f")
+		fsys.Create(p, "/g")
+		if err := fsys.Link(p, "/f", "/g"); err != ErrExist {
+			t.Fatalf("clobber err = %v, want ErrExist", err)
+		}
+	})
+}
+
+func TestConcurrentChaosThenFsck(t *testing.T) {
+	// Many procs create, write, link, rename, truncate, and unlink
+	// concurrently; afterwards the image must pass every fsck invariant
+	// and surviving files must read back what was last written.
+	fab := pcie.New(512 << 20)
+	disk := block.NewMemDisk(fab, 64<<20)
+	if err := Mkfs(disk.Image(), 0); err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		fsys, err := Mount(p, fab, disk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wg := sim.NewWaitGroup("chaos")
+		const workers = 8
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			p.Spawn(fmt.Sprintf("chaos-%d", w), func(wp *sim.Proc) {
+				defer wp.DoneWG(wg)
+				rnd := rand.New(rand.NewSource(int64(w)))
+				mine := fmt.Sprintf("/w%d", w)
+				fsys.Mkdir(wp, mine)
+				for i := 0; i < 30; i++ {
+					name := fmt.Sprintf("%s/f%d", mine, rnd.Intn(6))
+					switch rnd.Intn(6) {
+					case 0, 1:
+						if f, err := fsys.OpenOrCreate(wp, name); err == nil {
+							f.Write(wp, int64(rnd.Intn(3))*BlockSize, make([]byte, rnd.Intn(2*BlockSize)+1))
+						}
+					case 2:
+						fsys.Unlink(wp, name)
+					case 3:
+						fsys.Rename(wp, name, name+"x")
+					case 4:
+						if f, err := fsys.Open(wp, name); err == nil {
+							f.Truncate(wp, int64(rnd.Intn(2))*BlockSize)
+						}
+					case 5:
+						fsys.Link(wp, name, name+"ln")
+					}
+				}
+			})
+		}
+		p.WaitWG(wg)
+		if err := fsys.Sync(p); err != nil {
+			t.Error(err)
+		}
+	})
+	e.MustRun()
+	if rep := Check(disk.Image()); !rep.OK() {
+		t.Fatalf("fsck after chaos: %v", rep.Problems)
+	}
+}
+
+func TestNameLengthBoundary(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		exact := "/" + strings.Repeat("n", MaxName)
+		if _, err := fsys.Create(p, exact); err != nil {
+			t.Fatalf("255-char name rejected: %v", err)
+		}
+		if _, err := fsys.Open(p, exact); err != nil {
+			t.Fatalf("255-char name not found: %v", err)
+		}
+		over := "/" + strings.Repeat("n", MaxName+1)
+		if _, err := fsys.Create(p, over); err != ErrNameTooLon {
+			t.Fatalf("256-char name err = %v", err)
+		}
+	})
+}
+
+func TestOpenOrCreateIdempotent(t *testing.T) {
+	withFS(t, 16, func(p *sim.Proc, fsys *FS, _ block.Device) {
+		a, err := fsys.OpenOrCreate(p, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Write(p, 0, []byte("keep"))
+		b, err := fsys.OpenOrCreate(p, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Ino() != a.Ino() {
+			t.Fatal("OpenOrCreate created a second inode")
+		}
+		buf := make([]byte, 4)
+		b.Read(p, 0, buf)
+		if string(buf) != "keep" {
+			t.Fatal("existing content lost")
+		}
+	})
+}
+
+func TestDirectorySpanningManyBlocks(t *testing.T) {
+	// Enough entries that the directory's content exceeds one block.
+	// (Needs an explicit inode budget: the auto geometry on a 32 MB
+	// disk provisions only 128 inodes.)
+	fab := pcie.New(256 << 20)
+	disk := block.NewMemDisk(fab, 32<<20)
+	if err := Mkfs(disk.Image(), 512); err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	e.Spawn("test", 0, func(p *sim.Proc) {
+		fsys, err := Mount(p, fab, disk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fsys.Mkdir(p, "/big")
+		const n = 300
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("/big/entry-with-a-longish-name-%03d", i)
+			if _, err := fsys.Create(p, name); err != nil {
+				t.Fatalf("create %d: %v", i, err)
+			}
+		}
+		ents, err := fsys.ReadDir(p, "/big")
+		if err != nil || len(ents) != n {
+			t.Fatalf("readdir: %d entries err=%v", len(ents), err)
+		}
+		// Spot check lookups and deletion in the middle.
+		if _, err := fsys.Open(p, "/big/entry-with-a-longish-name-150"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.Unlink(p, "/big/entry-with-a-longish-name-150"); err != nil {
+			t.Fatal(err)
+		}
+		ents, _ = fsys.ReadDir(p, "/big")
+		if len(ents) != n-1 {
+			t.Fatalf("after unlink: %d entries", len(ents))
+		}
+		fsys.Sync(p)
+		if rep := Check(disk.Image()); !rep.OK() {
+			t.Fatalf("fsck: %v", rep.Problems)
+		}
+	})
+	e.MustRun()
+}
+
+func TestOutOfInodes(t *testing.T) {
+	// A tiny FS with the minimum inode table must report ErrNoInodes,
+	// not corrupt anything.
+	fab := pcie.New(64 << 20)
+	disk := block.NewMemDisk(fab, 16<<20)
+	if err := Mkfs(disk.Image(), 64); err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	e.Spawn("t", 0, func(p *sim.Proc) {
+		fsys, err := Mount(p, fab, disk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var lastErr error
+		for i := 0; i < 200; i++ {
+			if _, lastErr = fsys.Create(p, fmt.Sprintf("/f%d", i)); lastErr != nil {
+				break
+			}
+		}
+		if lastErr != ErrNoInodes {
+			t.Errorf("err = %v, want ErrNoInodes", lastErr)
+		}
+		fsys.Sync(p)
+	})
+	e.MustRun()
+	if rep := Check(disk.Image()); !rep.OK() {
+		t.Fatalf("fsck after inode exhaustion: %v", rep.Problems)
+	}
+}

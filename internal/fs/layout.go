@@ -1,0 +1,234 @@
+// Package fs implements solrosfs, the extent-based, in-place-update file
+// system the Solros file-system service runs on (§4.3, §5). The paper needs
+// an in-place-update file system ("ext4, XFS") so that a file offset
+// translates to a stable disk-block address and the proxy can issue
+// peer-to-peer NVMe commands against it; solrosfs provides exactly that
+// plus a fiemap-equivalent extent query.
+//
+// On-disk layout (4 KB blocks):
+//
+//	block 0                superblock
+//	bitmapStart..          data-block allocation bitmap
+//	itableStart..          inode table (256 B inodes, 16 per block)
+//	dataStart..            data blocks (directories are regular files)
+//
+// All structures are little-endian and written as real bytes to the
+// simulated NVMe flash image, so images survive unmount/mount and can be
+// checked by cmd/solros-fsck.
+package fs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Geometry and format constants.
+const (
+	// BlockSize is the allocation and I/O unit.
+	BlockSize = 4096
+	// InodeSize is the on-disk inode footprint.
+	InodeSize = 256
+	// InodesPerBlock inodes fit in one block.
+	InodesPerBlock = BlockSize / InodeSize
+	// InlineExtents is the number of extents stored inside the inode;
+	// larger files spill into one indirect extent block.
+	InlineExtents = 16
+	// IndirectExtents is the capacity of the indirect extent block.
+	IndirectExtents = BlockSize / extentSize
+	// MaxName bounds directory entry names.
+	MaxName = 255
+
+	magic      = "SOLROSFS"
+	version    = 1
+	extentSize = 12
+	// RootIno is the root directory's inode number.
+	RootIno = 1
+)
+
+// Mode values (a deliberately tiny subset of POSIX).
+const (
+	ModeFree uint16 = 0
+	ModeFile uint16 = 1
+	ModeDir  uint16 = 2
+)
+
+// Errors mirroring the syscall surface the RPC protocol carries.
+var (
+	ErrNotExist   = errors.New("solrosfs: file does not exist")
+	ErrExist      = errors.New("solrosfs: file already exists")
+	ErrIsDir      = errors.New("solrosfs: is a directory")
+	ErrNotDir     = errors.New("solrosfs: not a directory")
+	ErrNoSpace    = errors.New("solrosfs: no space left on device")
+	ErrNoInodes   = errors.New("solrosfs: out of inodes")
+	ErrNameTooLon = errors.New("solrosfs: name too long")
+	ErrNotEmpty   = errors.New("solrosfs: directory not empty")
+	ErrBadFS      = errors.New("solrosfs: corrupt or unformatted file system")
+	ErrFileTooBig = errors.New("solrosfs: file exceeds maximum extent count")
+)
+
+// Extent maps a contiguous run of file blocks to disk blocks.
+type Extent struct {
+	// Logical is the first file block this extent covers.
+	Logical uint32
+	// Start is the first disk block.
+	Start uint32
+	// Count is the run length in blocks.
+	Count uint32
+}
+
+func putExtent(b []byte, e Extent) {
+	binary.LittleEndian.PutUint32(b[0:], e.Logical)
+	binary.LittleEndian.PutUint32(b[4:], e.Start)
+	binary.LittleEndian.PutUint32(b[8:], e.Count)
+}
+
+func getExtent(b []byte) Extent {
+	return Extent{
+		Logical: binary.LittleEndian.Uint32(b[0:]),
+		Start:   binary.LittleEndian.Uint32(b[4:]),
+		Count:   binary.LittleEndian.Uint32(b[8:]),
+	}
+}
+
+// superblock is block 0.
+type superblock struct {
+	BlockSize    uint32
+	NBlocks      uint64
+	NInodes      uint32
+	BitmapStart  uint32
+	BitmapBlocks uint32
+	ITableStart  uint32
+	ITableBlocks uint32
+	DataStart    uint32
+}
+
+func (sb *superblock) encode(b []byte) {
+	copy(b[0:8], magic)
+	binary.LittleEndian.PutUint32(b[8:], version)
+	binary.LittleEndian.PutUint32(b[12:], sb.BlockSize)
+	binary.LittleEndian.PutUint64(b[16:], sb.NBlocks)
+	binary.LittleEndian.PutUint32(b[24:], sb.NInodes)
+	binary.LittleEndian.PutUint32(b[28:], sb.BitmapStart)
+	binary.LittleEndian.PutUint32(b[32:], sb.BitmapBlocks)
+	binary.LittleEndian.PutUint32(b[36:], sb.ITableStart)
+	binary.LittleEndian.PutUint32(b[40:], sb.ITableBlocks)
+	binary.LittleEndian.PutUint32(b[44:], sb.DataStart)
+}
+
+func (sb *superblock) decode(b []byte) error {
+	if string(b[0:8]) != magic {
+		return ErrBadFS
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != version {
+		return fmt.Errorf("solrosfs: version %d unsupported: %w", v, ErrBadFS)
+	}
+	sb.BlockSize = binary.LittleEndian.Uint32(b[12:])
+	sb.NBlocks = binary.LittleEndian.Uint64(b[16:])
+	sb.NInodes = binary.LittleEndian.Uint32(b[24:])
+	sb.BitmapStart = binary.LittleEndian.Uint32(b[28:])
+	sb.BitmapBlocks = binary.LittleEndian.Uint32(b[32:])
+	sb.ITableStart = binary.LittleEndian.Uint32(b[36:])
+	sb.ITableBlocks = binary.LittleEndian.Uint32(b[40:])
+	sb.DataStart = binary.LittleEndian.Uint32(b[44:])
+	if sb.BlockSize != BlockSize || sb.NBlocks == 0 {
+		return ErrBadFS
+	}
+	return nil
+}
+
+// inode is the in-memory form of an on-disk inode, with the full extent
+// list loaded (inline plus indirect).
+type inode struct {
+	ino      uint32
+	mode     uint16
+	nlink    uint16
+	size     int64
+	indirect uint32 // disk block holding spilled extents, 0 if none
+	extents  []Extent
+	dirty    bool
+}
+
+// encodeInto writes the inode's fixed part into its 256-byte table slot;
+// extents beyond InlineExtents go to the (already allocated) indirect
+// block image idb, which may be nil when there is no spill.
+func (in *inode) encodeInto(slot, idb []byte) {
+	for i := range slot {
+		slot[i] = 0
+	}
+	binary.LittleEndian.PutUint16(slot[0:], in.mode)
+	binary.LittleEndian.PutUint16(slot[2:], in.nlink)
+	binary.LittleEndian.PutUint64(slot[8:], uint64(in.size))
+	binary.LittleEndian.PutUint32(slot[16:], uint32(len(in.extents)))
+	binary.LittleEndian.PutUint32(slot[20:], in.indirect)
+	for i, e := range in.extents {
+		if i < InlineExtents {
+			putExtent(slot[24+i*extentSize:], e)
+			continue
+		}
+		putExtent(idb[(i-InlineExtents)*extentSize:], e)
+	}
+}
+
+// decodeFrom loads the fixed part from a table slot; the caller must load
+// spilled extents from the indirect block afterwards via decodeIndirect.
+func (in *inode) decodeFrom(slot []byte) (spilled int) {
+	in.mode = binary.LittleEndian.Uint16(slot[0:])
+	in.nlink = binary.LittleEndian.Uint16(slot[2:])
+	in.size = int64(binary.LittleEndian.Uint64(slot[8:]))
+	n := int(binary.LittleEndian.Uint32(slot[16:]))
+	in.indirect = binary.LittleEndian.Uint32(slot[20:])
+	in.extents = in.extents[:0]
+	inline := n
+	if inline > InlineExtents {
+		inline = InlineExtents
+	}
+	for i := 0; i < inline; i++ {
+		in.extents = append(in.extents, getExtent(slot[24+i*extentSize:]))
+	}
+	return n - inline
+}
+
+func (in *inode) decodeIndirect(idb []byte, spilled int) {
+	for i := 0; i < spilled; i++ {
+		in.extents = append(in.extents, getExtent(idb[i*extentSize:]))
+	}
+}
+
+// Dirent is one directory entry. Directory file content is a packed
+// sequence of entries: ino u32, type u8, nameLen u8, name bytes.
+type Dirent struct {
+	Ino  uint32
+	Type uint16 // ModeFile or ModeDir
+	Name string
+}
+
+func appendDirent(buf []byte, d Dirent) []byte {
+	var hdr [6]byte
+	binary.LittleEndian.PutUint32(hdr[0:], d.Ino)
+	hdr[4] = byte(d.Type)
+	hdr[5] = byte(len(d.Name))
+	buf = append(buf, hdr[:]...)
+	return append(buf, d.Name...)
+}
+
+// parseDirents decodes a directory's full content.
+func parseDirents(buf []byte) ([]Dirent, error) {
+	var out []Dirent
+	for len(buf) > 0 {
+		if len(buf) < 6 {
+			return nil, ErrBadFS
+		}
+		nameLen := int(buf[5])
+		if len(buf) < 6+nameLen {
+			return nil, ErrBadFS
+		}
+		out = append(out, Dirent{
+			Ino:  binary.LittleEndian.Uint32(buf[0:]),
+			Type: uint16(buf[4]),
+			Name: string(buf[6 : 6+nameLen]),
+		})
+		buf = buf[6+nameLen:]
+	}
+	return out, nil
+}

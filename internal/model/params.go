@@ -1,0 +1,215 @@
+// Package model is the single home of every calibration constant in the
+// Solros hardware model. Each value is annotated with its provenance in the
+// paper (figure or section); experiments depend on the *relationships*
+// between these numbers, not their absolute values.
+package model
+
+import "solros/internal/sim"
+
+// --- PCIe fabric (paper §6 setup, Figure 4) ------------------------------
+//
+// The testbed attaches four Xeon Phi co-processors over PCIe Gen2 x16 and
+// one Intel 750 NVMe SSD. From §6: "The maximum bandwidth from Xeon Phi to
+// host is 6.5GB/sec and the bandwidth in the other direction is 6.0GB/sec."
+const (
+	// LinkBWPhiToHost is the peak Phi->host PCIe bandwidth (§6).
+	LinkBWPhiToHost = 6_500_000_000 // bytes/sec
+	// LinkBWHostToPhi is the peak host->Phi PCIe bandwidth (§6).
+	LinkBWHostToPhi = 6_000_000_000
+	// LinkBWNVMe is the PCIe x4 link of the NVMe SSD; above the device's
+	// own service rate so the flash backend is the bottleneck.
+	LinkBWNVMe = 3_200_000_000
+	// QPIRelayBW caps peer-to-peer transfers that cross a NUMA boundary:
+	// "the maximum throughput is capped at 300MB/sec because a processor
+	// relays PCIe packets to another processor across a QPI interconnect"
+	// (Figure 1a).
+	QPIRelayBW = 300_000_000
+	// CacheLine is the PCIe transaction granularity for load/store
+	// access to a system-mapped window (§4.2.1).
+	CacheLine = 64
+)
+
+// Load/store (memcpy) access to a mapped PCIe window: a fixed first-access
+// latency plus a per-cacheline streaming cost (write-combining lets
+// subsequent lines post faster than the first round trip). Calibrated so
+// that (a) a 64 B access costs 1.6 us on the host and 2.9 us on the Phi
+// (the paper's 2.9x / 12.6x memcpy-vs-DMA ratios at 64 B, §4.2.1), and
+// (b) the host's memcpy/DMA crossover lands at the paper's 1 KB adaptive
+// threshold (§4.2.4).
+const (
+	MemcpyBaseHost = 1380 * sim.Nanosecond
+	MemcpyLineHost = 220 * sim.Nanosecond
+	MemcpyBasePhi  = 2550 * sim.Nanosecond
+	MemcpyLinePhi  = 350 * sim.Nanosecond
+)
+
+// DMA engine characteristics (§4.2.1, Figure 4a). A DMA transfer pays a
+// channel-setup latency and then streams at link rate. Host-initiated DMA
+// is 2.3x faster than Phi-initiated; we model that as the Phi's DMA engine
+// sustaining a lower rate. 64 B memcpy is 2.9x (host) and 12.6x (Phi)
+// faster than 64 B DMA, fixing the setup latencies.
+const (
+	DMASetupHost = 4640 * sim.Nanosecond  // 2.9 * 1.6us
+	DMASetupPhi  = 36540 * sim.Nanosecond // 12.6 * 2.9us
+	// DMARateFactorPhi scales link bandwidth for Phi-initiated DMA
+	// (2.3x slower than host-initiated, Figure 4a).
+	DMARateFactorPhiNum = 10
+	DMARateFactorPhiDen = 23
+)
+
+// Adaptive copy thresholds (§4.2.4): "we use a different threshold for a
+// host and a Xeon Phi: 1 KB from a host and 16 KB from Xeon Phi because of
+// the longer initialization of the DMA channel."
+const (
+	AdaptiveThresholdHost = 1 << 10  // 1 KB
+	AdaptiveThresholdPhi  = 16 << 10 // 16 KB
+)
+
+// --- CPU (paper §2, §6, Figure 13) ---------------------------------------
+//
+// Host: 2x Xeon E5-2670 v3, 24 cores/socket, fast out-of-order cores.
+// Phi: 61 in-order cores / 244 hardware threads, individually slow.
+const (
+	HostSockets        = 2
+	HostCoresPerSocket = 24
+	PhiCores           = 61
+	PhiHWThreads       = 244
+	NumPhis            = 4 // §6: "We use four Xeon Phi co-processors"
+)
+
+// Relative cost of running branchy systems code (I/O stacks) on each core
+// type. Figure 13(a): the thin Solros FS stub on the Phi spends 5x less
+// time than the full file system on the Phi; the Phi runs systems code
+// roughly an order of magnitude slower per thread than a host core.
+const (
+	// SyscallBaseCost is the fixed cost of a system-call-shaped entry on
+	// a fast host core.
+	SyscallBaseCost = 500 * sim.Nanosecond
+	// PhiSystemsSlowdown multiplies the cost of control-flow divergent
+	// systems code (FS, TCP) when it runs on a Phi core.
+	PhiSystemsSlowdown = 12
+	// PhiComputeSlowdown multiplies the per-thread cost of data-parallel
+	// application compute on a Phi core. Phi threads are slow but there
+	// are 244 of them, so aggregate Phi compute exceeds the host's.
+	PhiComputeSlowdown = 6
+)
+
+// --- NVMe SSD (paper §6: Intel 750, Figures 1, 11, 12) --------------------
+const (
+	// NVMeReadBW and NVMeWriteBW are the device service rates: "The
+	// maximum performance of the SSD is 2.4GB/sec and 1.2GB/sec for
+	// sequential reads and writes" (§6).
+	NVMeReadBW  = 2_400_000_000
+	NVMeWriteBW = 1_200_000_000
+	// NVMeCmdLatency is the per-command flash access latency; an Intel
+	// 750 does ~1M IOPS at queue depth, i.e. ~10us pipelined; we charge
+	// a 10us access latency per command before streaming.
+	NVMeCmdLatency = 10 * sim.Microsecond
+	// NVMeDoorbellCost is one MMIO write to the doorbell register.
+	NVMeDoorbellCost = 400 * sim.Nanosecond
+	// NVMeInterruptCost is the host-side cost of taking one interrupt
+	// (§5: coalescing reduces "the number of interrupts raised by
+	// ringing the doorbell").
+	NVMeInterruptCost = 4 * sim.Microsecond
+	// NVMeMaxTransfer is the largest single NVMe command payload; larger
+	// I/O fragments into multiple commands (MDTS = 128 KB, typical).
+	NVMeMaxTransfer = 128 << 10
+)
+
+// --- Network (paper §6, Figures 1b, 14-16) --------------------------------
+const (
+	// NICBandwidth: "connected to the server through a 100 Gbps
+	// Ethernet" (§6).
+	NICBandwidth = 12_500_000_000 // 100 Gbps in bytes/sec
+	// WireLatency is one direction of the client<->server wire.
+	WireLatency = 5 * sim.Microsecond
+	// TCPSegmentCost is the per-segment protocol processing cost
+	// (header parsing, checksum, reassembly bookkeeping) on a fast host
+	// core; multiply by PhiSystemsSlowdown on a Phi core. IX/Arrakis
+	// report ~1-2 us per small packet through a full kernel stack.
+	TCPSegmentCost = 1200 * sim.Nanosecond
+	// TCPPerByteCost is the per-byte stream processing cost (copies,
+	// checksum) on a fast host core, ~3 GB/s effective touch rate.
+	TCPPerByteCost = 330 // picoseconds per byte; see CoreCharge
+	// MSS is the maximum segment payload we model (jumbo-frame-less).
+	MSS = 1460
+)
+
+// DMAChainBytes is how much traffic one DMA descriptor chain covers: the
+// host driver batches scattered pages into chained descriptors, paying one
+// channel setup per chain.
+const DMAChainBytes = 64 << 10
+
+// Local (same-domain) memory copy rates: a host core streams copies at
+// DRAM speed; a Phi core's in-order pipeline sustains far less.
+const (
+	LocalCopyRateHost = 10_000_000_000 // bytes/sec
+	LocalCopyRatePhi  = 2_000_000_000
+)
+
+// --- Transport service (§4.2, §5) -----------------------------------------
+const (
+	// RingDefaultSlots is the default number of ring-buffer elements.
+	RingDefaultSlots = 1024
+	// RingInboundBytes: "the inbound ring buffer is large enough (e.g.,
+	// 128 MB) to backlog incoming data" (§4.4.1).
+	RingInboundBytes = 128 << 20
+	// CombineBatch is the maximum operations one combiner services
+	// before handing off (§4.2.3).
+	CombineBatch = 64
+	// AtomicLocalCost is one uncontended atomic RMW on local memory.
+	AtomicLocalCost = 30 * sim.Nanosecond
+	// CachelineBounceCost is the penalty for a contended cache line
+	// migrating between cores on one chip.
+	CachelineBounceCost = 150 * sim.Nanosecond
+)
+
+// --- Stock Xeon Phi baselines (§6: "Xeon Phi with virtio" and NFS) --------
+const (
+	// VirtioKickCost is the host-side handling of one virtblk request
+	// (vring parsing, SCIF doorbell).
+	VirtioKickCost = 5 * sim.Microsecond
+	// PhiInterruptCost is the co-processor side of taking a virtio or
+	// veth completion interrupt on a slow in-order core.
+	PhiInterruptCost = 12 * sim.Microsecond
+	// VethBandwidth caps the MPSS virtual-ethernet (TCP over SCIF) that
+	// NFS rides on: a single memcpy-based channel. NFS lands below even
+	// virtio in the paper's Figure 11/12 matrices.
+	VethBandwidth = 180_000_000 // bytes/sec
+	// VethLatency is the per-message latency of the virtual ethernet.
+	VethLatency = 30 * sim.Microsecond
+	// NFSPerCallCost is the client-side NFS/SUNRPC processing per call
+	// on a host core (scaled by PhiSystemsSlowdown on the Phi).
+	NFSPerCallCost = 3 * sim.Microsecond
+)
+
+// --- File system service (§4.3, §5) ---------------------------------------
+const (
+	// FSBlockSize is the solrosfs block size.
+	FSBlockSize = 4096
+	// FSStubCost is the data-plane stub's cost per FS call on a Phi
+	// core: marshal an RPC, post to the ring (Figure 13a shows the stub
+	// at ~1/5 the cost of a full FS *on the Phi*).
+	FSStubCost = 6 * sim.Microsecond
+	// FSFullCostPhi is a full-fledged FS call (VFS + ext4-like layers)
+	// on a Phi core: 5x the stub (Figure 13a).
+	FSFullCostPhi = 30 * sim.Microsecond
+	// FSProxyCost is the host-side proxy's cost per FS call (fast core,
+	// includes underlying FS work).
+	FSProxyCost = 2 * sim.Microsecond
+	// BufferCacheBytes is the host-side shared buffer cache capacity.
+	BufferCacheBytes = 1 << 30
+	// VirtioRequestCap fragments virtio block requests (virtblk ring
+	// descriptors cover at most 128 KB per request in the stock mic
+	// driver; the interrupt-per-request cost dominates).
+	VirtioRequestCap = 64 << 10
+	// NFSTransferCap is the NFS rsize/wsize: 64 KB per RPC (Linux
+	// default over TCP).
+	NFSTransferCap = 64 << 10
+)
+
+// PhiDMARate reports the effective DMA streaming rate for a Phi-initiated
+// transfer given the link's host-initiated rate.
+func PhiDMARate(linkRate int64) int64 {
+	return linkRate * DMARateFactorPhiNum / DMARateFactorPhiDen
+}

@@ -1,0 +1,64 @@
+package netstack
+
+import (
+	"testing"
+
+	"solros/internal/sim"
+)
+
+func BenchmarkPingPong64B(b *testing.B) {
+	_, client, server := twoStacks()
+	e := sim.NewEngine()
+	e.Spawn("server", 0, func(p *sim.Proc) {
+		l, _ := server.Listen(80)
+		c, _ := l.Accept(p)
+		s := c.Side(server)
+		for i := 0; i < b.N; i++ {
+			msg, err := s.RecvFull(p, 64)
+			if err != nil || len(msg) != 64 {
+				return
+			}
+			s.Send(p, msg)
+		}
+	})
+	e.Spawn("client", 0, func(p *sim.Proc) {
+		p.Advance(sim.Microsecond)
+		c, _ := client.Dial(p, server, 80)
+		s := c.Side(client)
+		msg := make([]byte, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Send(p, msg)
+			s.RecvFull(p, 64)
+		}
+	})
+	e.MustRun()
+}
+
+func BenchmarkBulkSend1MB(b *testing.B) {
+	_, client, server := twoStacks()
+	e := sim.NewEngine()
+	total := b.N
+	e.Spawn("server", 0, func(p *sim.Proc) {
+		l, _ := server.Listen(80)
+		c, _ := l.Accept(p)
+		s := c.Side(server)
+		for i := 0; i < total; i++ {
+			if got, err := s.RecvFull(p, 1<<20); err != nil || len(got) != 1<<20 {
+				return
+			}
+		}
+	})
+	e.Spawn("client", 0, func(p *sim.Proc) {
+		p.Advance(sim.Microsecond)
+		c, _ := client.Dial(p, server, 80)
+		s := c.Side(client)
+		buf := make([]byte, 1<<20)
+		b.ResetTimer()
+		for i := 0; i < total; i++ {
+			s.Send(p, buf)
+		}
+	})
+	e.MustRun()
+	b.SetBytes(1 << 20)
+}

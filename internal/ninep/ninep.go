@@ -1,0 +1,184 @@
+// Package ninep defines the file-system RPC protocol between the
+// data-plane stub and the control-plane proxy. It is modelled on the 9P
+// protocol the paper extends (§5): every file-system call maps 1:1 to a
+// T-message/R-message pair, and — the Solros extension — Tread and Twrite
+// carry the *physical address* of co-processor memory instead of data, so
+// the proxy can arrange zero-copy transfers between the disk and the
+// co-processor.
+//
+// Messages encode to real bytes (little-endian, length-prefixed strings)
+// because they travel through the transport ring's master memory.
+package ninep
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MsgType enumerates the protocol's messages.
+type MsgType uint8
+
+// T-messages are requests (stub -> proxy); R-messages are responses.
+const (
+	Topen MsgType = iota + 1
+	Ropen
+	Tcreate
+	Rcreate
+	Tread // extended: carries co-processor physical address
+	Rread
+	Twrite // extended: carries co-processor physical address
+	Rwrite
+	Tstat
+	Rstat
+	Tunlink
+	Runlink
+	Tmkdir
+	Rmkdir
+	Treaddir
+	Rreaddir
+	Ttrunc
+	Rtrunc
+	Tsync
+	Rsync
+	Tclose
+	Rclose
+	Trename
+	Rrename
+	Tlink
+	Rlink
+	Rerror
+)
+
+var typeNames = map[MsgType]string{
+	Topen: "Topen", Ropen: "Ropen", Tcreate: "Tcreate", Rcreate: "Rcreate",
+	Tread: "Tread", Rread: "Rread", Twrite: "Twrite", Rwrite: "Rwrite",
+	Tstat: "Tstat", Rstat: "Rstat", Tunlink: "Tunlink", Runlink: "Runlink",
+	Tmkdir: "Tmkdir", Rmkdir: "Rmkdir", Treaddir: "Treaddir", Rreaddir: "Rreaddir",
+	Ttrunc: "Ttrunc", Rtrunc: "Rtrunc", Tsync: "Tsync", Rsync: "Rsync",
+	Tclose: "Tclose", Rclose: "Rclose", Trename: "Trename", Rrename: "Rrename",
+	Tlink: "Tlink", Rlink: "Rlink",
+	Rerror: "Rerror",
+}
+
+func (t MsgType) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Open flags.
+const (
+	// OBuffer forces buffered (host-staged) I/O for the file, the
+	// paper's O_BUFFER extension (§4.3.2).
+	OBuffer uint32 = 1 << 0
+	// OCreate creates the file if missing.
+	OCreate uint32 = 1 << 1
+)
+
+// Msg is a protocol message. One struct covers all types; unused fields
+// encode as zero. Addr is the Solros extension: the physical offset in the
+// requesting co-processor's exported memory for zero-copy Tread/Twrite.
+type Msg struct {
+	Type  MsgType
+	Tag   uint16
+	Fid   uint32
+	Flags uint32
+	Off   int64
+	Count int64
+	Addr  int64
+	Size  int64  // Rstat / Ropen result
+	Mode  uint16 // Rstat result
+	Name  string // path for Topen/Tcreate/...
+	Err   string // Rerror
+	Data  []byte // inline payload (buffered-mode fallback, Rreaddir)
+}
+
+const fixedHdr = 1 + 1 + 2 + 4 + 4 + 8 + 8 + 8 + 8 + 2 // + name/err/data prefixes
+
+// Encode serializes the message.
+func (m *Msg) Encode() []byte {
+	if len(m.Name) > 0xFFFF || len(m.Err) > 0xFFFF {
+		panic("ninep: string field too long")
+	}
+	b := make([]byte, 0, fixedHdr+6+len(m.Name)+len(m.Err)+len(m.Data))
+	b = append(b, byte(m.Type), 0)
+	b = binary.LittleEndian.AppendUint16(b, m.Tag)
+	b = binary.LittleEndian.AppendUint32(b, m.Fid)
+	b = binary.LittleEndian.AppendUint32(b, m.Flags)
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Off))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Count))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Addr))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Size))
+	b = binary.LittleEndian.AppendUint16(b, m.Mode)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Name)))
+	b = append(b, m.Name...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Err)))
+	b = append(b, m.Err...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Data)))
+	b = append(b, m.Data...)
+	return b
+}
+
+// ErrShortMessage reports a truncated or corrupt encoding.
+var ErrShortMessage = errors.New("ninep: short or corrupt message")
+
+// Decode parses a message encoded by Encode.
+func Decode(b []byte) (*Msg, error) {
+	if len(b) < fixedHdr {
+		return nil, ErrShortMessage
+	}
+	m := &Msg{
+		Type:  MsgType(b[0]),
+		Tag:   binary.LittleEndian.Uint16(b[2:]),
+		Fid:   binary.LittleEndian.Uint32(b[4:]),
+		Flags: binary.LittleEndian.Uint32(b[8:]),
+		Off:   int64(binary.LittleEndian.Uint64(b[12:])),
+		Count: int64(binary.LittleEndian.Uint64(b[20:])),
+		Addr:  int64(binary.LittleEndian.Uint64(b[28:])),
+		Size:  int64(binary.LittleEndian.Uint64(b[36:])),
+		Mode:  binary.LittleEndian.Uint16(b[44:]),
+	}
+	p := 46
+	take16 := func() (int, bool) {
+		if len(b) < p+2 {
+			return 0, false
+		}
+		n := int(binary.LittleEndian.Uint16(b[p:]))
+		p += 2
+		return n, true
+	}
+	n, ok := take16()
+	if !ok || len(b) < p+n {
+		return nil, ErrShortMessage
+	}
+	m.Name = string(b[p : p+n])
+	p += n
+	n, ok = take16()
+	if !ok || len(b) < p+n {
+		return nil, ErrShortMessage
+	}
+	m.Err = string(b[p : p+n])
+	p += n
+	if len(b) < p+4 {
+		return nil, ErrShortMessage
+	}
+	dn := int(binary.LittleEndian.Uint32(b[p:]))
+	p += 4
+	if len(b) < p+dn {
+		return nil, ErrShortMessage
+	}
+	if dn > 0 {
+		m.Data = append([]byte(nil), b[p:p+dn]...)
+	}
+	return m, nil
+}
+
+// Error wraps an Rerror into a Go error.
+func (m *Msg) Error() error {
+	if m.Type == Rerror {
+		return errors.New(m.Err)
+	}
+	return nil
+}

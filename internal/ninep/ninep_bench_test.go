@@ -1,0 +1,35 @@
+package ninep
+
+import "testing"
+
+var benchMsg = &Msg{
+	Type: Tread, Tag: 42, Fid: 7, Flags: OBuffer,
+	Off: 1 << 30, Count: 1 << 20, Addr: 0x10000,
+	Name: "/some/path/to/a/file",
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = benchMsg.Encode()
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	enc := benchMsg.Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload := make([]byte, 1024)
+	for i := 0; i < b.N; i++ {
+		f := EncodeFrame(FrameData, 99, payload)
+		if _, _, _, err := DecodeFrame(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package ninep
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := &Msg{
+		Type: Tread, Tag: 7, Fid: 42, Flags: OBuffer,
+		Off: 1 << 40, Count: 4096, Addr: 0xDEADBEE0, Size: 99, Mode: 2,
+		Name: "/a/b/c", Err: "", Data: []byte{1, 2, 3},
+	}
+	out, err := Decode(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	m := &Msg{Type: Tstat, Name: "/x"}
+	enc := m.Encode()
+	for i := 0; i < len(enc); i++ {
+		if _, err := Decode(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+}
+
+func TestErrorWrapping(t *testing.T) {
+	m := &Msg{Type: Rerror, Err: "file does not exist"}
+	if err := m.Error(); err == nil || err.Error() != "file does not exist" {
+		t.Fatalf("Error() = %v", err)
+	}
+	ok := &Msg{Type: Ropen}
+	if err := ok.Error(); err != nil {
+		t.Fatalf("non-error message produced error %v", err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Tread.String() != "Tread" || Rerror.String() != "Rerror" {
+		t.Fatal("type names wrong")
+	}
+	if MsgType(200).String() != "MsgType(200)" {
+		t.Fatal("unknown type formatting wrong")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(tag uint16, fid, flags uint32, off, count, addr int64, name string, data []byte) bool {
+		if len(name) > 1000 {
+			name = name[:1000]
+		}
+		in := &Msg{
+			Type: Twrite, Tag: tag, Fid: fid, Flags: flags,
+			Off: off, Count: count, Addr: addr, Name: name, Data: data,
+		}
+		out, err := Decode(in.Encode())
+		if err != nil {
+			return false
+		}
+		if len(data) == 0 {
+			// Decode normalizes empty data to nil.
+			in = &Msg{Type: in.Type, Tag: in.Tag, Fid: in.Fid, Flags: in.Flags,
+				Off: in.Off, Count: in.Count, Addr: in.Addr, Name: in.Name}
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

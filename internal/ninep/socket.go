@@ -1,0 +1,68 @@
+package ninep
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Socket-service RPC messages (§4.4.1: "we defined 10 RPC messages, each
+// of which corresponds to a network system call, and two messages for
+// event notification"). They reuse the Msg encoding: Fid carries the
+// socket id, Off carries the port, Name carries the remote host name.
+const (
+	Tlisten MsgType = iota + 64
+	Rlisten
+	Tconnect
+	Rconnect
+	Tsockclose
+	Rsockclose
+	Tsetbalance
+	Rsetbalance
+)
+
+func init() {
+	typeNames[Tlisten] = "Tlisten"
+	typeNames[Rlisten] = "Rlisten"
+	typeNames[Tconnect] = "Tconnect"
+	typeNames[Rconnect] = "Rconnect"
+	typeNames[Tsockclose] = "Tsockclose"
+	typeNames[Rsockclose] = "Rsockclose"
+	typeNames[Tsetbalance] = "Tsetbalance"
+	typeNames[Rsetbalance] = "Rsetbalance"
+}
+
+// Frame kinds for the event/data rings (§4.4.2): the inbound ring carries
+// accept and data-arrival events; the outbound ring carries sends and
+// closes.
+const (
+	FrameData byte = iota + 1
+	FrameAccept
+	FrameEOF
+	FrameClose
+	// FrameListenClosed tells the data plane its shared listeners were
+	// torn down; blocked Accepts fail.
+	FrameListenClosed
+)
+
+// frameHdr is kind + connID.
+const frameHdr = 1 + 8
+
+// EncodeFrame packs a ring frame.
+func EncodeFrame(kind byte, connID uint64, payload []byte) []byte {
+	b := make([]byte, frameHdr+len(payload))
+	b[0] = kind
+	binary.LittleEndian.PutUint64(b[1:], connID)
+	copy(b[frameHdr:], payload)
+	return b
+}
+
+// ErrBadFrame reports a corrupt ring frame.
+var ErrBadFrame = errors.New("ninep: bad ring frame")
+
+// DecodeFrame unpacks a ring frame; payload aliases b.
+func DecodeFrame(b []byte) (kind byte, connID uint64, payload []byte, err error) {
+	if len(b) < frameHdr {
+		return 0, 0, nil, ErrBadFrame
+	}
+	return b[0], binary.LittleEndian.Uint64(b[1:]), b[frameHdr:], nil
+}

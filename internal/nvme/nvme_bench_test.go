@@ -1,0 +1,29 @@
+package nvme
+
+import (
+	"testing"
+
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+func benchIO(b *testing.B, size int64, coalesce bool) {
+	fab := pcie.New(64 << 20)
+	ssd := New(fab, "n", 0, 64<<20)
+	e := sim.NewEngine()
+	e.Spawn("io", 0, func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			off := int64(i) % 64 * (1 << 20)
+			if err := ssd.ReadAt(p, off, size, pcie.Loc{Off: 0}, coalesce); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	e.MustRun()
+	b.SetBytes(size)
+}
+
+func BenchmarkRead4KCoalesced(b *testing.B)   { benchIO(b, 4096, true) }
+func BenchmarkRead1MBCoalesced(b *testing.B)  { benchIO(b, 1<<20, true) }
+func BenchmarkRead1MBPerCommand(b *testing.B) { benchIO(b, 1<<20, false) }

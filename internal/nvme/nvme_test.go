@@ -1,0 +1,234 @@
+package nvme
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"solros/internal/model"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+func setup() (*pcie.Fabric, *Device, *pcie.Device, *pcie.Device) {
+	f := pcie.New(64 << 20)
+	ssd := New(f, "nvme0", 0, 64<<20)
+	phi0 := f.AddPhi("phi0", 0, 64<<20)
+	phi2 := f.AddPhi("phi2", 1, 64<<20)
+	return f, ssd, phi0, phi2
+}
+
+func TestReadWriteRoundTripHostMemory(t *testing.T) {
+	f, ssd, _, _ := setup()
+	want := bytes.Repeat([]byte("solros!!"), 512) // 4 KB
+	copy(f.HostRAM.Slice(0, 4096), want)
+	e := sim.NewEngine()
+	e.Spawn("io", 0, func(p *sim.Proc) {
+		if err := ssd.WriteAt(p, 8192, 4096, pcie.Loc{Off: 0}, true); err != nil {
+			t.Error(err)
+		}
+		if err := ssd.ReadAt(p, 8192, 4096, pcie.Loc{Off: 1 << 20}, true); err != nil {
+			t.Error(err)
+		}
+	})
+	e.MustRun()
+	if !bytes.Equal(f.HostRAM.Slice(1<<20, 4096), want) {
+		t.Fatal("data corrupted through write/read cycle")
+	}
+}
+
+func TestP2PReadToCoProcessorMemory(t *testing.T) {
+	_, ssd, phi0, _ := setup()
+	want := bytes.Repeat([]byte{0xAB}, 4096)
+	copy(ssd.Image().Slice(0, 4096), want)
+	e := sim.NewEngine()
+	e.Spawn("io", 0, func(p *sim.Proc) {
+		if err := ssd.ReadAt(p, 0, 4096, pcie.Loc{Dev: phi0, Off: 4096}, true); err != nil {
+			t.Error(err)
+		}
+	})
+	e.MustRun()
+	if !bytes.Equal(phi0.Mem.Slice(4096, 4096), want) {
+		t.Fatal("P2P read did not land in co-processor memory")
+	}
+}
+
+func TestCoalescingReducesDoorbellsAndInterrupts(t *testing.T) {
+	// A 1 MB read fragments into 8 x 128 KB commands. Coalesced: 1
+	// doorbell + 1 interrupt; stock: 8 + 8.
+	_, ssd, _, _ := setup()
+	e := sim.NewEngine()
+	e.Spawn("io", 0, func(p *sim.Proc) {
+		if err := ssd.ReadAt(p, 0, 1<<20, pcie.Loc{Off: 0}, true); err != nil {
+			t.Error(err)
+		}
+	})
+	e.MustRun()
+	st := ssd.Stats()
+	if st.Doorbells != 1 || st.Interrupts != 1 || st.Commands != 8 {
+		t.Fatalf("coalesced: doorbells=%d interrupts=%d commands=%d, want 1/1/8",
+			st.Doorbells, st.Interrupts, st.Commands)
+	}
+	ssd.ResetStats()
+	e = sim.NewEngine()
+	e.Spawn("io", 0, func(p *sim.Proc) {
+		if err := ssd.ReadAt(p, 0, 1<<20, pcie.Loc{Off: 0}, false); err != nil {
+			t.Error(err)
+		}
+	})
+	e.MustRun()
+	st = ssd.Stats()
+	if st.Doorbells != 8 || st.Interrupts != 8 {
+		t.Fatalf("stock: doorbells=%d interrupts=%d, want 8/8", st.Doorbells, st.Interrupts)
+	}
+}
+
+func TestCoalescingIsFaster(t *testing.T) {
+	timeFor := func(coalesce bool) sim.Time {
+		_, ssd, _, _ := setup()
+		var end sim.Time
+		e := sim.NewEngine()
+		e.Spawn("io", 0, func(p *sim.Proc) {
+			for i := 0; i < 8; i++ {
+				if err := ssd.ReadAt(p, int64(i)<<20, 1<<20, pcie.Loc{Off: 0}, coalesce); err != nil {
+					t.Error(err)
+				}
+			}
+			end = p.Now()
+		})
+		e.MustRun()
+		return end
+	}
+	fast, slow := timeFor(true), timeFor(false)
+	if fast >= slow {
+		t.Fatalf("coalesced (%v) should beat per-command doorbells (%v)", fast, slow)
+	}
+}
+
+func TestReadThroughputApproachesDeviceLimit(t *testing.T) {
+	// Large sequential read from many queued commands should sustain
+	// close to 2.4 GB/s.
+	_, ssd, _, _ := setup()
+	const total = 32 << 20
+	var end sim.Time
+	e := sim.NewEngine()
+	e.Spawn("io", 0, func(p *sim.Proc) {
+		if err := ssd.ReadAt(p, 0, total, pcie.Loc{Off: 0}, true); err != nil {
+			t.Error(err)
+		}
+		end = p.Now()
+	})
+	e.MustRun()
+	gbs := float64(total) / end.Seconds() / 1e9
+	if gbs < 2.0 || gbs > 2.5 {
+		t.Fatalf("read throughput = %.2f GB/s, want ~2.4", gbs)
+	}
+}
+
+func TestWriteSlowerThanRead(t *testing.T) {
+	_, ssd, _, _ := setup()
+	var readEnd, writeEnd sim.Time
+	e := sim.NewEngine()
+	e.Spawn("rd", 0, func(p *sim.Proc) {
+		_ = ssd.ReadAt(p, 0, 8<<20, pcie.Loc{Off: 0}, true)
+		readEnd = p.Now()
+	})
+	e.MustRun()
+	ssd.ResetStats()
+	e = sim.NewEngine()
+	e.Spawn("wr", 0, func(p *sim.Proc) {
+		_ = ssd.WriteAt(p, 0, 8<<20, pcie.Loc{Off: 0}, true)
+		writeEnd = p.Now()
+	})
+	e.MustRun()
+	ratio := float64(writeEnd) / float64(readEnd)
+	if ratio < 1.5 {
+		t.Fatalf("write/read time ratio = %.2f, want ~2 (1.2 vs 2.4 GB/s)", ratio)
+	}
+}
+
+func TestCrossNUMAP2PReadCapped(t *testing.T) {
+	// Figure 1a: P2P into a cross-socket co-processor is capped at
+	// ~300 MB/s by the QPI relay.
+	_, ssd, _, phi2 := setup()
+	const total = 8 << 20
+	var end sim.Time
+	e := sim.NewEngine()
+	e.Spawn("io", 0, func(p *sim.Proc) {
+		_ = ssd.ReadAt(p, 0, total, pcie.Loc{Dev: phi2, Off: 0}, true)
+		end = p.Now()
+	})
+	e.MustRun()
+	mbs := float64(total) / end.Seconds() / 1e6
+	if mbs > 320 {
+		t.Fatalf("cross-NUMA P2P = %.0f MB/s, want <= ~300", mbs)
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	_, ssd, _, _ := setup()
+	e := sim.NewEngine()
+	e.Spawn("io", 0, func(p *sim.Proc) {
+		if err := ssd.ReadAt(p, ssd.Capacity(), 4096, pcie.Loc{Off: 0}, true); err == nil {
+			t.Error("read past device end succeeded")
+		}
+		if err := ssd.Submit(p, []Command{{Op: OpRead, LBA: -1, Bytes: 512, Target: pcie.Loc{}}}, true); err == nil {
+			t.Error("negative LBA accepted")
+		}
+	})
+	e.MustRun()
+}
+
+func TestSplitProperty(t *testing.T) {
+	// Property: splitting preserves total bytes, keeps fragments within
+	// MDTS, and fragments are contiguous in both LBA and target offset.
+	f := func(lba uint16, size uint32) bool {
+		c := Command{Op: OpRead, LBA: int64(lba), Bytes: int64(size % (4 << 20)), Target: pcie.Loc{Off: 8192}}
+		frags := Split([]Command{c})
+		var total int64
+		wantLBA, wantOff := c.LBA, c.Target.Off
+		for _, fr := range frags {
+			if fr.Bytes <= 0 || fr.Bytes > model.NVMeMaxTransfer {
+				return false
+			}
+			if fr.LBA != wantLBA || fr.Target.Off != wantOff {
+				return false
+			}
+			total += fr.Bytes
+			wantLBA += fr.Bytes / SectorSize
+			wantOff += fr.Bytes
+		}
+		return total == c.Bytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSubmittersShareDevice(t *testing.T) {
+	// Two procs each read 4 MB; the device serializes, so the makespan
+	// is about the sum, and both complete.
+	_, ssd, _, _ := setup()
+	var ends []sim.Time
+	e := sim.NewEngine()
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("io", 0, func(p *sim.Proc) {
+			_ = ssd.ReadAt(p, int64(i)*(4<<20), 4<<20, pcie.Loc{Off: int64(i) * (4 << 20)}, true)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.MustRun()
+	if len(ends) != 2 {
+		t.Fatal("not all submitters completed")
+	}
+	total := float64(8<<20) / 2.4e9 // seconds at device rate
+	last := ends[1]
+	if ends[0] > last {
+		last = ends[0]
+	}
+	if last.Seconds() < total*0.9 {
+		t.Fatalf("makespan %.3fms implausibly fast for shared device (floor %.3fms)",
+			last.Seconds()*1e3, total*1e3)
+	}
+}

@@ -1,0 +1,294 @@
+// Package pcie models the machine's interconnect: PCIe links from each
+// device to its root complex, the QPI socket interconnect, system-mapped
+// PCIe windows (§4.1), and the two data-transfer mechanisms the paper
+// characterizes in §4.2.1 — per-cacheline load/store transactions and DMA.
+//
+// Real bytes move between real buffers; the fabric charges virtual time and
+// counts PCIe transactions so experiments can report both throughput and
+// transaction counts.
+package pcie
+
+import (
+	"fmt"
+
+	"solros/internal/cpu"
+	"solros/internal/model"
+	"solros/internal/sim"
+)
+
+// Memory is a physically addressed byte region owned by the host or by a
+// device (its on-card RAM).
+type Memory struct {
+	buf []byte
+	// Dev is nil for host RAM.
+	Dev         *Device
+	allocCursor int64
+}
+
+// NewMemory returns a standalone memory region not attached to any fabric
+// or device: a disk image, a test buffer.
+func NewMemory(n int64) *Memory { return &Memory{buf: make([]byte, n)} }
+
+// Slice exposes [off, off+n) of the region. It panics on out-of-range
+// access, the moral equivalent of a machine check.
+func (m *Memory) Slice(off, n int64) []byte {
+	return m.buf[off : off+n : off+n]
+}
+
+// Size reports the region's capacity in bytes.
+func (m *Memory) Size() int64 { return int64(len(m.buf)) }
+
+// Device is a PCIe endpoint: a co-processor, SSD, or NIC.
+type Device struct {
+	Name   string
+	Socket int
+	// Mem is the device's exported on-card memory (BAR), mapped into
+	// the host physical address space as a PCIe window (§4.1).
+	Mem *Memory
+	// linkUp carries device->host traffic, linkDown host->device.
+	linkUp, linkDown *sim.Resource
+	fabric           *Fabric
+}
+
+// Fabric is the whole interconnect of one machine.
+type Fabric struct {
+	// HostRAM is host DRAM.
+	HostRAM *Memory
+	// qpiRelay throttles peer-to-peer transfers that cross sockets:
+	// one processor must relay PCIe packets over QPI (Figure 1a).
+	qpiRelay *sim.Resource
+	devices  []*Device
+	txns     int64
+}
+
+// New creates an empty fabric with hostRAMBytes of host DRAM.
+func New(hostRAMBytes int64) *Fabric {
+	return &Fabric{
+		HostRAM:  &Memory{buf: make([]byte, hostRAMBytes)},
+		qpiRelay: sim.NewResource("qpi-relay", model.QPIRelayBW, 2*sim.Microsecond),
+	}
+}
+
+// AddDevice attaches a device with memBytes of on-card memory to the given
+// socket. upBW/downBW are the link rates in bytes/sec for device->host and
+// host->device directions.
+func (f *Fabric) AddDevice(name string, socket int, memBytes, upBW, downBW int64) *Device {
+	d := &Device{
+		Name:     name,
+		Socket:   socket,
+		linkUp:   sim.NewResource(name+"-up", upBW, 500*sim.Nanosecond),
+		linkDown: sim.NewResource(name+"-down", downBW, 500*sim.Nanosecond),
+		fabric:   f,
+	}
+	d.Mem = &Memory{buf: make([]byte, memBytes), Dev: d}
+	f.devices = append(f.devices, d)
+	return d
+}
+
+// AddPhi attaches a Xeon Phi co-processor with the paper's link rates.
+func (f *Fabric) AddPhi(name string, socket int, memBytes int64) *Device {
+	return f.AddDevice(name, socket, memBytes, model.LinkBWPhiToHost, model.LinkBWHostToPhi)
+}
+
+// Devices lists attached devices in attach order.
+func (f *Fabric) Devices() []*Device { return f.devices }
+
+// Transactions reports the cumulative PCIe transaction count (load/store
+// cachelines + doorbells + control-variable accesses + DMA descriptors).
+func (f *Fabric) Transactions() int64 { return f.txns }
+
+// CountTxn records n raw PCIe transactions without charging time; used by
+// callers that account the latency themselves.
+func (f *Fabric) CountTxn(n int64) { f.txns += n }
+
+// CrossNUMA reports whether a transfer between the two endpoints crosses
+// the socket interconnect. A nil device means host RAM (assumed reachable
+// from either socket at full rate; NUMA placement of host buffers is below
+// the model's resolution).
+func CrossNUMA(a, b *Device) bool {
+	return a != nil && b != nil && a.Socket != b.Socket
+}
+
+// Loc addresses bytes in host RAM (Dev == nil) or device memory.
+type Loc struct {
+	Dev *Device
+	Off int64
+}
+
+func (l Loc) mem(f *Fabric) *Memory {
+	if l.Dev == nil {
+		return f.HostRAM
+	}
+	return l.Dev.Mem
+}
+
+// Mem resolves a Loc to its backing memory region on this fabric.
+func (f *Fabric) Mem(l Loc) *Memory { return l.mem(f) }
+
+func (l Loc) String() string {
+	if l.Dev == nil {
+		return fmt.Sprintf("host+%#x", l.Off)
+	}
+	return fmt.Sprintf("%s+%#x", l.Dev.Name, l.Off)
+}
+
+// Txn charges the Proc one raw PCIe round-trip transaction (doorbell write,
+// remote head/tail access) initiated by a core of the given kind.
+func (f *Fabric) Txn(p *sim.Proc, initiator cpu.Kind) {
+	f.txns++
+	p.Advance(TxnLatency(initiator))
+}
+
+// TxnLatency reports the cost of one raw single-cacheline transaction
+// (doorbell, control-variable access) for the initiator.
+func TxnLatency(initiator cpu.Kind) sim.Time {
+	if initiator == cpu.Phi {
+		return model.MemcpyBasePhi + model.MemcpyLinePhi
+	}
+	return model.MemcpyBaseHost + model.MemcpyLineHost
+}
+
+// Memcpy moves n bytes between src and dst with CPU load/store
+// instructions issued by a core of kind initiator. Each cacheline is one
+// PCIe transaction (§4.2.1): low latency for small data, poor bandwidth
+// for large data. Purely local copies (both endpoints in the same memory
+// domain as the initiator) are not modelled here; Memcpy is specifically
+// the system-mapped-window path.
+func (f *Fabric) Memcpy(p *sim.Proc, initiator cpu.Kind, src, dst Loc, n int64) {
+	f.txns += (n + model.CacheLine - 1) / model.CacheLine
+	copy(dst.mem(f).Slice(dst.Off, n), src.mem(f).Slice(src.Off, n))
+	p.Advance(MemcpyTime(initiator, n))
+}
+
+// MemcpyTime predicts the virtual-time cost of a Memcpy without doing it:
+// a first-access latency plus a per-cacheline streaming cost.
+func MemcpyTime(initiator cpu.Kind, n int64) sim.Time {
+	lines := (n + model.CacheLine - 1) / model.CacheLine
+	if initiator == cpu.Phi {
+		return model.MemcpyBasePhi + sim.Time(lines)*model.MemcpyLinePhi
+	}
+	return model.MemcpyBaseHost + sim.Time(lines)*model.MemcpyLineHost
+}
+
+// DMA moves n bytes between src and dst using a DMA engine set up by a
+// core of kind initiator: high setup latency, then streaming at link rate
+// (scaled down for Phi-initiated transfers, Figure 4a). At least one
+// endpoint must be a device; the transfer reserves every link on the path
+// and completes when the slowest finishes.
+func (f *Fabric) DMA(p *sim.Proc, initiator cpu.Kind, src, dst Loc, n int64) {
+	setup := model.DMASetupHost
+	if initiator == cpu.Phi {
+		setup = model.DMASetupPhi
+	}
+	f.txns++ // descriptor write
+	p.Advance(setup)
+	f.stream(p, initiator, src, dst, n)
+}
+
+// DeviceDMA moves n bytes using a device's own bus-mastering engine (e.g.
+// the NVMe SSD's DMA pulling from or pushing to co-processor memory in a
+// peer-to-peer transfer, §4.3.2). Setup is already part of the device's
+// command processing, so only streaming is charged.
+func (f *Fabric) DeviceDMA(p *sim.Proc, src, dst Loc, n int64) {
+	f.stream(p, cpu.Host, src, dst, n)
+}
+
+// DMATime predicts the cost of an uncontended DMA on the path from src to
+// dst (ignoring queueing at the links).
+func (f *Fabric) DMATime(initiator cpu.Kind, src, dst Loc, n int64) sim.Time {
+	setup := model.DMASetupHost
+	if initiator == cpu.Phi {
+		setup = model.DMASetupPhi
+	}
+	var worst sim.Time
+	for _, r := range f.path(src.Dev, dst.Dev) {
+		rate := f.effectiveRate(r, initiator)
+		d := r.Latency + sim.Time(n*int64(sim.Second)/rate)
+		if d > worst {
+			worst = d
+		}
+	}
+	return setup + worst
+}
+
+// StreamAsync reserves every link between the two endpoints for n bytes
+// without advancing the Proc, returning the latest completion time. Device
+// engines (NVMe, NIC) use it to overlap link reservation with their own
+// service resources.
+func (f *Fabric) StreamAsync(p *sim.Proc, srcDev, dstDev *Device, n int64) sim.Time {
+	var latest sim.Time
+	for _, r := range f.path(srcDev, dstDev) {
+		if done := p.UseAsync(r, n); done > latest {
+			latest = done
+		}
+	}
+	return latest
+}
+
+// stream reserves each path link for n bytes and advances the Proc to the
+// latest completion, modelling pipelined store-and-forward flow.
+func (f *Fabric) stream(p *sim.Proc, initiator cpu.Kind, src, dst Loc, n int64) {
+	copy(dst.mem(f).Slice(dst.Off, n), src.mem(f).Slice(src.Off, n))
+	var latest sim.Time
+	for _, r := range f.path(src.Dev, dst.Dev) {
+		rate := f.effectiveRate(r, initiator)
+		// Temporarily apply the initiator scaling by inflating the
+		// byte count on this reservation.
+		scaled := n * r.Rate / rate
+		done := p.UseAsync(r, scaled)
+		if done > latest {
+			latest = done
+		}
+	}
+	p.AdvanceTo(latest)
+}
+
+// effectiveRate scales a link's rate for Phi-initiated DMA (2.3x slower,
+// Figure 4a). The QPI relay is not further scaled; it is already the
+// bottleneck.
+func (f *Fabric) effectiveRate(r *sim.Resource, initiator cpu.Kind) int64 {
+	if initiator == cpu.Phi && r != f.qpiRelay {
+		return model.PhiDMARate(r.Rate)
+	}
+	return r.Rate
+}
+
+// path returns the shared resources a transfer between the two endpoints
+// crosses. Directionality: we pick each device's link by whether data
+// flows out of (up) or into (down) it.
+func (f *Fabric) path(srcDev, dstDev *Device) []*sim.Resource {
+	var rs []*sim.Resource
+	if srcDev != nil {
+		rs = append(rs, srcDev.linkUp)
+	}
+	if dstDev != nil {
+		rs = append(rs, dstDev.linkDown)
+	}
+	if CrossNUMA(srcDev, dstDev) {
+		rs = append(rs, f.qpiRelay)
+	}
+	return rs
+}
+
+// PathBandwidth reports the bottleneck streaming rate between endpoints
+// for a host-initiated transfer, in bytes/sec.
+func (f *Fabric) PathBandwidth(srcDev, dstDev *Device) int64 {
+	var min int64
+	for _, r := range f.path(srcDev, dstDev) {
+		if min == 0 || r.Rate < min {
+			min = r.Rate
+		}
+	}
+	return min
+}
+
+// ResetLinks clears queueing state and accounting on every link; used
+// between benchmark iterations that reuse a topology.
+func (f *Fabric) ResetLinks() {
+	for _, d := range f.devices {
+		d.linkUp.Reset()
+		d.linkDown.Reset()
+	}
+	f.qpiRelay.Reset()
+	f.txns = 0
+}

@@ -1,0 +1,222 @@
+package pcie
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"solros/internal/cpu"
+	"solros/internal/model"
+	"solros/internal/sim"
+)
+
+func testFabric() (*Fabric, *Device, *Device, *Device) {
+	f := New(1 << 20)
+	phi0 := f.AddPhi("phi0", 0, 1<<20)
+	phi2 := f.AddPhi("phi2", 1, 1<<20)
+	ssd := f.AddDevice("nvme", 0, 1<<20, model.LinkBWNVMe, model.LinkBWNVMe)
+	return f, phi0, phi2, ssd
+}
+
+func TestMemcpyMovesBytes(t *testing.T) {
+	f, phi0, _, _ := testFabric()
+	copy(f.HostRAM.Slice(0, 4), []byte("abcd"))
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		f.Memcpy(p, cpu.Host, Loc{nil, 0}, Loc{phi0, 128}, 4)
+	})
+	e.MustRun()
+	if got := phi0.Mem.Slice(128, 4); !bytes.Equal(got, []byte("abcd")) {
+		t.Fatalf("device memory = %q, want abcd", got)
+	}
+}
+
+func TestMemcpyChargesPerCacheline(t *testing.T) {
+	f, phi0, _, _ := testFabric()
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		f.Memcpy(p, cpu.Host, Loc{nil, 0}, Loc{phi0, 0}, 65) // 2 cachelines
+		if want := model.MemcpyBaseHost + 2*model.MemcpyLineHost; p.Now() != want {
+			t.Errorf("cost = %v, want %v", p.Now(), want)
+		}
+	})
+	e.MustRun()
+	if f.Transactions() != 2 {
+		t.Fatalf("txns = %d, want 2", f.Transactions())
+	}
+}
+
+func TestPhiMemcpySlowerThanHost(t *testing.T) {
+	if MemcpyTime(cpu.Phi, 4096) <= MemcpyTime(cpu.Host, 4096) {
+		t.Fatal("Phi-initiated memcpy should be slower than host-initiated")
+	}
+}
+
+func TestSmallTransferMemcpyBeatsDMA(t *testing.T) {
+	// Paper §4.2.1: for 64 B, memcpy is 2.9x (host) and 12.6x (Phi)
+	// faster than DMA.
+	f, phi0, _, _ := testFabric()
+	for _, k := range []cpu.Kind{cpu.Host, cpu.Phi} {
+		mc := MemcpyTime(k, 64)
+		dma := f.DMATime(k, Loc{nil, 0}, Loc{phi0, 0}, 64)
+		if mc >= dma {
+			t.Errorf("%v: 64B memcpy (%v) should beat DMA (%v)", k, mc, dma)
+		}
+	}
+}
+
+func TestLargeTransferDMABeatsMemcpy(t *testing.T) {
+	// Paper §4.2.1: for 8 MB, DMA is 150x (host) and 116x (Phi) faster.
+	f, phi0, _, _ := testFabric()
+	const n = 8 << 20
+	for _, k := range []cpu.Kind{cpu.Host, cpu.Phi} {
+		mc := MemcpyTime(k, n)
+		dma := f.DMATime(k, Loc{nil, 0}, Loc{phi0, 0}, n)
+		ratio := float64(mc) / float64(dma)
+		// The paper reports 150x/116x; our linear model compresses the
+		// gap (see EXPERIMENTS.md) but the ordering must be decisive.
+		if ratio < 10 {
+			t.Errorf("%v: 8MB memcpy/DMA ratio = %.1f, want >= 10", k, ratio)
+		}
+	}
+}
+
+func TestHostInitiatedDMAFasterThanPhi(t *testing.T) {
+	// Paper Figure 4a: host-initiated DMA is ~2.3x faster.
+	f, phi0, _, _ := testFabric()
+	const n = 4 << 20
+	host := f.DMATime(cpu.Host, Loc{phi0, 0}, Loc{nil, 0}, n)
+	phi := f.DMATime(cpu.Phi, Loc{phi0, 0}, Loc{nil, 0}, n)
+	ratio := float64(phi) / float64(host)
+	if ratio < 1.8 || ratio > 3.0 {
+		t.Fatalf("phi/host DMA time ratio = %.2f, want ~2.3", ratio)
+	}
+}
+
+func TestCrossNUMA(t *testing.T) {
+	_, phi0, phi2, ssd := testFabric()
+	if CrossNUMA(phi0, ssd) {
+		t.Error("phi0 and nvme share socket 0")
+	}
+	if !CrossNUMA(phi2, ssd) {
+		t.Error("phi2 (socket 1) to nvme (socket 0) should cross NUMA")
+	}
+	if CrossNUMA(nil, phi2) || CrossNUMA(phi0, nil) {
+		t.Error("host RAM endpoint never counts as cross-NUMA")
+	}
+}
+
+func TestCrossNUMAP2PCapped(t *testing.T) {
+	// Figure 1a: P2P across a NUMA boundary is capped at ~300 MB/s.
+	f, phi0, phi2, ssd := testFabric()
+	same := f.PathBandwidth(ssd, phi0)
+	cross := f.PathBandwidth(ssd, phi2)
+	if cross != model.QPIRelayBW {
+		t.Fatalf("cross-NUMA bandwidth = %d, want %d", cross, model.QPIRelayBW)
+	}
+	if same <= cross {
+		t.Fatalf("same-socket P2P (%d) should exceed cross-NUMA (%d)", same, cross)
+	}
+}
+
+func TestDeviceDMAP2PMovesBytes(t *testing.T) {
+	f, phi0, _, ssd := testFabric()
+	copy(ssd.Mem.Slice(0, 8), []byte("p2pdata!"))
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		f.DeviceDMA(p, Loc{ssd, 0}, Loc{phi0, 64}, 8)
+	})
+	e.MustRun()
+	if got := phi0.Mem.Slice(64, 8); !bytes.Equal(got, []byte("p2pdata!")) {
+		t.Fatalf("P2P copy = %q", got)
+	}
+}
+
+func TestCrossNUMADMASlowerEndToEnd(t *testing.T) {
+	f, phi0, phi2, ssd := testFabric()
+	const n = 1 << 20
+	var sameT, crossT sim.Time
+	e := sim.NewEngine()
+	e.Spawn("same", 0, func(p *sim.Proc) {
+		f.DeviceDMA(p, Loc{ssd, 0}, Loc{phi0, 0}, n)
+		sameT = p.Now()
+	})
+	e.MustRun()
+	f.ResetLinks()
+	e = sim.NewEngine()
+	e.Spawn("cross", 0, func(p *sim.Proc) {
+		f.DeviceDMA(p, Loc{ssd, 0}, Loc{phi2, 0}, n)
+		crossT = p.Now()
+	})
+	e.MustRun()
+	if crossT < 5*sameT {
+		t.Fatalf("cross-NUMA 1MB DMA (%v) should be much slower than same-socket (%v)", crossT, sameT)
+	}
+}
+
+func TestTxnAccounting(t *testing.T) {
+	f, _, _, _ := testFabric()
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		f.Txn(p, cpu.Host)
+		f.Txn(p, cpu.Phi)
+	})
+	e.MustRun()
+	if f.Transactions() != 2 {
+		t.Fatalf("txns = %d, want 2", f.Transactions())
+	}
+	f.ResetLinks()
+	if f.Transactions() != 0 {
+		t.Fatal("ResetLinks should clear the transaction counter")
+	}
+}
+
+func TestLocString(t *testing.T) {
+	f, phi0, _, _ := testFabric()
+	_ = f
+	if s := (Loc{nil, 16}).String(); s != "host+0x10" {
+		t.Errorf("host loc = %q", s)
+	}
+	if s := (Loc{phi0, 0}).String(); s != "phi0+0x0" {
+		t.Errorf("dev loc = %q", s)
+	}
+}
+
+// Property: DMA time is monotone in size and always includes setup.
+func TestDMATimeMonotoneProperty(t *testing.T) {
+	f, phi0, _, _ := testFabric()
+	fn := func(a, b uint32) bool {
+		na, nb := int64(a%(8<<20))+1, int64(b%(8<<20))+1
+		if na > nb {
+			na, nb = nb, na
+		}
+		ta := f.DMATime(cpu.Host, Loc{nil, 0}, Loc{phi0, 0}, na)
+		tb := f.DMATime(cpu.Host, Loc{nil, 0}, Loc{phi0, 0}, nb)
+		return ta <= tb && ta >= model.DMASetupHost
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: memcpy moves arbitrary payloads intact in either direction.
+func TestMemcpyRoundTripProperty(t *testing.T) {
+	f, phi0, _, _ := testFabric()
+	fn := func(data []byte) bool {
+		if len(data) == 0 || len(data) > 32<<10 {
+			return true
+		}
+		n := int64(len(data))
+		copy(f.HostRAM.Slice(0, n), data)
+		e := sim.NewEngine()
+		e.Spawn("p", 0, func(p *sim.Proc) {
+			f.Memcpy(p, cpu.Host, Loc{nil, 0}, Loc{phi0, 0}, n)
+			f.Memcpy(p, cpu.Phi, Loc{phi0, 0}, Loc{nil, 1 << 18}, n)
+		})
+		e.MustRun()
+		return bytes.Equal(f.HostRAM.Slice(1<<18, n), data)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

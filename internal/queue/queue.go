@@ -1,0 +1,70 @@
+// Package queue implements the paper's Figure 8 baseline: the Michael &
+// Scott two-lock concurrent queue ("the most widely implemented queue
+// algorithm", §6.1.1), parameterized by spinlock so it can run with either
+// the ticket or the MCS lock.
+package queue
+
+import (
+	"sync/atomic"
+
+	"solros/internal/spinlock"
+)
+
+// node.next is atomic because the algorithm's only unlocked interaction is
+// the enqueuer's link-in racing with the dequeuer's read of head.next when
+// the queue has one node: the two-lock algorithm is correct only given an
+// atomic next pointer.
+type node struct {
+	value []byte
+	next  atomic.Pointer[node]
+}
+
+// TwoLock is a concurrent FIFO queue of byte-slice elements with separate
+// head and tail locks, allowing one enqueuer and one dequeuer to proceed
+// in parallel.
+type TwoLock struct {
+	head, tail   *node
+	hLock, tLock spinlock.Locker
+}
+
+// NewTwoLock returns a queue using the given lock constructor for its head
+// and tail locks.
+func NewTwoLock(newLock func() spinlock.Locker) *TwoLock {
+	dummy := &node{}
+	return &TwoLock{head: dummy, tail: dummy, hLock: newLock(), tLock: newLock()}
+}
+
+// NewTwoLockTicket returns a two-lock queue with ticket spinlocks.
+func NewTwoLockTicket() *TwoLock {
+	return NewTwoLock(func() spinlock.Locker { return new(spinlock.Ticket) })
+}
+
+// NewTwoLockMCS returns a two-lock queue with MCS queue spinlocks.
+func NewTwoLockMCS() *TwoLock {
+	return NewTwoLock(spinlock.NewMCSLocker)
+}
+
+// Enqueue appends a copy of v.
+func (q *TwoLock) Enqueue(v []byte) {
+	n := &node{value: append([]byte(nil), v...)}
+	q.tLock.Lock()
+	q.tail.next.Store(n)
+	q.tail = n
+	q.tLock.Unlock()
+}
+
+// Dequeue removes and returns the oldest element, or nil and false if the
+// queue is empty.
+func (q *TwoLock) Dequeue() ([]byte, bool) {
+	q.hLock.Lock()
+	first := q.head.next.Load()
+	if first == nil {
+		q.hLock.Unlock()
+		return nil, false
+	}
+	v := first.value
+	first.value = nil
+	q.head = first
+	q.hLock.Unlock()
+	return v, true
+}

@@ -1,0 +1,102 @@
+package queue
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func TestFIFOSingleThread(t *testing.T) {
+	for name, q := range map[string]*TwoLock{
+		"ticket": NewTwoLockTicket(),
+		"mcs":    NewTwoLockMCS(),
+	} {
+		for i := 0; i < 100; i++ {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(i))
+			q.Enqueue(b[:])
+		}
+		for i := 0; i < 100; i++ {
+			v, ok := q.Dequeue()
+			if !ok {
+				t.Fatalf("%s: empty at %d", name, i)
+			}
+			if got := binary.LittleEndian.Uint64(v); got != uint64(i) {
+				t.Fatalf("%s: got %d, want %d", name, got, i)
+			}
+		}
+		if _, ok := q.Dequeue(); ok {
+			t.Fatalf("%s: dequeue on empty queue succeeded", name)
+		}
+	}
+}
+
+func TestEnqueueCopiesValue(t *testing.T) {
+	q := NewTwoLockTicket()
+	v := []byte{1, 2, 3}
+	q.Enqueue(v)
+	v[0] = 99
+	got, _ := q.Dequeue()
+	if got[0] != 1 {
+		t.Fatal("Enqueue must copy; caller mutation leaked into queue")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := NewTwoLockMCS()
+	const producers, perProducer = 4, 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				var b [16]byte
+				binary.LittleEndian.PutUint64(b[:8], uint64(p))
+				binary.LittleEndian.PutUint64(b[8:], uint64(i))
+				q.Enqueue(b[:])
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[[2]uint64]bool)
+	lastPerProducer := make([]int64, producers)
+	for i := range lastPerProducer {
+		lastPerProducer[i] = -1
+	}
+	var cwg sync.WaitGroup
+	total := 0
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				mu.Lock()
+				if total == producers*perProducer {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+				v, ok := q.Dequeue()
+				if !ok {
+					continue
+				}
+				p := binary.LittleEndian.Uint64(v[:8])
+				i := binary.LittleEndian.Uint64(v[8:])
+				mu.Lock()
+				key := [2]uint64{p, i}
+				if seen[key] {
+					t.Errorf("duplicate element %v", key)
+				}
+				seen[key] = true
+				total++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d, want %d", total, producers*perProducer)
+	}
+}

@@ -1,0 +1,88 @@
+package ringbuf
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// op is one enqueue or dequeue request handed to a combiner.
+type op struct {
+	// request
+	size int
+	// response
+	elem *Elem
+	err  error
+}
+
+// ccNode is a node in the combining request queue. The design follows the
+// paper's description (§4.2.3): "rb_enqueue (or rb_dequeue) first adds a
+// request node to the corresponding request queue, which is similar to the
+// lock operation of an MCS queue lock. If the current thread is at the
+// head of the request queue, it takes the role of a combiner thread and
+// processes a certain number of operations." Concretely this is the
+// CC-Synch combining construction, which needs exactly the two atomic
+// primitives the paper requires: atomic_swap and compare_and_swap.
+type ccNode struct {
+	req       *op
+	next      atomic.Pointer[ccNode]
+	wait      atomic.Bool
+	completed bool
+	_         [4]uint64 // pad to keep hot nodes off shared cache lines
+}
+
+// combiner serializes operations on one end of the ring. apply executes a
+// single operation while holding the (implicit) combiner role.
+type combiner struct {
+	tail  atomic.Pointer[ccNode]
+	apply func(*op)
+	batch int
+}
+
+func newCombiner(apply func(*op), batch int) *combiner {
+	c := &combiner{apply: apply, batch: batch}
+	dummy := &ccNode{} // wait=false: first arrival combines immediately
+	c.tail.Store(dummy)
+	return c
+}
+
+// do submits o and blocks until it has been applied, either by a combiner
+// thread or by the caller itself after inheriting the combiner role.
+func (c *combiner) do(o *op) {
+	fresh := &ccNode{}
+	fresh.wait.Store(true)
+	cur := c.tail.Swap(fresh)
+	cur.req = o
+	cur.next.Store(fresh)
+
+	for spins := 0; cur.wait.Load(); spins++ {
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	if cur.completed {
+		return
+	}
+
+	// We are the combiner: serve our own request and then successors,
+	// up to the batch limit, then hand the combiner role onwards.
+	tmp := cur
+	for served := 0; ; served++ {
+		c.apply(tmp.req)
+		tmp.completed = true
+		next := tmp.next.Load()
+		if next == nil {
+			// tmp is the tail dummy: impossible here because we
+			// only apply nodes that carry requests, and a request
+			// node always has next set by its owner.
+			panic("ringbuf: combiner reached request node without successor")
+		}
+		tmp.wait.Store(false)
+		if next.next.Load() == nil || served+1 >= c.batch {
+			// next is the queue's dummy (no request yet) or we
+			// exhausted the batch: pass the combiner role.
+			next.wait.Store(false)
+			return
+		}
+		tmp = next
+	}
+}

@@ -1,0 +1,224 @@
+// Package ringbuf implements the Solros transport ring buffer (§4.2) as a
+// real concurrent data structure: a fixed-capacity circular byte buffer
+// with variable-size elements, concurrent producers and consumers,
+// non-blocking semantics (ErrWouldBlock when full/empty), and a
+// combining-based design that batches operations from concurrent threads
+// through a single combiner to minimize contention on the ring's control
+// variables.
+//
+// The API mirrors Figure 5 of the paper: enqueue/dequeue reserve or locate
+// an element and return a buffer pointer; the data copy happens outside
+// the (combined) critical path; SetReady/SetDone publish the transition.
+package ringbuf
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrWouldBlock is returned when the ring is full (enqueue) or empty
+// (dequeue), mirroring the paper's EWOULDBLOCK: "its users (e.g., file
+// system and network stack) can decide to retry or not."
+var ErrWouldBlock = errors.New("ringbuf: operation would block")
+
+// ErrTooLarge is returned when an element cannot possibly fit.
+var ErrTooLarge = errors.New("ringbuf: element larger than ring capacity")
+
+// Slot lifecycle states.
+const (
+	slotFree     uint32 = iota // never used or reclaimed
+	slotReserved               // enqueue returned, producer copying in
+	slotReady                  // producer published, awaiting dequeue
+	slotTaken                  // dequeue returned, consumer copying out
+	slotDone                   // consumer released, awaiting reclaim
+)
+
+type slot struct {
+	state atomic.Uint32
+	size  int32
+	// off is the payload's byte offset in the data ring.
+	off int64
+	// alloc is the total bytes this slot consumed from the allocation
+	// cursor, including any wasted run at the end of the ring when the
+	// payload would have wrapped.
+	alloc int64
+	_     [3]uint64 // pad against false sharing
+}
+
+// Elem is a reserved or dequeued element: a window into the ring's storage
+// plus the handle needed to publish or release it.
+type Elem struct {
+	r *Ring
+	s *slot
+}
+
+// Bytes exposes the element's payload storage inside the ring.
+func (e *Elem) Bytes() []byte {
+	return e.r.data[e.s.off : e.s.off+int64(e.s.size)]
+}
+
+// Size reports the element's payload size.
+func (e *Elem) Size() int { return int(e.s.size) }
+
+// CopyIn copies data into the element (rb_copy_to_rb_buf).
+func (e *Elem) CopyIn(data []byte) { copy(e.Bytes(), data) }
+
+// CopyOut copies the element's payload into dst (rb_copy_from_rb_buf).
+func (e *Elem) CopyOut(dst []byte) { copy(dst, e.Bytes()) }
+
+// SetReady publishes a reserved element for dequeueing (rb_set_ready).
+func (e *Elem) SetReady() {
+	if !e.s.state.CompareAndSwap(slotReserved, slotReady) {
+		panic("ringbuf: SetReady on element not in reserved state")
+	}
+}
+
+// SetDone releases a dequeued element's storage for reuse (rb_set_done).
+func (e *Elem) SetDone() {
+	if !e.s.state.CompareAndSwap(slotTaken, slotDone) {
+		panic("ringbuf: SetDone on element not in taken state")
+	}
+}
+
+// Ring is the combining ring buffer.
+type Ring struct {
+	data     []byte
+	capBytes int64
+	slots    []slot
+	nslots   uint64
+
+	// Allocation/consumption cursors. tailSlot and tailByte are owned
+	// by the enqueue combiner; headSlot by the dequeue combiner;
+	// freeSlot/freeByte by the enqueue combiner (reclaim). The atomics
+	// are the cross-combiner publication points.
+	tailSlot atomic.Uint64
+	headSlot atomic.Uint64
+	freeSlot uint64
+	tailByte int64
+	freeByte int64
+
+	enq *combiner
+	deq *combiner
+}
+
+// New creates a ring with the given data capacity in bytes and maximum
+// element count. batch bounds how many operations one combiner serves
+// before handing off (the paper's "certain number of operations").
+func New(capBytes int64, nslots int, batch int) *Ring {
+	if capBytes <= 0 || nslots <= 0 || batch <= 0 {
+		panic("ringbuf: capacity, slots, and batch must be positive")
+	}
+	capBytes = (capBytes + 7) &^ 7
+	r := &Ring{
+		data:     make([]byte, capBytes),
+		capBytes: capBytes,
+		slots:    make([]slot, nslots),
+		nslots:   uint64(nslots),
+	}
+	r.enq = newCombiner(r.applyEnqueue, batch)
+	r.deq = newCombiner(r.applyDequeue, batch)
+	return r
+}
+
+// Enqueue reserves an element of the given payload size (rb_enqueue). The
+// caller fills it via CopyIn/Bytes and must then call SetReady. Returns
+// ErrWouldBlock when the ring lacks space.
+func (r *Ring) Enqueue(size int) (*Elem, error) {
+	if size < 0 || (int64(size)+7)&^7 > r.capBytes {
+		return nil, ErrTooLarge
+	}
+	o := &op{size: size}
+	r.enq.do(o)
+	return o.elem, o.err
+}
+
+// Dequeue claims the oldest ready element (rb_dequeue). The caller drains
+// it via CopyOut/Bytes and must then call SetDone. Returns ErrWouldBlock
+// when no element is ready.
+func (r *Ring) Dequeue() (*Elem, error) {
+	o := &op{}
+	r.deq.do(o)
+	return o.elem, o.err
+}
+
+// applyEnqueue runs under the enqueue combiner.
+func (r *Ring) applyEnqueue(o *op) {
+	need := (int64(o.size) + 7) &^ 7
+	ts := r.tailSlot.Load()
+	if ts-r.freeSlot == r.nslots {
+		r.reclaim()
+		if ts-r.freeSlot == r.nslots {
+			o.err = ErrWouldBlock
+			return
+		}
+	}
+	pos := r.tailByte % r.capBytes
+	waste := int64(0)
+	if pos+need > r.capBytes {
+		waste = r.capBytes - pos
+		pos = 0
+	}
+	if r.tailByte+waste+need-r.freeByte > r.capBytes {
+		r.reclaim()
+		pos = r.tailByte % r.capBytes
+		waste = 0
+		if pos+need > r.capBytes {
+			waste = r.capBytes - pos
+			pos = 0
+		}
+		if r.tailByte+waste+need-r.freeByte > r.capBytes {
+			o.err = ErrWouldBlock
+			return
+		}
+	}
+	s := &r.slots[ts%r.nslots]
+	s.size = int32(o.size)
+	s.off = pos
+	s.alloc = waste + need
+	s.state.Store(slotReserved)
+	r.tailByte += waste + need
+	r.tailSlot.Store(ts + 1)
+	o.elem = &Elem{r: r, s: s}
+}
+
+// applyDequeue runs under the dequeue combiner. Delivery is strictly in
+// enqueue order: a reserved-but-not-ready element at the head blocks
+// dequeueing, preserving FIFO semantics across the decoupled copy phase.
+func (r *Ring) applyDequeue(o *op) {
+	hs := r.headSlot.Load()
+	if hs == r.tailSlot.Load() {
+		o.err = ErrWouldBlock
+		return
+	}
+	s := &r.slots[hs%r.nslots]
+	if !s.state.CompareAndSwap(slotReady, slotTaken) {
+		o.err = ErrWouldBlock
+		return
+	}
+	r.headSlot.Store(hs + 1)
+	o.elem = &Elem{r: r, s: s}
+}
+
+// reclaim advances the free boundary over contiguous done slots; runs
+// under the enqueue combiner.
+func (r *Ring) reclaim() {
+	head := r.headSlot.Load()
+	for r.freeSlot < head {
+		s := &r.slots[r.freeSlot%r.nslots]
+		if !s.state.CompareAndSwap(slotDone, slotFree) {
+			return
+		}
+		r.freeByte += s.alloc
+		r.freeSlot++
+	}
+}
+
+// Len reports the number of elements enqueued but not yet dequeued
+// (including reserved-but-unpublished ones). Racy by nature; for tests
+// and monitoring.
+func (r *Ring) Len() int {
+	return int(r.tailSlot.Load() - r.headSlot.Load())
+}
+
+// Cap reports the ring's data capacity in bytes.
+func (r *Ring) Cap() int64 { return r.capBytes }

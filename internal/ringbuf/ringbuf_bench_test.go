@@ -1,0 +1,68 @@
+package ringbuf
+
+import (
+	"sync"
+	"testing"
+)
+
+func BenchmarkEnqueueDequeuePair64B(b *testing.B) {
+	r := New(1<<20, 4096, 64)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := r.Enqueue(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.CopyIn(payload)
+		e.SetReady()
+		d, err := r.Dequeue()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.SetDone()
+	}
+}
+
+func BenchmarkEnqueueDequeuePairParallel(b *testing.B) {
+	r := New(1<<22, 8192, 64)
+	payload := make([]byte, 64)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			e, err := r.Enqueue(64)
+			if err != nil {
+				continue
+			}
+			e.CopyIn(payload)
+			e.SetReady()
+			if d, err := r.Dequeue(); err == nil {
+				d.SetDone()
+			}
+		}
+	})
+}
+
+func BenchmarkCombinerContention(b *testing.B) {
+	r := New(1<<22, 8192, 64)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	const workers = 8
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e, err := r.Enqueue(16)
+				if err != nil {
+					continue
+				}
+				e.SetReady()
+				if d, err := r.Dequeue(); err == nil {
+					d.SetDone()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,290 @@
+package ringbuf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnqueueDequeueRoundTrip(t *testing.T) {
+	r := New(4096, 64, 8)
+	e, err := r.Enqueue(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.CopyIn([]byte("hello"))
+	e.SetReady()
+	d, err := r.Dequeue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, d.Size())
+	d.CopyOut(out)
+	d.SetDone()
+	if !bytes.Equal(out, []byte("hello")) {
+		t.Fatalf("got %q, want hello", out)
+	}
+}
+
+func TestDequeueEmptyWouldBlock(t *testing.T) {
+	r := New(4096, 64, 8)
+	if _, err := r.Dequeue(); err != ErrWouldBlock {
+		t.Fatalf("err = %v, want ErrWouldBlock", err)
+	}
+}
+
+func TestEnqueueFullWouldBlock(t *testing.T) {
+	r := New(256, 4, 8)
+	var elems []*Elem
+	for {
+		e, err := r.Enqueue(64)
+		if err == ErrWouldBlock {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetReady()
+		elems = append(elems, e)
+		if len(elems) > 100 {
+			t.Fatal("ring never filled")
+		}
+	}
+	if len(elems) == 0 {
+		t.Fatal("could not enqueue even one element")
+	}
+}
+
+func TestSlotExhaustionIndependentOfBytes(t *testing.T) {
+	// Plenty of bytes, only 2 slots.
+	r := New(1<<20, 2, 8)
+	a, _ := r.Enqueue(8)
+	b, _ := r.Enqueue(8)
+	if _, err := r.Enqueue(8); err != ErrWouldBlock {
+		t.Fatalf("3rd enqueue err = %v, want ErrWouldBlock", err)
+	}
+	a.SetReady()
+	b.SetReady()
+}
+
+func TestSpaceReclaimedAfterSetDone(t *testing.T) {
+	r := New(256, 8, 8)
+	fill := func() int {
+		n := 0
+		for {
+			e, err := r.Enqueue(56)
+			if err != nil {
+				return n
+			}
+			e.SetReady()
+			n++
+		}
+	}
+	n1 := fill()
+	if n1 == 0 {
+		t.Fatal("empty ring rejected enqueue")
+	}
+	// Drain everything.
+	for i := 0; i < n1; i++ {
+		d, err := r.Dequeue()
+		if err != nil {
+			t.Fatalf("dequeue %d: %v", i, err)
+		}
+		d.SetDone()
+	}
+	n2 := fill()
+	if n2 != n1 {
+		t.Fatalf("after drain could enqueue %d, want %d (space not reclaimed)", n2, n1)
+	}
+}
+
+func TestUnpublishedElementBlocksDequeue(t *testing.T) {
+	r := New(4096, 16, 8)
+	e, _ := r.Enqueue(8) // reserved, never set ready
+	e2, _ := r.Enqueue(8)
+	e2.SetReady()
+	// FIFO: the unready head must block dequeue even though e2 is ready.
+	if _, err := r.Dequeue(); err != ErrWouldBlock {
+		t.Fatalf("dequeue past unready head: err = %v, want ErrWouldBlock", err)
+	}
+	e.SetReady()
+	d, err := r.Dequeue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetDone()
+}
+
+func TestWrapAroundPreservesData(t *testing.T) {
+	r := New(128, 64, 8)
+	// Repeatedly push/pop elements whose sizes force wrapping.
+	for i := 0; i < 200; i++ {
+		size := 24 + (i%3)*16
+		e, err := r.Enqueue(size)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		payload := bytes.Repeat([]byte{byte(i)}, size)
+		e.CopyIn(payload)
+		e.SetReady()
+		d, err := r.Dequeue()
+		if err != nil {
+			t.Fatalf("iter %d dequeue: %v", i, err)
+		}
+		if !bytes.Equal(d.Bytes(), payload) {
+			t.Fatalf("iter %d: payload corrupted across wrap", i)
+		}
+		d.SetDone()
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	r := New(128, 8, 8)
+	if _, err := r.Enqueue(1 << 20); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if _, err := r.Enqueue(-1); err != ErrTooLarge {
+		t.Fatalf("negative size err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSetReadyTwicePanics(t *testing.T) {
+	r := New(4096, 8, 8)
+	e, _ := r.Enqueue(8)
+	e.SetReady()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double SetReady did not panic")
+		}
+	}()
+	e.SetReady()
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	r := New(1<<16, 256, 16)
+	const producers, perProducer, consumers = 4, 2000, 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for {
+					e, err := r.Enqueue(16)
+					if err == ErrWouldBlock {
+						continue
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var b [16]byte
+					binary.LittleEndian.PutUint64(b[:8], uint64(p))
+					binary.LittleEndian.PutUint64(b[8:], uint64(i))
+					e.CopyIn(b[:])
+					e.SetReady()
+					break
+				}
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[[2]uint64]bool)
+	total := 0
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				mu.Lock()
+				done := total == producers*perProducer
+				mu.Unlock()
+				if done {
+					return
+				}
+				d, err := r.Dequeue()
+				if err == ErrWouldBlock {
+					continue
+				}
+				var b [16]byte
+				d.CopyOut(b[:])
+				d.SetDone()
+				key := [2]uint64{
+					binary.LittleEndian.Uint64(b[:8]),
+					binary.LittleEndian.Uint64(b[8:]),
+				}
+				mu.Lock()
+				if seen[key] {
+					t.Errorf("duplicate %v", key)
+				}
+				seen[key] = true
+				total++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d, want %d", total, producers*perProducer)
+	}
+}
+
+// Property: any sequence of enqueue sizes round-trips intact in FIFO order
+// through a single-threaded producer/consumer pair.
+func TestFIFORoundTripProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		r := New(512, 16, 4)
+		var want, got [][]byte
+		pending := 0
+		for i, sz := range sizes {
+			size := int(sz) % 64
+			e, err := r.Enqueue(size)
+			if err == ErrWouldBlock {
+				// Drain one and retry once.
+				d, derr := r.Dequeue()
+				if derr != nil {
+					continue
+				}
+				got = append(got, append([]byte(nil), d.Bytes()...))
+				d.SetDone()
+				pending--
+				e, err = r.Enqueue(size)
+				if err != nil {
+					continue
+				}
+			} else if err != nil {
+				return false
+			}
+			payload := bytes.Repeat([]byte{byte(i)}, size)
+			e.CopyIn(payload)
+			e.SetReady()
+			want = append(want, payload)
+			pending++
+		}
+		for pending > 0 {
+			d, err := r.Dequeue()
+			if err != nil {
+				return false
+			}
+			got = append(got, append([]byte(nil), d.Bytes()...))
+			d.SetDone()
+			pending--
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

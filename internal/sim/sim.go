@@ -1,0 +1,271 @@
+// Package sim implements a deterministic virtual-time (discrete-event)
+// execution kernel. It is the substrate on which Solros models hardware
+// timing: PCIe links, DMA engines, NVMe service times, and CPU cost are all
+// expressed as virtual-time charges, while the algorithms that run on top
+// (ring buffers, file system, network stack) execute for real and move real
+// bytes.
+//
+// The kernel runs each simulated activity (a Proc) on its own goroutine but
+// serializes execution so that exactly one Proc runs at a time, always the
+// one with the smallest virtual clock. This makes every simulation
+// deterministic for a fixed set of Procs and a fixed tie-breaking order,
+// regardless of the host machine's parallelism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a virtual-time instant or duration in nanoseconds.
+type Time int64
+
+// Handy duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateWaiting
+	stateDone
+)
+
+// Proc is a simulated thread of execution. All methods must be called only
+// from the Proc's own goroutine (the function passed to Engine.Spawn).
+type Proc struct {
+	eng    *Engine
+	name   string
+	id     int
+	time   Time
+	state  procState
+	resume chan struct{}
+	// heap bookkeeping
+	heapIndex int
+	// what the proc is blocked on, for deadlock diagnostics
+	waitingOn string
+}
+
+// Engine owns a set of Procs and executes them in virtual-time order.
+// The zero value is not usable; use NewEngine.
+type Engine struct {
+	procs   []*Proc
+	ready   procHeap
+	yielded chan struct{}
+	nextID  int
+	live    int
+	now     Time
+	started bool
+	tracer  Tracer
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{yielded: make(chan struct{})}
+}
+
+// Now reports the engine's current virtual time: the clock of the most
+// recently dispatched Proc. It is safe to call between Run invocations.
+func (e *Engine) Now() Time { return e.now }
+
+// Spawn creates a Proc named name running fn, starting at virtual time at.
+// Spawn may be called before Run or from inside a running Proc; in the
+// latter case the child starts no earlier than the parent's current time.
+func (e *Engine) Spawn(name string, at Time, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		id:     e.nextID,
+		time:   at,
+		state:  stateRunnable,
+		resume: make(chan struct{}),
+	}
+	e.nextID++
+	e.live++
+	e.procs = append(e.procs, p)
+	heap.Push(&e.ready, p)
+	e.emit(EvSpawn, at, name, "")
+	go func() {
+		// The handoff back to the engine runs in a defer so that a Proc
+		// that exits abnormally (runtime.Goexit from t.Fatal, or a
+		// panic that is re-raised after the handoff) cannot wedge the
+		// engine.
+		defer func() {
+			p.state = stateDone
+			p.eng.live--
+			p.eng.yielded <- struct{}{}
+		}()
+		<-p.resume
+		fn(p)
+	}()
+	return p
+}
+
+// ErrDeadlock is returned by Run when no Proc is runnable but some are
+// still blocked; Procs lists the stuck Procs and what they wait on.
+type ErrDeadlock struct {
+	Procs []string
+}
+
+func (e *ErrDeadlock) Error() string {
+	return "sim: deadlock; blocked procs: " + strings.Join(e.Procs, ", ")
+}
+
+// Run executes all Procs until every one has finished. It returns an
+// *ErrDeadlock if Procs remain blocked with nothing runnable.
+func (e *Engine) Run() error {
+	for {
+		if e.ready.Len() == 0 {
+			if e.live == 0 {
+				return nil
+			}
+			var stuck []string
+			for _, p := range e.procs {
+				if p.state == stateWaiting {
+					stuck = append(stuck, p.name+" ("+p.waitingOn+")")
+				}
+			}
+			sort.Strings(stuck)
+			return &ErrDeadlock{Procs: stuck}
+		}
+		p := heap.Pop(&e.ready).(*Proc)
+		p.state = stateRunning
+		if p.time > e.now {
+			e.now = p.time
+		}
+		e.emit(EvDispatch, p.time, p.name, "")
+		p.resume <- struct{}{}
+		<-e.yielded
+		if p.state == stateDone {
+			e.emit(EvDone, p.time, p.name, "")
+		}
+	}
+}
+
+// MustRun is Run but panics on deadlock; for tests and examples.
+func (e *Engine) MustRun() {
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// Name reports the Proc's name, for diagnostics.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the Proc's virtual clock.
+func (p *Proc) Now() Time { return p.time }
+
+// yield hands control back to the engine. The Proc must already have been
+// re-queued (runnable) or parked (waiting).
+func (p *Proc) yield() {
+	p.eng.yielded <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Advance moves the Proc's clock forward by d (clamped at zero) and yields
+// so that other Procs with earlier clocks can run.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.time += d
+	p.requeue()
+	p.yield()
+}
+
+// AdvanceTo moves the Proc's clock to at least t and yields. It never moves
+// the clock backwards.
+func (p *Proc) AdvanceTo(t Time) {
+	if t > p.time {
+		p.time = t
+	}
+	p.requeue()
+	p.yield()
+}
+
+// Spawn starts a child Proc at the parent's current time.
+func (p *Proc) Spawn(name string, fn func(*Proc)) *Proc {
+	return p.eng.Spawn(name, p.time, fn)
+}
+
+func (p *Proc) requeue() {
+	p.state = stateRunnable
+	heap.Push(&p.eng.ready, p)
+}
+
+// park blocks the Proc outside the run queue until some other Proc wakes it.
+func (p *Proc) park(what string) {
+	p.state = stateWaiting
+	p.waitingOn = what
+	p.eng.emit(EvBlock, p.time, p.name, what)
+	p.yield()
+	p.waitingOn = ""
+}
+
+// wakeAt makes a parked Proc runnable at time at (never moving its clock
+// backwards). Must be called by the currently running Proc.
+func (p *Proc) wakeAt(at Time) {
+	if p.state != stateWaiting {
+		panic("sim: wake of non-waiting proc " + p.name)
+	}
+	if at > p.time {
+		p.time = at
+	}
+	p.eng.emit(EvWake, p.time, p.name, p.waitingOn)
+	p.requeue()
+}
+
+// procHeap orders Procs by (time, id) so scheduling is deterministic.
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].id < h[j].id
+}
+func (h procHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *procHeap) Push(x any) {
+	p := x.(*Proc)
+	p.heapIndex = len(*h)
+	*h = append(*h, p)
+}
+func (h *procHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

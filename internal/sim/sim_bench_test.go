@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+func BenchmarkAdvance(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("p", 0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+		}
+	})
+	e.MustRun()
+}
+
+func BenchmarkContextSwitchTwoProcs(b *testing.B) {
+	e := NewEngine()
+	for k := 0; k < 2; k++ {
+		e.Spawn("p", 0, func(p *Proc) {
+			for i := 0; i < b.N/2; i++ {
+				p.Advance(1)
+			}
+		})
+	}
+	e.MustRun()
+}
+
+func BenchmarkResourceUse(b *testing.B) {
+	e := NewEngine()
+	r := NewResource("r", 1<<30, 0)
+	e.Spawn("p", 0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Use(r, 64)
+		}
+	})
+	e.MustRun()
+}
+
+func BenchmarkChanSendRecv(b *testing.B) {
+	e := NewEngine()
+	c := NewChan("c", 64)
+	e.Spawn("producer", 0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Send(c, i)
+		}
+		p.Close(c)
+	})
+	e.Spawn("consumer", 0, func(p *Proc) {
+		for {
+			if _, ok := p.Recv(c); !ok {
+				return
+			}
+		}
+	})
+	e.MustRun()
+}

@@ -1,0 +1,440 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceOrdersProcs(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("slow", 0, func(p *Proc) {
+		p.Advance(100)
+		order = append(order, "slow")
+	})
+	e.Spawn("fast", 0, func(p *Proc) {
+		p.Advance(10)
+		order = append(order, "fast")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "fast" || order[1] != "slow" {
+		t.Fatalf("order = %v, want [fast slow]", order)
+	}
+}
+
+func TestAdvanceNegativeClamped(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", 5, func(p *Proc) {
+		p.Advance(-10)
+		if p.Now() != 5 {
+			t.Errorf("Now = %v, want 5", p.Now())
+		}
+	})
+	e.MustRun()
+}
+
+func TestAdvanceToNeverBackwards(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", 0, func(p *Proc) {
+		p.Advance(50)
+		p.AdvanceTo(10)
+		if p.Now() != 50 {
+			t.Errorf("Now = %v, want 50", p.Now())
+		}
+		p.AdvanceTo(80)
+		if p.Now() != 80 {
+			t.Errorf("Now = %v, want 80", p.Now())
+		}
+	})
+	e.MustRun()
+}
+
+func TestEngineNowTracksDispatch(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", 0, func(p *Proc) { p.Advance(123) })
+	e.MustRun()
+	if e.Now() != 123 {
+		t.Fatalf("engine Now = %v, want 123", e.Now())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("link", 1000, 0) // 1000 B/s -> 1 B per ms
+	var done [2]Time
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("u", 0, func(p *Proc) {
+			p.Use(r, 1000) // 1 second of service
+			done[i] = p.Now()
+		})
+	}
+	e.MustRun()
+	// One finishes at 1s, the other queues behind it and finishes at 2s.
+	lo, hi := done[0], done[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo != Second || hi != 2*Second {
+		t.Fatalf("completion times = %v, %v; want 1s, 2s", lo, hi)
+	}
+}
+
+func TestResourceLatencyOnly(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("door", 0, 5*Microsecond)
+	e.Spawn("p", 0, func(p *Proc) {
+		p.Use(r, 1<<20)
+		if p.Now() != 5*Microsecond {
+			t.Errorf("Now = %v, want 5us (rate 0 means no per-byte cost)", p.Now())
+		}
+	})
+	e.MustRun()
+}
+
+func TestResourceStatsAndReset(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("r", 1<<20, Microsecond)
+	e.Spawn("p", 0, func(p *Proc) {
+		p.Use(r, 100)
+		p.Use(r, 200)
+	})
+	e.MustRun()
+	b, n, busy := r.Stats()
+	if b != 300 || n != 2 || busy <= 0 {
+		t.Fatalf("stats = %d bytes, %d reqs, %v busy", b, n, busy)
+	}
+	r.Reset()
+	b, n, busy = r.Stats()
+	if b != 0 || n != 0 || busy != 0 {
+		t.Fatalf("after reset: %d bytes, %d reqs, %v busy", b, n, busy)
+	}
+}
+
+func TestUseAsyncDoesNotBlockCaller(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("ssd", 1000, 0)
+	e.Spawn("p", 0, func(p *Proc) {
+		done := p.UseAsync(r, 1000)
+		if p.Now() != 0 {
+			t.Errorf("caller advanced to %v, want 0", p.Now())
+		}
+		if done != Second {
+			t.Errorf("async completion = %v, want 1s", done)
+		}
+	})
+	e.MustRun()
+}
+
+func TestCondSignalWakesInFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	c := NewCond("c")
+	var woke []string
+	for _, name := range []string{"a", "b"} {
+		name := name
+		e.Spawn(name, 0, func(p *Proc) {
+			p.Wait(c)
+			woke = append(woke, name)
+		})
+	}
+	e.Spawn("waker", 10, func(p *Proc) {
+		p.Signal(c)
+		p.Advance(1)
+		p.Signal(c)
+	})
+	e.MustRun()
+	if len(woke) != 2 || woke[0] != "a" || woke[1] != "b" {
+		t.Fatalf("wake order = %v, want [a b]", woke)
+	}
+}
+
+func TestWaiterClockAdvancesToWaker(t *testing.T) {
+	e := NewEngine()
+	c := NewCond("c")
+	e.Spawn("waiter", 0, func(p *Proc) {
+		p.Wait(c)
+		if p.Now() != 42 {
+			t.Errorf("waiter woke at %v, want 42", p.Now())
+		}
+	})
+	e.Spawn("waker", 42, func(p *Proc) { p.Signal(c) })
+	e.MustRun()
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	c := NewCond("never")
+	e.Spawn("stuck", 0, func(p *Proc) { p.Wait(c) })
+	err := e.Run()
+	dl, ok := err.(*ErrDeadlock)
+	if !ok {
+		t.Fatalf("err = %v, want *ErrDeadlock", err)
+	}
+	if len(dl.Procs) != 1 {
+		t.Fatalf("stuck procs = %v, want 1 entry", dl.Procs)
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	e := NewEngine()
+	l := NewLock("l")
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn("p", 0, func(p *Proc) {
+			p.Acquire(l)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Advance(10)
+			inside--
+			p.Release(l)
+		})
+	}
+	e.MustRun()
+	if maxInside != 1 {
+		t.Fatalf("max procs inside critical section = %d, want 1", maxInside)
+	}
+}
+
+func TestReleaseByNonHolderPanics(t *testing.T) {
+	e := NewEngine()
+	l := NewLock("l")
+	e.Spawn("p", 0, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("release of unheld lock did not panic")
+			}
+		}()
+		p.Release(l)
+	})
+	e.MustRun()
+}
+
+func TestChanFIFOAndBlocking(t *testing.T) {
+	e := NewEngine()
+	c := NewChan("c", 2)
+	var got []int
+	e.Spawn("producer", 0, func(p *Proc) {
+		for i := 1; i <= 5; i++ {
+			p.Send(c, i)
+			p.Advance(1)
+		}
+		p.Close(c)
+	})
+	e.Spawn("consumer", 0, func(p *Proc) {
+		for {
+			v, ok := p.Recv(c)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+			p.Advance(3)
+		}
+	})
+	e.MustRun()
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got[%d] = %d, want %d (FIFO violated)", i, v, i+1)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("received %d values, want 5", len(got))
+	}
+}
+
+func TestChanTryOps(t *testing.T) {
+	e := NewEngine()
+	c := NewChan("c", 1)
+	e.Spawn("p", 0, func(p *Proc) {
+		if _, ok := p.TryRecv(c); ok {
+			t.Error("TryRecv on empty chan succeeded")
+		}
+		if !p.TrySend(c, 7) {
+			t.Error("TrySend on empty chan failed")
+		}
+		if p.TrySend(c, 8) {
+			t.Error("TrySend on full chan succeeded")
+		}
+		v, ok := p.TryRecv(c)
+		if !ok || v.(int) != 7 {
+			t.Errorf("TryRecv = %v, %v; want 7, true", v, ok)
+		}
+	})
+	e.MustRun()
+}
+
+func TestChanRecvAfterClose(t *testing.T) {
+	e := NewEngine()
+	c := NewChan("c", 4)
+	e.Spawn("p", 0, func(p *Proc) {
+		p.Send(c, "x")
+		p.Close(c)
+		v, ok := p.Recv(c)
+		if !ok || v.(string) != "x" {
+			t.Errorf("Recv after close = %v, %v; want x, true", v, ok)
+		}
+		if _, ok := p.Recv(c); ok {
+			t.Error("Recv on drained closed chan reported ok")
+		}
+	})
+	e.MustRun()
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup("wg")
+	wg.Add(3)
+	finish := Time(0)
+	for i := 1; i <= 3; i++ {
+		d := Time(i * 100)
+		e.Spawn("worker", 0, func(p *Proc) {
+			p.Advance(d)
+			p.DoneWG(wg)
+		})
+	}
+	e.Spawn("waiter", 0, func(p *Proc) {
+		p.WaitWG(wg)
+		finish = p.Now()
+	})
+	e.MustRun()
+	if finish != 300 {
+		t.Fatalf("waiter finished at %v, want 300 (slowest worker)", finish)
+	}
+}
+
+func TestSpawnFromProcInheritsTime(t *testing.T) {
+	e := NewEngine()
+	childStart := Time(-1)
+	e.Spawn("parent", 0, func(p *Proc) {
+		p.Advance(77)
+		p.Spawn("child", func(c *Proc) { childStart = c.Now() })
+	})
+	e.MustRun()
+	if childStart != 77 {
+		t.Fatalf("child started at %v, want 77", childStart)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		r := NewResource("r", 1<<20, 3*Microsecond)
+		l := NewLock("l")
+		var ends []Time
+		for i := 0; i < 8; i++ {
+			n := int64(64 << uint(i%4))
+			e.Spawn("w", 0, func(p *Proc) {
+				p.Acquire(l)
+				p.Use(r, n)
+				p.Release(l)
+				ends = append(ends, p.Now())
+			})
+		}
+		e.MustRun()
+		return ends
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths across runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		5:               "5ns",
+		3 * Microsecond: "3.000us",
+		2 * Millisecond: "2.000ms",
+		Second:          "1.000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+// Property: for any request sizes, a resource's completion times are
+// strictly ordered and total busy time equals the sum of service times.
+func TestResourceConservationProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		e := NewEngine()
+		r := NewResource("r", 4096, Microsecond)
+		var want Time
+		for _, s := range sizes {
+			want += r.ServiceTime(int64(s))
+		}
+		var last Time
+		monotone := true
+		e.Spawn("p", 0, func(p *Proc) {
+			for _, s := range sizes {
+				p.Use(r, int64(s))
+				if p.Now() <= last {
+					monotone = false
+				}
+				last = p.Now()
+			}
+		})
+		e.MustRun()
+		_, _, busy := r.Stats()
+		return monotone && busy == want && last == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerSeesLifecycle(t *testing.T) {
+	e := NewEngine()
+	rec := NewRecorder(100)
+	e.SetTracer(rec.Trace)
+	c := NewCond("gate")
+	e.Spawn("waiter", 0, func(p *Proc) { p.Wait(c) })
+	e.Spawn("waker", 5, func(p *Proc) {
+		p.Advance(1)
+		p.Signal(c)
+	})
+	e.MustRun()
+	kinds := map[EventKind]bool{}
+	for _, ev := range rec.Events() {
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []EventKind{EvSpawn, EvDispatch, EvBlock, EvWake, EvDone} {
+		if !kinds[want] {
+			t.Errorf("no %v event recorded", want)
+		}
+	}
+	if rec.Dispatches("waker") == 0 {
+		t.Error("waker dispatch count zero")
+	}
+	if hot, n := rec.HottestBlocker(); hot != "gate" || n != 1 {
+		t.Errorf("hottest blocker = %q x%d, want gate x1", hot, n)
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	rec := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		rec.Trace(Event{Kind: EvDispatch, Proc: "p"})
+	}
+	if len(rec.Events()) != 4 {
+		t.Fatalf("retained %d events, want 4", len(rec.Events()))
+	}
+	if rec.Dispatches("p") != 10 {
+		t.Fatalf("dispatch count = %d, want 10 (aggregates unbounded)", rec.Dispatches("p"))
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvSpawn EventKind = iota
+	EvDispatch
+	EvBlock
+	EvWake
+	EvDone
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSpawn:
+		return "spawn"
+	case EvDispatch:
+		return "dispatch"
+	case EvBlock:
+		return "block"
+	case EvWake:
+		return "wake"
+	case EvDone:
+		return "done"
+	}
+	return "?"
+}
+
+// Event is one scheduler occurrence.
+type Event struct {
+	Kind EventKind
+	Time Time
+	Proc string
+	// What names the blocking object for EvBlock/EvWake.
+	What string
+}
+
+// Tracer receives scheduler events when installed via SetTracer. Keep it
+// cheap: it runs on every dispatch.
+type Tracer func(Event)
+
+// SetTracer installs (or with nil removes) the engine's tracer.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+func (e *Engine) emit(kind EventKind, at Time, proc, what string) {
+	if e.tracer != nil {
+		e.tracer(Event{Kind: kind, Time: at, Proc: proc, What: what})
+	}
+}
+
+// Recorder is a bounded in-memory tracer for tests and debugging: it keeps
+// the last Cap events and aggregate per-proc dispatch counts.
+type Recorder struct {
+	Cap       int
+	events    []Event
+	dispatch  map[string]int
+	blockedOn map[string]int
+}
+
+// NewRecorder returns a Recorder keeping at most capEvents events.
+func NewRecorder(capEvents int) *Recorder {
+	return &Recorder{
+		Cap:       capEvents,
+		dispatch:  make(map[string]int),
+		blockedOn: make(map[string]int),
+	}
+}
+
+// Trace is the Tracer to install.
+func (r *Recorder) Trace(ev Event) {
+	if len(r.events) >= r.Cap && r.Cap > 0 {
+		copy(r.events, r.events[1:])
+		r.events = r.events[:len(r.events)-1]
+	}
+	r.events = append(r.events, ev)
+	switch ev.Kind {
+	case EvDispatch:
+		r.dispatch[ev.Proc]++
+	case EvBlock:
+		r.blockedOn[ev.What]++
+	}
+}
+
+// Events returns the retained window.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dispatches reports how often the named proc ran.
+func (r *Recorder) Dispatches(proc string) int { return r.dispatch[proc] }
+
+// HottestBlocker reports the most contended wait object and its count —
+// the first thing to look at when a simulation is slower than expected.
+func (r *Recorder) HottestBlocker() (string, int) {
+	best, n := "", 0
+	for k, c := range r.blockedOn {
+		if c > n {
+			best, n = k, c
+		}
+	}
+	return best, n
+}
+
+// Summary renders a short digest of scheduler activity.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events retained: %d\n", len(r.events))
+	hot, n := r.HottestBlocker()
+	if n > 0 {
+		fmt.Fprintf(&b, "hottest blocker: %s (%d blocks)\n", hot, n)
+	}
+	return b.String()
+}

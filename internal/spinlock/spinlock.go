@@ -1,0 +1,125 @@
+// Package spinlock provides the two spinlock algorithms the paper uses as
+// baselines for the transport service (Figure 8): the ticket lock and the
+// MCS queue lock. Both are real concurrent implementations on Go atomics.
+//
+// Spin loops call runtime.Gosched so oversubscribed benchmarks (more
+// goroutines than GOMAXPROCS) make progress, at the cost of scheduler
+// round-trips — the same pathology that afflicts spinlocks on preemptive
+// kernels.
+package spinlock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Locker is satisfied by all locks in this package as well as sync.Mutex.
+type Locker = sync.Locker
+
+// Ticket is a fair FIFO spinlock: acquirers take a ticket and spin until
+// the serving counter reaches it. All waiters spin on one shared cache
+// line, so it degrades under high core counts.
+type Ticket struct {
+	next    atomic.Uint64
+	serving atomic.Uint64
+}
+
+// Lock acquires the lock, spinning until the caller's ticket is served.
+func (t *Ticket) Lock() {
+	my := t.next.Add(1) - 1
+	for spins := 0; t.serving.Load() != my; spins++ {
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the lock, serving the next ticket.
+func (t *Ticket) Unlock() {
+	t.serving.Add(1)
+}
+
+// TryLock acquires the lock only if no one holds or waits for it.
+func (t *Ticket) TryLock() bool {
+	s := t.serving.Load()
+	return t.next.CompareAndSwap(s, s+1)
+}
+
+// mcsNode is one waiter's queue entry; each waiter spins on its own node,
+// avoiding the ticket lock's shared-cache-line contention.
+type mcsNode struct {
+	next   atomic.Pointer[mcsNode]
+	locked atomic.Bool
+}
+
+// MCS is the Mellor-Crummey/Scott queue spinlock. Each Lock/Unlock pair
+// uses a per-acquisition queue node handed back via a free pool.
+type MCS struct {
+	tail atomic.Pointer[mcsNode]
+	pool sync.Pool
+}
+
+func (m *MCS) getNode() *mcsNode {
+	if v := m.pool.Get(); v != nil {
+		n := v.(*mcsNode)
+		n.next.Store(nil)
+		n.locked.Store(false)
+		return n
+	}
+	return &mcsNode{}
+}
+
+// Lock enqueues the caller and spins on its private node until its
+// predecessor hands over the lock. It returns an opaque token that must be
+// passed to UnlockToken.
+func (m *MCS) LockToken() any {
+	n := m.getNode()
+	prev := m.tail.Swap(n)
+	if prev != nil {
+		n.locked.Store(true)
+		prev.next.Store(n)
+		for spins := 0; n.locked.Load(); spins++ {
+			if spins%64 == 63 {
+				runtime.Gosched()
+			}
+		}
+	}
+	return n
+}
+
+// UnlockToken releases the lock acquired with the given token.
+func (m *MCS) UnlockToken(token any) {
+	n := token.(*mcsNode)
+	next := n.next.Load()
+	if next == nil {
+		if m.tail.CompareAndSwap(n, nil) {
+			m.pool.Put(n)
+			return
+		}
+		for spins := 0; ; spins++ {
+			if next = n.next.Load(); next != nil {
+				break
+			}
+			if spins%64 == 63 {
+				runtime.Gosched()
+			}
+		}
+	}
+	next.locked.Store(false)
+	m.pool.Put(n)
+}
+
+// mcsAsLocker adapts MCS to sync.Locker for callers that cannot thread the
+// token through; it stores the token in a one-deep slot guarded by the
+// lock itself (valid because the lock is held between Lock and Unlock).
+type mcsAsLocker struct {
+	m     MCS
+	token any
+}
+
+// NewMCSLocker returns an MCS lock behind the sync.Locker interface.
+func NewMCSLocker() Locker { return &mcsAsLocker{} }
+
+func (l *mcsAsLocker) Lock()   { t := l.m.LockToken(); l.token = t }
+func (l *mcsAsLocker) Unlock() { t := l.token; l.token = nil; l.m.UnlockToken(t) }

@@ -1,0 +1,43 @@
+package spinlock
+
+import (
+	"sync"
+	"testing"
+)
+
+func benchLock(b *testing.B, lock, unlock func()) {
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			lock()
+			unlock()
+		}
+	})
+}
+
+func BenchmarkTicketUncontended(b *testing.B) {
+	var l Ticket
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkTicketContended(b *testing.B) {
+	var l Ticket
+	benchLock(b, l.Lock, l.Unlock)
+}
+
+func BenchmarkMCSContended(b *testing.B) {
+	var m MCS
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tok := m.LockToken()
+			m.UnlockToken(tok)
+		}
+	})
+}
+
+func BenchmarkStdMutexContended(b *testing.B) {
+	var mu sync.Mutex
+	benchLock(b, mu.Lock, mu.Unlock)
+}

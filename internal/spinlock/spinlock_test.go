@@ -1,0 +1,92 @@
+package spinlock
+
+import (
+	"sync"
+	"testing"
+)
+
+func hammer(t *testing.T, lock func(), unlock func()) {
+	t.Helper()
+	const goroutines = 8
+	const iters = 2000
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				lock()
+				counter++
+				unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (lost updates => broken mutual exclusion)", counter, goroutines*iters)
+	}
+}
+
+func TestTicketMutualExclusion(t *testing.T) {
+	var l Ticket
+	hammer(t, l.Lock, l.Unlock)
+}
+
+func TestMCSMutualExclusion(t *testing.T) {
+	var m MCS
+	const goroutines = 8
+	const iters = 2000
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tok := m.LockToken()
+				counter++
+				m.UnlockToken(tok)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+func TestMCSLockerAdapter(t *testing.T) {
+	l := NewMCSLocker()
+	hammer(t, l.Lock, l.Unlock)
+}
+
+func TestTicketTryLock(t *testing.T) {
+	var l Ticket
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestTicketFIFO(t *testing.T) {
+	// Single-threaded sanity: tickets are served in order.
+	var l Ticket
+	for i := 0; i < 100; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+	if got := l.next.Load(); got != 100 {
+		t.Fatalf("next ticket = %d, want 100", got)
+	}
+	if got := l.serving.Load(); got != 100 {
+		t.Fatalf("serving = %d, want 100", got)
+	}
+}

@@ -1,0 +1,136 @@
+// Package stats provides the small statistics toolkit the benchmark
+// harness uses: exact percentile summaries over virtual-time samples and
+// log-scaled histograms for latency distributions (the CDFs of Figure 1b).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"solros/internal/sim"
+)
+
+// Sample accumulates virtual-time observations.
+type Sample struct {
+	xs     []sim.Time
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(t sim.Time) {
+	s.xs = append(s.xs, t)
+	s.sorted = false
+}
+
+// N reports the observation count.
+func (s *Sample) N() int { return len(s.xs) }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Slice(s.xs, func(i, j int) bool { return s.xs[i] < s.xs[j] })
+		s.sorted = true
+	}
+}
+
+// Percentile returns the pct-th percentile (nearest-rank on the sorted
+// sample); zero if empty.
+func (s *Sample) Percentile(pct float64) sim.Time {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if pct <= 0 {
+		return s.xs[0]
+	}
+	if pct >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	idx := int(math.Ceil(pct/100*float64(len(s.xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.xs[idx]
+}
+
+// Mean returns the arithmetic mean; zero if empty.
+func (s *Sample) Mean() sim.Time {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var total sim.Time
+	for _, x := range s.xs {
+		total += x
+	}
+	return total / sim.Time(len(s.xs))
+}
+
+// Min and Max report the extremes; zero if empty.
+func (s *Sample) Min() sim.Time { return s.Percentile(0) }
+
+// Max reports the largest observation.
+func (s *Sample) Max() sim.Time { return s.Percentile(100) }
+
+// Summary renders a one-line digest.
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("n=%d min=%v p50=%v p90=%v p99=%v max=%v mean=%v",
+		s.N(), s.Min(), s.Percentile(50), s.Percentile(90),
+		s.Percentile(99), s.Max(), s.Mean())
+}
+
+// CDF returns (value, cumulative fraction) pairs at the given percentiles.
+func (s *Sample) CDF(percentiles []float64) [][2]float64 {
+	out := make([][2]float64, 0, len(percentiles))
+	for _, p := range percentiles {
+		out = append(out, [2]float64{s.Percentile(p).Seconds() * 1e6, p})
+	}
+	return out
+}
+
+// Histogram is a log2-bucketed latency histogram.
+type Histogram struct {
+	buckets map[int]int
+	n       int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]int)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(t sim.Time) {
+	b := 0
+	for v := int64(t); v > 1; v >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+	h.n++
+}
+
+// N reports the observation count.
+func (h *Histogram) N() int { return h.n }
+
+// String renders the histogram with proportional bars.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "(empty)"
+	}
+	keys := make([]int, 0, len(h.buckets))
+	max := 0
+	for k, c := range h.buckets {
+		keys = append(keys, k)
+		if c > max {
+			max = c
+		}
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		c := h.buckets[k]
+		bar := strings.Repeat("#", c*40/max)
+		fmt.Fprintf(&b, "%12v | %-40s %d\n", sim.Time(int64(1)<<uint(k)), bar, c)
+	}
+	return b.String()
+}

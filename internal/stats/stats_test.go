@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"solros/internal/sim"
+)
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(sim.Time(i))
+	}
+	cases := map[float64]sim.Time{0: 1, 50: 50, 90: 90, 99: 99, 100: 100}
+	for pct, want := range cases {
+		if got := s.Percentile(pct); got != want {
+			t.Errorf("p%.0f = %v, want %v", pct, got, want)
+		}
+	}
+	if s.Mean() != 50 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.N() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestAddAfterPercentileResorts(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Fatal("sample not re-sorted after Add")
+	}
+}
+
+func TestSummaryAndCDF(t *testing.T) {
+	var s Sample
+	for i := 0; i < 10; i++ {
+		s.Add(sim.Time(i+1) * sim.Microsecond)
+	}
+	if !strings.Contains(s.Summary(), "n=10") {
+		t.Fatalf("summary: %s", s.Summary())
+	}
+	cdf := s.CDF([]float64{50, 99})
+	if len(cdf) != 2 || cdf[0][0] <= 0 {
+		t.Fatalf("cdf: %v", cdf)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Add(sim.Time(1 << uint(i%8)))
+	}
+	if h.N() != 100 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Fatal("histogram renders no bars")
+	}
+	if NewHistogram().String() != "(empty)" {
+		t.Fatal("empty histogram rendering")
+	}
+}
+
+// Property: percentiles are monotone in pct and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(sim.Time(v))
+		}
+		prev := s.Percentile(0)
+		for pct := 5.0; pct <= 100; pct += 5 {
+			cur := s.Percentile(pct)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max() || s.N() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,399 @@
+// Package transport implements the Solros transport service (§4.2): a
+// master/shadow ring buffer over the PCIe fabric. The master ring allocates
+// real storage in one endpoint's memory; the shadow endpoint reaches it
+// through the system-mapped PCIe window, paying fabric costs for every
+// control-variable access and data copy.
+//
+// Three of the paper's design decisions are switchable so their effect can
+// be measured (Figures 9 and 10):
+//
+//   - control-variable replication: Lazy (replicate head/tail, flush once
+//     per combine batch) vs Eager (single copy in master memory, every
+//     shadow-side operation crosses PCIe);
+//   - copy mechanism: Memcpy, DMA, or Adaptive (size-dependent);
+//   - master placement: at either endpoint.
+//
+// The ring runs inside the sim virtual-time kernel; real payload bytes move
+// through the master memory region.
+package transport
+
+import (
+	"errors"
+
+	"solros/internal/cpu"
+	"solros/internal/model"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+// ErrWouldBlock mirrors EWOULDBLOCK from the paper's API: the ring is full
+// (enqueue) or has no ready element (dequeue).
+var ErrWouldBlock = errors.New("transport: operation would block")
+
+// ErrClosed is returned by TrySend once the ring has been closed.
+var ErrClosed = errors.New("transport: ring closed")
+
+// UpdateMode selects how the ring's head/tail control variables are kept
+// coherent across the PCIe bus (§4.2.4).
+type UpdateMode int
+
+const (
+	// Lazy replicates control variables on both sides; the replica is
+	// refreshed only when the ring appears full/empty and flushed once
+	// per combining batch.
+	Lazy UpdateMode = iota
+	// Eager keeps a single copy in master memory; every shadow-side
+	// operation issues PCIe transactions to read and update them.
+	Eager
+)
+
+func (m UpdateMode) String() string {
+	if m == Lazy {
+		return "lazy"
+	}
+	return "eager"
+}
+
+// Options configures a Ring.
+type Options struct {
+	// CapBytes is the payload capacity. Default 1 MB.
+	CapBytes int64
+	// Slots bounds the element count. Default model.RingDefaultSlots.
+	Slots int
+	// Update selects control-variable handling. Default Lazy.
+	Update UpdateMode
+	// Copy selects the data-copy mechanism. Default Adaptive.
+	Copy pcie.Mech
+	// Batch is the combining batch size. Default model.CombineBatch.
+	Batch int
+}
+
+func (o *Options) fill() {
+	if o.CapBytes == 0 {
+		o.CapBytes = 1 << 20
+	}
+	if o.Slots == 0 {
+		o.Slots = model.RingDefaultSlots
+	}
+	if o.Batch == 0 {
+		o.Batch = model.CombineBatch
+	}
+}
+
+// entry is one element's metadata. All access is serialized by the sim
+// kernel; costs for remote visibility are charged explicitly.
+type entry struct {
+	size  int
+	off   int64
+	alloc int64
+	state uint32 // slotFree..slotDone, same lifecycle as package ringbuf
+}
+
+const (
+	entFree uint32 = iota
+	entReserved
+	entReady
+	entTaken
+	entDone
+)
+
+// side tracks the per-endpoint combining and replication state.
+type side struct {
+	lock       *sim.Lock
+	opsInBatch int
+}
+
+// Ring is a master/shadow ring buffer over PCIe.
+type Ring struct {
+	fabric *pcie.Fabric
+	// masterDev is where the storage lives; nil means host RAM.
+	masterDev *pcie.Device
+	base      int64 // offset of the payload region in master memory
+	capBytes  int64
+	opt       Options
+
+	entries  []entry
+	nslots   uint64
+	tailSlot uint64
+	headSlot uint64
+	freeSlot uint64
+	tailByte int64
+	freeByte int64
+
+	enq side
+	deq side
+
+	spaceCond *sim.Cond
+	dataCond  *sim.Cond
+
+	closed bool
+
+	// stats
+	sent, received int64
+	sentBytes      int64
+}
+
+// NewRing allocates a ring whose master storage lives on masterDev (nil =
+// host RAM) of the given fabric.
+func NewRing(f *pcie.Fabric, masterDev *pcie.Device, opt Options) *Ring {
+	opt.fill()
+	mem := f.HostRAM
+	if masterDev != nil {
+		mem = masterDev.Mem
+	}
+	r := &Ring{
+		fabric:    f,
+		masterDev: masterDev,
+		base:      mem.Alloc(opt.CapBytes),
+		capBytes:  opt.CapBytes,
+		opt:       opt,
+		entries:   make([]entry, opt.Slots),
+		nslots:    uint64(opt.Slots),
+		spaceCond: sim.NewCond("ring-space"),
+		dataCond:  sim.NewCond("ring-data"),
+	}
+	r.enq.lock = sim.NewLock("ring-enq")
+	r.deq.lock = sim.NewLock("ring-deq")
+	return r
+}
+
+// Port is one endpoint's handle on the ring: the device the accessing code
+// runs on (nil = host) and its core kind determine every fabric charge.
+type Port struct {
+	ring *Ring
+	dev  *pcie.Device
+	kind cpu.Kind
+}
+
+// Port returns an endpoint handle for code running on dev (nil = host)
+// with the given core kind.
+func (r *Ring) Port(dev *pcie.Device, kind cpu.Kind) *Port {
+	return &Port{ring: r, dev: dev, kind: kind}
+}
+
+// Ring returns the port's underlying ring.
+func (pt *Port) Ring() *Ring { return pt.ring }
+
+// isMaster reports whether this port accesses the ring's storage locally.
+func (pt *Port) isMaster() bool { return pt.dev == pt.ring.masterDev }
+
+// remoteTxn charges one PCIe transaction if the port is the shadow side;
+// master-side control accesses are local and free.
+func (pt *Port) remoteTxn(p *sim.Proc) {
+	if !pt.isMaster() {
+		pt.ring.fabric.Txn(p, pt.kind)
+	}
+}
+
+// combineEnter models taking a slot in the combining queue: one local
+// atomic swap plus, if contended, a cache-line bounce.
+func combineEnter(p *sim.Proc, s *side) {
+	p.Advance(model.AtomicLocalCost)
+	if s.lock.Held() {
+		p.Advance(model.CachelineBounceCost)
+	}
+	p.Acquire(s.lock)
+	s.opsInBatch++
+}
+
+// combineExit releases the combiner slot, flushing replicated control
+// variables once per batch in Lazy mode (1 PCIe txn when remote).
+func (pt *Port) combineExit(p *sim.Proc, s *side, batch int) {
+	if pt.ring.opt.Update == Lazy && s.opsInBatch >= batch {
+		s.opsInBatch = 0
+		pt.remoteTxn(p) // push original value to the remote replica
+	}
+	p.Release(s.lock)
+}
+
+// TrySend enqueues msg without blocking; ErrWouldBlock when the ring is
+// full. The sequence models the paper's three-phase API: reserve under the
+// combiner, copy outside it, publish.
+func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
+	r := pt.ring
+	if r.closed {
+		return ErrClosed
+	}
+	need := (int64(len(msg)) + 7) &^ 7
+	if need > r.capBytes {
+		return errors.New("transport: message larger than ring")
+	}
+	combineEnter(p, &r.enq)
+	if r.opt.Update == Eager {
+		// Read head and update tail across the bus every time.
+		pt.remoteTxn(p)
+		pt.remoteTxn(p)
+	}
+	ent, ok := r.reserve(len(msg), need)
+	if !ok {
+		// Ring looks full: Lazy mode refreshes the head replica from
+		// the remote original and retries once (§4.2.4).
+		if r.opt.Update == Lazy {
+			pt.remoteTxn(p)
+			r.reclaim()
+			ent, ok = r.reserve(len(msg), need)
+		}
+		if !ok {
+			pt.combineExit(p, &r.enq, r.opt.Batch)
+			return ErrWouldBlock
+		}
+	}
+	pt.combineExit(p, &r.enq, r.opt.Batch)
+
+	// Copy payload into master memory (outside the combiner, so copies
+	// from concurrent senders overlap).
+	loc := pcie.Loc{Dev: r.masterDev, Off: r.base + ent.off}
+	r.fabric.CopyIn(p, pt.dev, pt.kind, loc, msg, r.opt.Copy)
+
+	// Publish: mark ready. Remote publication rides on the copy's last
+	// transaction (write-combined header), so no extra charge.
+	ent.state = entReady
+	r.sent++
+	r.sentBytes += int64(len(msg))
+	p.Signal(r.dataCond)
+	return nil
+}
+
+// Send blocks until msg is enqueued. Messages sent to a closed ring are
+// silently dropped (the peer is being torn down). Send panics on
+// non-retryable errors (message larger than the ring), which indicate a
+// mis-sized channel.
+func (pt *Port) Send(p *sim.Proc, msg []byte) {
+	for {
+		err := pt.TrySend(p, msg)
+		if err == nil || err == ErrClosed {
+			return
+		}
+		if err != ErrWouldBlock {
+			panic("transport: " + err.Error())
+		}
+		if pt.ring.closed {
+			return
+		}
+		p.Wait(pt.ring.spaceCond)
+	}
+}
+
+// TryRecv dequeues the oldest ready element without blocking, returning
+// its payload; ErrWouldBlock if none is ready.
+func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
+	r := pt.ring
+	combineEnter(p, &r.deq)
+	if r.opt.Update == Eager {
+		pt.remoteTxn(p)
+		pt.remoteTxn(p)
+	}
+	ent, ok := r.take()
+	if !ok && r.opt.Update == Lazy {
+		// Refresh the tail replica and retry (poll across the bus).
+		pt.remoteTxn(p)
+		ent, ok = r.take()
+	}
+	pt.combineExit(p, &r.deq, r.opt.Batch)
+	if !ok {
+		return nil, ErrWouldBlock
+	}
+
+	buf := make([]byte, ent.size)
+	loc := pcie.Loc{Dev: r.masterDev, Off: r.base + ent.off}
+	r.fabric.CopyOut(p, pt.dev, pt.kind, loc, buf, r.opt.Copy)
+
+	ent.state = entDone
+	r.received++
+	p.Signal(r.spaceCond)
+	return buf, nil
+}
+
+// Recv blocks until an element is available and returns its payload; ok is
+// false once the ring is closed and drained.
+func (pt *Port) Recv(p *sim.Proc) ([]byte, bool) {
+	for {
+		msg, err := pt.TryRecv(p)
+		if err == nil {
+			return msg, true
+		}
+		if pt.ring.closed {
+			return nil, false
+		}
+		p.Wait(pt.ring.dataCond)
+	}
+}
+
+// Close marks the ring closed and wakes all blocked receivers and senders.
+// Pending elements remain receivable.
+func (pt *Port) Close(p *sim.Proc) {
+	pt.ring.closed = true
+	p.Broadcast(pt.ring.dataCond)
+	p.Broadcast(pt.ring.spaceCond)
+}
+
+// Closed reports whether the ring has been closed.
+func (r *Ring) Closed() bool { return r.closed }
+
+// reserve allocates an element; caller holds the enqueue combiner.
+func (r *Ring) reserve(size int, need int64) (*entry, bool) {
+	if r.tailSlot-r.freeSlot == r.nslots {
+		r.reclaim()
+		if r.tailSlot-r.freeSlot == r.nslots {
+			return nil, false
+		}
+	}
+	pos := r.tailByte % r.capBytes
+	waste := int64(0)
+	if pos+need > r.capBytes {
+		waste = r.capBytes - pos
+		pos = 0
+	}
+	if r.tailByte+waste+need-r.freeByte > r.capBytes {
+		r.reclaim()
+		pos = r.tailByte % r.capBytes
+		waste = 0
+		if pos+need > r.capBytes {
+			waste = r.capBytes - pos
+			pos = 0
+		}
+		if r.tailByte+waste+need-r.freeByte > r.capBytes {
+			return nil, false
+		}
+	}
+	ent := &r.entries[r.tailSlot%r.nslots]
+	*ent = entry{size: size, off: pos, alloc: waste + need, state: entReserved}
+	r.tailByte += waste + need
+	r.tailSlot++
+	return ent, true
+}
+
+// take claims the head element if ready; caller holds the dequeue combiner.
+func (r *Ring) take() (*entry, bool) {
+	if r.headSlot == r.tailSlot {
+		return nil, false
+	}
+	ent := &r.entries[r.headSlot%r.nslots]
+	if ent.state != entReady {
+		return nil, false
+	}
+	ent.state = entTaken
+	r.headSlot++
+	return ent, true
+}
+
+// reclaim advances the free boundary over contiguous done elements.
+func (r *Ring) reclaim() {
+	for r.freeSlot < r.headSlot {
+		ent := &r.entries[r.freeSlot%r.nslots]
+		if ent.state != entDone {
+			return
+		}
+		ent.state = entFree
+		r.freeByte += ent.alloc
+		r.freeSlot++
+	}
+}
+
+// Stats reports messages sent/received and payload bytes sent.
+func (r *Ring) Stats() (sent, received, sentBytes int64) {
+	return r.sent, r.received, r.sentBytes
+}
+
+// Len reports elements enqueued but not yet dequeued.
+func (r *Ring) Len() int { return int(r.tailSlot - r.headSlot) }

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"solros/internal/cpu"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+// Property: for any mix of message sizes, update mode, copy mechanism,
+// and master placement, every payload arrives exactly once, in order,
+// intact.
+func TestDeliveryProperty(t *testing.T) {
+	type cfg struct {
+		Seed      int64
+		MasterPhi bool
+		Eager     bool
+		Mech      uint8
+		N         uint8
+	}
+	f := func(c cfg) bool {
+		n := int(c.N)%40 + 1
+		rnd := rand.New(rand.NewSource(c.Seed))
+		msgs := make([][]byte, n)
+		for i := range msgs {
+			msgs[i] = make([]byte, rnd.Intn(4096)+1)
+			rnd.Read(msgs[i])
+		}
+		fab := pcie.New(128 << 20)
+		phi := fab.AddPhi("phi0", 0, 64<<20)
+		opt := Options{
+			CapBytes: 64 << 10,
+			Slots:    32,
+			Copy:     pcie.Mech(int(c.Mech) % 3),
+		}
+		if c.Eager {
+			opt.Update = Eager
+		}
+		var master *pcie.Device
+		if c.MasterPhi {
+			master = phi
+		}
+		ring := NewRing(fab, master, opt)
+		sp := ring.Port(phi, cpu.Phi)
+		rp := ring.Port(nil, cpu.Host)
+		ok := true
+		e := sim.NewEngine()
+		e.Spawn("sender", 0, func(p *sim.Proc) {
+			for _, m := range msgs {
+				sp.Send(p, m)
+			}
+		})
+		e.Spawn("receiver", 0, func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				got, alive := rp.Recv(p)
+				if !alive || !bytes.Equal(got, msgs[i]) {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		sent, recv, _ := ring.Stats()
+		return ok && sent == int64(n) && recv == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRingSend64B(b *testing.B) {
+	fab := pcie.New(128 << 20)
+	phi := fab.AddPhi("phi0", 0, 64<<20)
+	ring := NewRing(fab, phi, Options{CapBytes: 4 << 20, Slots: 4096})
+	sp := ring.Port(phi, cpu.Phi)
+	rp := ring.Port(nil, cpu.Host)
+	msg := make([]byte, 64)
+	b.ResetTimer()
+	e := sim.NewEngine()
+	e.Spawn("sender", 0, func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			sp.Send(p, msg)
+		}
+	})
+	e.Spawn("receiver", 0, func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := rp.Recv(p); !ok {
+				return
+			}
+		}
+	})
+	e.MustRun()
+}

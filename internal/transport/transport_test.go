@@ -1,0 +1,313 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"solros/internal/cpu"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+func newFabric() (*pcie.Fabric, *pcie.Device) {
+	f := pcie.New(256 << 20)
+	phi := f.AddPhi("phi0", 0, 256<<20)
+	return f, phi
+}
+
+func TestRoundTripIntegrity(t *testing.T) {
+	f, phi := newFabric()
+	ring := NewRing(f, phi, Options{CapBytes: 1 << 16, Slots: 64})
+	sender := ring.Port(phi, cpu.Phi)
+	receiver := ring.Port(nil, cpu.Host)
+
+	var got [][]byte
+	e := sim.NewEngine()
+	e.Spawn("phi-sender", 0, func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			msg := bytes.Repeat([]byte{byte(i)}, 100+i)
+			sender.Send(p, msg)
+		}
+	})
+	e.Spawn("host-receiver", 0, func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			msg, _ := receiver.Recv(p)
+			got = append(got, msg)
+		}
+	})
+	e.MustRun()
+	if len(got) != 20 {
+		t.Fatalf("received %d messages, want 20", len(got))
+	}
+	for i, msg := range got {
+		want := bytes.Repeat([]byte{byte(i)}, 100+i)
+		if !bytes.Equal(msg, want) {
+			t.Fatalf("message %d corrupted: got %d bytes, first=%d", i, len(msg), msg[0])
+		}
+	}
+}
+
+func TestFlowControlBlocksSender(t *testing.T) {
+	f, phi := newFabric()
+	// Tiny ring: sender must block until receiver drains.
+	ring := NewRing(f, phi, Options{CapBytes: 4096, Slots: 4})
+	sender := ring.Port(phi, cpu.Phi)
+	receiver := ring.Port(nil, cpu.Host)
+
+	const n = 50
+	sent, received := 0, 0
+	e := sim.NewEngine()
+	e.Spawn("sender", 0, func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			sender.Send(p, make([]byte, 1024))
+			sent++
+		}
+	})
+	e.Spawn("receiver", 0, func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Advance(50 * sim.Microsecond) // slow consumer
+			if _, ok := receiver.Recv(p); ok {
+				received++
+			}
+		}
+	})
+	e.MustRun()
+	if sent != n || received != n {
+		t.Fatalf("sent=%d received=%d, want %d", sent, received, n)
+	}
+}
+
+func TestTryRecvEmptyWouldBlock(t *testing.T) {
+	f, phi := newFabric()
+	ring := NewRing(f, phi, Options{})
+	port := ring.Port(nil, cpu.Host)
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		if _, err := port.TryRecv(p); err != ErrWouldBlock {
+			t.Errorf("err = %v, want ErrWouldBlock", err)
+		}
+	})
+	e.MustRun()
+}
+
+func TestTrySendFullWouldBlock(t *testing.T) {
+	f, phi := newFabric()
+	ring := NewRing(f, phi, Options{CapBytes: 1024, Slots: 2})
+	port := ring.Port(phi, cpu.Phi)
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			if err := port.TrySend(p, make([]byte, 256)); err != nil {
+				if err != ErrWouldBlock {
+					t.Errorf("err = %v, want ErrWouldBlock", err)
+				}
+				if i == 0 {
+					t.Error("ring rejected first message")
+				}
+				return
+			}
+			if i > 10 {
+				t.Error("ring never filled")
+				return
+			}
+		}
+	})
+	e.MustRun()
+}
+
+// pairThroughput measures messages/sec for a one-way stream of msgSize
+// payloads with the given options, master at the Phi (sender side) when
+// phiSends, else master at host.
+func pairThroughput(t *testing.T, phiSends bool, msgSize int, count int, opt Options) float64 {
+	t.Helper()
+	f, phi := newFabric()
+	opt.CapBytes = 1 << 20
+	if int64(4*msgSize) > opt.CapBytes {
+		opt.CapBytes = int64(4 * msgSize)
+	}
+	opt.Slots = 512
+	var master *pcie.Device
+	if phiSends {
+		master = phi // master at sender (§4.2.2 example)
+	}
+	ring := NewRing(f, master, opt)
+	var sp, rp *Port
+	if phiSends {
+		sp, rp = ring.Port(phi, cpu.Phi), ring.Port(nil, cpu.Host)
+	} else {
+		sp, rp = ring.Port(nil, cpu.Host), ring.Port(phi, cpu.Phi)
+	}
+	e := sim.NewEngine()
+	e.Spawn("sender", 0, func(p *sim.Proc) {
+		msg := make([]byte, msgSize)
+		for i := 0; i < count; i++ {
+			sp.Send(p, msg)
+		}
+	})
+	var end sim.Time
+	e.Spawn("receiver", 0, func(p *sim.Proc) {
+		for i := 0; i < count; i++ {
+			if _, ok := rp.Recv(p); !ok {
+				t.Error("ring closed unexpectedly")
+				return
+			}
+		}
+		end = p.Now()
+	})
+	e.MustRun()
+	return float64(count) / end.Seconds()
+}
+
+func TestLazyBeatsEagerBothDirections(t *testing.T) {
+	// Figure 9: lazy control-variable replication improves throughput in
+	// both directions, dramatically when the fast host does the remote
+	// polling (Phi->Host), modestly the other way.
+	for _, phiSends := range []bool{true, false} {
+		lazy := pairThroughput(t, phiSends, 64, 2000, Options{Update: Lazy})
+		eager := pairThroughput(t, phiSends, 64, 2000, Options{Update: Eager})
+		name := "host->phi"
+		if phiSends {
+			name = "phi->host"
+		}
+		if lazy <= eager {
+			t.Errorf("%s: lazy (%.0f ops/s) should beat eager (%.0f ops/s)", name, lazy, eager)
+		}
+		t.Logf("%s: lazy=%.0f eager=%.0f ops/s (%.2fx)", name, lazy, eager, lazy/eager)
+	}
+}
+
+func TestAdaptiveCopyNearBestOfBoth(t *testing.T) {
+	// Figure 10: memcpy wins small, DMA wins large, adaptive tracks the
+	// winner at both extremes.
+	for _, size := range []int{512, 4 << 20} {
+		mem := pairThroughput(t, true, size, 50, Options{Copy: pcie.Memcpy})
+		dma := pairThroughput(t, true, size, 50, Options{Copy: pcie.DMA})
+		ad := pairThroughput(t, true, size, 50, Options{Copy: pcie.Adaptive})
+		best := mem
+		if dma > best {
+			best = dma
+		}
+		if ad < best*0.9 {
+			t.Errorf("size %d: adaptive %.0f ops/s below best fixed %.0f", size, ad, best)
+		}
+	}
+	// Crossover direction checks.
+	memS := pairThroughput(t, true, 512, 200, Options{Copy: pcie.Memcpy})
+	dmaS := pairThroughput(t, true, 512, 200, Options{Copy: pcie.DMA})
+	if memS <= dmaS {
+		t.Errorf("512B: memcpy (%.0f) should beat DMA (%.0f)", memS, dmaS)
+	}
+	memL := pairThroughput(t, true, 4<<20, 20, Options{Copy: pcie.Memcpy})
+	dmaL := pairThroughput(t, true, 4<<20, 20, Options{Copy: pcie.DMA})
+	if dmaL <= memL {
+		t.Errorf("4MB: DMA (%.0f) should beat memcpy (%.0f)", dmaL, memL)
+	}
+}
+
+func TestWrapAroundManyMessages(t *testing.T) {
+	f, phi := newFabric()
+	ring := NewRing(f, phi, Options{CapBytes: 8192, Slots: 8})
+	sp := ring.Port(phi, cpu.Phi)
+	rp := ring.Port(nil, cpu.Host)
+	const n = 500
+	e := sim.NewEngine()
+	e.Spawn("s", 0, func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			size := 64 + (i*37)%1900
+			msg := bytes.Repeat([]byte{byte(i % 251)}, size)
+			sp.Send(p, msg)
+		}
+	})
+	e.Spawn("r", 0, func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			msg, _ := rp.Recv(p)
+			size := 64 + (i*37)%1900
+			if len(msg) != size {
+				t.Fatalf("msg %d: len=%d want %d", i, len(msg), size)
+			}
+			for _, b := range msg {
+				if b != byte(i%251) {
+					t.Fatalf("msg %d corrupted", i)
+				}
+			}
+		}
+	})
+	e.MustRun()
+	sent, recv, _ := ring.Stats()
+	if sent != n || recv != n {
+		t.Fatalf("stats sent=%d recv=%d want %d", sent, recv, n)
+	}
+}
+
+func TestConcurrentSendersFIFOPerMessage(t *testing.T) {
+	// Multiple Phi threads send; a host dispatcher receives everything.
+	f, phi := newFabric()
+	ring := NewRing(f, phi, Options{CapBytes: 1 << 18, Slots: 256})
+	rp := ring.Port(nil, cpu.Host)
+	const senders, per = 8, 100
+	e := sim.NewEngine()
+	for s := 0; s < senders; s++ {
+		s := s
+		sp := ring.Port(phi, cpu.Phi)
+		e.Spawn(fmt.Sprintf("sender%d", s), 0, func(p *sim.Proc) {
+			for i := 0; i < per; i++ {
+				msg := []byte{byte(s), byte(i)}
+				sp.Send(p, msg)
+			}
+		})
+	}
+	seen := map[[2]byte]bool{}
+	e.Spawn("recv", 0, func(p *sim.Proc) {
+		for i := 0; i < senders*per; i++ {
+			m, _ := rp.Recv(p)
+			key := [2]byte{m[0], m[1]}
+			if seen[key] {
+				t.Fatalf("duplicate message %v", key)
+			}
+			seen[key] = true
+		}
+	})
+	e.MustRun()
+	if len(seen) != senders*per {
+		t.Fatalf("received %d unique messages, want %d", len(seen), senders*per)
+	}
+}
+
+func TestMasterPlacementMatters(t *testing.T) {
+	// §4.2.2: placing the master at the co-processor lets the slow Phi
+	// operate on local memory while the fast host crosses the bus. For a
+	// Phi->host stream, master-at-Phi should beat master-at-host.
+	const n, size = 1000, 64
+	run := func(master bool) float64 {
+		f, phi := newFabric()
+		var m *pcie.Device
+		if master {
+			m = phi
+		}
+		ring := NewRing(f, m, Options{CapBytes: 1 << 20, Slots: 512})
+		sp := ring.Port(phi, cpu.Phi)
+		rp := ring.Port(nil, cpu.Host)
+		var end sim.Time
+		e := sim.NewEngine()
+		e.Spawn("s", 0, func(p *sim.Proc) {
+			msg := make([]byte, size)
+			for i := 0; i < n; i++ {
+				sp.Send(p, msg)
+			}
+		})
+		e.Spawn("r", 0, func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				rp.Recv(p)
+			}
+			end = p.Now()
+		})
+		e.MustRun()
+		return float64(n) / end.Seconds()
+	}
+	atPhi := run(true)
+	atHost := run(false)
+	if atPhi <= atHost {
+		t.Errorf("master at Phi (%.0f ops/s) should beat master at host (%.0f ops/s) for phi->host stream", atPhi, atHost)
+	}
+}

@@ -1,0 +1,93 @@
+// Package workload generates the deterministic synthetic inputs the
+// benchmarks and applications consume: fio-style random-offset streams, a
+// text corpus for the indexing application, and feature vectors for the
+// image-search application. Everything is seeded so experiment runs are
+// reproducible.
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// Offsets returns count block-aligned offsets drawn uniformly from a file
+// of fileSize bytes with the given block size, deterministic in seed.
+func Offsets(seed int64, fileSize, blockSize int64, count int) []int64 {
+	if fileSize < blockSize {
+		panic("workload: file smaller than block")
+	}
+	r := rand.New(rand.NewSource(seed))
+	blocks := fileSize / blockSize
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = r.Int63n(blocks) * blockSize
+	}
+	return out
+}
+
+// words is a small vocabulary; corpus text mixes these with Zipf-ish
+// repetition so the inverted index has realistic skew.
+var words = []string{
+	"data", "centric", "operating", "system", "architecture", "heterogeneous",
+	"computing", "coprocessor", "kernel", "transport", "ring", "buffer",
+	"peer", "storage", "network", "socket", "latency", "throughput",
+	"combining", "delegation", "control", "plane", "proxy", "stub", "xeon",
+	"phi", "nvme", "pcie", "numa", "dma", "interrupt", "doorbell", "extent",
+	"inode", "packet", "segment", "balance", "shard", "index", "search",
+}
+
+// Corpus generates approximately size bytes of whitespace-separated text,
+// deterministic in seed.
+func Corpus(seed int64, size int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(r, 1.3, 1.0, uint64(len(words)-1))
+	out := make([]byte, 0, size+16)
+	for len(out) < size {
+		w := words[zipf.Uint64()]
+		out = append(out, w...)
+		if r.Intn(12) == 0 {
+			out = append(out, '\n')
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	return out[:size]
+}
+
+// FeatureDim is the image descriptor dimensionality (a SIFT-like 128-d
+// vector quantized to bytes).
+const FeatureDim = 128
+
+// Features generates n FeatureDim-byte image descriptors, deterministic in
+// seed; the layout is n contiguous records.
+func Features(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, n*FeatureDim)
+	r.Read(out)
+	return out
+}
+
+// Query derives the i-th query vector from a database by perturbing a
+// record, so searches have a well-defined nearest neighbour.
+func Query(db []byte, i int) []byte {
+	n := len(db) / FeatureDim
+	rec := i % n
+	q := append([]byte(nil), db[rec*FeatureDim:(rec+1)*FeatureDim]...)
+	r := rand.New(rand.NewSource(int64(i)))
+	for k := 0; k < 8; k++ {
+		j := r.Intn(FeatureDim)
+		q[j] ^= byte(1 << uint(r.Intn(3)))
+	}
+	return q
+}
+
+// EncodeU32 / DecodeU32 are tiny helpers for length-prefixed request
+// framing in network workloads.
+func EncodeU32(v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+// DecodeU32 reads a little-endian uint32.
+func DecodeU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestOffsetsDeterministicAlignedInRange(t *testing.T) {
+	a := Offsets(1, 1<<20, 4096, 500)
+	b := Offsets(1, 1<<20, 4096, 500)
+	if len(a) != 500 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different offsets")
+		}
+		if a[i]%4096 != 0 || a[i] < 0 || a[i] >= 1<<20 {
+			t.Fatalf("offset %d unaligned or out of range", a[i])
+		}
+	}
+	c := Offsets(2, 1<<20, 4096, 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestCorpusSizeAndDeterminism(t *testing.T) {
+	a := Corpus(3, 10000)
+	if len(a) != 10000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	if !bytes.Equal(a, Corpus(3, 10000)) {
+		t.Fatal("corpus not deterministic")
+	}
+	// Must contain separators so tokenization works.
+	if !bytes.ContainsAny(a, " \n") {
+		t.Fatal("corpus has no separators")
+	}
+}
+
+func TestFeaturesAndQuery(t *testing.T) {
+	db := Features(5, 100)
+	if len(db) != 100*FeatureDim {
+		t.Fatalf("db len = %d", len(db))
+	}
+	q := Query(db, 37)
+	if len(q) != FeatureDim {
+		t.Fatalf("query len = %d", len(q))
+	}
+	// The perturbed query must stay closest to its source record.
+	src := db[37*FeatureDim : 38*FeatureDim]
+	d := l1(q, src)
+	for i := 0; i < 100; i++ {
+		if i == 37 {
+			continue
+		}
+		if l1(q, db[i*FeatureDim:(i+1)*FeatureDim]) <= d {
+			t.Fatalf("record %d at least as close as the source", i)
+		}
+	}
+}
+
+func l1(a, b []byte) int {
+	d := 0
+	for i := range a {
+		x := int(a[i]) - int(b[i])
+		if x < 0 {
+			x = -x
+		}
+		d += x
+	}
+	return d
+}
+
+func TestU32RoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool { return DecodeU32(EncodeU32(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
