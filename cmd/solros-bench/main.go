@@ -8,19 +8,29 @@
 //	solros-bench            # list experiments
 //	solros-bench fig1a      # run one experiment
 //	solros-bench all        # run every experiment in paper order
+//
+// Telemetry: -trace writes a Chrome trace_event JSON of every span the run
+// produced (open at chrome://tracing or https://ui.perfetto.dev), and
+// -metrics writes the text report of counters, gauges, and histograms.
+// Either flag enables the telemetry sink for all machines built during the
+// run; "-" writes to stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"solros/internal/bench"
+	"solros/internal/telemetry"
 )
 
 var (
-	csvOut = flag.String("csv", "", "also append results as CSV to this file")
+	csvOut     = flag.String("csv", "", "also append results as CSV to this file")
+	traceOut   = flag.String("trace", "", "write Chrome trace_event JSON here (\"-\" = stdout); enables telemetry")
+	metricsOut = flag.String("metrics", "", "write the text metrics report here (\"-\" = stdout); enables telemetry")
 )
 
 func main() {
@@ -30,6 +40,10 @@ func main() {
 	if len(args) < 1 {
 		usage()
 		return
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		// Machines pick the sink up via telemetry.Default at construction.
+		telemetry.Default = telemetry.New(telemetry.Options{})
 	}
 	switch args[0] {
 	case "all":
@@ -50,6 +64,7 @@ func main() {
 			runOne(id)
 		}
 	}
+	writeTelemetry()
 }
 
 func runOne(id string) {
@@ -72,9 +87,43 @@ func runOne(id string) {
 	}
 }
 
+// writeTelemetry flushes the sink to the requested outputs after all
+// experiments finish.
+func writeTelemetry() {
+	sink := telemetry.Default
+	if sink == nil {
+		return
+	}
+	emit := func(path string, write func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		if path == "-" {
+			if err := write(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "solros-bench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "solros-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fmt.Fprintln(os.Stderr, "solros-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "solros-bench: wrote %s\n", path)
+	}
+	emit(*traceOut, sink.WriteChromeTrace)
+	emit(*metricsOut, sink.WriteText)
+}
+
 func usage() {
 	fmt.Println("solros-bench — regenerate the Solros paper's tables and figures")
-	fmt.Println("\nusage: solros-bench [-csv out.csv] <experiment>...")
+	fmt.Println("\nusage: solros-bench [-csv out.csv] [-trace out.json] [-metrics out.txt] <experiment>...")
 	fmt.Println("\nexperiments:")
 	for _, e := range bench.Experiments {
 		fmt.Printf("  %-8s %s\n", e.ID, e.Desc)

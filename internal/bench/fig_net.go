@@ -11,6 +11,7 @@ import (
 	"solros/internal/pcie"
 	"solros/internal/sim"
 	"solros/internal/stats"
+	"solros/internal/telemetry"
 )
 
 // netSystem identifies a server deployment for the network experiments.
@@ -23,12 +24,15 @@ const (
 )
 
 // tcpLatencies runs `clients` concurrent 64-byte ping-pong connections for
-// `rounds` each against the given server deployment and returns every RTT
-// sample. Concurrency is what spreads the distribution: the stock Phi's
-// serialized stack queues under load, fattening its tail (Figure 1b).
-func tcpLatencies(system netSystem, clients, rounds int) []sim.Time {
+// `rounds` each against the given server deployment and returns the RTT
+// distribution. Concurrency is what spreads the distribution: the stock
+// Phi's serialized stack queues under load, fattening its tail (Figure 1b).
+// Samples accumulate in a telemetry distribution rather than a hand-rolled
+// slice, so the figure reads percentiles from the same registry the rest of
+// the instrumentation feeds.
+func tcpLatencies(system netSystem, clients, rounds int) *stats.Sample {
 	const port = 7100
-	var samples []sim.Time
+	rtt := telemetry.New(telemetry.Options{}).Dist("bench.tcp_rtt")
 
 	switch system {
 	case netSolros:
@@ -71,14 +75,14 @@ func tcpLatencies(system netSystem, clients, rounds int) []sim.Time {
 						start := cp.Now()
 						side.Send(cp, msg)
 						side.RecvFull(cp, 64)
-						samples = append(samples, cp.Now()-start)
+						rtt.Observe(cp.Now() - start)
 					}
 					side.Close(cp)
 				})
 			}
 			p.WaitWG(done)
 		})
-		return samples
+		return rtt.Sample()
 
 	case netHost, netPhiLinux:
 		fab := pcie.New(128 << 20)
@@ -130,35 +134,26 @@ func tcpLatencies(system netSystem, clients, rounds int) []sim.Time {
 					start := cp.Now()
 					side.Send(cp, msg)
 					side.RecvFull(cp, 64)
-					samples = append(samples, cp.Now()-start)
+					rtt.Observe(cp.Now() - start)
 				}
 				side.Close(cp)
 			})
 		}
 		e.Spawn("join", 0, func(p *sim.Proc) { p.WaitWG(wg) })
 		e.MustRun()
-		return samples
+		return rtt.Sample()
 	}
 	panic("unknown system " + string(system))
 }
 
 var latencyPercentiles = []float64{10, 25, 50, 75, 90, 95, 99}
 
-// toSample folds raw RTTs into a stats.Sample.
-func toSample(xs []sim.Time) *stats.Sample {
-	var s stats.Sample
-	for _, x := range xs {
-		s.Add(x)
-	}
-	return &s
-}
-
 // Fig1b is the headline network figure: the 64 B message latency
 // distribution for host, Phi-Solros, and stock Phi endpoints.
 func Fig1b() []Row {
 	var rows []Row
 	for _, sys := range []netSystem{netHost, netSolros, netPhiLinux} {
-		s := toSample(tcpLatencies(sys, 16, 40))
+		s := tcpLatencies(sys, 16, 40)
 		for _, pct := range latencyPercentiles {
 			rows = append(rows, row("fig1b", string(sys), fmt.Sprintf("p%.0f", pct),
 				s.Percentile(pct).Seconds()*1e6, "us"))
@@ -172,7 +167,7 @@ func Fig1b() []Row {
 func Fig15() []Row {
 	var rows []Row
 	for _, sys := range []netSystem{netHost, netSolros, netPhiLinux} {
-		s := toSample(tcpLatencies(sys, 16, 40))
+		s := tcpLatencies(sys, 16, 40)
 		for _, pct := range []float64{50, 90, 99} {
 			rows = append(rows, row("fig15", string(sys), fmt.Sprintf("p%.0f", pct),
 				s.Percentile(pct).Seconds()*1e6, "us"))
@@ -185,7 +180,7 @@ func Fig15() []Row {
 // proxy/transport time for Solros vs the stock Phi (Figure 13b).
 func fig13Net() []Row {
 	meanRTT := func(sys netSystem) sim.Time {
-		return toSample(tcpLatencies(sys, 1, 50)).Mean()
+		return tcpLatencies(sys, 1, 50).Mean()
 	}
 	sol := meanRTT(netSolros)
 	phi := meanRTT(netPhiLinux)

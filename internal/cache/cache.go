@@ -8,6 +8,7 @@ import (
 	"container/list"
 
 	"solros/internal/pcie"
+	"solros/internal/telemetry"
 )
 
 // PageSize matches the file-system block size.
@@ -33,6 +34,8 @@ type Cache struct {
 	capacity int
 
 	hits, misses, evictions int64
+
+	telHits, telMisses, telEvictions *telemetry.Counter
 }
 
 // New carves capacityBytes of page frames out of host RAM.
@@ -45,6 +48,11 @@ func New(fab *pcie.Fabric, capacityBytes int64) *Cache {
 		pages:    make(map[key]*page, n),
 		lru:      list.New(),
 		capacity: n,
+	}
+	if tel := fab.Telemetry(); tel != nil {
+		c.telHits = tel.Counter("cache.hits")
+		c.telMisses = tel.Counter("cache.misses")
+		c.telEvictions = tel.Counter("cache.evictions")
 	}
 	base := fab.HostRAM.Alloc(int64(n) * PageSize)
 	for i := 0; i < n; i++ {
@@ -59,9 +67,11 @@ func (c *Cache) Lookup(ino uint32, blk int64) (pcie.Loc, bool) {
 	pg, ok := c.pages[key{ino, blk}]
 	if !ok {
 		c.misses++
+		c.telMisses.Add(1)
 		return pcie.Loc{}, false
 	}
 	c.hits++
+	c.telHits.Add(1)
 	c.lru.MoveToFront(pg.elt)
 	return pg.loc, true
 }
@@ -84,6 +94,7 @@ func (c *Cache) Insert(ino uint32, blk int64) pcie.Loc {
 		c.lru.Remove(victim.elt)
 		delete(c.pages, victim.k)
 		c.evictions++
+		c.telEvictions.Add(1)
 		loc = victim.loc
 	}
 	pg := &page{k: k, loc: loc}

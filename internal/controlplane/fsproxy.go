@@ -17,6 +17,7 @@ import (
 	"solros/internal/nvme"
 	"solros/internal/pcie"
 	"solros/internal/sim"
+	"solros/internal/telemetry"
 	"solros/internal/transport"
 )
 
@@ -65,6 +66,12 @@ type FSProxy struct {
 
 	// stats
 	p2pOps, bufferedOps, cacheHitOps, prefetches int64
+
+	tel         *telemetry.Sink
+	telP2P      *telemetry.Counter
+	telBuffered *telemetry.Counter
+	telCacheHit *telemetry.Counter
+	telPrefetch *telemetry.Counter
 }
 
 type channel struct {
@@ -82,7 +89,7 @@ type openFile struct {
 
 // NewFSProxy builds a proxy over a mounted file system and SSD.
 func NewFSProxy(fab *pcie.Fabric, fsys *fs.FS, ssd *nvme.Device, cacheBytes int64) *FSProxy {
-	return &FSProxy{
+	px := &FSProxy{
 		FS:           fsys,
 		SSD:          ssd,
 		Cache:        cache.New(fab, cacheBytes),
@@ -93,6 +100,14 @@ func NewFSProxy(fab *pcie.Fabric, fsys *fs.FS, ssd *nvme.Device, cacheBytes int6
 		readers:      make(map[uint32]map[*pcie.Device]bool),
 		fetching:     make(map[uint32]bool),
 	}
+	if tel := fab.Telemetry(); tel != nil {
+		px.tel = tel
+		px.telP2P = tel.Counter("controlplane.fsproxy.path.p2p")
+		px.telBuffered = tel.Counter("controlplane.fsproxy.path.buffered")
+		px.telCacheHit = tel.Counter("controlplane.fsproxy.path.cachehit")
+		px.telPrefetch = tel.Counter("controlplane.fsproxy.prefetches")
+	}
+	return px
 }
 
 // Attach registers a co-processor's RPC ring pair (proxy-side ports).
@@ -127,10 +142,13 @@ func (px *FSProxy) serve(p *sim.Proc, ch *channel) {
 		if err != nil {
 			panic("fsproxy: corrupt request: " + err.Error())
 		}
+		sp := px.tel.Start(p, "controlplane.fsproxy")
+		sp.Tag("type", m.Type.String())
 		p.Advance(model.FSProxyCost)
 		resp := px.handle(p, ch, m)
 		resp.Tag = m.Tag
 		ch.resp.Send(p, resp.Encode())
+		sp.End(p)
 	}
 }
 
@@ -309,6 +327,7 @@ func (px *FSProxy) read(p *sim.Proc, of *openFile, off, n, addr int64) (int64, e
 	switch px.choosePath(of, off, n, true) {
 	case PathP2P:
 		px.p2pOps++
+		px.telP2P.Add(1)
 		// Zero-copy: translate extents (fiemap) and let the SSD's DMA
 		// engine write straight into co-processor memory. Block-align
 		// the disk I/O while landing the requested window at addr.
@@ -324,9 +343,11 @@ func (px *FSProxy) read(p *sim.Proc, of *openFile, off, n, addr int64) (int64, e
 		return n, nil
 	case PathCacheHit:
 		px.cacheHitOps++
+		px.telCacheHit.Add(1)
 		return n, px.pushFromCache(p, of, off, n, dst)
 	default:
 		px.bufferedOps++
+		px.telBuffered.Add(1)
 		return n, px.bufferedRead(p, of, off, n, dst)
 	}
 }
@@ -515,6 +536,7 @@ func (px *FSProxy) write(p *sim.Proc, of *openFile, off, n, addr int64) (int64, 
 	switch px.choosePath(of, off, n, false) {
 	case PathP2P:
 		px.p2pOps++
+		px.telP2P.Add(1)
 		if off%fs.BlockSize == 0 && n%fs.BlockSize == 0 {
 			// Aligned: the disk's DMA engine pulls straight from
 			// co-processor memory.
@@ -525,6 +547,7 @@ func (px *FSProxy) write(p *sim.Proc, of *openFile, off, n, addr int64) (int64, 
 		fallthrough
 	default:
 		px.bufferedOps++
+		px.telBuffered.Add(1)
 		loc, buf, put := px.FS.Staging(n)
 		defer put()
 		if err := px.pullPhiToHost(p, src, loc, n); err != nil {
@@ -568,6 +591,7 @@ func (px *FSProxy) notePopularity(p *sim.Proc, of *openFile) {
 	p.Spawn("fsproxy-prefetch", func(pp *sim.Proc) {
 		if err := px.Prefetch(pp, path); err == nil {
 			px.prefetches++
+			px.telPrefetch.Add(1)
 		}
 	})
 }

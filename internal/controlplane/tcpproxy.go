@@ -8,6 +8,7 @@ import (
 	"solros/internal/ninep"
 	"solros/internal/pcie"
 	"solros/internal/sim"
+	"solros/internal/telemetry"
 	"solros/internal/transport"
 )
 
@@ -89,6 +90,11 @@ type TCPProxy struct {
 	conns   map[uint64]*proxConn
 	nextID  uint64
 	Balance Balancer
+
+	tel          *telemetry.Sink
+	telAccepts   *telemetry.Counter
+	telInFrames  *telemetry.Counter
+	telOutFrames *telemetry.Counter
 }
 
 type netChannel struct {
@@ -114,7 +120,7 @@ type proxConn struct {
 
 // NewTCPProxy builds the proxy around the host's stack.
 func NewTCPProxy(fab *pcie.Fabric, stack *netstack.Stack) *TCPProxy {
-	return &TCPProxy{
+	px := &TCPProxy{
 		Stack:   stack,
 		fabric:  fab,
 		nets:    make(map[*pcie.Device]*netChannel),
@@ -122,6 +128,13 @@ func NewTCPProxy(fab *pcie.Fabric, stack *netstack.Stack) *TCPProxy {
 		conns:   make(map[uint64]*proxConn),
 		Balance: &RoundRobin{},
 	}
+	if tel := fab.Telemetry(); tel != nil {
+		px.tel = tel
+		px.telAccepts = tel.Counter("controlplane.tcpproxy.accepts")
+		px.telInFrames = tel.Counter("controlplane.tcpproxy.inbound_frames")
+		px.telOutFrames = tel.Counter("controlplane.tcpproxy.outbound_frames")
+	}
+	return px
 }
 
 // AttachNet registers a co-processor's network rings (proxy-side ports).
@@ -150,10 +163,13 @@ func (px *TCPProxy) serveRPC(p *sim.Proc, ch *netChannel) {
 		if err != nil {
 			panic("tcpproxy: corrupt rpc: " + err.Error())
 		}
+		sp := px.tel.Start(p, "controlplane.tcpproxy")
+		sp.Tag("type", m.Type.String())
 		p.Advance(model.FSProxyCost)
 		resp := px.handleRPC(p, ch, m)
 		resp.Tag = m.Tag
 		ch.rpcResp.Send(p, resp.Encode())
+		sp.End(p)
 	}
 }
 
@@ -251,6 +267,7 @@ func (px *TCPProxy) acceptPump(p *sim.Proc, sl *sharedListener) {
 func (px *TCPProxy) admit(p *sim.Proc, sl *sharedListener, side *netstack.Side, member *pcie.Device, peeked []byte) {
 	ch := px.nets[member]
 	pc := px.track(side, ch)
+	px.telAccepts.Add(1)
 	ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameAccept, pc.id, encodePort(sl.port)))
 	if len(peeked) > 0 {
 		ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameData, pc.id, peeked))
@@ -317,6 +334,7 @@ func (px *TCPProxy) inboundPump(p *sim.Proc, pc *proxConn) {
 			}
 			frame = append(frame, more...)
 		}
+		px.telInFrames.Add(1)
 		pc.ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameData, pc.id, frame))
 	}
 }
@@ -333,6 +351,7 @@ func (px *TCPProxy) outboundPump(p *sim.Proc, ch *netChannel) {
 		if err != nil {
 			panic("tcpproxy: " + err.Error())
 		}
+		px.telOutFrames.Add(1)
 		pc, ok := px.conns[id]
 		if !ok {
 			continue // raced with close

@@ -18,6 +18,7 @@ import (
 	"solros/internal/nvme"
 	"solros/internal/pcie"
 	"solros/internal/sim"
+	"solros/internal/telemetry"
 	"solros/internal/transport"
 )
 
@@ -59,6 +60,9 @@ type Config struct {
 	// installed (reboot/recovery scenarios); copy it into SSD.Image()
 	// before Run.
 	SkipMkfs bool
+	// Telemetry receives spans and metrics from every subsystem; nil
+	// falls back to telemetry.Default (also usually nil — telemetry off).
+	Telemetry *telemetry.Sink
 }
 
 func (c *Config) fill() {
@@ -125,11 +129,21 @@ type Machine struct {
 func NewMachine(cfg Config) *Machine {
 	cfg.fill()
 	fab := pcie.New(cfg.HostRAMBytes)
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.Default
+	}
+	// Wire telemetry before any device or ring exists so every subsystem
+	// picks the sink up from the fabric as it is constructed.
+	fab.SetTelemetry(tel)
 	m := &Machine{
 		Engine: sim.NewEngine(),
 		Fabric: fab,
 		Host:   cpu.HostPool(),
 		cfg:    cfg,
+	}
+	if tel != nil {
+		m.Engine.SetTracer(tel.SchedTracer())
 	}
 	m.SSD = nvme.New(fab, "nvme0", 0, cfg.DiskBytes)
 	if !cfg.SkipMkfs {

@@ -13,6 +13,7 @@ import (
 	"solros/internal/ninep"
 	"solros/internal/pcie"
 	"solros/internal/sim"
+	"solros/internal/telemetry"
 	"solros/internal/transport"
 )
 
@@ -34,6 +35,9 @@ type Conn struct {
 	nextTag uint16
 	pending map[uint16]*call
 	started bool
+
+	tel      *telemetry.Sink
+	telCalls *telemetry.Counter
 }
 
 type call struct {
@@ -53,6 +57,10 @@ func NewConn(f *pcie.Fabric, phi *pcie.Device, opt transport.Options) (*Conn, *t
 		req:     reqRing.Port(phi, cpu.Phi),
 		resp:    respRing.Port(phi, cpu.Phi),
 		pending: make(map[uint16]*call),
+	}
+	if tel := f.Telemetry(); tel != nil {
+		c.tel = tel
+		c.telCalls = tel.Counter("dataplane.calls")
 	}
 	return c, reqRing.Port(nil, cpu.Host), respRing.Port(nil, cpu.Host)
 }
@@ -96,6 +104,9 @@ func (c *Conn) Call(p *sim.Proc, m *ninep.Msg) (*ninep.Msg, error) {
 	if !c.started {
 		panic("dataplane: Call before Start")
 	}
+	sp := c.tel.Start(p, "dataplane.call")
+	sp.Tag("type", m.Type.String())
+	begin := p.Now()
 	p.Advance(model.FSStubCost)
 	c.nextTag++
 	m.Tag = c.nextTag
@@ -106,6 +117,9 @@ func (c *Conn) Call(p *sim.Proc, m *ninep.Msg) (*ninep.Msg, error) {
 		p.Wait(pc.cond)
 	}
 	delete(c.pending, m.Tag)
+	c.telCalls.Add(1)
+	c.tel.Histogram("dataplane.rpc." + m.Type.String()).Observe(p.Now() - begin)
+	sp.End(p)
 	if err := pc.resp.Error(); err != nil {
 		return nil, err
 	}

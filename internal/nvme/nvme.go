@@ -18,6 +18,7 @@ import (
 	"solros/internal/model"
 	"solros/internal/pcie"
 	"solros/internal/sim"
+	"solros/internal/telemetry"
 )
 
 // SectorSize is the device's logical block size.
@@ -74,6 +75,14 @@ type Device struct {
 	readBytes  int64
 	writeBytes int64
 	mediaErrs  int64
+
+	tel           *telemetry.Sink
+	telDoorbells  *telemetry.Counter
+	telInterrupts *telemetry.Counter
+	telCommands   *telemetry.Counter
+	telReadBytes  *telemetry.Counter
+	telWriteBytes *telemetry.Counter
+	telMediaErrs  *telemetry.Counter
 }
 
 // New attaches an SSD with the given capacity to the fabric at socket.
@@ -83,6 +92,15 @@ func New(f *pcie.Fabric, name string, socket int, capacity int64) *Device {
 		fabric:     f,
 		flashRead:  sim.NewResource(name+"-flash-rd", model.NVMeReadBW, model.NVMeCmdLatency),
 		flashWrite: sim.NewResource(name+"-flash-wr", model.NVMeWriteBW, model.NVMeCmdLatency),
+	}
+	if tel := f.Telemetry(); tel != nil {
+		d.tel = tel
+		d.telDoorbells = tel.Counter("nvme.doorbells")
+		d.telInterrupts = tel.Counter("nvme.interrupts")
+		d.telCommands = tel.Counter("nvme.commands")
+		d.telReadBytes = tel.Counter("nvme.read_bytes")
+		d.telWriteBytes = tel.Counter("nvme.write_bytes")
+		d.telMediaErrs = tel.Counter("nvme.media_errors")
 	}
 	return d
 }
@@ -130,42 +148,78 @@ func (d *Device) Submit(p *sim.Proc, cmds []Command, coalesce bool) error {
 			return err
 		}
 	}
+	sp := d.tel.Start(p, "nvme.submit")
+	sp.Tag("op", cmds[0].Op.String())
+	sp.TagInt("cmds", int64(len(cmds)))
 	if d.failNext > 0 {
 		d.failNext--
 		d.mediaErrs++
 		d.doorbells++
 		d.interrupts++
+		d.telMediaErrs.Add(1)
+		d.telDoorbells.Add(1)
+		d.telInterrupts.Add(1)
 		// The command still costs a doorbell, the flash access, and an
 		// interrupt before the error status comes back.
 		p.Advance(model.NVMeDoorbellCost + model.NVMeCmdLatency + model.NVMeInterruptCost)
+		sp.Tag("result", "media-error")
+		sp.End(p)
 		return ErrMedia
 	}
 	ring := func() {
 		d.doorbells++
+		d.telDoorbells.Add(1)
 		d.fabric.CountTxn(1)
 		p.Advance(model.NVMeDoorbellCost)
 	}
 	interrupt := func() {
 		d.interrupts++
+		d.telInterrupts.Add(1)
 		p.Advance(model.NVMeInterruptCost)
+	}
+	// transfer wraps the data movement in a span so the trace shows the
+	// DMA window between doorbell and interrupt; peer-to-peer targets (a
+	// co-processor's memory) are labelled distinctly from host DMA.
+	transfer := func(body func()) {
+		name := "pcie.dma"
+		for i := range cmds {
+			if cmds[i].Target.Dev != nil {
+				name = "pcie.p2p"
+				break
+			}
+		}
+		tsp := d.tel.Start(p, name)
+		var bytes int64
+		for i := range cmds {
+			bytes += cmds[i].Bytes
+		}
+		tsp.TagInt("bytes", bytes)
+		body()
+		tsp.End(p)
 	}
 	if coalesce {
 		ring()
-		var latest sim.Time
-		for i := range cmds {
-			if done := d.issue(p, &cmds[i]); done > latest {
-				latest = done
+		transfer(func() {
+			var latest sim.Time
+			for i := range cmds {
+				if done := d.issue(p, &cmds[i]); done > latest {
+					latest = done
+				}
 			}
-		}
-		p.AdvanceTo(latest)
+			p.AdvanceTo(latest)
+		})
 		interrupt()
+		sp.End(p)
 		return nil
 	}
-	for i := range cmds {
-		ring()
-		p.AdvanceTo(d.issue(p, &cmds[i]))
-		interrupt()
-	}
+	transfer(func() {
+		for i := range cmds {
+			ring()
+			p.AdvanceTo(d.issue(p, &cmds[i]))
+			interrupt()
+		}
+	})
+	sp.End(p)
 	return nil
 }
 
@@ -182,13 +236,16 @@ func (d *Device) issue(p *sim.Proc, c *Command) sim.Time {
 		srcDev, dstDev = d.PCIeDev, c.Target.Dev
 		res = d.flashRead
 		d.readBytes += c.Bytes
+		d.telReadBytes.Add(c.Bytes)
 	} else {
 		copy(d.PCIeDev.Mem.Slice(off, c.Bytes), d.fabric.Mem(c.Target).Slice(c.Target.Off, c.Bytes))
 		srcDev, dstDev = c.Target.Dev, d.PCIeDev
 		res = d.flashWrite
 		d.writeBytes += c.Bytes
+		d.telWriteBytes.Add(c.Bytes)
 	}
 	d.commands++
+	d.telCommands.Add(1)
 	linkDone := d.fabric.StreamAsync(p, srcDev, dstDev, c.Bytes)
 	flashDone := p.UseAsyncPipelined(res, c.Bytes)
 	if linkDone > flashDone {

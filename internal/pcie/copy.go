@@ -88,9 +88,15 @@ func (f *Fabric) charge(p *sim.Proc, a *Device, k cpu.Kind, b *Device, n int64, 
 		p.Advance(sim.Time(n * int64(sim.Second) / rate))
 		return
 	}
-	switch mech.Resolve(k, n) {
+	resolved := mech.Resolve(k, n)
+	sp := f.tel.Start(p, "pcie.copy")
+	sp.Tag("mech", resolved.String())
+	sp.TagInt("bytes", n)
+	switch resolved {
 	case Memcpy:
-		f.txns += (n + model.CacheLine - 1) / model.CacheLine
+		lines := (n + model.CacheLine - 1) / model.CacheLine
+		f.txns += lines
+		f.telTxns.Add(lines)
 		p.Advance(MemcpyTime(k, n))
 	default: // DMA
 		setup := model.DMASetupHost
@@ -98,6 +104,7 @@ func (f *Fabric) charge(p *sim.Proc, a *Device, k cpu.Kind, b *Device, n int64, 
 			setup = model.DMASetupPhi
 		}
 		f.txns++
+		f.telTxns.Add(1)
 		p.Advance(setup)
 		srcDev, dstDev := a, b
 		if !toRemote {
@@ -105,6 +112,7 @@ func (f *Fabric) charge(p *sim.Proc, a *Device, k cpu.Kind, b *Device, n int64, 
 		}
 		f.streamCharge(p, k, srcDev, dstDev, n)
 	}
+	sp.End(p)
 }
 
 // streamCharge reserves path links without moving bytes (the caller

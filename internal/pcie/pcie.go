@@ -14,6 +14,7 @@ import (
 	"solros/internal/cpu"
 	"solros/internal/model"
 	"solros/internal/sim"
+	"solros/internal/telemetry"
 )
 
 // Memory is a physically addressed byte region owned by the host or by a
@@ -59,6 +60,17 @@ type Fabric struct {
 	qpiRelay *sim.Resource
 	devices  []*Device
 	txns     int64
+
+	// telemetry (nil handles when disabled; every update is a no-op)
+	tel     *telemetry.Sink
+	telTxns *telemetry.Counter
+	linkTel map[*sim.Resource]linkTel
+}
+
+// linkTel is the per-link accounting pair: one transaction counter and one
+// byte counter per PCIe link / QPI relay.
+type linkTel struct {
+	txns, bytes *telemetry.Counter
 }
 
 // New creates an empty fabric with hostRAMBytes of host DRAM.
@@ -66,6 +78,45 @@ func New(hostRAMBytes int64) *Fabric {
 	return &Fabric{
 		HostRAM:  &Memory{buf: make([]byte, hostRAMBytes)},
 		qpiRelay: sim.NewResource("qpi-relay", model.QPIRelayBW, 2*sim.Microsecond),
+	}
+}
+
+// SetTelemetry installs a telemetry sink on the fabric. Devices attached
+// before or after the call get per-link transaction/byte counters, and
+// components built on top of the fabric (rings, proxies, the NVMe driver,
+// the cache) pick the sink up through Telemetry(), so this is the single
+// wiring point for a whole machine.
+func (f *Fabric) SetTelemetry(s *telemetry.Sink) {
+	f.tel = s
+	if s == nil {
+		f.telTxns = nil
+		f.linkTel = nil
+		return
+	}
+	f.telTxns = s.Counter("pcie.txns")
+	f.linkTel = make(map[*sim.Resource]linkTel)
+	f.registerLink(f.qpiRelay)
+	for _, d := range f.devices {
+		f.registerLink(d.linkUp)
+		f.registerLink(d.linkDown)
+	}
+}
+
+// Telemetry reports the fabric's sink (nil when telemetry is off).
+func (f *Fabric) Telemetry() *telemetry.Sink { return f.tel }
+
+func (f *Fabric) registerLink(r *sim.Resource) {
+	f.linkTel[r] = linkTel{
+		txns:  f.tel.Counter("pcie.link." + r.Name + ".txns"),
+		bytes: f.tel.Counter("pcie.link." + r.Name + ".bytes"),
+	}
+}
+
+// countLink attributes one transfer of n bytes to a link.
+func (f *Fabric) countLink(r *sim.Resource, n int64) {
+	if lt, ok := f.linkTel[r]; ok {
+		lt.txns.Add(1)
+		lt.bytes.Add(n)
 	}
 }
 
@@ -82,6 +133,10 @@ func (f *Fabric) AddDevice(name string, socket int, memBytes, upBW, downBW int64
 	}
 	d.Mem = &Memory{buf: make([]byte, memBytes), Dev: d}
 	f.devices = append(f.devices, d)
+	if f.tel != nil {
+		f.registerLink(d.linkUp)
+		f.registerLink(d.linkDown)
+	}
 	return d
 }
 
@@ -99,7 +154,10 @@ func (f *Fabric) Transactions() int64 { return f.txns }
 
 // CountTxn records n raw PCIe transactions without charging time; used by
 // callers that account the latency themselves.
-func (f *Fabric) CountTxn(n int64) { f.txns += n }
+func (f *Fabric) CountTxn(n int64) {
+	f.txns += n
+	f.telTxns.Add(n)
+}
 
 // CrossNUMA reports whether a transfer between the two endpoints crosses
 // the socket interconnect. A nil device means host RAM (assumed reachable
@@ -136,6 +194,7 @@ func (l Loc) String() string {
 // remote head/tail access) initiated by a core of the given kind.
 func (f *Fabric) Txn(p *sim.Proc, initiator cpu.Kind) {
 	f.txns++
+	f.telTxns.Add(1)
 	p.Advance(TxnLatency(initiator))
 }
 
@@ -155,9 +214,14 @@ func TxnLatency(initiator cpu.Kind) sim.Time {
 // domain as the initiator) are not modelled here; Memcpy is specifically
 // the system-mapped-window path.
 func (f *Fabric) Memcpy(p *sim.Proc, initiator cpu.Kind, src, dst Loc, n int64) {
-	f.txns += (n + model.CacheLine - 1) / model.CacheLine
+	sp := f.tel.Start(p, "pcie.memcpy")
+	sp.TagInt("bytes", n)
+	lines := (n + model.CacheLine - 1) / model.CacheLine
+	f.txns += lines
+	f.telTxns.Add(lines)
 	copy(dst.mem(f).Slice(dst.Off, n), src.mem(f).Slice(src.Off, n))
 	p.Advance(MemcpyTime(initiator, n))
+	sp.End(p)
 }
 
 // MemcpyTime predicts the virtual-time cost of a Memcpy without doing it:
@@ -176,13 +240,17 @@ func MemcpyTime(initiator cpu.Kind, n int64) sim.Time {
 // endpoint must be a device; the transfer reserves every link on the path
 // and completes when the slowest finishes.
 func (f *Fabric) DMA(p *sim.Proc, initiator cpu.Kind, src, dst Loc, n int64) {
+	sp := f.tel.Start(p, "pcie.dma")
+	sp.TagInt("bytes", n)
 	setup := model.DMASetupHost
 	if initiator == cpu.Phi {
 		setup = model.DMASetupPhi
 	}
 	f.txns++ // descriptor write
+	f.telTxns.Add(1)
 	p.Advance(setup)
 	f.stream(p, initiator, src, dst, n)
+	sp.End(p)
 }
 
 // DeviceDMA moves n bytes using a device's own bus-mastering engine (e.g.
@@ -190,7 +258,10 @@ func (f *Fabric) DMA(p *sim.Proc, initiator cpu.Kind, src, dst Loc, n int64) {
 // peer-to-peer transfer, §4.3.2). Setup is already part of the device's
 // command processing, so only streaming is charged.
 func (f *Fabric) DeviceDMA(p *sim.Proc, src, dst Loc, n int64) {
+	sp := f.tel.Start(p, "pcie.device-dma")
+	sp.TagInt("bytes", n)
 	f.stream(p, cpu.Host, src, dst, n)
+	sp.End(p)
 }
 
 // DMATime predicts the cost of an uncontended DMA on the path from src to
@@ -218,6 +289,7 @@ func (f *Fabric) DMATime(initiator cpu.Kind, src, dst Loc, n int64) sim.Time {
 func (f *Fabric) StreamAsync(p *sim.Proc, srcDev, dstDev *Device, n int64) sim.Time {
 	var latest sim.Time
 	for _, r := range f.path(srcDev, dstDev) {
+		f.countLink(r, n)
 		if done := p.UseAsync(r, n); done > latest {
 			latest = done
 		}
@@ -235,6 +307,7 @@ func (f *Fabric) stream(p *sim.Proc, initiator cpu.Kind, src, dst Loc, n int64) 
 		// Temporarily apply the initiator scaling by inflating the
 		// byte count on this reservation.
 		scaled := n * r.Rate / rate
+		f.countLink(r, n)
 		done := p.UseAsync(r, scaled)
 		if done > latest {
 			latest = done

@@ -56,10 +56,13 @@ func (e *Engine) emit(kind EventKind, at Time, proc, what string) {
 }
 
 // Recorder is a bounded in-memory tracer for tests and debugging: it keeps
-// the last Cap events and aggregate per-proc dispatch counts.
+// the last Cap events and aggregate per-proc dispatch counts. The window is
+// a ring: once full, each new event overwrites the oldest in O(1) rather
+// than shifting the whole slice, so tracing long runs stays cheap.
 type Recorder struct {
 	Cap       int
-	events    []Event
+	events    []Event // ring storage; logical order starts at `next` once full
+	next      int     // write index when the ring is full
 	dispatch  map[string]int
 	blockedOn map[string]int
 }
@@ -75,11 +78,15 @@ func NewRecorder(capEvents int) *Recorder {
 
 // Trace is the Tracer to install.
 func (r *Recorder) Trace(ev Event) {
-	if len(r.events) >= r.Cap && r.Cap > 0 {
-		copy(r.events, r.events[1:])
-		r.events = r.events[:len(r.events)-1]
+	if r.Cap > 0 && len(r.events) >= r.Cap {
+		r.events[r.next] = ev
+		r.next++
+		if r.next == len(r.events) {
+			r.next = 0
+		}
+	} else {
+		r.events = append(r.events, ev)
 	}
-	r.events = append(r.events, ev)
 	switch ev.Kind {
 	case EvDispatch:
 		r.dispatch[ev.Proc]++
@@ -88,18 +95,27 @@ func (r *Recorder) Trace(ev Event) {
 	}
 }
 
-// Events returns the retained window.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns the retained window in arrival order (oldest first).
+func (r *Recorder) Events() []Event {
+	if r.next == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	return append(out, r.events[:r.next]...)
+}
 
 // Dispatches reports how often the named proc ran.
 func (r *Recorder) Dispatches(proc string) int { return r.dispatch[proc] }
 
 // HottestBlocker reports the most contended wait object and its count —
 // the first thing to look at when a simulation is slower than expected.
+// Ties break toward the lexicographically smallest name so the answer is
+// deterministic across runs.
 func (r *Recorder) HottestBlocker() (string, int) {
 	best, n := "", 0
 	for k, c := range r.blockedOn {
-		if c > n {
+		if c > n || (c == n && c > 0 && k < best) {
 			best, n = k, c
 		}
 	}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring window must evict oldest-first and report survivors in arrival
+// order even after wrapping several times.
+func TestRecorderWindowEviction(t *testing.T) {
+	rec := NewRecorder(3)
+	for i := 0; i < 8; i++ {
+		rec.Trace(Event{Kind: EvDispatch, Time: Time(i), Proc: fmt.Sprintf("p%d", i)})
+	}
+	got := rec.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d events, want 3", len(got))
+	}
+	for i, ev := range got {
+		want := Time(5 + i)
+		if ev.Time != want {
+			t.Errorf("events[%d].Time = %d, want %d (oldest-first order)", i, ev.Time, want)
+		}
+	}
+}
+
+// Below capacity the window must report exactly what arrived, in order.
+func TestRecorderWindowPartialFill(t *testing.T) {
+	rec := NewRecorder(10)
+	for i := 0; i < 4; i++ {
+		rec.Trace(Event{Kind: EvBlock, Time: Time(i), What: "w"})
+	}
+	got := rec.Events()
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if ev.Time != Time(i) {
+			t.Errorf("events[%d].Time = %d, want %d", i, ev.Time, i)
+		}
+	}
+}
+
+// Ties on block count must break toward the lexicographically smallest
+// name so the diagnostic is deterministic.
+func TestHottestBlockerTie(t *testing.T) {
+	rec := NewRecorder(10)
+	for _, what := range []string{"zebra", "apple", "zebra", "apple"} {
+		rec.Trace(Event{Kind: EvBlock, What: what})
+	}
+	if hot, n := rec.HottestBlocker(); hot != "apple" || n != 2 {
+		t.Errorf("hottest blocker = %q x%d, want apple x2", hot, n)
+	}
+}
+
+// An empty recorder must report no blocker, not an empty-string winner.
+func TestHottestBlockerEmpty(t *testing.T) {
+	rec := NewRecorder(10)
+	if hot, n := rec.HottestBlocker(); hot != "" || n != 0 {
+		t.Errorf("hottest blocker = %q x%d, want none", hot, n)
+	}
+}

@@ -27,6 +27,11 @@ func (s *Sample) Add(t sim.Time) {
 // N reports the observation count.
 func (s *Sample) N() int { return len(s.xs) }
 
+// Clone returns an independent copy of the sample.
+func (s *Sample) Clone() *Sample {
+	return &Sample{xs: append([]sim.Time(nil), s.xs...), sorted: s.sorted}
+}
+
 func (s *Sample) sort() {
 	if !s.sorted {
 		sort.Slice(s.xs, func(i, j int) bool { return s.xs[i] < s.xs[j] })
@@ -88,11 +93,17 @@ func (s *Sample) CDF(percentiles []float64) [][2]float64 {
 	return out
 }
 
-// Histogram is a log2-bucketed latency histogram.
+// Histogram is a log2-bucketed latency histogram: bucket k counts
+// observations in [2^k, 2^(k+1)), and non-positive observations land in a
+// dedicated zero bucket (key -1) so zero-latency samples are not mislabelled
+// as 1 ns.
 type Histogram struct {
 	buckets map[int]int
 	n       int
 }
+
+// zeroBucket keys observations <= 0.
+const zeroBucket = -1
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
@@ -101,19 +112,49 @@ func NewHistogram() *Histogram {
 
 // Add records one observation.
 func (h *Histogram) Add(t sim.Time) {
+	h.buckets[bucketOf(t)]++
+	h.n++
+}
+
+// bucketOf maps an observation to its bucket key: -1 for t <= 0, else
+// floor(log2(t)) so bucket k covers [2^k, 2^(k+1)).
+func bucketOf(t sim.Time) int {
+	if t <= 0 {
+		return zeroBucket
+	}
 	b := 0
 	for v := int64(t); v > 1; v >>= 1 {
 		b++
 	}
-	h.buckets[b]++
-	h.n++
+	return b
 }
 
 // N reports the observation count.
 func (h *Histogram) N() int { return h.n }
 
-// String renders the histogram with proportional bars.
+// Count reports the occupancy of the bucket covering t.
+func (h *Histogram) Count(t sim.Time) int { return h.buckets[bucketOf(t)] }
+
+// Clone returns an independent copy.
+func (h *Histogram) Clone() *Histogram {
+	out := NewHistogram()
+	out.n = h.n
+	for k, c := range h.buckets {
+		out.buckets[k] = c
+	}
+	return out
+}
+
+// String renders the histogram with proportional bars, labelling each
+// bucket with its half-open range as a virtual-time value.
 func (h *Histogram) String() string {
+	return h.Render(func(v int64) string { return sim.Time(v).String() })
+}
+
+// Render renders the histogram with a caller-supplied bound formatter, so
+// unitless histograms (batch sizes, counts) print raw numbers instead of
+// durations.
+func (h *Histogram) Render(format func(int64) string) string {
 	if h.n == 0 {
 		return "(empty)"
 	}
@@ -129,8 +170,12 @@ func (h *Histogram) String() string {
 	var b strings.Builder
 	for _, k := range keys {
 		c := h.buckets[k]
+		label := "0"
+		if k != zeroBucket {
+			label = fmt.Sprintf("[%s, %s)", format(int64(1)<<uint(k)), format(int64(1)<<uint(k+1)))
+		}
 		bar := strings.Repeat("#", c*40/max)
-		fmt.Fprintf(&b, "%12v | %-40s %d\n", sim.Time(int64(1)<<uint(k)), bar, c)
+		fmt.Fprintf(&b, "%24s | %-40s %d\n", label, bar, c)
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -93,5 +94,65 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Non-positive observations land in the dedicated zero bucket rather than
+// being conflated with [1, 2).
+func TestHistogramZeroBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Add(0)
+	h.Add(-5)
+	h.Add(1)
+	if got := h.Count(0); got != 2 {
+		t.Errorf("zero-bucket count = %d, want 2", got)
+	}
+	if got := h.Count(1); got != 1 {
+		t.Errorf("[1, 2) count = %d, want 1", got)
+	}
+	if !strings.Contains(h.String(), "\n") || h.N() != 3 {
+		t.Fatalf("n = %d, rendering: %q", h.N(), h.String())
+	}
+}
+
+// Bucket labels are the half-open range [2^k, 2^(k+1)); the zero bucket is
+// labelled "0".
+func TestHistogramBucketLabels(t *testing.T) {
+	h := NewHistogram()
+	h.Add(0)
+	h.Add(5) // bucket 2: [4, 8)
+	out := h.Render(func(v int64) string { return sim.Time(v).String() })
+	if !strings.Contains(out, "[4ns, 8ns)") {
+		t.Errorf("missing [4ns, 8ns) label in:\n%s", out)
+	}
+	// The "0" label occupies its own row.
+	if !strings.Contains(out, "  0 |") && !strings.Contains(out, " 0 |") {
+		t.Errorf("missing zero-bucket label in:\n%s", out)
+	}
+	// A unitless formatter renders raw numbers.
+	raw := h.Render(func(v int64) string { return fmt.Sprintf("%d", v) })
+	if !strings.Contains(raw, "[4, 8)") {
+		t.Errorf("missing [4, 8) label in:\n%s", raw)
+	}
+}
+
+// Clones are independent of their source.
+func TestHistogramAndSampleClone(t *testing.T) {
+	h := NewHistogram()
+	h.Add(3)
+	hc := h.Clone()
+	h.Add(3)
+	if hc.N() != 1 || h.N() != 2 {
+		t.Errorf("clone n = %d (want 1), source n = %d (want 2)", hc.N(), h.N())
+	}
+	var s Sample
+	s.Add(7)
+	sc := s.Clone()
+	s.Add(9)
+	if sc.N() != 1 || s.N() != 2 {
+		t.Errorf("clone n = %d (want 1), source n = %d (want 2)", sc.N(), s.N())
+	}
+	if sc.Max() != 7 {
+		t.Errorf("clone max = %v, want 7", sc.Max())
 	}
 }

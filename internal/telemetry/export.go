@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"solros/internal/sim"
+)
+
+// WriteText renders the metrics report: counters, gauges, distributions,
+// histograms, and per-name span aggregates, each section sorted by name so
+// output is deterministic and diffable.
+func (s *Sink) WriteText(w io.Writer) error {
+	if s == nil {
+		_, err := fmt.Fprintln(w, "telemetry: no sink installed")
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("== telemetry report ==\n")
+
+	if len(s.counters) > 0 {
+		b.WriteString("\n-- counters --\n")
+		for _, name := range sortedKeys(s.counters) {
+			fmt.Fprintf(&b, "%-46s %12d\n", name, s.counters[name].Value())
+		}
+	}
+	if len(s.gauges) > 0 {
+		b.WriteString("\n-- gauges --\n")
+		for _, name := range sortedKeys(s.gauges) {
+			g := s.gauges[name]
+			fmt.Fprintf(&b, "%-46s %12d (max %d)\n", name, g.Value(), g.Max())
+		}
+	}
+	if len(s.dists) > 0 {
+		b.WriteString("\n-- distributions --\n")
+		for _, name := range sortedKeys(s.dists) {
+			d := s.dists[name]
+			d.mu.Lock()
+			fmt.Fprintf(&b, "%-46s %s\n", name, d.s.Summary())
+			d.mu.Unlock()
+		}
+	}
+	if len(s.hists) > 0 {
+		b.WriteString("\n-- histograms --\n")
+		for _, name := range sortedKeys(s.hists) {
+			h := s.hists[name]
+			h.mu.Lock()
+			n := h.h.N()
+			rendered := h.h.String()
+			if !h.timed {
+				rendered = h.h.Render(func(v int64) string { return fmt.Sprintf("%d", v) })
+			}
+			h.mu.Unlock()
+			fmt.Fprintf(&b, "%s (n=%d)\n%s", name, n, indent(rendered))
+		}
+	}
+	if len(s.spans) > 0 {
+		b.WriteString("\n-- spans --\n")
+		type agg struct {
+			count int64
+			total sim.Time
+			max   sim.Time
+		}
+		byName := map[string]*agg{}
+		for i := range s.spans {
+			sp := &s.spans[i]
+			a := byName[sp.Name]
+			if a == nil {
+				a = &agg{}
+				byName[sp.Name] = a
+			}
+			a.count++
+			d := sp.Duration()
+			a.total += d
+			if d > a.max {
+				a.max = d
+			}
+		}
+		for _, name := range sortedKeys(byName) {
+			a := byName[name]
+			fmt.Fprintf(&b, "%-46s n=%-8d total=%-12v mean=%-12v max=%v\n",
+				name, a.count, a.total, a.total/sim.Time(a.count), a.max)
+		}
+		if s.dropped > 0 {
+			fmt.Fprintf(&b, "(%d spans dropped after MaxSpans=%d)\n", s.dropped, s.maxSpans)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "    " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// traceEvent is one Chrome trace_event JSON object. Spans are "X"
+// (complete) events with microsecond timestamps on the virtual clock;
+// procs map to tids with thread_name metadata so chrome://tracing and
+// Perfetto label the rows.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace emits the retained spans as Chrome trace_event JSON.
+// Open the file at chrome://tracing or https://ui.perfetto.dev.
+func (s *Sink) WriteChromeTrace(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	events := make([]traceEvent, 0, len(s.spans)+len(s.tidOrder))
+	for _, proc := range s.tidOrder {
+		events = append(events, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  0,
+			Tid:  s.tids[proc],
+			Args: map[string]any{"name": proc},
+		})
+	}
+	for i := range s.spans {
+		sp := &s.spans[i]
+		ev := traceEvent{
+			Name: sp.Name,
+			Cat:  spanCategory(sp.Name),
+			Ph:   "X",
+			Ts:   float64(sp.Begin) / 1e3,
+			Dur:  float64(sp.Duration()) / 1e3,
+			Pid:  0,
+			Tid:  s.tids[sp.Proc],
+		}
+		if len(sp.Tags) > 0 {
+			args := make(map[string]any, len(sp.Tags))
+			for _, t := range sp.Tags {
+				if t.IsInt {
+					args[t.Key] = t.Int
+				} else {
+					args[t.Key] = t.Str
+				}
+			}
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// spanCategory derives the trace category from the span name's subsystem
+// prefix ("transport.send" -> "transport").
+func spanCategory(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}

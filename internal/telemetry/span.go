@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"solros/internal/sim"
+)
+
+// Tag is one key/value annotation on a span. Integer values are kept raw
+// and formatted only at export time, so tagging a span on a hot path does
+// not pay for fmt.
+type Tag struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// Span is one timed region of work on one Proc. Spans started while
+// another span is open on the same Proc become its children; the Chrome
+// exporter renders the nesting per thread row, and the text exporter
+// aggregates durations by name.
+type Span struct {
+	Name   string
+	Proc   string
+	Begin  sim.Time
+	Finish sim.Time
+	Depth  int
+	Tags   []Tag
+
+	sink *Sink
+	proc *sim.Proc
+}
+
+// Start opens a span named name on Proc p at the current virtual time. A
+// nil sink returns a nil span whose methods are no-ops, so call sites
+// need no guards.
+func (s *Sink) Start(p *sim.Proc, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := &Span{
+		Name:  name,
+		Proc:  p.Name(),
+		Begin: p.Now(),
+		sink:  s,
+		proc:  p,
+	}
+	stack := s.open[p]
+	sp.Depth = len(stack)
+	s.open[p] = append(stack, sp)
+	if _, ok := s.tids[sp.Proc]; !ok {
+		s.tids[sp.Proc] = len(s.tidOrder) + 1
+		s.tidOrder = append(s.tidOrder, sp.Proc)
+	}
+	return sp
+}
+
+// Tag attaches a string annotation.
+func (sp *Span) Tag(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.Tags = append(sp.Tags, Tag{Key: key, Str: value})
+}
+
+// TagInt attaches an integer annotation without formatting it.
+func (sp *Span) TagInt(key string, value int64) {
+	if sp == nil {
+		return
+	}
+	sp.Tags = append(sp.Tags, Tag{Key: key, Int: value, IsInt: true})
+}
+
+// End closes the span at p's current virtual time and retains it (up to
+// the sink's MaxSpans). Unbalanced Ends — closing a span while children
+// are still open — close the children too, so a forgotten End cannot
+// corrupt the stack.
+func (sp *Span) End(p *sim.Proc) {
+	if sp == nil {
+		return
+	}
+	s := sp.sink
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp.Finish = p.Now()
+	stack := s.open[sp.proc]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != sp {
+			continue
+		}
+		// Close any children left open above sp at the same instant.
+		for j := len(stack) - 1; j > i; j-- {
+			stack[j].Finish = sp.Finish
+			s.retain(stack[j])
+		}
+		s.open[sp.proc] = stack[:i]
+		break
+	}
+	s.retain(sp)
+}
+
+// retain appends a completed span, honouring MaxSpans. Caller holds s.mu.
+func (s *Sink) retain(sp *Span) {
+	if len(s.spans) >= s.maxSpans {
+		s.dropped++
+		return
+	}
+	s.spans = append(s.spans, *sp)
+}
+
+// Spans returns a copy of the retained completed spans, in completion
+// order (children before parents).
+func (s *Sink) Spans() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Span, len(s.spans))
+	copy(out, s.spans)
+	return out
+}
+
+// Duration reports the span's virtual-time length.
+func (sp *Span) Duration() sim.Time { return sp.Finish - sp.Begin }

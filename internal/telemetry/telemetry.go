@@ -1,0 +1,330 @@
+// Package telemetry is the cross-layer observability sink for the Solros
+// reproduction: hierarchical spans recorded against the sim virtual clock,
+// typed counters/gauges/histograms registered per subsystem, and two
+// exporters — a text metrics report and Chrome trace_event JSON
+// (chrome://tracing / Perfetto).
+//
+// The package is sim-clock-native: nothing here advances virtual time, so
+// an instrumented run produces exactly the same schedule as an
+// uninstrumented one. Every handle (*Sink, *Span, *Counter, *Gauge,
+// *Hist, *Dist) is nil-safe: with no sink installed, instrumentation
+// collapses to a nil check per call site and no allocation, so hot paths
+// cost nothing when telemetry is disabled.
+//
+// A Sink is safe for use from multiple goroutines (the sim engine hands
+// off between Proc goroutines, and one sink may be shared by several
+// engines): registration and span bookkeeping take a mutex, counter
+// updates are atomic.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"solros/internal/sim"
+	"solros/internal/stats"
+)
+
+// Default is the process-wide sink used by core.NewMachine when the
+// Config does not carry one. It is nil — telemetry off — unless a harness
+// (e.g. solros-bench -trace) installs a sink before building machines.
+var Default *Sink
+
+// Options configures a Sink.
+type Options struct {
+	// MaxSpans bounds retained completed spans (the trace, not the
+	// metrics, which are O(1)). Excess spans are counted as dropped.
+	// Default 1<<20.
+	MaxSpans int
+}
+
+// Sink is the telemetry registry and span collector.
+type Sink struct {
+	mu sync.Mutex
+
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Hist
+	dists    map[string]*Dist
+	kinds    map[string]string // name -> instrument kind, collision guard
+
+	spans    []Span
+	open     map[*sim.Proc][]*Span
+	maxSpans int
+	dropped  int64
+	tids     map[string]int // proc name -> trace tid, in first-seen order
+	tidOrder []string
+}
+
+// New returns an empty sink.
+func New(opt Options) *Sink {
+	if opt.MaxSpans == 0 {
+		opt.MaxSpans = 1 << 20
+	}
+	return &Sink{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Hist),
+		dists:    make(map[string]*Dist),
+		kinds:    make(map[string]string),
+		open:     make(map[*sim.Proc][]*Span),
+		maxSpans: opt.MaxSpans,
+		tids:     make(map[string]int),
+	}
+}
+
+// register guards one namespace across all instrument kinds: re-registering
+// the same name with the same kind is idempotent, with a different kind it
+// panics (two subsystems fighting over a name is a bug worth failing fast
+// on).
+func (s *Sink) register(name, kind string) {
+	if prev, ok := s.kinds[name]; ok && prev != kind {
+		panic("telemetry: " + name + " already registered as " + prev + ", not " + kind)
+	}
+	s.kinds[name] = kind
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Counter returns the named counter, creating it on first use. A nil sink
+// returns a nil counter whose methods are no-ops.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	s.register(name, "counter")
+	c := &Counter{name: name}
+	s.counters[name] = c
+	return c
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count; zero on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a sampled level (ring occupancy, queue depth). It keeps the
+// last set value and the high-water mark.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+	max  atomic.Int64
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.gauges[name]; ok {
+		return g
+	}
+	s.register(name, "gauge")
+	g := &Gauge{name: name}
+	s.gauges[name] = g
+	return g
+}
+
+// Set records the current level and updates the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value reports the last set level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max reports the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Hist is a log2-bucketed histogram backed by stats.Histogram. Timed is
+// set for virtual-time observations and controls how the text exporter
+// renders bucket bounds.
+type Hist struct {
+	name  string
+	timed bool
+	mu    sync.Mutex
+	h     *stats.Histogram
+}
+
+// Histogram returns the named time-valued histogram, creating it on first
+// use.
+func (s *Sink) Histogram(name string) *Hist { return s.histogram(name, true) }
+
+// HistogramN returns the named unitless histogram (batch sizes, counts).
+func (s *Sink) HistogramN(name string) *Hist { return s.histogram(name, false) }
+
+func (s *Sink) histogram(name string, timed bool) *Hist {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.hists[name]; ok {
+		return h
+	}
+	s.register(name, "histogram")
+	h := &Hist{name: name, timed: timed, h: stats.NewHistogram()}
+	s.hists[name] = h
+	return h
+}
+
+// Observe records one observation.
+func (h *Hist) Observe(t sim.Time) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Add(t)
+	h.mu.Unlock()
+}
+
+// N reports the observation count.
+func (h *Hist) N() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.N()
+}
+
+// Snapshot returns an independent copy of the underlying histogram.
+func (h *Hist) Snapshot() *stats.Histogram {
+	if h == nil {
+		return stats.NewHistogram()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Clone()
+}
+
+// Dist is an exact-percentile distribution backed by stats.Sample; use it
+// where the figure code needs percentiles rather than bucket shapes.
+type Dist struct {
+	name string
+	mu   sync.Mutex
+	s    stats.Sample
+}
+
+// Dist returns the named distribution, creating it on first use.
+func (s *Sink) Dist(name string) *Dist {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.dists[name]; ok {
+		return d
+	}
+	s.register(name, "dist")
+	d := &Dist{name: name}
+	s.dists[name] = d
+	return d
+}
+
+// Observe records one observation.
+func (d *Dist) Observe(t sim.Time) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.s.Add(t)
+	d.mu.Unlock()
+}
+
+// Sample returns an independent copy of the accumulated sample.
+func (d *Dist) Sample() *stats.Sample {
+	if d == nil {
+		return &stats.Sample{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.s.Clone()
+}
+
+// N reports the observation count.
+func (d *Dist) N() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.s.N()
+}
+
+// DroppedSpans reports spans discarded after MaxSpans was reached.
+func (s *Sink) DroppedSpans() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// SchedTracer adapts the sink into a sim.Tracer so the scheduler's
+// spawn/dispatch/block/wake stream feeds the same registry as the
+// subsystem instrumentation. Install with Engine.SetTracer.
+func (s *Sink) SchedTracer() sim.Tracer {
+	if s == nil {
+		return nil
+	}
+	spawns := s.Counter("sim.spawns")
+	dispatches := s.Counter("sim.dispatches")
+	blocks := s.Counter("sim.blocks")
+	wakes := s.Counter("sim.wakes")
+	return func(ev sim.Event) {
+		switch ev.Kind {
+		case sim.EvSpawn:
+			spawns.Add(1)
+		case sim.EvDispatch:
+			dispatches.Add(1)
+		case sim.EvBlock:
+			blocks.Add(1)
+			s.Counter("sim.block." + ev.What).Add(1)
+		case sim.EvWake:
+			wakes.Add(1)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"solros/internal/sim"
+)
+
+func TestCountersGaugesAndDists(t *testing.T) {
+	s := New(Options{})
+	c := s.Counter("x.events")
+	c.Add(2)
+	c.Add(3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if s.Counter("x.events") != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	g := s.Gauge("x.depth")
+	g.Set(7)
+	g.Set(3)
+	if g.Value() != 3 || g.Max() != 7 {
+		t.Errorf("gauge = %d max %d, want 3 max 7", g.Value(), g.Max())
+	}
+
+	h := s.Histogram("x.lat")
+	h.Observe(5)
+	h.Observe(0)
+	if h.N() != 2 || h.Snapshot().Count(5) != 1 {
+		t.Errorf("hist n = %d, count[4,8) = %d", h.N(), h.Snapshot().Count(5))
+	}
+
+	d := s.Dist("x.rtt")
+	d.Observe(10)
+	d.Observe(30)
+	if d.N() != 2 || d.Sample().Percentile(100) != 30 {
+		t.Errorf("dist n = %d max %v", d.N(), d.Sample().Percentile(100))
+	}
+}
+
+func TestCrossKindRegistrationPanics(t *testing.T) {
+	s := New(Options{})
+	s.Counter("clash")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter's name did not panic")
+		}
+	}()
+	s.Gauge("clash")
+}
+
+// Everything must be callable through nil handles: this is how disabled
+// telemetry stays free on hot paths.
+func TestNilSafety(t *testing.T) {
+	var s *Sink
+	s.Counter("a").Add(1)
+	s.Gauge("b").Set(2)
+	s.Histogram("c").Observe(3)
+	s.HistogramN("d").Observe(4)
+	s.Dist("e").Observe(5)
+	if s.Counter("a").Value() != 0 || s.DroppedSpans() != 0 {
+		t.Error("nil sink reported non-zero state")
+	}
+	if s.SchedTracer() != nil {
+		t.Error("nil sink returned a non-nil tracer")
+	}
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		sp := s.Start(p, "noop")
+		sp.Tag("k", "v")
+		sp.TagInt("n", 1)
+		sp.End(p)
+	})
+	e.MustRun()
+	if s.Spans() != nil {
+		t.Error("nil sink retained spans")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil-sink trace is not valid JSON: %v", err)
+	}
+}
+
+// Spans started while another is open on the same proc become children:
+// depth increments, and an unbalanced End force-closes the orphans.
+func TestSpanNesting(t *testing.T) {
+	s := New(Options{})
+	e := sim.NewEngine()
+	e.Spawn("worker", 0, func(p *sim.Proc) {
+		outer := s.Start(p, "outer")
+		p.Advance(10)
+		inner := s.Start(p, "inner")
+		p.Advance(5)
+		inner.End(p)
+		p.Advance(1)
+		outer.End(p)
+
+		orphanParent := s.Start(p, "parent")
+		s.Start(p, "orphan") // never explicitly ended
+		p.Advance(3)
+		orphanParent.End(p)
+	})
+	e.MustRun()
+
+	byName := map[string]Span{}
+	for _, sp := range s.Spans() {
+		byName[sp.Name] = sp
+	}
+	if len(byName) != 4 {
+		t.Fatalf("retained %d distinct spans, want 4", len(byName))
+	}
+	if byName["outer"].Depth != 0 || byName["inner"].Depth != 1 {
+		t.Errorf("depths: outer=%d inner=%d, want 0 and 1",
+			byName["outer"].Depth, byName["inner"].Depth)
+	}
+	in, out := byName["inner"], byName["outer"]
+	if in.Begin < out.Begin || in.Finish > out.Finish {
+		t.Errorf("inner [%d,%d] not contained in outer [%d,%d]",
+			in.Begin, in.Finish, out.Begin, out.Finish)
+	}
+	if in.Duration() != 5 || out.Duration() != 16 {
+		t.Errorf("durations: inner=%d outer=%d, want 5 and 16", in.Duration(), out.Duration())
+	}
+	// The orphan was force-closed when its parent ended.
+	if byName["orphan"].Finish != byName["parent"].Finish {
+		t.Errorf("orphan finish %d != parent finish %d",
+			byName["orphan"].Finish, byName["parent"].Finish)
+	}
+}
+
+func TestMaxSpansDropsExcess(t *testing.T) {
+	s := New(Options{MaxSpans: 2})
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			sp := s.Start(p, "s")
+			p.Advance(1)
+			sp.End(p)
+		}
+	})
+	e.MustRun()
+	if len(s.Spans()) != 2 || s.DroppedSpans() != 3 {
+		t.Errorf("retained %d dropped %d, want 2 and 3", len(s.Spans()), s.DroppedSpans())
+	}
+}
+
+func TestSchedTracerFeedsCounters(t *testing.T) {
+	s := New(Options{})
+	e := sim.NewEngine()
+	e.SetTracer(s.SchedTracer())
+	c := sim.NewCond("gate")
+	e.Spawn("waiter", 0, func(p *sim.Proc) { p.Wait(c) })
+	e.Spawn("waker", 5, func(p *sim.Proc) {
+		p.Advance(1)
+		p.Signal(c)
+	})
+	e.MustRun()
+	if s.Counter("sim.spawns").Value() != 2 {
+		t.Errorf("spawns = %d, want 2", s.Counter("sim.spawns").Value())
+	}
+	if s.Counter("sim.blocks").Value() != 1 || s.Counter("sim.block.gate").Value() != 1 {
+		t.Errorf("blocks = %d, per-blocker = %d, want 1 and 1",
+			s.Counter("sim.blocks").Value(), s.Counter("sim.block.gate").Value())
+	}
+	if s.Counter("sim.dispatches").Value() == 0 || s.Counter("sim.wakes").Value() != 1 {
+		t.Errorf("dispatches = %d wakes = %d",
+			s.Counter("sim.dispatches").Value(), s.Counter("sim.wakes").Value())
+	}
+}
+
+// buildSink runs a tiny deterministic scenario used by both exporter tests.
+func buildSink(t *testing.T) *Sink {
+	t.Helper()
+	s := New(Options{})
+	s.Counter("pcie.txns").Add(42)
+	s.Gauge("ring.occupancy").Set(3)
+	s.Histogram("rpc.lat").Observe(100)
+	s.HistogramN("batch").Observe(4)
+	s.Dist("rtt").Observe(250)
+	e := sim.NewEngine()
+	e.Spawn("app", 0, func(p *sim.Proc) {
+		call := s.Start(p, "dataplane.call")
+		call.Tag("type", "Tread")
+		p.Advance(20)
+		send := s.Start(p, "transport.send")
+		send.TagInt("bytes", 64)
+		p.Advance(10)
+		send.End(p)
+		call.End(p)
+	})
+	e.MustRun()
+	return s
+}
+
+func TestWriteTextReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSink(t).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"-- counters --",
+		"pcie.txns",
+		"42",
+		"-- gauges --",
+		"ring.occupancy",
+		"-- distributions --",
+		"rtt",
+		"-- histograms --",
+		"rpc.lat",
+		"[64ns, 128ns)", // 100ns lands in bucket 6
+		"[4, 8)",        // unitless batch histogram renders raw bounds
+		"-- spans --",
+		"dataplane.call",
+		"transport.send",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSink(t).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	var meta, complete int
+	byName := map[string]int{}
+	for i, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			byName[ev.Name] = i
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 1 || complete != 2 {
+		t.Fatalf("meta = %d complete = %d, want 1 and 2", meta, complete)
+	}
+	call := out.TraceEvents[byName["dataplane.call"]]
+	send := out.TraceEvents[byName["transport.send"]]
+	if call.Cat != "dataplane" || send.Cat != "transport" {
+		t.Errorf("categories: %q, %q", call.Cat, send.Cat)
+	}
+	// Timestamps are microseconds: the call spans [0, 30ns] = 0.03 us.
+	if call.Ts != 0 || call.Dur != 0.03 {
+		t.Errorf("call ts=%v dur=%v, want 0 and 0.03", call.Ts, call.Dur)
+	}
+	// Containment on the same tid is what chrome://tracing nests by.
+	if send.Tid != call.Tid || send.Ts < call.Ts || send.Ts+send.Dur > call.Ts+call.Dur {
+		t.Errorf("send [%v,%v] tid %d not nested in call [%v,%v] tid %d",
+			send.Ts, send.Ts+send.Dur, send.Tid, call.Ts, call.Ts+call.Dur, call.Tid)
+	}
+	if send.Args["bytes"] != float64(64) || call.Args["type"] != "Tread" {
+		t.Errorf("args: send=%v call=%v", send.Args, call.Args)
+	}
+}

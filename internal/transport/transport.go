@@ -24,6 +24,7 @@ import (
 	"solros/internal/model"
 	"solros/internal/pcie"
 	"solros/internal/sim"
+	"solros/internal/telemetry"
 )
 
 // ErrWouldBlock mirrors EWOULDBLOCK from the paper's API: the ring is full
@@ -131,6 +132,16 @@ type Ring struct {
 	// stats
 	sent, received int64
 	sentBytes      int64
+
+	// telemetry handles (nil-safe no-ops when the fabric has no sink)
+	tel          *telemetry.Sink
+	telSent      *telemetry.Counter
+	telReceived  *telemetry.Counter
+	telSentBytes *telemetry.Counter
+	telSendBlock *telemetry.Counter
+	telRecvBlock *telemetry.Counter
+	telCombine   *telemetry.Hist
+	telOccupancy *telemetry.Gauge
 }
 
 // NewRing allocates a ring whose master storage lives on masterDev (nil =
@@ -154,6 +165,16 @@ func NewRing(f *pcie.Fabric, masterDev *pcie.Device, opt Options) *Ring {
 	}
 	r.enq.lock = sim.NewLock("ring-enq")
 	r.deq.lock = sim.NewLock("ring-deq")
+	if tel := f.Telemetry(); tel != nil {
+		r.tel = tel
+		r.telSent = tel.Counter("transport.sent")
+		r.telReceived = tel.Counter("transport.received")
+		r.telSentBytes = tel.Counter("transport.sent_bytes")
+		r.telSendBlock = tel.Counter("transport.send_wouldblock")
+		r.telRecvBlock = tel.Counter("transport.recv_wouldblock")
+		r.telCombine = tel.HistogramN("transport.combine_batch")
+		r.telOccupancy = tel.Gauge("transport.ring_occupancy")
+	}
 	return r
 }
 
@@ -200,6 +221,7 @@ func combineEnter(p *sim.Proc, s *side) {
 // variables once per batch in Lazy mode (1 PCIe txn when remote).
 func (pt *Port) combineExit(p *sim.Proc, s *side, batch int) {
 	if pt.ring.opt.Update == Lazy && s.opsInBatch >= batch {
+		pt.ring.telCombine.Observe(sim.Time(s.opsInBatch))
 		s.opsInBatch = 0
 		pt.remoteTxn(p) // push original value to the remote replica
 	}
@@ -218,6 +240,8 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 	if need > r.capBytes {
 		return errors.New("transport: message larger than ring")
 	}
+	sp := r.tel.Start(p, "transport.send")
+	sp.TagInt("bytes", int64(len(msg)))
 	combineEnter(p, &r.enq)
 	if r.opt.Update == Eager {
 		// Read head and update tail across the bus every time.
@@ -235,6 +259,9 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 		}
 		if !ok {
 			pt.combineExit(p, &r.enq, r.opt.Batch)
+			r.telSendBlock.Add(1)
+			sp.Tag("result", "wouldblock")
+			sp.End(p)
 			return ErrWouldBlock
 		}
 	}
@@ -250,6 +277,10 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 	ent.state = entReady
 	r.sent++
 	r.sentBytes += int64(len(msg))
+	r.telSent.Add(1)
+	r.telSentBytes.Add(int64(len(msg)))
+	r.telOccupancy.Set(int64(r.Len()))
+	sp.End(p)
 	p.Signal(r.dataCond)
 	return nil
 }
@@ -278,6 +309,7 @@ func (pt *Port) Send(p *sim.Proc, msg []byte) {
 // its payload; ErrWouldBlock if none is ready.
 func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 	r := pt.ring
+	sp := r.tel.Start(p, "transport.recv")
 	combineEnter(p, &r.deq)
 	if r.opt.Update == Eager {
 		pt.remoteTxn(p)
@@ -291,6 +323,9 @@ func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 	}
 	pt.combineExit(p, &r.deq, r.opt.Batch)
 	if !ok {
+		r.telRecvBlock.Add(1)
+		sp.Tag("result", "wouldblock")
+		sp.End(p)
 		return nil, ErrWouldBlock
 	}
 
@@ -300,6 +335,10 @@ func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 
 	ent.state = entDone
 	r.received++
+	r.telReceived.Add(1)
+	r.telOccupancy.Set(int64(r.Len()))
+	sp.TagInt("bytes", int64(ent.size))
+	sp.End(p)
 	p.Signal(r.spaceCond)
 	return buf, nil
 }
