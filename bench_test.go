@@ -122,3 +122,7 @@ func BenchmarkFig19ControlPlaneScalability(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	runFig(b, "ablate", maxOf("nvme-coalescing"))
 }
+
+func BenchmarkPipelinedRead(b *testing.B) {
+	runFig(b, "pipeline", maxOf("pipelined"))
+}

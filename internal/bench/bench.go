@@ -99,6 +99,7 @@ var Experiments = []struct {
 	{"fig18", "application: image search", Fig18},
 	{"fig19", "control-plane OS scalability", Fig19},
 	{"ablate", "ablations of Solros design decisions", Ablations},
+	{"pipeline", "pipelined delegated I/O: sync vs windowed/batched/overlapped reads", Pipeline},
 }
 
 // Lookup finds an experiment by id.

@@ -129,6 +129,29 @@ func TestAblationDirections(t *testing.T) {
 	}
 }
 
+func TestPipelineShape(t *testing.T) {
+	rows := Pipeline()
+	// ISSUE 2 acceptance: >=1.5x virtual-time throughput for >=512KB
+	// delegated buffered reads with pipelining on vs off, at every size.
+	for _, x := range []string{"512KB", "1MB", "2MB", "4MB"} {
+		sync := valueOf(t, rows, "sync", x)
+		pipe := valueOf(t, rows, "pipelined", x)
+		if pipe < 1.5*sync {
+			t.Errorf("%s: pipelined (%.3f GB/s) should be >=1.5x sync (%.3f GB/s)", x, pipe, sync)
+		}
+		// Each mechanism alone should not regress the serial path.
+		for _, s := range []string{"+window", "+batch", "+overlap"} {
+			if v := valueOf(t, rows, s, x); v < 0.95*sync {
+				t.Errorf("%s at %s (%.3f GB/s) regresses sync (%.3f GB/s)", s, x, v, sync)
+			}
+		}
+	}
+	// The overlapped NVMe leg alone should already beat serial fills.
+	if ov, sync := valueOf(t, rows, "+overlap", "2MB"), valueOf(t, rows, "sync", "2MB"); ov < 1.5*sync {
+		t.Errorf("overlap alone (%.3f GB/s) should be >=1.5x sync (%.3f GB/s) at 2MB", ov, sync)
+	}
+}
+
 func TestTable1CountsThisRepo(t *testing.T) {
 	rows := Table1()
 	total := valueOf(t, rows, "TOTAL", "impl")

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"solros/internal/core"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+)
+
+// Pipelined delegated-I/O experiment (ISSUE 2): large sequential buffered
+// reads through one co-processor, comparing the serial path against each
+// pipelining mechanism and their combination. The file is read cold, so
+// every byte pays both the NVMe leg and the PCIe leg — exactly the case
+// where overlapping them, windowing chunk RPCs, and batching ring
+// dequeues should compound.
+const (
+	pipeFileBytes = 32 << 20
+	pipeDiskBytes = 64 << 20
+)
+
+var pipeSizes = []int64{512 << 10, 1 << 20, 2 << 20, 4 << 20}
+
+// Pipeline measures GB/s for each (config, read size) cell.
+func Pipeline() []Row {
+	configs := []struct {
+		name                     string
+		pipeline, batch, overlap bool
+	}{
+		{"sync", false, false, false},
+		{"+window", true, false, false},
+		{"+batch", false, true, false},
+		{"+overlap", false, false, true},
+		{"pipelined", true, true, true},
+	}
+	var rows []Row
+	for _, c := range configs {
+		for _, bs := range pipeSizes {
+			v := pipePoint(c.pipeline, c.batch, c.overlap, bs)
+			rows = append(rows, row("pipeline", c.name, sizeLabel(bs), v, "GB/s"))
+		}
+	}
+	return rows
+}
+
+// pipePoint reads the whole file once, sequentially, in bs-sized delegated
+// reads on an O_BUFFER descriptor (forcing the buffered path the tentpole
+// optimizes), and reports cold-read throughput.
+func pipePoint(pipeline, batch, overlap bool, bs int64) float64 {
+	m := core.NewMachine(core.Config{
+		DiskBytes:    pipeDiskBytes,
+		PhiMemBytes:  bs + (64 << 20),
+		ProxyWorkers: 8,
+		Pipeline:     pipeline,
+		BatchRecv:    batch,
+		Overlap:      overlap,
+	})
+	var secs float64
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		phi := mm.Phis[0]
+		fd, err := phi.FS.Open(p, "/pipe", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			panic(err)
+		}
+		f, err := mm.FS.Open(p, "/pipe")
+		if err != nil {
+			panic(err)
+		}
+		if err := f.Truncate(p, pipeFileBytes); err != nil {
+			panic(err)
+		}
+		buf := phi.FS.AllocBuffer(bs)
+		start := p.Now()
+		for off := int64(0); off+bs <= pipeFileBytes; off += bs {
+			if _, err := phi.FS.Read(p, fd, off, buf, bs); err != nil {
+				panic(err)
+			}
+		}
+		secs = (p.Now() - start).Seconds()
+	})
+	return gbs(pipeFileBytes, secs)
+}

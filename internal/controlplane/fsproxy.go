@@ -59,10 +59,28 @@ type FSProxy struct {
 	// multiple co-processors"). Enabled by default.
 	AutoPrefetch bool
 
+	// BatchRecv drains each request ring with RecvBatch, amortizing
+	// combiner and PCIe costs when requests arrive back to back
+	// (pipelined chunk windows). Default off.
+	BatchRecv bool
+	// Overlap double-buffers buffered reads: missing pages are filled
+	// from the flash by parallel worker procs while already-filled pages
+	// stream to the co-processor, so the NVMe leg of chunk k+1 proceeds
+	// under the PCIe leg of chunk k. Default off.
+	Overlap bool
+
 	channels []*channel
 	opens    map[uint32]*openFile
 	readers  map[uint32]map[*pcie.Device]bool // ino -> co-processors that read it
 	fetching map[uint32]bool
+
+	// pendingFill marks cache pages that have a frame inserted but whose
+	// disk fill has not yet landed (overlap fills, readahead).
+	// pushFromCache waits on fillCond for them, and fullyCached treats
+	// them as absent. Empty whenever Overlap and readahead are idle, so
+	// the default paths never observe it.
+	pendingFill map[pageKey]bool
+	fillCond    *sim.Cond
 
 	// stats
 	p2pOps, bufferedOps, cacheHitOps, prefetches int64
@@ -75,9 +93,16 @@ type FSProxy struct {
 }
 
 type channel struct {
+	idx  int // position in px.channels, fixed at Attach
 	phi  *pcie.Device
 	req  *transport.Port
 	resp *transport.Port
+}
+
+// pageKey names one cache page for fill coordination.
+type pageKey struct {
+	ino uint32
+	blk int64
 }
 
 type openFile struct {
@@ -99,6 +124,8 @@ func NewFSProxy(fab *pcie.Fabric, fsys *fs.FS, ssd *nvme.Device, cacheBytes int6
 		opens:        make(map[uint32]*openFile),
 		readers:      make(map[uint32]map[*pcie.Device]bool),
 		fetching:     make(map[uint32]bool),
+		pendingFill:  make(map[pageKey]bool),
+		fillCond:     sim.NewCond("fsproxy-fill"),
 	}
 	if tel := fab.Telemetry(); tel != nil {
 		px.tel = tel
@@ -112,7 +139,7 @@ func NewFSProxy(fab *pcie.Fabric, fsys *fs.FS, ssd *nvme.Device, cacheBytes int6
 
 // Attach registers a co-processor's RPC ring pair (proxy-side ports).
 func (px *FSProxy) Attach(phi *pcie.Device, req, resp *transport.Port) {
-	px.channels = append(px.channels, &channel{phi: phi, req: req, resp: resp})
+	px.channels = append(px.channels, &channel{idx: len(px.channels), phi: phi, req: req, resp: resp})
 }
 
 // Start spawns workers proxy procs per attached co-processor channel.
@@ -132,23 +159,43 @@ func (px *FSProxy) Start(p *sim.Proc, workers int) {
 	}
 }
 
+// serveRecvBatch caps how many requests one worker drains per pass. Small
+// on purpose: a full Options.Batch drain would serialize requests that
+// idle sibling workers could otherwise serve concurrently, while a short
+// batch still amortizes the combiner pass for back-to-back small ops.
+const serveRecvBatch = 8
+
 func (px *FSProxy) serve(p *sim.Proc, ch *channel) {
+	single := make([][]byte, 1)
 	for {
-		raw, ok := ch.req.Recv(p)
-		if !ok {
-			return
+		var raws [][]byte
+		if px.BatchRecv {
+			batch, ok := ch.req.RecvBatch(p, serveRecvBatch)
+			if !ok {
+				return
+			}
+			raws = batch
+		} else {
+			raw, ok := ch.req.Recv(p)
+			if !ok {
+				return
+			}
+			single[0] = raw
+			raws = single
 		}
-		m, err := ninep.Decode(raw)
-		if err != nil {
-			panic("fsproxy: corrupt request: " + err.Error())
+		for _, raw := range raws {
+			m, err := ninep.Decode(raw)
+			if err != nil {
+				panic("fsproxy: corrupt request: " + err.Error())
+			}
+			sp := px.tel.Start(p, "controlplane.fsproxy")
+			sp.Tag("type", m.Type.String())
+			p.Advance(model.FSProxyCost)
+			resp := px.handle(p, ch, m)
+			resp.Tag = m.Tag
+			ch.resp.Send(p, resp.Encode())
+			sp.End(p)
 		}
-		sp := px.tel.Start(p, "controlplane.fsproxy")
-		sp.Tag("type", m.Type.String())
-		p.Advance(model.FSProxyCost)
-		resp := px.handle(p, ch, m)
-		resp.Tag = m.Tag
-		ch.resp.Send(p, resp.Encode())
-		sp.End(p)
 	}
 }
 
@@ -156,15 +203,10 @@ func rerror(err error) *ninep.Msg {
 	return &ninep.Msg{Type: ninep.Rerror, Err: err.Error()}
 }
 
-// fidKey spreads fids across co-processors (each channel has its own fid
-// space; we namespace by device pointer identity via a per-proxy map key).
+// fidKey spreads fids across co-processors: each channel has its own fid
+// space, namespaced by the channel's Attach-time index.
 func (px *FSProxy) fidKey(ch *channel, fid uint32) uint32 {
-	for i, c := range px.channels {
-		if c == ch {
-			return uint32(i)<<24 | fid
-		}
-	}
-	panic("fsproxy: unknown channel")
+	return uint32(ch.idx)<<24 | fid
 }
 
 func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
@@ -277,6 +319,14 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
 			return rerror(err)
 		}
 		return &ninep.Msg{Type: ninep.Rsync}
+
+	case ninep.Treadahead:
+		of, ok := px.opens[px.fidKey(ch, m.Fid)]
+		if !ok {
+			return rerror(fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+		}
+		px.readahead(p, of, m.Off, m.Count)
+		return &ninep.Msg{Type: ninep.Rreadahead}
 	}
 	return rerror(fmt.Errorf("fsproxy: unhandled message %v", m.Type))
 }
@@ -306,8 +356,20 @@ func (px *FSProxy) fullyCached(ino uint32, off, n int64) bool {
 		if _, ok := px.Cache.Lookup(ino, blk); !ok {
 			return false
 		}
+		if px.pendingFill[pageKey{ino: ino, blk: blk}] {
+			// Frame claimed but the disk fill hasn't landed yet.
+			return false
+		}
 	}
 	return true
+}
+
+// waitFilled blocks until no fill is pending for page k; a pure map probe
+// (never a yield) unless overlap or readahead fills are in flight.
+func (px *FSProxy) waitFilled(p *sim.Proc, k pageKey) {
+	for px.pendingFill[k] {
+		p.Wait(px.fillCond)
+	}
 }
 
 // read serves Tread: clamp to EOF, choose the path, move the data into
@@ -357,8 +419,13 @@ func (px *FSProxy) alignedLimit(f *fs.File) int64 {
 }
 
 // bufferedRead fills cache pages from disk as needed, then DMA-pushes them
-// to the co-processor with host-initiated transfers.
+// to the co-processor with host-initiated transfers. With Overlap set the
+// two legs run concurrently (bufferedReadOverlap); otherwise fill strictly
+// precedes push.
 func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pcie.Loc) error {
+	if px.Overlap && !px.DisableCache {
+		return px.bufferedReadOverlap(p, of, off, n, dst)
+	}
 	ino := of.f.Ino()
 	first := off / cache.PageSize
 	last := (off + n - 1) / cache.PageSize
@@ -371,14 +438,8 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 		if missStart < 0 {
 			return nil
 		}
-		span := int64(len(missLocs)) * cache.PageSize
-		if missStart*cache.PageSize+span > limit {
-			span = limit - missStart*cache.PageSize
-		}
 		// Pages are scattered frames; issue one op per frame but let
 		// the driver coalesce doorbells/interrupts across the vector.
-		ops := make([]pcie.Loc, 0, len(missLocs))
-		_ = ops
 		for i, loc := range missLocs {
 			sz := int64(cache.PageSize)
 			pOff := (missStart + int64(i)) * cache.PageSize
@@ -439,32 +500,13 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 // pushFromCache copies [off, off+n) from resident cache pages to the
 // co-processor. The pages are scattered host frames, so the proxy builds
 // DMA descriptor chains: one channel setup per model.DMAChainBytes of
-// traffic, all pages in a chain streaming back to back.
+// traffic, all pages in a chain streaming back to back. A page another
+// proc is still filling (overlap, readahead) is waited for right before
+// it joins a chain, so everything already filled streams immediately —
+// that per-page handoff is what overlaps the NVMe and PCIe legs.
 func (px *FSProxy) pushFromCache(p *sim.Proc, of *openFile, off, n int64, dst pcie.Loc) error {
 	ino := of.f.Ino()
-	type piece struct {
-		src   pcie.Loc
-		dstOf int64
-		n     int64
-	}
-	var pieces []piece
-	done := int64(0)
-	for done < n {
-		pos := off + done
-		blk := pos / cache.PageSize
-		inPage := pos % cache.PageSize
-		chunk := cache.PageSize - inPage
-		if chunk > n-done {
-			chunk = n - done
-		}
-		loc, ok := px.Cache.Lookup(ino, blk)
-		if !ok {
-			return fmt.Errorf("fsproxy: page %d of inode %d evicted mid-read", blk, ino)
-		}
-		pieces = append(pieces, piece{pcie.Loc{Off: loc.Off + inPage}, done, chunk})
-		done += chunk
-	}
-	// Issue descriptor chains.
+	dstMem := px.fabric.Mem(pcie.Loc{Dev: dst.Dev})
 	var chainBytes int64
 	var latest sim.Time
 	startChain := func() {
@@ -479,20 +521,156 @@ func (px *FSProxy) pushFromCache(p *sim.Proc, of *openFile, off, n int64, dst pc
 		}
 	}
 	startChain()
-	for _, pc := range pieces {
-		if chainBytes+pc.n > model.DMAChainBytes {
+	for done := int64(0); done < n; {
+		pos := off + done
+		blk := pos / cache.PageSize
+		inPage := pos % cache.PageSize
+		chunk := cache.PageSize - inPage
+		if chunk > n-done {
+			chunk = n - done
+		}
+		px.waitFilled(p, pageKey{ino: ino, blk: blk})
+		loc, ok := px.Cache.Lookup(ino, blk)
+		if !ok {
+			return fmt.Errorf("fsproxy: page %d of inode %d evicted mid-read", blk, ino)
+		}
+		if chainBytes+chunk > model.DMAChainBytes {
 			endChain()
 			startChain()
 		}
-		dstMem := px.fabric.Mem(pcie.Loc{Dev: dst.Dev})
-		copy(dstMem.Slice(dst.Off+pc.dstOf, pc.n), px.fabric.HostRAM.Slice(pc.src.Off, pc.n))
-		if t := px.fabric.StreamAsync(p, nil, dst.Dev, pc.n); t > latest {
+		copy(dstMem.Slice(dst.Off+done, chunk), px.fabric.HostRAM.Slice(loc.Off+inPage, chunk))
+		if t := px.fabric.StreamAsync(p, nil, dst.Dev, chunk); t > latest {
 			latest = t
 		}
-		chainBytes += pc.n
+		chainBytes += chunk
+		done += chunk
 	}
 	endChain()
 	return nil
+}
+
+// overlapFillers caps the parallel NVMe fill procs per fill job. Four
+// keeps enough commands in flight to hide the per-command doorbell,
+// submission latency, and interrupt behind the flash's own service time;
+// past that the flash array is the bottleneck.
+const overlapFillers = 4
+
+// fillJob tracks one batch of background page fills.
+type fillJob struct {
+	wg  *sim.WaitGroup
+	err error // first fill error, if any
+}
+
+// startFill claims the missing cache pages of [off, off+n) of f and
+// spawns up to procs parallel filler procs that read them from disk.
+// Pages already resident or being filled by another proc are skipped.
+// Each page is published (pendingFill cleared + broadcast) the moment its
+// disk read lands, so a concurrent pushFromCache streams page k over PCIe
+// while page k+1 is still on the flash. On a fill error the filler drops
+// its remaining claims (and their garbage frames) so no waiter wedges.
+func (px *FSProxy) startFill(p *sim.Proc, f *fs.File, off, n int64, procs int) *fillJob {
+	job := &fillJob{wg: sim.NewWaitGroup("fsproxy-fill")}
+	limit := px.alignedLimit(f)
+	if off+n > limit {
+		n = limit - off
+	}
+	if n <= 0 {
+		return job
+	}
+	ino := f.Ino()
+	type fill struct {
+		blk   int64
+		frame pcie.Loc
+	}
+	var fills []fill
+	for blk := off / cache.PageSize; blk <= (off+n-1)/cache.PageSize; blk++ {
+		k := pageKey{ino: ino, blk: blk}
+		if px.pendingFill[k] {
+			continue // another proc is on it; pushFromCache will wait
+		}
+		if _, ok := px.Cache.Lookup(ino, blk); ok {
+			continue
+		}
+		px.pendingFill[k] = true
+		fills = append(fills, fill{blk: blk, frame: px.Cache.Insert(ino, blk)})
+	}
+	if len(fills) == 0 {
+		return job
+	}
+	if procs > len(fills) {
+		procs = len(fills)
+	}
+	// Deal contiguous strides so each filler issues mostly-sequential
+	// disk reads.
+	per := (len(fills) + procs - 1) / procs
+	for w := 0; w < procs; w++ {
+		lo := w * per
+		hi := min(lo+per, len(fills))
+		if lo >= hi {
+			break
+		}
+		span := fills[lo:hi]
+		job.wg.Add(1)
+		p.Spawn(fmt.Sprintf("fsproxy-fill-%d", w), func(fp *sim.Proc) {
+			defer fp.DoneWG(job.wg)
+			sp := px.tel.Start(fp, "controlplane.fsproxy.fill")
+			sp.TagInt("pages", int64(len(span)))
+			defer sp.End(fp)
+			for i, fl := range span {
+				pOff := fl.blk * cache.PageSize
+				sz := min(int64(cache.PageSize), limit-pOff)
+				if err := f.ReadTo(fp, pOff, sz, fl.frame, px.Coalesce); err != nil {
+					if job.err == nil {
+						job.err = err
+					}
+					for _, rest := range span[i:] {
+						px.Cache.InvalidateRange(ino, rest.blk*cache.PageSize, cache.PageSize)
+						delete(px.pendingFill, pageKey{ino: ino, blk: rest.blk})
+					}
+					fp.Broadcast(px.fillCond)
+					return
+				}
+				delete(px.pendingFill, pageKey{ino: ino, blk: fl.blk})
+				fp.Broadcast(px.fillCond)
+			}
+		})
+	}
+	return job
+}
+
+// bufferedReadOverlap is bufferedRead with the storage and transport legs
+// overlapped: parallel fillers pull the missing pages from the flash
+// while pushFromCache streams pages to the co-processor as each becomes
+// ready, double-buffering at model.DMAChainBytes granularity through the
+// chain loop.
+func (px *FSProxy) bufferedReadOverlap(p *sim.Proc, of *openFile, off, n int64, dst pcie.Loc) error {
+	sp := px.tel.Start(p, "controlplane.fsproxy.read_overlap")
+	sp.TagInt("bytes", n)
+	defer sp.End(p)
+	job := px.startFill(p, of.f, off, n, overlapFillers)
+	err := px.pushFromCache(p, of, off, n, dst)
+	p.WaitWG(job.wg)
+	if job.err != nil {
+		return job.err // root cause; the push error is its consequence
+	}
+	return err
+}
+
+// readahead serves a Treadahead hint: warm the cache for [off, off+n) in
+// the background and return immediately. Purely advisory — a no-op when
+// the cache is off, and fill errors are dropped.
+func (px *FSProxy) readahead(p *sim.Proc, of *openFile, off, n int64) {
+	if px.DisableCache || n <= 0 || off >= of.f.Size() {
+		return
+	}
+	f := of.f
+	p.Spawn("fsproxy-readahead", func(rp *sim.Proc) {
+		sp := px.tel.Start(rp, "controlplane.fsproxy.readahead")
+		sp.TagInt("bytes", n)
+		job := px.startFill(rp, f, off, n, overlapFillers)
+		rp.WaitWG(job.wg)
+		sp.End(rp)
+	})
 }
 
 // pushHostToPhi moves n bytes of host memory to co-processor memory using

@@ -50,6 +50,21 @@ type Config struct {
 	ForceP2P bool
 	// DisableCache bypasses the shared buffer cache (ablation).
 	DisableCache bool
+	// Pipeline makes data-plane FS stubs split large reads/writes into a
+	// sliding window of in-flight chunk RPCs with sequential readahead
+	// (default off; ablation for the pipeline bench).
+	Pipeline bool
+	// PipelineWindow bounds in-flight chunk RPCs per call (default 4).
+	PipelineWindow int
+	// PipelineChunkBytes sets the pipelined chunk size (default 256 KB).
+	PipelineChunkBytes int64
+	// BatchRecv drains RPC rings in combiner-amortized batches: the
+	// proxy's serve loops and the data-plane dispatchers use RecvBatch
+	// instead of Recv (default off).
+	BatchRecv bool
+	// Overlap double-buffers the proxy's buffered reads so NVMe fills
+	// proceed under PCIe streaming (default off).
+	Overlap bool
 	// RingOptions overrides transport ring parameters.
 	RingOptions transport.Options
 	// LinkGenScale multiplies co-processor PCIe link bandwidth (1 =
@@ -160,10 +175,15 @@ func NewMachine(cfg Config) *Machine {
 		dev := fab.AddDevice(fmt.Sprintf("phi%d", i), socket, cfg.PhiMemBytes,
 			scale*model.LinkBWPhiToHost, scale*model.LinkBWHostToPhi)
 		conn, reqPort, respPort := dataplane.NewConn(fab, dev, cfg.RingOptions)
+		conn.BatchRecv = cfg.BatchRecv
+		fsc := dataplane.NewFSClient(conn)
+		fsc.Pipeline = cfg.Pipeline
+		fsc.Window = cfg.PipelineWindow
+		fsc.ChunkBytes = cfg.PipelineChunkBytes
 		m.Phis = append(m.Phis, &Phi{
 			Dev:       dev,
 			Conn:      conn,
-			FS:        dataplane.NewFSClient(conn),
+			FS:        fsc,
 			Pool:      cpu.PhiPool(),
 			proxyReq:  reqPort,
 			proxyResp: respPort,
@@ -188,6 +208,8 @@ func (m *Machine) boot(p *sim.Proc) {
 	m.FSProxy.Coalesce = !m.cfg.CoalesceOff
 	m.FSProxy.ForceP2P = m.cfg.ForceP2P
 	m.FSProxy.DisableCache = m.cfg.DisableCache
+	m.FSProxy.BatchRecv = m.cfg.BatchRecv
+	m.FSProxy.Overlap = m.cfg.Overlap
 	for _, phi := range m.Phis {
 		m.FSProxy.Attach(phi.Dev, phi.proxyReq, phi.proxyResp)
 		phi.Conn.Start(p)

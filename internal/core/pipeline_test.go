@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"solros/internal/ninep"
+	"solros/internal/sim"
+)
+
+// Correctness of the pipelined delegated-I/O path (ISSUE 2): with
+// windowed chunk RPCs, batched ring dequeue, and overlapped proxy fills
+// all on, reads and writes must still move exactly the right bytes.
+
+// pipelineConfig turns every pipelining mechanism on with a small chunk
+// size so even modest transfers exercise multi-chunk windows.
+func pipelineConfig() Config {
+	return Config{
+		Pipeline:           true,
+		BatchRecv:          true,
+		Overlap:            true,
+		PipelineWindow:     4,
+		PipelineChunkBytes: 64 << 10,
+		ProxyWorkers:       8,
+	}
+}
+
+// pattern fills n deterministic bytes from a tiny LCG, seeded so distinct
+// regions are distinguishable.
+func pattern(seed uint32, n int64) []byte {
+	out := make([]byte, n)
+	x := seed
+	for i := range out {
+		x = x*1664525 + 1013904223
+		out[i] = byte(x >> 24)
+	}
+	return out
+}
+
+func TestPipelinedWriteReadByteForByte(t *testing.T) {
+	// Odd length: several chunks plus an unaligned tail.
+	const n = 3<<20 + 1234
+	want := pattern(7, n)
+	m := NewMachine(pipelineConfig())
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		phi := m.Phis[0]
+		fd, err := phi.FS.Open(p, "/pipe", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wbuf := phi.FS.AllocBuffer(n)
+		copy(wbuf.Data, want)
+		if wn, err := phi.FS.Write(p, fd, 0, wbuf, n); err != nil || wn != n {
+			t.Errorf("pipelined write: n=%d err=%v, want %d nil", wn, err, int64(n))
+			return
+		}
+		// Read the whole file back through the pipelined path...
+		rbuf := phi.FS.AllocBuffer(n)
+		if rn, err := phi.FS.Read(p, fd, 0, rbuf, n); err != nil || rn != n {
+			t.Errorf("pipelined read: n=%d err=%v, want %d nil", rn, err, int64(n))
+			return
+		}
+		if !bytes.Equal(rbuf.Data[:n], want) {
+			t.Error("pipelined read bytes differ from written pattern")
+		}
+		// ...and an unaligned interior slice.
+		const off, sn = 12345, 1<<20 + 7
+		sbuf := phi.FS.AllocBuffer(sn)
+		if rn, err := phi.FS.Read(p, fd, off, sbuf, sn); err != nil || rn != sn {
+			t.Errorf("interior read: n=%d err=%v, want %d nil", rn, err, int64(sn))
+			return
+		}
+		if !bytes.Equal(sbuf.Data[:sn], want[off:off+sn]) {
+			t.Error("interior pipelined read bytes differ")
+		}
+		// The sync path must agree byte for byte with the pipelined one.
+		phi.FS.Pipeline = false
+		cbuf := phi.FS.AllocBuffer(n)
+		if rn, err := phi.FS.Read(p, fd, 0, cbuf, n); err != nil || rn != n {
+			t.Errorf("sync reference read: n=%d err=%v", rn, err)
+			return
+		}
+		phi.FS.Pipeline = true
+		if !bytes.Equal(cbuf.Data[:n], rbuf.Data[:n]) {
+			t.Error("sync and pipelined reads disagree")
+		}
+		if err := phi.FS.Close(p, fd); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestPipelinedReadClampsAtEOF(t *testing.T) {
+	const size = 1 << 20 // file size
+	const tail = 128 << 10
+	want := pattern(11, size)
+	m := NewMachine(pipelineConfig())
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		phi := m.Phis[0]
+		fd, err := phi.FS.Open(p, "/eof", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wbuf := phi.FS.AllocBuffer(size)
+		copy(wbuf.Data, want)
+		if _, err := phi.FS.Write(p, fd, 0, wbuf, size); err != nil {
+			t.Error(err)
+			return
+		}
+		// Ask for a full window past the end: only the tail comes back.
+		const ask = 1 << 20
+		rbuf := phi.FS.AllocBuffer(ask)
+		rn, err := phi.FS.Read(p, fd, size-tail, rbuf, ask)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rn != tail {
+			t.Errorf("read past EOF returned %d bytes, want %d", rn, int64(tail))
+			return
+		}
+		if !bytes.Equal(rbuf.Data[:tail], want[size-tail:]) {
+			t.Error("EOF-clamped read bytes differ")
+		}
+	})
+}
+
+// TestPipelinedSequentialSweepWithReadahead walks the file front to back in
+// window-sized steps, the access pattern that triggers Treadahead hints, and
+// checks every step byte for byte (readahead-claimed pages must be waited
+// on, never served empty).
+func TestPipelinedSequentialSweepWithReadahead(t *testing.T) {
+	const size = 4 << 20
+	const step = 256 << 10
+	want := pattern(23, size)
+	m := NewMachine(pipelineConfig())
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		phi := m.Phis[0]
+		fd, err := phi.FS.Open(p, "/sweep", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wbuf := phi.FS.AllocBuffer(size)
+		copy(wbuf.Data, want)
+		if _, err := phi.FS.Write(p, fd, 0, wbuf, size); err != nil {
+			t.Error(err)
+			return
+		}
+		rbuf := phi.FS.AllocBuffer(step)
+		for off := int64(0); off < size; off += step {
+			rn, err := phi.FS.Read(p, fd, off, rbuf, step)
+			if err != nil || rn != step {
+				t.Errorf("sweep read at %d: n=%d err=%v", off, rn, err)
+				return
+			}
+			if !bytes.Equal(rbuf.Data[:step], want[off:off+step]) {
+				t.Errorf("sweep read at %d differs", off)
+				return
+			}
+		}
+		if err := phi.FS.Close(p, fd); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestPipelineOptionsDeterministic reruns an identical pipelined workload
+// and demands the same virtual end time: windowing, batching, and overlap
+// must not introduce scheduling nondeterminism.
+func TestPipelineOptionsDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		m := NewMachine(pipelineConfig())
+		m.MustRun(func(p *sim.Proc, m *Machine) {
+			phi := m.Phis[0]
+			fd, err := phi.FS.Open(p, "/det", ninep.OCreate|ninep.OBuffer)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := phi.FS.AllocBuffer(2 << 20)
+			if _, err := phi.FS.Write(p, fd, 0, buf, 2<<20); err != nil {
+				t.Error(err)
+				return
+			}
+			Parallel(p, 4, "reader", func(i int, wp *sim.Proc) {
+				rbuf := phi.FS.AllocBuffer(512 << 10)
+				for off := int64(0); off < 2<<20; off += 512 << 10 {
+					if _, err := phi.FS.Read(wp, fd, off, rbuf, 512<<10); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			})
+		})
+		return m.Engine.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical pipelined runs ended at %v and %v", a, b)
+	}
+}

@@ -115,3 +115,81 @@ func TestNetRingPlacement(t *testing.T) {
 		t.Fatal("stub and proxy ports must share rings")
 	}
 }
+
+func TestCallAsyncWindowRoutesByTag(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, respPort := NewConn(fab, phi, transport.Options{CapBytes: 1 << 20})
+	conn.BatchRecv = true
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		echoProxy(p, reqPort, respPort)
+		// One proc issues a whole window of async calls before reaping any;
+		// each response must still land on its own Pending.
+		const window = 8
+		var pds [window]*Pending
+		for i := range pds {
+			pds[i] = conn.CallAsync(p, &ninep.Msg{Type: ninep.Topen, Fid: uint32(200 + i)})
+		}
+		for i, pd := range pds {
+			resp, err := conn.Wait(p, pd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Size != int64(200+i) {
+				t.Errorf("pending %d reaped response for fid %d", i, resp.Size)
+			}
+		}
+		conn.Close(p)
+	})
+	e.MustRun()
+}
+
+// TestTagWraparoundSkipsBusyTags is the regression test for the uint16 tag
+// counter: wrapping past 65535 must skip tag 0 and any tag still in flight
+// instead of handing out a duplicate.
+func TestTagWraparoundSkipsBusyTags(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, respPort := NewConn(fab, phi, transport.Options{CapBytes: 1 << 20})
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		echoProxy(p, reqPort, respPort)
+		// White-box: park the counter at the top of the space with two
+		// busy tags in its path.
+		conn.nextTag = 65534
+		conn.pending[65535] = &call{cond: sim.NewCond("busy-hi")}
+		conn.pending[1] = &call{cond: sim.NewCond("busy-lo")}
+		if tag := conn.allocTag(); tag != 2 {
+			t.Errorf("allocTag = %d, want 2 (skip busy 65535, reserved 0, busy 1)", tag)
+		}
+		delete(conn.pending, 65535)
+		delete(conn.pending, 1)
+		// End to end: real calls across the wrap still route correctly.
+		conn.nextTag = 65530
+		wg := sim.NewWaitGroup("wrap-callers")
+		wg.Add(16)
+		for i := 0; i < 16; i++ {
+			fid := uint32(i + 300)
+			p.Spawn("wrap-caller", func(cp *sim.Proc) {
+				defer cp.DoneWG(wg)
+				resp, err := conn.Call(cp, &ninep.Msg{Type: ninep.Topen, Fid: fid})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.Size != int64(fid) {
+					t.Errorf("caller %d got response for fid %d", fid, resp.Size)
+				}
+			})
+		}
+		p.WaitWG(wg)
+		if conn.nextTag < 1 || conn.nextTag > 20 {
+			t.Errorf("nextTag = %d after 16 calls from 65530, expected wrap into low tags", conn.nextTag)
+		}
+		conn.Close(p)
+	})
+	e.MustRun()
+}

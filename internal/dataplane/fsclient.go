@@ -17,12 +17,63 @@ type FSClient struct {
 	conn *Conn
 	fids map[uint32]*fidState
 	next uint32
+
+	// Pipeline splits reads and writes larger than ChunkBytes into a
+	// sliding window of Window in-flight chunk RPCs and posts a
+	// readahead hint after sequential reads, overlapping the proxy's
+	// storage leg with the transport leg. Default off: one blocking RPC
+	// per call, exactly the paper's 1:1 mapping.
+	Pipeline bool
+	// Window bounds the in-flight chunk RPCs (default 4).
+	Window int
+	// ChunkBytes is the pipelined chunk size (default 256 KB).
+	ChunkBytes int64
 }
 
 type fidState struct {
 	path  string
 	flags uint32
 	size  int64
+
+	seqEnd int64    // end offset of the previous read, for sequential detection
+	ra     *Pending // outstanding readahead hint, reaped before the next one
+}
+
+const (
+	defaultWindow     = 4
+	defaultChunkBytes = 256 << 10
+	// chunkAlign keeps interior chunk boundaries on fs.BlockSize (4 KB)
+	// boundaries so concurrent chunk writes never read-modify-write the
+	// same disk block from two proxy workers.
+	chunkAlign = 4096
+)
+
+func (c *FSClient) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return defaultWindow
+}
+
+func (c *FSClient) chunkBytes() int64 {
+	if c.ChunkBytes > 0 {
+		return c.ChunkBytes
+	}
+	return defaultChunkBytes
+}
+
+// chunkSize returns the next chunk's length at pos with remain bytes left:
+// at most ChunkBytes, trimmed so the chunk's end lands on a chunkAlign
+// boundary whenever another chunk will follow.
+func (c *FSClient) chunkSize(pos, remain int64) int64 {
+	sz := c.chunkBytes()
+	if sz >= remain {
+		return remain
+	}
+	if cut := (pos + sz) % chunkAlign; cut != 0 && sz > cut {
+		sz -= cut
+	}
+	return sz
 }
 
 // Fd is a data-plane file descriptor.
@@ -63,10 +114,16 @@ func (c *FSClient) Open(p *sim.Proc, path string, flags uint32) (Fd, error) {
 	return Fd(fid), nil
 }
 
-// Close releases a descriptor.
+// Close releases a descriptor, reaping any outstanding readahead hint
+// first so its tag cannot leak.
 func (c *FSClient) Close(p *sim.Proc, fd Fd) error {
-	if _, ok := c.fids[uint32(fd)]; !ok {
+	st, ok := c.fids[uint32(fd)]
+	if !ok {
 		return fmt.Errorf("dataplane: bad fd %d", fd)
+	}
+	if st.ra != nil {
+		c.conn.Wait(p, st.ra)
+		st.ra = nil
 	}
 	_, err := c.conn.Call(p, &ninep.Msg{Type: ninep.Tclose, Fid: uint32(fd)})
 	delete(c.fids, uint32(fd))
@@ -75,11 +132,16 @@ func (c *FSClient) Close(p *sim.Proc, fd Fd) error {
 
 // Read reads n bytes at off into buf (co-processor memory), returning the
 // bytes read. The RPC carries buf's physical address; data lands in buf by
-// device DMA without staging through this stub.
+// device DMA without staging through this stub. With Pipeline set, reads
+// larger than one chunk go out as a sliding window of chunk RPCs.
 func (c *FSClient) Read(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (int64, error) {
 	if n > int64(len(buf.Data)) {
 		return 0, fmt.Errorf("dataplane: read %d into %d-byte buffer", n, len(buf.Data))
 	}
+	if c.Pipeline && n > c.chunkBytes() {
+		return c.readPipelined(p, fd, off, buf, n)
+	}
+	c.maybeReadahead(p, fd, off, n)
 	resp, err := c.conn.Call(p, &ninep.Msg{
 		Type: ninep.Tread, Fid: uint32(fd), Off: off, Count: n, Addr: buf.Addr,
 	})
@@ -89,12 +151,70 @@ func (c *FSClient) Read(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (int
 	return resp.Count, nil
 }
 
+// readPipelined streams one large read as a window of chunk RPCs. Chunks
+// land directly at their final buffer offsets, so completion order does
+// not matter for data placement; counts are summed in issue order and stop
+// at the first short chunk (EOF — every later chunk is past the end).
+func (c *FSClient) readPipelined(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (int64, error) {
+	sp := c.conn.tel.Start(p, "dataplane.fs.read_pipelined")
+	sp.TagInt("bytes", n)
+	defer sp.End(p)
+	c.maybeReadahead(p, fd, off, n)
+	type chunk struct {
+		pd       *Pending
+		off, len int64 // relative to the read's start
+	}
+	var (
+		window   = c.window()
+		q        []chunk
+		issued   int64
+		total    int64
+		firstErr error
+		short    bool
+	)
+	for {
+		for firstErr == nil && !short && issued < n && len(q) < window {
+			sz := c.chunkSize(off+issued, n-issued)
+			pd := c.conn.CallAsync(p, &ninep.Msg{
+				Type: ninep.Tread, Fid: uint32(fd), Off: off + issued, Count: sz, Addr: buf.Addr + issued,
+			})
+			q = append(q, chunk{pd: pd, off: issued, len: sz})
+			issued += sz
+		}
+		if len(q) == 0 {
+			break
+		}
+		head := q[0]
+		q = q[1:]
+		resp, err := c.conn.Wait(p, head.pd)
+		switch {
+		case err != nil:
+			if firstErr == nil {
+				firstErr = err
+			}
+		case firstErr == nil && total == head.off:
+			total += resp.Count
+			if resp.Count < head.len {
+				short = true
+			}
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return total, nil
+}
+
 // Write writes the first n bytes of buf at off. The caller must have
 // placed the payload in buf.Data beforehand (it is the application's own
-// memory).
+// memory). With Pipeline set, large writes go out as a window of chunk
+// RPCs whose interior boundaries are block-aligned (see chunkSize).
 func (c *FSClient) Write(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (int64, error) {
 	if n > int64(len(buf.Data)) {
 		return 0, fmt.Errorf("dataplane: write %d from %d-byte buffer", n, len(buf.Data))
+	}
+	if c.Pipeline && n > c.chunkBytes() {
+		return c.writePipelined(p, fd, off, buf, n)
 	}
 	resp, err := c.conn.Call(p, &ninep.Msg{
 		Type: ninep.Twrite, Fid: uint32(fd), Off: off, Count: n, Addr: buf.Addr,
@@ -106,6 +226,89 @@ func (c *FSClient) Write(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (in
 		st.size = off + resp.Count
 	}
 	return resp.Count, nil
+}
+
+// writePipelined is readPipelined's mirror for writes.
+func (c *FSClient) writePipelined(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (int64, error) {
+	sp := c.conn.tel.Start(p, "dataplane.fs.write_pipelined")
+	sp.TagInt("bytes", n)
+	defer sp.End(p)
+	type chunk struct {
+		pd       *Pending
+		off, len int64
+	}
+	var (
+		window   = c.window()
+		q        []chunk
+		issued   int64
+		total    int64
+		firstErr error
+		short    bool
+	)
+	for {
+		for firstErr == nil && !short && issued < n && len(q) < window {
+			sz := c.chunkSize(off+issued, n-issued)
+			pd := c.conn.CallAsync(p, &ninep.Msg{
+				Type: ninep.Twrite, Fid: uint32(fd), Off: off + issued, Count: sz, Addr: buf.Addr + issued,
+			})
+			q = append(q, chunk{pd: pd, off: issued, len: sz})
+			issued += sz
+		}
+		if len(q) == 0 {
+			break
+		}
+		head := q[0]
+		q = q[1:]
+		resp, err := c.conn.Wait(p, head.pd)
+		switch {
+		case err != nil:
+			if firstErr == nil {
+				firstErr = err
+			}
+		case firstErr == nil && total == head.off:
+			total += resp.Count
+			if resp.Count < head.len {
+				short = true
+			}
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if st := c.fids[uint32(fd)]; st != nil && off+total > st.size {
+		st.size = off + total
+	}
+	return total, nil
+}
+
+// maybeReadahead posts a Treadahead hint covering the window after a
+// sequential read, so the proxy's cache fill for the *next* request runs
+// while this one's data is still streaming over PCIe. The hint is
+// advisory and fire-and-forget; the previous hint's (immediate) reply is
+// reaped here to keep at most one outstanding.
+func (c *FSClient) maybeReadahead(p *sim.Proc, fd Fd, off, n int64) {
+	if !c.Pipeline {
+		return
+	}
+	st := c.fids[uint32(fd)]
+	if st == nil {
+		return
+	}
+	sequential := off == st.seqEnd
+	st.seqEnd = off + n
+	if !sequential || n == 0 {
+		return
+	}
+	if st.ra != nil {
+		c.conn.Wait(p, st.ra) // hint replies immediately; errors are advisory
+		st.ra = nil
+	}
+	raOff := off + n
+	if st.size > 0 && raOff >= st.size {
+		return
+	}
+	raN := int64(c.window()) * c.chunkBytes()
+	st.ra = c.conn.CallAsync(p, &ninep.Msg{Type: ninep.Treadahead, Fid: uint32(fd), Off: raOff, Count: raN})
 }
 
 // Stat returns file metadata.

@@ -32,17 +32,33 @@ type Conn struct {
 	req  *transport.Port // stub -> proxy
 	resp *transport.Port // proxy -> stub
 
+	// BatchRecv makes the dispatcher drain the response ring with
+	// RecvBatch, amortizing combiner and PCIe costs across completions
+	// arriving close together (pipelined chunk reads). Set before Start.
+	BatchRecv bool
+
 	nextTag uint16
 	pending map[uint16]*call
 	started bool
 
-	tel      *telemetry.Sink
-	telCalls *telemetry.Counter
+	tel         *telemetry.Sink
+	telCalls    *telemetry.Counter
+	telInflight *telemetry.Gauge
 }
 
 type call struct {
 	resp *ninep.Msg
 	cond *sim.Cond
+}
+
+// Pending is a handle to an RPC issued with CallAsync; redeem it with
+// Wait. Handles are single-use and must each be waited exactly once, or
+// the tag leaks.
+type Pending struct {
+	tag   uint16
+	typ   ninep.MsgType
+	begin sim.Time
+	pc    *call
 }
 
 // NewConn builds the ring pair for a co-processor on the fabric. Both
@@ -61,6 +77,7 @@ func NewConn(f *pcie.Fabric, phi *pcie.Device, opt transport.Options) (*Conn, *t
 	if tel := f.Telemetry(); tel != nil {
 		c.tel = tel
 		c.telCalls = tel.Counter("dataplane.calls")
+		c.telInflight = tel.Gauge("dataplane.inflight_window")
 	}
 	return c, reqRing.Port(nil, cpu.Host), respRing.Port(nil, cpu.Host)
 }
@@ -73,57 +90,117 @@ func (c *Conn) Start(p *sim.Proc) {
 	}
 	c.started = true
 	p.Spawn(c.Phi.Name+"-dispatcher", func(dp *sim.Proc) {
+		single := make([][]byte, 1)
 		for {
-			raw, ok := c.resp.Recv(dp)
-			if !ok {
-				// Wake every waiter with an error response.
-				for tag, pc := range c.pending {
-					pc.resp = &ninep.Msg{Type: ninep.Rerror, Tag: tag, Err: "connection closed"}
-					dp.Broadcast(pc.cond)
+			var raws [][]byte
+			if c.BatchRecv {
+				batch, ok := c.resp.RecvBatch(dp, 0)
+				if !ok {
+					c.failPending(dp)
+					return
 				}
-				return
+				raws = batch
+			} else {
+				raw, ok := c.resp.Recv(dp)
+				if !ok {
+					c.failPending(dp)
+					return
+				}
+				single[0] = raw
+				raws = single
 			}
-			m, err := ninep.Decode(raw)
-			if err != nil {
-				panic("dataplane: corrupt response: " + err.Error())
+			for _, raw := range raws {
+				m, err := ninep.Decode(raw)
+				if err != nil {
+					panic("dataplane: corrupt response: " + err.Error())
+				}
+				pc, ok := c.pending[m.Tag]
+				if !ok {
+					panic(fmt.Sprintf("dataplane: response for unknown tag %d", m.Tag))
+				}
+				pc.resp = m
+				dp.Signal(pc.cond)
 			}
-			pc, ok := c.pending[m.Tag]
-			if !ok {
-				panic(fmt.Sprintf("dataplane: response for unknown tag %d", m.Tag))
-			}
-			pc.resp = m
-			dp.Signal(pc.cond)
 		}
 	})
+}
+
+// failPending wakes every waiter with an error response at teardown.
+// Responses that already arrived are kept so completed-but-unreaped async
+// calls still return their real result.
+func (c *Conn) failPending(dp *sim.Proc) {
+	for tag, pc := range c.pending {
+		if pc.resp == nil {
+			pc.resp = &ninep.Msg{Type: ninep.Rerror, Tag: tag, Err: "connection closed"}
+		}
+		dp.Broadcast(pc.cond)
+	}
+}
+
+// allocTag hands out the next request tag, skipping tags still held by
+// in-flight calls: nextTag is a uint16, so after 65k calls a naive
+// increment would collide with a pending tag and panic the dispatcher.
+// Tag 0 stays reserved (the first tag ever issued is 1).
+func (c *Conn) allocTag() uint16 {
+	if len(c.pending) >= (1<<16)-1 {
+		panic("dataplane: all 65535 tags in flight")
+	}
+	for {
+		c.nextTag++
+		if c.nextTag == 0 {
+			continue
+		}
+		if _, busy := c.pending[c.nextTag]; !busy {
+			return c.nextTag
+		}
+	}
+}
+
+// CallAsync sends m and returns a Pending handle without waiting for the
+// response; redeem it with Wait. The stub cost charged here is the same
+// per-syscall data-plane contribution Call pays (Figure 13a) — pipelining
+// overlaps the remote legs, not the local marshal.
+func (c *Conn) CallAsync(p *sim.Proc, m *ninep.Msg) *Pending {
+	if !c.started {
+		panic("dataplane: Call before Start")
+	}
+	begin := p.Now()
+	p.Advance(model.FSStubCost)
+	tag := c.allocTag()
+	m.Tag = tag
+	pc := &call{cond: sim.NewCond(fmt.Sprintf("rpc-tag-%d", tag))}
+	c.pending[tag] = pc
+	c.telInflight.Set(int64(len(c.pending)))
+	c.req.Send(p, m.Encode())
+	return &Pending{tag: tag, typ: m.Type, begin: begin, pc: pc}
+}
+
+// Wait blocks until pd's response arrives, releases its tag, and returns
+// the response (or its Rerror as a Go error).
+func (c *Conn) Wait(p *sim.Proc, pd *Pending) (*ninep.Msg, error) {
+	for pd.pc.resp == nil {
+		p.Wait(pd.pc.cond)
+	}
+	delete(c.pending, pd.tag)
+	c.telInflight.Set(int64(len(c.pending)))
+	c.telCalls.Add(1)
+	c.tel.Histogram("dataplane.rpc." + pd.typ.String()).Observe(p.Now() - pd.begin)
+	if err := pd.pc.resp.Error(); err != nil {
+		return nil, err
+	}
+	return pd.pc.resp, nil
 }
 
 // Call sends m and blocks until its response arrives. The stub cost
 // charged here is the whole data-plane OS contribution per syscall
 // (Figure 13a): marshal, ring operation, demultiplex.
 func (c *Conn) Call(p *sim.Proc, m *ninep.Msg) (*ninep.Msg, error) {
-	if !c.started {
-		panic("dataplane: Call before Start")
-	}
 	sp := c.tel.Start(p, "dataplane.call")
 	sp.Tag("type", m.Type.String())
-	begin := p.Now()
-	p.Advance(model.FSStubCost)
-	c.nextTag++
-	m.Tag = c.nextTag
-	pc := &call{cond: sim.NewCond(fmt.Sprintf("rpc-tag-%d", m.Tag))}
-	c.pending[m.Tag] = pc
-	c.req.Send(p, m.Encode())
-	for pc.resp == nil {
-		p.Wait(pc.cond)
-	}
-	delete(c.pending, m.Tag)
-	c.telCalls.Add(1)
-	c.tel.Histogram("dataplane.rpc." + m.Type.String()).Observe(p.Now() - begin)
+	pd := c.CallAsync(p, m)
+	resp, err := c.Wait(p, pd)
 	sp.End(p)
-	if err := pc.resp.Error(); err != nil {
-		return nil, err
-	}
-	return pc.resp, nil
+	return resp, err
 }
 
 // RingStats reports request-ring messages sent, response-ring messages

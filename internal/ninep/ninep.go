@@ -48,6 +48,12 @@ const (
 	Tlink
 	Rlink
 	Rerror
+	// Treadahead is a Solros extension: an advisory hint that
+	// [Off, Off+Count) will be read soon. The proxy warms the shared
+	// buffer cache in the background and replies immediately; errors
+	// during the fill are dropped, never reported.
+	Treadahead
+	Rreadahead
 )
 
 var typeNames = map[MsgType]string{
@@ -58,7 +64,8 @@ var typeNames = map[MsgType]string{
 	Ttrunc: "Ttrunc", Rtrunc: "Rtrunc", Tsync: "Tsync", Rsync: "Rsync",
 	Tclose: "Tclose", Rclose: "Rclose", Trename: "Trename", Rrename: "Rrename",
 	Tlink: "Tlink", Rlink: "Rlink",
-	Rerror: "Rerror",
+	Rerror:     "Rerror",
+	Treadahead: "Treadahead", Rreadahead: "Rreadahead",
 }
 
 func (t MsgType) String() string {

@@ -141,6 +141,7 @@ type Ring struct {
 	telSendBlock *telemetry.Counter
 	telRecvBlock *telemetry.Counter
 	telCombine   *telemetry.Hist
+	telBatchOut  *telemetry.Hist
 	telOccupancy *telemetry.Gauge
 }
 
@@ -173,6 +174,7 @@ func NewRing(f *pcie.Fabric, masterDev *pcie.Device, opt Options) *Ring {
 		r.telSendBlock = tel.Counter("transport.send_wouldblock")
 		r.telRecvBlock = tel.Counter("transport.recv_wouldblock")
 		r.telCombine = tel.HistogramN("transport.combine_batch")
+		r.telBatchOut = tel.HistogramN("transport.recv_batch_size")
 		r.telOccupancy = tel.Gauge("transport.ring_occupancy")
 	}
 	return r
@@ -341,6 +343,92 @@ func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 	sp.End(p)
 	p.Signal(r.spaceCond)
 	return buf, nil
+}
+
+// TryRecvBatch dequeues up to max ready elements (capped at Options.Batch;
+// max <= 0 means a full batch) in arrival order, under ONE combiner
+// acquisition and — in Lazy mode — at most one control-variable refresh
+// and one deferred flush. TryRecv pays those costs per element; draining k
+// elements here amortizes them k ways, which is the dequeue-side analogue
+// of the paper's combining argument (§4.2). Returns ErrWouldBlock when
+// nothing is ready.
+func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
+	r := pt.ring
+	if max <= 0 || max > r.opt.Batch {
+		max = r.opt.Batch
+	}
+	sp := r.tel.Start(p, "transport.recv_batch")
+	combineEnter(p, &r.deq)
+	if r.opt.Update == Eager {
+		pt.remoteTxn(p)
+		pt.remoteTxn(p)
+	}
+	var ents []*entry
+	for len(ents) < max {
+		ent, ok := r.take()
+		if !ok {
+			if len(ents) == 0 && r.opt.Update == Lazy {
+				// Refresh the tail replica once and retry (poll across
+				// the bus) — never again mid-batch: whatever became
+				// visible is what this batch drains.
+				pt.remoteTxn(p)
+				if ent, ok = r.take(); ok {
+					ents = append(ents, ent)
+					continue
+				}
+			}
+			break
+		}
+		ents = append(ents, ent)
+	}
+	// The drain counts as len(ents) combining ops that shared one pass;
+	// credit the extras so Lazy keeps its flush-once-per-Batch cadence.
+	if len(ents) > 1 {
+		r.deq.opsInBatch += len(ents) - 1
+	}
+	pt.combineExit(p, &r.deq, r.opt.Batch)
+	if len(ents) == 0 {
+		r.telRecvBlock.Add(1)
+		sp.Tag("result", "wouldblock")
+		sp.End(p)
+		return nil, ErrWouldBlock
+	}
+
+	msgs := make([][]byte, 0, len(ents))
+	var payload int64
+	for _, ent := range ents {
+		buf := make([]byte, ent.size)
+		loc := pcie.Loc{Dev: r.masterDev, Off: r.base + ent.off}
+		r.fabric.CopyOut(p, pt.dev, pt.kind, loc, buf, r.opt.Copy)
+		ent.state = entDone
+		payload += int64(ent.size)
+		msgs = append(msgs, buf)
+	}
+	r.received += int64(len(msgs))
+	r.telReceived.Add(int64(len(msgs)))
+	r.telBatchOut.Observe(sim.Time(len(msgs)))
+	r.telOccupancy.Set(int64(r.Len()))
+	sp.TagInt("count", int64(len(msgs)))
+	sp.TagInt("bytes", payload)
+	sp.End(p)
+	p.Broadcast(r.spaceCond)
+	return msgs, nil
+}
+
+// RecvBatch blocks until at least one element is available, then drains up
+// to max ready elements (see TryRecvBatch); ok is false once the ring is
+// closed and drained. Elements enqueued before Close remain receivable.
+func (pt *Port) RecvBatch(p *sim.Proc, max int) ([][]byte, bool) {
+	for {
+		msgs, err := pt.TryRecvBatch(p, max)
+		if err == nil {
+			return msgs, true
+		}
+		if pt.ring.closed {
+			return nil, false
+		}
+		p.Wait(pt.ring.dataCond)
+	}
 }
 
 // Recv blocks until an element is available and returns its payload; ok is

@@ -311,3 +311,88 @@ func TestMasterPlacementMatters(t *testing.T) {
 		t.Errorf("master at Phi (%.0f ops/s) should beat master at host (%.0f ops/s) for phi->host stream", atPhi, atHost)
 	}
 }
+
+func TestTryRecvBatchOrderAndPartial(t *testing.T) {
+	f, phi := newFabric()
+	ring := NewRing(f, phi, Options{CapBytes: 1 << 16, Slots: 64, Batch: 8})
+	sender := ring.Port(phi, cpu.Phi)
+	receiver := ring.Port(nil, cpu.Host)
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		if _, err := receiver.TryRecvBatch(p, 0); err != ErrWouldBlock {
+			t.Errorf("empty ring: err = %v, want ErrWouldBlock", err)
+		}
+		// Fewer ready than Batch: drain all five in one call, in FIFO order.
+		for i := 0; i < 5; i++ {
+			sender.Send(p, []byte{byte(i)})
+		}
+		msgs, err := receiver.TryRecvBatch(p, 0)
+		if err != nil || len(msgs) != 5 {
+			t.Fatalf("partial batch: got %d msgs err=%v, want 5 nil", len(msgs), err)
+		}
+		for i, m := range msgs {
+			if len(m) != 1 || m[0] != byte(i) {
+				t.Fatalf("msg %d = %v, out of order", i, m)
+			}
+		}
+		// max caps the drain; the remainder stays queued for the next call.
+		for i := 0; i < 6; i++ {
+			sender.Send(p, []byte{byte(10 + i)})
+		}
+		msgs, err = receiver.TryRecvBatch(p, 4)
+		if err != nil || len(msgs) != 4 || msgs[0][0] != 10 || msgs[3][0] != 13 {
+			t.Fatalf("capped batch: got %d msgs err=%v first/last=%v", len(msgs), err, msgs)
+		}
+		msgs, err = receiver.TryRecvBatch(p, 4)
+		if err != nil || len(msgs) != 2 || msgs[0][0] != 14 || msgs[1][0] != 15 {
+			t.Fatalf("remainder: got %d msgs err=%v", len(msgs), err)
+		}
+	})
+	e.MustRun()
+}
+
+func TestRecvBatchDrainsAfterClose(t *testing.T) {
+	f, phi := newFabric()
+	ring := NewRing(f, phi, Options{CapBytes: 1 << 16, Slots: 64, Batch: 8})
+	sender := ring.Port(phi, cpu.Phi)
+	receiver := ring.Port(nil, cpu.Host)
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			sender.Send(p, []byte{byte(i)})
+		}
+		sender.Close(p)
+		msgs, ok := receiver.RecvBatch(p, 0)
+		if !ok || len(msgs) != 3 {
+			t.Fatalf("after close: got %d msgs ok=%v, want queued 3 true", len(msgs), ok)
+		}
+		if msgs, ok = receiver.RecvBatch(p, 0); ok {
+			t.Fatalf("drained closed ring returned ok with %d msgs", len(msgs))
+		}
+	})
+	e.MustRun()
+}
+
+func TestRecvBatchBlocksUntilData(t *testing.T) {
+	f, phi := newFabric()
+	ring := NewRing(f, phi, Options{CapBytes: 1 << 16, Slots: 64, Batch: 8})
+	sender := ring.Port(phi, cpu.Phi)
+	receiver := ring.Port(nil, cpu.Host)
+	var arrived sim.Time
+	e := sim.NewEngine()
+	e.Spawn("sender", 0, func(p *sim.Proc) {
+		p.Advance(100 * sim.Microsecond)
+		sender.Send(p, []byte{42})
+	})
+	e.Spawn("receiver", 0, func(p *sim.Proc) {
+		msgs, ok := receiver.RecvBatch(p, 0)
+		if !ok || len(msgs) != 1 || msgs[0][0] != 42 {
+			t.Errorf("got %v ok=%v, want [[42]] true", msgs, ok)
+		}
+		arrived = p.Now()
+	})
+	e.MustRun()
+	if arrived < 100*sim.Microsecond {
+		t.Fatalf("receiver returned at %v, before the send at 100us", arrived)
+	}
+}
