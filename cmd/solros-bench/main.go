@@ -31,11 +31,15 @@ var (
 	csvOut     = flag.String("csv", "", "also append results as CSV to this file")
 	traceOut   = flag.String("trace", "", "write Chrome trace_event JSON here (\"-\" = stdout); enables telemetry")
 	metricsOut = flag.String("metrics", "", "write the text metrics report here (\"-\" = stdout); enables telemetry")
+	seed       = flag.Int64("seed", 42, "fault-plan seed for the chaos experiment")
+	quick      = flag.Bool("quick", false, "shrink the chaos workload to a smoke test (CI)")
 )
 
 func main() {
 	flag.Usage = usage
 	flag.Parse()
+	bench.Seed = *seed
+	bench.Quick = *quick
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
@@ -123,7 +127,7 @@ func writeTelemetry() {
 
 func usage() {
 	fmt.Println("solros-bench — regenerate the Solros paper's tables and figures")
-	fmt.Println("\nusage: solros-bench [-csv out.csv] [-trace out.json] [-metrics out.txt] <experiment>...")
+	fmt.Println("\nusage: solros-bench [-csv out.csv] [-trace out.json] [-metrics out.txt] [-seed n] [-quick] <experiment>...")
 	fmt.Println("\nexperiments:")
 	for _, e := range bench.Experiments {
 		fmt.Printf("  %-8s %s\n", e.ID, e.Desc)

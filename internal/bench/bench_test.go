@@ -152,6 +152,27 @@ func TestPipelineShape(t *testing.T) {
 	}
 }
 
+func TestChaosShape(t *testing.T) {
+	// The quick chaos run must show every fault class recovering: results
+	// byte-identical to the fault-free run, at least one recovery event,
+	// and a deterministic repeat.
+	defer func(q bool) { Quick = q }(Quick)
+	Quick = true
+	rows := Chaos()
+	for _, series := range []string{"nvme-errors", "nvme-slow", "link-degrade",
+		"ring-faults", "channel-crash", "everything"} {
+		if v := valueOf(t, rows, series, "identical"); v != 1 {
+			t.Errorf("%s: result diverged from the fault-free run", series)
+		}
+		if v := valueOf(t, rows, series, "recovered"); v <= 0 {
+			t.Errorf("%s: no recovery events — faults never fired", series)
+		}
+		if v := valueOf(t, rows, series, "deterministic"); v != 1 {
+			t.Errorf("%s: same seed did not reproduce the run", series)
+		}
+	}
+}
+
 func TestTable1CountsThisRepo(t *testing.T) {
 	rows := Table1()
 	total := valueOf(t, rows, "TOTAL", "impl")

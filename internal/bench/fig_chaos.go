@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"hash/fnv"
+
+	"solros/internal/core"
+	"solros/internal/faults"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+	"solros/internal/workload"
+)
+
+// Chaos experiment (ISSUE 3): run a write-then-verify workload under each
+// fault class of internal/faults and check the recovery machinery end to
+// end. Three properties per class:
+//
+//	identical      — the bytes read back match the fault-free run (1/0)
+//	recovered      — the class's recovery/injection counter (must be > 0
+//	                 for the faults to have been exercised at all)
+//	deterministic  — a second run with the same seed reproduces the same
+//	                 digest, duration, and counter value (1/0)
+//
+// Seed and Quick are set by cmd/solros-bench's -seed and -quick flags.
+var (
+	// Seed drives every chaos fault plan.
+	Seed int64 = 42
+	// Quick shrinks the workload (CI smoke) and raises fault rates so
+	// every class still fires on the smaller op count.
+	Quick bool
+)
+
+// Chaos measures recovery correctness per fault class.
+func Chaos() []Row {
+	fileBytes, chunk := int64(8<<20), int64(256<<10)
+	boost := 1.0
+	if Quick {
+		fileBytes, chunk = 1<<20, 128<<10
+		boost = 3.0
+	}
+
+	// Fault-free baseline: reference digest plus the workload's time
+	// window, which anchors the crash schedule.
+	base := chaosRun(nil, fileBytes, chunk, "")
+	span := base.end - base.start
+	crashes := []sim.Time{base.start + span/3, base.start + 2*span/3}
+	if Quick {
+		crashes = crashes[:1]
+	}
+
+	classes := []struct {
+		name    string
+		plan    faults.Plan
+		counter string
+	}{
+		{"nvme-errors",
+			faults.Plan{Seed: Seed, NVMeReadErrRate: 0.03 * boost, NVMeWriteErrRate: 0.03 * boost},
+			"controlplane.fsproxy.io_retries"},
+		{"nvme-slow",
+			faults.Plan{Seed: Seed, NVMeSlowRate: 0.20 * boost},
+			"faults.nvme.latency_spikes"},
+		{"link-degrade",
+			faults.Plan{Seed: Seed, LinkSlowRate: 0.10 * boost, LinkFlapRate: 0.05 * boost},
+			"faults.link.degrades"},
+		{"ring-faults",
+			faults.Plan{Seed: Seed, RingDropRate: 0.05 * boost, RingStallRate: 0.10 * boost},
+			"dataplane.retries"},
+		{"channel-crash",
+			faults.Plan{Seed: Seed, CrashTimes: crashes, CrashDowntime: 200 * sim.Microsecond},
+			"controlplane.fsproxy.reattaches"},
+		{"everything",
+			faults.Plan{Seed: Seed,
+				NVMeReadErrRate: 0.02 * boost, NVMeWriteErrRate: 0.02 * boost, NVMeSlowRate: 0.10 * boost,
+				LinkSlowRate: 0.05 * boost, LinkFlapRate: 0.02 * boost,
+				RingDropRate: 0.03 * boost, RingStallRate: 0.05 * boost,
+				CrashTimes: crashes, CrashDowntime: 200 * sim.Microsecond},
+			"controlplane.fsproxy.io_retries"},
+	}
+
+	var rows []Row
+	for _, c := range classes {
+		plan := c.plan
+		r1 := chaosRun(&plan, fileBytes, chunk, c.counter)
+		r2 := chaosRun(&plan, fileBytes, chunk, c.counter)
+		identical := 0.0
+		if r1.digest == base.digest {
+			identical = 1
+		}
+		deterministic := 0.0
+		if r1.digest == r2.digest && r1.end-r1.start == r2.end-r2.start && r1.counter == r2.counter {
+			deterministic = 1
+		}
+		rows = append(rows,
+			row("chaos", c.name, "identical", identical, "bool"),
+			row("chaos", c.name, "recovered", float64(r1.counter), "events"),
+			row("chaos", c.name, "deterministic", deterministic, "bool"),
+		)
+	}
+	return rows
+}
+
+type chaosResult struct {
+	digest     uint64
+	start, end sim.Time
+	counter    int64
+}
+
+// chaosRun writes a seeded corpus through co-processor 0's delegated-I/O
+// stub, reads it back, and digests what came over the wire. plan == nil is
+// the fault-free baseline. counter names the telemetry counter to report.
+func chaosRun(plan *faults.Plan, fileBytes, chunk int64, counter string) chaosResult {
+	tel := telemetry.New(telemetry.Options{MaxSpans: 1})
+	cfg := core.Config{
+		DiskBytes:   32 << 20,
+		Telemetry:   tel,
+		Faults:      plan,
+		RPCDeadline: 2 * sim.Millisecond,
+		RPCRetries:  8,
+	}
+	if plan == nil {
+		cfg.RPCDeadline, cfg.RPCRetries = 0, 0
+	}
+	var res chaosResult
+	m := core.NewMachine(cfg)
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		phi := mm.Phis[0]
+		fd, err := phi.FS.Open(p, "/chaos", ninep.OCreate)
+		if err != nil {
+			panic(err)
+		}
+		buf := phi.FS.AllocBuffer(chunk)
+		data := workload.Corpus(Seed, int(fileBytes))
+		res.start = p.Now()
+		for off := int64(0); off < fileBytes; off += chunk {
+			copy(buf.Data, data[off:off+chunk])
+			if _, err := phi.FS.Write(p, fd, off, buf, chunk); err != nil {
+				panic("chaos: write: " + err.Error())
+			}
+		}
+		h := fnv.New64a()
+		for off := int64(0); off < fileBytes; off += chunk {
+			for i := range buf.Data {
+				buf.Data[i] = 0 // stale data must not mask a lost read
+			}
+			if _, err := phi.FS.Read(p, fd, off, buf, chunk); err != nil {
+				panic("chaos: read: " + err.Error())
+			}
+			h.Write(buf.Data[:chunk])
+		}
+		res.digest = h.Sum64()
+		res.end = p.Now()
+		if err := phi.FS.Close(p, fd); err != nil {
+			panic("chaos: close: " + err.Error())
+		}
+	})
+	if counter != "" {
+		res.counter = tel.Counter(counter).Value()
+	}
+	return res
+}

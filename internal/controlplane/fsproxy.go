@@ -6,6 +6,7 @@
 package controlplane
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -69,7 +70,19 @@ type FSProxy struct {
 	// under the PCIe leg of chunk k. Default off.
 	Overlap bool
 
+	// RetryIO arms degraded-mode recovery: transient nvme.ErrMedia
+	// failures on disk legs are retried up to RetryIO times with
+	// exponential backoff, and a failed peer-to-peer DMA falls back to
+	// the buffered path instead of surfacing the error. Zero (the
+	// default) propagates every error unchanged, the paper's behavior —
+	// and what TestMediaErrorPropagatesToApplication pins down.
+	RetryIO int
+	// RetryBackoff is the first retry delay (default 50 us), doubling
+	// per attempt.
+	RetryBackoff sim.Time
+
 	channels []*channel
+	workers  int
 	opens    map[uint32]*openFile
 	readers  map[uint32]map[*pcie.Device]bool // ino -> co-processors that read it
 	fetching map[uint32]bool
@@ -84,12 +97,16 @@ type FSProxy struct {
 
 	// stats
 	p2pOps, bufferedOps, cacheHitOps, prefetches int64
+	ioRetries, fallbacks, reattaches             int64
 
 	tel         *telemetry.Sink
 	telP2P      *telemetry.Counter
 	telBuffered *telemetry.Counter
 	telCacheHit *telemetry.Counter
 	telPrefetch *telemetry.Counter
+	telIORetry  *telemetry.Counter
+	telFallback *telemetry.Counter
+	telReattach *telemetry.Counter
 }
 
 type channel struct {
@@ -133,6 +150,9 @@ func NewFSProxy(fab *pcie.Fabric, fsys *fs.FS, ssd *nvme.Device, cacheBytes int6
 		px.telBuffered = tel.Counter("controlplane.fsproxy.path.buffered")
 		px.telCacheHit = tel.Counter("controlplane.fsproxy.path.cachehit")
 		px.telPrefetch = tel.Counter("controlplane.fsproxy.prefetches")
+		px.telIORetry = tel.Counter("controlplane.fsproxy.io_retries")
+		px.telFallback = tel.Counter("controlplane.fsproxy.p2p_fallbacks")
+		px.telReattach = tel.Counter("controlplane.fsproxy.reattaches")
 	}
 	return px
 }
@@ -149,14 +169,33 @@ func (px *FSProxy) Start(p *sim.Proc, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
+	px.workers = workers
 	for _, ch := range px.channels {
-		for w := 0; w < workers; w++ {
-			ch := ch
-			p.Spawn(fmt.Sprintf("fsproxy-%s-%d", ch.phi.Name, w), func(wp *sim.Proc) {
-				px.serve(wp, ch)
-			})
-		}
+		px.startChannel(p, ch)
 	}
+}
+
+// startChannel spawns the worker procs for one channel incarnation.
+func (px *FSProxy) startChannel(p *sim.Proc, ch *channel) {
+	for w := 0; w < px.workers; w++ {
+		p.Spawn(fmt.Sprintf("fsproxy-%s-%d", ch.phi.Name, w), func(wp *sim.Proc) {
+			px.serve(wp, ch)
+		})
+	}
+}
+
+// Reattach replaces channel idx's ring pair after a crash and reset: a
+// fresh channel struct takes the slot (same index, so the fid namespace —
+// and thus every open file — survives the outage) and new workers start on
+// the new rings. Workers of the old incarnation drain their closed rings
+// and exit without touching the replacement; sibling channels never notice.
+func (px *FSProxy) Reattach(p *sim.Proc, idx int, req, resp *transport.Port) {
+	old := px.channels[idx]
+	ch := &channel{idx: idx, phi: old.phi, req: req, resp: resp}
+	px.channels[idx] = ch
+	px.reattaches++
+	px.telReattach.Add(1)
+	px.startChannel(p, ch)
 }
 
 // serveRecvBatch caps how many requests one worker drains per pass. Small
@@ -372,6 +411,29 @@ func (px *FSProxy) waitFilled(p *sim.Proc, k pageKey) {
 	}
 }
 
+// retryIO runs one disk leg, retrying transient media errors with
+// exponential backoff while degraded mode (RetryIO > 0) is armed.
+// Non-media errors, and every error when RetryIO is 0, propagate
+// unchanged on the first attempt.
+func (px *FSProxy) retryIO(p *sim.Proc, op func() error) error {
+	err := op()
+	if px.RetryIO == 0 {
+		return err
+	}
+	backoff := px.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * sim.Microsecond
+	}
+	for att := 0; att < px.RetryIO && errors.Is(err, nvme.ErrMedia); att++ {
+		px.ioRetries++
+		px.telIORetry.Add(1)
+		p.Advance(backoff)
+		backoff <<= 1
+		err = op()
+	}
+	return err
+}
+
 // read serves Tread: clamp to EOF, choose the path, move the data into
 // co-processor memory at addr.
 func (px *FSProxy) read(p *sim.Proc, of *openFile, off, n, addr int64) (int64, error) {
@@ -399,10 +461,22 @@ func (px *FSProxy) read(p *sim.Proc, of *openFile, off, n, addr int64) (int64, e
 		if lim := px.alignedLimit(of.f); aOff+span > lim {
 			span = lim - aOff
 		}
-		if err := of.f.ReadTo(p, aOff, span, pcie.Loc{Dev: of.phi, Off: addr - head}, px.Coalesce); err != nil {
+		err := px.retryIO(p, func() error {
+			return of.f.ReadTo(p, aOff, span, pcie.Loc{Dev: of.phi, Off: addr - head}, px.Coalesce)
+		})
+		if err == nil {
+			return n, nil
+		}
+		if px.RetryIO == 0 {
 			return 0, err
 		}
-		return n, nil
+		// Degrade: the direct DMA keeps failing, so serve this request
+		// through the host buffer cache instead of surfacing the error.
+		px.fallbacks++
+		px.telFallback.Add(1)
+		px.bufferedOps++
+		px.telBuffered.Add(1)
+		return n, px.bufferedRead(p, of, off, n, dst)
 	case PathCacheHit:
 		px.cacheHitOps++
 		px.telCacheHit.Add(1)
@@ -449,7 +523,13 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 			if sz <= 0 {
 				break
 			}
-			if err := of.f.ReadTo(p, pOff, sz, loc, px.Coalesce); err != nil {
+			err := px.retryIO(p, func() error {
+				return of.f.ReadTo(p, pOff, sz, loc, px.Coalesce)
+			})
+			if err != nil {
+				// The frame holds garbage; drop the page so a retry of
+				// the whole request refills it instead of serving junk.
+				px.Cache.InvalidateRange(of.f.Ino(), pOff, cache.PageSize)
 				return err
 			}
 		}
@@ -489,7 +569,10 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 		if aOff+span > limit {
 			span = limit - aOff
 		}
-		if err := of.f.ReadTo(p, aOff, span, loc, px.Coalesce); err != nil {
+		err := px.retryIO(p, func() error {
+			return of.f.ReadTo(p, aOff, span, loc, px.Coalesce)
+		})
+		if err != nil {
 			return err
 		}
 		return px.pushHostToPhi(p, pcie.Loc{Off: loc.Off + (off - aOff)}, dst, n)
@@ -619,7 +702,10 @@ func (px *FSProxy) startFill(p *sim.Proc, f *fs.File, off, n int64, procs int) *
 			for i, fl := range span {
 				pOff := fl.blk * cache.PageSize
 				sz := min(int64(cache.PageSize), limit-pOff)
-				if err := f.ReadTo(fp, pOff, sz, fl.frame, px.Coalesce); err != nil {
+				err := px.retryIO(fp, func() error {
+					return f.ReadTo(fp, pOff, sz, fl.frame, px.Coalesce)
+				})
+				if err != nil {
 					if job.err == nil {
 						job.err = err
 					}
@@ -718,7 +804,19 @@ func (px *FSProxy) write(p *sim.Proc, of *openFile, off, n, addr int64) (int64, 
 		if off%fs.BlockSize == 0 && n%fs.BlockSize == 0 {
 			// Aligned: the disk's DMA engine pulls straight from
 			// co-processor memory.
-			return n, of.f.WriteFrom(p, off, n, src, px.Coalesce)
+			err := px.retryIO(p, func() error {
+				return of.f.WriteFrom(p, off, n, src, px.Coalesce)
+			})
+			if err == nil {
+				return n, nil
+			}
+			if px.RetryIO == 0 {
+				return 0, err
+			}
+			// Degrade: the direct DMA keeps failing; restage the write
+			// through host memory like an unaligned one.
+			px.fallbacks++
+			px.telFallback.Add(1)
 		}
 		// Unaligned tail: stage the edges through host memory via the
 		// file system's read-modify-write path.
@@ -731,7 +829,10 @@ func (px *FSProxy) write(p *sim.Proc, of *openFile, off, n, addr int64) (int64, 
 		if err := px.pullPhiToHost(p, src, loc, n); err != nil {
 			return 0, err
 		}
-		_, err := writeViaStaging(p, of.f, off, buf[:n])
+		err := px.retryIO(p, func() error {
+			_, werr := writeViaStaging(p, of.f, off, buf[:n])
+			return werr
+		})
 		return n, err
 	}
 }
@@ -792,7 +893,11 @@ func (px *FSProxy) Prefetch(p *sim.Proc, path string) error {
 		if pos+sz > limit {
 			sz = limit - pos
 		}
-		if err := f.ReadTo(p, pos, sz, loc, px.Coalesce); err != nil {
+		err := px.retryIO(p, func() error {
+			return f.ReadTo(p, pos, sz, loc, px.Coalesce)
+		})
+		if err != nil {
+			px.Cache.InvalidateRange(f.Ino(), pos, cache.PageSize)
 			return err
 		}
 	}
@@ -806,3 +911,9 @@ func (px *FSProxy) PathStats() (p2p, buffered, cacheHit int64) {
 
 // Prefetches reports completed background prefetches.
 func (px *FSProxy) Prefetches() int64 { return px.prefetches }
+
+// RecoveryStats reports degraded-mode activity: transient-I/O retries,
+// p2p->buffered fallbacks, and channel reattaches after crashes.
+func (px *FSProxy) RecoveryStats() (retries, fallbacks, reattaches int64) {
+	return px.ioRetries, px.fallbacks, px.reattaches
+}

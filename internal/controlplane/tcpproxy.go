@@ -95,6 +95,9 @@ type TCPProxy struct {
 	telAccepts   *telemetry.Counter
 	telInFrames  *telemetry.Counter
 	telOutFrames *telemetry.Counter
+	telDetaches  *telemetry.Counter
+
+	detaches int64
 }
 
 type netChannel struct {
@@ -133,6 +136,7 @@ func NewTCPProxy(fab *pcie.Fabric, stack *netstack.Stack) *TCPProxy {
 		px.telAccepts = tel.Counter("controlplane.tcpproxy.accepts")
 		px.telInFrames = tel.Counter("controlplane.tcpproxy.inbound_frames")
 		px.telOutFrames = tel.Counter("controlplane.tcpproxy.outbound_frames")
+		px.telDetaches = tel.Counter("controlplane.tcpproxy.detaches")
 	}
 	return px
 }
@@ -369,6 +373,41 @@ func (px *TCPProxy) outboundPump(p *sim.Proc, ch *netChannel) {
 		}
 	}
 }
+
+// DetachNet degrades gracefully around a crashed co-processor: the member
+// is removed from every shared listener so new connections shard to its
+// siblings, and its proxied host-side connections are closed so their
+// pumps drain. Sibling channels are untouched. The inbound FrameListenClosed
+// tells a still-live stub (link flap rather than true crash) that its
+// listeners are gone.
+func (px *TCPProxy) DetachNet(p *sim.Proc, phi *pcie.Device) {
+	ch, ok := px.nets[phi]
+	if !ok {
+		return
+	}
+	for _, sl := range px.shared {
+		for i, mem := range sl.members {
+			if mem == phi {
+				sl.members = append(sl.members[:i], sl.members[i+1:]...)
+				break
+			}
+		}
+	}
+	for id, pc := range px.conns {
+		if pc.ch == ch {
+			pc.side.Close(p)
+			ch.active--
+			delete(px.conns, id)
+		}
+	}
+	ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameListenClosed, 0, nil))
+	px.detaches++
+	px.telDetaches.Add(1)
+}
+
+// Detaches reports how many co-processors have been detached, for
+// recovery tests.
+func (px *TCPProxy) Detaches() int64 { return px.detaches }
 
 // Stop closes listeners and all proxied connections so pumps drain, and
 // notifies every data plane that its shared listeners are gone.

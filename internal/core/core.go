@@ -12,6 +12,7 @@ import (
 	"solros/internal/controlplane"
 	"solros/internal/cpu"
 	"solros/internal/dataplane"
+	"solros/internal/faults"
 	"solros/internal/fs"
 	"solros/internal/model"
 	"solros/internal/netstack"
@@ -75,6 +76,20 @@ type Config struct {
 	// installed (reboot/recovery scenarios); copy it into SSD.Image()
 	// before Run.
 	SkipMkfs bool
+	// Faults installs a deterministic fault-injection plan (see
+	// internal/faults) and arms degraded-mode recovery: proxy-side
+	// transient-I/O retries, p2p->buffered fallbacks, and channel
+	// crash/reattach per the plan's crash schedule. Nil (the default)
+	// injects nothing and leaves every figure untouched.
+	Faults *faults.Plan
+	// RPCDeadline arms per-RPC deadlines on data-plane connections: a
+	// call silent past the deadline is resent under the same tag with
+	// exponential backoff. Zero waits forever (default).
+	RPCDeadline sim.Time
+	// RPCRetries bounds same-tag resends per RPC (default 0). Ring
+	// message drops from the fault plan are only armed when this is
+	// positive — without resends a dropped RPC would wedge the caller.
+	RPCRetries int
 	// Telemetry receives spans and metrics from every subsystem; nil
 	// falls back to telemetry.Default (also usually nil — telemetry off).
 	Telemetry *telemetry.Sink
@@ -135,9 +150,15 @@ type Machine struct {
 	ClientStack *netstack.Stack
 	TCPProxy    *controlplane.TCPProxy
 
-	cfg    Config
-	booted bool
+	cfg     Config
+	inj     *faults.Injector
+	booted  bool
+	stopped bool
 }
+
+// Injector exposes the machine's fault injector (nil when Config.Faults
+// is nil), mainly so tests and benches can read the compiled plan.
+func (m *Machine) Injector() *faults.Injector { return m.inj }
 
 // NewMachine builds and formats a machine; the file system is mkfs'ed but
 // not yet mounted (that happens in Run's boot phase, under timing).
@@ -160,7 +181,14 @@ func NewMachine(cfg Config) *Machine {
 	if tel != nil {
 		m.Engine.SetTracer(tel.SchedTracer())
 	}
+	if cfg.Faults != nil {
+		m.inj = faults.NewInjector(cfg.Faults, tel)
+		fab.SetInjector(m.inj)
+	}
 	m.SSD = nvme.New(fab, "nvme0", 0, cfg.DiskBytes)
+	if m.inj != nil {
+		m.SSD.SetInjector(m.inj)
+	}
 	if !cfg.SkipMkfs {
 		if err := fs.Mkfs(m.SSD.Image(), 0); err != nil {
 			panic("core: mkfs: " + err.Error())
@@ -176,6 +204,10 @@ func NewMachine(cfg Config) *Machine {
 			scale*model.LinkBWPhiToHost, scale*model.LinkBWHostToPhi)
 		conn, reqPort, respPort := dataplane.NewConn(fab, dev, cfg.RingOptions)
 		conn.BatchRecv = cfg.BatchRecv
+		conn.Deadline = cfg.RPCDeadline
+		conn.Retries = cfg.RPCRetries
+		conn.Reconnect = m.inj != nil
+		m.armRings(reqPort, respPort)
 		fsc := dataplane.NewFSClient(conn)
 		fsc.Pipeline = cfg.Pipeline
 		fsc.Window = cfg.PipelineWindow
@@ -190,6 +222,18 @@ func NewMachine(cfg Config) *Machine {
 		})
 	}
 	return m
+}
+
+// armRings installs the fault injector on an RPC ring pair. Message drops
+// are only enabled when RPC resends can recover them; dequeue stalls are
+// harmless latency and always armed with the injector.
+func (m *Machine) armRings(req, resp *transport.Port) {
+	if m.inj == nil {
+		return
+	}
+	lossy := m.cfg.RPCRetries > 0
+	req.Ring().SetInjector(m.inj, lossy)
+	resp.Ring().SetInjector(m.inj, lossy)
 }
 
 // boot mounts the file system and starts the control-plane proxy and
@@ -214,12 +258,76 @@ func (m *Machine) boot(p *sim.Proc) {
 		m.FSProxy.Attach(phi.Dev, phi.proxyReq, phi.proxyResp)
 		phi.Conn.Start(p)
 	}
+	if m.inj != nil {
+		// Degraded mode: ride out transient media errors and failed p2p
+		// DMAs instead of surfacing them to applications.
+		m.FSProxy.RetryIO = 3
+	}
 	m.FSProxy.Start(p, m.cfg.ProxyWorkers)
 	m.bootNetwork(p)
+	m.startCrashSchedule(p)
+}
+
+// startCrashSchedule spawns the proc that executes the fault plan's
+// channel-crash timeline: at each CrashTime it severs the victim
+// co-processor's RPC channel, waits out the downtime, and brings the
+// channel back with fresh rings. A machine already shut down stops the
+// schedule.
+func (m *Machine) startCrashSchedule(p *sim.Proc) {
+	if m.inj == nil {
+		return
+	}
+	plan := m.inj.Plan()
+	if len(plan.CrashTimes) == 0 {
+		return
+	}
+	victim := plan.CrashPhi
+	if victim < 0 || victim >= len(m.Phis) {
+		victim = 0
+	}
+	p.Spawn("faults-crash-schedule", func(cp *sim.Proc) {
+		for _, t := range plan.CrashTimes {
+			if t > cp.Now() {
+				cp.AdvanceTo(t)
+			}
+			if m.stopped {
+				return
+			}
+			m.CrashChannel(cp, victim)
+			cp.Advance(plan.CrashDowntime)
+			if m.stopped {
+				return
+			}
+			m.RecoverChannel(cp, victim)
+		}
+	})
+}
+
+// CrashChannel severs co-processor i's FS RPC channel as a fault: rings
+// close, in-flight calls fail, the dispatcher exits. Reconnectable via
+// RecoverChannel.
+func (m *Machine) CrashChannel(p *sim.Proc, i int) {
+	m.Phis[i].Conn.Crash(p)
+}
+
+// RecoverChannel rebuilds co-processor i's crashed FS channel: fresh
+// rings (re-armed with the injector), a new dispatcher, and a proxy
+// reattach on the same channel index so open fids survive the outage.
+// Sibling co-processors are untouched throughout.
+func (m *Machine) RecoverChannel(p *sim.Proc, i int) {
+	phi := m.Phis[i]
+	req, resp := phi.Conn.Reset(p)
+	if req == nil {
+		return // closed for good; nothing to recover
+	}
+	m.armRings(req, resp)
+	phi.proxyReq, phi.proxyResp = req, resp
+	m.FSProxy.Reattach(p, i, req, resp)
 }
 
 // shutdown closes every RPC connection so service procs drain and exit.
 func (m *Machine) shutdown(p *sim.Proc) {
+	m.stopped = true // parks the crash schedule's next firing
 	m.shutdownNetwork(p)
 	for _, phi := range m.Phis {
 		phi.Conn.Close(p)

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"solros/internal/faults"
+	"solros/internal/fs"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+)
+
+// TestDegradedModeRidesOutMediaErrors is the counterpart of
+// TestMediaErrorPropagatesToApplication: with a fault plan installed the
+// proxy retries transient media errors (and falls back to the buffered
+// path), so the application never sees them.
+func TestDegradedModeRidesOutMediaErrors(t *testing.T) {
+	m := NewMachine(Config{Phis: 1, Faults: &faults.Plan{Seed: 1}})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, err := c.Open(p, "/f", ninep.OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := c.AllocBuffer(64 << 10)
+		if _, err := c.Write(p, fd, 0, buf, 64<<10); err != nil {
+			t.Error(err)
+			return
+		}
+		m.SSD.InjectErrors(2)
+		if _, err := c.Read(p, fd, 0, buf, 64<<10); err != nil {
+			t.Errorf("degraded mode surfaced a transient media error: %v", err)
+		}
+		retries, _, _ := m.FSProxy.RecoveryStats()
+		if retries == 0 {
+			t.Error("no proxy retries recorded for the injected errors")
+		}
+		if err := c.Sync(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if rep := fs.Check(m.SSD.Image()); !rep.OK() {
+		t.Fatalf("fsck after degraded-mode run: %v", rep.Problems)
+	}
+}
+
+// TestChannelCrashRecovery crashes phi0's channel mid-workload per the
+// fault plan and verifies that its I/O completes via reconnect, that the
+// sibling co-processor never notices, and that the proxy reattached the
+// channel exactly once per crash.
+func TestChannelCrashRecovery(t *testing.T) {
+	plan := &faults.Plan{
+		Seed:          3,
+		CrashTimes:    []sim.Time{300 * sim.Microsecond, 900 * sim.Microsecond},
+		CrashDowntime: 100 * sim.Microsecond,
+	}
+	m := NewMachine(Config{Phis: 2, Faults: plan})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		Parallel(p, 2, "worker", func(i int, wp *sim.Proc) {
+			c := m.Phis[i].FS
+			fd, err := c.Open(wp, fileName(i), ninep.OCreate)
+			if err != nil {
+				t.Errorf("phi%d open: %v", i, err)
+				return
+			}
+			b := c.AllocBuffer(128 << 10)
+			for k := 0; k < 12; k++ {
+				off := int64(k) * (128 << 10)
+				if _, err := c.Write(wp, fd, off, b, 128<<10); err != nil {
+					t.Errorf("phi%d write %d: %v", i, k, err)
+					return
+				}
+				if _, err := c.Read(wp, fd, off, b, 128<<10); err != nil {
+					t.Errorf("phi%d read %d: %v", i, k, err)
+					return
+				}
+			}
+			if err := c.Close(wp, fd); err != nil {
+				t.Errorf("phi%d close: %v", i, err)
+			}
+		})
+		_, _, reattaches := m.FSProxy.RecoveryStats()
+		if reattaches != 2 {
+			t.Errorf("reattaches = %d, want 2 (one per crash)", reattaches)
+		}
+	})
+	if rep := fs.Check(m.SSD.Image()); !rep.OK() {
+		t.Fatalf("fsck after crash/recovery run: %v", rep.Problems)
+	}
+}
+
+// TestFaultRunsAreDeterministic extends the machine determinism guarantee
+// to faulty runs: two identical fault plans over the same workload must
+// end at the same virtual time.
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		m := NewMachine(Config{
+			Phis: 2,
+			Faults: &faults.Plan{
+				Seed:            5,
+				NVMeReadErrRate: 0.02, NVMeWriteErrRate: 0.02, NVMeSlowRate: 0.1,
+				LinkSlowRate: 0.05, RingStallRate: 0.1, RingDropRate: 0.02,
+			},
+			RPCDeadline: 2 * sim.Millisecond,
+			RPCRetries:  6,
+		})
+		var end sim.Time
+		m.MustRun(func(p *sim.Proc, m *Machine) {
+			Parallel(p, 4, "worker", func(i int, wp *sim.Proc) {
+				phi := m.Phis[i%2]
+				fd, err := phi.FS.Open(wp, fileName(i%2), ninep.OCreate)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b := phi.FS.AllocBuffer(256 << 10)
+				for k := 0; k < 4; k++ {
+					phi.FS.Write(wp, fd, int64(k)*(256<<10), b, 256<<10)
+					phi.FS.Read(wp, fd, int64(k)*(256<<10), b, 256<<10)
+				}
+			})
+			end = p.Now()
+		})
+		return end
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical fault runs diverged: %v vs %v", a, b)
+	}
+}

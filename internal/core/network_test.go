@@ -421,3 +421,73 @@ func TestEventDispatcherNotABottleneckAt61Connections(t *testing.T) {
 	}
 	t.Logf("mean 64B RTT: 16 conns %v, 61 conns %v", small, big)
 }
+
+func TestDetachNetShardsToSiblings(t *testing.T) {
+	// Graceful degradation on a co-processor crash: DetachNet drops the
+	// victim from the shared listener, so every later connection shards to
+	// the surviving sibling and the victim's pending Accept wakes with an
+	// error instead of blocking forever.
+	m := NewMachine(Config{Phis: 2})
+	m.EnableNetwork()
+	const conns = 6
+	served := 0
+	victimWoke := false
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		for _, phi := range m.Phis {
+			if err := phi.Net.Listen(p, 8300); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		done := sim.NewWaitGroup("detach")
+		done.Add(3)
+		p.Spawn("victim-server", func(sp *sim.Proc) {
+			defer sp.DoneWG(done)
+			if _, err := m.Phis[1].Net.Accept(sp, 8300); err != nil {
+				victimWoke = true
+			}
+		})
+		p.Spawn("survivor-server", func(sp *sim.Proc) {
+			defer sp.DoneWG(done)
+			for k := 0; k < conns; k++ {
+				sock, err := m.Phis[0].Net.Accept(sp, 8300)
+				if err != nil {
+					return
+				}
+				req, err := sock.RecvFull(sp, 4)
+				if err != nil || len(req) != 4 {
+					return
+				}
+				sock.Send(sp, []byte("resp"))
+				served++
+				sock.Close(sp)
+			}
+		})
+		p.Spawn("clients", func(cp *sim.Proc) {
+			defer cp.DoneWG(done)
+			cp.Advance(50 * sim.Microsecond)
+			m.TCPProxy.DetachNet(cp, m.Phis[1].Dev)
+			for k := 0; k < conns; k++ {
+				conn, err := m.ClientStack.Dial(cp, m.HostStack, 8300)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				side := conn.Side(m.ClientStack)
+				side.Send(cp, []byte("ping"))
+				side.RecvFull(cp, 4)
+				side.Close(cp)
+			}
+		})
+		p.WaitWG(done)
+	})
+	if served != conns {
+		t.Fatalf("survivor served %d connections, want all %d", served, conns)
+	}
+	if !victimWoke {
+		t.Fatal("detached co-processor's pending Accept never woke with an error")
+	}
+	if n := m.TCPProxy.Detaches(); n != 1 {
+		t.Fatalf("Detaches() = %d, want 1", n)
+	}
+}

@@ -23,32 +23,83 @@ const (
 	cpuHostKind = cpu.Host
 )
 
+// errConnClosed is the Rerror text for calls severed by Close or a crash;
+// Call treats it as retryable when Reconnect is set.
+const errConnClosed = "connection closed"
+
+// maxReconnects bounds how many channel incarnations one Call will chase
+// before giving up and surfacing the error.
+const maxReconnects = 8
+
 // Conn is a request/response RPC connection from one co-processor to the
 // control plane: a pair of transport rings (both masters in co-processor
 // memory, §4.3.1) and a single dispatcher proc that routes responses to
 // waiting callers by tag.
 type Conn struct {
-	Phi  *pcie.Device
-	req  *transport.Port // stub -> proxy
-	resp *transport.Port // proxy -> stub
+	Phi    *pcie.Device
+	fabric *pcie.Fabric
+	opt    transport.Options
+	req    *transport.Port // stub -> proxy
+	resp   *transport.Port // proxy -> stub
 
 	// BatchRecv makes the dispatcher drain the response ring with
 	// RecvBatch, amortizing combiner and PCIe costs across completions
 	// arriving close together (pipelined chunk reads). Set before Start.
 	BatchRecv bool
 
+	// Deadline arms per-RPC deadlines: a Wait that sees no response
+	// within Deadline resends the same encoded request under the same
+	// tag and doubles the timeout, up to Retries resends, then fails
+	// with a timeout error. Zero (the default) waits forever, the
+	// paper's behavior. Requests must be idempotent to replay, which
+	// every 9P-style message here is: reads, writes, and opens name
+	// absolute offsets and paths.
+	Deadline sim.Time
+	// Retries bounds same-tag resends per call (default 0).
+	Retries int
+	// Reconnect makes Call transparently reissue a request that failed
+	// with "connection closed" once the channel has been Reset —
+	// crash/recovery mode. Close always wins: a closed connection stays
+	// closed.
+	Reconnect bool
+
 	nextTag uint16
 	pending map[uint16]*call
+	// stale holds tags retired while responses were still outstanding
+	// (timed-out calls, reaped calls with unanswered resends). The
+	// dispatcher silently drains that many late responses per tag, and
+	// allocTag refuses to reissue the tag until then.
+	stale   map[uint16]int
 	started bool
+	// dead: the dispatcher exited — no response will ever arrive, so
+	// waits must fail rather than park. Cleared by Reset.
+	dead bool
+	// down: Crash severed the rings; cleared by Reset.
+	down bool
+	// shut: Close was called; permanent.
+	shut bool
+	// resetCond wakes reconnecting callers after a Reset (or Close).
+	resetCond *sim.Cond
 
-	tel         *telemetry.Sink
-	telCalls    *telemetry.Counter
-	telInflight *telemetry.Gauge
+	tel           *telemetry.Sink
+	telCalls      *telemetry.Counter
+	telInflight   *telemetry.Gauge
+	telRetries    *telemetry.Counter
+	telTimeouts   *telemetry.Counter
+	telDupDrops   *telemetry.Counter
+	telStaleDrops *telemetry.Counter
+	telReconnects *telemetry.Counter
 }
 
 type call struct {
 	resp *ninep.Msg
 	cond *sim.Cond
+	// raw is the encoded request, kept for same-tag replay.
+	raw []byte
+	// sent counts transmissions, got counts responses the dispatcher saw
+	// (including duplicates); their difference at reap time is how many
+	// late responses the stale table must absorb.
+	sent, got int
 }
 
 // Pending is a handle to an RPC issued with CallAsync; redeem it with
@@ -69,15 +120,24 @@ func NewConn(f *pcie.Fabric, phi *pcie.Device, opt transport.Options) (*Conn, *t
 	reqRing := transport.NewRing(f, phi, opt)
 	respRing := transport.NewRing(f, phi, opt)
 	c := &Conn{
-		Phi:     phi,
-		req:     reqRing.Port(phi, cpu.Phi),
-		resp:    respRing.Port(phi, cpu.Phi),
-		pending: make(map[uint16]*call),
+		Phi:       phi,
+		fabric:    f,
+		opt:       opt,
+		req:       reqRing.Port(phi, cpu.Phi),
+		resp:      respRing.Port(phi, cpu.Phi),
+		pending:   make(map[uint16]*call),
+		stale:     make(map[uint16]int),
+		resetCond: sim.NewCond(phi.Name + "-reset"),
 	}
 	if tel := f.Telemetry(); tel != nil {
 		c.tel = tel
 		c.telCalls = tel.Counter("dataplane.calls")
 		c.telInflight = tel.Gauge("dataplane.inflight_window")
+		c.telRetries = tel.Counter("dataplane.retries")
+		c.telTimeouts = tel.Counter("dataplane.timeouts")
+		c.telDupDrops = tel.Counter("dataplane.dup_responses_dropped")
+		c.telStaleDrops = tel.Counter("dataplane.stale_responses_dropped")
+		c.telReconnects = tel.Counter("dataplane.reconnects")
 	}
 	return c, reqRing.Port(nil, cpu.Host), respRing.Port(nil, cpu.Host)
 }
@@ -89,21 +149,34 @@ func (c *Conn) Start(p *sim.Proc) {
 		return
 	}
 	c.started = true
+	c.spawnDispatcher(p)
+}
+
+// spawnDispatcher starts a dispatcher bound to the current response ring.
+// A dispatcher outlived by a Reset (its ring replaced under it) exits
+// without touching the connection's state.
+func (c *Conn) spawnDispatcher(p *sim.Proc) {
+	resp := c.resp
 	p.Spawn(c.Phi.Name+"-dispatcher", func(dp *sim.Proc) {
+		defer func() {
+			if resp != c.resp {
+				return // superseded by Reset; the new incarnation owns state
+			}
+			c.dead = true
+			c.failPending(dp)
+		}()
 		single := make([][]byte, 1)
 		for {
 			var raws [][]byte
 			if c.BatchRecv {
-				batch, ok := c.resp.RecvBatch(dp, 0)
+				batch, ok := resp.RecvBatch(dp, 0)
 				if !ok {
-					c.failPending(dp)
 					return
 				}
 				raws = batch
 			} else {
-				raw, ok := c.resp.Recv(dp)
+				raw, ok := resp.Recv(dp)
 				if !ok {
-					c.failPending(dp)
 					return
 				}
 				single[0] = raw
@@ -116,7 +189,25 @@ func (c *Conn) Start(p *sim.Proc) {
 				}
 				pc, ok := c.pending[m.Tag]
 				if !ok {
+					if n := c.stale[m.Tag]; n > 0 {
+						// A late response to a retired call (timed out,
+						// or reaped off an earlier transmission).
+						if n == 1 {
+							delete(c.stale, m.Tag)
+						} else {
+							c.stale[m.Tag] = n - 1
+						}
+						c.telStaleDrops.Add(1)
+						continue
+					}
 					panic(fmt.Sprintf("dataplane: response for unknown tag %d", m.Tag))
+				}
+				pc.got++
+				if pc.resp != nil {
+					// Duplicate from a resend whose original also made
+					// it; first answer wins.
+					c.telDupDrops.Add(1)
+					continue
 				}
 				pc.resp = m
 				dp.Signal(pc.cond)
@@ -131,18 +222,18 @@ func (c *Conn) Start(p *sim.Proc) {
 func (c *Conn) failPending(dp *sim.Proc) {
 	for tag, pc := range c.pending {
 		if pc.resp == nil {
-			pc.resp = &ninep.Msg{Type: ninep.Rerror, Tag: tag, Err: "connection closed"}
+			pc.resp = &ninep.Msg{Type: ninep.Rerror, Tag: tag, Err: errConnClosed}
 		}
 		dp.Broadcast(pc.cond)
 	}
 }
 
 // allocTag hands out the next request tag, skipping tags still held by
-// in-flight calls: nextTag is a uint16, so after 65k calls a naive
-// increment would collide with a pending tag and panic the dispatcher.
-// Tag 0 stays reserved (the first tag ever issued is 1).
+// in-flight calls or owed late responses: nextTag is a uint16, so after
+// 65k calls a naive increment would collide with a pending tag and panic
+// the dispatcher. Tag 0 stays reserved (the first tag ever issued is 1).
 func (c *Conn) allocTag() uint16 {
-	if len(c.pending) >= (1<<16)-1 {
+	if len(c.pending)+len(c.stale) >= (1<<16)-1 {
 		panic("dataplane: all 65535 tags in flight")
 	}
 	for {
@@ -150,9 +241,13 @@ func (c *Conn) allocTag() uint16 {
 		if c.nextTag == 0 {
 			continue
 		}
-		if _, busy := c.pending[c.nextTag]; !busy {
-			return c.nextTag
+		if _, busy := c.pending[c.nextTag]; busy {
+			continue
 		}
+		if _, owed := c.stale[c.nextTag]; owed {
+			continue
+		}
+		return c.nextTag
 	}
 }
 
@@ -171,36 +266,105 @@ func (c *Conn) CallAsync(p *sim.Proc, m *ninep.Msg) *Pending {
 	pc := &call{cond: sim.NewCond(fmt.Sprintf("rpc-tag-%d", tag))}
 	c.pending[tag] = pc
 	c.telInflight.Set(int64(len(c.pending)))
-	c.req.Send(p, m.Encode())
+	if c.dead || c.down || c.shut {
+		// No dispatcher will ever answer; fail the call in place instead
+		// of sending into a closed ring and parking forever.
+		pc.resp = &ninep.Msg{Type: ninep.Rerror, Tag: tag, Err: errConnClosed}
+		return &Pending{tag: tag, typ: m.Type, begin: begin, pc: pc}
+	}
+	pc.raw = m.Encode()
+	pc.sent = 1
+	c.req.Send(p, pc.raw)
 	return &Pending{tag: tag, typ: m.Type, begin: begin, pc: pc}
 }
 
 // Wait blocks until pd's response arrives, releases its tag, and returns
-// the response (or its Rerror as a Go error).
+// the response (or its Rerror as a Go error). With a Deadline armed, a
+// silent window triggers a same-tag resend with exponentially growing
+// timeouts; Retries exhausted fails the call and retires its tag to the
+// stale table. A connection whose dispatcher has exited (Close, crash)
+// fails the wait immediately instead of parking forever.
 func (c *Conn) Wait(p *sim.Proc, pd *Pending) (*ninep.Msg, error) {
-	for pd.pc.resp == nil {
-		p.Wait(pd.pc.cond)
+	pc := pd.pc
+	timeout := c.Deadline
+	resends := 0
+	for pc.resp == nil {
+		if c.dead || c.down || c.shut {
+			pc.resp = &ninep.Msg{Type: ninep.Rerror, Tag: pd.tag, Err: errConnClosed}
+			break
+		}
+		if timeout <= 0 {
+			p.Wait(pc.cond)
+			continue
+		}
+		if !p.WaitTimeout(pc.cond, timeout) {
+			continue // woken by the dispatcher; re-check
+		}
+		if resends >= c.Retries {
+			c.telTimeouts.Add(1)
+			c.retire(pd)
+			return nil, fmt.Errorf("dataplane: %s tag %d timed out after %d attempts",
+				pd.typ, pd.tag, resends+1)
+		}
+		// Idempotent same-tag replay: resend the identical encoded
+		// request and double the window (exponential backoff).
+		resends++
+		timeout <<= 1
+		c.telRetries.Add(1)
+		pc.sent++
+		c.req.Send(p, pc.raw)
 	}
-	delete(c.pending, pd.tag)
-	c.telInflight.Set(int64(len(c.pending)))
+	c.retire(pd)
 	c.telCalls.Add(1)
 	c.tel.Histogram("dataplane.rpc." + pd.typ.String()).Observe(p.Now() - pd.begin)
-	if err := pd.pc.resp.Error(); err != nil {
+	if err := pc.resp.Error(); err != nil {
 		return nil, err
 	}
-	return pd.pc.resp, nil
+	return pc.resp, nil
+}
+
+// retire releases pd's tag. If transmissions outnumber the responses seen
+// so far, the difference is parked in the stale table so the dispatcher
+// can recognize (and drop) the stragglers instead of panicking.
+func (c *Conn) retire(pd *Pending) {
+	if _, ok := c.pending[pd.tag]; !ok {
+		return // already retired
+	}
+	delete(c.pending, pd.tag)
+	if outstanding := pd.pc.sent - pd.pc.got; outstanding > 0 {
+		c.stale[pd.tag] += outstanding
+	}
+	c.telInflight.Set(int64(len(c.pending)))
 }
 
 // Call sends m and blocks until its response arrives. The stub cost
 // charged here is the whole data-plane OS contribution per syscall
-// (Figure 13a): marshal, ring operation, demultiplex.
+// (Figure 13a): marshal, ring operation, demultiplex. With Reconnect set,
+// a call severed by a channel crash waits for the Reset and reissues
+// itself on the fresh rings.
 func (c *Conn) Call(p *sim.Proc, m *ninep.Msg) (*ninep.Msg, error) {
 	sp := c.tel.Start(p, "dataplane.call")
 	sp.Tag("type", m.Type.String())
-	pd := c.CallAsync(p, m)
-	resp, err := c.Wait(p, pd)
-	sp.End(p)
-	return resp, err
+	defer sp.End(p)
+	for attempt := 0; ; attempt++ {
+		pd := c.CallAsync(p, m)
+		resp, err := c.Wait(p, pd)
+		if err != nil && err.Error() == errConnClosed &&
+			c.Reconnect && attempt < maxReconnects && c.awaitReset(p) {
+			c.telReconnects.Add(1)
+			continue
+		}
+		return resp, err
+	}
+}
+
+// awaitReset parks until the channel is serviceable again; false means the
+// connection was closed for good.
+func (c *Conn) awaitReset(p *sim.Proc) bool {
+	for (c.down || c.dead) && !c.shut {
+		p.Wait(c.resetCond)
+	}
+	return !c.shut
 }
 
 // RingStats reports request-ring messages sent, response-ring messages
@@ -212,8 +376,48 @@ func (c *Conn) RingStats() (sent, received, sentBytes int64) {
 }
 
 // Close shuts down both rings; in-flight calls fail with "connection
-// closed" and the dispatcher exits.
+// closed" and the dispatcher exits. Close is permanent: it defeats
+// Reconnect and refuses later Resets.
 func (c *Conn) Close(p *sim.Proc) {
+	c.shut = true
 	c.req.Close(p)
 	c.resp.Close(p)
+	p.Broadcast(c.resetCond)
+}
+
+// Crash severs the channel as a fault: both rings close, pending tags will
+// fail, and the dispatcher drains and exits — but unlike Close the
+// connection can be Reset. Idempotent while down.
+func (c *Conn) Crash(p *sim.Proc) {
+	if c.shut || c.down {
+		return
+	}
+	c.down = true
+	c.req.Close(p)
+	c.resp.Close(p)
+}
+
+// Reset rebuilds a crashed connection: anything still pending fails with
+// "connection closed", a fresh ring pair is allocated in co-processor
+// memory, a new dispatcher starts, and reconnect waiters wake. It returns
+// the proxy-side ports of the new rings (nil after Close). Tags owed late
+// responses on the dead rings are forgiven — those responses can never
+// arrive.
+func (c *Conn) Reset(p *sim.Proc) (reqPort, respPort *transport.Port) {
+	if c.shut {
+		return nil, nil
+	}
+	c.failPending(p)
+	reqRing := transport.NewRing(c.fabric, c.Phi, c.opt)
+	respRing := transport.NewRing(c.fabric, c.Phi, c.opt)
+	c.req = reqRing.Port(c.Phi, cpu.Phi)
+	c.resp = respRing.Port(c.Phi, cpu.Phi)
+	c.stale = make(map[uint16]int)
+	c.dead = false
+	c.down = false
+	if c.started {
+		c.spawnDispatcher(p)
+	}
+	p.Broadcast(c.resetCond)
+	return reqRing.Port(nil, cpu.Host), respRing.Port(nil, cpu.Host)
 }

@@ -1,0 +1,218 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+
+	"solros/internal/ninep"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/transport"
+)
+
+// TestWaitAfterCloseErrors is the regression for the original hang: a
+// Pending redeemed after the connection closed (dispatcher gone) must fail
+// immediately, and an async call issued after close must fail too rather
+// than park forever on a response that cannot arrive.
+func TestWaitAfterCloseErrors(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, respPort := NewConn(fab, phi, transport.Options{})
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		p.Spawn("mute-proxy", func(wp *sim.Proc) {
+			for {
+				if _, ok := reqPort.Recv(wp); !ok {
+					return
+				}
+			}
+		})
+		_ = respPort
+		pd := conn.CallAsync(p, &ninep.Msg{Type: ninep.Tstat, Name: "/x"})
+		conn.Close(p)
+		p.Advance(10 * sim.Microsecond)
+		if _, err := conn.Wait(p, pd); err == nil {
+			t.Error("Wait on a pre-close pending survived the close")
+		}
+		// Issued entirely after close: the dispatcher is dead, so the
+		// call must be stillborn, not parked.
+		late := conn.CallAsync(p, &ninep.Msg{Type: ninep.Tstat, Name: "/y"})
+		if _, err := conn.Wait(p, late); err == nil {
+			t.Error("Wait on a post-close call did not error")
+		}
+	})
+	e.MustRun()
+}
+
+// lossyProxy answers requests like echoProxy but swallows the first drop
+// requests without replying — the RPC-level view of a ring message loss.
+func lossyProxy(p *sim.Proc, req, resp *transport.Port, drop int) {
+	p.Spawn("lossy-proxy", func(wp *sim.Proc) {
+		for {
+			raw, ok := req.Recv(wp)
+			if !ok {
+				return
+			}
+			if drop > 0 {
+				drop--
+				continue
+			}
+			m, err := ninep.Decode(raw)
+			if err != nil {
+				panic(err)
+			}
+			resp.Send(wp, (&ninep.Msg{Type: ninep.Ropen, Tag: m.Tag, Size: int64(m.Fid)}).Encode())
+		}
+	})
+}
+
+func TestDeadlineResendRecoversLostRequest(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, respPort := NewConn(fab, phi, transport.Options{})
+	conn.Deadline = 50 * sim.Microsecond
+	conn.Retries = 3
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		lossyProxy(p, reqPort, respPort, 1)
+		start := p.Now()
+		resp, err := conn.Call(p, &ninep.Msg{Type: ninep.Topen, Fid: 42})
+		if err != nil {
+			t.Errorf("call lost once did not recover: %v", err)
+		} else if resp.Size != 42 {
+			t.Errorf("resent call answered wrong: size=%d", resp.Size)
+		}
+		if p.Now()-start < conn.Deadline {
+			t.Error("call completed before the deadline could have fired")
+		}
+		conn.Close(p)
+	})
+	e.MustRun()
+}
+
+func TestDeadlineExhaustionTimesOutAndDrainsStaleResponses(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, respPort := NewConn(fab, phi, transport.Options{})
+	conn.Deadline = 20 * sim.Microsecond
+	conn.Retries = 2
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		// Hoard every request; answer them all only after the caller has
+		// given up, so the dispatcher must drain them as stale.
+		var held [][]byte
+		hoard := sim.NewCond("hoard")
+		release := false
+		p.Spawn("hoarding-proxy", func(wp *sim.Proc) {
+			for {
+				raw, ok := reqPort.Recv(wp)
+				if !ok {
+					return
+				}
+				held = append(held, raw)
+			}
+		})
+		p.Spawn("late-replier", func(wp *sim.Proc) {
+			for !release {
+				wp.Wait(hoard)
+			}
+			for _, raw := range held {
+				m, err := ninep.Decode(raw)
+				if err != nil {
+					panic(err)
+				}
+				respPort.Send(wp, (&ninep.Msg{Type: ninep.Ropen, Tag: m.Tag}).Encode())
+			}
+		})
+		_, err := conn.Call(p, &ninep.Msg{Type: ninep.Topen, Fid: 7})
+		if err == nil {
+			t.Error("call with a mute proxy did not time out")
+		} else if !strings.Contains(err.Error(), "timed out") {
+			t.Errorf("wrong timeout error: %v", err)
+		}
+		// All 3 transmissions (original + 2 resends) now get answered
+		// late; the dispatcher must drop them without panicking.
+		release = true
+		p.Broadcast(hoard)
+		p.Advance(100 * sim.Microsecond)
+		// The retired tag must be reusable only after its stale
+		// responses drained; either way a fresh call still works once a
+		// healthy proxy answers.
+		if len(held) != 3 {
+			t.Errorf("proxy saw %d transmissions, want 3", len(held))
+		}
+		conn.Close(p)
+	})
+	e.MustRun()
+}
+
+func TestCrashResetReconnect(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, respPort := NewConn(fab, phi, transport.Options{})
+	conn.Reconnect = true
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		echoProxy(p, reqPort, respPort)
+		p.Spawn("crasher", func(cp *sim.Proc) {
+			cp.Advance(55 * sim.Microsecond)
+			conn.Crash(cp)
+			cp.Advance(100 * sim.Microsecond)
+			req2, resp2 := conn.Reset(cp)
+			if req2 == nil {
+				t.Error("Reset of a crashed (not closed) conn returned nil ports")
+				return
+			}
+			echoProxy(cp, req2, resp2)
+		})
+		// Calls straddle the outage: every one must complete — the ones
+		// severed by the crash via transparent reconnect.
+		for i := 0; i < 20; i++ {
+			resp, err := conn.Call(p, &ninep.Msg{Type: ninep.Topen, Fid: uint32(i)})
+			if err != nil {
+				t.Errorf("call %d failed across crash/reset: %v", i, err)
+				return
+			}
+			if resp.Size != int64(i) {
+				t.Errorf("call %d misrouted: got %d", i, resp.Size)
+			}
+			p.Advance(10 * sim.Microsecond)
+		}
+		conn.Close(p)
+	})
+	e.MustRun()
+}
+
+func TestCloseDefeatsReconnect(t *testing.T) {
+	fab := pcie.New(64 << 20)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, _ := NewConn(fab, phi, transport.Options{})
+	conn.Reconnect = true
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		p.Spawn("mute-proxy", func(wp *sim.Proc) {
+			for {
+				if _, ok := reqPort.Recv(wp); !ok {
+					return
+				}
+			}
+		})
+		p.Spawn("closer", func(cp *sim.Proc) {
+			cp.Advance(30 * sim.Microsecond)
+			conn.Close(cp)
+		})
+		// Reconnect must not loop forever on a permanent close.
+		if _, err := conn.Call(p, &ninep.Msg{Type: ninep.Tstat, Name: "/x"}); err == nil {
+			t.Error("call survived permanent close despite Reconnect")
+		}
+		if req, resp := conn.Reset(p); req != nil || resp != nil {
+			t.Error("Reset resurrected a closed connection")
+		}
+	})
+	e.MustRun()
+}

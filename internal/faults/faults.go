@@ -1,0 +1,225 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seed-driven Plan describing which hardware misbehaves and how often, and
+// an Injector that the storage, interconnect, and transport layers consult
+// at their injection points. Production split-OS designs treat partial
+// failure at the isolation boundary as the common case; this package lets
+// every data path in the repository be exercised under NVMe media errors,
+// PCIe link degradation, ring stalls and drops, and whole-channel crashes —
+// all on the sim virtual clock, so a faulty run is exactly as reproducible
+// as a healthy one.
+//
+// Determinism invariant: same seed + same plan + same workload => same
+// trace. Each injection site owns an independent PRNG stream derived from
+// (Seed, site name), and the sim kernel serializes all Procs, so the k-th
+// decision at a site is a pure function of the plan — never of host
+// scheduling. Adding a site, or reordering unrelated work, does not
+// perturb the streams of other sites.
+//
+// Everything is default-off: a nil *Plan (or nil *Injector) means no hook
+// fires and no time is charged, so the reproduced figures are untouched.
+package faults
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+)
+
+// Plan declares a machine's fault schedule. Rates are per-event
+// probabilities in [0, 1] drawn from the site's seeded stream; zero
+// disables that fault class. Magnitude fields fall back to the defaults
+// noted when left zero.
+type Plan struct {
+	// Seed derives every injection site's PRNG stream.
+	Seed int64
+
+	// NVMeReadErrRate fails read submissions with nvme.ErrMedia before
+	// any byte moves (transient media error; a retry re-reads cleanly).
+	NVMeReadErrRate float64
+	// NVMeWriteErrRate fails write submissions the same way.
+	NVMeWriteErrRate float64
+	// NVMeSlowRate delays a submission by NVMeSlowBy before service
+	// (internal retry/remap latency spike).
+	NVMeSlowRate float64
+	// NVMeSlowBy is the spike magnitude (default 150 us).
+	NVMeSlowBy sim.Time
+
+	// LinkSlowRate degrades one leg of a PCIe stream to rate/LinkSlowdown
+	// (link retraining to a lower width/speed).
+	LinkSlowRate float64
+	// LinkSlowdown is the degradation divisor (default 4).
+	LinkSlowdown int64
+	// LinkFlapRate stalls one leg of a stream by LinkFlapStall (link
+	// down/up flap; traffic holds until retrain completes).
+	LinkFlapRate float64
+	// LinkFlapStall is the flap outage length (default 50 us).
+	LinkFlapStall sim.Time
+
+	// RingDropRate silently discards a transport send on rings marked
+	// lossy — the sender believes it succeeded, so only RPC-level
+	// deadlines and resends recover the message.
+	RingDropRate float64
+	// RingStallRate delays a ring dequeue attempt by RingStall (combiner
+	// preemption / PCIe congestion on the control variables).
+	RingStallRate float64
+	// RingStall is the dequeue stall length (default 20 us).
+	RingStall sim.Time
+
+	// CrashTimes lists absolute sim times at which co-processor
+	// CrashPhi's RPC channel is severed; after CrashDowntime it is reset
+	// and reattached. Empty means no crashes.
+	CrashTimes []sim.Time
+	// CrashPhi selects the victim co-processor (default 0).
+	CrashPhi int
+	// CrashDowntime is how long the channel stays severed (default 2 ms).
+	CrashDowntime sim.Time
+}
+
+// withDefaults returns a copy with magnitude defaults filled in.
+func (pl Plan) withDefaults() Plan {
+	if pl.NVMeSlowBy == 0 {
+		pl.NVMeSlowBy = 150 * sim.Microsecond
+	}
+	if pl.LinkSlowdown <= 1 {
+		pl.LinkSlowdown = 4
+	}
+	if pl.LinkFlapStall == 0 {
+		pl.LinkFlapStall = 50 * sim.Microsecond
+	}
+	if pl.RingStall == 0 {
+		pl.RingStall = 20 * sim.Microsecond
+	}
+	if pl.CrashDowntime == 0 {
+		pl.CrashDowntime = 2 * sim.Millisecond
+	}
+	return pl
+}
+
+// Injector evaluates a Plan at each injection site. It implements the
+// consumer-side FaultInjector interfaces of internal/nvme, internal/pcie,
+// and internal/transport, so those packages never import this one. All
+// methods are called from sim Procs (serialized), so no locking is needed.
+type Injector struct {
+	plan  Plan
+	sites map[string]*rand.Rand
+
+	tel          *telemetry.Sink
+	telNVMeErr   *telemetry.Counter
+	telNVMeSlow  *telemetry.Counter
+	telLinkSlow  *telemetry.Counter
+	telLinkFlap  *telemetry.Counter
+	telRingDrop  *telemetry.Counter
+	telRingStall *telemetry.Counter
+}
+
+// NewInjector compiles a plan. The telemetry sink may be nil (counters and
+// spans collapse to no-ops).
+func NewInjector(plan *Plan, tel *telemetry.Sink) *Injector {
+	in := &Injector{
+		plan:  plan.withDefaults(),
+		sites: make(map[string]*rand.Rand),
+		tel:   tel,
+	}
+	if tel != nil {
+		in.telNVMeErr = tel.Counter("faults.nvme.media_errors")
+		in.telNVMeSlow = tel.Counter("faults.nvme.latency_spikes")
+		in.telLinkSlow = tel.Counter("faults.link.degrades")
+		in.telLinkFlap = tel.Counter("faults.link.flaps")
+		in.telRingDrop = tel.Counter("faults.ring.drops")
+		in.telRingStall = tel.Counter("faults.ring.stalls")
+	}
+	return in
+}
+
+// Plan reports the compiled plan, magnitude defaults filled in.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// site returns the PRNG stream for one injection site, creating it on
+// first use from (Seed, fnv64(name)).
+func (in *Injector) site(name string) *rand.Rand {
+	if r, ok := in.sites[name]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	r := rand.New(rand.NewSource(in.plan.Seed ^ int64(h.Sum64())))
+	in.sites[name] = r
+	return r
+}
+
+// hit draws one decision from a site's stream. Rate 0 short-circuits
+// without consuming a draw, so disabled classes leave streams untouched.
+func (in *Injector) hit(site string, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return in.site(site).Float64() < rate
+}
+
+// mark emits a zero-length span in the faults family so injections show up
+// in the trace timeline next to the operation they perturbed.
+func (in *Injector) mark(p *sim.Proc, name string) {
+	sp := in.tel.Start(p, name)
+	sp.End(p)
+}
+
+// NVMeFault implements nvme.FaultInjector: whether this submission fails
+// with a media error, and any extra latency to charge before service.
+func (in *Injector) NVMeFault(p *sim.Proc, write bool) (fail bool, delay sim.Time) {
+	op, rate := "read", in.plan.NVMeReadErrRate
+	if write {
+		op, rate = "write", in.plan.NVMeWriteErrRate
+	}
+	if in.hit("nvme."+op+".err", rate) {
+		fail = true
+		in.telNVMeErr.Add(1)
+		in.mark(p, "faults.nvme.media_error")
+	}
+	if in.hit("nvme."+op+".slow", in.plan.NVMeSlowRate) {
+		delay = in.plan.NVMeSlowBy
+		in.telNVMeSlow.Add(1)
+		in.mark(p, "faults.nvme.latency_spike")
+	}
+	return fail, delay
+}
+
+// LinkFault implements pcie.FaultInjector: a rate divisor (>= 1) and a
+// stall to apply to one leg of a stream crossing the named link.
+func (in *Injector) LinkFault(p *sim.Proc, link string) (slowdown int64, stall sim.Time) {
+	slowdown = 1
+	if in.hit("link."+link+".slow", in.plan.LinkSlowRate) {
+		slowdown = in.plan.LinkSlowdown
+		in.telLinkSlow.Add(1)
+		in.mark(p, "faults.link.degrade")
+	}
+	if in.hit("link."+link+".flap", in.plan.LinkFlapRate) {
+		stall = in.plan.LinkFlapStall
+		in.telLinkFlap.Add(1)
+		in.mark(p, "faults.link.flap")
+	}
+	return slowdown, stall
+}
+
+// RingSendDrop implements transport.FaultInjector for the enqueue side:
+// true means the ring silently discards this message.
+func (in *Injector) RingSendDrop(p *sim.Proc) bool {
+	if !in.hit("ring.send", in.plan.RingDropRate) {
+		return false
+	}
+	in.telRingDrop.Add(1)
+	in.mark(p, "faults.ring.drop")
+	return true
+}
+
+// RingRecvStall implements transport.FaultInjector for the dequeue side:
+// extra time to charge before this dequeue attempt.
+func (in *Injector) RingRecvStall(p *sim.Proc) sim.Time {
+	if !in.hit("ring.recv", in.plan.RingStallRate) {
+		return 0
+	}
+	in.telRingStall.Add(1)
+	in.mark(p, "faults.ring.stall")
+	return in.plan.RingStall
+}

@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"testing"
+
+	"solros/internal/sim"
+)
+
+// nvmeSeq records n read-fault decisions, optionally interleaving draws
+// at unrelated sites between them.
+func nvmeSeq(plan Plan, n int, interleave func(in *Injector, i int)) []bool {
+	in := NewInjector(&plan, nil)
+	out := make([]bool, n)
+	for i := range out {
+		fail, _ := in.NVMeFault(nil, false)
+		out[i] = fail
+		if interleave != nil {
+			interleave(in, i)
+		}
+	}
+	return out
+}
+
+func TestSameSeedSameDecisions(t *testing.T) {
+	plan := Plan{Seed: 7, NVMeReadErrRate: 0.3}
+	a := nvmeSeq(plan, 200, nil)
+	b := nvmeSeq(plan, 200, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged under the same seed", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := nvmeSeq(Plan{Seed: 1, NVMeReadErrRate: 0.3}, 200, nil)
+	b := nvmeSeq(Plan{Seed: 2, NVMeReadErrRate: 0.3}, 200, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			return
+		}
+	}
+	t.Fatal("200 decisions identical across different seeds")
+}
+
+func TestSitesAreIndependentStreams(t *testing.T) {
+	// Drawing at other sites between NVMe decisions must not perturb the
+	// NVMe stream: each site owns its own PRNG.
+	plan := Plan{Seed: 9, NVMeReadErrRate: 0.3, LinkSlowRate: 0.5, RingDropRate: 0.5}
+	plain := nvmeSeq(plan, 100, nil)
+	noisy := nvmeSeq(plan, 100, func(in *Injector, i int) {
+		in.LinkFault(nil, "phi0-up")
+		in.RingSendDrop(nil)
+	})
+	for i := range plain {
+		if plain[i] != noisy[i] {
+			t.Fatalf("decision %d perturbed by draws at unrelated sites", i)
+		}
+	}
+}
+
+func TestZeroRateConsumesNoDraws(t *testing.T) {
+	// A disabled class must not consume from any stream, so enabling one
+	// class cannot change another's decisions — and a zero-rate class
+	// never fires.
+	plan := Plan{Seed: 11, NVMeReadErrRate: 0.3}
+	plain := nvmeSeq(plan, 100, nil)
+	withWrites := nvmeSeq(plan, 100, func(in *Injector, i int) {
+		if fail, delay := in.NVMeFault(nil, true); fail || delay != 0 {
+			t.Fatal("zero-rate write class fired")
+		}
+	})
+	for i := range plain {
+		if plain[i] != withWrites[i] {
+			t.Fatalf("decision %d perturbed by zero-rate draws", i)
+		}
+	}
+}
+
+func TestPlanDefaultsFilled(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 1}, nil)
+	pl := in.Plan()
+	if pl.NVMeSlowBy != 150*sim.Microsecond {
+		t.Errorf("NVMeSlowBy default = %v", pl.NVMeSlowBy)
+	}
+	if pl.LinkSlowdown != 4 {
+		t.Errorf("LinkSlowdown default = %d", pl.LinkSlowdown)
+	}
+	if pl.LinkFlapStall != 50*sim.Microsecond {
+		t.Errorf("LinkFlapStall default = %v", pl.LinkFlapStall)
+	}
+	if pl.RingStall != 20*sim.Microsecond {
+		t.Errorf("RingStall default = %v", pl.RingStall)
+	}
+	if pl.CrashDowntime != 2*sim.Millisecond {
+		t.Errorf("CrashDowntime default = %v", pl.CrashDowntime)
+	}
+}

@@ -1,0 +1,214 @@
+package fs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"solros/internal/block"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+)
+
+// buildCheckImage formats a disk, grows a small tree — two multi-extent
+// files, a subdirectory, and a hard link — syncs all metadata, and hands
+// the raw image to the caller for corruption.
+func buildCheckImage(t *testing.T) *pcie.Memory {
+	t.Helper()
+	fab := pcie.New(256 << 20)
+	disk := block.NewMemDisk(fab, 16<<20)
+	if err := Mkfs(disk.Image(), 0); err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	e.Spawn("build", 0, func(p *sim.Proc) {
+		fsys, err := Mount(p, fab, disk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		a, err := fsys.Create(p, "/a")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := a.Write(p, 0, bytes.Repeat([]byte{0xAB}, 3*BlockSize+100)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fsys.Mkdir(p, "/d"); err != nil {
+			t.Error(err)
+			return
+		}
+		b, err := fsys.Create(p, "/d/b")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := b.Write(p, 0, bytes.Repeat([]byte{0xCD}, 2*BlockSize)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fsys.Link(p, "/a", "/d/alink"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fsys.Sync(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return disk.Image()
+}
+
+// sbu32 reads a little-endian u32 superblock field at byte offset off.
+func sbu32(img *pcie.Memory, off int64) uint32 {
+	return binary.LittleEndian.Uint32(img.Slice(off, 4))
+}
+
+// inodeSlot returns inode i's 256-byte table slot.
+func inodeSlot(img *pcie.Memory, i uint32) []byte {
+	itable := int64(sbu32(img, 36)) * BlockSize
+	return img.Slice(itable+int64(i)*InodeSize, InodeSize)
+}
+
+// findInode scans the table for an allocated inode of the given mode and
+// size, skipping the root.
+func findInode(t *testing.T, img *pcie.Memory, mode uint16, size int64) uint32 {
+	t.Helper()
+	nInodes := sbu32(img, 24)
+	for i := uint32(RootIno + 1); i < nInodes; i++ {
+		slot := inodeSlot(img, i)
+		if binary.LittleEndian.Uint16(slot[0:]) == mode &&
+			int64(binary.LittleEndian.Uint64(slot[8:])) == size {
+			return i
+		}
+	}
+	t.Fatalf("no inode with mode %d size %d", mode, size)
+	return 0
+}
+
+// wantProblem asserts that Check flags the image with a problem containing
+// substr.
+func wantProblem(t *testing.T, img *pcie.Memory, substr string) {
+	t.Helper()
+	rep := Check(img)
+	if rep.OK() {
+		t.Fatalf("corrupt image passed fsck (wanted problem containing %q)", substr)
+	}
+	for _, pr := range rep.Problems {
+		if strings.Contains(pr, substr) {
+			return
+		}
+	}
+	t.Fatalf("no problem contains %q; got %q", substr, rep.Problems)
+}
+
+func TestCheckCleanImagePasses(t *testing.T) {
+	img := buildCheckImage(t)
+	if rep := Check(img); !rep.OK() {
+		t.Fatalf("fresh image fails fsck: %q", rep.Problems)
+	} else if rep.Files != 2 || rep.Dirs != 2 {
+		t.Fatalf("Files=%d Dirs=%d, want 2 and 2", rep.Files, rep.Dirs)
+	}
+}
+
+func TestCheckTruncatedImage(t *testing.T) {
+	wantProblem(t, pcie.NewMemory(512), "image smaller than one block")
+}
+
+func TestCheckCorruptSuperblockMagic(t *testing.T) {
+	img := buildCheckImage(t)
+	img.Slice(0, 1)[0] = 'X'
+	wantProblem(t, img, "superblock:")
+}
+
+func TestCheckBadSuperblockVersion(t *testing.T) {
+	img := buildCheckImage(t)
+	binary.LittleEndian.PutUint32(img.Slice(8, 4), 0xDEAD)
+	wantProblem(t, img, "version")
+}
+
+func TestCheckBlockCountExceedsImage(t *testing.T) {
+	img := buildCheckImage(t)
+	binary.LittleEndian.PutUint64(img.Slice(16, 8), 1<<40)
+	wantProblem(t, img, "exceeds image")
+}
+
+func TestCheckExtentOutsideDataArea(t *testing.T) {
+	img := buildCheckImage(t)
+	ino := findInode(t, img, ModeFile, 3*BlockSize+100)
+	// First extent's Start field sits 4 bytes into the extent record.
+	binary.LittleEndian.PutUint32(inodeSlot(img, ino)[24+4:], 0)
+	wantProblem(t, img, "outside data area")
+}
+
+func TestCheckDoubleAllocatedBlock(t *testing.T) {
+	img := buildCheckImage(t)
+	a := findInode(t, img, ModeFile, 3*BlockSize+100)
+	b := findInode(t, img, ModeFile, 2*BlockSize)
+	// Point b's first extent at a's first block.
+	aStart := binary.LittleEndian.Uint32(inodeSlot(img, a)[24+4:])
+	binary.LittleEndian.PutUint32(inodeSlot(img, b)[24+4:], aStart)
+	wantProblem(t, img, "claimed by inodes")
+}
+
+func TestCheckUsedBlockFreeInBitmap(t *testing.T) {
+	img := buildCheckImage(t)
+	ino := findInode(t, img, ModeFile, 2*BlockSize)
+	start := binary.LittleEndian.Uint32(inodeSlot(img, ino)[24+4:])
+	bitmap := img.Slice(int64(sbu32(img, 28))*BlockSize, int64(sbu32(img, 32))*BlockSize)
+	bitmap[start/8] &^= 1 << (start % 8)
+	wantProblem(t, img, "in use but free in bitmap")
+}
+
+func TestCheckLeakedBlock(t *testing.T) {
+	img := buildCheckImage(t)
+	// Mark the image's last data block used without any owner.
+	nblocks := binary.LittleEndian.Uint64(img.Slice(16, 8))
+	leak := uint32(nblocks - 1)
+	bitmap := img.Slice(int64(sbu32(img, 28))*BlockSize, int64(sbu32(img, 32))*BlockSize)
+	bitmap[leak/8] |= 1 << (leak % 8)
+	wantProblem(t, img, "marked used but unowned (leak)")
+}
+
+func TestCheckCorruptDirectoryContent(t *testing.T) {
+	img := buildCheckImage(t)
+	// Scribble over the root directory's content: a dirent whose name
+	// length runs past the buffer.
+	root := inodeSlot(img, RootIno)
+	start := binary.LittleEndian.Uint32(root[24+4:])
+	size := binary.LittleEndian.Uint64(root[8:])
+	data := img.Slice(int64(start)*BlockSize, int64(size))
+	for i := range data {
+		data[i] = 0xFF
+	}
+	wantProblem(t, img, "corrupt directory content")
+}
+
+func TestCheckNlinkMismatch(t *testing.T) {
+	img := buildCheckImage(t)
+	// /a has two links (/a and /d/alink); claim it has one.
+	ino := findInode(t, img, ModeFile, 3*BlockSize+100)
+	binary.LittleEndian.PutUint16(inodeSlot(img, ino)[2:], 1)
+	wantProblem(t, img, "nlink=1")
+}
+
+func TestCheckUnreachableInode(t *testing.T) {
+	img := buildCheckImage(t)
+	// Fabricate an allocated zero-length file no directory references.
+	nInodes := sbu32(img, 24)
+	for i := uint32(RootIno + 1); i < nInodes; i++ {
+		slot := inodeSlot(img, i)
+		if binary.LittleEndian.Uint16(slot[0:]) == ModeFree {
+			binary.LittleEndian.PutUint16(slot[0:], ModeFile)
+			binary.LittleEndian.PutUint16(slot[2:], 1)
+			wantProblem(t, img, "allocated but unreachable from root")
+			return
+		}
+	}
+	t.Fatal("no free inode slot to corrupt")
+}

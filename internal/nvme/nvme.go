@@ -44,6 +44,14 @@ func (o Op) String() string {
 	return "write"
 }
 
+// FaultInjector is the device's hook into a fault plan (consumer-side
+// interface; implemented by internal/faults). NVMeFault is consulted once
+// per Submit: fail completes the vector with ErrMedia before any byte
+// moves, and delay is charged ahead of service (a latency spike).
+type FaultInjector interface {
+	NVMeFault(p *sim.Proc, write bool) (fail bool, delay sim.Time)
+}
+
 // Command is one NVMe command: Bytes of data at sector LBA, transferred
 // from/to Target (host RAM or a co-processor's system-mapped memory).
 type Command struct {
@@ -67,6 +75,8 @@ type Device struct {
 	// failNext makes the next N commands complete with a media error
 	// (fault injection for resilience tests).
 	failNext int
+	// inj, when set, is consulted on every Submit (plan-driven faults).
+	inj FaultInjector
 
 	// stats
 	doorbells  int64
@@ -151,8 +161,18 @@ func (d *Device) Submit(p *sim.Proc, cmds []Command, coalesce bool) error {
 	sp := d.tel.Start(p, "nvme.submit")
 	sp.Tag("op", cmds[0].Op.String())
 	sp.TagInt("cmds", int64(len(cmds)))
-	if d.failNext > 0 {
-		d.failNext--
+	injFail := false
+	if d.inj != nil {
+		fail, delay := d.inj.NVMeFault(p, cmds[0].Op == OpWrite)
+		injFail = fail
+		if delay > 0 {
+			p.Advance(delay)
+		}
+	}
+	if d.failNext > 0 || injFail {
+		if d.failNext > 0 {
+			d.failNext--
+		}
 		d.mediaErrs++
 		d.doorbells++
 		d.interrupts++
@@ -277,6 +297,9 @@ func (d *Device) WriteAt(p *sim.Proc, off, n int64, target pcie.Loc, coalesce bo
 
 // InjectErrors makes the next n Submit calls fail with ErrMedia.
 func (d *Device) InjectErrors(n int) { d.failNext = n }
+
+// SetInjector installs a plan-driven fault injector; nil disables it.
+func (d *Device) SetInjector(inj FaultInjector) { d.inj = inj }
 
 // Stats reports doorbell rings, interrupts, commands, and bytes moved.
 type Stats struct {

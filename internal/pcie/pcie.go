@@ -51,6 +51,14 @@ type Device struct {
 	fabric           *Fabric
 }
 
+// FaultInjector is the fabric's hook into a fault plan (consumer-side
+// interface; implemented by internal/faults). LinkFault is consulted once
+// per stream leg: slowdown >= 1 divides the link's effective rate for that
+// leg (degraded link) and stall delays its completion (link flap).
+type FaultInjector interface {
+	LinkFault(p *sim.Proc, link string) (slowdown int64, stall sim.Time)
+}
+
 // Fabric is the whole interconnect of one machine.
 type Fabric struct {
 	// HostRAM is host DRAM.
@@ -60,6 +68,8 @@ type Fabric struct {
 	qpiRelay *sim.Resource
 	devices  []*Device
 	txns     int64
+	// inj, when set, perturbs stream legs (plan-driven faults).
+	inj FaultInjector
 
 	// telemetry (nil handles when disabled; every update is a no-op)
 	tel     *telemetry.Sink
@@ -104,6 +114,24 @@ func (f *Fabric) SetTelemetry(s *telemetry.Sink) {
 
 // Telemetry reports the fabric's sink (nil when telemetry is off).
 func (f *Fabric) Telemetry() *telemetry.Sink { return f.tel }
+
+// SetInjector installs a plan-driven fault injector on every link; nil
+// (the default) disables injection.
+func (f *Fabric) SetInjector(inj FaultInjector) { f.inj = inj }
+
+// legFault asks the injector how this stream leg is perturbed: the byte
+// count inflated by any rate degradation, plus a stall to add to the leg's
+// completion. A no-op without an injector.
+func (f *Fabric) legFault(p *sim.Proc, r *sim.Resource, n int64) (int64, sim.Time) {
+	if f.inj == nil {
+		return n, 0
+	}
+	slowdown, stall := f.inj.LinkFault(p, r.Name)
+	if slowdown > 1 {
+		n *= slowdown
+	}
+	return n, stall
+}
 
 func (f *Fabric) registerLink(r *sim.Resource) {
 	f.linkTel[r] = linkTel{
@@ -290,7 +318,8 @@ func (f *Fabric) StreamAsync(p *sim.Proc, srcDev, dstDev *Device, n int64) sim.T
 	var latest sim.Time
 	for _, r := range f.path(srcDev, dstDev) {
 		f.countLink(r, n)
-		if done := p.UseAsync(r, n); done > latest {
+		sn, stall := f.legFault(p, r, n)
+		if done := p.UseAsync(r, sn) + stall; done > latest {
 			latest = done
 		}
 	}
@@ -308,7 +337,8 @@ func (f *Fabric) stream(p *sim.Proc, initiator cpu.Kind, src, dst Loc, n int64) 
 		// byte count on this reservation.
 		scaled := n * r.Rate / rate
 		f.countLink(r, n)
-		done := p.UseAsync(r, scaled)
+		scaled, stall := f.legFault(p, r, scaled)
+		done := p.UseAsync(r, scaled) + stall
 		if done > latest {
 			latest = done
 		}

@@ -69,6 +69,9 @@ type Proc struct {
 	heapIndex int
 	// what the proc is blocked on, for deadlock diagnostics
 	waitingOn string
+	// waitSeq counts parks; WaitTimeout timers capture it so a timer
+	// whose wait already ended (and the proc re-parked) cannot fire.
+	waitSeq uint64
 }
 
 // Engine owns a set of Procs and executes them in virtual-time order.
@@ -222,6 +225,7 @@ func (p *Proc) requeue() {
 // park blocks the Proc outside the run queue until some other Proc wakes it.
 func (p *Proc) park(what string) {
 	p.state = stateWaiting
+	p.waitSeq++
 	p.waitingOn = what
 	p.eng.emit(EvBlock, p.time, p.name, what)
 	p.yield()

@@ -23,6 +23,40 @@ func (p *Proc) Wait(c *Cond) {
 	p.park(c.Name)
 }
 
+// WaitTimeout parks the calling Proc on c for at most d of virtual time and
+// reports whether the wait ended by timeout rather than Signal/Broadcast.
+// As with Wait, callers must re-check their predicate on a false return; a
+// true return means nobody signalled within d and the Proc's clock now sits
+// at the deadline. d <= 0 degrades to a plain Wait.
+//
+// The deadline is a one-shot timer Proc ordered by the engine's (time, id)
+// heap like any other Proc, so runs with timeouts remain deterministic. A
+// timer whose wait already ended — even if the Proc immediately re-parked
+// on the same Cond — is disarmed by the park generation counter.
+func (p *Proc) WaitTimeout(c *Cond, d Time) (timedOut bool) {
+	if d <= 0 {
+		p.Wait(c)
+		return false
+	}
+	seq := p.waitSeq + 1 // the generation the upcoming park will have
+	fired := false
+	p.eng.Spawn("timeout:"+c.Name, p.time+d, func(tp *Proc) {
+		if p.state != stateWaiting || p.waitSeq != seq {
+			return // the wait already ended; stale timer
+		}
+		for i, w := range c.waiters {
+			if w == p {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				fired = true
+				p.wakeAt(tp.time)
+				return
+			}
+		}
+	})
+	p.Wait(c)
+	return fired
+}
+
 // Signal wakes the longest-waiting Proc, if any, at the caller's current
 // time. It reports whether a Proc was woken.
 func (p *Proc) Signal(c *Cond) bool {

@@ -1,0 +1,69 @@
+package sim
+
+import "testing"
+
+func TestWaitTimeoutFires(t *testing.T) {
+	e := NewEngine()
+	c := NewCond("never")
+	e.Spawn("waiter", 0, func(p *Proc) {
+		if !p.WaitTimeout(c, 100*Microsecond) {
+			t.Error("wait on a never-signaled cond did not time out")
+		}
+		if p.Now() != 100*Microsecond {
+			t.Errorf("woke at %v, want 100us", p.Now())
+		}
+	})
+	e.MustRun()
+}
+
+func TestWaitTimeoutSignaledEarly(t *testing.T) {
+	e := NewEngine()
+	c := NewCond("early")
+	e.Spawn("signaler", 50*Microsecond, func(p *Proc) { p.Signal(c) })
+	e.Spawn("waiter", 0, func(p *Proc) {
+		if p.WaitTimeout(c, 100*Microsecond) {
+			t.Error("signaled wait reported a timeout")
+		}
+		if p.Now() != 50*Microsecond {
+			t.Errorf("woke at %v, want 50us", p.Now())
+		}
+	})
+	e.MustRun()
+}
+
+func TestWaitTimeoutStaleTimerDoesNotFire(t *testing.T) {
+	// A waiter signaled before its deadline immediately re-parks on the
+	// same cond; the disarmed first timer (due at 100us) must not wake
+	// the second wait, which should sleep until its own 300us deadline.
+	e := NewEngine()
+	c := NewCond("reused")
+	e.Spawn("signaler", 40*Microsecond, func(p *Proc) { p.Signal(c) })
+	e.Spawn("waiter", 0, func(p *Proc) {
+		if p.WaitTimeout(c, 100*Microsecond) {
+			t.Error("first wait timed out despite the 40us signal")
+		}
+		if p.WaitTimeout(c, 260*Microsecond) {
+			if p.Now() != 300*Microsecond {
+				t.Errorf("second wait ended at %v, want its own 300us deadline", p.Now())
+			}
+		} else {
+			t.Error("second wait was woken with no signaler left")
+		}
+	})
+	e.MustRun()
+}
+
+func TestWaitTimeoutZeroIsPlainWait(t *testing.T) {
+	e := NewEngine()
+	c := NewCond("plain")
+	e.Spawn("signaler", 70*Microsecond, func(p *Proc) { p.Signal(c) })
+	e.Spawn("waiter", 0, func(p *Proc) {
+		if p.WaitTimeout(c, 0) {
+			t.Error("zero deadline reported a timeout")
+		}
+		if p.Now() != 70*Microsecond {
+			t.Errorf("woke at %v, want 70us", p.Now())
+		}
+	})
+	e.MustRun()
+}

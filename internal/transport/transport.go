@@ -34,6 +34,16 @@ var ErrWouldBlock = errors.New("transport: operation would block")
 // ErrClosed is returned by TrySend once the ring has been closed.
 var ErrClosed = errors.New("transport: ring closed")
 
+// FaultInjector is the ring's hook into a fault plan (consumer-side
+// interface; implemented by internal/faults). RingSendDrop is consulted on
+// every send to a lossy-marked ring — true silently discards the message,
+// so only an end-to-end retry recovers it. RingRecvStall is consulted on
+// every dequeue attempt and returns extra latency to charge.
+type FaultInjector interface {
+	RingSendDrop(p *sim.Proc) bool
+	RingRecvStall(p *sim.Proc) sim.Time
+}
+
 // UpdateMode selects how the ring's head/tail control variables are kept
 // coherent across the PCIe bus (§4.2.4).
 type UpdateMode int
@@ -129,6 +139,11 @@ type Ring struct {
 
 	closed bool
 
+	// inj, when set, perturbs ring operations; lossy additionally arms
+	// message drops (only meaningful under an end-to-end retry story).
+	inj   FaultInjector
+	lossy bool
+
 	// stats
 	sent, received int64
 	sentBytes      int64
@@ -197,6 +212,25 @@ func (r *Ring) Port(dev *pcie.Device, kind cpu.Kind) *Port {
 // Ring returns the port's underlying ring.
 func (pt *Port) Ring() *Ring { return pt.ring }
 
+// SetInjector installs a plan-driven fault injector. lossy additionally
+// arms send drops; set it only for rings whose callers retry end to end
+// (RPC request/response rings under deadlines), or messages vanish for
+// good. nil disables injection.
+func (r *Ring) SetInjector(inj FaultInjector, lossy bool) {
+	r.inj = inj
+	r.lossy = lossy && inj != nil
+}
+
+// recvStall charges any injected dequeue stall.
+func (r *Ring) recvStall(p *sim.Proc) {
+	if r.inj == nil {
+		return
+	}
+	if d := r.inj.RingRecvStall(p); d > 0 {
+		p.Advance(d)
+	}
+}
+
 // isMaster reports whether this port accesses the ring's storage locally.
 func (pt *Port) isMaster() bool { return pt.dev == pt.ring.masterDev }
 
@@ -241,6 +275,11 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 	need := (int64(len(msg)) + 7) &^ 7
 	if need > r.capBytes {
 		return errors.New("transport: message larger than ring")
+	}
+	if r.lossy && r.inj.RingSendDrop(p) {
+		// The message vanishes without being enqueued; the sender sees a
+		// successful send, so only an end-to-end retry recovers it.
+		return nil
 	}
 	sp := r.tel.Start(p, "transport.send")
 	sp.TagInt("bytes", int64(len(msg)))
@@ -311,6 +350,7 @@ func (pt *Port) Send(p *sim.Proc, msg []byte) {
 // its payload; ErrWouldBlock if none is ready.
 func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 	r := pt.ring
+	r.recvStall(p)
 	sp := r.tel.Start(p, "transport.recv")
 	combineEnter(p, &r.deq)
 	if r.opt.Update == Eager {
@@ -357,6 +397,7 @@ func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
 	if max <= 0 || max > r.opt.Batch {
 		max = r.opt.Batch
 	}
+	r.recvStall(p)
 	sp := r.tel.Start(p, "transport.recv_batch")
 	combineEnter(p, &r.deq)
 	if r.opt.Update == Eager {
