@@ -56,6 +56,8 @@ func main() {
 		}
 	case "help":
 		usage()
+	case "explore":
+		runExplore(args[1:])
 	default:
 		for _, id := range args {
 			if _, _, ok := bench.Lookup(id); !ok {
@@ -133,4 +135,5 @@ func usage() {
 		fmt.Printf("  %-8s %s\n", e.ID, e.Desc)
 	}
 	fmt.Println("  all      run everything in paper order")
+	fmt.Println("  explore  sweep scheduling seeds with invariant oracles armed (see explore -h)")
 }

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden row tables from the current run")
+
+// TestFigureGoldens pins the headline experiments bit-for-bit: with
+// exploration off (no SchedSeed, no oracles — the default Config), every
+// row of fig1a, fig11, and fig13 must match the committed goldens exactly.
+// This is the guarantee that the schedule-exploration machinery is
+// zero-cost when disarmed: seeded tie-break and oracle polling change
+// nothing unless a config opts in.
+//
+// Regenerate after an intentional model change with:
+//
+//	go test ./internal/bench -run TestFigureGoldens -update-golden
+func TestFigureGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure runs are not short")
+	}
+	for _, id := range []string{"fig1a", "fig11", "fig13"} {
+		t.Run(id, func(t *testing.T) {
+			run, _, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			got := Format(run())
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s rows diverged from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+					id, path, got, want)
+			}
+		})
+	}
+}

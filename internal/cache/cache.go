@@ -128,6 +128,18 @@ func (c *Cache) InvalidateRange(ino uint32, off, n int64) {
 	}
 }
 
+// ForEach visits every resident page in deterministic LRU order (most
+// recent first) without touching recency or stats. Oracles use it to audit
+// frame contents against backing storage.
+func (c *Cache) ForEach(fn func(ino uint32, blk int64, loc pcie.Loc) bool) {
+	for elt := c.lru.Front(); elt != nil; elt = elt.Next() {
+		pg := elt.Value.(*page)
+		if !fn(pg.k.Ino, pg.k.Blk, pg.loc) {
+			return
+		}
+	}
+}
+
 // Stats reports hits, misses, and evictions.
 func (c *Cache) Stats() (hits, misses, evictions int64) {
 	return c.hits, c.misses, c.evictions

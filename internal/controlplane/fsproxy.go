@@ -251,13 +251,19 @@ func (px *FSProxy) fidKey(ch *channel, fid uint32) uint32 {
 func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
 	switch m.Type {
 	case ninep.Topen, ninep.Tcreate:
+		// Metadata ops walk directory blocks on the same NVMe the data
+		// legs use, so degraded mode retries their transient media errors
+		// too (retryIO passes every other error through on first attempt).
 		var f *fs.File
-		var err error
-		if m.Type == ninep.Tcreate {
-			f, err = px.FS.OpenOrCreate(p, m.Name)
-		} else {
-			f, err = px.FS.Open(p, m.Name)
-		}
+		err := px.retryIO(p, func() error {
+			var e error
+			if m.Type == ninep.Tcreate {
+				f, e = px.FS.OpenOrCreate(p, m.Name)
+			} else {
+				f, e = px.FS.Open(p, m.Name)
+			}
+			return e
+		})
 		if err != nil {
 			return rerror(err)
 		}
@@ -291,26 +297,48 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
 		return &ninep.Msg{Type: ninep.Rwrite, Count: n}
 
 	case ninep.Tstat:
-		st, err := px.FS.Stat(p, m.Name)
+		var st fs.FileInfo
+		err := px.retryIO(p, func() error {
+			var e error
+			st, e = px.FS.Stat(p, m.Name)
+			return e
+		})
 		if err != nil {
 			return rerror(err)
 		}
 		return &ninep.Msg{Type: ninep.Rstat, Size: st.Size, Mode: st.Mode}
 
 	case ninep.Tunlink:
-		if err := px.FS.Unlink(p, m.Name); err != nil {
+		var ino uint32
+		var freed bool
+		err := px.retryIO(p, func() error {
+			var e error
+			ino, freed, e = px.FS.UnlinkIno(p, m.Name)
+			return e
+		})
+		if err != nil {
 			return rerror(err)
+		}
+		if freed && !px.DisableCache {
+			// The inode (and its blocks) can be reallocated to another
+			// file; stale frames keyed by this ino must not survive that.
+			px.Cache.Invalidate(ino)
 		}
 		return &ninep.Msg{Type: ninep.Runlink}
 
 	case ninep.Tmkdir:
-		if err := px.FS.Mkdir(p, m.Name); err != nil {
+		if err := px.retryIO(p, func() error { return px.FS.Mkdir(p, m.Name) }); err != nil {
 			return rerror(err)
 		}
 		return &ninep.Msg{Type: ninep.Rmkdir}
 
 	case ninep.Treaddir:
-		ents, err := px.FS.ReadDir(p, m.Name)
+		var ents []fs.Dirent
+		err := px.retryIO(p, func() error {
+			var e error
+			ents, e = px.FS.ReadDir(p, m.Name)
+			return e
+		})
 		if err != nil {
 			return rerror(err)
 		}
@@ -326,7 +354,7 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
 		if !ok {
 			return rerror(fmt.Errorf("fsproxy: bad fid %d", m.Fid))
 		}
-		if err := of.f.Truncate(p, m.Size); err != nil {
+		if err := px.retryIO(p, func() error { return of.f.Truncate(p, m.Size) }); err != nil {
 			return rerror(err)
 		}
 		px.Cache.Invalidate(of.f.Ino())
@@ -338,7 +366,7 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
 		if len(parts) != 2 {
 			return rerror(fmt.Errorf("fsproxy: malformed rename %q", m.Name))
 		}
-		if err := px.FS.Rename(p, parts[0], parts[1]); err != nil {
+		if err := px.retryIO(p, func() error { return px.FS.Rename(p, parts[0], parts[1]) }); err != nil {
 			return rerror(err)
 		}
 		return &ninep.Msg{Type: ninep.Rrename}
@@ -348,13 +376,16 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
 		if len(parts) != 2 {
 			return rerror(fmt.Errorf("fsproxy: malformed link %q", m.Name))
 		}
-		if err := px.FS.Link(p, parts[0], parts[1]); err != nil {
+		if err := px.retryIO(p, func() error { return px.FS.Link(p, parts[0], parts[1]) }); err != nil {
 			return rerror(err)
 		}
 		return &ninep.Msg{Type: ninep.Rlink}
 
 	case ninep.Tsync:
-		if err := px.FS.Sync(p); err != nil {
+		// Metadata flush is a disk leg like any other: in degraded mode a
+		// transient media error mid-sync is retried (syncLocked re-writes
+		// whatever is still dirty; block writes are idempotent).
+		if err := px.retryIO(p, func() error { return px.FS.Sync(p) }); err != nil {
 			return rerror(err)
 		}
 		return &ninep.Msg{Type: ninep.Rsync}
@@ -506,6 +537,9 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 	limit := px.alignedLimit(of.f)
 
 	// Fill missing pages: batch contiguous misses into one disk vector.
+	// Each inserted frame is marked pendingFill until its disk read lands,
+	// so a concurrent worker's fullyCached/pushFromCache cannot serve the
+	// unfilled frame as a cache hit.
 	var missLocs []pcie.Loc
 	var missStart int64 = -1
 	flush := func(endBlk int64) error {
@@ -520,18 +554,28 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 			if pOff+sz > limit {
 				sz = limit - pOff
 			}
-			if sz <= 0 {
-				break
+			var err error
+			if sz > 0 {
+				err = px.retryIO(p, func() error {
+					return of.f.ReadTo(p, pOff, sz, loc, px.Coalesce)
+				})
 			}
-			err := px.retryIO(p, func() error {
-				return of.f.ReadTo(p, pOff, sz, loc, px.Coalesce)
-			})
-			if err != nil {
-				// The frame holds garbage; drop the page so a retry of
-				// the whole request refills it instead of serving junk.
-				px.Cache.InvalidateRange(of.f.Ino(), pOff, cache.PageSize)
+			if err != nil || sz <= 0 {
+				// The remaining frames hold garbage; drop them (and their
+				// claims) so a retry of the whole request refills them
+				// instead of serving junk, and no waiter wedges.
+				for j := i; j < len(missLocs); j++ {
+					blk := missStart + int64(j)
+					px.Cache.InvalidateRange(ino, blk*cache.PageSize, cache.PageSize)
+					delete(px.pendingFill, pageKey{ino: ino, blk: blk})
+				}
+				p.Broadcast(px.fillCond)
+				missLocs = missLocs[:0]
+				missStart = -1
 				return err
 			}
+			delete(px.pendingFill, pageKey{ino: ino, blk: missStart + int64(i)})
+			p.Broadcast(px.fillCond)
 		}
 		missLocs = missLocs[:0]
 		missStart = -1
@@ -555,6 +599,7 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 			}
 			missStart = blk
 		}
+		px.pendingFill[pageKey{ino: ino, blk: blk}] = true
 		missLocs = append(missLocs, px.Cache.Insert(ino, blk))
 	}
 	if err := flush(last + 1); err != nil {
@@ -885,10 +930,16 @@ func (px *FSProxy) Prefetch(p *sim.Proc, path string) error {
 	}
 	limit := px.alignedLimit(f)
 	for pos := int64(0); pos < limit; pos += cache.PageSize {
-		if _, ok := px.Cache.Lookup(f.Ino(), pos/cache.PageSize); ok {
+		blk := pos / cache.PageSize
+		k := pageKey{ino: f.Ino(), blk: blk}
+		if px.pendingFill[k] {
+			continue // another proc is filling it
+		}
+		if _, ok := px.Cache.Lookup(f.Ino(), blk); ok {
 			continue
 		}
-		loc := px.Cache.Insert(f.Ino(), pos/cache.PageSize)
+		px.pendingFill[k] = true
+		loc := px.Cache.Insert(f.Ino(), blk)
 		sz := int64(cache.PageSize)
 		if pos+sz > limit {
 			sz = limit - pos
@@ -896,12 +947,58 @@ func (px *FSProxy) Prefetch(p *sim.Proc, path string) error {
 		err := px.retryIO(p, func() error {
 			return f.ReadTo(p, pos, sz, loc, px.Coalesce)
 		})
+		delete(px.pendingFill, k)
+		p.Broadcast(px.fillCond)
 		if err != nil {
 			px.Cache.InvalidateRange(f.Ino(), pos, cache.PageSize)
 			return err
 		}
 	}
 	return nil
+}
+
+// CheckCacheCoherence audits every resident cache frame against backing
+// storage: a frame's bytes must equal the disk blocks its (ino, blk) maps
+// to through the file system's in-memory extent tree. Frames with an
+// in-flight claimed fill (pendingFill) are exempt — their bytes are still
+// on the flash — as are frames of freed or sparse regions awaiting the
+// owner's invalidation in the same handler. This is the cache half of the
+// exploration oracle layer; it would have caught a fill publishing its
+// frame before the disk read landed, or a write skipping invalidation.
+func (px *FSProxy) CheckCacheCoherence() error {
+	img := px.SSD.Image()
+	var violation error
+	px.Cache.ForEach(func(ino uint32, blk int64, loc pcie.Loc) bool {
+		if px.pendingFill[pageKey{ino: ino, blk: blk}] {
+			return true
+		}
+		extents, _, ok := px.FS.InodeExtents(ino)
+		if !ok {
+			return true // freed inode; invalidation pending in its handler
+		}
+		var disk int64 = -1
+		for _, e := range extents {
+			if blk >= int64(e.Logical) && blk < int64(e.Logical)+int64(e.Count) {
+				disk = (int64(e.Start) + blk - int64(e.Logical)) * fs.BlockSize
+				break
+			}
+		}
+		if disk < 0 || disk+cache.PageSize > img.Size() {
+			return true // sparse or truncated region; not servable anyway
+		}
+		want := img.Slice(disk, cache.PageSize)
+		got := px.fabric.HostRAM.Slice(loc.Off, cache.PageSize)
+		for i := range want {
+			if got[i] != want[i] {
+				violation = fmt.Errorf(
+					"fsproxy: cache frame (ino %d, blk %d) diverges from disk block %d at byte %d: %#x != %#x",
+					ino, blk, disk/fs.BlockSize, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	})
+	return violation
 }
 
 // PathStats reports how many operations each data path served.

@@ -93,6 +93,47 @@ type Config struct {
 	// Telemetry receives spans and metrics from every subsystem; nil
 	// falls back to telemetry.Default (also usually nil — telemetry off).
 	Telemetry *telemetry.Sink
+	// SchedSeed arms the sim kernel's seeded tie-break policy: procs
+	// runnable at the same virtual timestamp are ordered by a per-push
+	// PRNG stream instead of spawn order, so each seed explores a
+	// different interleaving and replays byte-identically. Zero (the
+	// default) keeps the historical deterministic order untouched.
+	SchedSeed int64
+	// SchedBudget bounds how many random tie-break draws the seeded
+	// policy makes before reverting to deterministic order (0 =
+	// unlimited); the explorer's shrinker uses it to minimize failures.
+	SchedBudget int64
+	// Oracles are machine-wide invariant checkers polled at every
+	// scheduling decision (see Oracle). The first violation is recorded
+	// on the machine (Machine.Violation) and checking stops. Empty by
+	// default — zero cost for every figure.
+	Oracles []Oracle
+	// OracleEvery polls the oracles every N dispatches (default 1, i.e.
+	// at every scheduling decision).
+	OracleEvery int
+}
+
+// Oracle is a machine-wide invariant checker for schedule exploration. The
+// engine polls each registered oracle at dispatch points; Check returns a
+// non-nil error to report a violation. Checks run between proc executions,
+// so they observe a consistent (serialized) machine state, and they must
+// not mutate it or advance virtual time. Check must tolerate a machine
+// that has not booted yet (FSProxy and FS are nil until boot).
+type Oracle interface {
+	Name() string
+	Check(m *Machine) error
+}
+
+// Violation records the first invariant failure an oracle detected.
+type Violation struct {
+	// Oracle is the reporting oracle's name.
+	Oracle string
+	// Err is the invariant violation.
+	Err error
+	// At is the virtual time of the scheduling decision that exposed it.
+	At sim.Time
+	// Dispatch is the dispatch ordinal (Engine.Dispatches) at detection.
+	Dispatch int64
 }
 
 func (c *Config) fill() {
@@ -150,11 +191,15 @@ type Machine struct {
 	ClientStack *netstack.Stack
 	TCPProxy    *controlplane.TCPProxy
 
-	cfg     Config
-	inj     *faults.Injector
-	booted  bool
-	stopped bool
+	cfg       Config
+	inj       *faults.Injector
+	booted    bool
+	stopped   bool
+	violation *Violation
 }
+
+// Violation reports the first oracle violation of the run, or nil.
+func (m *Machine) Violation() *Violation { return m.violation }
 
 // Injector exposes the machine's fault injector (nil when Config.Faults
 // is nil), mainly so tests and benches can read the compiled plan.
@@ -178,8 +223,48 @@ func NewMachine(cfg Config) *Machine {
 		Host:   cpu.HostPool(),
 		cfg:    cfg,
 	}
+	if cfg.SchedSeed != 0 {
+		m.Engine.SetSchedSeed(cfg.SchedSeed)
+		m.Engine.SetSchedBudget(cfg.SchedBudget)
+	}
+	var telTracer sim.Tracer
 	if tel != nil {
-		m.Engine.SetTracer(tel.SchedTracer())
+		telTracer = tel.SchedTracer()
+	}
+	if len(cfg.Oracles) > 0 {
+		every := int64(cfg.OracleEvery)
+		if every < 1 {
+			every = 1
+		}
+		var polls int64
+		m.Engine.SetTracer(func(ev sim.Event) {
+			if telTracer != nil {
+				telTracer(ev)
+			}
+			// Oracles observe the machine between proc executions, where
+			// state is consistent. After the first violation, stop: later
+			// checks would only report knock-on damage.
+			if ev.Kind != sim.EvDispatch || m.violation != nil {
+				return
+			}
+			polls++
+			if polls%every != 0 {
+				return
+			}
+			for _, o := range cfg.Oracles {
+				if err := o.Check(m); err != nil {
+					m.violation = &Violation{
+						Oracle:   o.Name(),
+						Err:      err,
+						At:       ev.Time,
+						Dispatch: m.Engine.Dispatches(),
+					}
+					return
+				}
+			}
+		})
+	} else if telTracer != nil {
+		m.Engine.SetTracer(telTracer)
 	}
 	if cfg.Faults != nil {
 		m.inj = faults.NewInjector(cfg.Faults, tel)
@@ -243,7 +328,21 @@ func (m *Machine) boot(p *sim.Proc) {
 		return
 	}
 	m.booted = true
-	fsys, err := fs.Mount(p, m.Fabric, block.NVMe{Dev: m.SSD})
+	// Degraded-mode boot: mount reads go through the same NVMe the fault
+	// injector targets, so ride out transient media errors like the data
+	// path does (FSProxy.RetryIO below) instead of dying on one.
+	tries := 1
+	if m.inj != nil {
+		tries = 4
+	}
+	var fsys *fs.FS
+	var err error
+	for i := 0; i < tries; i++ {
+		fsys, err = fs.Mount(p, m.Fabric, block.NVMe{Dev: m.SSD})
+		if err == nil {
+			break
+		}
+	}
 	if err != nil {
 		panic("core: mount: " + err.Error())
 	}

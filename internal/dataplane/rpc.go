@@ -367,6 +367,42 @@ func (c *Conn) awaitReset(p *sim.Proc) bool {
 	return !c.shut
 }
 
+// Rings exposes the connection's request and response rings, for oracles
+// and diagnostics.
+func (c *Conn) Rings() (req, resp *transport.Ring) {
+	return c.req.Ring(), c.resp.Ring()
+}
+
+// CheckTags validates the connection's tag-window invariants, the
+// dataplane half of the exploration oracle layer:
+//
+//   - no tag is simultaneously pending and stale (a live call's responses
+//     would be dropped as stragglers, or a straggler matched to it);
+//   - each stale entry owes at most Retries+1 responses (one per
+//     transmission of the retired call);
+//   - the combined window stays below the 16-bit tag space, so allocTag
+//     can always find a free tag.
+func (c *Conn) CheckTags() error {
+	for tag := range c.pending {
+		if n, owed := c.stale[tag]; owed {
+			return fmt.Errorf("dataplane: tag %d live in pending and owes %d stale responses", tag, n)
+		}
+	}
+	maxOwed := c.Retries + 1
+	for tag, n := range c.stale {
+		if n <= 0 {
+			return fmt.Errorf("dataplane: stale tag %d owes %d responses (must be positive)", tag, n)
+		}
+		if n > maxOwed {
+			return fmt.Errorf("dataplane: stale tag %d owes %d responses, max %d transmissions", tag, n, maxOwed)
+		}
+	}
+	if window := len(c.pending) + len(c.stale); window >= (1<<16)-1 {
+		return fmt.Errorf("dataplane: tag window %d fills the 16-bit tag space", window)
+	}
+	return nil
+}
+
 // RingStats reports request-ring messages sent, response-ring messages
 // received, and request payload bytes, for machine status reports.
 func (c *Conn) RingStats() (sent, received, sentBytes int64) {

@@ -1,0 +1,207 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"solros/internal/core"
+)
+
+// Result summarizes one seeded run of one workload.
+type Result struct {
+	Workload string
+	Seed     int64
+	// Budget is the sched-draw bound the run used (0 = unlimited).
+	Budget int64
+	// Digest is the FNV trace digest of every scheduling decision.
+	Digest uint64
+	// Draws and Dispatches describe how much schedule the run explored.
+	Draws      int64
+	Dispatches int64
+	// Violation is the first oracle violation, if any.
+	Violation *core.Violation
+	// Err is a non-oracle failure: engine deadlock or a workload error.
+	Err string
+}
+
+// Failed reports whether the run violated an invariant or errored.
+func (r *Result) Failed() bool { return r.Violation != nil || r.Err != "" }
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s seed=%d budget=%d digest=%016x draws=%d dispatches=%d",
+		r.Workload, r.Seed, r.Budget, r.Digest, r.Draws, r.Dispatches)
+	if r.Violation != nil {
+		s += fmt.Sprintf(" VIOLATION[%s @%v #%d]: %v",
+			r.Violation.Oracle, r.Violation.At, r.Violation.Dispatch, r.Violation.Err)
+	}
+	if r.Err != "" {
+		s += " ERROR: " + r.Err
+	}
+	return s
+}
+
+// RunSeed executes one workload under one exploration seed (0 = the
+// historical deterministic schedule) with the default oracles armed.
+// budget bounds random tie-break draws (0 = unlimited). The same
+// (workload, seed, budget) triple always reproduces the same Result —
+// that is the replay contract.
+func RunSeed(w Workload, seed, budget int64) Result {
+	base := core.Config{
+		SchedSeed:   seed,
+		SchedBudget: budget,
+		Oracles:     DefaultOracles(seed),
+		OracleEvery: 1,
+	}
+	m, err := w.Run(base)
+	res := Result{Workload: w.Name, Seed: seed, Budget: budget}
+	if m != nil {
+		res.Digest = m.Engine.TraceDigest()
+		res.Draws = m.Engine.SchedDraws()
+		res.Dispatches = m.Engine.Dispatches()
+		res.Violation = m.Violation()
+	}
+	if err != nil {
+		res.Err = err.Error()
+	}
+	return res
+}
+
+// Shrink minimizes a failing seed to the shortest failing prefix: the
+// smallest sched budget K such that only the first K tie-break draws are
+// randomized (deterministic order after) and the failure still reproduces.
+// Binary search over [1, draws of the unbounded failure]; failure is not
+// guaranteed monotonic in K, so the candidate is re-verified and the
+// unbounded budget is the fallback. Returns the verified minimal result.
+func Shrink(w Workload, failing Result) Result {
+	if !failing.Failed() || failing.Seed == 0 {
+		return failing
+	}
+	lo, hi := int64(1), failing.Draws
+	if failing.Budget > 0 && failing.Budget < hi {
+		hi = failing.Budget
+	}
+	if hi < 1 {
+		return failing
+	}
+	best := failing
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if res := RunSeed(w, failing.Seed, mid); res.Failed() {
+			best, hi = res, mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best.Budget == 0 || !best.Failed() {
+		// Verify the boundary the search converged on.
+		if res := RunSeed(w, failing.Seed, lo); res.Failed() {
+			return res
+		}
+		return failing
+	}
+	return best
+}
+
+// Artifact is the replayable failure record the explorer emits: everything
+// needed to reproduce a violation with one command.
+type Artifact struct {
+	Workload    string `json:"workload"`
+	Seed        int64  `json:"seed"`
+	Budget      int64  `json:"budget"`
+	TraceDigest string `json:"trace_digest"`
+	Oracle      string `json:"oracle,omitempty"`
+	Violation   string `json:"violation,omitempty"`
+	At          string `json:"at,omitempty"`
+	Dispatch    int64  `json:"dispatch,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Replay      string `json:"replay"`
+}
+
+// MakeArtifact converts a failing Result into its replay artifact.
+func MakeArtifact(r Result) Artifact {
+	a := Artifact{
+		Workload:    r.Workload,
+		Seed:        r.Seed,
+		Budget:      r.Budget,
+		TraceDigest: fmt.Sprintf("%016x", r.Digest),
+		Error:       r.Err,
+		Replay: fmt.Sprintf("solros-bench explore -workload %s -replay %d -budget %d",
+			r.Workload, r.Seed, r.Budget),
+	}
+	if r.Violation != nil {
+		a.Oracle = r.Violation.Oracle
+		a.Violation = r.Violation.Err.Error()
+		a.At = r.Violation.At.String()
+		a.Dispatch = r.Violation.Dispatch
+	}
+	return a
+}
+
+// WriteArtifact persists a to dir (created if needed) as
+// explore-<workload>-seed<seed>.json and returns the path.
+func WriteArtifact(a Artifact, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("explore-%s-seed%d.json", a.Workload, a.Seed))
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Seeds is how many seeds to sweep per workload (1..Seeds).
+	Seeds int
+	// Workloads is the scenario set (default All()).
+	Workloads []Workload
+	// ArtifactDir receives replay artifacts for failing seeds ("" = skip).
+	ArtifactDir string
+	// Log receives progress lines (nil = silent).
+	Log func(format string, args ...any)
+}
+
+// Explore sweeps seeds over the workloads, shrinking every failure to its
+// shortest failing prefix and emitting a replay artifact. It returns one
+// artifact per failing (workload, seed) pair; empty means every explored
+// schedule upheld every invariant.
+func Explore(opt Options) []Artifact {
+	logf := opt.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ws := opt.Workloads
+	if len(ws) == 0 {
+		ws = All()
+	}
+	var artifacts []Artifact
+	for _, w := range ws {
+		fails := 0
+		for seed := int64(1); seed <= int64(opt.Seeds); seed++ {
+			res := RunSeed(w, seed, 0)
+			if !res.Failed() {
+				continue
+			}
+			fails++
+			logf("%s", res.String())
+			shrunk := Shrink(w, res)
+			logf("  shrunk to budget=%d (from %d draws)", shrunk.Budget, res.Draws)
+			a := MakeArtifact(shrunk)
+			if opt.ArtifactDir != "" {
+				if path, err := WriteArtifact(a, opt.ArtifactDir); err == nil {
+					logf("  artifact: %s", path)
+				} else {
+					logf("  artifact write failed: %v", err)
+				}
+			}
+			artifacts = append(artifacts, a)
+		}
+		logf("workload %-10s %d seeds, %d violations", w.Name, opt.Seeds, fails)
+	}
+	return artifacts
+}

@@ -1,0 +1,126 @@
+package explore
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestExplorerCatchesRingBug is the harness's acceptance test: a
+// deliberately reintroduced ordering bug — rings publishing `ready` before
+// the payload copy completes (transport.Options.BugReadyBeforeCopy) — must
+// be caught by the seed sweep within 200 seeds, shrunk to a minimal
+// failing schedule prefix, and packaged as a replay artifact that
+// reproduces the identical trace digest.
+func TestExplorerCatchesRingBug(t *testing.T) {
+	w := WithRingBug(transportWorkload())
+	var failing Result
+	caught := false
+	for seed := int64(1); seed <= 200; seed++ {
+		if res := RunSeed(w, seed, 0); res.Failed() {
+			failing, caught = res, true
+			break
+		}
+	}
+	if !caught {
+		t.Fatal("ready-before-copy bug not caught within 200 seeds")
+	}
+	if failing.Violation == nil {
+		t.Fatalf("bug surfaced as a workload error, not an oracle violation: %s", failing.String())
+	}
+	if failing.Violation.Oracle != "ring" {
+		t.Fatalf("caught by oracle %q, want %q: %v", failing.Violation.Oracle, "ring", failing.Violation.Err)
+	}
+	if !strings.Contains(failing.Violation.Err.Error(), "ready before copy") {
+		t.Fatalf("violation does not name the ordering bug: %v", failing.Violation.Err)
+	}
+
+	shrunk := Shrink(w, failing)
+	if !shrunk.Failed() {
+		t.Fatal("shrink returned a passing result")
+	}
+	if shrunk.Budget < 1 || shrunk.Budget > failing.Draws {
+		t.Fatalf("shrunk budget %d outside [1, %d]", shrunk.Budget, failing.Draws)
+	}
+
+	// The artifact's (workload, seed, budget) triple must replay the
+	// failure byte-identically: same digest, same oracle.
+	a := MakeArtifact(shrunk)
+	replay := RunSeed(w, a.Seed, a.Budget)
+	if !replay.Failed() {
+		t.Fatalf("replay of seed=%d budget=%d did not fail", a.Seed, a.Budget)
+	}
+	if replay.Digest != shrunk.Digest {
+		t.Fatalf("replay digest %016x != artifact digest %016x", replay.Digest, shrunk.Digest)
+	}
+	if replay.Violation == nil || replay.Violation.Oracle != shrunk.Violation.Oracle {
+		t.Fatalf("replay violation %+v does not match artifact oracle %q", replay.Violation, a.Oracle)
+	}
+	if !strings.Contains(a.Replay, "-replay") {
+		t.Fatalf("artifact replay command malformed: %q", a.Replay)
+	}
+}
+
+// TestCleanWorkloadsUpholdInvariants sweeps every catalogue workload —
+// including the fault-injecting chaos scenario — over a batch of seeds and
+// requires zero oracle violations and zero workload errors. The full
+// 200-seed sweep runs in CI via `solros-bench explore`.
+func TestCleanWorkloadsUpholdInvariants(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	arts := Explore(Options{Seeds: seeds, Workloads: Workloads(), Log: t.Logf})
+	for _, a := range arts {
+		t.Errorf("%s seed %d: oracle=%s violation=%s error=%s (replay: %s)",
+			a.Workload, a.Seed, a.Oracle, a.Violation, a.Error, a.Replay)
+	}
+}
+
+// TestRunSeedIsDeterministic pins the replay contract: the same
+// (workload, seed, budget) triple reproduces the same trace digest, draw
+// count, and dispatch count, and different seeds explore different
+// schedules.
+func TestRunSeedIsDeterministic(t *testing.T) {
+	w := quickWorkload()
+	a := RunSeed(w, 7, 0)
+	b := RunSeed(w, 7, 0)
+	if a.Failed() || b.Failed() {
+		t.Fatalf("clean workload failed: %s / %s", a.String(), b.String())
+	}
+	if a.Digest != b.Digest || a.Draws != b.Draws || a.Dispatches != b.Dispatches {
+		t.Fatalf("seed 7 not reproducible: %s vs %s", a.String(), b.String())
+	}
+	c := RunSeed(w, 8, 0)
+	if c.Digest == a.Digest {
+		t.Fatalf("seeds 7 and 8 produced the same trace digest %016x", a.Digest)
+	}
+}
+
+// TestArtifactRoundTrip checks the on-disk artifact is valid JSON carrying
+// every replay ingredient.
+func TestArtifactRoundTrip(t *testing.T) {
+	r := Result{Workload: "transport+ringbug", Seed: 42, Budget: 3, Digest: 0xdeadbeefcafef00d}
+	r.Err = "boom"
+	a := MakeArtifact(r)
+	dir := t.TempDir()
+	path, err := WriteArtifact(a, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back != a {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, a)
+	}
+	if back.TraceDigest != "deadbeefcafef00d" {
+		t.Fatalf("trace digest = %q", back.TraceDigest)
+	}
+}

@@ -1,0 +1,170 @@
+// Package explore implements the schedule-exploration harness: seeded
+// interleaving search over Solros machines, machine-wide invariant oracles
+// polled at every scheduling decision, crash-point fsck over mid-write
+// disk snapshots, and replayable failure artifacts.
+//
+// The search space is the seeded tie-break policy of internal/sim: every
+// seed is one deterministic interleaving of the same workload, so a
+// violation found at seed S replays byte-identically from (workload, S,
+// budget) alone — no trace files, no record/replay infrastructure.
+package explore
+
+import (
+	"fmt"
+
+	"solros/internal/core"
+	"solros/internal/fs"
+)
+
+// splitmix64 mirrors the generator internal/sim and internal/faults use,
+// so oracle sampling points are a pure function of the exploration seed.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RingOracle validates every data-plane RPC ring's structural invariants
+// at each scheduling point: cursor ordering and monotonicity, element
+// lifecycle, no ready-before-copy visibility, and master/shadow agreement
+// at quiesce (see transport.Ring.Check).
+type RingOracle struct{}
+
+// Name implements core.Oracle.
+func (RingOracle) Name() string { return "ring" }
+
+// Check implements core.Oracle.
+func (RingOracle) Check(m *core.Machine) error {
+	for i, phi := range m.Phis {
+		req, resp := phi.Conn.Rings()
+		if err := req.Check(); err != nil {
+			return fmt.Errorf("phi%d request ring: %w", i, err)
+		}
+		if err := resp.Check(); err != nil {
+			return fmt.Errorf("phi%d response ring: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TagOracle validates every connection's RPC tag window: no tag both live
+// and stale, stale debts bounded by the retry policy, window below the
+// 16-bit tag space (see dataplane.Conn.CheckTags).
+type TagOracle struct{}
+
+// Name implements core.Oracle.
+func (TagOracle) Name() string { return "tags" }
+
+// Check implements core.Oracle.
+func (TagOracle) Check(m *core.Machine) error {
+	for i, phi := range m.Phis {
+		if err := phi.Conn.CheckTags(); err != nil {
+			return fmt.Errorf("phi%d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CacheOracle audits resident buffer-cache frames against backing NVMe
+// blocks (see controlplane.FSProxy.CheckCacheCoherence). Byte-comparing
+// the whole cache is too dear for every dispatch, so the oracle samples:
+// it runs once every Every polls (default 32).
+type CacheOracle struct {
+	Every int
+	n     int
+}
+
+// Name implements core.Oracle.
+func (o *CacheOracle) Name() string { return "cache" }
+
+// Check implements core.Oracle.
+func (o *CacheOracle) Check(m *core.Machine) error {
+	if m.FSProxy == nil {
+		return nil
+	}
+	every := o.Every
+	if every < 1 {
+		every = 32
+	}
+	o.n++
+	if o.n%every != 0 {
+		return nil
+	}
+	return m.FSProxy.CheckCacheCoherence()
+}
+
+// FsckOracle snapshots the raw NVMe image at scheduler-chosen points and
+// runs the offline fsck on the copy — the crash-point check: would the
+// file system recover if the machine lost power at this exact scheduling
+// decision? Two regimes, per the write-back metadata design:
+//
+//   - metadata-quiescent (fs.MetaClean): the full fsck must be clean;
+//   - mid-write: only Corrupt-class problems count (structural damage no
+//     legal crash point can produce); Repairable findings are the normal
+//     transient state between Syncs.
+//
+// Snapshot points are drawn from a splitmix64 stream seeded per run, so
+// different exploration seeds probe different crash points; on average one
+// dispatch in Period is snapshotted (default 256).
+type FsckOracle struct {
+	// Period is the mean dispatches between snapshots (default 256).
+	Period uint64
+	rng    uint64
+	snap   []byte
+}
+
+// NewFsckOracle seeds the snapshot-point stream; use the exploration seed
+// so crash points vary across seeds yet replay exactly.
+func NewFsckOracle(seed int64) *FsckOracle {
+	o := &FsckOracle{rng: uint64(seed) ^ 0xf5c50ac1e0ff5e7}
+	splitmix64(&o.rng)
+	return o
+}
+
+// Name implements core.Oracle.
+func (o *FsckOracle) Name() string { return "fsck" }
+
+// Check implements core.Oracle.
+func (o *FsckOracle) Check(m *core.Machine) error {
+	if m.FS == nil {
+		return nil
+	}
+	period := o.Period
+	if period == 0 {
+		period = 256
+	}
+	if splitmix64(&o.rng)%period != 0 {
+		return nil
+	}
+	img := m.SSD.Image()
+	o.snap = append(o.snap[:0], img.Slice(0, img.Size())...)
+	rep := fs.CheckBytes(o.snap)
+	if m.FS.MetaClean() {
+		if !rep.OK() {
+			return fmt.Errorf("fsck of quiescent snapshot: %s (%d problems)", rep.Problems[0], len(rep.Problems))
+		}
+		return nil
+	}
+	if !rep.StructurallySound() {
+		for i, k := range rep.Kinds {
+			if k == fs.Corrupt {
+				return fmt.Errorf("fsck of mid-write snapshot: structural damage: %s", rep.Problems[i])
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultOracles builds one fresh instance of every oracle for a run with
+// the given exploration seed. Fresh instances matter: CacheOracle and
+// FsckOracle carry per-run sampling state.
+func DefaultOracles(seed int64) []core.Oracle {
+	return []core.Oracle{
+		RingOracle{},
+		TagOracle{},
+		&CacheOracle{},
+		NewFsckOracle(seed),
+	}
+}

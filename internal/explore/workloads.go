@@ -1,0 +1,338 @@
+package explore
+
+import (
+	"fmt"
+
+	"solros/internal/core"
+	"solros/internal/dataplane"
+	"solros/internal/faults"
+	"solros/internal/fs"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+	"solros/internal/workload"
+)
+
+// A Workload is one reproducible machine scenario the explorer sweeps
+// seeds over. Run receives a base Config carrying the explorer's settings
+// (SchedSeed, SchedBudget, Oracles, OracleEvery), fills in the scenario's
+// own sizing and features, executes it, and returns the machine for
+// inspection. The returned error covers both engine failures (deadlock)
+// and workload-level failures (an RPC that should have succeeded).
+type Workload struct {
+	Name string
+	Desc string
+	Run  func(base core.Config) (*core.Machine, error)
+}
+
+// Workloads returns the explorer's scenario catalogue. "quick" is the CI
+// smoke scenario; All() is the default sweep set.
+func Workloads() []Workload {
+	return []Workload{quickWorkload(), transportWorkload(), fsWorkload(), chaosWorkload()}
+}
+
+// All returns the default sweep set (everything except the smoke scenario).
+func All() []Workload {
+	return []Workload{transportWorkload(), fsWorkload(), chaosWorkload()}
+}
+
+// Lookup resolves a workload by name.
+func Lookup(name string) (Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// small keeps per-run allocations tiny: hundreds of machines are built per
+// sweep, and the fsck oracle copies the whole disk image per snapshot.
+func small(base core.Config) core.Config {
+	base.PhiMemBytes = 4 << 20
+	base.HostRAMBytes = 16 << 20
+	base.DiskBytes = 2 << 20
+	base.CacheBytes = 256 << 10
+	base.RingOptions.CapBytes = 64 << 10
+	return base
+}
+
+// runBody executes body on a machine built from cfg, converting workload
+// panics-by-convention into errors so a failing seed is reported, not a
+// crashed process.
+func runBody(cfg core.Config, body func(p *sim.Proc, m *core.Machine) error) (*core.Machine, error) {
+	m := core.NewMachine(cfg)
+	var bodyErr error
+	engErr := m.Run(func(p *sim.Proc, mm *core.Machine) {
+		bodyErr = body(p, mm)
+	})
+	if engErr != nil {
+		return m, engErr
+	}
+	return m, bodyErr
+}
+
+// quickWorkload is the CI smoke scenario: two co-processors hammer small
+// RPCs over deliberately tiny rings (forcing wraparound and wouldblock
+// paths), share one read-mostly file (exercising the popularity prefetch
+// and the pendingFill claim protocol), and Sync so the fsck oracle sees
+// quiescent points. Small enough for hundreds of seeds in seconds.
+func quickWorkload() Workload {
+	return Workload{
+		Name: "quick",
+		Desc: "smoke: 2 phis, tiny rings, shared read-mostly file",
+		Run: func(base core.Config) (*core.Machine, error) {
+			cfg := small(base)
+			cfg.Phis = 2
+			cfg.RingOptions.CapBytes = 8 << 10
+			cfg.RingOptions.Slots = 8
+			return runBody(cfg, func(p *sim.Proc, m *core.Machine) error {
+				data := workload.Corpus(7, 32<<10)
+				if err := writeFile(p, m.Phis[0].FS, "/shared", data); err != nil {
+					return err
+				}
+				if err := m.Phis[0].FS.Sync(p); err != nil {
+					return err
+				}
+				var errs [2]error
+				core.Parallel(p, 2, "quick-reader", func(i int, wp *sim.Proc) {
+					fsc := m.Phis[i].FS
+					for round := 0; round < 3 && errs[i] == nil; round++ {
+						errs[i] = readAndVerify(wp, fsc, "/shared", ninep.OBuffer, data)
+					}
+				})
+				for _, err := range errs {
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// transportWorkload stresses the ring protocol: three workers per
+// co-processor issue back-to-back small RPCs through rings sized to wrap
+// every few messages, with combiner-amortized batch dequeue on, so
+// reserve/copy/publish and batched take/reclaim interleave across workers
+// at every explored schedule.
+func transportWorkload() Workload {
+	return Workload{
+		Name: "transport",
+		Desc: "ring stress: tiny wrapped rings, batched dequeue, 3 workers/phi",
+		Run: func(base core.Config) (*core.Machine, error) {
+			cfg := small(base)
+			cfg.Phis = 2
+			cfg.BatchRecv = true
+			cfg.RingOptions.CapBytes = 4 << 10
+			cfg.RingOptions.Slots = 4
+			return runBody(cfg, func(p *sim.Proc, m *core.Machine) error {
+				var errs [6]error
+				core.Parallel(p, 6, "ring-worker", func(i int, wp *sim.Proc) {
+					fsc := m.Phis[i%2].FS
+					path := fmt.Sprintf("/t%d", i)
+					data := workload.Corpus(int64(i), 6<<10)
+					if err := writeFile(wp, fsc, path, data); err != nil {
+						errs[i] = err
+						return
+					}
+					for round := 0; round < 2; round++ {
+						if _, _, err := fsc.Stat(wp, path); err != nil {
+							errs[i] = err
+							return
+						}
+						if err := readAndVerify(wp, fsc, path, 0, data); err != nil {
+							errs[i] = err
+							return
+						}
+					}
+				})
+				for _, err := range errs {
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// fsWorkload stresses the file system and proxy cache: per-worker files
+// go through create/write/read/link/rename/unlink cycles on the buffered
+// path with interleaved Syncs, so the crash-point fsck oracle sees both
+// mid-write and quiescent snapshots and the cache oracle audits every
+// fill against the flash.
+func fsWorkload() Workload {
+	return Workload{
+		Name: "fs",
+		Desc: "fs stress: create/write/read/link/rename/unlink + Sync, buffered path",
+		Run: func(base core.Config) (*core.Machine, error) {
+			cfg := small(base)
+			cfg.Phis = 1
+			return runBody(cfg, func(p *sim.Proc, m *core.Machine) error {
+				fsc := m.Phis[0].FS
+				var errs [3]error
+				core.Parallel(p, 3, "fs-worker", func(i int, wp *sim.Proc) {
+					errs[i] = fsWorkerBody(wp, fsc, i)
+				})
+				for _, err := range errs {
+					if err != nil {
+						return err
+					}
+				}
+				return fsc.Sync(p)
+			})
+		},
+	}
+}
+
+func fsWorkerBody(p *sim.Proc, fsc *dataplane.FSClient, i int) error {
+	path := fmt.Sprintf("/f%d", i)
+	linked := fmt.Sprintf("/l%d", i)
+	renamed := fmt.Sprintf("/r%d", i)
+	data := workload.Corpus(int64(100+i), 24<<10)
+	for round := 0; round < 2; round++ {
+		if err := writeFile(p, fsc, path, data); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := readAndVerify(p, fsc, path, ninep.OBuffer, data); err != nil {
+			return fmt.Errorf("verify %s: %w", path, err)
+		}
+		if err := fsc.Link(p, path, linked); err != nil {
+			return fmt.Errorf("link %s: %w", linked, err)
+		}
+		if round == 0 {
+			if err := fsc.Sync(p); err != nil {
+				return err
+			}
+		}
+		if err := fsc.Rename(p, path, renamed); err != nil {
+			return fmt.Errorf("rename %s: %w", renamed, err)
+		}
+		if err := readAndVerify(p, fsc, linked, ninep.OBuffer, data); err != nil {
+			return fmt.Errorf("verify link %s: %w", linked, err)
+		}
+		if err := fsc.Unlink(p, renamed); err != nil {
+			return fmt.Errorf("unlink %s: %w", renamed, err)
+		}
+		if err := fsc.Unlink(p, linked); err != nil {
+			return fmt.Errorf("unlink %s: %w", linked, err)
+		}
+		if err := fsc.Sync(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chaosWorkload layers the fault injector over the fs scenario: transient
+// NVMe errors, ring drops and stalls, and one mid-run channel crash, with
+// RPC deadlines and same-tag retries armed — so the oracles watch the
+// recovery machinery (stale-tag drains, reattach, degraded-mode retries)
+// under explored schedules, not just the happy path. The fault plan's seed
+// is the exploration seed, so fault points vary with the schedule.
+func chaosWorkload() Workload {
+	return Workload{
+		Name: "chaos",
+		Desc: "fault injection: nvme errors, ring drops, channel crash, under seeds",
+		Run: func(base core.Config) (*core.Machine, error) {
+			cfg := small(base)
+			cfg.Phis = 1
+			cfg.Faults = &faults.Plan{
+				Seed:             base.SchedSeed,
+				NVMeReadErrRate:  0.02,
+				NVMeWriteErrRate: 0.02,
+				RingDropRate:     0.02,
+				RingStallRate:    0.05,
+				CrashTimes:       []sim.Time{400 * sim.Microsecond},
+				CrashDowntime:    100 * sim.Microsecond,
+			}
+			cfg.RPCDeadline = 2 * sim.Millisecond
+			cfg.RPCRetries = 8
+			return runBody(cfg, func(p *sim.Proc, m *core.Machine) error {
+				fsc := m.Phis[0].FS
+				data := workload.Corpus(11, 32<<10)
+				if err := writeFile(p, fsc, "/chaos", data); err != nil {
+					return fmt.Errorf("write /chaos: %w", err)
+				}
+				if err := fsc.Sync(p); err != nil {
+					return fmt.Errorf("sync: %w", err)
+				}
+				if err := readAndVerify(p, fsc, "/chaos", ninep.OBuffer, data); err != nil {
+					return fmt.Errorf("verify /chaos: %w", err)
+				}
+				// Unlink is not idempotent: with RingDropRate armed the
+				// RPC layer may retry an unlink whose first execution
+				// succeeded but whose response was dropped, and the retry
+				// legitimately reports NOENT. That ambiguity is inherent
+				// to at-least-once delivery, not a bug.
+				if err := fsc.Unlink(p, "/chaos"); err != nil && err.Error() != fs.ErrNotExist.Error() {
+					return err
+				}
+				return fsc.Sync(p)
+			})
+		},
+	}
+}
+
+// WithRingBug wraps a workload so every ring publishes `ready` before its
+// payload copy completes — the ordering bug the three-phase protocol
+// prevents. TEST-ONLY: it exists to prove the explorer detects and shrinks
+// a reintroduced concurrency bug (see transport.Options.BugReadyBeforeCopy).
+func WithRingBug(w Workload) Workload {
+	inner := w.Run
+	return Workload{
+		Name: w.Name + "+ringbug",
+		Desc: w.Desc + " (ready-before-copy bug armed)",
+		Run: func(base core.Config) (*core.Machine, error) {
+			base.RingOptions.BugReadyBeforeCopy = true
+			return inner(base)
+		},
+	}
+}
+
+// writeFile creates path and writes data through the delegated-I/O stub in
+// 4 KB chunks.
+func writeFile(p *sim.Proc, fsc *dataplane.FSClient, path string, data []byte) error {
+	fd, err := fsc.Open(p, path, ninep.OCreate)
+	if err != nil {
+		return err
+	}
+	chunk := int64(4 << 10)
+	buf := fsc.AllocBuffer(chunk)
+	for off := int64(0); off < int64(len(data)); off += chunk {
+		n := min(chunk, int64(len(data))-off)
+		copy(buf.Data, data[off:off+n])
+		if _, err := fsc.Write(p, fd, off, buf, n); err != nil {
+			return err
+		}
+	}
+	return fsc.Close(p, fd)
+}
+
+// readAndVerify reads path back in 4 KB chunks and compares to want.
+func readAndVerify(p *sim.Proc, fsc *dataplane.FSClient, path string, flags uint32, want []byte) error {
+	fd, err := fsc.Open(p, path, flags)
+	if err != nil {
+		return err
+	}
+	chunk := int64(4 << 10)
+	buf := fsc.AllocBuffer(chunk)
+	for off := int64(0); off < int64(len(want)); off += chunk {
+		n := min(chunk, int64(len(want))-off)
+		for i := range buf.Data {
+			buf.Data[i] = 0
+		}
+		if _, err := fsc.Read(p, fd, off, buf, n); err != nil {
+			return err
+		}
+		for i := int64(0); i < n; i++ {
+			if buf.Data[i] != want[off+i] {
+				return fmt.Errorf("explore: %s diverges at offset %d: %#x != %#x",
+					path, off+i, buf.Data[i], want[off+i])
+			}
+		}
+	}
+	return fsc.Close(p, fd)
+}

@@ -6,77 +6,165 @@ import (
 	"solros/internal/pcie"
 )
 
+// ProblemKind classifies fsck findings for the crash-point oracle.
+//
+// The write-back metadata design (dirty bitmap/itable flushed at Sync)
+// means a disk snapshot taken between Syncs is legitimately inconsistent:
+// bitmap bits, nlink counts, and reachability can disagree with the inode
+// table until the next flush. Those findings are Repairable — classic
+// fsck-fixable state. Structural damage, by contrast, never has a legal
+// transient window: inode table slots are written block-atomically from
+// always-well-formed in-memory inodes, so a snapshot at any scheduling
+// point must still decode into bounded, hole-free extent lists with sane
+// sizes. Such findings are Corrupt and the crash-point oracle flags them
+// at any time, not just at quiesce.
+type ProblemKind int
+
+const (
+	// Corrupt marks structural damage no crash point can legally produce:
+	// bad superblock or geometry, out-of-range or overflowing extents,
+	// extent holes, size beyond allocation, unknown inode modes, bad
+	// indirect blocks.
+	Corrupt ProblemKind = iota
+	// Repairable marks inconsistencies with legitimate transient windows
+	// between Syncs: bitmap disagreements, leaks, double claims,
+	// unreachable inodes, nlink mismatches, corrupt or dangling directory
+	// content.
+	Repairable
+)
+
+func (k ProblemKind) String() string {
+	if k == Corrupt {
+		return "corrupt"
+	}
+	return "repairable"
+}
+
 // CheckReport summarizes an offline consistency check of a solrosfs image.
 type CheckReport struct {
 	Files, Dirs int
 	UsedBlocks  int64
 	Problems    []string
+	// Kinds classifies Problems entry-wise: Kinds[i] is Problems[i]'s class.
+	Kinds []ProblemKind
 }
 
 // OK reports whether the image passed every invariant.
 func (r *CheckReport) OK() bool { return len(r.Problems) == 0 }
 
-func (r *CheckReport) addf(format string, args ...any) {
+// StructurallySound reports whether the image is free of Corrupt-class
+// problems; Repairable findings (legal between Syncs) are tolerated. This
+// is the predicate the crash-point oracle applies to mid-write snapshots.
+func (r *CheckReport) StructurallySound() bool {
+	for _, k := range r.Kinds {
+		if k == Corrupt {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *CheckReport) addf(kind ProblemKind, format string, args ...any) {
 	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+	r.Kinds = append(r.Kinds, kind)
 }
 
 // Check runs an offline fsck over a raw image: superblock sanity, extent
 // bounds, double allocation, bitmap consistency with reachable inodes, and
 // directory-tree reachability. It never modifies the image.
 func Check(img *pcie.Memory) *CheckReport {
+	return CheckBytes(img.Slice(0, img.Size()))
+}
+
+// CheckBytes is Check over a plain byte slice (a device snapshot, a fuzz
+// input). It must never panic, no matter how mangled the image: every
+// on-disk count and offset is validated before use, and violations become
+// report problems instead of slice faults.
+func CheckBytes(img []byte) *CheckReport {
 	r := &CheckReport{}
 	var sb superblock
-	if img.Size() < BlockSize {
-		r.addf("image smaller than one block")
+	if int64(len(img)) < BlockSize {
+		r.addf(Corrupt, "image smaller than one block")
 		return r
 	}
-	if err := sb.decode(img.Slice(0, BlockSize)); err != nil {
-		r.addf("superblock: %v", err)
+	if err := sb.decode(img[:BlockSize]); err != nil {
+		r.addf(Corrupt, "superblock: %v", err)
 		return r
 	}
 	nblocks := sb.NBlocks
-	if int64(nblocks)*BlockSize > img.Size() {
-		r.addf("superblock block count %d exceeds image", nblocks)
+	if nblocks > uint64(len(img))/BlockSize {
+		r.addf(Corrupt, "superblock block count %d exceeds image", nblocks)
 		return r
 	}
-	bitmap := img.Slice(int64(sb.BitmapStart)*BlockSize, int64(sb.BitmapBlocks)*BlockSize)
+	// Geometry: every region must lie inside the image and in order, and
+	// the bitmap must have a bit for every block. All math in uint64 on
+	// values bounded by nblocks <= len(img)/BlockSize, so nothing can
+	// overflow.
+	if uint64(sb.BitmapStart)+uint64(sb.BitmapBlocks) > nblocks ||
+		uint64(sb.ITableStart)+uint64(sb.ITableBlocks) > nblocks ||
+		uint64(sb.DataStart) > nblocks {
+		r.addf(Corrupt, "superblock geometry outside device: bitmap %d+%d itable %d+%d data %d nblocks %d",
+			sb.BitmapStart, sb.BitmapBlocks, sb.ITableStart, sb.ITableBlocks, sb.DataStart, nblocks)
+		return r
+	}
+	if uint64(sb.BitmapBlocks)*BlockSize*8 < nblocks {
+		r.addf(Corrupt, "bitmap %d blocks too small for %d blocks", sb.BitmapBlocks, nblocks)
+		return r
+	}
+	if uint64(sb.NInodes) > uint64(sb.ITableBlocks)*InodesPerBlock {
+		r.addf(Corrupt, "inode table %d blocks too small for %d inodes", sb.ITableBlocks, sb.NInodes)
+		return r
+	}
+	bitmap := img[int64(sb.BitmapStart)*BlockSize : (int64(sb.BitmapStart)+int64(sb.BitmapBlocks))*BlockSize]
 	used := func(b uint32) bool { return bitmap[b/8]&(1<<(b%8)) != 0 }
 
-	// Load all inodes.
+	// Load all inodes. Extent counts and indirect pointers come off disk,
+	// so both are range-checked before any slice arithmetic.
+	maxExtents := InlineExtents + IndirectExtents
 	inodes := make([]inode, sb.NInodes)
+	broken := make([]bool, sb.NInodes) // structurally unusable; skip in later passes
 	for i := range inodes {
 		in := &inodes[i]
 		in.ino = uint32(i)
-		slot := img.Slice(int64(sb.ITableStart)*BlockSize+int64(i)*InodeSize, InodeSize)
-		spilled := in.decodeFrom(slot)
+		off := int64(sb.ITableStart)*BlockSize + int64(i)*InodeSize
+		spilled := in.decodeFrom(img[off : off+InodeSize])
 		if spilled > 0 {
-			if in.indirect == 0 || uint64(in.indirect) >= nblocks {
-				r.addf("inode %d: %d spilled extents but bad indirect block %d", i, spilled, in.indirect)
+			if len(in.extents)+spilled > maxExtents {
+				r.addf(Corrupt, "inode %d: extent count %d exceeds maximum %d", i, len(in.extents)+spilled, maxExtents)
+				broken[i] = true
 				continue
 			}
-			in.decodeIndirect(img.Slice(int64(in.indirect)*BlockSize, BlockSize), spilled)
+			if in.indirect == 0 || uint64(in.indirect) >= nblocks {
+				r.addf(Corrupt, "inode %d: %d spilled extents but bad indirect block %d", i, spilled, in.indirect)
+				broken[i] = true
+				continue
+			}
+			in.decodeIndirect(img[int64(in.indirect)*BlockSize:(int64(in.indirect)+1)*BlockSize], spilled)
 		}
 	}
 
 	// Walk extents: bounds, overlap, bitmap agreement.
 	owner := make(map[uint32]uint32) // block -> ino
-	claim := func(ino, b uint32) {
-		if b < sb.DataStart || uint64(b) >= nblocks {
-			r.addf("inode %d: block %d outside data area", ino, b)
+	claim := func(ino uint32, b uint64) {
+		if b < uint64(sb.DataStart) || b >= nblocks {
+			r.addf(Corrupt, "inode %d: block %d outside data area", ino, b)
 			return
 		}
-		if prev, dup := owner[b]; dup {
-			r.addf("block %d claimed by inodes %d and %d", b, prev, ino)
+		if prev, dup := owner[uint32(b)]; dup {
+			r.addf(Repairable, "block %d claimed by inodes %d and %d", b, prev, ino)
 			return
 		}
-		owner[b] = ino
-		if !used(b) {
-			r.addf("inode %d: block %d in use but free in bitmap", ino, b)
+		owner[uint32(b)] = ino
+		if !used(uint32(b)) {
+			r.addf(Repairable, "inode %d: block %d in use but free in bitmap", ino, b)
 		}
 		r.UsedBlocks++
 	}
 	for i := range inodes {
 		in := &inodes[i]
+		if broken[i] {
+			continue
+		}
 		switch in.mode {
 		case ModeFree:
 			continue
@@ -85,24 +173,37 @@ func Check(img *pcie.Memory) *CheckReport {
 		case ModeDir:
 			r.Dirs++
 		default:
-			r.addf("inode %d: unknown mode %d", i, in.mode)
+			r.addf(Corrupt, "inode %d: unknown mode %d", i, in.mode)
+			broken[i] = true
 			continue
 		}
-		var logical uint32
+		var logical uint64
 		for _, e := range in.extents {
-			if e.Logical != logical {
-				r.addf("inode %d: extent hole at logical %d (expected %d)", i, e.Logical, logical)
+			if uint64(e.Logical) != logical {
+				r.addf(Corrupt, "inode %d: extent hole at logical %d (expected %d)", i, e.Logical, logical)
+				broken[i] = true
 			}
-			logical = e.Logical + e.Count
-			for b := e.Start; b < e.Start+e.Count; b++ {
+			if e.Count == 0 || uint64(e.Count) > nblocks {
+				r.addf(Corrupt, "inode %d: extent at logical %d has bad count %d", i, e.Logical, e.Count)
+				broken[i] = true
+				break
+			}
+			logical = uint64(e.Logical) + uint64(e.Count)
+			for b := uint64(e.Start); b < uint64(e.Start)+uint64(e.Count); b++ {
 				claim(uint32(i), b)
 			}
 		}
 		if in.indirect != 0 {
-			claim(uint32(i), in.indirect)
+			claim(uint32(i), uint64(in.indirect))
+		}
+		if in.size < 0 {
+			r.addf(Corrupt, "inode %d: negative size %d", i, in.size)
+			broken[i] = true
+			continue
 		}
 		if maxSize := int64(logical) * BlockSize; in.size > maxSize {
-			r.addf("inode %d: size %d exceeds allocation %d", i, in.size, maxSize)
+			r.addf(Corrupt, "inode %d: size %d exceeds allocation %d", i, in.size, maxSize)
+			broken[i] = true
 		}
 	}
 
@@ -110,14 +211,14 @@ func Check(img *pcie.Memory) *CheckReport {
 	for b := uint64(sb.DataStart); b < nblocks; b++ {
 		if used(uint32(b)) {
 			if _, ok := owner[uint32(b)]; !ok {
-				r.addf("block %d marked used but unowned (leak)", b)
+				r.addf(Repairable, "block %d marked used but unowned (leak)", b)
 			}
 		}
 	}
 
 	// Reachability from the root.
-	if sb.NInodes <= RootIno || inodes[RootIno].mode != ModeDir {
-		r.addf("root inode missing or not a directory")
+	if sb.NInodes <= RootIno || broken[RootIno] || inodes[RootIno].mode != ModeDir {
+		r.addf(Corrupt, "root inode missing or not a directory")
 		return r
 	}
 	seen := make(map[uint32]int)
@@ -126,29 +227,36 @@ func Check(img *pcie.Memory) *CheckReport {
 		seen[ino]++
 		in := &inodes[ino]
 		if in.mode == ModeDir && seen[ino] > 1 {
-			r.addf("directory inode %d reached twice (cycle or duplicate link)", ino)
+			r.addf(Repairable, "directory inode %d reached twice (cycle or duplicate link)", ino)
 			return
 		}
 		if in.mode != ModeDir {
 			// Regular files may be reached once per hard link.
 			if seen[ino] > int(in.nlink) {
-				r.addf("inode %d reached %d times but nlink=%d", ino, seen[ino], in.nlink)
+				r.addf(Repairable, "inode %d reached %d times but nlink=%d", ino, seen[ino], in.nlink)
 			}
 			return
 		}
-		content := readInodeImage(img, in)
+		content, ok := readInodeBytes(img, in)
+		if !ok {
+			// Extent problems were already reported per-extent above.
+			return
+		}
 		ents, err := parseDirents(content)
 		if err != nil {
-			r.addf("inode %d: corrupt directory content", ino)
+			r.addf(Repairable, "inode %d: corrupt directory content", ino)
 			return
 		}
 		for _, d := range ents {
 			if d.Ino == 0 || uint64(d.Ino) >= uint64(sb.NInodes) {
-				r.addf("dir inode %d: entry %q has bad inode %d", ino, d.Name, d.Ino)
+				r.addf(Repairable, "dir inode %d: entry %q has bad inode %d", ino, d.Name, d.Ino)
+				continue
+			}
+			if broken[d.Ino] {
 				continue
 			}
 			if inodes[d.Ino].mode == ModeFree {
-				r.addf("dir inode %d: entry %q points to free inode %d", ino, d.Name, d.Ino)
+				r.addf(Repairable, "dir inode %d: entry %q points to free inode %d", ino, d.Name, d.Ino)
 				continue
 			}
 			walk(d.Ino)
@@ -157,23 +265,27 @@ func Check(img *pcie.Memory) *CheckReport {
 	walk(RootIno)
 	for i := range inodes {
 		in := &inodes[i]
-		if in.mode == ModeFree {
+		if broken[i] || in.mode == ModeFree {
 			continue
 		}
 		if seen[uint32(i)] == 0 {
-			r.addf("inode %d allocated but unreachable from root", i)
+			r.addf(Repairable, "inode %d allocated but unreachable from root", i)
 			continue
 		}
 		if in.mode == ModeFile && seen[uint32(i)] != int(in.nlink) {
-			r.addf("inode %d: nlink=%d but %d directory entries reference it", i, in.nlink, seen[uint32(i)])
+			r.addf(Repairable, "inode %d: nlink=%d but %d directory entries reference it", i, in.nlink, seen[uint32(i)])
 		}
 	}
 	return r
 }
 
-// readInodeImage reads an inode's full content straight from the image
-// (offline, no timing).
-func readInodeImage(img *pcie.Memory, in *inode) []byte {
+// readInodeBytes reads an inode's full content straight from the image
+// (offline, no timing). ok is false when any needed extent falls outside
+// the image, so callers on untrusted images cannot fault.
+func readInodeBytes(img []byte, in *inode) ([]byte, bool) {
+	if in.size < 0 || in.size > int64(len(img)) {
+		return nil, false
+	}
 	out := make([]byte, in.size)
 	for _, e := range in.extents {
 		lo := int64(e.Logical) * BlockSize
@@ -184,7 +296,11 @@ func readInodeImage(img *pcie.Memory, in *inode) []byte {
 		if lo+n > in.size {
 			n = in.size - lo
 		}
-		copy(out[lo:lo+n], img.Slice(int64(e.Start)*BlockSize, n))
+		src := int64(e.Start) * BlockSize
+		if src < 0 || n < 0 || src+n > int64(len(img)) {
+			return nil, false
+		}
+		copy(out[lo:lo+n], img[src:src+n])
 	}
-	return out
+	return out, true
 }

@@ -2,6 +2,7 @@ package fs
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"solros/internal/block"
@@ -349,20 +350,37 @@ func (fs *FS) readDirInode(p *sim.Proc, dir *inode) ([]Dirent, error) {
 	return parseDirents(buf)
 }
 
-// writeDirInode replaces a directory's content wholesale.
+// writeDirInode replaces a directory's content wholesale via a shadow
+// update: the new content is staged into freshly allocated blocks while
+// the old ones stay live, and the inode switches over only once the write
+// has landed. A failed write (a transient media error ridden out by
+// degraded mode) therefore leaves the old directory readable instead of
+// pointing the inode at never-written blocks — failure atomicity for
+// namespace updates without a journal.
 func (fs *FS) writeDirInode(p *sim.Proc, dir *inode, ents []Dirent) error {
 	var buf []byte
 	for _, d := range ents {
 		buf = appendDirent(buf, d)
 	}
-	if err := fs.truncInode(dir, 0); err != nil {
-		return err
+	oldExt := append([]Extent(nil), dir.extents...)
+	oldInd, oldSize := dir.indirect, dir.size
+	dir.extents, dir.indirect, dir.size = nil, 0, 0
+	if len(buf) > 0 {
+		if _, err := fs.writeInodeRange(p, dir, 0, buf); err != nil {
+			fs.truncInode(dir, 0) // free the shadow blocks
+			dir.extents, dir.indirect, dir.size = oldExt, oldInd, oldSize
+			fs.markInodeDirty(dir)
+			return err
+		}
 	}
-	if len(buf) == 0 {
-		return nil
+	for _, e := range oldExt {
+		fs.freeRun(e.Start, e.Count)
 	}
-	_, err := fs.writeInodeRange(p, dir, 0, buf)
-	return err
+	if oldInd != 0 {
+		fs.freeRun(oldInd, 1)
+	}
+	fs.markInodeDirty(dir)
+	return nil
 }
 
 // --- public namespace operations -------------------------------------------
@@ -439,15 +457,24 @@ func (fs *FS) OpenOrCreate(p *sim.Proc, path string) (*File, error) {
 
 // Unlink removes a file or an empty directory.
 func (fs *FS) Unlink(p *sim.Proc, path string) error {
+	_, _, err := fs.UnlinkIno(p, path)
+	return err
+}
+
+// UnlinkIno is Unlink, additionally reporting which inode the name
+// resolved to and whether that was its last link (the inode and its blocks
+// were freed). Callers holding caches keyed by inode number use this to
+// invalidate without a second, separately-timed path lookup.
+func (fs *FS) UnlinkIno(p *sim.Proc, path string) (ino uint32, freed bool, err error) {
 	p.Acquire(fs.mu)
 	defer p.Release(fs.mu)
 	dir, name, err := fs.lookup(p, path, true)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	ents, err := fs.readDirInode(p, dir)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	idx := -1
 	for i, d := range ents {
@@ -457,30 +484,31 @@ func (fs *FS) Unlink(p *sim.Proc, path string) error {
 		}
 	}
 	if idx < 0 {
-		return ErrNotExist
+		return 0, false, ErrNotExist
 	}
 	victim := &fs.inodes[ents[idx].Ino]
 	if victim.mode == ModeDir {
 		sub, err := fs.readDirInode(p, victim)
 		if err != nil {
-			return err
+			return 0, false, err
 		}
 		if len(sub) > 0 {
-			return ErrNotEmpty
+			return 0, false, ErrNotEmpty
 		}
 	}
 	ents = append(ents[:idx], ents[idx+1:]...)
 	if err := fs.writeDirInode(p, dir, ents); err != nil {
-		return err
+		return 0, false, err
 	}
+	ino = victim.ino
 	// Hard links: only drop the inode when the last name goes away.
 	if victim.nlink > 1 {
 		victim.nlink--
 		fs.markInodeDirty(victim)
-		return nil
+		return ino, false, nil
 	}
 	fs.freeInode(victim)
-	return nil
+	return ino, true, nil
 }
 
 // Link creates a second directory entry (hard link) for an existing
@@ -621,8 +649,12 @@ func (fs *FS) Sync(p *sim.Proc) error {
 }
 
 func (fs *FS) syncLocked(p *sim.Proc) error {
+	// Flush in sorted block order: Go map iteration order is random per
+	// process, and under injected write faults the iteration order decides
+	// WHICH block's write fails, so replayed explorations must not depend
+	// on it.
 	// Indirect blocks and inode table.
-	for blk := range fs.dirtyITable {
+	for _, blk := range sortedKeys(fs.dirtyITable) {
 		buf, put := fs.staging.get(BlockSize)
 		table := fs.staging.bytes(buf, BlockSize)
 		for i := 0; i < InodesPerBlock; i++ {
@@ -655,7 +687,7 @@ func (fs *FS) syncLocked(p *sim.Proc) error {
 		delete(fs.dirtyITable, blk)
 	}
 	// Bitmap blocks.
-	for blk := range fs.dirtyBitmap {
+	for _, blk := range sortedKeys(fs.dirtyBitmap) {
 		buf, put := fs.staging.get(BlockSize)
 		copy(fs.staging.bytes(buf, BlockSize), fs.bitmap[int64(blk)*BlockSize:int64(blk+1)*BlockSize])
 		if err := fs.writeBlocks(p, int64(fs.sb.BitmapStart+blk), 1, buf); err != nil {
@@ -666,6 +698,38 @@ func (fs *FS) syncLocked(p *sim.Proc) error {
 		delete(fs.dirtyBitmap, blk)
 	}
 	return nil
+}
+
+func sortedKeys(m map[uint32]bool) []uint32 {
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// MetaClean reports whether the file system is metadata-quiescent: no
+// dirty bitmap or inode-table blocks awaiting Sync and no mutation in
+// progress. Only in this state must a device snapshot pass a FULL fsck;
+// between Syncs the write-back design makes Repairable-class findings
+// legal (see ProblemKind).
+func (fs *FS) MetaClean() bool {
+	return !fs.mu.Held() && len(fs.dirtyBitmap) == 0 && len(fs.dirtyITable) == 0
+}
+
+// InodeExtents reports the in-memory (possibly not yet synced) extent list
+// and size for inode ino, or ok=false if the inode is free or out of
+// range. Oracles use it to map cached file pages back to disk blocks.
+func (fs *FS) InodeExtents(ino uint32) (extents []Extent, size int64, ok bool) {
+	if uint64(ino) >= uint64(len(fs.inodes)) {
+		return nil, 0, false
+	}
+	in := &fs.inodes[ino]
+	if in.mode == ModeFree {
+		return nil, 0, false
+	}
+	return append([]Extent(nil), in.extents...), in.size, true
 }
 
 // stagingPool hands out scratch regions of one memory domain for staging

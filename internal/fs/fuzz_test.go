@@ -1,0 +1,53 @@
+package fs
+
+import (
+	"testing"
+
+	"solros/internal/pcie"
+)
+
+// fuzzImage builds a small valid solrosfs image to seed the corpus: the
+// interesting mutations are one bit flip away from a well-formed
+// superblock, bitmap, and inode table, not random noise.
+func fuzzImage(f *testing.F) []byte {
+	f.Helper()
+	img := pcie.NewMemory(256 << 10)
+	if err := Mkfs(img, 32); err != nil {
+		f.Fatal(err)
+	}
+	return append([]byte(nil), img.Slice(0, img.Size())...)
+}
+
+// FuzzCheckBytes feeds the offline fsck arbitrary images: whatever the
+// bytes claim about geometry, extents, indirect blocks, or directory
+// content, Check must classify problems and return — never panic, never
+// index out of bounds. This is the guarantee the crash-point oracle in
+// internal/explore relies on when it fscks mid-write snapshots.
+func FuzzCheckBytes(f *testing.F) {
+	base := fuzzImage(f)
+	f.Add(base)
+	// Seed a few structured corruptions so coverage starts inside the
+	// deep passes instead of dying at the superblock magic.
+	for _, off := range []int{0, 8, 16, 24, BlockSize + 1, 2*BlockSize + 5} {
+		mut := append([]byte(nil), base...)
+		if off < len(mut) {
+			mut[off] ^= 0xff
+		}
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, BlockSize))
+	f.Add(base[:BlockSize+17])
+	f.Fuzz(func(t *testing.T, img []byte) {
+		rep := CheckBytes(img)
+		if rep == nil {
+			t.Fatal("CheckBytes returned nil report")
+		}
+		if len(rep.Kinds) != len(rep.Problems) {
+			t.Fatalf("Kinds (%d) and Problems (%d) out of step", len(rep.Kinds), len(rep.Problems))
+		}
+		if rep.OK() && !rep.StructurallySound() {
+			t.Fatal("report OK but not structurally sound")
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package sim
+
+// This file implements the schedule-exploration hooks of the kernel: a
+// seeded tie-break policy that randomizes the order of Procs runnable at
+// the same virtual timestamp, and an FNV-1a digest of every dispatch
+// decision so that a (seed, budget) pair replays byte-identically.
+//
+// Default off: without SetSchedSeed the tie-break is insertion order
+// (time, then spawn id), exactly the historical behavior, so every
+// reproduced figure is untouched. With a seed armed, each push onto the
+// run queue draws a fresh priority from a splitmix64 stream; the heap
+// orders by (time, priority, id). Because the engine serializes all Procs,
+// the k-th draw is a pure function of the seed and the workload, never of
+// host scheduling — the same determinism argument internal/faults makes
+// for its injection streams.
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// splitmix64 advances *s and returns the next value of the stream. It is
+// the same generator used for per-site fault streams: tiny, fast, and
+// fully specified, so seeds replay across Go versions.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SetSchedSeed arms the seeded tie-break policy: Procs runnable at the
+// same virtual time are ordered by a per-push random priority drawn from a
+// splitmix64 stream seeded here, instead of by spawn order. Call it before
+// Run; arming mid-run only affects pushes from that point on.
+func (e *Engine) SetSchedSeed(seed int64) {
+	e.seeded = true
+	e.rngState = uint64(seed)
+	// Warm the stream so small adjacent seeds do not share a prefix.
+	splitmix64(&e.rngState)
+}
+
+// SetSchedBudget bounds how many random tie-break draws the seeded policy
+// makes before reverting to deterministic insertion order (0 = unlimited).
+// The explorer's shrinker uses this to find the shortest randomized prefix
+// that still reproduces a failure.
+func (e *Engine) SetSchedBudget(n int64) { e.schedBudget = n }
+
+// SchedDraws reports how many random tie-break draws the engine has made.
+func (e *Engine) SchedDraws() int64 { return e.schedDraws }
+
+// drawPri returns the priority for a Proc being pushed onto the run queue:
+// zero (insertion order) when unseeded or past the budget, random otherwise.
+func (e *Engine) drawPri() uint64 {
+	if !e.seeded {
+		return 0
+	}
+	if e.schedBudget > 0 && e.schedDraws >= e.schedBudget {
+		return 0
+	}
+	e.schedDraws++
+	return splitmix64(&e.rngState)
+}
+
+// TraceDigest reports the FNV-1a digest of every dispatch decision so far:
+// each dispatched Proc's name and virtual clock, in dispatch order. Two
+// runs of the same workload agree on the digest iff the scheduler made the
+// same decisions, which is what "-replay reproduces the trace" means.
+func (e *Engine) TraceDigest() uint64 {
+	if e.digest == 0 {
+		return fnvOffset
+	}
+	return e.digest
+}
+
+// Dispatches reports how many Procs have been dispatched.
+func (e *Engine) Dispatches() int64 { return e.ndispatch }
+
+// note folds one dispatch decision into the trace digest.
+func (e *Engine) note(name string, t Time) {
+	d := e.digest
+	if d == 0 {
+		d = fnvOffset
+	}
+	for i := 0; i < len(name); i++ {
+		d = (d ^ uint64(name[i])) * fnvPrime
+	}
+	u := uint64(t)
+	for i := 0; i < 8; i++ {
+		d = (d ^ (u & 0xff)) * fnvPrime
+		u >>= 8
+	}
+	e.digest = d
+}

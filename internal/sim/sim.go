@@ -67,6 +67,9 @@ type Proc struct {
 	resume chan struct{}
 	// heap bookkeeping
 	heapIndex int
+	// pri is the seeded tie-break priority, drawn fresh at every push
+	// onto the run queue; 0 (insertion order) unless the engine is seeded.
+	pri uint64
 	// what the proc is blocked on, for deadlock diagnostics
 	waitingOn string
 	// waitSeq counts parks; WaitTimeout timers capture it so a timer
@@ -85,6 +88,16 @@ type Engine struct {
 	now     Time
 	started bool
 	tracer  Tracer
+
+	// Seeded tie-break state (see seed.go). Zero values = off.
+	seeded      bool
+	rngState    uint64
+	schedBudget int64
+	schedDraws  int64
+	// Trace digest of every dispatch decision; 0 means "nothing folded
+	// in yet" and reads as the FNV offset basis.
+	digest    uint64
+	ndispatch int64
 }
 
 // NewEngine returns an empty engine at virtual time zero.
@@ -111,7 +124,7 @@ func (e *Engine) Spawn(name string, at Time, fn func(*Proc)) *Proc {
 	e.nextID++
 	e.live++
 	e.procs = append(e.procs, p)
-	heap.Push(&e.ready, p)
+	e.push(p)
 	e.emit(EvSpawn, at, name, "")
 	go func() {
 		// The handoff back to the engine runs in a defer so that a Proc
@@ -161,6 +174,8 @@ func (e *Engine) Run() error {
 		if p.time > e.now {
 			e.now = p.time
 		}
+		e.ndispatch++
+		e.note(p.name, p.time)
 		e.emit(EvDispatch, p.time, p.name, "")
 		p.resume <- struct{}{}
 		<-e.yielded
@@ -219,7 +234,13 @@ func (p *Proc) Spawn(name string, fn func(*Proc)) *Proc {
 
 func (p *Proc) requeue() {
 	p.state = stateRunnable
-	heap.Push(&p.eng.ready, p)
+	p.eng.push(p)
+}
+
+// push draws the Proc's tie-break priority and enqueues it runnable.
+func (e *Engine) push(p *Proc) {
+	p.pri = e.drawPri()
+	heap.Push(&e.ready, p)
 }
 
 // park blocks the Proc outside the run queue until some other Proc wakes it.
@@ -245,13 +266,17 @@ func (p *Proc) wakeAt(at Time) {
 	p.requeue()
 }
 
-// procHeap orders Procs by (time, id) so scheduling is deterministic.
+// procHeap orders Procs by (time, pri, id) so scheduling is deterministic:
+// pri is 0 for every Proc unless the seeded tie-break policy is armed.
 type procHeap []*Proc
 
 func (h procHeap) Len() int { return len(h) }
 func (h procHeap) Less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
 	}
 	return h[i].id < h[j].id
 }

@@ -19,6 +19,7 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 
 	"solros/internal/cpu"
 	"solros/internal/model"
@@ -77,6 +78,12 @@ type Options struct {
 	Copy pcie.Mech
 	// Batch is the combining batch size. Default model.CombineBatch.
 	Batch int
+	// BugReadyBeforeCopy is a TEST-ONLY hook that reintroduces the
+	// ordering bug the three-phase protocol exists to prevent: the sender
+	// publishes an element's ready flag before the payload copy completes,
+	// so a receiver (or the ring oracle) can observe a ready slot whose
+	// bytes are still in flight. Used to prove the explorer catches it.
+	BugReadyBeforeCopy bool
 }
 
 func (o *Options) fill() {
@@ -98,6 +105,10 @@ type entry struct {
 	off   int64
 	alloc int64
 	state uint32 // slotFree..slotDone, same lifecycle as package ringbuf
+	// copied records that the payload copy into master memory finished;
+	// the ring invariant "ready implies copied" is what makes the
+	// published flag safe to act on (§4.1's decoupled publish).
+	copied bool
 }
 
 const (
@@ -147,6 +158,16 @@ type Ring struct {
 	// stats
 	sent, received int64
 	sentBytes      int64
+
+	// inflightSend/inflightRecv count copy phases in progress outside the
+	// combiner locks; the ring is quiescent for oracle purposes only when
+	// both are zero and neither combiner is held.
+	inflightSend int
+	inflightRecv int
+
+	// last* remember the cursors seen by the previous Check call so the
+	// oracle can assert monotonicity across observations.
+	lastFree, lastHead, lastTail uint64
 
 	// telemetry handles (nil-safe no-ops when the fabric has no sink)
 	tel          *telemetry.Sink
@@ -310,12 +331,21 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 
 	// Copy payload into master memory (outside the combiner, so copies
 	// from concurrent senders overlap).
+	r.inflightSend++
 	loc := pcie.Loc{Dev: r.masterDev, Off: r.base + ent.off}
-	r.fabric.CopyIn(p, pt.dev, pt.kind, loc, msg, r.opt.Copy)
-
-	// Publish: mark ready. Remote publication rides on the copy's last
-	// transaction (write-combined header), so no extra charge.
-	ent.state = entReady
+	if r.opt.BugReadyBeforeCopy {
+		// Deliberately wrong order (see Options.BugReadyBeforeCopy).
+		ent.state = entReady
+		r.fabric.CopyIn(p, pt.dev, pt.kind, loc, msg, r.opt.Copy)
+		ent.copied = true
+	} else {
+		r.fabric.CopyIn(p, pt.dev, pt.kind, loc, msg, r.opt.Copy)
+		// Publish: mark ready. Remote publication rides on the copy's last
+		// transaction (write-combined header), so no extra charge.
+		ent.copied = true
+		ent.state = entReady
+	}
+	r.inflightSend--
 	r.sent++
 	r.sentBytes += int64(len(msg))
 	r.telSent.Add(1)
@@ -371,9 +401,11 @@ func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 		return nil, ErrWouldBlock
 	}
 
+	r.inflightRecv++
 	buf := make([]byte, ent.size)
 	loc := pcie.Loc{Dev: r.masterDev, Off: r.base + ent.off}
 	r.fabric.CopyOut(p, pt.dev, pt.kind, loc, buf, r.opt.Copy)
+	r.inflightRecv--
 
 	ent.state = entDone
 	r.received++
@@ -435,6 +467,7 @@ func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
 		return nil, ErrWouldBlock
 	}
 
+	r.inflightRecv++
 	msgs := make([][]byte, 0, len(ents))
 	var payload int64
 	for _, ent := range ents {
@@ -445,6 +478,7 @@ func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
 		payload += int64(ent.size)
 		msgs = append(msgs, buf)
 	}
+	r.inflightRecv--
 	r.received += int64(len(msgs))
 	r.telReceived.Add(int64(len(msgs)))
 	r.telBatchOut.Observe(sim.Time(len(msgs)))
@@ -561,6 +595,66 @@ func (r *Ring) reclaim() {
 // Stats reports messages sent/received and payload bytes sent.
 func (r *Ring) Stats() (sent, received, sentBytes int64) {
 	return r.sent, r.received, r.sentBytes
+}
+
+// Cursors reports the ring's slot cursors (free <= head <= tail), for
+// oracles and diagnostics.
+func (r *Ring) Cursors() (free, head, tail uint64) {
+	return r.freeSlot, r.headSlot, r.tailSlot
+}
+
+// Check validates the ring's structural invariants. It is safe to call at
+// any scheduling point (the sim kernel serializes access) and is the
+// transport half of the exploration oracle layer:
+//
+//   - cursor ordering: free <= head <= tail, at most nslots live;
+//   - cursor monotonicity across successive Check calls;
+//   - byte accounting: 0 <= tailByte-freeByte <= capBytes;
+//   - element lifecycle: every slot in [head,tail) is reserved or ready,
+//     every slot in [free,head) is taken or done;
+//   - no ready-before-copy visibility: a ready slot's payload copy has
+//     completed;
+//   - master/shadow agreement at quiesce: when neither combiner is held
+//     and no copy is in flight, sent == received + Len().
+func (r *Ring) Check() error {
+	free, head, tail := r.freeSlot, r.headSlot, r.tailSlot
+	if free > head || head > tail {
+		return fmt.Errorf("transport: cursor order violated: free=%d head=%d tail=%d", free, head, tail)
+	}
+	if tail-free > r.nslots {
+		return fmt.Errorf("transport: %d live slots exceed capacity %d", tail-free, r.nslots)
+	}
+	if free < r.lastFree || head < r.lastHead || tail < r.lastTail {
+		return fmt.Errorf("transport: cursor moved backwards: free %d->%d head %d->%d tail %d->%d",
+			r.lastFree, free, r.lastHead, head, r.lastTail, tail)
+	}
+	r.lastFree, r.lastHead, r.lastTail = free, head, tail
+	if used := r.tailByte - r.freeByte; used < 0 || used > r.capBytes {
+		return fmt.Errorf("transport: byte accounting broken: tailByte=%d freeByte=%d cap=%d",
+			r.tailByte, r.freeByte, r.capBytes)
+	}
+	for s := head; s < tail; s++ {
+		ent := &r.entries[s%r.nslots]
+		if ent.state == entReady && !ent.copied {
+			return fmt.Errorf("transport: slot %d published ready before copy completed", s)
+		}
+		if ent.state != entReserved && ent.state != entReady {
+			return fmt.Errorf("transport: undequeued slot %d in state %d", s, ent.state)
+		}
+	}
+	for s := free; s < head; s++ {
+		ent := &r.entries[s%r.nslots]
+		if ent.state != entTaken && ent.state != entDone {
+			return fmt.Errorf("transport: dequeued slot %d in state %d", s, ent.state)
+		}
+	}
+	if !r.enq.lock.Held() && !r.deq.lock.Held() && r.inflightSend == 0 && r.inflightRecv == 0 {
+		if r.sent != r.received+int64(r.Len()) {
+			return fmt.Errorf("transport: master/shadow disagree at quiesce: sent=%d received=%d len=%d",
+				r.sent, r.received, r.Len())
+		}
+	}
+	return nil
 }
 
 // Len reports elements enqueued but not yet dequeued.
