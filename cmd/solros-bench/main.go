@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"solros/internal/bench"
+	"solros/internal/core"
 	"solros/internal/telemetry"
 )
 
@@ -33,6 +34,8 @@ var (
 	metricsOut = flag.String("metrics", "", "write the text metrics report here (\"-\" = stdout); enables telemetry")
 	seed       = flag.Int64("seed", 42, "fault-plan seed for the chaos experiment")
 	quick      = flag.Bool("quick", false, "shrink the chaos workload to a smoke test (CI)")
+	traceReq   = flag.Bool("trace-requests", false, "arm end-to-end causal tracing on every machine (16-byte trailer per RPC frame; perturbs figures); enables telemetry")
+	flightRec  = flag.String("flightrec", "", "arm the flight recorder on every machine; blackbox JSON dumps land in this directory; enables telemetry")
 )
 
 func main() {
@@ -45,10 +48,14 @@ func main() {
 		usage()
 		return
 	}
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *traceReq || *flightRec != "" {
 		// Machines pick the sink up via telemetry.Default at construction.
 		telemetry.Default = telemetry.New(telemetry.Options{})
 	}
+	// Machines pick these up in Config.fill, so every machine an
+	// experiment builds is armed without per-figure plumbing.
+	core.DefaultTracing = *traceReq
+	core.DefaultFlightRecorder = *flightRec
 	switch args[0] {
 	case "all":
 		for _, id := range bench.IDs() {
@@ -58,6 +65,8 @@ func main() {
 		usage()
 	case "explore":
 		runExplore(args[1:])
+	case "trace":
+		runTrace(args[1:])
 	default:
 		for _, id := range args {
 			if _, _, ok := bench.Lookup(id); !ok {
@@ -136,4 +145,5 @@ func usage() {
 	}
 	fmt.Println("  all      run everything in paper order")
 	fmt.Println("  explore  sweep scheduling seeds with invariant oracles armed (see explore -h)")
+	fmt.Println("  trace    run one traced delegated read and print its critical-path breakdown (see trace -h)")
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"solros/internal/core"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+	"solros/internal/workload"
+)
+
+// runTrace implements the `trace` subcommand: run one traced delegated
+// read (a cold buffered read through the proxy, so every stage of the data
+// path fires — ring transit, proxy serve, cache fill, NVMe, DMA push) and
+// print the request's waterfall plus the critical-path stage breakdown,
+// whose rows sum to the end-to-end latency by construction. With more than
+// one traced request retained, the per-stage p50/p99 rollup follows.
+//
+//	solros-bench trace                    # 4 MB cold read, full report
+//	solros-bench trace -quick             # 256 KB read (CI smoke)
+//	solros-bench trace -chrome out.json   # also dump a Chrome trace with flow arrows
+//
+// Exit status: 0 with a non-empty critical path, 1 when no traced request
+// was retained (tracing plumbing broken).
+func runTrace(args []string) {
+	fset := flag.NewFlagSet("trace", flag.ExitOnError)
+	bytesN := fset.Int64("bytes", 4<<20, "delegated read size")
+	quick := fset.Bool("quick", false, "shrink the read to 256 KB (CI smoke)")
+	chrome := fset.String("chrome", "", "also write a Chrome trace_event JSON with causal flow arrows (\"-\" = stdout)")
+	flightDir := fset.String("flightrec", "", "also arm the flight recorder, dumping into this directory")
+	fset.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: solros-bench trace [-bytes n] [-quick] [-chrome out.json] [-flightrec dir]")
+		fset.PrintDefaults()
+	}
+	fset.Parse(args)
+
+	n := *bytesN
+	if *quick {
+		n = 256 << 10
+	}
+	sink := telemetry.New(telemetry.Options{})
+	m := core.NewMachine(core.Config{
+		Telemetry:      sink,
+		Tracing:        true,
+		FlightRecorder: *flightDir,
+		Pipeline:       true,
+		PhiMemBytes:    n + (64 << 20),
+	})
+	data := workload.Corpus(3, int(n))
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		fsc := mm.Phis[0].FS
+		fd, err := fsc.Open(p, "/trace-demo", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			panic(err)
+		}
+		buf := fsc.AllocBuffer(n)
+		copy(buf.Data, data)
+		if _, err := fsc.Write(p, fd, 0, buf, n); err != nil {
+			panic(err)
+		}
+		if err := fsc.Sync(p); err != nil {
+			panic(err)
+		}
+		if err := fsc.Close(p, fd); err != nil {
+			panic(err)
+		}
+		// The read of interest: cold buffered read, delegated to the proxy.
+		fd, err = fsc.Open(p, "/trace-demo", ninep.OBuffer)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := fsc.Read(p, fd, 0, buf, n); err != nil {
+			panic(err)
+		}
+		if err := fsc.Close(p, fd); err != nil {
+			panic(err)
+		}
+	})
+
+	// The delegated read is the trace rooted at the pipelined-read stub
+	// span; fall back to the widest trace if the read was too small to
+	// pipeline.
+	var pick uint64
+	var pickTotal sim.Time
+	var pickIsRead bool
+	for _, tr := range sink.Traces() {
+		rp := sink.CriticalPath(tr)
+		if rp == nil {
+			continue
+		}
+		isRead := rp.Root.Name == "dataplane.fs.read_pipelined"
+		if pick == 0 || (isRead && !pickIsRead) ||
+			(isRead == pickIsRead && rp.Total > pickTotal) {
+			pick, pickTotal, pickIsRead = tr, rp.Total, isRead
+		}
+	}
+	if pick == 0 {
+		fmt.Fprintln(os.Stderr, "solros-bench: no traced request retained")
+		os.Exit(1)
+	}
+	if err := sink.WriteCriticalPath(os.Stdout, pick); err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := sink.WriteStageRollup(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(1)
+	}
+	if *chrome != "" {
+		out := os.Stdout
+		if *chrome != "-" {
+			f, err := os.Create(*chrome)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "solros-bench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := sink.WriteChromeTrace(out); err != nil {
+			fmt.Fprintln(os.Stderr, "solros-bench:", err)
+			os.Exit(1)
+		}
+		if *chrome != "-" {
+			fmt.Fprintf(os.Stderr, "solros-bench: wrote %s\n", *chrome)
+		}
+	}
+}

@@ -101,6 +101,7 @@ var Experiments = []struct {
 	{"ablate", "ablations of Solros design decisions", Ablations},
 	{"pipeline", "pipelined delegated I/O: sync vs windowed/batched/overlapped reads", Pipeline},
 	{"chaos", "fault injection: recovery correctness and determinism per fault class", Chaos},
+	{"traceov", "overhead of end-to-end causal tracing on the pipelined read", TraceOverhead},
 }
 
 // Lookup finds an experiment by id.

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -170,6 +172,49 @@ func TestChaosShape(t *testing.T) {
 		if v := valueOf(t, rows, series, "deterministic"); v != 1 {
 			t.Errorf("%s: same seed did not reproduce the run", series)
 		}
+	}
+}
+
+// TestTraceOverheadShape runs the tracing-overhead experiment, checks the
+// directions (tracing costs something, but not the farm), and emits the
+// machine-readable BENCH_trace.json the bench trajectory tracks.
+func TestTraceOverheadShape(t *testing.T) {
+	rows := TraceOverhead()
+	type sizeRec struct {
+		Size        string  `json:"size"`
+		GBsOff      float64 `json:"gbs_tracing_off"`
+		GBsOn       float64 `json:"gbs_tracing_on"`
+		OverheadPct float64 `json:"overhead_pct"`
+	}
+	var recs []sizeRec
+	for _, bs := range traceSizes {
+		x := sizeLabel(bs)
+		off := valueOf(t, rows, "tracing-off", x)
+		on := valueOf(t, rows, "tracing-on", x)
+		ovh := valueOf(t, rows, "overhead", x)
+		if off <= 0 || on <= 0 {
+			t.Fatalf("%s: non-positive throughput off=%.3f on=%.3f", x, off, on)
+		}
+		// The 16-byte trailer rides multi-KB frames; overhead must stay
+		// single-digit percent or tracing is not viable to ever turn on.
+		if ovh > 10 {
+			t.Errorf("%s: tracing overhead %.1f%% exceeds 10%%", x, ovh)
+		}
+		if ovh < -10 {
+			t.Errorf("%s: tracing reports implausible speedup %.1f%%", x, ovh)
+		}
+		recs = append(recs, sizeRec{Size: x, GBsOff: off, GBsOn: on, OverheadPct: ovh})
+	}
+	blob, err := json.MarshalIndent(struct {
+		Experiment string    `json:"experiment"`
+		Workload   string    `json:"workload"`
+		Points     []sizeRec `json:"points"`
+	}{Experiment: "traceov", Workload: "pipelined cold buffered read", Points: recs}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_trace.json", append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

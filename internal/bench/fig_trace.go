@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"solros/internal/core"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+)
+
+// Tracing-overhead experiment (satellite of the observability PR): the
+// pipelined cold-read benchmark with end-to-end causal tracing off vs on.
+// Tracing appends a 16-byte trace trailer to every RPC frame and opens
+// spans on the request path, so it is the one observability feature that
+// is *not* free in virtual time — this experiment quantifies exactly how
+// not-free, which is what the default-off posture is buying.
+const traceFileBytes = 8 << 20
+
+var traceSizes = []int64{512 << 10, 2 << 20}
+
+// TraceOverhead measures GB/s with tracing off and on plus the relative
+// overhead per read size.
+func TraceOverhead() []Row {
+	type point struct{ off, on float64 }
+	pts := make(map[int64]point)
+	for _, bs := range traceSizes {
+		pts[bs] = point{off: tracePoint(false, bs), on: tracePoint(true, bs)}
+	}
+	var rows []Row
+	for _, bs := range traceSizes {
+		rows = append(rows, row("traceov", "tracing-off", sizeLabel(bs), pts[bs].off, "GB/s"))
+	}
+	for _, bs := range traceSizes {
+		rows = append(rows, row("traceov", "tracing-on", sizeLabel(bs), pts[bs].on, "GB/s"))
+	}
+	for _, bs := range traceSizes {
+		ovh := 0.0
+		if pts[bs].off > 0 {
+			ovh = (pts[bs].off - pts[bs].on) / pts[bs].off * 100
+		}
+		rows = append(rows, row("traceov", "overhead", sizeLabel(bs), ovh, "%"))
+	}
+	return rows
+}
+
+// tracePoint is pipePoint with the full pipeline on and tracing as given.
+// Each traced run gets a private sink so span retention never crosses
+// configurations.
+func tracePoint(traced bool, bs int64) float64 {
+	cfg := core.Config{
+		DiskBytes:    pipeDiskBytes,
+		PhiMemBytes:  bs + (64 << 20),
+		ProxyWorkers: 8,
+		Pipeline:     true,
+		BatchRecv:    true,
+		Overlap:      true,
+	}
+	if traced {
+		cfg.Tracing = true
+		cfg.Telemetry = telemetry.New(telemetry.Options{})
+	}
+	m := core.NewMachine(cfg)
+	var secs float64
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		phi := mm.Phis[0]
+		fd, err := phi.FS.Open(p, "/traceov", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			panic(err)
+		}
+		f, err := mm.FS.Open(p, "/traceov")
+		if err != nil {
+			panic(err)
+		}
+		if err := f.Truncate(p, traceFileBytes); err != nil {
+			panic(err)
+		}
+		buf := phi.FS.AllocBuffer(bs)
+		start := p.Now()
+		for off := int64(0); off+bs <= traceFileBytes; off += bs {
+			if _, err := phi.FS.Read(p, fd, off, buf, bs); err != nil {
+				panic(err)
+			}
+		}
+		secs = (p.Now() - start).Seconds()
+	})
+	return gbs(traceFileBytes, secs)
+}

@@ -8,6 +8,7 @@ import (
 	"container/list"
 
 	"solros/internal/pcie"
+	"solros/internal/sim"
 	"solros/internal/telemetry"
 )
 
@@ -35,6 +36,7 @@ type Cache struct {
 
 	hits, misses, evictions int64
 
+	tel                              *telemetry.Sink
 	telHits, telMisses, telEvictions *telemetry.Counter
 }
 
@@ -50,6 +52,7 @@ func New(fab *pcie.Fabric, capacityBytes int64) *Cache {
 		capacity: n,
 	}
 	if tel := fab.Telemetry(); tel != nil {
+		c.tel = tel
 		c.telHits = tel.Counter("cache.hits")
 		c.telMisses = tel.Counter("cache.misses")
 		c.telEvictions = tel.Counter("cache.evictions")
@@ -80,6 +83,14 @@ func (c *Cache) Lookup(ino uint32, blk int64) (pcie.Loc, bool) {
 // The caller fills the frame (e.g. by DMA from the SSD). If the page is
 // already cached its existing frame is returned.
 func (c *Cache) Insert(ino uint32, blk int64) pcie.Loc {
+	return c.InsertAt(nil, ino, blk)
+}
+
+// InsertAt is Insert with a sim proc for span attribution: an eviction
+// emits a zero-length "cache.evict" span on p (inheriting the request's
+// trace context, if any) so cold-cache pressure shows up in the causal
+// timeline of the request that forced the victim out.
+func (c *Cache) InsertAt(p *sim.Proc, ino uint32, blk int64) pcie.Loc {
 	k := key{ino, blk}
 	if pg, ok := c.pages[k]; ok {
 		c.lru.MoveToFront(pg.elt)
@@ -95,6 +106,12 @@ func (c *Cache) Insert(ino uint32, blk int64) pcie.Loc {
 		delete(c.pages, victim.k)
 		c.evictions++
 		c.telEvictions.Add(1)
+		if p != nil && c.tel != nil {
+			sp := c.tel.Start(p, "cache.evict")
+			sp.TagInt("ino", int64(victim.k.Ino))
+			sp.TagInt("blk", victim.k.Blk)
+			sp.End(p)
+		}
 		loc = victim.loc
 	}
 	pg := &page{k: k, loc: loc}

@@ -227,11 +227,17 @@ func (px *FSProxy) serve(p *sim.Proc, ch *channel) {
 			if err != nil {
 				panic("fsproxy: corrupt request: " + err.Error())
 			}
-			sp := px.tel.Start(p, "controlplane.fsproxy")
+			// Join the request's causal tree via the wire context (zero
+			// when the stub isn't tracing — StartCtx then degrades to a
+			// plain Start), and echo the context into the response so
+			// the stub-side completion joins the same tree.
+			sp := px.tel.StartCtx(p, "controlplane.fsproxy",
+				telemetry.TraceCtx{Trace: m.Trace, Span: m.Span})
 			sp.Tag("type", m.Type.String())
 			p.Advance(model.FSProxyCost)
 			resp := px.handle(p, ch, m)
 			resp.Tag = m.Tag
+			resp.Trace, resp.Span = m.Trace, m.Span
 			ch.resp.Send(p, resp.Encode())
 			sp.End(p)
 		}
@@ -600,7 +606,7 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 			missStart = blk
 		}
 		px.pendingFill[pageKey{ino: ino, blk: blk}] = true
-		missLocs = append(missLocs, px.Cache.Insert(ino, blk))
+		missLocs = append(missLocs, px.Cache.InsertAt(p, ino, blk))
 	}
 	if err := flush(last + 1); err != nil {
 		return err
@@ -633,6 +639,9 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 // it joins a chain, so everything already filled streams immediately —
 // that per-page handoff is what overlaps the NVMe and PCIe legs.
 func (px *FSProxy) pushFromCache(p *sim.Proc, of *openFile, off, n int64, dst pcie.Loc) error {
+	sp := px.tel.Start(p, "controlplane.fsproxy.push")
+	sp.TagInt("bytes", n)
+	defer sp.End(p)
 	ino := of.f.Ino()
 	dstMem := px.fabric.Mem(pcie.Loc{Dev: dst.Dev})
 	var chainBytes int64
@@ -720,7 +729,7 @@ func (px *FSProxy) startFill(p *sim.Proc, f *fs.File, off, n int64, procs int) *
 			continue
 		}
 		px.pendingFill[k] = true
-		fills = append(fills, fill{blk: blk, frame: px.Cache.Insert(ino, blk)})
+		fills = append(fills, fill{blk: blk, frame: px.Cache.InsertAt(p, ino, blk)})
 	}
 	if len(fills) == 0 {
 		return job
@@ -729,7 +738,10 @@ func (px *FSProxy) startFill(p *sim.Proc, f *fs.File, off, n int64, procs int) *
 		procs = len(fills)
 	}
 	// Deal contiguous strides so each filler issues mostly-sequential
-	// disk reads.
+	// disk reads. Fillers run on fresh procs with empty span stacks, so
+	// the spawner's trace context is captured here and attached
+	// explicitly — the fills stay inside the request's causal tree.
+	fillCtx := px.tel.Current(p)
 	per := (len(fills) + procs - 1) / procs
 	for w := 0; w < procs; w++ {
 		lo := w * per
@@ -741,7 +753,7 @@ func (px *FSProxy) startFill(p *sim.Proc, f *fs.File, off, n int64, procs int) *
 		job.wg.Add(1)
 		p.Spawn(fmt.Sprintf("fsproxy-fill-%d", w), func(fp *sim.Proc) {
 			defer fp.DoneWG(job.wg)
-			sp := px.tel.Start(fp, "controlplane.fsproxy.fill")
+			sp := px.tel.StartCtx(fp, "controlplane.fsproxy.fill", fillCtx)
 			sp.TagInt("pages", int64(len(span)))
 			defer sp.End(fp)
 			for i, fl := range span {
@@ -795,8 +807,9 @@ func (px *FSProxy) readahead(p *sim.Proc, of *openFile, off, n int64) {
 		return
 	}
 	f := of.f
+	raCtx := px.tel.Current(p)
 	p.Spawn("fsproxy-readahead", func(rp *sim.Proc) {
-		sp := px.tel.Start(rp, "controlplane.fsproxy.readahead")
+		sp := px.tel.StartCtx(rp, "controlplane.fsproxy.readahead", raCtx)
 		sp.TagInt("bytes", n)
 		job := px.startFill(rp, f, off, n, overlapFillers)
 		rp.WaitWG(job.wg)
@@ -939,7 +952,7 @@ func (px *FSProxy) Prefetch(p *sim.Proc, path string) error {
 			continue
 		}
 		px.pendingFill[k] = true
-		loc := px.Cache.Insert(f.Ino(), blk)
+		loc := px.Cache.InsertAt(p, f.Ino(), blk)
 		sz := int64(cache.PageSize)
 		if pos+sz > limit {
 			sz = limit - pos

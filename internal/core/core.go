@@ -93,6 +93,20 @@ type Config struct {
 	// Telemetry receives spans and metrics from every subsystem; nil
 	// falls back to telemetry.Default (also usually nil — telemetry off).
 	Telemetry *telemetry.Sink
+	// Tracing arms end-to-end causal tracing: every data-plane RPC root
+	// gets a deterministic trace ID carried inside the ninep frame, so a
+	// delegated I/O is one causal tree across stub, rings, proxy, cache,
+	// and NVMe. The 16-byte trace trailer changes wire sizes, and so
+	// timing — keep it off (the default) when reproducing figures. When
+	// set with a nil Telemetry sink, a private sink is created so spans
+	// have somewhere to land.
+	Tracing bool
+	// FlightRecorder, when non-empty, arms the always-on bounded flight
+	// recorder: the sink keeps the last N spans in a ring and dumps a
+	// replayable JSON blackbox into this directory when a fault fires,
+	// an oracle records a violation, or the sim deadlocks. Recording
+	// never touches virtual time, so figures are unchanged.
+	FlightRecorder string
 	// SchedSeed arms the sim kernel's seeded tie-break policy: procs
 	// runnable at the same virtual timestamp are ordered by a per-push
 	// PRNG stream instead of spawn order, so each seed explores a
@@ -136,7 +150,24 @@ type Violation struct {
 	Dispatch int64
 }
 
+// DefaultTracing and DefaultFlightRecorder are process-wide fallbacks for
+// the corresponding Config fields, applied in fill() when the field is
+// zero. They exist so CLI flags (solros-bench -trace-requests, -flightrec)
+// can arm observability on every machine an experiment builds without
+// threading knobs through each figure's plumbing — mirroring how
+// telemetry.Default backstops Config.Telemetry.
+var (
+	DefaultTracing        bool
+	DefaultFlightRecorder string
+)
+
 func (c *Config) fill() {
+	if !c.Tracing {
+		c.Tracing = DefaultTracing
+	}
+	if c.FlightRecorder == "" {
+		c.FlightRecorder = DefaultFlightRecorder
+	}
 	if c.Phis == 0 {
 		c.Phis = 1
 	}
@@ -193,10 +224,16 @@ type Machine struct {
 
 	cfg       Config
 	inj       *faults.Injector
+	tel       *telemetry.Sink
 	booted    bool
 	stopped   bool
 	violation *Violation
 }
+
+// Telemetry reports the sink this machine's subsystems emit into (nil when
+// telemetry is off). When Config.Tracing or Config.FlightRecorder armed a
+// private sink, this is how callers reach it for reports.
+func (m *Machine) Telemetry() *telemetry.Sink { return m.tel }
 
 // Violation reports the first oracle violation of the run, or nil.
 func (m *Machine) Violation() *Violation { return m.violation }
@@ -214,6 +251,14 @@ func NewMachine(cfg Config) *Machine {
 	if tel == nil {
 		tel = telemetry.Default
 	}
+	if tel == nil && (cfg.Tracing || cfg.FlightRecorder != "") {
+		// Tracing and the flight recorder need a sink to land in; create a
+		// private one rather than silently dropping the request.
+		tel = telemetry.New(telemetry.Options{})
+	}
+	if tel != nil && cfg.FlightRecorder != "" {
+		tel.ArmFlightRecorder(cfg.FlightRecorder, 0, 0)
+	}
 	// Wire telemetry before any device or ring exists so every subsystem
 	// picks the sink up from the fabric as it is constructed.
 	fab.SetTelemetry(tel)
@@ -222,6 +267,7 @@ func NewMachine(cfg Config) *Machine {
 		Fabric: fab,
 		Host:   cpu.HostPool(),
 		cfg:    cfg,
+		tel:    tel,
 	}
 	if cfg.SchedSeed != 0 {
 		m.Engine.SetSchedSeed(cfg.SchedSeed)
@@ -259,6 +305,10 @@ func NewMachine(cfg Config) *Machine {
 						At:       ev.Time,
 						Dispatch: m.Engine.Dispatches(),
 					}
+					// The tracer runs between proc executions, so there is
+					// no current proc; the recorder falls back to the
+					// newest ringed trace.
+					tel.TriggerFlight(nil, "oracle-"+o.Name())
 					return
 				}
 			}
@@ -288,6 +338,7 @@ func NewMachine(cfg Config) *Machine {
 		dev := fab.AddDevice(fmt.Sprintf("phi%d", i), socket, cfg.PhiMemBytes,
 			scale*model.LinkBWPhiToHost, scale*model.LinkBWHostToPhi)
 		conn, reqPort, respPort := dataplane.NewConn(fab, dev, cfg.RingOptions)
+		conn.Tracing = cfg.Tracing
 		conn.BatchRecv = cfg.BatchRecv
 		conn.Deadline = cfg.RPCDeadline
 		conn.Retries = cfg.RPCRetries
@@ -443,7 +494,13 @@ func (m *Machine) Run(main func(p *sim.Proc, m *Machine)) error {
 		main(p, m)
 		m.shutdown(p)
 	})
-	return m.Engine.Run()
+	err := m.Engine.Run()
+	if err != nil {
+		// A deadlocked sim is exactly what the flight recorder is for:
+		// dump the last spans so the wedge is diagnosable post-mortem.
+		m.tel.TriggerFlight(nil, "sim-deadlock")
+	}
+	return err
 }
 
 // MustRun is Run but panics on simulation deadlock.

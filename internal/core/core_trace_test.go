@@ -1,0 +1,127 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"solros/internal/faults"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+)
+
+// TestEndToEndTracingThroughMachine runs a traced delegated read through a
+// full machine and pins the tentpole's acceptance property: the request is
+// one causal tree spanning stub and proxy procs, and the critical-path
+// stage durations sum exactly to its end-to-end latency.
+func TestEndToEndTracingThroughMachine(t *testing.T) {
+	sink := telemetry.New(telemetry.Options{})
+	m := NewMachine(Config{Tracing: true, Telemetry: sink})
+	const n = 256 << 10
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, err := c.Open(p, "/traced", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := c.AllocBuffer(n)
+		if _, err := c.Write(p, fd, 0, buf, n); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Sync(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Read(p, fd, 0, buf, n); err != nil {
+			t.Error(err)
+		}
+	})
+	traces := sink.Traces()
+	if len(traces) == 0 {
+		t.Fatal("traced machine retained no traces")
+	}
+	var widest *telemetry.PathReport
+	for _, tr := range traces {
+		if rp := sink.CriticalPath(tr); rp != nil && (widest == nil || rp.Total > widest.Total) {
+			widest = rp
+		}
+	}
+	if widest == nil {
+		t.Fatal("no critical path computable")
+	}
+	var sum sim.Time
+	crossProc := false
+	for _, sd := range widest.Stages {
+		sum += sd.Dur
+	}
+	for i := range widest.Spans {
+		if widest.Spans[i].Proc != widest.Root.Proc {
+			crossProc = true
+		}
+	}
+	if sum != widest.Total {
+		t.Errorf("stages sum to %v, end-to-end is %v", sum, widest.Total)
+	}
+	if !crossProc {
+		t.Error("trace never crossed procs: proxy-side spans did not join the tree")
+	}
+}
+
+// TestNVMeFaultDumpsFlightRecorder pins the acceptance criterion that an
+// injected NVMe media error produces a flight-recorder blackbox naming the
+// faulted trace.
+func TestNVMeFaultDumpsFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	sink := telemetry.New(telemetry.Options{})
+	m := NewMachine(Config{
+		Tracing:        true,
+		FlightRecorder: dir,
+		Telemetry:      sink,
+		Faults:         &faults.Plan{Seed: 1}, // arms degraded-mode retries
+	})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, err := c.Open(p, "/f", ninep.OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := c.AllocBuffer(64 << 10)
+		if _, err := c.Write(p, fd, 0, buf, 64<<10); err != nil {
+			t.Error(err)
+			return
+		}
+		m.SSD.InjectErrors(1)
+		if _, err := c.Read(p, fd, 0, buf, 64<<10); err != nil {
+			t.Errorf("degraded mode surfaced the injected error: %v", err)
+		}
+	})
+	path := sink.LastFlightDump()
+	if path == "" {
+		t.Fatal("injected NVMe fault wrote no flight-recorder dump")
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Reason       string           `json:"reason"`
+		FaultedTrace string           `json:"faulted_trace"`
+		Spans        []map[string]any `json:"spans"`
+	}
+	if err := json.Unmarshal(blob, &dump); err != nil {
+		t.Fatalf("dump is not JSON: %v", err)
+	}
+	if dump.Reason != "nvme-media-error" {
+		t.Errorf("reason = %q, want nvme-media-error", dump.Reason)
+	}
+	if dump.FaultedTrace == "" {
+		t.Error("dump does not name the faulted trace")
+	}
+	if len(dump.Spans) == 0 {
+		t.Error("dump carries no spans")
+	}
+}

@@ -156,7 +156,7 @@ func (c *FSClient) Read(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (int
 // not matter for data placement; counts are summed in issue order and stop
 // at the first short chunk (EOF — every later chunk is past the end).
 func (c *FSClient) readPipelined(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (int64, error) {
-	sp := c.conn.tel.Start(p, "dataplane.fs.read_pipelined")
+	sp := c.conn.startSpan(p, "dataplane.fs.read_pipelined")
 	sp.TagInt("bytes", n)
 	defer sp.End(p)
 	c.maybeReadahead(p, fd, off, n)
@@ -230,7 +230,7 @@ func (c *FSClient) Write(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (in
 
 // writePipelined is readPipelined's mirror for writes.
 func (c *FSClient) writePipelined(p *sim.Proc, fd Fd, off int64, buf Buffer, n int64) (int64, error) {
-	sp := c.conn.tel.Start(p, "dataplane.fs.write_pipelined")
+	sp := c.conn.startSpan(p, "dataplane.fs.write_pipelined")
 	sp.TagInt("bytes", n)
 	defer sp.End(p)
 	type chunk struct {

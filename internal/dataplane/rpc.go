@@ -63,6 +63,14 @@ type Conn struct {
 	// closed.
 	Reconnect bool
 
+	// Tracing arms causal request tracing: every RPC roots (or joins) a
+	// deterministic trace whose context rides inside the ninep frame, so
+	// proxy-side work joins the same tree, and resends/replays link to
+	// the original attempt. Off by default — tracing appends a trailer
+	// to every frame, which changes transfer sizes and therefore
+	// virtual-time charges, so the reproduced figures need it off.
+	Tracing bool
+
 	nextTag uint16
 	pending map[uint16]*call
 	// stale holds tags retired while responses were still outstanding
@@ -80,6 +88,14 @@ type Conn struct {
 	shut bool
 	// resetCond wakes reconnecting callers after a Reset (or Close).
 	resetCond *sim.Cond
+
+	// traceBase salts this connection's trace IDs so two co-processors
+	// issuing at the same virtual instant get distinct traces; traceSeq
+	// distinguishes same-instant requests from one connection. Both are
+	// functions of sim state only — never wall clock — so trace IDs are
+	// identical across runs of the same schedule.
+	traceBase uint64
+	traceSeq  uint64
 
 	tel           *telemetry.Sink
 	telCalls      *telemetry.Counter
@@ -110,6 +126,9 @@ type Pending struct {
 	typ   ninep.MsgType
 	begin sim.Time
 	pc    *call
+	// ctx is the trace context embedded in the request (zero when
+	// tracing is off); Wait's spans and resend markers attach to it.
+	ctx telemetry.TraceCtx
 }
 
 // NewConn builds the ring pair for a co-processor on the fabric. Both
@@ -128,6 +147,7 @@ func NewConn(f *pcie.Fabric, phi *pcie.Device, opt transport.Options) (*Conn, *t
 		pending:   make(map[uint16]*call),
 		stale:     make(map[uint16]int),
 		resetCond: sim.NewCond(phi.Name + "-reset"),
+		traceBase: fnv64(phi.Name),
 	}
 	if tel := f.Telemetry(); tel != nil {
 		c.tel = tel
@@ -140,6 +160,50 @@ func NewConn(f *pcie.Fabric, phi *pcie.Device, opt transport.Options) (*Conn, *t
 		c.telReconnects = tel.Counter("dataplane.reconnects")
 	}
 	return c, reqRing.Port(nil, cpu.Host), respRing.Port(nil, cpu.Host)
+}
+
+// fnv64 is FNV-1a over s, salting trace IDs per connection.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over the
+// (time, conn, seq) tuple so trace IDs look random but are pure
+// functions of sim state.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newTraceID mints a deterministic trace ID from the current virtual
+// time, the connection's salt, and a per-connection sequence number.
+func (c *Conn) newTraceID(p *sim.Proc) uint64 {
+	c.traceSeq++
+	id := mix64(uint64(p.Now()) ^ c.traceBase ^ (c.traceSeq * 0x9e3779b97f4a7c15))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// startSpan opens an instrumentation span that also roots a fresh trace
+// when Tracing is armed and p has no traced span open — the entry points
+// of the stub API (Call, the pipelined FS paths) use it so every
+// application request becomes exactly one causal tree.
+func (c *Conn) startSpan(p *sim.Proc, name string) *telemetry.Span {
+	if c.Tracing && c.tel != nil && !c.tel.Current(p).Traced() {
+		return c.tel.StartCtx(p, name, telemetry.TraceCtx{Trace: c.newTraceID(p)})
+	}
+	return c.tel.Start(p, name)
 }
 
 // Start launches the connection's dispatcher proc, which runs until the
@@ -210,6 +274,15 @@ func (c *Conn) spawnDispatcher(p *sim.Proc) {
 					continue
 				}
 				pc.resp = m
+				if m.Trace != 0 {
+					// Zero-length completion marker on the dispatcher
+					// proc: when the reply reached the stub side,
+					// within the request's causal tree.
+					cs := c.tel.StartCtx(dp, "dataplane.rpc.complete",
+						telemetry.TraceCtx{Trace: m.Trace, Span: m.Span})
+					cs.Tag("type", m.Type.String())
+					cs.End(dp)
+				}
 				dp.Signal(pc.cond)
 			}
 		}
@@ -263,6 +336,19 @@ func (c *Conn) CallAsync(p *sim.Proc, m *ninep.Msg) *Pending {
 	p.Advance(model.FSStubCost)
 	tag := c.allocTag()
 	m.Tag = tag
+	var issue *telemetry.Span
+	var ctx telemetry.TraceCtx
+	if c.Tracing && c.tel != nil {
+		// The issue span is the wire-visible attempt: its context is
+		// embedded in the frame, so the proxy's serve span and this
+		// call's wait span both become its children — also across
+		// same-tag resends, which reuse the identical encoded bytes.
+		issue = c.startSpan(p, "dataplane.rpc.issue")
+		issue.Tag("type", m.Type.String())
+		issue.TagInt("tag", int64(tag))
+		ctx = issue.Ctx()
+		m.Trace, m.Span = ctx.Trace, ctx.Span
+	}
 	pc := &call{cond: sim.NewCond(fmt.Sprintf("rpc-tag-%d", tag))}
 	c.pending[tag] = pc
 	c.telInflight.Set(int64(len(c.pending)))
@@ -270,12 +356,14 @@ func (c *Conn) CallAsync(p *sim.Proc, m *ninep.Msg) *Pending {
 		// No dispatcher will ever answer; fail the call in place instead
 		// of sending into a closed ring and parking forever.
 		pc.resp = &ninep.Msg{Type: ninep.Rerror, Tag: tag, Err: errConnClosed}
-		return &Pending{tag: tag, typ: m.Type, begin: begin, pc: pc}
+		issue.End(p)
+		return &Pending{tag: tag, typ: m.Type, begin: begin, pc: pc, ctx: ctx}
 	}
 	pc.raw = m.Encode()
 	pc.sent = 1
 	c.req.Send(p, pc.raw)
-	return &Pending{tag: tag, typ: m.Type, begin: begin, pc: pc}
+	issue.End(p)
+	return &Pending{tag: tag, typ: m.Type, begin: begin, pc: pc, ctx: ctx}
 }
 
 // Wait blocks until pd's response arrives, releases its tag, and returns
@@ -285,6 +373,14 @@ func (c *Conn) CallAsync(p *sim.Proc, m *ninep.Msg) *Pending {
 // stale table. A connection whose dispatcher has exited (Close, crash)
 // fails the wait immediately instead of parking forever.
 func (c *Conn) Wait(p *sim.Proc, pd *Pending) (*ninep.Msg, error) {
+	var wait *telemetry.Span
+	if pd.ctx.Traced() {
+		// Child of the issue span, like the proxy's serve span — the
+		// critical-path sweep carves it into ring_wait/reply_wait
+		// around the matching serve window.
+		wait = c.tel.StartCtx(p, "dataplane.rpc.wait", pd.ctx)
+		defer wait.End(p)
+	}
 	pc := pd.pc
 	timeout := c.Deadline
 	resends := 0
@@ -303,6 +399,10 @@ func (c *Conn) Wait(p *sim.Proc, pd *Pending) (*ninep.Msg, error) {
 		if resends >= c.Retries {
 			c.telTimeouts.Add(1)
 			c.retire(pd)
+			if wait != nil {
+				wait.Tag("result", "timeout")
+				wait.TagInt("attempts", int64(resends+1))
+			}
 			return nil, fmt.Errorf("dataplane: %s tag %d timed out after %d attempts",
 				pd.typ, pd.tag, resends+1)
 		}
@@ -312,6 +412,14 @@ func (c *Conn) Wait(p *sim.Proc, pd *Pending) (*ninep.Msg, error) {
 		timeout <<= 1
 		c.telRetries.Add(1)
 		pc.sent++
+		if pd.ctx.Traced() {
+			// Zero-length marker linking the replay to the original
+			// attempt: same trace, same parent issue span.
+			rs := c.tel.StartCtx(p, "dataplane.rpc.resend", pd.ctx)
+			rs.TagInt("attempt", int64(resends))
+			rs.TagInt("tag", int64(pd.tag))
+			rs.End(p)
+		}
 		c.req.Send(p, pc.raw)
 	}
 	c.retire(pd)
@@ -343,7 +451,7 @@ func (c *Conn) retire(pd *Pending) {
 // a call severed by a channel crash waits for the Reset and reissues
 // itself on the fresh rings.
 func (c *Conn) Call(p *sim.Proc, m *ninep.Msg) (*ninep.Msg, error) {
-	sp := c.tel.Start(p, "dataplane.call")
+	sp := c.startSpan(p, "dataplane.call")
 	sp.Tag("type", m.Type.String())
 	defer sp.End(p)
 	for attempt := 0; ; attempt++ {

@@ -1,0 +1,224 @@
+package dataplane
+
+import (
+	"testing"
+
+	"solros/internal/ninep"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+	"solros/internal/transport"
+)
+
+// traceEchoProxy answers requests after dropping the first drop of them,
+// echoing the request's trace context into the reply exactly like the real
+// FS proxy does — the minimal peer for exercising trace propagation across
+// RPC loss and resend.
+func traceEchoProxy(p *sim.Proc, req, resp *transport.Port, drop int) {
+	p.Spawn("trace-proxy", func(wp *sim.Proc) {
+		for {
+			raw, ok := req.Recv(wp)
+			if !ok {
+				return
+			}
+			if drop > 0 {
+				drop--
+				continue
+			}
+			m, err := ninep.Decode(raw)
+			if err != nil {
+				panic(err)
+			}
+			r := &ninep.Msg{Type: ninep.Ropen, Tag: m.Tag, Size: int64(m.Fid)}
+			r.Trace, r.Span = m.Trace, m.Span
+			resp.Send(wp, r.Encode())
+		}
+	})
+}
+
+func spansByName(s *telemetry.Sink) map[string][]telemetry.Span {
+	out := map[string][]telemetry.Span{}
+	for _, sp := range s.Spans() {
+		out[sp.Name] = append(out[sp.Name], sp)
+	}
+	return out
+}
+
+// TestTracePropagationAcrossResend pins satellite 3's first half: a Tread
+// whose first transmission is lost and recovered by a deadline resend must
+// yield ONE trace — root call span, issue span, wait span, a resend marker
+// linked to the same issue attempt, and a completion marker carrying the
+// context echoed by the peer.
+func TestTracePropagationAcrossResend(t *testing.T) {
+	sink := telemetry.New(telemetry.Options{})
+	fab := pcie.New(64 << 20)
+	fab.SetTelemetry(sink)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, respPort := NewConn(fab, phi, transport.Options{})
+	conn.Deadline = 50 * sim.Microsecond
+	conn.Retries = 3
+	conn.Tracing = true
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		traceEchoProxy(p, reqPort, respPort, 1)
+		resp, err := conn.Call(p, &ninep.Msg{Type: ninep.Topen, Fid: 42})
+		if err != nil {
+			t.Fatalf("resent call failed: %v", err)
+		}
+		if resp.Size != 42 {
+			t.Fatalf("resent call answered wrong: size=%d", resp.Size)
+		}
+		conn.Close(p)
+	})
+	e.MustRun()
+
+	traces := sink.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retry produced %d traces (%v), want exactly 1", len(traces), traces)
+	}
+	tr := traces[0]
+	for _, sp := range sink.Spans() {
+		if sp.Trace != 0 && sp.Trace != tr {
+			t.Errorf("span %s on foreign trace %#x", sp.Name, sp.Trace)
+		}
+	}
+	byName := spansByName(sink)
+	for _, name := range []string{"dataplane.call", "dataplane.rpc.issue",
+		"dataplane.rpc.wait", "dataplane.rpc.resend", "dataplane.rpc.complete"} {
+		if len(byName[name]) != 1 {
+			t.Fatalf("%s: %d spans, want 1", name, len(byName[name]))
+		}
+	}
+	root := byName["dataplane.call"][0]
+	issue := byName["dataplane.rpc.issue"][0]
+	if issue.Parent != root.ID {
+		t.Errorf("issue.Parent = %d, want root %d", issue.Parent, root.ID)
+	}
+	// Wait, the resend marker, and the completion all hang off the issue
+	// span: the attempts are linked to the original, not detached trees.
+	for _, name := range []string{"dataplane.rpc.wait", "dataplane.rpc.resend", "dataplane.rpc.complete"} {
+		if sp := byName[name][0]; sp.Parent != issue.ID {
+			t.Errorf("%s.Parent = %d, want issue %d", name, sp.Parent, issue.ID)
+		}
+	}
+	rs := byName["dataplane.rpc.resend"][0]
+	var attempt int64
+	for _, tag := range rs.Tags {
+		if tag.Key == "attempt" {
+			attempt = tag.Int
+		}
+	}
+	if attempt != 1 {
+		t.Errorf("resend attempt = %d, want 1", attempt)
+	}
+}
+
+// TestTraceContinuityAcrossReconnect pins satellite 3's second half: a
+// call severed by a channel crash and transparently reissued after Reset
+// stays ONE trace, with one issue span per attempt, both children of the
+// same root call span.
+func TestTraceContinuityAcrossReconnect(t *testing.T) {
+	sink := telemetry.New(telemetry.Options{})
+	fab := pcie.New(64 << 20)
+	fab.SetTelemetry(sink)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, _ := NewConn(fab, phi, transport.Options{})
+	conn.Reconnect = true
+	conn.Tracing = true
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		// First incarnation swallows the request, then the channel crashes;
+		// the reissued attempt on the fresh rings gets a real answer.
+		p.Spawn("mute-proxy", func(wp *sim.Proc) {
+			for {
+				if _, ok := reqPort.Recv(wp); !ok {
+					return
+				}
+			}
+		})
+		p.Spawn("crasher", func(cp *sim.Proc) {
+			cp.Advance(30 * sim.Microsecond)
+			conn.Crash(cp)
+			cp.Advance(30 * sim.Microsecond)
+			req2, resp2 := conn.Reset(cp)
+			if req2 == nil {
+				t.Error("Reset returned nil ports")
+				return
+			}
+			traceEchoProxy(cp, req2, resp2, 0)
+		})
+		resp, err := conn.Call(p, &ninep.Msg{Type: ninep.Topen, Fid: 7})
+		if err != nil {
+			t.Fatalf("call across crash/reset failed: %v", err)
+		}
+		if resp.Size != 7 {
+			t.Fatalf("reissued call answered wrong: size=%d", resp.Size)
+		}
+		conn.Close(p)
+	})
+	e.MustRun()
+
+	traces := sink.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("reconnect produced %d traces (%v), want exactly 1", len(traces), traces)
+	}
+	byName := spansByName(sink)
+	if len(byName["dataplane.call"]) != 1 {
+		t.Fatalf("%d root call spans, want 1", len(byName["dataplane.call"]))
+	}
+	root := byName["dataplane.call"][0]
+	issues := byName["dataplane.rpc.issue"]
+	if len(issues) != 2 {
+		t.Fatalf("%d issue spans across reconnect, want 2 (one per attempt)", len(issues))
+	}
+	for i, issue := range issues {
+		if issue.Trace != root.Trace || issue.Parent != root.ID {
+			t.Errorf("attempt %d: trace %#x parent %d, want trace %#x parent %d",
+				i, issue.Trace, issue.Parent, root.Trace, root.ID)
+		}
+	}
+}
+
+// TestTracingOffNoTraceBytes pins the default-off contract at the RPC
+// layer: with Tracing unset (but a sink installed), requests carry no
+// trace context — same wire bytes as the seed — and no trace is retained.
+func TestTracingOffNoTraceBytes(t *testing.T) {
+	sink := telemetry.New(telemetry.Options{})
+	fab := pcie.New(64 << 20)
+	fab.SetTelemetry(sink)
+	phi := fab.AddPhi("phi0", 0, 16<<20)
+	conn, reqPort, respPort := NewConn(fab, phi, transport.Options{})
+	e := sim.NewEngine()
+	e.Spawn("main", 0, func(p *sim.Proc) {
+		conn.Start(p)
+		p.Spawn("checking-proxy", func(wp *sim.Proc) {
+			for {
+				raw, ok := reqPort.Recv(wp)
+				if !ok {
+					return
+				}
+				m, err := ninep.Decode(raw)
+				if err != nil {
+					panic(err)
+				}
+				if m.Trace != 0 || m.Span != 0 {
+					t.Errorf("untraced request carries trace %#x span %d", m.Trace, m.Span)
+				}
+				if got, want := len(raw), len((&ninep.Msg{Type: m.Type, Tag: m.Tag, Fid: m.Fid}).Encode()); got != want {
+					t.Errorf("untraced frame is %d bytes, seed encoding is %d", got, want)
+				}
+				respPort.Send(wp, (&ninep.Msg{Type: ninep.Ropen, Tag: m.Tag}).Encode())
+			}
+		})
+		if _, err := conn.Call(p, &ninep.Msg{Type: ninep.Topen, Fid: 9}); err != nil {
+			t.Errorf("call failed: %v", err)
+		}
+		conn.Close(p)
+	})
+	e.MustRun()
+	if traces := sink.Traces(); len(traces) != 0 {
+		t.Errorf("tracing off retained traces: %v", traces)
+	}
+}

@@ -154,6 +154,29 @@ func WriteArtifact(a Artifact, dir string) (string, error) {
 	return path, os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// ReplayBlackbox re-runs a failing result with the telemetry flight
+// recorder armed, dumping into dir: the oracle-violation (or deadlock)
+// trigger then writes a blackbox JSON of the last spans and counters next
+// to the replay artifact, naming the trace the failure landed in. Tracing
+// itself stays OFF — the per-RPC trace trailer changes wire sizes, and so
+// timing, which could perturb the schedule enough to mask the very failure
+// being reproduced; the flight recorder only observes, never changes
+// bytes. Returns the dump path, or "" if the re-run did not trigger.
+func ReplayBlackbox(w Workload, r Result, dir string) string {
+	base := core.Config{
+		SchedSeed:      r.Seed,
+		SchedBudget:    r.Budget,
+		Oracles:        DefaultOracles(r.Seed),
+		OracleEvery:    1,
+		FlightRecorder: dir,
+	}
+	m, _ := w.Run(base)
+	if m == nil || m.Telemetry() == nil {
+		return ""
+	}
+	return m.Telemetry().LastFlightDump()
+}
+
 // Options configures a sweep.
 type Options struct {
 	// Seeds is how many seeds to sweep per workload (1..Seeds).
@@ -197,6 +220,9 @@ func Explore(opt Options) []Artifact {
 					logf("  artifact: %s", path)
 				} else {
 					logf("  artifact write failed: %v", err)
+				}
+				if path := ReplayBlackbox(w, shrunk, opt.ArtifactDir); path != "" {
+					logf("  blackbox: %s", path)
 				}
 			}
 			artifacts = append(artifacts, a)

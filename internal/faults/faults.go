@@ -159,10 +159,13 @@ func (in *Injector) hit(site string, rate float64) bool {
 }
 
 // mark emits a zero-length span in the faults family so injections show up
-// in the trace timeline next to the operation they perturbed.
+// in the trace timeline next to the operation they perturbed — and, when
+// the sink's flight recorder is armed, dumps a blackbox artifact naming
+// the trace the fault landed in.
 func (in *Injector) mark(p *sim.Proc, name string) {
 	sp := in.tel.Start(p, name)
 	sp.End(p)
+	in.tel.TriggerFlight(p, name)
 }
 
 // NVMeFault implements nvme.FaultInjector: whether this submission fails

@@ -100,6 +100,15 @@ type Msg struct {
 	Name  string // path for Topen/Tcreate/...
 	Err   string // Rerror
 	Data  []byte // inline payload (buffered-mode fallback, Rreaddir)
+
+	// Trace/Span carry the causal trace context across the wire as an
+	// optional 16-byte trailer, present only when Trace is non-zero —
+	// untraced messages encode byte-identically to the pre-tracing
+	// format, so tracing off leaves every transfer size (and therefore
+	// every virtual-time charge) unchanged. The proxy echoes both
+	// fields into its response so the reply joins the request's tree.
+	Trace uint64
+	Span  uint64
 }
 
 const fixedHdr = 1 + 1 + 2 + 4 + 4 + 8 + 8 + 8 + 8 + 2 // + name/err/data prefixes
@@ -125,6 +134,10 @@ func (m *Msg) Encode() []byte {
 	b = append(b, m.Err...)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Data)))
 	b = append(b, m.Data...)
+	if m.Trace != 0 {
+		b = binary.LittleEndian.AppendUint64(b, m.Trace)
+		b = binary.LittleEndian.AppendUint64(b, m.Span)
+	}
 	return b
 }
 
@@ -178,6 +191,11 @@ func Decode(b []byte) (*Msg, error) {
 	}
 	if dn > 0 {
 		m.Data = append([]byte(nil), b[p:p+dn]...)
+	}
+	p += dn
+	if len(b) >= p+16 {
+		m.Trace = binary.LittleEndian.Uint64(b[p:])
+		m.Span = binary.LittleEndian.Uint64(b[p+8:])
 	}
 	return m, nil
 }

@@ -1,0 +1,65 @@
+package ninep
+
+import "testing"
+
+// TestTraceTrailerRoundTrip pins the trace-context wire format: a message
+// with a trace gains exactly 16 trailer bytes which decode back to the
+// same (Trace, Span); a message without one encodes byte-identically to
+// the pre-tracing format — the property that keeps figures unchanged when
+// tracing is off.
+func TestTraceTrailerRoundTrip(t *testing.T) {
+	base := &Msg{Type: Tread, Tag: 7, Fid: 3, Off: 4096, Count: 65536, Addr: 1 << 20}
+	plain := base.Encode()
+
+	traced := *base
+	traced.Trace = 0xdeadbeefcafef00d
+	traced.Span = 42
+	wire := traced.Encode()
+	if len(wire) != len(plain)+16 {
+		t.Fatalf("traced frame is %d bytes, want %d+16", len(wire), len(plain))
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != traced.Trace || got.Span != traced.Span {
+		t.Errorf("decoded trace %#x span %d, want %#x span %d",
+			got.Trace, got.Span, traced.Trace, traced.Span)
+	}
+	if got.Type != base.Type || got.Tag != base.Tag || got.Fid != base.Fid ||
+		got.Off != base.Off || got.Count != base.Count || got.Addr != base.Addr {
+		t.Errorf("trailer corrupted the fixed fields: %+v", got)
+	}
+
+	// Untraced: no trailer on the wire, zero context after decode.
+	got, err = Decode(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != 0 || got.Span != 0 {
+		t.Errorf("untraced frame decoded trace %#x span %d", got.Trace, got.Span)
+	}
+
+	// Trace 0 means "untraced" even with a stray Span set: no trailer, so
+	// a re-encode cannot invent a partial context.
+	stray := *base
+	stray.Span = 99
+	if len(stray.Encode()) != len(plain) {
+		t.Error("Span without Trace emitted a trailer")
+	}
+
+	// Trailer survives data payloads: the 16 bytes ride after Data.
+	payload := *base
+	payload.Type = Rread
+	payload.Data = []byte("hello, solros")
+	payload.Trace = 1
+	payload.Span = 2
+	got, err = Decode(payload.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != "hello, solros" || got.Trace != 1 || got.Span != 2 {
+		t.Errorf("payload+trailer round trip broken: data=%q trace=%d span=%d",
+			got.Data, got.Trace, got.Span)
+	}
+}

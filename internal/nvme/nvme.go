@@ -172,6 +172,11 @@ func (d *Device) Submit(p *sim.Proc, cmds []Command, coalesce bool) error {
 	if d.failNext > 0 || injFail {
 		if d.failNext > 0 {
 			d.failNext--
+			if !injFail {
+				// Plan-driven faults already dumped from the injector's
+				// mark; InjectErrors-driven ones trigger here.
+				d.tel.TriggerFlight(p, "nvme-media-error")
+			}
 		}
 		d.mediaErrs++
 		d.doorbells++

@@ -145,6 +145,39 @@ func (h *Histogram) Clone() *Histogram {
 	return out
 }
 
+// Percentile returns the upper bound of the bucket holding the pct-th
+// observation (nearest-rank over the cumulative bucket counts); being
+// log2-bucketed, the answer is within 2x of the exact value. Zero if
+// empty, and zero-bucket observations report as 0.
+func (h *Histogram) Percentile(pct float64) sim.Time {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(pct / 100 * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	seen := 0
+	for _, k := range keys {
+		seen += h.buckets[k]
+		if seen >= rank {
+			if k == zeroBucket {
+				return 0
+			}
+			return sim.Time(int64(1) << uint(k+1))
+		}
+	}
+	return 0
+}
+
 // String renders the histogram with proportional bars, labelling each
 // bucket with its half-open range as a virtual-time value.
 func (h *Histogram) String() string {

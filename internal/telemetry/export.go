@@ -53,11 +53,14 @@ func (s *Sink) WriteText(w io.Writer) error {
 			h.mu.Lock()
 			n := h.h.N()
 			rendered := h.h.String()
+			p50, p95, p99 := h.h.Percentile(50), h.h.Percentile(95), h.h.Percentile(99)
+			quantiles := fmt.Sprintf("p50<=%v p95<=%v p99<=%v", p50, p95, p99)
 			if !h.timed {
 				rendered = h.h.Render(func(v int64) string { return fmt.Sprintf("%d", v) })
+				quantiles = fmt.Sprintf("p50<=%d p95<=%d p99<=%d", int64(p50), int64(p95), int64(p99))
 			}
 			h.mu.Unlock()
-			fmt.Fprintf(&b, "%s (n=%d)\n%s", name, n, indent(rendered))
+			fmt.Fprintf(&b, "%s (n=%d, %s)\n%s", name, n, quantiles, indent(rendered))
 		}
 	}
 	if len(s.spans) > 0 {
@@ -87,9 +90,12 @@ func (s *Sink) WriteText(w io.Writer) error {
 			fmt.Fprintf(&b, "%-46s n=%-8d total=%-12v mean=%-12v max=%v\n",
 				name, a.count, a.total, a.total/sim.Time(a.count), a.max)
 		}
-		if s.dropped > 0 {
-			fmt.Fprintf(&b, "(%d spans dropped after MaxSpans=%d)\n", s.dropped, s.maxSpans)
-		}
+	}
+	// Dropped spans print even when every retained span was dropped —
+	// silently swallowing the overflow hides exactly the runs where the
+	// trace buffer mattered.
+	if s.dropped > 0 {
+		fmt.Fprintf(&b, "\n(%d spans dropped after MaxSpans=%d)\n", s.dropped, s.maxSpans)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -124,6 +130,8 @@ type traceEvent struct {
 	Dur  float64        `json:"dur"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"` // flow-event binding id
+	BP   string         `json:"bp,omitempty"` // "e": bind flow end to enclosing slice
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -152,6 +160,12 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]any{"name": proc},
 		})
 	}
+	byID := make(map[uint64]*Span)
+	for i := range s.spans {
+		if id := s.spans[i].ID; id != 0 {
+			byID[id] = &s.spans[i]
+		}
+	}
 	for i := range s.spans {
 		sp := &s.spans[i]
 		ev := traceEvent{
@@ -163,8 +177,11 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 			Pid:  0,
 			Tid:  s.tids[sp.Proc],
 		}
-		if len(sp.Tags) > 0 {
-			args := make(map[string]any, len(sp.Tags))
+		if len(sp.Tags) > 0 || sp.Trace != 0 {
+			args := make(map[string]any, len(sp.Tags)+1)
+			if sp.Trace != 0 {
+				args["trace"] = fmt.Sprintf("%#x", sp.Trace)
+			}
 			for _, t := range sp.Tags {
 				if t.IsInt {
 					args[t.Key] = t.Int
@@ -175,6 +192,34 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 			ev.Args = args
 		}
 		events = append(events, ev)
+		// Causal flow arrow from a cross-proc parent: the trace context
+		// hopped the RPC wire (or a Spawn), which slice nesting cannot
+		// show. Same-proc parentage is already visible as nesting.
+		if sp.Trace != 0 && sp.Parent != 0 {
+			if parent, ok := byID[sp.Parent]; ok && parent.Proc != sp.Proc {
+				flowID := fmt.Sprintf("%#x", sp.ID)
+				events = append(events,
+					traceEvent{
+						Name: "causal",
+						Cat:  "trace",
+						Ph:   "s",
+						Ts:   float64(parent.Begin) / 1e3,
+						Pid:  0,
+						Tid:  s.tids[parent.Proc],
+						ID:   flowID,
+					},
+					traceEvent{
+						Name: "causal",
+						Cat:  "trace",
+						Ph:   "f",
+						BP:   "e",
+						Ts:   float64(sp.Begin) / 1e3,
+						Pid:  0,
+						Tid:  s.tids[sp.Proc],
+						ID:   flowID,
+					})
+			}
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})

@@ -1,0 +1,283 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"solros/internal/sim"
+)
+
+// The flight recorder is the sink's always-on blackbox: a bounded ring
+// of the most recently completed spans, fed from retain() so it keeps
+// recording after the main span buffer fills, plus counter snapshots.
+// TriggerFlight dumps the ring as a JSON artifact when something goes
+// wrong — a fault fires, an explore oracle records a Violation, or the
+// sim deadlocks — naming the trace that was in flight on the triggering
+// Proc so a postmortem starts from the faulted request, not from a pile
+// of unordered metrics.
+
+// flightRecorder is the armed state; nil on an unarmed sink.
+type flightRecorder struct {
+	ring     []flightSpan
+	next     int
+	full     bool
+	dir      string
+	maxDumps int
+	dumps    int
+	lastCtrs map[string]int64
+	lastPath string
+}
+
+// Flight-recorder defaults: ring capacity and dump cap. The cap bounds
+// artifact spam when a chaos run fires hundreds of faults.
+const (
+	defaultFlightSpans = 512
+	defaultFlightDumps = 8
+)
+
+// flightSpan is the JSON shape of one recorded span.
+type flightSpan struct {
+	Name   string         `json:"name"`
+	Proc   string         `json:"proc"`
+	Begin  sim.Time       `json:"begin"`
+	Finish sim.Time       `json:"finish"`
+	Trace  string         `json:"trace,omitempty"`
+	ID     uint64         `json:"id,omitempty"`
+	Parent uint64         `json:"parent,omitempty"`
+	Open   bool           `json:"open,omitempty"`
+	Tags   map[string]any `json:"tags,omitempty"`
+}
+
+// flightDump is the JSON blackbox artifact.
+type flightDump struct {
+	Reason        string           `json:"reason"`
+	Time          sim.Time         `json:"vtime"`
+	Proc          string           `json:"proc,omitempty"`
+	FaultedTrace  string           `json:"faulted_trace,omitempty"`
+	Spans         []flightSpan     `json:"spans"`
+	OpenSpans     []flightSpan     `json:"open_spans,omitempty"`
+	Counters      map[string]int64 `json:"counters,omitempty"`
+	CounterDeltas map[string]int64 `json:"counter_deltas,omitempty"`
+}
+
+func toFlightSpan(sp *Span, open bool) flightSpan {
+	fs := flightSpan{
+		Name:   sp.Name,
+		Proc:   sp.Proc,
+		Begin:  sp.Begin,
+		Finish: sp.Finish,
+		ID:     sp.ID,
+		Parent: sp.Parent,
+		Open:   open,
+	}
+	if sp.Trace != 0 {
+		fs.Trace = fmt.Sprintf("%#x", sp.Trace)
+	}
+	if len(sp.Tags) > 0 {
+		fs.Tags = make(map[string]any, len(sp.Tags))
+		for _, t := range sp.Tags {
+			if t.IsInt {
+				fs.Tags[t.Key] = t.Int
+			} else {
+				fs.Tags[t.Key] = t.Str
+			}
+		}
+	}
+	return fs
+}
+
+// ArmFlightRecorder starts blackbox recording, writing dump artifacts
+// into dir (created on first dump). maxSpans/maxDumps <= 0 pick the
+// defaults. Arming an already-armed sink re-points the dump directory
+// and clears the ring. Nil-safe.
+func (s *Sink) ArmFlightRecorder(dir string, maxSpans, maxDumps int) {
+	if s == nil {
+		return
+	}
+	if maxSpans <= 0 {
+		maxSpans = defaultFlightSpans
+	}
+	if maxDumps <= 0 {
+		maxDumps = defaultFlightDumps
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flight = &flightRecorder{
+		ring:     make([]flightSpan, maxSpans),
+		dir:      dir,
+		maxDumps: maxDumps,
+		lastCtrs: s.counterSnapshot(),
+	}
+}
+
+// FlightRecorderArmed reports whether the blackbox is recording.
+func (s *Sink) FlightRecorderArmed() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flight != nil
+}
+
+// LastFlightDump returns the path of the most recent blackbox artifact,
+// empty if none was written.
+func (s *Sink) LastFlightDump() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.flight == nil {
+		return ""
+	}
+	return s.flight.lastPath
+}
+
+// record appends one completed span to the ring. Caller holds s.mu.
+func (f *flightRecorder) record(sp Span) {
+	f.ring[f.next] = toFlightSpan(&sp, false)
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.full = true
+	}
+}
+
+// snapshot returns the ring contents, oldest first. Caller holds s.mu.
+func (f *flightRecorder) snapshot() []flightSpan {
+	if !f.full {
+		return append([]flightSpan(nil), f.ring[:f.next]...)
+	}
+	out := make([]flightSpan, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// counterSnapshot copies every counter's current value. Caller holds s.mu.
+func (s *Sink) counterSnapshot() map[string]int64 {
+	out := make(map[string]int64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// TriggerFlight dumps the blackbox: the span ring, currently open spans,
+// counters and their deltas since the previous dump, and the trace that
+// was in flight on p (or, with p nil — oracle violations, deadlocks —
+// the most recently recorded traced span). Returns the artifact path,
+// empty when unarmed, over the dump cap, or on a write error. Nil-safe.
+func (s *Sink) TriggerFlight(p *sim.Proc, reason string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.flight
+	if f == nil || f.dumps >= f.maxDumps {
+		return ""
+	}
+
+	d := flightDump{
+		Reason:   reason,
+		Spans:    f.snapshot(),
+		Counters: s.counterSnapshot(),
+	}
+	if p != nil {
+		d.Time = p.Now()
+		d.Proc = p.Name()
+	}
+	d.CounterDeltas = make(map[string]int64, len(d.Counters))
+	for name, v := range d.Counters {
+		if delta := v - f.lastCtrs[name]; delta != 0 {
+			d.CounterDeltas[name] = delta
+		}
+	}
+	f.lastCtrs = d.Counters
+
+	// The faulted trace: innermost open traced span on the triggering
+	// Proc, falling back to the newest traced span in the ring.
+	if p != nil {
+		stack := s.open[p]
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].Trace != 0 {
+				d.FaultedTrace = fmt.Sprintf("%#x", stack[i].Trace)
+				break
+			}
+		}
+	}
+	if d.FaultedTrace == "" {
+		for i := len(d.Spans) - 1; i >= 0; i-- {
+			if d.Spans[i].Trace != "" {
+				d.FaultedTrace = d.Spans[i].Trace
+				break
+			}
+		}
+	}
+	for _, stack := range s.open {
+		for _, sp := range stack {
+			d.OpenSpans = append(d.OpenSpans, toFlightSpan(sp, true))
+		}
+	}
+	// Deterministic open-span order for diffable artifacts.
+	sortFlightSpans(d.OpenSpans)
+
+	f.dumps++
+	path := filepath.Join(f.dir, fmt.Sprintf("flight-%03d-%s.json", f.dumps, sanitizeReason(reason)))
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return ""
+	}
+	blob, err := json.MarshalIndent(&d, "", "  ")
+	if err != nil {
+		return ""
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return ""
+	}
+	f.lastPath = path
+	return path
+}
+
+func sortFlightSpans(fs []flightSpan) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && flightSpanLess(&fs[j], &fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func flightSpanLess(a, b *flightSpan) bool {
+	if a.Begin != b.Begin {
+		return a.Begin < b.Begin
+	}
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	return a.ID < b.ID
+}
+
+// sanitizeReason maps a free-form trigger reason to a filename fragment.
+func sanitizeReason(reason string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(reason) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case b.Len() > 0 && !strings.HasSuffix(b.String(), "-"):
+			b.WriteByte('-')
+		}
+	}
+	out := strings.Trim(b.String(), "-")
+	if out == "" {
+		out = "trigger"
+	}
+	if len(out) > 48 {
+		out = out[:48]
+	}
+	return out
+}

@@ -18,6 +18,12 @@ type Tag struct {
 // another span is open on the same Proc become its children; the Chrome
 // exporter renders the nesting per thread row, and the text exporter
 // aggregates durations by name.
+//
+// Trace, ID, and Parent are the causal-tracing fields: ID is a
+// sink-unique span identifier, Trace groups every span of one logical
+// request (zero = untraced), and Parent is the ID of the causal parent —
+// which may live on a different Proc when the trace context crossed an
+// RPC boundary. Untraced spans still nest lexically via Depth.
 type Span struct {
 	Name   string
 	Proc   string
@@ -26,9 +32,23 @@ type Span struct {
 	Depth  int
 	Tags   []Tag
 
+	Trace  uint64
+	ID     uint64
+	Parent uint64
+
 	sink *Sink
 	proc *sim.Proc
 }
+
+// TraceCtx is a portable trace context: the pair that crosses process and
+// wire boundaries. The zero value means "not traced".
+type TraceCtx struct {
+	Trace uint64 // request (causal-tree) identifier; 0 = untraced
+	Span  uint64 // span ID of the causal parent within that trace
+}
+
+// Traced reports whether the context carries a live trace.
+func (c TraceCtx) Traced() bool { return c.Trace != 0 }
 
 // Start opens a span named name on Proc p at the current virtual time. A
 // nil sink returns a nil span whose methods are no-ops, so call sites
@@ -39,21 +59,81 @@ func (s *Sink) Start(p *sim.Proc, name string) *Span {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.startLocked(p, name, TraceCtx{})
+}
+
+// StartCtx opens a span whose causal parent is the given trace context —
+// typically one decoded off the wire on the far side of an RPC, so the
+// span joins a tree rooted on another Proc. A zero ctx behaves like
+// Start.
+func (s *Sink) StartCtx(p *sim.Proc, name string, ctx TraceCtx) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.startLocked(p, name, ctx)
+}
+
+// startLocked is the shared body of Start/StartCtx. Caller holds s.mu.
+// An explicit ctx wins; otherwise the span inherits the trace of the
+// innermost open span on p, so nested instrumentation joins the request
+// tree without plumbing contexts through every call.
+func (s *Sink) startLocked(p *sim.Proc, name string, ctx TraceCtx) *Span {
+	s.nextSpanID++
 	sp := &Span{
-		Name:  name,
-		Proc:  p.Name(),
-		Begin: p.Now(),
-		sink:  s,
-		proc:  p,
+		Name:   name,
+		Proc:   p.Name(),
+		Begin:  p.Now(),
+		ID:     s.nextSpanID,
+		Trace:  ctx.Trace,
+		Parent: ctx.Span,
+		sink:   s,
+		proc:   p,
 	}
 	stack := s.open[p]
 	sp.Depth = len(stack)
+	if sp.Trace == 0 && len(stack) > 0 {
+		top := stack[len(stack)-1]
+		sp.Trace = top.Trace
+		if sp.Trace != 0 {
+			sp.Parent = top.ID
+		}
+	}
 	s.open[p] = append(stack, sp)
 	if _, ok := s.tids[sp.Proc]; !ok {
 		s.tids[sp.Proc] = len(s.tidOrder) + 1
 		s.tidOrder = append(s.tidOrder, sp.Proc)
 	}
 	return sp
+}
+
+// Current returns the trace context of the innermost open traced span on
+// p — the context to embed in an outbound RPC or to hand to a spawned
+// Proc. Zero when p has no traced span open (or the sink is nil).
+func (s *Sink) Current(p *sim.Proc) TraceCtx {
+	if s == nil {
+		return TraceCtx{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stack := s.open[p]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].Trace != 0 {
+			return TraceCtx{Trace: stack[i].Trace, Span: stack[i].ID}
+		}
+	}
+	return TraceCtx{}
+}
+
+// Ctx returns the span's own trace context — what a child started
+// elsewhere (another Proc, a spawned filler) should use as its parent.
+// Zero for an untraced or nil span.
+func (sp *Span) Ctx() TraceCtx {
+	if sp == nil || sp.Trace == 0 {
+		return TraceCtx{}
+	}
+	return TraceCtx{Trace: sp.Trace, Span: sp.ID}
 }
 
 // Tag attaches a string annotation.
@@ -89,9 +169,12 @@ func (sp *Span) End(p *sim.Proc) {
 		if stack[i] != sp {
 			continue
 		}
-		// Close any children left open above sp at the same instant.
+		// Close any children left open above sp at the same instant,
+		// tagged so postmortem waterfalls can tell a cascade close from
+		// a real End.
 		for j := len(stack) - 1; j > i; j-- {
 			stack[j].Finish = sp.Finish
+			stack[j].Tags = append(stack[j].Tags, Tag{Key: "truncated", Int: 1, IsInt: true})
 			s.retain(stack[j])
 		}
 		s.open[sp.proc] = stack[:i]
@@ -101,7 +184,12 @@ func (sp *Span) End(p *sim.Proc) {
 }
 
 // retain appends a completed span, honouring MaxSpans. Caller holds s.mu.
+// The flight recorder's bounded ring is fed here too, so it keeps seeing
+// recent spans even after the main trace buffer fills up.
 func (s *Sink) retain(sp *Span) {
+	if s.flight != nil {
+		s.flight.record(*sp)
+	}
 	if len(s.spans) >= s.maxSpans {
 		s.dropped++
 		return

@@ -54,6 +54,15 @@ type Sink struct {
 	dropped  int64
 	tids     map[string]int // proc name -> trace tid, in first-seen order
 	tidOrder []string
+
+	// nextSpanID allocates sink-unique span IDs. The sim engine
+	// serializes Proc execution, so allocation order — and therefore
+	// every ID — is deterministic for a given schedule.
+	nextSpanID uint64
+
+	// flight is the bounded blackbox ring; nil unless armed. See
+	// flightrec.go.
+	flight *flightRecorder
 }
 
 // New returns an empty sink.

@@ -1,0 +1,349 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"solros/internal/sim"
+	"solros/internal/stats"
+)
+
+// This file turns retained spans into request-centric reports: given a
+// trace ID, CriticalPath attributes every instant of the request's
+// end-to-end latency to exactly one pipeline stage, and StageRollup
+// aggregates those attributions into p50/p99 per stage across all traces.
+//
+// Attribution is a priority sweep: the root span's interval is cut at
+// every span boundary in the trace, and each elementary slice is charged
+// to the highest-priority span active during it. Stage priorities follow
+// the data path depth — actual device work (NVMe, DMA) outranks the
+// proxy serve loop, which outranks the stub-side wait — so "who was
+// really working" wins over "who was merely waiting". Because the root
+// span covers the whole interval and always matches some stage, the
+// per-stage durations sum to the end-to-end latency by construction.
+
+// Canonical stage names, in data-path order. "ring_wait" is the portion
+// of an RPC wait before the proxy picked the request up (queueing +
+// ring transit), "reply_wait" the portion after the proxy finished
+// (reply transit + dispatch); both are carved out of dataplane.rpc.wait
+// by matching the proxy serve spans that share its causal parent.
+var StageOrder = []string{
+	"ring_wait",
+	"combiner",
+	"ring_op",
+	"stub_issue",
+	"proxy_serve",
+	"cache_fill",
+	"copy_dma",
+	"nvme",
+	"reply_wait",
+	"other",
+}
+
+// stageOf classifies a span name into (stage, priority). The "wait"
+// pseudo-stage is split into ring_wait/reply_wait during the sweep.
+func stageOf(name string) (string, int) {
+	switch {
+	case name == "nvme.submit":
+		return "nvme", 90
+	case strings.HasPrefix(name, "pcie."), name == "controlplane.fsproxy.push":
+		return "copy_dma", 80
+	case name == "controlplane.fsproxy.fill",
+		name == "controlplane.fsproxy.readahead",
+		name == "controlplane.fsproxy.read_overlap":
+		return "cache_fill", 70
+	case name == "transport.combine":
+		return "combiner", 65
+	case strings.HasPrefix(name, "transport."):
+		return "ring_op", 60
+	case strings.HasPrefix(name, "controlplane."):
+		return "proxy_serve", 40
+	case name == "dataplane.rpc.issue":
+		return "stub_issue", 30
+	case name == "dataplane.rpc.wait":
+		return "wait", 10
+	default:
+		return "other", 1
+	}
+}
+
+// StageDur is one stage's share of a request's end-to-end latency.
+type StageDur struct {
+	Stage string
+	Dur   sim.Time
+}
+
+// PathReport is the critical-path breakdown of one trace.
+type PathReport struct {
+	Trace  uint64
+	Root   Span
+	Total  sim.Time   // root end-to-end latency
+	Stages []StageDur // in StageOrder; sums to Total
+	Spans  []Span     // every span of the trace, by (Begin, ID)
+}
+
+// Traces lists the distinct trace IDs among retained spans, in order of
+// first retention.
+func (s *Sink) Traces() []uint64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for i := range s.spans {
+		if tr := s.spans[i].Trace; tr != 0 && !seen[tr] {
+			seen[tr] = true
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// TraceSpans returns the retained spans of one trace, sorted by
+// (Begin, ID).
+func (s *Sink) TraceSpans(trace uint64) []Span {
+	if s == nil || trace == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Span
+	for i := range s.spans {
+		if s.spans[i].Trace == trace {
+			out = append(out, s.spans[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Begin != out[j].Begin {
+			return out[i].Begin < out[j].Begin
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// CriticalPath computes the per-stage latency attribution for one trace.
+// Nil when the trace has no retained spans.
+func (s *Sink) CriticalPath(trace uint64) *PathReport {
+	spans := s.TraceSpans(trace)
+	if len(spans) == 0 {
+		return nil
+	}
+	// Root: the span whose parent is outside the trace (or zero),
+	// breaking ties toward the widest interval.
+	ids := make(map[uint64]bool, len(spans))
+	for i := range spans {
+		ids[spans[i].ID] = true
+	}
+	root := -1
+	for i := range spans {
+		if spans[i].Parent != 0 && ids[spans[i].Parent] {
+			continue
+		}
+		if root < 0 ||
+			spans[i].Begin < spans[root].Begin ||
+			(spans[i].Begin == spans[root].Begin && spans[i].Finish > spans[root].Finish) {
+			root = i
+		}
+	}
+	if root < 0 {
+		root = 0
+	}
+	rp := &PathReport{Trace: trace, Root: spans[root], Spans: spans}
+	rp.Total = spans[root].Duration()
+
+	// Per-wait serve windows: the proxy serve spans answering a wait
+	// share its causal parent (the issue span), so [first serve Begin,
+	// last serve Finish] splits the wait into ring_wait / reply_wait.
+	type window struct {
+		lo, hi sim.Time
+		ok     bool
+	}
+	serveByParent := make(map[uint64]window)
+	for i := range spans {
+		sp := &spans[i]
+		if !strings.HasPrefix(sp.Name, "controlplane.") || sp.Parent == 0 {
+			continue
+		}
+		w := serveByParent[sp.Parent]
+		if !w.ok || sp.Begin < w.lo {
+			w.lo = sp.Begin
+		}
+		if !w.ok || sp.Finish > w.hi {
+			w.hi = sp.Finish
+		}
+		w.ok = true
+		serveByParent[sp.Parent] = w
+	}
+
+	// Elementary intervals: every span boundary inside the root window.
+	lo, hi := spans[root].Begin, spans[root].Finish
+	cuts := []sim.Time{lo, hi}
+	for i := range spans {
+		for _, t := range []sim.Time{spans[i].Begin, spans[i].Finish} {
+			if t > lo && t < hi {
+				cuts = append(cuts, t)
+			}
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	byStage := make(map[string]sim.Time)
+	for c := 0; c+1 < len(cuts); c++ {
+		t0, t1 := cuts[c], cuts[c+1]
+		if t1 <= t0 {
+			continue
+		}
+		// Highest-priority span active over [t0, t1); ties go to the
+		// later-started (deeper) span, then the higher ID.
+		best, bestPrio := -1, -1
+		var bestStage string
+		for i := range spans {
+			sp := &spans[i]
+			if sp.Begin > t0 || sp.Finish < t1 || sp.Duration() == 0 {
+				continue
+			}
+			stage, prio := stageOf(sp.Name)
+			if prio > bestPrio ||
+				(prio == bestPrio && (sp.Begin > spans[best].Begin ||
+					(sp.Begin == spans[best].Begin && sp.ID > spans[best].ID))) {
+				best, bestPrio, bestStage = i, prio, stage
+			}
+		}
+		if best < 0 {
+			bestStage = "other"
+		} else if bestStage == "wait" {
+			bestStage = "ring_wait"
+			if w := serveByParent[spans[best].Parent]; w.ok && t0 >= w.hi {
+				bestStage = "reply_wait"
+			}
+		}
+		byStage[bestStage] += t1 - t0
+	}
+	for _, st := range StageOrder {
+		if d, ok := byStage[st]; ok {
+			rp.Stages = append(rp.Stages, StageDur{Stage: st, Dur: d})
+			delete(byStage, st)
+		}
+	}
+	// Any stage name outside the canonical order (future spans) still
+	// shows up rather than silently vanishing from the sum.
+	for _, st := range sortedKeys(byStage) {
+		rp.Stages = append(rp.Stages, StageDur{Stage: st, Dur: byStage[st]})
+	}
+	return rp
+}
+
+// StageRollup aggregates critical-path attributions across every
+// retained trace: one stats.Sample per stage, sampling each trace's
+// per-stage duration.
+func (s *Sink) StageRollup() map[string]*stats.Sample {
+	out := make(map[string]*stats.Sample)
+	for _, tr := range s.Traces() {
+		rp := s.CriticalPath(tr)
+		if rp == nil {
+			continue
+		}
+		for _, sd := range rp.Stages {
+			sm := out[sd.Stage]
+			if sm == nil {
+				sm = &stats.Sample{}
+				out[sd.Stage] = sm
+			}
+			sm.Add(sd.Dur)
+		}
+	}
+	return out
+}
+
+// WriteCriticalPath renders one trace as a waterfall plus the stage
+// breakdown whose rows sum to the end-to-end latency.
+func (s *Sink) WriteCriticalPath(w io.Writer, trace uint64) error {
+	rp := s.CriticalPath(trace)
+	if rp == nil {
+		_, err := fmt.Fprintf(w, "trace %#x: no spans retained\n", trace)
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== trace %#x: %s on %s, end-to-end %v ==\n",
+		rp.Trace, rp.Root.Name, rp.Root.Proc, rp.Total)
+
+	b.WriteString("\n-- waterfall --\n")
+	const width = 48
+	span := rp.Root.Duration()
+	if span <= 0 {
+		span = 1
+	}
+	for i := range rp.Spans {
+		sp := &rp.Spans[i]
+		off := int(int64(sp.Begin-rp.Root.Begin) * width / int64(span))
+		length := int(int64(sp.Duration()) * width / int64(span))
+		if off < 0 {
+			off = 0
+		}
+		if off > width {
+			off = width
+		}
+		if length < 1 {
+			length = 1
+		}
+		if off+length > width+1 {
+			length = width + 1 - off
+		}
+		bar := strings.Repeat(" ", off) + strings.Repeat("=", length)
+		tags := ""
+		for _, t := range sp.Tags {
+			if t.IsInt {
+				tags += fmt.Sprintf(" %s=%d", t.Key, t.Int)
+			} else {
+				tags += fmt.Sprintf(" %s=%s", t.Key, t.Str)
+			}
+		}
+		fmt.Fprintf(&b, "%-36s %-16s |%-*s| %v @ %v%s\n",
+			sp.Name, sp.Proc, width+1, bar, sp.Duration(), sp.Begin-rp.Root.Begin, tags)
+	}
+
+	b.WriteString("\n-- critical path --\n")
+	var sum sim.Time
+	for _, sd := range rp.Stages {
+		pct := float64(sd.Dur) * 100 / float64(rp.Total)
+		fmt.Fprintf(&b, "%-14s %14v  %5.1f%%\n", sd.Stage, sd.Dur, pct)
+		sum += sd.Dur
+	}
+	fmt.Fprintf(&b, "%-14s %14v  (end-to-end %v)\n", "total", sum, rp.Total)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteStageRollup renders per-stage p50/p99 across all retained traces.
+func (s *Sink) WriteStageRollup(w io.Writer) error {
+	roll := s.StageRollup()
+	if len(roll) == 0 {
+		_, err := fmt.Fprintln(w, "no traces retained")
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== stage rollup over %d trace(s) ==\n", len(s.Traces()))
+	fmt.Fprintf(&b, "%-14s %8s %14s %14s %14s\n", "stage", "n", "p50", "p99", "mean")
+	emit := func(st string) {
+		sm, ok := roll[st]
+		if !ok {
+			return
+		}
+		fmt.Fprintf(&b, "%-14s %8d %14v %14v %14v\n",
+			st, sm.N(), sm.Percentile(50), sm.Percentile(99), sm.Mean())
+		delete(roll, st)
+	}
+	for _, st := range StageOrder {
+		emit(st)
+	}
+	for _, st := range sortedKeys(roll) {
+		emit(st)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

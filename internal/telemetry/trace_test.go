@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"solros/internal/sim"
+)
+
+// TestTraceContextPropagation pins the inheritance rules: an explicit
+// StartCtx roots a trace, plain Start children inherit trace and parent
+// from the innermost open span, Current reports the innermost traced
+// context, and spans on an untraced stack stay untraced.
+func TestTraceContextPropagation(t *testing.T) {
+	s := New(Options{})
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		root := s.StartCtx(p, "root", TraceCtx{Trace: 0xabc})
+		p.Advance(2)
+		child := s.Start(p, "child")
+		p.Advance(2)
+		if got := s.Current(p); got.Trace != 0xabc || got.Span != child.ID {
+			t.Errorf("Current = %+v, want trace 0xabc span %d", got, child.ID)
+		}
+		grand := s.Start(p, "grandchild")
+		grand.End(p)
+		child.End(p)
+		root.End(p)
+
+		plain := s.Start(p, "untraced")
+		if s.Current(p).Traced() {
+			t.Error("untraced stack reported a traced context")
+		}
+		plain.End(p)
+	})
+	e.MustRun()
+
+	spans := map[string]Span{}
+	for _, sp := range s.Spans() {
+		spans[sp.Name] = sp
+	}
+	root, child, grand := spans["root"], spans["child"], spans["grandchild"]
+	if root.Trace != 0xabc || root.Parent != 0 {
+		t.Errorf("root: trace %#x parent %d", root.Trace, root.Parent)
+	}
+	if child.Trace != 0xabc || child.Parent != root.ID {
+		t.Errorf("child: trace %#x parent %d, want trace 0xabc parent %d", child.Trace, child.Parent, root.ID)
+	}
+	if grand.Trace != 0xabc || grand.Parent != child.ID {
+		t.Errorf("grandchild: trace %#x parent %d, want parent %d", grand.Trace, grand.Parent, child.ID)
+	}
+	if u := spans["untraced"]; u.Trace != 0 || u.Parent != 0 {
+		t.Errorf("untraced span carries trace %#x parent %d", u.Trace, u.Parent)
+	}
+	if ids := s.Traces(); len(ids) != 1 || ids[0] != 0xabc {
+		t.Errorf("Traces() = %v, want [0xabc]", ids)
+	}
+}
+
+// TestCriticalPathSumsToEndToEnd builds a synthetic delegated-read shape —
+// root call, issue, wait, proxy serve with an NVMe leg and a DMA push —
+// and checks that the stage attribution (a) sums exactly to the root's
+// end-to-end latency and (b) charges the device legs to their stages, with
+// the wait split around the serve window into ring_wait and reply_wait.
+func TestCriticalPathSumsToEndToEnd(t *testing.T) {
+	s := New(Options{})
+	e := sim.NewEngine()
+	e.Spawn("stub", 0, func(p *sim.Proc) {
+		root := s.StartCtx(p, "dataplane.call", TraceCtx{Trace: 7})
+		p.Advance(5) // stub-side marshal: "other"
+		issue := s.Start(p, "dataplane.rpc.issue")
+		p.Advance(10)
+		issue.End(p)
+		wait := s.StartCtx(p, "dataplane.rpc.wait", TraceCtx{Trace: 7, Span: issue.ID})
+		p.Spawn("proxy", func(pp *sim.Proc) {
+			pp.AdvanceTo(35) // ring transit: 20 of ring_wait
+			serve := s.StartCtx(pp, "controlplane.fsproxy", TraceCtx{Trace: 7, Span: issue.ID})
+			pp.Advance(5)
+			nv := s.Start(pp, "nvme.submit")
+			pp.Advance(40)
+			nv.End(pp)
+			push := s.Start(pp, "controlplane.fsproxy.push")
+			pp.Advance(25)
+			push.End(pp)
+			serve.End(pp)
+		})
+		p.AdvanceTo(120) // proxy finished at 105; 15 of reply_wait
+		wait.End(p)
+		root.End(p)
+	})
+	e.MustRun()
+
+	rp := s.CriticalPath(7)
+	if rp == nil {
+		t.Fatal("no critical path for trace 7")
+	}
+	if rp.Root.Name != "dataplane.call" {
+		t.Fatalf("root = %s, want dataplane.call", rp.Root.Name)
+	}
+	var sum sim.Time
+	byStage := map[string]sim.Time{}
+	for _, sd := range rp.Stages {
+		sum += sd.Dur
+		byStage[sd.Stage] = sd.Dur
+	}
+	if sum != rp.Total {
+		t.Fatalf("stages sum to %v, end-to-end is %v", sum, rp.Total)
+	}
+	if byStage["nvme"] != 40 {
+		t.Errorf("nvme = %v, want 40", byStage["nvme"])
+	}
+	if byStage["copy_dma"] != 25 {
+		t.Errorf("copy_dma = %v, want 25", byStage["copy_dma"])
+	}
+	if byStage["ring_wait"] != 20 {
+		t.Errorf("ring_wait = %v, want 20", byStage["ring_wait"])
+	}
+	if byStage["reply_wait"] != 15 {
+		t.Errorf("reply_wait = %v, want 15", byStage["reply_wait"])
+	}
+
+	roll := s.StageRollup()
+	if roll["nvme"] == nil || roll["nvme"].N() != 1 || roll["nvme"].Percentile(50) != 40 {
+		t.Errorf("rollup nvme = %+v, want one 40-tick sample", roll["nvme"])
+	}
+}
+
+// TestUnbalancedEndTagsTruncated pins satellite 2: a parent ended with
+// children still open force-closes them with a truncated=1 tag, so the
+// report distinguishes them from cleanly-ended spans.
+func TestUnbalancedEndTagsTruncated(t *testing.T) {
+	s := New(Options{})
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		parent := s.Start(p, "parent")
+		s.Start(p, "orphan")
+		p.Advance(3)
+		parent.End(p)
+	})
+	e.MustRun()
+	for _, sp := range s.Spans() {
+		truncated := false
+		for _, tag := range sp.Tags {
+			if tag.Key == "truncated" && tag.IsInt && tag.Int == 1 {
+				truncated = true
+			}
+		}
+		if sp.Name == "orphan" && !truncated {
+			t.Error("force-closed child missing truncated=1 tag")
+		}
+		if sp.Name == "parent" && truncated {
+			t.Error("cleanly-ended parent tagged truncated")
+		}
+	}
+}
+
+// TestFlightRecorderDump pins the blackbox contract: an armed recorder
+// snapshots the last spans, and TriggerFlight writes a JSON dump naming
+// the trace of the innermost open traced span at the trigger point.
+func TestFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{})
+	s.ArmFlightRecorder(dir, 4, 2)
+	if !s.FlightRecorderArmed() {
+		t.Fatal("recorder not armed")
+	}
+	s.Counter("faults.test").Add(3)
+	var path string
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		for i := 0; i < 6; i++ { // overflow the 4-span ring
+			sp := s.StartCtx(p, "warmup", TraceCtx{Trace: uint64(100 + i)})
+			p.Advance(1)
+			sp.End(p)
+		}
+		sp := s.StartCtx(p, "faulted.op", TraceCtx{Trace: 0xdead})
+		p.Advance(1)
+		path = s.TriggerFlight(p, "nvme media error!")
+		sp.End(p)
+	})
+	e.MustRun()
+
+	if path == "" {
+		t.Fatal("TriggerFlight returned no path")
+	}
+	if path != s.LastFlightDump() {
+		t.Errorf("LastFlightDump = %q, want %q", s.LastFlightDump(), path)
+	}
+	if filepath.Dir(path) != dir {
+		t.Errorf("dump landed in %s, want %s", filepath.Dir(path), dir)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Reason       string           `json:"reason"`
+		FaultedTrace string           `json:"faulted_trace"`
+		Spans        []map[string]any `json:"spans"`
+		OpenSpans    []map[string]any `json:"open_spans"`
+		Counters     map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(blob, &dump); err != nil {
+		t.Fatalf("dump is not JSON: %v", err)
+	}
+	if dump.Reason != "nvme media error!" {
+		t.Errorf("reason = %q", dump.Reason)
+	}
+	if dump.FaultedTrace != "0xdead" {
+		t.Errorf("faulted_trace = %q, want 0xdead (the open span's trace)", dump.FaultedTrace)
+	}
+	if len(dump.Spans) == 0 || len(dump.Spans) > 4 {
+		t.Errorf("ringed spans = %d, want 1..4", len(dump.Spans))
+	}
+	if len(dump.OpenSpans) == 0 {
+		t.Error("open faulted span missing from dump")
+	}
+	if dump.Counters["faults.test"] != 3 {
+		t.Errorf("counters = %v, want faults.test=3", dump.Counters)
+	}
+
+	// A second trigger must produce a distinct dump; the MaxDumps=2 cap
+	// then silences the third.
+	if p2 := s.TriggerFlight(nil, "again"); p2 == "" || p2 == path {
+		t.Errorf("second dump = %q", p2)
+	}
+	if p3 := s.TriggerFlight(nil, "over cap"); p3 != "" {
+		t.Errorf("third dump %q exceeded MaxDumps", p3)
+	}
+
+	// Nil-safety: a nil sink and an unarmed sink both no-op.
+	var nilSink *Sink
+	if nilSink.TriggerFlight(nil, "x") != "" || New(Options{}).TriggerFlight(nil, "x") != "" {
+		t.Error("unarmed TriggerFlight wrote a dump")
+	}
+}

@@ -304,6 +304,7 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 	}
 	sp := r.tel.Start(p, "transport.send")
 	sp.TagInt("bytes", int64(len(msg)))
+	cs := r.tel.Start(p, "transport.combine")
 	combineEnter(p, &r.enq)
 	if r.opt.Update == Eager {
 		// Read head and update tail across the bus every time.
@@ -321,6 +322,7 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 		}
 		if !ok {
 			pt.combineExit(p, &r.enq, r.opt.Batch)
+			cs.End(p)
 			r.telSendBlock.Add(1)
 			sp.Tag("result", "wouldblock")
 			sp.End(p)
@@ -328,6 +330,7 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 		}
 	}
 	pt.combineExit(p, &r.enq, r.opt.Batch)
+	cs.End(p)
 
 	// Copy payload into master memory (outside the combiner, so copies
 	// from concurrent senders overlap).
@@ -382,6 +385,7 @@ func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 	r := pt.ring
 	r.recvStall(p)
 	sp := r.tel.Start(p, "transport.recv")
+	cs := r.tel.Start(p, "transport.combine")
 	combineEnter(p, &r.deq)
 	if r.opt.Update == Eager {
 		pt.remoteTxn(p)
@@ -394,6 +398,7 @@ func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 		ent, ok = r.take()
 	}
 	pt.combineExit(p, &r.deq, r.opt.Batch)
+	cs.End(p)
 	if !ok {
 		r.telRecvBlock.Add(1)
 		sp.Tag("result", "wouldblock")
@@ -431,6 +436,7 @@ func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
 	}
 	r.recvStall(p)
 	sp := r.tel.Start(p, "transport.recv_batch")
+	cs := r.tel.Start(p, "transport.combine")
 	combineEnter(p, &r.deq)
 	if r.opt.Update == Eager {
 		pt.remoteTxn(p)
@@ -460,6 +466,7 @@ func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
 		r.deq.opsInBatch += len(ents) - 1
 	}
 	pt.combineExit(p, &r.deq, r.opt.Batch)
+	cs.End(p)
 	if len(ents) == 0 {
 		r.telRecvBlock.Add(1)
 		sp.Tag("result", "wouldblock")
