@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"solros/internal/bench"
+)
+
+// runBenchCore runs the core benchmark baseline and writes BENCH_core.json.
+func runBenchCore(args []string) {
+	fs := flag.NewFlagSet("benchcore", flag.ExitOnError)
+	out := fs.String("o", "BENCH_core.json", "output path for the baseline document")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: solros-bench benchcore [-o BENCH_core.json]")
+		fmt.Fprintln(os.Stderr, "\nRuns the four core benchmark points (sync read, pipelined read,")
+		fmt.Fprintln(os.Stderr, "chaos under NVMe errors, tracing overhead) and writes the baseline")
+		fmt.Fprintln(os.Stderr, "document benchdiff compares against.")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	cb := bench.CoreBenchmarks()
+	for _, p := range cb.Points {
+		fmt.Printf("%-24s %10.3f %s\n", p.Name, p.Value, p.Unit)
+	}
+	if err := bench.WriteCoreBench(*out, cb); err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "solros-bench: wrote %s\n", *out)
+}
+
+// runBenchDiff compares two BENCH_core.json documents and flags points
+// that regressed past the budget.
+func runBenchDiff(args []string) {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	maxRegress := fs.String("max-regress", "5%", "largest tolerated regression per point (e.g. 5%)")
+	warn := fs.Bool("warn", false, "report regressions but exit 0 (CI warn-only gate)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: solros-bench benchdiff [-max-regress 5%] [-warn] old.json new.json")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	budget, err := parsePercent(*maxRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(2)
+	}
+	oldCB, err := bench.LoadCoreBench(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(2)
+	}
+	newCB, err := bench.LoadCoreBench(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(2)
+	}
+	deltas := bench.CompareCore(oldCB, newCB, budget)
+	regressed := 0
+	fmt.Printf("%-24s %12s %12s %9s  %s\n", "POINT", "OLD", "NEW", "WORSE%", "VERDICT")
+	for _, d := range deltas {
+		verdict := "ok"
+		switch {
+		case d.Missing && d.Regressed:
+			verdict = "MISSING (regression)"
+		case d.Missing:
+			verdict = "new point"
+		case d.Regressed:
+			verdict = fmt.Sprintf("REGRESSED (> %g%%)", budget)
+		}
+		if d.Regressed {
+			regressed++
+		}
+		fmt.Printf("%-24s %12.3f %12.3f %9.2f  %s\n", d.Name, d.Old, d.New, d.WorsePct, verdict)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "solros-bench: %d point(s) regressed past %g%%\n", regressed, budget)
+		if !*warn {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "solros-bench: warn-only mode, exiting 0")
+	}
+}
+
+// parsePercent parses "5%" or "5" into 5.0.
+func parsePercent(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("-max-regress: %q: want a percentage like 5%%", s)
+	}
+	return v, nil
+}

@@ -21,10 +21,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"solros/internal/bench"
 	"solros/internal/core"
+	"solros/internal/sim"
 	"solros/internal/telemetry"
 )
 
@@ -36,6 +39,10 @@ var (
 	quick      = flag.Bool("quick", false, "shrink the chaos workload to a smoke test (CI)")
 	traceReq   = flag.Bool("trace-requests", false, "arm end-to-end causal tracing on every machine (16-byte trailer per RPC frame; perturbs figures); enables telemetry")
 	flightRec  = flag.String("flightrec", "", "arm the flight recorder on every machine; blackbox JSON dumps land in this directory; enables telemetry")
+	windows    = flag.Duration("windows", 0, "arm windowed stage/queue rollups with this sim-clock window length (e.g. 1ms); enables telemetry")
+	sloSpec    = flag.String("slo", "", "arm SLO objectives: semicolon-separated METRIC:pNN<DUR specs (e.g. 'dataplane.rpc.Tread:p99<500us'); enables telemetry and windows")
+	metricAddr = flag.String("metrics-addr", "", "serve OpenMetrics over HTTP at this address (/metrics, /metrics/windows); enables telemetry")
+	windowsOut = flag.String("windows-out", "", "dump one OpenMetrics file per completed window into this directory at exit")
 )
 
 func main() {
@@ -48,7 +55,13 @@ func main() {
 		usage()
 		return
 	}
-	if *traceOut != "" || *metricsOut != "" || *traceReq || *flightRec != "" {
+	objectives, err := parseSLOSpec(*sloSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(2)
+	}
+	if *traceOut != "" || *metricsOut != "" || *traceReq || *flightRec != "" ||
+		*windows > 0 || len(objectives) > 0 || *metricAddr != "" || *windowsOut != "" {
 		// Machines pick the sink up via telemetry.Default at construction.
 		telemetry.Default = telemetry.New(telemetry.Options{})
 	}
@@ -56,6 +69,12 @@ func main() {
 	// experiment builds is armed without per-figure plumbing.
 	core.DefaultTracing = *traceReq
 	core.DefaultFlightRecorder = *flightRec
+	core.DefaultWindows = simDuration(*windows)
+	core.DefaultSLO = objectives
+	core.DefaultMetricsAddr = *metricAddr
+	if *windowsOut != "" && core.DefaultWindows == 0 && len(objectives) == 0 {
+		core.DefaultWindows = simDuration(time.Millisecond)
+	}
 	switch args[0] {
 	case "all":
 		for _, id := range bench.IDs() {
@@ -67,6 +86,15 @@ func main() {
 		runExplore(args[1:])
 	case "trace":
 		runTrace(args[1:])
+	case "top":
+		runTop(args[1:])
+		return
+	case "benchcore":
+		runBenchCore(args[1:])
+		return
+	case "benchdiff":
+		runBenchDiff(args[1:])
+		return
 	default:
 		for _, id := range args {
 			if _, _, ok := bench.Lookup(id); !ok {
@@ -134,6 +162,60 @@ func writeTelemetry() {
 	}
 	emit(*traceOut, sink.WriteChromeTrace)
 	emit(*metricsOut, sink.WriteText)
+	if *windowsOut != "" {
+		n, err := sink.DumpWindowFiles(*windowsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "solros-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "solros-bench: wrote %d window dump(s) to %s\n", n, *windowsOut)
+	}
+	for _, v := range sink.SLOViolations() {
+		fmt.Fprintln(os.Stderr, "solros-bench:", v)
+	}
+}
+
+// simDuration converts a wall-clock flag duration to sim virtual time
+// (both are nanoseconds).
+func simDuration(d time.Duration) sim.Time { return sim.Time(d) }
+
+// parseSLOSpec parses the -slo flag: semicolon-separated objectives of
+// the form METRIC:pNN<DUR, e.g. "dataplane.rpc.Tread:p99<500us". Burn
+// thresholds and window counts take the watchdog defaults.
+func parseSLOSpec(spec string) ([]telemetry.Objective, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []telemetry.Objective
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		colon := strings.LastIndex(part, ":")
+		if colon <= 0 {
+			return nil, fmt.Errorf("-slo: %q: want METRIC:pNN<DUR", part)
+		}
+		metric, cond := part[:colon], part[colon+1:]
+		lt := strings.Index(cond, "<")
+		if !strings.HasPrefix(cond, "p") || lt < 2 {
+			return nil, fmt.Errorf("-slo: %q: want METRIC:pNN<DUR", part)
+		}
+		pct, err := strconv.ParseFloat(cond[1:lt], 64)
+		if err != nil || pct <= 0 || pct > 100 {
+			return nil, fmt.Errorf("-slo: %q: bad percentile", part)
+		}
+		target, err := time.ParseDuration(cond[lt+1:])
+		if err != nil || target <= 0 {
+			return nil, fmt.Errorf("-slo: %q: bad target duration", part)
+		}
+		out = append(out, telemetry.Objective{
+			Metric:     metric,
+			Percentile: pct,
+			Target:     simDuration(target),
+		})
+	}
+	return out, nil
 }
 
 func usage() {
@@ -146,4 +228,7 @@ func usage() {
 	fmt.Println("  all      run everything in paper order")
 	fmt.Println("  explore  sweep scheduling seeds with invariant oracles armed (see explore -h)")
 	fmt.Println("  trace    run one traced delegated read and print its critical-path breakdown (see trace -h)")
+	fmt.Println("  top      run a looping workload and render a live per-stage utilization/latency table (see top -h)")
+	fmt.Println("  benchcore   run the core benchmark points and write BENCH_core.json (see benchcore -h)")
+	fmt.Println("  benchdiff   compare two BENCH_core.json files and flag regressions (see benchdiff -h)")
 }

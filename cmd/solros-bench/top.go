@@ -1,0 +1,125 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"solros/internal/core"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+)
+
+// runTop runs a looping delegated-read workload and renders a live
+// per-stage utilization/latency table from the latest complete telemetry
+// window while the sim crunches. The sim advances virtual time as fast as
+// the host allows; the table refreshes on the wall clock, so long runs
+// show their pipeline shape evolving (cache warming, readahead kicking
+// in) instead of a single end-of-run aggregate.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	every := fs.Duration("every", time.Millisecond, "window length on the sim clock")
+	duration := fs.Duration("duration", 200*time.Millisecond, "virtual run length")
+	refresh := fs.Duration("refresh", 250*time.Millisecond, "wall-clock refresh interval")
+	bs := fs.Int64("bs", 512<<10, "delegated read size in bytes")
+	phis := fs.Int("phis", 2, "co-processor count")
+	plain := fs.Bool("plain", false, "print refreshes sequentially instead of redrawing (logs, CI)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: solros-bench top [-every 1ms] [-duration 200ms] [-refresh 250ms] [-bs n] [-phis n] [-plain]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	tel := telemetry.New(telemetry.Options{})
+	m := core.NewMachine(core.Config{
+		Phis:      *phis,
+		Telemetry: tel,
+		// Tracing feeds the span stream the stage windows aggregate —
+		// without it only queue accounting would show.
+		Tracing: true,
+		Windows: sim.Time(*every),
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+			const fileBytes = 8 << 20
+			f, err := mm.FS.Open(p, "/top")
+			if err != nil {
+				f2, err2 := mm.Phis[0].FS.Open(p, "/top", ninep.OCreate|ninep.OBuffer)
+				if err2 != nil {
+					panic(err2)
+				}
+				_ = mm.Phis[0].FS.Close(p, f2)
+				f, err = mm.FS.Open(p, "/top")
+				if err != nil {
+					panic(err)
+				}
+			}
+			if err := f.Truncate(p, fileBytes); err != nil {
+				panic(err)
+			}
+			end := p.Now() + sim.Time(*duration)
+			core.Parallel(p, len(mm.Phis), "top-reader", func(i int, wp *sim.Proc) {
+				phi := mm.Phis[i]
+				fd, err := phi.FS.Open(wp, "/top", ninep.OBuffer)
+				if err != nil {
+					panic(err)
+				}
+				buf := phi.FS.AllocBuffer(*bs)
+				for off := int64(0); wp.Now() < end; off += *bs {
+					if off+*bs > fileBytes {
+						off = 0
+					}
+					if _, err := phi.FS.Read(wp, fd, off, buf, *bs); err != nil {
+						panic(err)
+					}
+				}
+			})
+		})
+	}()
+
+	ticker := time.NewTicker(*refresh)
+	defer ticker.Stop()
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		case <-ticker.C:
+		}
+		if !*plain {
+			fmt.Print("\033[H\033[2J")
+		}
+		renderTop(tel, sim.Time(*every))
+	}
+	fmt.Printf("\nrun complete: %d windows, final vtime %v\n",
+		len(tel.CompletedWindows()), m.Engine.Now())
+}
+
+// renderTop prints the latest complete window's stage and queue tables.
+func renderTop(tel *telemetry.Sink, every sim.Time) {
+	idx, ok := tel.LatestWindow()
+	if !ok {
+		fmt.Println("solros top — waiting for the first complete window...")
+		return
+	}
+	r := tel.WindowRollup(idx)
+	if r == nil {
+		return
+	}
+	fmt.Printf("solros top — window %d [%v, %v) of %v\n\n", r.Index, r.Start, r.End, every)
+	fmt.Printf("%-14s %7s %8s %12s %12s\n", "STAGE", "UTIL", "OPS", "P50", "P99")
+	for _, st := range r.Stages {
+		fmt.Printf("%-14s %6.1f%% %8d %12v %12v\n",
+			st.Stage, st.Util*100, st.Ops, st.P50, st.P99)
+	}
+	if len(r.Queues) > 0 {
+		fmt.Printf("\n%-34s %9s %12s %8s %6s %12s\n", "QUEUE", "ARRIVALS", "RATE", "L", "MAX", "W")
+		for _, q := range r.Queues {
+			fmt.Printf("%-34s %9d %9.0f/s %8.2f %6d %12v\n",
+				q.Queue, q.Arrivals, q.RateHz, q.MeanOcc, q.MaxOcc, q.Wait)
+		}
+	}
+}

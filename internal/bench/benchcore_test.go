@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func corePoints() CoreBench {
+	return CoreBench{
+		Schema: CoreSchema,
+		Points: []CorePoint{
+			{Name: "tput", Value: 2.0, Unit: "GB/s", HigherIsBetter: true},
+			{Name: "overhead", Value: 1.0, Unit: "%", HigherIsBetter: false},
+		},
+	}
+}
+
+// A baseline compared against itself never regresses; a 10% throughput
+// drop or overhead rise past a 5% budget is flagged; movement inside the
+// budget is not.
+func TestCompareCore(t *testing.T) {
+	base := corePoints()
+	if ds := CompareCore(base, base, 5); countRegressed(ds) != 0 {
+		t.Errorf("self-compare regressed: %+v", ds)
+	}
+
+	worse := corePoints()
+	worse.Points[0].Value = 1.8 // throughput -10%
+	worse.Points[1].Value = 1.1 // overhead +10%
+	ds := CompareCore(base, worse, 5)
+	if countRegressed(ds) != 2 {
+		t.Fatalf("10%% regressions not flagged: %+v", ds)
+	}
+	for _, d := range ds {
+		if d.WorsePct < 9.9 || d.WorsePct > 10.1 {
+			t.Errorf("%s: WorsePct = %v, want ~10", d.Name, d.WorsePct)
+		}
+	}
+
+	slight := corePoints()
+	slight.Points[0].Value = 1.94 // throughput -3%: inside budget
+	if ds := CompareCore(base, slight, 5); countRegressed(ds) != 0 {
+		t.Errorf("3%% movement flagged at 5%% budget: %+v", ds)
+	}
+
+	improved := corePoints()
+	improved.Points[0].Value = 2.4 // faster
+	improved.Points[1].Value = 0.5 // cheaper
+	if ds := CompareCore(base, improved, 5); countRegressed(ds) != 0 {
+		t.Errorf("improvements flagged as regressions: %+v", ds)
+	}
+}
+
+// A benchmark point silently dropped from the new document counts as a
+// regression; a newly added point is reported but does not fail the gate.
+func TestCompareCoreMissingPoints(t *testing.T) {
+	base := corePoints()
+	dropped := CoreBench{Schema: CoreSchema, Points: base.Points[:1]}
+	ds := CompareCore(base, dropped, 5)
+	if countRegressed(ds) != 1 {
+		t.Errorf("dropped point not flagged: %+v", ds)
+	}
+
+	grown := corePoints()
+	grown.Points = append(grown.Points, CorePoint{Name: "extra", Value: 1, Unit: "GB/s", HigherIsBetter: true})
+	ds = CompareCore(base, grown, 5)
+	if countRegressed(ds) != 0 {
+		t.Errorf("new point failed the gate: %+v", ds)
+	}
+	found := false
+	for _, d := range ds {
+		if d.Name == "extra" && d.Missing && !d.Regressed {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("new point not reported: %+v", ds)
+	}
+}
+
+// The committed baseline loads, carries the current schema, and passes
+// the gate against itself — the CI benchdiff step depends on all three.
+func TestCommittedBaselineSelfCompare(t *testing.T) {
+	cb, err := LoadCoreBench("BENCH_core.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cb.Points) != 4 {
+		t.Fatalf("baseline has %d points, want 4", len(cb.Points))
+	}
+	for _, p := range cb.Points {
+		if p.Value <= 0 && p.HigherIsBetter {
+			t.Errorf("baseline point %s is %v", p.Name, p.Value)
+		}
+	}
+	if ds := CompareCore(cb, cb, 5); countRegressed(ds) != 0 {
+		t.Errorf("committed baseline regressed against itself: %+v", ds)
+	}
+}
+
+// Round-trip through the JSON document, plus schema validation.
+func TestCoreBenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := WriteCoreBench(path, corePoints()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCoreBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 2 || got.Points[0] != corePoints().Points[0] {
+		t.Errorf("round-trip = %+v", got)
+	}
+
+	bad := corePoints()
+	bad.Schema = "something-else/v9"
+	if err := WriteCoreBench(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCoreBench(path); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func countRegressed(ds []CoreDelta) int {
+	n := 0
+	for _, d := range ds {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}

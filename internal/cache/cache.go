@@ -38,6 +38,7 @@ type Cache struct {
 
 	tel                              *telemetry.Sink
 	telHits, telMisses, telEvictions *telemetry.Counter
+	telResident                      *telemetry.Gauge
 }
 
 // New carves capacityBytes of page frames out of host RAM.
@@ -56,6 +57,7 @@ func New(fab *pcie.Fabric, capacityBytes int64) *Cache {
 		c.telHits = tel.Counter("cache.hits")
 		c.telMisses = tel.Counter("cache.misses")
 		c.telEvictions = tel.Counter("cache.evictions")
+		c.telResident = tel.Gauge("cache.resident_pages")
 	}
 	base := fab.HostRAM.Alloc(int64(n) * PageSize)
 	for i := 0; i < n; i++ {
@@ -117,6 +119,7 @@ func (c *Cache) InsertAt(p *sim.Proc, ino uint32, blk int64) pcie.Loc {
 	pg := &page{k: k, loc: loc}
 	pg.elt = c.lru.PushFront(pg)
 	c.pages[k] = pg
+	c.telResident.Set(int64(len(c.pages)))
 	return loc
 }
 
@@ -130,6 +133,7 @@ func (c *Cache) Invalidate(ino uint32) {
 			c.freeLocs = append(c.freeLocs, pg.loc)
 		}
 	}
+	c.telResident.Set(int64(len(c.pages)))
 }
 
 // InvalidateRange drops cached pages overlapping [off, off+n) of the inode.
@@ -143,6 +147,7 @@ func (c *Cache) InvalidateRange(ino uint32, off, n int64) {
 			c.freeLocs = append(c.freeLocs, pg.loc)
 		}
 	}
+	c.telResident.Set(int64(len(c.pages)))
 }
 
 // ForEach visits every resident page in deterministic LRU order (most

@@ -107,6 +107,8 @@ type FSProxy struct {
 	telIORetry  *telemetry.Counter
 	telFallback *telemetry.Counter
 	telReattach *telemetry.Counter
+	telInflight *telemetry.Queue
+	telPending  *telemetry.Queue
 }
 
 type channel struct {
@@ -153,6 +155,8 @@ func NewFSProxy(fab *pcie.Fabric, fsys *fs.FS, ssd *nvme.Device, cacheBytes int6
 		px.telIORetry = tel.Counter("controlplane.fsproxy.io_retries")
 		px.telFallback = tel.Counter("controlplane.fsproxy.p2p_fallbacks")
 		px.telReattach = tel.Counter("controlplane.fsproxy.reattaches")
+		px.telInflight = tel.Queue("controlplane.fsproxy.inflight")
+		px.telPending = tel.Queue("controlplane.fsproxy.pending_fill")
 	}
 	return px
 }
@@ -234,11 +238,13 @@ func (px *FSProxy) serve(p *sim.Proc, ch *channel) {
 			sp := px.tel.StartCtx(p, "controlplane.fsproxy",
 				telemetry.TraceCtx{Trace: m.Trace, Span: m.Span})
 			sp.Tag("type", m.Type.String())
+			px.telInflight.Arrive(p)
 			p.Advance(model.FSProxyCost)
 			resp := px.handle(p, ch, m)
 			resp.Tag = m.Tag
 			resp.Trace, resp.Span = m.Trace, m.Span
 			ch.resp.Send(p, resp.Encode())
+			px.telInflight.Depart(p)
 			sp.End(p)
 		}
 	}
@@ -448,6 +454,22 @@ func (px *FSProxy) waitFilled(p *sim.Proc, k pageKey) {
 	}
 }
 
+// claimFill marks page k's frame as claimed-but-unfilled and accounts the
+// claim in the pending_fill queue.
+func (px *FSProxy) claimFill(p *sim.Proc, k pageKey) {
+	px.pendingFill[k] = true
+	px.telPending.Arrive(p)
+}
+
+// clearFill releases page k's fill claim. Idempotent, so error-path sweeps
+// that clear a range cannot unbalance the queue accounting.
+func (px *FSProxy) clearFill(p *sim.Proc, k pageKey) {
+	if px.pendingFill[k] {
+		delete(px.pendingFill, k)
+		px.telPending.Depart(p)
+	}
+}
+
 // retryIO runs one disk leg, retrying transient media errors with
 // exponential backoff while degraded mode (RetryIO > 0) is armed.
 // Non-media errors, and every error when RetryIO is 0, propagate
@@ -573,14 +595,14 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 				for j := i; j < len(missLocs); j++ {
 					blk := missStart + int64(j)
 					px.Cache.InvalidateRange(ino, blk*cache.PageSize, cache.PageSize)
-					delete(px.pendingFill, pageKey{ino: ino, blk: blk})
+					px.clearFill(p, pageKey{ino: ino, blk: blk})
 				}
 				p.Broadcast(px.fillCond)
 				missLocs = missLocs[:0]
 				missStart = -1
 				return err
 			}
-			delete(px.pendingFill, pageKey{ino: ino, blk: missStart + int64(i)})
+			px.clearFill(p, pageKey{ino: ino, blk: missStart + int64(i)})
 			p.Broadcast(px.fillCond)
 		}
 		missLocs = missLocs[:0]
@@ -605,7 +627,7 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 			}
 			missStart = blk
 		}
-		px.pendingFill[pageKey{ino: ino, blk: blk}] = true
+		px.claimFill(p, pageKey{ino: ino, blk: blk})
 		missLocs = append(missLocs, px.Cache.InsertAt(p, ino, blk))
 	}
 	if err := flush(last + 1); err != nil {
@@ -728,7 +750,7 @@ func (px *FSProxy) startFill(p *sim.Proc, f *fs.File, off, n int64, procs int) *
 		if _, ok := px.Cache.Lookup(ino, blk); ok {
 			continue
 		}
-		px.pendingFill[k] = true
+		px.claimFill(p, k)
 		fills = append(fills, fill{blk: blk, frame: px.Cache.InsertAt(p, ino, blk)})
 	}
 	if len(fills) == 0 {
@@ -768,12 +790,12 @@ func (px *FSProxy) startFill(p *sim.Proc, f *fs.File, off, n int64, procs int) *
 					}
 					for _, rest := range span[i:] {
 						px.Cache.InvalidateRange(ino, rest.blk*cache.PageSize, cache.PageSize)
-						delete(px.pendingFill, pageKey{ino: ino, blk: rest.blk})
+						px.clearFill(fp, pageKey{ino: ino, blk: rest.blk})
 					}
 					fp.Broadcast(px.fillCond)
 					return
 				}
-				delete(px.pendingFill, pageKey{ino: ino, blk: fl.blk})
+				px.clearFill(fp, pageKey{ino: ino, blk: fl.blk})
 				fp.Broadcast(px.fillCond)
 			}
 		})
@@ -951,7 +973,7 @@ func (px *FSProxy) Prefetch(p *sim.Proc, path string) error {
 		if _, ok := px.Cache.Lookup(f.Ino(), blk); ok {
 			continue
 		}
-		px.pendingFill[k] = true
+		px.claimFill(p, k)
 		loc := px.Cache.InsertAt(p, f.Ino(), blk)
 		sz := int64(cache.PageSize)
 		if pos+sz > limit {
@@ -960,7 +982,7 @@ func (px *FSProxy) Prefetch(p *sim.Proc, path string) error {
 		err := px.retryIO(p, func() error {
 			return f.ReadTo(p, pos, sz, loc, px.Coalesce)
 		})
-		delete(px.pendingFill, k)
+		px.clearFill(p, k)
 		p.Broadcast(px.fillCond)
 		if err != nil {
 			px.Cache.InvalidateRange(f.Ino(), pos, cache.PageSize)

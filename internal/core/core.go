@@ -107,6 +107,22 @@ type Config struct {
 	// an oracle records a violation, or the sim deadlocks. Recording
 	// never touches virtual time, so figures are unchanged.
 	FlightRecorder string
+	// Windows arms continuous observability: the run is cut into
+	// fixed-length windows of the sim clock and every stage and queue is
+	// rolled up per window (throughput, p50/p99, utilization, Little's-law
+	// occupancy). Purely passive — no sampler proc, no virtual-time
+	// perturbation — so figures are unchanged. Zero (the default) is off.
+	// When set with a nil Telemetry sink, a private sink is created.
+	Windows sim.Time
+	// SLO arms the tail-latency watchdog on the windowed rollups:
+	// objectives are evaluated with multi-window burn rates, breaches
+	// record telemetry SLOViolations and trigger the flight recorder. A
+	// non-empty SLO with Windows zero defaults Windows to 1ms.
+	SLO []telemetry.Objective
+	// MetricsAddr, when non-empty, serves the sink over HTTP (OpenMetrics
+	// text format at /metrics, windowed rollups at /metrics/windows) for
+	// wall-clock observation of long runs.
+	MetricsAddr string
 	// SchedSeed arms the sim kernel's seeded tie-break policy: procs
 	// runnable at the same virtual timestamp are ordered by a per-push
 	// PRNG stream instead of spawn order, so each seed explores a
@@ -159,6 +175,9 @@ type Violation struct {
 var (
 	DefaultTracing        bool
 	DefaultFlightRecorder string
+	DefaultWindows        sim.Time
+	DefaultSLO            []telemetry.Objective
+	DefaultMetricsAddr    string
 )
 
 func (c *Config) fill() {
@@ -167,6 +186,18 @@ func (c *Config) fill() {
 	}
 	if c.FlightRecorder == "" {
 		c.FlightRecorder = DefaultFlightRecorder
+	}
+	if c.Windows == 0 {
+		c.Windows = DefaultWindows
+	}
+	if len(c.SLO) == 0 {
+		c.SLO = DefaultSLO
+	}
+	if c.MetricsAddr == "" {
+		c.MetricsAddr = DefaultMetricsAddr
+	}
+	if len(c.SLO) > 0 && c.Windows <= 0 {
+		c.Windows = sim.Millisecond // burn rates need windows to burn over
 	}
 	if c.Phis == 0 {
 		c.Phis = 1
@@ -251,13 +282,27 @@ func NewMachine(cfg Config) *Machine {
 	if tel == nil {
 		tel = telemetry.Default
 	}
-	if tel == nil && (cfg.Tracing || cfg.FlightRecorder != "") {
-		// Tracing and the flight recorder need a sink to land in; create a
-		// private one rather than silently dropping the request.
+	if tel == nil && (cfg.Tracing || cfg.FlightRecorder != "" || cfg.Windows > 0) {
+		// Tracing, the flight recorder, and windowed rollups need a sink to
+		// land in; create a private one rather than silently dropping the
+		// request.
 		tel = telemetry.New(telemetry.Options{})
 	}
 	if tel != nil && cfg.FlightRecorder != "" {
 		tel.ArmFlightRecorder(cfg.FlightRecorder, 0, 0)
+	}
+	if tel != nil && cfg.Windows > 0 {
+		// Windows before objectives: the watchdog sizes its per-metric
+		// window retention off the armed window length.
+		tel.EnableWindows(cfg.Windows)
+		if len(cfg.SLO) > 0 {
+			tel.SetObjectives(cfg.SLO)
+		}
+	}
+	if tel != nil && cfg.MetricsAddr != "" {
+		if _, err := telemetry.ServeMetrics(cfg.MetricsAddr, tel); err != nil {
+			panic("core: metrics addr: " + err.Error())
+		}
 	}
 	// Wire telemetry before any device or ring exists so every subsystem
 	// picks the sink up from the fabric as it is constructed.
@@ -499,6 +544,11 @@ func (m *Machine) Run(main func(p *sim.Proc, m *Machine)) error {
 		// A deadlocked sim is exactly what the flight recorder is for:
 		// dump the last spans so the wedge is diagnosable post-mortem.
 		m.tel.TriggerFlight(nil, "sim-deadlock")
+	} else {
+		// Seal the windowed rollups at the engine's final virtual time so
+		// the trailing window reports complete and the SLO watchdog gets
+		// its final evaluation.
+		m.tel.SealWindows(m.Engine.Now())
 	}
 	return err
 }

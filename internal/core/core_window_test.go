@@ -1,0 +1,205 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"solros/internal/faults"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+)
+
+// windowWorkload writes an 8MB buffered file and reads it back in 256KB
+// chunks through the co-processor's delegated path — enough requests to
+// fill several 100µs windows.
+func windowWorkload(t *testing.T) func(p *sim.Proc, m *Machine) {
+	return func(p *sim.Proc, m *Machine) {
+		const fileBytes, chunk = 8 << 20, 256 << 10
+		c := m.Phis[0].FS
+		fd, err := c.Open(p, "/win", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := c.AllocBuffer(chunk)
+		for off := int64(0); off < fileBytes; off += chunk {
+			if _, err := c.Write(p, fd, off, buf, chunk); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := c.Sync(p); err != nil {
+			t.Error(err)
+			return
+		}
+		for off := int64(0); off < fileBytes; off += chunk {
+			if _, err := c.Read(p, fd, off, buf, chunk); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+}
+
+// Two identical runs with windows and tracing armed must produce
+// byte-identical per-window OpenMetrics dumps: the window feed is
+// passive, so it inherits the sim's determinism wholesale.
+func TestWindowDumpsDeterministic(t *testing.T) {
+	run := func() string {
+		sink := telemetry.New(telemetry.Options{})
+		m := NewMachine(Config{
+			Telemetry: sink,
+			Tracing:   true,
+			Windows:   100 * sim.Microsecond,
+			SchedSeed: 7,
+		})
+		m.MustRun(windowWorkload(t))
+		var b strings.Builder
+		if err := sink.WriteWindows(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := run(), run()
+	if a == "" || !strings.Contains(a, "solros_window_stage_busy_seconds") {
+		t.Fatalf("run produced no windowed stage data:\n%.2000s", a)
+	}
+	if a != b {
+		t.Error("identical runs produced different window dumps")
+	}
+}
+
+// A single serialized client cannot keep any stage busy for more than a
+// window's span, and the rollup's utilization must respect that bound.
+// Queue accounting must agree with Little's law: the proxy's in-flight
+// wait is positive and no larger than the whole per-request latency.
+func TestWindowRollupSelfConsistent(t *testing.T) {
+	const every = 100 * sim.Microsecond
+	sink := telemetry.New(telemetry.Options{})
+	m := NewMachine(Config{
+		Telemetry: sink,
+		Tracing:   true,
+		Windows:   every,
+	})
+	m.MustRun(windowWorkload(t))
+	sink.SealWindows(m.Engine.Now())
+
+	wins := sink.CompletedWindows()
+	if len(wins) < 3 {
+		t.Fatalf("run completed %d windows, want >= 3", len(wins))
+	}
+	var reqP99 sim.Time
+	sawNVMe := false
+	for _, wi := range wins {
+		r := sink.WindowRollup(wi)
+		for _, st := range r.Stages {
+			if st.Busy > every {
+				t.Errorf("window %d stage %s busy %v exceeds window span %v",
+					wi, st.Stage, st.Busy, every)
+			}
+			if st.Util < 0 || st.Util > 1.0001 {
+				t.Errorf("window %d stage %s util %.3f out of range", wi, st.Stage, st.Util)
+			}
+			if st.Stage == "request" && st.P99 > reqP99 {
+				reqP99 = st.P99
+			}
+			if st.Stage == "nvme" && st.Ops > 0 {
+				sawNVMe = true
+			}
+		}
+		for _, q := range r.Queues {
+			if q.MeanOcc < 0 {
+				t.Errorf("window %d queue %s negative occupancy %v", wi, q.Queue, q.MeanOcc)
+			}
+			if q.Queue == "controlplane.fsproxy.inflight" && q.Arrivals > 0 {
+				if q.Wait <= 0 {
+					t.Errorf("window %d inflight wait %v, want > 0", wi, q.Wait)
+				}
+				// One serialized client: occupancy never exceeds 1, so the
+				// window's occupancy integral is at most its span and
+				// Little's W = area/arrivals is bounded by it too.
+				if q.Wait > every {
+					t.Errorf("window %d inflight wait %v exceeds window span %v",
+						wi, q.Wait, every)
+				}
+			}
+		}
+	}
+	if !sawNVMe {
+		t.Error("no window recorded nvme stage ops")
+	}
+	if reqP99 == 0 {
+		t.Error("no window recorded request-stage latency")
+	}
+}
+
+// An injected NVMe latency-spike storm pushing the read tail past a tight
+// objective must leave a flight-recorder blackbox naming the objective —
+// the watchdog's whole point: a regression leaves a replayable artifact.
+func TestSLOBreachThroughMachine(t *testing.T) {
+	dir := t.TempDir()
+	sink := telemetry.New(telemetry.Options{})
+	m := NewMachine(Config{
+		Telemetry:      sink,
+		Tracing:        true,
+		Windows:        100 * sim.Microsecond,
+		FlightRecorder: dir,
+		Faults: &faults.Plan{
+			Seed:         42,
+			NVMeSlowRate: 1, // every submission eats a 150µs spike
+		},
+		SLO: []telemetry.Objective{{
+			Metric:     "dataplane.rpc.Tread",
+			Percentile: 99,
+			Target:     50 * sim.Microsecond,
+			Budget:     0.10,
+		}},
+	})
+	// The spike storm itself dumps the recorder on every injected fault;
+	// widen the dump budget so the SLO breach isn't crowded out of it (and
+	// shrink the span ring so thousands of dumps stay cheap to serialize).
+	sink.ArmFlightRecorder(dir, 8, 4096)
+	m.MustRun(windowWorkload(t))
+	sink.SealWindows(m.Engine.Now())
+
+	vs := sink.SLOViolations()
+	if len(vs) == 0 {
+		t.Fatal("slowed NVMe never breached the read SLO")
+	}
+	if vs[0].Objective != "dataplane.rpc.Tread.p99" {
+		t.Errorf("violation names %q", vs[0].Objective)
+	}
+	dumps, err := filepath.Glob(filepath.Join(dir, "flight-*-slo-*tread*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) == 0 {
+		t.Fatal("breach left no flight-recorder blackbox naming the objective")
+	}
+}
+
+// With none of the new knobs set, the machine must not grow a windowed
+// rollup surface: the figures' byte-identical guarantee rests on this.
+func TestWindowsOffByDefault(t *testing.T) {
+	sink := telemetry.New(telemetry.Options{})
+	m := NewMachine(Config{Telemetry: sink})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, err := c.Open(p, "/off", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := c.AllocBuffer(64 << 10)
+		if _, err := c.Write(p, fd, 0, buf, 64<<10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if sink.WindowsEnabled() || len(sink.CompletedWindows()) != 0 {
+		t.Error("windows armed without Config.Windows")
+	}
+	if len(sink.SLOViolations()) != 0 || len(sink.Objectives()) != 0 {
+		t.Error("SLO watchdog armed without Config.SLO")
+	}
+}

@@ -424,7 +424,13 @@ func (c *Conn) Wait(p *sim.Proc, pd *Pending) (*ninep.Msg, error) {
 	}
 	c.retire(pd)
 	c.telCalls.Add(1)
-	c.tel.Histogram("dataplane.rpc." + pd.typ.String()).Observe(p.Now() - pd.begin)
+	c.tel.Histogram("dataplane.rpc."+pd.typ.String()).ObserveAt(p, p.Now()-pd.begin)
+	if c.tel.WindowsEnabled() && c.Phi != nil {
+		// Per-channel latency series — the per-channel SLO surface. Gated
+		// on windows so the cumulative text report keeps its seed shape
+		// when the continuous-observability knobs are off.
+		c.tel.Histogram("dataplane.rpc."+pd.typ.String()+"."+c.Phi.Name).ObserveAt(p, p.Now()-pd.begin)
+	}
 	if err := pc.resp.Error(); err != nil {
 		return nil, err
 	}

@@ -93,6 +93,7 @@ type Device struct {
 	telReadBytes  *telemetry.Counter
 	telWriteBytes *telemetry.Counter
 	telMediaErrs  *telemetry.Counter
+	telQueue      *telemetry.Queue
 }
 
 // New attaches an SSD with the given capacity to the fabric at socket.
@@ -111,6 +112,7 @@ func New(f *pcie.Fabric, name string, socket int, capacity int64) *Device {
 		d.telReadBytes = tel.Counter("nvme.read_bytes")
 		d.telWriteBytes = tel.Counter("nvme.write_bytes")
 		d.telMediaErrs = tel.Counter("nvme.media_errors")
+		d.telQueue = tel.Queue("nvme.queue")
 	}
 	return d
 }
@@ -161,6 +163,10 @@ func (d *Device) Submit(p *sim.Proc, cmds []Command, coalesce bool) error {
 	sp := d.tel.Start(p, "nvme.submit")
 	sp.Tag("op", cmds[0].Op.String())
 	sp.TagInt("cmds", int64(len(cmds)))
+	// Queue-depth accounting: the vector occupies the submission queue
+	// from here until Submit returns on every path below.
+	d.telQueue.ArriveN(p, int64(len(cmds)))
+	defer d.telQueue.DepartN(p, int64(len(cmds)))
 	injFail := false
 	if d.inj != nil {
 		fail, delay := d.inj.NVMeFault(p, cmds[0].Op == OpWrite)

@@ -135,6 +135,89 @@ func (h *Histogram) N() int { return h.n }
 // Count reports the occupancy of the bucket covering t.
 func (h *Histogram) Count(t sim.Time) int { return h.buckets[bucketOf(t)] }
 
+// Merge folds other into h bucket by bucket. Both histograms use the same
+// log2 bucket scheme by construction, so merging is exact; it is the
+// operation windowed rollups use to combine per-window histograms into
+// burn-rate ranges, and benchdiff uses to pool shards.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for k, c := range other.buckets {
+		h.buckets[k] += c
+	}
+	h.n += other.n
+}
+
+// Sub returns h minus old — the window delta between two cumulative
+// snapshots taken of the same histogram. The bucket-mismatch guard: old
+// must be an earlier snapshot of h (every bucket count in old <= the
+// matching count in h); a bucket that would go negative means the
+// snapshots came from different histograms (or out of order) and Sub
+// fails rather than fabricating a delta.
+func (h *Histogram) Sub(old *Histogram) (*Histogram, error) {
+	out := NewHistogram()
+	if old == nil {
+		return h.Clone(), nil
+	}
+	for k, c := range old.buckets {
+		if h.buckets[k] < c {
+			return nil, fmt.Errorf("stats: histogram bucket %d mismatch: old=%d > new=%d (snapshots of different histograms?)", k, c, h.buckets[k])
+		}
+	}
+	for k, c := range h.buckets {
+		if d := c - old.buckets[k]; d > 0 {
+			out.buckets[k] = d
+		}
+	}
+	out.n = h.n - old.n
+	return out, nil
+}
+
+// CountOver reports how many observations landed in buckets entirely
+// above t (bucket lower bound > t). Being log2-bucketed it undercounts by
+// at most the occupancy of t's own bucket; the SLO watchdog uses it as a
+// conservative "observations over target" estimate.
+func (h *Histogram) CountOver(t sim.Time) int {
+	over := 0
+	for k, c := range h.buckets {
+		if k == zeroBucket {
+			continue
+		}
+		if int64(1)<<uint(k) > int64(t) {
+			over += c
+		}
+	}
+	return over
+}
+
+// Bucket is one histogram bucket in export order: observations fell in
+// [Lo, Hi); the zero bucket (observations <= 0) reports Lo == Hi == 0.
+type Bucket struct {
+	Lo, Hi sim.Time
+	Count  int
+}
+
+// Buckets returns the occupied buckets sorted by lower bound (zero bucket
+// first) — the iteration exporters need to render le-style bounds.
+func (h *Histogram) Buckets() []Bucket {
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Bucket, 0, len(keys))
+	for _, k := range keys {
+		b := Bucket{Count: h.buckets[k]}
+		if k != zeroBucket {
+			b.Lo = sim.Time(int64(1) << uint(k))
+			b.Hi = sim.Time(int64(1) << uint(k+1))
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
 // Clone returns an independent copy.
 func (h *Histogram) Clone() *Histogram {
 	out := NewHistogram()

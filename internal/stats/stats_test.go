@@ -156,3 +156,95 @@ func TestHistogramAndSampleClone(t *testing.T) {
 		t.Errorf("clone max = %v, want 7", sc.Max())
 	}
 }
+
+// Merge folds bucket counts exactly; merging an empty or nil histogram is
+// a no-op.
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for _, v := range []sim.Time{0, 3, 5, 100} {
+		a.Add(v)
+	}
+	for _, v := range []sim.Time{3, 200} {
+		b.Add(v)
+	}
+	a.Merge(b)
+	if a.N() != 6 {
+		t.Fatalf("merged n = %d, want 6", a.N())
+	}
+	if got := a.Count(3); got != 2 {
+		t.Errorf("bucket of 3 = %d, want 2", got)
+	}
+	if got := a.Count(200); got != 1 {
+		t.Errorf("bucket of 200 = %d, want 1", got)
+	}
+	a.Merge(nil)
+	a.Merge(NewHistogram())
+	if a.N() != 6 {
+		t.Errorf("no-op merges changed n to %d", a.N())
+	}
+}
+
+// Sub recovers the delta between two snapshots of one histogram, and its
+// bucket-mismatch guard rejects snapshots from different histograms.
+func TestHistogramSub(t *testing.T) {
+	h := NewHistogram()
+	h.Add(3)
+	h.Add(100)
+	old := h.Clone()
+	h.Add(3)
+	h.Add(0)
+	delta, err := h.Sub(old)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if delta.N() != 2 || delta.Count(3) != 1 || delta.Count(0) != 1 || delta.Count(100) != 0 {
+		t.Errorf("delta wrong: n=%d count(3)=%d count(0)=%d count(100)=%d",
+			delta.N(), delta.Count(3), delta.Count(0), delta.Count(100))
+	}
+	if d2, err := h.Sub(nil); err != nil || d2.N() != h.N() {
+		t.Errorf("Sub(nil) = (%v, %v), want full clone", d2, err)
+	}
+	// Mismatch guard: "old" has a bucket count the new snapshot lacks.
+	other := NewHistogram()
+	other.Add(1 << 20)
+	if _, err := h.Sub(other); err == nil {
+		t.Error("Sub accepted a snapshot of a different histogram")
+	}
+}
+
+// CountOver conservatively counts observations in buckets entirely above
+// the target.
+func TestHistogramCountOver(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []sim.Time{0, 2, 100, 5000, 5000} {
+		h.Add(v)
+	}
+	if got := h.CountOver(1000); got != 2 {
+		t.Errorf("CountOver(1000) = %d, want 2", got)
+	}
+	// 100 lands in [64,128); with target 64 that bucket's lower bound is
+	// not > 64, so only strictly-higher buckets count.
+	if got := h.CountOver(64); got != 2 {
+		t.Errorf("CountOver(64) = %d, want 2 (conservative)", got)
+	}
+	if got := h.CountOver(0); got != 4 {
+		t.Errorf("CountOver(0) = %d, want 4 (zero bucket excluded)", got)
+	}
+}
+
+// Buckets lists occupied buckets in sorted order with correct bounds.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Add(0)
+	h.Add(5)
+	bks := h.Buckets()
+	if len(bks) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(bks))
+	}
+	if bks[0].Lo != 0 || bks[0].Hi != 0 || bks[0].Count != 1 {
+		t.Errorf("zero bucket = %+v", bks[0])
+	}
+	if bks[1].Lo != 4 || bks[1].Hi != 8 || bks[1].Count != 1 {
+		t.Errorf("bucket of 5 = %+v", bks[1])
+	}
+}

@@ -28,6 +28,7 @@ type flightRecorder struct {
 	maxDumps int
 	dumps    int
 	lastCtrs map[string]int64
+	scratch  map[string]int64 // recycled snapshot storage, see TriggerFlight
 	lastPath string
 }
 
@@ -160,11 +161,23 @@ func (f *flightRecorder) snapshot() []flightSpan {
 
 // counterSnapshot copies every counter's current value. Caller holds s.mu.
 func (s *Sink) counterSnapshot() map[string]int64 {
-	out := make(map[string]int64, len(s.counters))
-	for name, c := range s.counters {
-		out[name] = c.Value()
+	return s.counterSnapshotInto(nil)
+}
+
+// counterSnapshotInto fills dst (allocated when nil) with every counter's
+// current value, reusing dst's storage so repeated snapshots — one per
+// flight-recorder trigger — do not re-allocate the full counter map each
+// time. Caller holds s.mu.
+func (s *Sink) counterSnapshotInto(dst map[string]int64) map[string]int64 {
+	if dst == nil {
+		dst = make(map[string]int64, len(s.counters))
+	} else {
+		clear(dst)
 	}
-	return out
+	for name, c := range s.counters {
+		dst[name] = c.Value()
+	}
+	return dst
 }
 
 // TriggerFlight dumps the blackbox: the span ring, currently open spans,
@@ -186,7 +199,7 @@ func (s *Sink) TriggerFlight(p *sim.Proc, reason string) string {
 	d := flightDump{
 		Reason:   reason,
 		Spans:    f.snapshot(),
-		Counters: s.counterSnapshot(),
+		Counters: s.counterSnapshotInto(f.scratch),
 	}
 	if p != nil {
 		d.Time = p.Now()
@@ -198,6 +211,9 @@ func (s *Sink) TriggerFlight(p *sim.Proc, reason string) string {
 			d.CounterDeltas[name] = delta
 		}
 	}
+	// The dump is serialized before this function returns, so the previous
+	// snapshot's storage can be recycled for the next trigger.
+	f.scratch = f.lastCtrs
 	f.lastCtrs = d.Counters
 
 	// The faulted trace: innermost open traced span on the triggering

@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"solros/internal/sim"
+)
+
+// OpenMetrics / Prometheus text-format exporter. Two surfaces:
+//
+//   - WriteOpenMetrics: the cumulative registry — counters, gauges,
+//     histograms (log2 buckets rendered as le bounds in seconds),
+//     distributions as summary quantiles.
+//   - WriteWindowOpenMetrics / WriteWindows / DumpWindowFiles: the
+//     windowed rollups — per-stage busy time, utilization, throughput,
+//     and latency quantiles plus per-queue Little's-law accounting, one
+//     labelled sample set per completed window.
+//
+// All output is sorted and formatted deterministically (strconv, never
+// %v on floats), so the same schedule yields byte-identical dumps — the
+// property the window-determinism test pins.
+
+// omName maps a telemetry name to an OpenMetrics metric name: prefixed
+// with solros_, dots and dashes to underscores, anything else
+// non-alphanumeric dropped.
+func omName(name string) string {
+	var b strings.Builder
+	b.WriteString("solros_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r == '.', r == '-', r == '/':
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// omFloat renders a float deterministically.
+func omFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// omSeconds renders a virtual-time value in seconds.
+func omSeconds(t sim.Time) string {
+	return omFloat(t.Seconds())
+}
+
+// WriteOpenMetrics renders the cumulative registry in OpenMetrics text
+// format, terminated by # EOF. Nil-safe.
+func (s *Sink) WriteOpenMetrics(w io.Writer) error {
+	var b strings.Builder
+	if s == nil {
+		b.WriteString("# EOF\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	s.mu.Lock()
+	for _, name := range sortedKeys(s.counters) {
+		mn := omName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", mn)
+		fmt.Fprintf(&b, "%s_total %d\n", mn, s.counters[name].Value())
+	}
+	for _, name := range sortedKeys(s.gauges) {
+		g := s.gauges[name]
+		mn := omName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", mn)
+		fmt.Fprintf(&b, "%s %d\n", mn, g.Value())
+		fmt.Fprintf(&b, "# TYPE %s_max gauge\n", mn)
+		fmt.Fprintf(&b, "%s_max %d\n", mn, g.Max())
+	}
+	for _, name := range sortedKeys(s.queues) {
+		q := s.queues[name]
+		mn := omName(name)
+		arr, dep, hwm := q.Totals()
+		fmt.Fprintf(&b, "# TYPE %s_arrivals counter\n", mn)
+		fmt.Fprintf(&b, "%s_arrivals_total %d\n", mn, arr)
+		fmt.Fprintf(&b, "# TYPE %s_departures counter\n", mn)
+		fmt.Fprintf(&b, "%s_departures_total %d\n", mn, dep)
+		fmt.Fprintf(&b, "# TYPE %s_occupancy gauge\n", mn)
+		fmt.Fprintf(&b, "%s_occupancy %d\n", mn, q.Occupancy())
+		fmt.Fprintf(&b, "# TYPE %s_occupancy_max gauge\n", mn)
+		fmt.Fprintf(&b, "%s_occupancy_max %d\n", mn, hwm)
+		fmt.Fprintf(&b, "# TYPE %s_wait_seconds gauge\n", mn)
+		fmt.Fprintf(&b, "%s_wait_seconds %s\n", mn, omSeconds(q.MeanWait()))
+	}
+	for _, name := range sortedKeys(s.hists) {
+		h := s.hists[name]
+		h.mu.Lock()
+		buckets := h.h.Buckets()
+		n := h.h.N()
+		timed := h.timed
+		h.mu.Unlock()
+		mn := omName(name)
+		if timed {
+			mn += "_seconds"
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", mn)
+		cum := 0
+		var sum float64
+		for _, bk := range buckets {
+			cum += bk.Count
+			le := omSeconds(bk.Hi)
+			mid := (bk.Lo.Seconds() + bk.Hi.Seconds()) / 2
+			if !timed {
+				le = omFloat(float64(bk.Hi))
+				mid = (float64(bk.Lo) + float64(bk.Hi)) / 2
+			}
+			sum += mid * float64(bk.Count)
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", mn, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", mn, n)
+		// Sum is reconstructed from bucket midpoints (the log2 histogram
+		// keeps counts, not totals) — good to within a factor of the
+		// bucket width.
+		fmt.Fprintf(&b, "%s_sum %s\n", mn, omFloat(sum))
+		fmt.Fprintf(&b, "%s_count %d\n", mn, n)
+	}
+	for _, name := range sortedKeys(s.dists) {
+		d := s.dists[name]
+		d.mu.Lock()
+		sample := d.s.Clone()
+		d.mu.Unlock()
+		mn := omName(name) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s summary\n", mn)
+		for _, q := range []float64{50, 90, 99} {
+			fmt.Fprintf(&b, "%s{quantile=\"%s\"} %s\n", mn, omFloat(q/100), omSeconds(sample.Percentile(q)))
+		}
+		fmt.Fprintf(&b, "%s_count %d\n", mn, sample.N())
+	}
+	s.mu.Unlock()
+
+	st := func() *sloState { s.mu.Lock(); defer s.mu.Unlock(); return s.slo }()
+	if st != nil {
+		st.mu.Lock()
+		nviol := len(st.violations)
+		st.mu.Unlock()
+		fmt.Fprintf(&b, "# TYPE solros_slo_violations counter\n")
+		fmt.Fprintf(&b, "solros_slo_violations_total %d\n", nviol)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeWindowBody renders one window's rollup without the trailing # EOF,
+// so the per-window files and the concatenated stream share one body.
+func (s *Sink) writeWindowBody(b *strings.Builder, r *WindowRollup) {
+	win := strconv.FormatInt(r.Index, 10)
+	fmt.Fprintf(b, "# window %s [%s, %s)\n", win, r.Start, r.End)
+	fmt.Fprintf(b, "solros_window_start_seconds{window=%q} %s\n", win, omSeconds(r.Start))
+	fmt.Fprintf(b, "solros_window_end_seconds{window=%q} %s\n", win, omSeconds(r.End))
+	for _, st := range r.Stages {
+		l := fmt.Sprintf("{window=%q,stage=%q}", win, st.Stage)
+		fmt.Fprintf(b, "solros_window_stage_busy_seconds%s %s\n", l, omSeconds(st.Busy))
+		fmt.Fprintf(b, "solros_window_stage_utilization%s %s\n", l, omFloat(st.Util))
+		fmt.Fprintf(b, "solros_window_stage_ops%s %d\n", l, st.Ops)
+		fmt.Fprintf(b, "solros_window_stage_latency_seconds{window=%q,stage=%q,quantile=\"0.5\"} %s\n", win, st.Stage, omSeconds(st.P50))
+		fmt.Fprintf(b, "solros_window_stage_latency_seconds{window=%q,stage=%q,quantile=\"0.99\"} %s\n", win, st.Stage, omSeconds(st.P99))
+	}
+	for _, q := range r.Queues {
+		l := fmt.Sprintf("{window=%q,queue=%q}", win, q.Queue)
+		fmt.Fprintf(b, "solros_window_queue_arrivals%s %d\n", l, q.Arrivals)
+		fmt.Fprintf(b, "solros_window_queue_departures%s %d\n", l, q.Departures)
+		fmt.Fprintf(b, "solros_window_queue_arrival_rate_hz%s %s\n", l, omFloat(q.RateHz))
+		fmt.Fprintf(b, "solros_window_queue_mean_occupancy%s %s\n", l, omFloat(q.MeanOcc))
+		fmt.Fprintf(b, "solros_window_queue_max_occupancy%s %d\n", l, q.MaxOcc)
+		fmt.Fprintf(b, "solros_window_queue_wait_seconds%s %s\n", l, omSeconds(q.Wait))
+	}
+}
+
+// WriteWindowOpenMetrics renders one completed window's rollup in
+// OpenMetrics text format. Nil-safe.
+func (s *Sink) WriteWindowOpenMetrics(w io.Writer, idx int64) error {
+	var b strings.Builder
+	if r := s.WindowRollup(idx); r != nil {
+		s.writeWindowBody(&b, r)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteWindows renders every completed window, concatenated in window
+// order — the whole run's windowed history as one deterministic stream.
+func (s *Sink) WriteWindows(w io.Writer) error {
+	var b strings.Builder
+	for _, idx := range s.CompletedWindows() {
+		if r := s.WindowRollup(idx); r != nil {
+			s.writeWindowBody(&b, r)
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DumpWindowFiles writes one OpenMetrics file per completed window into
+// dir (created if needed) as window-NNNNNN.om, returning the number of
+// files written.
+func (s *Sink) DumpWindowFiles(dir string) (int, error) {
+	idxs := s.CompletedWindows()
+	if len(idxs) == 0 {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	written := 0
+	for _, idx := range idxs {
+		var b strings.Builder
+		if r := s.WindowRollup(idx); r != nil {
+			s.writeWindowBody(&b, r)
+		}
+		b.WriteString("# EOF\n")
+		path := filepath.Join(dir, fmt.Sprintf("window-%06d.om", idx))
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, nil
+}
+
+// metricsServers dedupes ServeMetrics by requested address, so several
+// machines configured with the same -metrics-addr share one listener.
+var metricsServers struct {
+	mu     sync.Mutex
+	actual map[string]string
+}
+
+// ServeMetrics exposes the sink over HTTP for wall-clock runs:
+// GET /metrics returns the cumulative registry, GET /metrics/windows the
+// concatenated windowed rollups. Returns the bound address (useful with
+// ":0"). Serving the same addr twice reuses the first listener. The
+// server runs until process exit — the sim is virtual-time, so there is
+// nothing to gracefully drain.
+func ServeMetrics(addr string, s *Sink) (string, error) {
+	metricsServers.mu.Lock()
+	defer metricsServers.mu.Unlock()
+	if actual, ok := metricsServers.actual[addr]; ok {
+		return actual, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = s.WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/metrics/windows", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = s.WriteWindows(w)
+	})
+	go func() { _ = http.Serve(ln, mux) }()
+	if metricsServers.actual == nil {
+		metricsServers.actual = make(map[string]string)
+	}
+	actual := ln.Addr().String()
+	metricsServers.actual[addr] = actual
+	return actual, nil
+}

@@ -1,0 +1,302 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+
+	"solros/internal/sim"
+	"solros/internal/stats"
+)
+
+// The SLO watchdog: per-metric tail-latency objectives evaluated with
+// multi-window burn rates over the sim clock. Each objective names a
+// latency histogram (typically a per-channel RPC latency like
+// "dataplane.rpc.Tread"), a percentile target, and an error budget; the
+// watchdog folds the metric's per-window delta histograms into a short
+// range (fast signal) and a long range (sustained signal) and fires only
+// when BOTH burn faster than the threshold — the standard multi-window
+// guard against paging on a single-window blip. A breach records an
+// SLOViolation, bumps the "slo.breaches" counter, and arms the flight
+// recorder, so a latency regression leaves a replayable blackbox naming
+// the breached objective rather than just a number.
+//
+// Evaluation is event-driven and deterministic: the check runs when an
+// observation lands in a later window than any seen before on that metric
+// (ObserveAt), and once more at SealWindows for the trailing window. No
+// wall clock, no ticker — same schedule, same breaches.
+
+// Objective is one tail-latency SLO.
+type Objective struct {
+	// Name labels the objective in violations and blackbox filenames.
+	// Default: "<metric>.p<percentile>".
+	Name string
+	// Metric is the latency histogram the objective watches (the
+	// telemetry name, e.g. "dataplane.rpc.Tread").
+	Metric string
+	// Percentile is the objective's percentile (default 99): "p99 of
+	// Metric stays under Target".
+	Percentile float64
+	// Target is the latency bound at that percentile.
+	Target sim.Time
+	// Budget is the allowed fraction of observations over Target.
+	// Default (100-Percentile)/100 — i.e. exactly the percentile's
+	// complement, so burn rate 1 means "spending budget exactly on plan".
+	Budget float64
+	// Burn is the burn-rate threshold at which the objective breaches
+	// (default 1): fraction-over-target / Budget must reach Burn on both
+	// evaluation ranges.
+	Burn float64
+	// ShortWindows and LongWindows size the two evaluation ranges in
+	// whole windows (defaults 1 and 4).
+	ShortWindows int
+	LongWindows  int
+}
+
+// withDefaults returns o with zero fields replaced by their defaults.
+func (o Objective) withDefaults() Objective {
+	if o.Percentile <= 0 {
+		o.Percentile = 99
+	}
+	if o.Budget <= 0 {
+		o.Budget = (100 - o.Percentile) / 100
+	}
+	if o.Budget <= 0 {
+		o.Budget = 0.001 // p100 objectives: any overrun is a full burn
+	}
+	if o.Burn <= 0 {
+		o.Burn = 1
+	}
+	if o.ShortWindows <= 0 {
+		o.ShortWindows = 1
+	}
+	if o.LongWindows < o.ShortWindows {
+		o.LongWindows = 4 * o.ShortWindows
+	}
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("%s.p%g", o.Metric, o.Percentile)
+	}
+	return o
+}
+
+// SLOViolation is one recorded breach.
+type SLOViolation struct {
+	Objective string
+	Metric    string
+	// Window is the latest complete window of the evaluation ranges.
+	Window int64
+	// At is the virtual time of the observation that tripped the check.
+	At sim.Time
+	// BurnShort and BurnLong are the burn rates over the two ranges.
+	BurnShort float64
+	BurnLong  float64
+	// N and Over describe the long range: observations seen and
+	// observations over target.
+	N    int
+	Over int
+}
+
+func (v SLOViolation) String() string {
+	return fmt.Sprintf("slo %s breached at %v (window %d): burn short=%.2f long=%.2f, %d/%d over target",
+		v.Objective, v.At, v.Window, v.BurnShort, v.BurnLong, v.Over, v.N)
+}
+
+// sloState is the armed watchdog. objectives and byMetric are immutable
+// after SetObjectives; the mutable breach state has its own lock so the
+// evaluation path never holds the sink mutex (which TriggerFlight takes).
+type sloState struct {
+	objectives []Objective
+	byMetric   map[string][]int
+
+	mu         sync.Mutex
+	breached   []bool // edge-trigger latches, one per objective
+	lastEval   []int64
+	evalSeen   []bool
+	violations []SLOViolation
+}
+
+// SetObjectives arms the SLO watchdog. Call after EnableWindows — burn
+// rates are per-window, so without windows the watchdog stays dormant.
+// Each referenced metric's histogram is switched into windowed mode with
+// enough retained windows to cover its longest evaluation range.
+// Replaces any previously armed objectives. Nil-safe.
+func (s *Sink) SetObjectives(objs []Objective) {
+	if s == nil {
+		return
+	}
+	norm := make([]Objective, 0, len(objs))
+	keep := make(map[string]int64)
+	for _, o := range objs {
+		if o.Metric == "" || o.Target <= 0 {
+			continue
+		}
+		o = o.withDefaults()
+		norm = append(norm, o)
+		if k := int64(o.LongWindows) + 2; k > keep[o.Metric] {
+			keep[o.Metric] = k
+		}
+	}
+	st := &sloState{
+		objectives: norm,
+		byMetric:   make(map[string][]int),
+		breached:   make([]bool, len(norm)),
+		lastEval:   make([]int64, len(norm)),
+		evalSeen:   make([]bool, len(norm)),
+	}
+	for i, o := range norm {
+		st.byMetric[o.Metric] = append(st.byMetric[o.Metric], i)
+	}
+	s.mu.Lock()
+	every := sim.Time(0)
+	if s.win != nil {
+		every = s.win.every
+	}
+	if len(norm) == 0 {
+		s.slo = nil
+	} else {
+		s.slo = st
+	}
+	s.mu.Unlock()
+	for metric, k := range keep {
+		h := s.Histogram(metric)
+		h.mu.Lock()
+		h.every = every
+		h.keep = k
+		h.win = make(map[int64]*stats.Histogram)
+		h.winSeen = false
+		h.mu.Unlock()
+	}
+}
+
+// Objectives returns the armed objectives (with defaults applied).
+func (s *Sink) Objectives() []Objective {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	st := s.slo
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return append([]Objective(nil), st.objectives...)
+}
+
+// SLOViolations returns the recorded breaches in evaluation order.
+func (s *Sink) SLOViolations() []SLOViolation {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	st := s.slo
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]SLOViolation(nil), st.violations...)
+}
+
+// burnOver computes the burn rate over the merged last n windows ending
+// at window `last`: (fraction of observations over target) / budget.
+// Also reports the range's observation and over-target counts.
+func burnOver(h *Hist, last int64, n int, target sim.Time, budget float64) (burn float64, total, over int) {
+	from := last - int64(n) + 1
+	if from < 0 {
+		from = 0
+	}
+	merged := stats.NewHistogram()
+	for _, c := range h.windowClones(from, last) {
+		merged.Merge(c)
+	}
+	total = merged.N()
+	if total == 0 {
+		return 0, 0, 0
+	}
+	over = merged.CountOver(target)
+	return (float64(over) / float64(total)) / budget, total, over
+}
+
+// sloCheck evaluates every objective watching h's metric, with `completed`
+// the latest fully-complete window. Runs with no sink-level locks held;
+// it takes st.mu for breach bookkeeping and lets TriggerFlight take the
+// sink mutex itself. p attributes the breach (and the blackbox's faulted
+// trace) to the Proc whose observation crossed the window boundary; nil
+// at end-of-run sealing.
+func (s *Sink) sloCheck(p *sim.Proc, h *Hist, completed int64) {
+	s.mu.Lock()
+	st := s.slo
+	s.mu.Unlock()
+	if st == nil || completed < 0 {
+		return
+	}
+	var at sim.Time
+	if p != nil {
+		at = p.Now()
+	}
+	var fire []SLOViolation
+	st.mu.Lock()
+	for _, i := range st.byMetric[h.name] {
+		if st.evalSeen[i] && st.lastEval[i] >= completed {
+			continue
+		}
+		st.lastEval[i], st.evalSeen[i] = completed, true
+		o := &st.objectives[i]
+		burnShort, _, _ := burnOver(h, completed, o.ShortWindows, o.Target, o.Budget)
+		burnLong, n, over := burnOver(h, completed, o.LongWindows, o.Target, o.Budget)
+		breach := n > 0 && burnShort >= o.Burn && burnLong >= o.Burn
+		if breach && !st.breached[i] {
+			v := SLOViolation{
+				Objective: o.Name,
+				Metric:    o.Metric,
+				Window:    completed,
+				At:        at,
+				BurnShort: burnShort,
+				BurnLong:  burnLong,
+				N:         n,
+				Over:      over,
+			}
+			st.violations = append(st.violations, v)
+			fire = append(fire, v)
+		}
+		st.breached[i] = breach
+	}
+	st.mu.Unlock()
+	for _, v := range fire {
+		s.Counter("slo.breaches").Add(1)
+		s.TriggerFlight(p, "slo-"+v.Objective)
+	}
+}
+
+// sloSeal runs one final evaluation per objective at end of run, so a
+// breach inside the trailing (otherwise never-crossed) window still
+// records. Runs with no locks held.
+func (s *Sink) sloSeal(at sim.Time) {
+	s.mu.Lock()
+	st := s.slo
+	every := sim.Time(0)
+	if s.win != nil {
+		every = s.win.every
+	}
+	var hists []*Hist
+	if st != nil && every > 0 {
+		for metric := range st.byMetric {
+			if h := s.hists[metric]; h != nil {
+				hists = append(hists, h)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if st == nil || every == 0 {
+		return
+	}
+	completed := int64(at/every) - 1
+	// The trailing partial window holds real observations too; fold it in
+	// as the final "complete" window.
+	if at%every != 0 {
+		completed++
+	}
+	for _, h := range hists {
+		s.sloCheck(nil, h, completed)
+	}
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"solros/internal/sim"
+)
+
+func TestObjectiveDefaults(t *testing.T) {
+	o := Objective{Metric: "dataplane.rpc.Tread", Target: 500}.withDefaults()
+	if o.Percentile != 99 {
+		t.Errorf("Percentile = %v, want 99", o.Percentile)
+	}
+	if o.Budget != 0.01 {
+		t.Errorf("Budget = %v, want 0.01", o.Budget)
+	}
+	if o.Burn != 1 || o.ShortWindows != 1 || o.LongWindows != 4 {
+		t.Errorf("burn config = (%v, %d, %d), want (1, 1, 4)", o.Burn, o.ShortWindows, o.LongWindows)
+	}
+	if o.Name != "dataplane.rpc.Tread.p99" {
+		t.Errorf("Name = %q", o.Name)
+	}
+}
+
+func TestSetObjectivesValidation(t *testing.T) {
+	s := New(Options{})
+	s.EnableWindows(100)
+	s.SetObjectives([]Objective{
+		{Metric: "", Target: 10},       // dropped: no metric
+		{Metric: "x.lat", Target: 0},   // dropped: no target
+		{Metric: "x.lat", Target: 100}, // kept
+	})
+	if got := s.Objectives(); len(got) != 1 || got[0].Metric != "x.lat" {
+		t.Fatalf("Objectives() = %+v, want one x.lat objective", got)
+	}
+}
+
+// A latency histogram breaching its objective in enough short and long
+// windows records a violation, bumps the breach counter, and dumps the
+// flight recorder with the objective's name in the filename.
+func TestSLOBreachTriggersFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{})
+	s.EnableWindows(100)
+	s.ArmFlightRecorder(dir, 64, 8)
+	s.SetObjectives([]Objective{{
+		Metric:     "x.lat",
+		Percentile: 99,
+		Target:     50,
+		Budget:     0.10, // 10% of ops may exceed 50ns
+		Burn:       1,
+	}})
+
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		h := s.Histogram("x.lat")
+		// Five windows of uniformly slow requests: every op exceeds the
+		// 50ns target, so burn = (1.0 / 0.10) = 10 >> 1 in both ranges.
+		for w := 0; w < 5; w++ {
+			for n := 0; n < 10; n++ {
+				p.Advance(10)
+				h.ObserveAt(p, 200)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	vs := s.SLOViolations()
+	if len(vs) == 0 {
+		t.Fatal("no SLO violations recorded")
+	}
+	v := vs[0]
+	if v.Objective != "x.lat.p99" || v.Metric != "x.lat" {
+		t.Errorf("violation = %+v", v)
+	}
+	if v.BurnShort < 1 || v.BurnLong < 1 {
+		t.Errorf("burn rates = (%v, %v), want both >= 1", v.BurnShort, v.BurnLong)
+	}
+	if !strings.Contains(v.String(), "x.lat.p99") {
+		t.Errorf("violation string %q lacks objective name", v.String())
+	}
+
+	dump := s.LastFlightDump()
+	if dump == "" {
+		t.Fatal("breach did not dump the flight recorder")
+	}
+	if !strings.Contains(filepath.Base(dump), "slo-x-lat-p99") {
+		t.Errorf("dump %q does not name the objective", dump)
+	}
+	if _, err := os.Stat(dump); err != nil {
+		t.Errorf("dump file missing: %v", err)
+	}
+	if got := s.Counter("slo.breaches").Value(); got < 1 {
+		t.Errorf("slo.breaches = %d, want >= 1", got)
+	}
+}
+
+// Breaches are edge-triggered: a sustained breach across many windows is
+// one violation, and recovery re-arms the latch.
+func TestSLOBreachEdgeTriggered(t *testing.T) {
+	s := New(Options{})
+	s.EnableWindows(100)
+	s.SetObjectives([]Objective{{
+		Metric: "x.lat", Target: 50, Percentile: 99, Budget: 0.10, Burn: 1,
+	}})
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		h := s.Histogram("x.lat")
+		observe := func(windows int, lat sim.Time) {
+			for w := 0; w < windows; w++ {
+				for n := 0; n < 10; n++ {
+					p.Advance(10)
+					h.ObserveAt(p, lat)
+				}
+			}
+		}
+		observe(6, 200) // slow: breach once
+		observe(8, 1)   // healthy: burn decays, latch re-arms
+		observe(6, 200) // slow again: second breach
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	vs := s.SLOViolations()
+	if len(vs) != 2 {
+		for _, v := range vs {
+			t.Logf("violation: %v", v)
+		}
+		t.Fatalf("got %d violations, want 2 (edge-triggered)", len(vs))
+	}
+	if vs[1].Window <= vs[0].Window {
+		t.Errorf("violations not ordered: windows %d, %d", vs[0].Window, vs[1].Window)
+	}
+}
+
+// A healthy workload whose tail stays under target records nothing.
+func TestSLOHealthyNoViolations(t *testing.T) {
+	s := New(Options{})
+	s.EnableWindows(100)
+	s.SetObjectives([]Objective{{Metric: "x.lat", Target: 1000, Percentile: 99}})
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		h := s.Histogram("x.lat")
+		for n := 0; n < 100; n++ {
+			p.Advance(10)
+			h.ObserveAt(p, 20)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.SealWindows(1000)
+	if vs := s.SLOViolations(); len(vs) != 0 {
+		t.Errorf("healthy run recorded violations: %+v", vs)
+	}
+}
+
+// SealWindows evaluates the trailing partial window so short runs still
+// get a verdict on their final requests.
+func TestSLOSealEvaluatesTrailingWindow(t *testing.T) {
+	s := New(Options{})
+	s.EnableWindows(1000)
+	s.SetObjectives([]Objective{{
+		Metric: "x.lat", Target: 50, Percentile: 99, Budget: 0.10, Burn: 1,
+	}})
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		h := s.Histogram("x.lat")
+		// All ops land in window 0, which never completes on its own.
+		for n := 0; n < 10; n++ {
+			p.Advance(10)
+			h.ObserveAt(p, 500)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := s.SLOViolations(); len(vs) != 0 {
+		t.Fatalf("violations before seal: %+v", vs)
+	}
+	s.SealWindows(100)
+	if vs := s.SLOViolations(); len(vs) != 1 {
+		t.Errorf("got %d violations after seal, want 1", len(vs))
+	}
+}

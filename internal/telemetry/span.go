@@ -184,11 +184,15 @@ func (sp *Span) End(p *sim.Proc) {
 }
 
 // retain appends a completed span, honouring MaxSpans. Caller holds s.mu.
-// The flight recorder's bounded ring is fed here too, so it keeps seeing
-// recent spans even after the main trace buffer fills up.
+// The flight recorder's bounded ring and the windowed stage rollups are
+// fed here too, so both keep seeing activity even after the main trace
+// buffer fills up.
 func (s *Sink) retain(sp *Span) {
 	if s.flight != nil {
 		s.flight.record(*sp)
+	}
+	if s.win != nil {
+		s.win.addSpan(sp.Name, sp.Begin, sp.Finish)
 	}
 	if len(s.spans) >= s.maxSpans {
 		s.dropped++

@@ -63,6 +63,14 @@ type Sink struct {
 	// flight is the bounded blackbox ring; nil unless armed. See
 	// flightrec.go.
 	flight *flightRecorder
+
+	// queues registers the occupancy-accounting instruments; win holds
+	// windowed-rollup state (nil until EnableWindows). See window.go.
+	queues map[string]*Queue
+	win    *WindowSet
+
+	// slo is the SLO watchdog; nil until SetObjectives. See slo.go.
+	slo *sloState
 }
 
 // New returns an empty sink.
@@ -79,6 +87,7 @@ func New(opt Options) *Sink {
 		open:     make(map[*sim.Proc][]*Span),
 		maxSpans: opt.MaxSpans,
 		tids:     make(map[string]int),
+		queues:   make(map[string]*Queue),
 	}
 }
 
@@ -192,8 +201,18 @@ func (g *Gauge) Max() int64 {
 type Hist struct {
 	name  string
 	timed bool
+	sink  *Sink
 	mu    sync.Mutex
 	h     *stats.Histogram
+
+	// Windowed view, armed only for SLO-referenced metrics (slo.go): each
+	// window of the sim clock gets its own delta histogram so burn rates
+	// evaluate over bounded ranges. every==0 means not windowed.
+	every   sim.Time
+	keep    int64
+	win     map[int64]*stats.Histogram
+	lastWin int64
+	winSeen bool
 }
 
 // Histogram returns the named time-valued histogram, creating it on first
@@ -213,7 +232,7 @@ func (s *Sink) histogram(name string, timed bool) *Hist {
 		return h
 	}
 	s.register(name, "histogram")
-	h := &Hist{name: name, timed: timed, h: stats.NewHistogram()}
+	h := &Hist{name: name, timed: timed, sink: s, h: stats.NewHistogram()}
 	s.hists[name] = h
 	return h
 }
@@ -226,6 +245,72 @@ func (h *Hist) Observe(t sim.Time) {
 	h.mu.Lock()
 	h.h.Add(t)
 	h.mu.Unlock()
+}
+
+// ObserveAt records one observation stamped with p's current virtual
+// time. For SLO-referenced metrics the timestamp routes the observation
+// into its sim-clock window; crossing into a new window hands the
+// completed ones to the SLO watchdog. For everything else it degrades to
+// Observe. Lock discipline: the watchdog runs after h.mu is released —
+// it takes the sink mutex (and the flight recorder takes it again), and
+// export paths hold the sink mutex while taking h.mu, so holding h.mu
+// across the check would invert that order.
+func (h *Hist) ObserveAt(p *sim.Proc, t sim.Time) {
+	if h == nil {
+		return
+	}
+	if p == nil || h.sink == nil {
+		h.Observe(t)
+		return
+	}
+	now := p.Now()
+	h.mu.Lock()
+	h.h.Add(t)
+	var completed int64
+	check := false
+	if h.every > 0 {
+		wi := int64(now / h.every)
+		hw := h.win[wi]
+		if hw == nil {
+			hw = stats.NewHistogram()
+			h.win[wi] = hw
+			for k := range h.win {
+				if k < wi-h.keep {
+					delete(h.win, k)
+				}
+			}
+		}
+		hw.Add(t)
+		if !h.winSeen || wi > h.lastWin {
+			if h.winSeen && wi > h.lastWin {
+				completed, check = wi-1, true
+			}
+			h.lastWin, h.winSeen = wi, true
+		}
+	}
+	h.mu.Unlock()
+	if check {
+		h.sink.sloCheck(p, h, completed)
+	}
+}
+
+// windowClones returns copies of the window-delta histograms for windows
+// in [from, to], oldest first; missing windows yield empty histograms.
+func (h *Hist) windowClones(from, to int64) []*stats.Histogram {
+	if h == nil || from > to {
+		return nil
+	}
+	out := make([]*stats.Histogram, 0, to-from+1)
+	h.mu.Lock()
+	for wi := from; wi <= to; wi++ {
+		if hw := h.win[wi]; hw != nil {
+			out = append(out, hw.Clone())
+		} else {
+			out = append(out, stats.NewHistogram())
+		}
+	}
+	h.mu.Unlock()
+	return out
 }
 
 // N reports the observation count.

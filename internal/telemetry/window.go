@@ -1,0 +1,552 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"solros/internal/sim"
+	"solros/internal/stats"
+)
+
+// This file is the continuous-observability half of the sink: instead of
+// one end-of-run aggregate, the run is cut into fixed-length windows of
+// the *virtual* clock and every stage and queue is accounted per window.
+//
+// Determinism rules:
+//
+//   - Window k covers virtual time [k*every, (k+1)*every). Boundaries are
+//     pure functions of sim time, never wall clock, so two runs of the
+//     same schedule produce byte-identical rollups.
+//   - Nothing here advances virtual time or parks a Proc: stage windows
+//     are fed from span completion (retain), queue windows from the
+//     instrumented subsystems' own events. There is no sampler proc, so
+//     arming windows cannot perturb the schedule.
+//   - An event's window is decided by the event's own timestamp. The sim
+//     engine dispatches Procs in virtual-time order, so events arrive with
+//     non-decreasing timestamps; the occupancy integrals below rely on it
+//     (and clamp defensively).
+//
+// Three per-window surfaces come out:
+//
+//   - StageWindow: busy time (utilization), op count (throughput), and a
+//     latency histogram per pipeline stage, fed from completed spans with
+//     busy time split exactly across the windows a span overlaps.
+//   - QueueWindow: arrivals, departures, max occupancy, and the occupancy
+//     integral per instrumented queue (RPC rings, proxy in-flight,
+//     pendingFill claims, NVMe queue depth). Little's law then gives mean
+//     occupancy L = area/W, arrival rate lambda = arrivals/W, and derived
+//     wait = area/arrivals — the cross-check that the latency the spans
+//     measure is the latency the queue lengths imply.
+//   - Per-window histogram deltas for SLO-referenced metrics (slo.go).
+
+// WindowSet is the windowed-rollup state hung off a Sink. Stage fields are
+// guarded by the sink mutex (they are fed from retain, which already holds
+// it); queues carry their own locks.
+type WindowSet struct {
+	every    sim.Time
+	stages   map[int64]map[string]*StageWindow
+	frontier sim.Time // latest event time seen by the stage feed
+
+	qmu    sync.Mutex
+	queues map[string]*Queue
+}
+
+// StageWindow accumulates one pipeline stage's activity inside one window.
+type StageWindow struct {
+	// Busy is the summed span time the stage was active inside the
+	// window; Busy/every is the stage's utilization (it can exceed 1 when
+	// several Procs run the stage concurrently).
+	Busy sim.Time
+	// Ops counts spans that finished inside the window.
+	Ops int64
+	// Lat is the latency histogram of spans that finished in the window.
+	Lat *stats.Histogram
+}
+
+// QueueWindow accumulates one queue's occupancy inside one window.
+type QueueWindow struct {
+	// Area is the occupancy integral over the window (occupancy x time);
+	// Area/every is the mean occupancy L of Little's law.
+	Area sim.Time
+	// Arrivals and Departures count the window's queue transitions.
+	Arrivals, Departures int64
+	// MaxOcc is the occupancy high-water mark observed in the window.
+	MaxOcc int64
+}
+
+func newWindowSet(every sim.Time) *WindowSet {
+	return &WindowSet{
+		every:  every,
+		stages: make(map[int64]map[string]*StageWindow),
+		queues: make(map[string]*Queue),
+	}
+}
+
+func (w *WindowSet) index(t sim.Time) int64 {
+	if t < 0 {
+		return 0
+	}
+	return int64(t / w.every)
+}
+
+// windowStageOf maps a span name to its windowed-rollup stage. It reuses
+// the critical-path classifier, with two adjustments: application-visible
+// request roots become the "request" stage (per-window end-to-end
+// throughput and latency), and the wait pseudo-stage reports as ring_wait
+// — the windowed view cannot do the causal ring/reply split the per-trace
+// sweep does, so the whole RPC wait is accounted as queueing.
+func windowStageOf(name string) string {
+	if name == "dataplane.call" ||
+		strings.HasPrefix(name, "dataplane.fs.") ||
+		strings.HasPrefix(name, "dataplane.net.") {
+		return "request"
+	}
+	stage, _ := stageOf(name)
+	if stage == "wait" {
+		return "ring_wait"
+	}
+	return stage
+}
+
+// stage returns window wi's accumulator for stage, creating it on first
+// touch. Caller holds the sink mutex.
+func (w *WindowSet) stage(wi int64, stage string) *StageWindow {
+	ws := w.stages[wi]
+	if ws == nil {
+		ws = make(map[string]*StageWindow)
+		w.stages[wi] = ws
+	}
+	sw := ws[stage]
+	if sw == nil {
+		sw = &StageWindow{Lat: stats.NewHistogram()}
+		ws[stage] = sw
+	}
+	return sw
+}
+
+// addSpan feeds one completed span into the stage windows: busy time split
+// exactly across every window the span overlaps, op count and latency in
+// the window the span finished in. Caller holds the sink mutex.
+func (w *WindowSet) addSpan(name string, begin, finish sim.Time) {
+	if finish < begin {
+		finish = begin
+	}
+	if finish > w.frontier {
+		w.frontier = finish
+	}
+	stage := windowStageOf(name)
+	for t := begin; t < finish; {
+		wi := w.index(t)
+		end := sim.Time(wi+1) * w.every
+		if end > finish {
+			end = finish
+		}
+		w.stage(wi, stage).Busy += end - t
+		t = end
+	}
+	sw := w.stage(w.index(finish), stage)
+	sw.Ops++
+	sw.Lat.Add(finish - begin)
+}
+
+// EnableWindows arms windowed rollups with the given window length on the
+// sim clock. Call before the run; re-arming with a different length
+// resets accumulated windows. every <= 0 disarms. Nil-safe.
+func (s *Sink) EnableWindows(every sim.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if every <= 0 {
+		s.win = nil
+		return
+	}
+	if s.win != nil && s.win.every == every {
+		return
+	}
+	s.win = newWindowSet(every)
+}
+
+// WindowsEnabled reports whether windowed rollups are armed.
+func (s *Sink) WindowsEnabled() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.win != nil
+}
+
+// WindowEvery reports the armed window length (0 when windows are off).
+func (s *Sink) WindowEvery() sim.Time {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.win == nil {
+		return 0
+	}
+	return s.win.every
+}
+
+// SealWindows advances the window frontier to at — typically the engine's
+// final virtual time at shutdown — so the trailing window reports as
+// complete and the SLO watchdog evaluates it. Deterministic: at comes from
+// the sim clock. Nil-safe.
+func (s *Sink) SealWindows(at sim.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.win == nil {
+		s.mu.Unlock()
+		return
+	}
+	if at > s.win.frontier {
+		s.win.frontier = at
+	}
+	s.mu.Unlock()
+	s.sloSeal(at)
+}
+
+// Queue is the occupancy-accounting instrument: a counted station
+// (requests in a ring, proxy ops in flight, claimed cache fills, NVMe
+// commands queued) whose arrivals, departures, and time-integrated
+// occupancy feed Little's-law accounting per window. All event methods
+// take the observing Proc so the event carries its virtual timestamp;
+// they never advance time. A nil queue (telemetry off) no-ops.
+type Queue struct {
+	name string
+	mu   sync.Mutex
+
+	every sim.Time // 0 = windows off: cheap cumulative totals only
+
+	occ        int64
+	last       sim.Time
+	arrivals   int64
+	departures int64
+	hwm        int64
+	area       sim.Time // cumulative occupancy integral
+
+	win map[int64]*QueueWindow
+}
+
+// Queue returns the named queue instrument, creating it on first use.
+func (s *Sink) Queue(name string) *Queue {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.queues[name]; ok {
+		return q
+	}
+	s.register(name, "queue")
+	q := &Queue{name: name}
+	if s.win != nil {
+		q.every = s.win.every
+		q.win = make(map[int64]*QueueWindow)
+		s.win.qmu.Lock()
+		s.win.queues[name] = q
+		s.win.qmu.Unlock()
+	}
+	s.queues[name] = q
+	return q
+}
+
+// advance integrates the current occupancy from the last event time to
+// now, splitting the area across window boundaries. Caller holds q.mu.
+func (q *Queue) advance(now sim.Time) {
+	if now < q.last {
+		now = q.last // events arrive in nondecreasing time order; clamp defensively
+	}
+	if q.occ > 0 && now > q.last {
+		q.area += sim.Time(q.occ) * (now - q.last) // occupancy x duration
+		if q.every > 0 {
+			for t := q.last; t < now; {
+				wi := int64(t / q.every)
+				end := sim.Time(wi+1) * q.every
+				if end > now {
+					end = now
+				}
+				q.window(wi).Area += sim.Time(q.occ) * (end - t)
+				t = end
+			}
+		}
+	}
+	q.last = now
+}
+
+// window returns window wi's accumulator. Caller holds q.mu.
+func (q *Queue) window(wi int64) *QueueWindow {
+	qw := q.win[wi]
+	if qw == nil {
+		qw = &QueueWindow{}
+		q.win[wi] = qw
+	}
+	return qw
+}
+
+// add applies a signed occupancy change at time now. Caller holds q.mu.
+func (q *Queue) add(now sim.Time, delta int64) {
+	q.advance(now)
+	if delta > 0 {
+		q.arrivals += delta
+	} else {
+		q.departures -= delta
+	}
+	q.occ += delta
+	if q.occ < 0 {
+		q.occ = 0 // unbalanced instrumentation must not corrupt the integral
+	}
+	if q.occ > q.hwm {
+		q.hwm = q.occ
+	}
+	if q.every > 0 {
+		qw := q.window(int64(q.last / q.every))
+		if delta > 0 {
+			qw.Arrivals += delta
+		} else {
+			qw.Departures -= delta
+		}
+		if q.occ > qw.MaxOcc {
+			qw.MaxOcc = q.occ
+		}
+	}
+}
+
+// Arrive records one arrival at p's current virtual time.
+func (q *Queue) Arrive(p *sim.Proc) { q.ArriveN(p, 1) }
+
+// Depart records one departure at p's current virtual time.
+func (q *Queue) Depart(p *sim.Proc) { q.DepartN(p, 1) }
+
+// ArriveN records n arrivals at p's current virtual time.
+func (q *Queue) ArriveN(p *sim.Proc, n int64) {
+	if q == nil || n <= 0 {
+		return
+	}
+	q.mu.Lock()
+	q.add(p.Now(), n)
+	q.mu.Unlock()
+}
+
+// DepartN records n departures at p's current virtual time.
+func (q *Queue) DepartN(p *sim.Proc, n int64) {
+	if q == nil || n <= 0 {
+		return
+	}
+	q.mu.Lock()
+	q.add(p.Now(), -n)
+	q.mu.Unlock()
+}
+
+// Occupancy reports the current queue length.
+func (q *Queue) Occupancy() int64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.occ
+}
+
+// Totals reports cumulative arrivals, departures, and high-water mark.
+func (q *Queue) Totals() (arrivals, departures, hwm int64) {
+	if q == nil {
+		return 0, 0, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.arrivals, q.departures, q.hwm
+}
+
+// MeanWait reports the cumulative Little's-law derived wait: the occupancy
+// integral divided by arrivals (zero with no arrivals). By Little's law
+// this is the mean time an item spent in the station.
+func (q *Queue) MeanWait() sim.Time {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.arrivals == 0 {
+		return 0
+	}
+	return q.area / sim.Time(q.arrivals)
+}
+
+// StageRow is one stage's rollup inside one window, for rendering.
+type StageRow struct {
+	Stage string
+	Busy  sim.Time
+	// Util is Busy as a fraction of the window length (can exceed 1 with
+	// concurrent Procs in the same stage).
+	Util float64
+	Ops  int64
+	P50  sim.Time
+	P99  sim.Time
+}
+
+// QueueRow is one queue's Little's-law accounting inside one window.
+type QueueRow struct {
+	Queue      string
+	Arrivals   int64
+	Departures int64
+	MaxOcc     int64
+	// MeanOcc is Area/every — mean occupancy L.
+	MeanOcc float64
+	// RateHz is Arrivals over the window length — arrival rate lambda.
+	RateHz float64
+	// Wait is Area/Arrivals — Little's-law derived residence time W.
+	Wait sim.Time
+}
+
+// WindowRollup is one complete window's view: per-stage activity and
+// per-queue occupancy accounting.
+type WindowRollup struct {
+	Index      int64
+	Start, End sim.Time
+	Stages     []StageRow // canonical stage order, then lexicographic
+	Queues     []QueueRow // lexicographic
+}
+
+// CompletedWindows lists the indexes of windows strictly behind the event
+// frontier — windows no future event can touch — in ascending order.
+func (s *Sink) CompletedWindows() []int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.win == nil {
+		return nil
+	}
+	frontierWin := s.win.index(s.win.frontier)
+	seen := make(map[int64]bool)
+	for wi := range s.win.stages {
+		if wi < frontierWin {
+			seen[wi] = true
+		}
+	}
+	s.win.qmu.Lock()
+	queues := make([]*Queue, 0, len(s.win.queues))
+	for _, q := range s.win.queues {
+		queues = append(queues, q)
+	}
+	s.win.qmu.Unlock()
+	for _, q := range queues {
+		q.mu.Lock()
+		for wi := range q.win {
+			if wi < frontierWin {
+				seen[wi] = true
+			}
+		}
+		q.mu.Unlock()
+	}
+	out := make([]int64, 0, len(seen))
+	for wi := range seen {
+		out = append(out, wi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LatestWindow reports the most recent completed window index; false when
+// none is complete yet.
+func (s *Sink) LatestWindow() (int64, bool) {
+	ws := s.CompletedWindows()
+	if len(ws) == 0 {
+		return 0, false
+	}
+	return ws[len(ws)-1], true
+}
+
+// WindowRollup assembles one window's rollup; nil when windows are off.
+// Empty stages/queues are omitted.
+func (s *Sink) WindowRollup(idx int64) *WindowRollup {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.win == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	every := s.win.every
+	r := &WindowRollup{
+		Index: idx,
+		Start: sim.Time(idx) * every,
+		End:   sim.Time(idx+1) * every,
+	}
+	stageNames := make([]string, 0)
+	stageData := make(map[string]StageRow)
+	if ws := s.win.stages[idx]; ws != nil {
+		for name, sw := range ws {
+			stageNames = append(stageNames, name)
+			stageData[name] = StageRow{
+				Stage: name,
+				Busy:  sw.Busy,
+				Util:  float64(sw.Busy) / float64(every),
+				Ops:   sw.Ops,
+				P50:   sw.Lat.Percentile(50),
+				P99:   sw.Lat.Percentile(99),
+			}
+		}
+	}
+	s.win.qmu.Lock()
+	queueNames := sortedKeys(s.win.queues)
+	queues := make([]*Queue, 0, len(queueNames))
+	for _, name := range queueNames {
+		queues = append(queues, s.win.queues[name])
+	}
+	s.win.qmu.Unlock()
+	s.mu.Unlock()
+
+	// Canonical stage order first ("request" leads), then anything new.
+	order := append([]string{"request"}, StageOrder...)
+	rank := make(map[string]int, len(order))
+	for i, st := range order {
+		rank[st] = i + 1
+	}
+	sort.Slice(stageNames, func(i, j int) bool {
+		ri, rj := rank[stageNames[i]], rank[stageNames[j]]
+		if ri == 0 {
+			ri = len(order) + 2
+		}
+		if rj == 0 {
+			rj = len(order) + 2
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return stageNames[i] < stageNames[j]
+	})
+	for _, name := range stageNames {
+		r.Stages = append(r.Stages, stageData[name])
+	}
+
+	for i, q := range queues {
+		q.mu.Lock()
+		qw := q.win[idx]
+		if qw != nil && (qw.Arrivals > 0 || qw.Departures > 0 || qw.Area > 0) {
+			row := QueueRow{
+				Queue:      queueNames[i],
+				Arrivals:   qw.Arrivals,
+				Departures: qw.Departures,
+				MaxOcc:     qw.MaxOcc,
+				MeanOcc:    float64(qw.Area) / float64(every),
+				RateHz:     float64(qw.Arrivals) / every.Seconds(),
+			}
+			if qw.Arrivals > 0 {
+				row.Wait = qw.Area / sim.Time(qw.Arrivals)
+			}
+			r.Queues = append(r.Queues, row)
+		}
+		q.mu.Unlock()
+	}
+	return r
+}

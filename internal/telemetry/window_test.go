@@ -1,0 +1,307 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"solros/internal/sim"
+)
+
+// Queue accounting: arrivals, departures, occupancy integral, and the
+// per-window split of all three.
+func TestQueueLittleAccounting(t *testing.T) {
+	s := New(Options{})
+	s.EnableWindows(100)
+	q := s.Queue("q")
+
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		q.Arrive(p) // occ 1 at t=0
+		p.Advance(50)
+		q.Arrive(p) // occ 2 at t=50
+		p.Advance(100)
+		q.Depart(p) // occ 1 at t=150
+		p.Advance(50)
+		q.Depart(p) // occ 0 at t=200
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	arr, dep, hwm := q.Totals()
+	if arr != 2 || dep != 2 || hwm != 2 {
+		t.Errorf("totals = (%d, %d, %d), want (2, 2, 2)", arr, dep, hwm)
+	}
+	// Occupancy integral: 1*50 + 2*100 + 1*50 = 300; mean wait = 300/2.
+	if w := q.MeanWait(); w != 150 {
+		t.Errorf("MeanWait = %v, want 150", w)
+	}
+	if occ := q.Occupancy(); occ != 0 {
+		t.Errorf("final occupancy = %d, want 0", occ)
+	}
+
+	s.SealWindows(200)
+	r0 := s.WindowRollup(0)
+	if len(r0.Queues) != 1 {
+		t.Fatalf("window 0 has %d queues, want 1", len(r0.Queues))
+	}
+	// Window 0 covers [0,100): occ 1 on [0,50) + occ 2 on [50,100) = 150.
+	qw := r0.Queues[0]
+	if qw.Arrivals != 2 || qw.MeanOcc != 1.5 || qw.MaxOcc != 2 {
+		t.Errorf("window 0 queue = %+v, want arrivals 2, L 1.5, max 2", qw)
+	}
+	// W = area/arrivals = 150/2.
+	if qw.Wait != 75 {
+		t.Errorf("window 0 wait = %v, want 75", qw.Wait)
+	}
+	// The depart at t=150 is window 1's; the one at t=200 falls on window
+	// 2's opening edge and window 2 never completes here.
+	r1 := s.WindowRollup(1)
+	if len(r1.Queues) != 1 || r1.Queues[0].Departures != 1 {
+		t.Fatalf("window 1 queues = %+v, want 1 departure", r1.Queues)
+	}
+	// Window 1 covers [100,200): occ 2 on [100,150) + occ 1 on [150,200).
+	if r1.Queues[0].MeanOcc != 1.5 {
+		t.Errorf("window 1 L = %v, want 1.5", r1.Queues[0].MeanOcc)
+	}
+}
+
+// Stage windows split span busy time exactly across window boundaries and
+// land ops in the finish window.
+func TestStageWindowSplit(t *testing.T) {
+	s := New(Options{})
+	s.EnableWindows(100)
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		p.Advance(50)
+		sp := s.Start(p, "nvme.submit") // begins at 50
+		p.Advance(100)
+		sp.End(p) // finishes at 150: 50ns in window 0, 50ns in window 1
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.SealWindows(200)
+	r0, r1 := s.WindowRollup(0), s.WindowRollup(1)
+	find := func(r *WindowRollup, stage string) *StageRow {
+		for i := range r.Stages {
+			if r.Stages[i].Stage == stage {
+				return &r.Stages[i]
+			}
+		}
+		return nil
+	}
+	s0, s1 := find(r0, "nvme"), find(r1, "nvme")
+	if s0 == nil || s1 == nil {
+		t.Fatalf("nvme stage missing: w0=%+v w1=%+v", r0.Stages, r1.Stages)
+	}
+	if s0.Busy != 50 || s1.Busy != 50 {
+		t.Errorf("busy split = (%v, %v), want (50, 50)", s0.Busy, s1.Busy)
+	}
+	if s0.Ops != 0 || s1.Ops != 1 {
+		t.Errorf("ops = (%d, %d), want (0, 1) — op lands in finish window", s0.Ops, s1.Ops)
+	}
+}
+
+// windowStageOf folds request roots into "request" and the RPC wait into
+// ring_wait; everything else follows the critical-path classifier.
+func TestWindowStageOf(t *testing.T) {
+	cases := map[string]string{
+		"dataplane.call":              "request",
+		"dataplane.fs.read_pipelined": "request",
+		"dataplane.rpc.wait":          "ring_wait",
+		"nvme.submit":                 "nvme",
+		"transport.send":              "ring_op",
+		"controlplane.fsproxy":        "proxy_serve",
+		"pcie.dma":                    "copy_dma",
+		"mystery":                     "other",
+	}
+	for name, want := range cases {
+		if got := windowStageOf(name); got != want {
+			t.Errorf("windowStageOf(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// Windows off: rollup surface reports empty, queue still keeps cheap
+// cumulative totals, nil sink is safe throughout.
+func TestWindowsDisabledAndNil(t *testing.T) {
+	s := New(Options{})
+	q := s.Queue("q")
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		q.Arrive(p)
+		p.Advance(10)
+		q.Depart(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.WindowsEnabled() || s.WindowRollup(0) != nil || len(s.CompletedWindows()) != 0 {
+		t.Error("windows-off sink reported windowed state")
+	}
+	if w := q.MeanWait(); w != 10 {
+		t.Errorf("cumulative MeanWait = %v, want 10", w)
+	}
+
+	var nilSink *Sink
+	nilSink.EnableWindows(100)
+	nilSink.SealWindows(0)
+	nq := nilSink.Queue("x")
+	nq.Arrive(nil)
+	nq.DepartN(nil, 3)
+	if nq.Occupancy() != 0 || nilSink.WindowsEnabled() {
+		t.Error("nil sink queue not inert")
+	}
+}
+
+// The per-window OpenMetrics stream is deterministic: identical event
+// sequences yield byte-identical dumps.
+func TestWindowOpenMetricsDeterministic(t *testing.T) {
+	run := func() string {
+		s := New(Options{})
+		s.EnableWindows(100)
+		q := s.Queue("transport.ring")
+		e := sim.NewEngine()
+		e.Spawn("p", 0, func(p *sim.Proc) {
+			for i := 0; i < 5; i++ {
+				sp := s.Start(p, "nvme.submit")
+				q.Arrive(p)
+				p.Advance(70)
+				q.Depart(p)
+				sp.End(p)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		s.SealWindows(350)
+		var b strings.Builder
+		if err := s.WriteWindows(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("windowed dumps differ:\n%s\n----\n%s", a, b)
+	}
+	if !strings.Contains(a, `solros_window_stage_busy_seconds{window="0",stage="nvme"}`) {
+		t.Errorf("missing stage sample in:\n%s", a)
+	}
+	if !strings.Contains(a, `solros_window_queue_mean_occupancy{window="0",queue="transport.ring"}`) {
+		t.Errorf("missing queue sample in:\n%s", a)
+	}
+	if !strings.HasSuffix(a, "# EOF\n") {
+		t.Error("dump not terminated with # EOF")
+	}
+}
+
+// The cumulative OpenMetrics exporter renders every instrument kind and
+// terminates correctly.
+func TestWriteOpenMetrics(t *testing.T) {
+	s := New(Options{})
+	s.Counter("x.events").Add(3)
+	s.Gauge("x.depth").Set(2)
+	s.Histogram("x.lat").Observe(1000)
+	s.HistogramN("x.batch").Observe(4)
+	s.Dist("x.rtt").Observe(500)
+	var b strings.Builder
+	if err := s.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"solros_x_events_total 3",
+		"solros_x_depth 2",
+		"# TYPE solros_x_lat_seconds histogram",
+		`solros_x_lat_seconds_bucket{le="+Inf"} 1`,
+		"# TYPE solros_x_batch histogram",
+		`solros_x_rtt_seconds{quantile="0.5"}`,
+		"# EOF\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	var nilSink *Sink
+	b.Reset()
+	if err := nilSink.WriteOpenMetrics(&b); err != nil || b.String() != "# EOF\n" {
+		t.Errorf("nil sink OpenMetrics = (%q, %v)", b.String(), err)
+	}
+}
+
+// counterSnapshotInto reuses the destination map: after the first fill,
+// repeated snapshots of a stable counter set do not allocate.
+func TestCounterSnapshotReuse(t *testing.T) {
+	s := New(Options{})
+	for _, name := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		s.Counter("ctr." + name).Add(1)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	scratch := s.counterSnapshotInto(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = s.counterSnapshotInto(scratch)
+	})
+	if allocs > 0 {
+		t.Errorf("counterSnapshotInto allocated %.1f times per run, want 0", allocs)
+	}
+	if len(scratch) != 8 {
+		t.Errorf("snapshot has %d entries, want 8", len(scratch))
+	}
+}
+
+// Flight-recorder dumps racing span emission and windowed observation:
+// run under -race, this pins the lock discipline between retain(), the
+// window feed, ObserveAt's deferred SLO check, and TriggerFlight.
+func TestConcurrentFlightDumpVsSpans(t *testing.T) {
+	s := New(Options{})
+	s.EnableWindows(100)
+	s.ArmFlightRecorder(t.TempDir(), 64, 1000)
+	s.SetObjectives([]Objective{{Metric: "x.lat", Target: 10, Percentile: 99}})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	dumperDone := make(chan struct{})
+	go func() {
+		defer close(dumperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.TriggerFlight(nil, "race-probe")
+				_ = s.SLOViolations()
+				var b strings.Builder
+				_ = s.WriteWindows(&b)
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := sim.NewEngine()
+			e.Spawn("p", 0, func(p *sim.Proc) {
+				h := s.Histogram("x.lat")
+				q := s.Queue("q")
+				for n := 0; n < 200; n++ {
+					sp := s.Start(p, "nvme.submit")
+					q.Arrive(p)
+					p.Advance(25)
+					h.ObserveAt(p, 25)
+					q.Depart(p)
+					sp.End(p)
+				}
+			})
+			if err := e.Run(); err != nil {
+				panic(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	<-dumperDone
+}

@@ -179,6 +179,7 @@ type Ring struct {
 	telCombine   *telemetry.Hist
 	telBatchOut  *telemetry.Hist
 	telOccupancy *telemetry.Gauge
+	telQueue     *telemetry.Queue
 }
 
 // NewRing allocates a ring whose master storage lives on masterDev (nil =
@@ -212,6 +213,7 @@ func NewRing(f *pcie.Fabric, masterDev *pcie.Device, opt Options) *Ring {
 		r.telCombine = tel.HistogramN("transport.combine_batch")
 		r.telBatchOut = tel.HistogramN("transport.recv_batch_size")
 		r.telOccupancy = tel.Gauge("transport.ring_occupancy")
+		r.telQueue = tel.Queue("transport.ring")
 	}
 	return r
 }
@@ -278,7 +280,7 @@ func combineEnter(p *sim.Proc, s *side) {
 // variables once per batch in Lazy mode (1 PCIe txn when remote).
 func (pt *Port) combineExit(p *sim.Proc, s *side, batch int) {
 	if pt.ring.opt.Update == Lazy && s.opsInBatch >= batch {
-		pt.ring.telCombine.Observe(sim.Time(s.opsInBatch))
+		pt.ring.telCombine.ObserveAt(p, sim.Time(s.opsInBatch))
 		s.opsInBatch = 0
 		pt.remoteTxn(p) // push original value to the remote replica
 	}
@@ -354,6 +356,7 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 	r.telSent.Add(1)
 	r.telSentBytes.Add(int64(len(msg)))
 	r.telOccupancy.Set(int64(r.Len()))
+	r.telQueue.Arrive(p)
 	sp.End(p)
 	p.Signal(r.dataCond)
 	return nil
@@ -416,6 +419,7 @@ func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 	r.received++
 	r.telReceived.Add(1)
 	r.telOccupancy.Set(int64(r.Len()))
+	r.telQueue.Depart(p)
 	sp.TagInt("bytes", int64(ent.size))
 	sp.End(p)
 	p.Signal(r.spaceCond)
@@ -488,8 +492,9 @@ func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
 	r.inflightRecv--
 	r.received += int64(len(msgs))
 	r.telReceived.Add(int64(len(msgs)))
-	r.telBatchOut.Observe(sim.Time(len(msgs)))
+	r.telBatchOut.ObserveAt(p, sim.Time(len(msgs)))
 	r.telOccupancy.Set(int64(r.Len()))
+	r.telQueue.DepartN(p, int64(len(msgs)))
 	sp.TagInt("count", int64(len(msgs)))
 	sp.TagInt("bytes", payload)
 	sp.End(p)
