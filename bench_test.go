@@ -5,6 +5,7 @@
 package main_test
 
 import (
+	"runtime"
 	"testing"
 
 	"solros/internal/bench"
@@ -125,4 +126,18 @@ func BenchmarkAblations(b *testing.B) {
 
 func BenchmarkPipelinedRead(b *testing.B) {
 	runFig(b, "pipeline", maxOf("pipelined"))
+}
+
+// BenchmarkPipelinedReadWall is the wall-clock parallel backend: GOMAXPROCS
+// machines each run the pipelined-read workload on a real goroutine and the
+// reported metric is aggregate wall-clock throughput. Virtual-time results
+// are untouched (each sim stays deterministic); only the harness fans out.
+func BenchmarkPipelinedReadWall(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	var wall float64
+	for i := 0; i < b.N; i++ {
+		wall = bench.WallPipelinedRead(true, workers)
+	}
+	b.ReportMetric(wall, "GB/s-wall")
+	b.ReportMetric(float64(workers), "workers")
 }

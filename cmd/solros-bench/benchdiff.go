@@ -33,6 +33,34 @@ func runBenchCore(args []string) {
 	fmt.Fprintf(os.Stderr, "solros-bench: wrote %s\n", *out)
 }
 
+// runBenchHotpath runs the zero-alloc hot-path benchmark points and writes
+// BENCH_hotpath.json. -parallel arms the wall-clock backend: that many
+// machines run the pipelined-read workload concurrently on real goroutines
+// and the aggregate wall throughput is recorded as its own series (the
+// sim-clock points are untouched and stay deterministic).
+func runBenchHotpath(args []string) {
+	fs := flag.NewFlagSet("benchhotpath", flag.ExitOnError)
+	out := fs.String("o", "BENCH_hotpath.json", "output path for the hot-path document")
+	parallel := fs.Int("parallel", 0, "wall-clock backend: run N machines on real goroutines and record aggregate wall GB/s (0 = skip)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: solros-bench benchhotpath [-o BENCH_hotpath.json] [-parallel N]")
+		fmt.Fprintln(os.Stderr, "\nMeasures the pipelined delegated read's heap traffic with the")
+		fmt.Fprintln(os.Stderr, "zero-alloc pools off and on (virtual-time throughput, allocs/op,")
+		fmt.Fprintln(os.Stderr, "B/op, and the headline allocs/op reduction).")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	hb := bench.HotpathBenchmarks(*parallel)
+	for _, p := range hb.Points {
+		fmt.Printf("%-36s %14.3f %s\n", p.Name, p.Value, p.Unit)
+	}
+	if err := bench.WriteCoreBench(*out, hb); err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "solros-bench: wrote %s\n", *out)
+}
+
 // runBenchDiff compares two BENCH_core.json documents and flags points
 // that regressed past the budget.
 func runBenchDiff(args []string) {

@@ -92,6 +92,9 @@ func main() {
 	case "benchcore":
 		runBenchCore(args[1:])
 		return
+	case "benchhotpath":
+		runBenchHotpath(args[1:])
+		return
 	case "benchdiff":
 		runBenchDiff(args[1:])
 		return
@@ -230,5 +233,6 @@ func usage() {
 	fmt.Println("  trace    run one traced delegated read and print its critical-path breakdown (see trace -h)")
 	fmt.Println("  top      run a looping workload and render a live per-stage utilization/latency table (see top -h)")
 	fmt.Println("  benchcore   run the core benchmark points and write BENCH_core.json (see benchcore -h)")
+	fmt.Println("  benchhotpath  run the zero-alloc hot-path points (and optional -parallel wall-clock backend), write BENCH_hotpath.json")
 	fmt.Println("  benchdiff   compare two BENCH_core.json files and flag regressions (see benchdiff -h)")
 }

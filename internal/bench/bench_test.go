@@ -218,6 +218,52 @@ func TestTraceOverheadShape(t *testing.T) {
 	}
 }
 
+// TestHotPathShape locks the ISSUE 7 acceptance directions: pooling must
+// not move virtual time at any size (heap-only), and must cut per-read
+// allocations by a wide margin on the cache-resident sweep.
+func TestHotPathShape(t *testing.T) {
+	rows := HotPath()
+	for _, bs := range hotSizes {
+		x := sizeLabel(bs)
+		off := valueOf(t, rows, "tput/pool-off", x)
+		on := valueOf(t, rows, "tput/pool-on", x)
+		if off != on {
+			t.Errorf("%s: pooling moved virtual-time throughput: off=%.6f on=%.6f GB/s", x, off, on)
+		}
+		aOff := valueOf(t, rows, "allocs/pool-off", x)
+		aOn := valueOf(t, rows, "allocs/pool-on", x)
+		if aOn > 2 {
+			t.Errorf("%s: pool-on steady state allocates %.3f/read, budget is 2", x, aOn)
+		}
+		if aOff > 0 && aOn > 0.7*aOff {
+			t.Errorf("%s: pooling reduced allocs only %.3f -> %.3f per read (<30%%)", x, aOff, aOn)
+		}
+	}
+}
+
+// BenchmarkHotPathSweep is the microbench form of the sweep: one
+// sub-benchmark per (size, pooling) cell reporting the cell's virtual-time
+// throughput and measured heap traffic per delegated read.
+func BenchmarkHotPathSweep(b *testing.B) {
+	for _, bs := range hotSizes {
+		for _, hot := range []bool{false, true} {
+			name := sizeLabel(bs) + "/pool-off"
+			if hot {
+				name = sizeLabel(bs) + "/pool-on"
+			}
+			b.Run(name, func(b *testing.B) {
+				var tput, allocs, bytes float64
+				for i := 0; i < b.N; i++ {
+					tput, allocs, bytes = hotPoint(hot, bs)
+				}
+				b.ReportMetric(tput, "GB/s")
+				b.ReportMetric(allocs, "allocs/read")
+				b.ReportMetric(bytes, "B/read")
+			})
+		}
+	}
+}
+
 func TestTable1CountsThisRepo(t *testing.T) {
 	rows := Table1()
 	total := valueOf(t, rows, "TOTAL", "impl")

@@ -55,6 +55,12 @@ func CoreBenchmarks() CoreBench {
 		overhead = (offGBs - onGBs) / offGBs * 100
 	}
 
+	// Heap-traffic gate for the zero-alloc hot path (ISSUE 7): allocs/op
+	// and B/op of the steady-state pipelined read with HotPath armed.
+	// Committed in BENCH_core.json so benchdiff fails loudly when pooling
+	// regresses, not just when virtual time does.
+	_, allocs, bytes := hotPipe(true)
+
 	return CoreBench{
 		Schema: CoreSchema,
 		Points: []CorePoint{
@@ -62,6 +68,8 @@ func CoreBenchmarks() CoreBench {
 			{Name: "pipelined_read_2mb", Value: pipe, Unit: "GB/s", HigherIsBetter: true},
 			{Name: "chaos_nvme_errors_rw", Value: chaos, Unit: "GB/s", HigherIsBetter: true},
 			{Name: "trace_overhead_512kb", Value: overhead, Unit: "%", HigherIsBetter: false},
+			{Name: "pipelined_read_allocs", Value: allocs, Unit: "allocs/read", HigherIsBetter: false},
+			{Name: "pipelined_read_bytes", Value: bytes, Unit: "B/read", HigherIsBetter: false},
 		},
 	}
 }
@@ -77,6 +85,13 @@ func WriteCoreBench(path string, cb CoreBench) error {
 
 // LoadCoreBench reads and validates a BENCH_core.json document.
 func LoadCoreBench(path string) (CoreBench, error) {
+	return LoadBench(path, CoreSchema)
+}
+
+// LoadBench reads a benchmark document and checks it carries the expected
+// schema (CoreSchema for BENCH_core.json, HotpathSchema for
+// BENCH_hotpath.json — both share the point format).
+func LoadBench(path, schema string) (CoreBench, error) {
 	var cb CoreBench
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -85,8 +100,8 @@ func LoadCoreBench(path string) (CoreBench, error) {
 	if err := json.Unmarshal(blob, &cb); err != nil {
 		return cb, fmt.Errorf("%s: %w", path, err)
 	}
-	if cb.Schema != CoreSchema {
-		return cb, fmt.Errorf("%s: schema %q, want %q", path, cb.Schema, CoreSchema)
+	if cb.Schema != schema {
+		return cb, fmt.Errorf("%s: schema %q, want %q", path, cb.Schema, schema)
 	}
 	return cb, nil
 }

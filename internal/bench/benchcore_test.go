@@ -85,8 +85,8 @@ func TestCommittedBaselineSelfCompare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cb.Points) != 4 {
-		t.Fatalf("baseline has %d points, want 4", len(cb.Points))
+	if len(cb.Points) != 6 {
+		t.Fatalf("baseline has %d points, want 6 (4 throughput/overhead + allocs + bytes)", len(cb.Points))
 	}
 	for _, p := range cb.Points {
 		if p.Value <= 0 && p.HigherIsBetter {

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"solros/internal/core"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+)
+
+// Zero-alloc hot-path experiment (ISSUE 7): heap traffic on the delegated
+// read path with the pooling machinery off vs on. The knob is heap-only,
+// so virtual-time throughput must be identical in both columns — what
+// moves is allocs and bytes allocated per delegated read, measured with
+// runtime.MemStats around a steady-state (cache-resident) read loop while
+// every proc of the machine runs interleaved inside the window.
+
+var hotSizes = []int64{4 << 10, 64 << 10, 1 << 20, 4 << 20}
+
+// hotFileBytes fits the default shared cache, so after one cold pass every
+// read is a pure RPC + cache-hit push: exactly the path the pools target.
+const hotFileBytes = 4 << 20
+
+// HotPath measures the sweep for EXPERIMENTS.md: throughput (must match
+// off/on), allocations per read, and bytes allocated per read.
+func HotPath() []Row {
+	type cell struct{ tput, allocs, bytes float64 }
+	cells := map[bool]map[int64]cell{false: {}, true: {}}
+	for _, hot := range []bool{false, true} {
+		for _, bs := range hotSizes {
+			t, a, by := hotPoint(hot, bs)
+			cells[hot][bs] = cell{t, a, by}
+		}
+	}
+	var rows []Row
+	for _, s := range []struct {
+		name string
+		hot  bool
+		get  func(cell) float64
+		unit string
+	}{
+		{"tput/pool-off", false, func(c cell) float64 { return c.tput }, "GB/s"},
+		{"tput/pool-on", true, func(c cell) float64 { return c.tput }, "GB/s"},
+		{"allocs/pool-off", false, func(c cell) float64 { return c.allocs }, "allocs/read"},
+		{"allocs/pool-on", true, func(c cell) float64 { return c.allocs }, "allocs/read"},
+		{"bytes/pool-off", false, func(c cell) float64 { return c.bytes }, "B/read"},
+		{"bytes/pool-on", true, func(c cell) float64 { return c.bytes }, "B/read"},
+	} {
+		for _, bs := range hotSizes {
+			rows = append(rows, row("hotpath", s.name, sizeLabel(bs), s.get(cells[s.hot][bs]), s.unit))
+		}
+	}
+	return rows
+}
+
+// hotPoint runs one sweep cell: steady-state bs-sized delegated reads of a
+// cache-resident file, reporting virtual-time throughput and per-read heap
+// traffic.
+func hotPoint(hot bool, bs int64) (tput, allocsOp, bytesOp float64) {
+	m := core.NewMachine(core.Config{
+		DiskBytes:    16 << 20,
+		PhiMemBytes:  bs + (64 << 20),
+		ProxyWorkers: 8,
+		HotPath:      hot,
+	})
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		phi := mm.Phis[0]
+		fd, err := phi.FS.Open(p, "/hot", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			panic(err)
+		}
+		f, err := mm.FS.Open(p, "/hot")
+		if err != nil {
+			panic(err)
+		}
+		if err := f.Truncate(p, hotFileBytes); err != nil {
+			panic(err)
+		}
+		buf := phi.FS.AllocBuffer(bs)
+		readAll := func() {
+			for off := int64(0); off+bs <= hotFileBytes; off += bs {
+				if _, err := phi.FS.Read(p, fd, off, buf, bs); err != nil {
+					panic(err)
+				}
+			}
+		}
+		// One cold pass fills the cache, a few more warm every pool and
+		// lazily-grown map before the measured window opens.
+		for i := 0; i < 5; i++ {
+			readAll()
+		}
+		const passes = 16
+		reads := passes * (hotFileBytes / bs)
+		var before, after runtime.MemStats
+		start := p.Now()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < passes; i++ {
+			readAll()
+		}
+		runtime.ReadMemStats(&after)
+		secs := (p.Now() - start).Seconds()
+		allocsOp = float64(after.Mallocs-before.Mallocs) / float64(reads)
+		bytesOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(reads)
+		tput = gbs(passes*hotFileBytes, secs)
+	})
+	return tput, allocsOp, bytesOp
+}
+
+// hotPipe measures the pipelined-read benchmark's heap traffic: warm
+// (cache-resident) 2 MB delegated reads split into windowed chunk RPCs
+// with batched ring drains — the configuration BenchmarkPipelinedRead
+// exercises, steady-state so the per-RPC churn dominates.
+func hotPipe(hot bool) (tput, allocsOp, bytesOp float64) {
+	const bs = 2 << 20
+	m := core.NewMachine(core.Config{
+		DiskBytes:    pipeDiskBytes,
+		CacheBytes:   pipeFileBytes + (8 << 20), // whole file stays resident
+		PhiMemBytes:  bs + (64 << 20),
+		ProxyWorkers: 8,
+		Pipeline:     true,
+		BatchRecv:    true,
+		Overlap:      true,
+		HotPath:      hot,
+	})
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		phi := mm.Phis[0]
+		fd, err := phi.FS.Open(p, "/pipe", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			panic(err)
+		}
+		f, err := mm.FS.Open(p, "/pipe")
+		if err != nil {
+			panic(err)
+		}
+		if err := f.Truncate(p, pipeFileBytes); err != nil {
+			panic(err)
+		}
+		buf := phi.FS.AllocBuffer(bs)
+		readAll := func() {
+			for off := int64(0); off+bs <= pipeFileBytes; off += bs {
+				if _, err := phi.FS.Read(p, fd, off, buf, bs); err != nil {
+					panic(err)
+				}
+			}
+		}
+		for i := 0; i < 3; i++ {
+			readAll()
+		}
+		const passes = 8
+		reads := passes * (pipeFileBytes / bs)
+		var before, after runtime.MemStats
+		start := p.Now()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < passes; i++ {
+			readAll()
+		}
+		runtime.ReadMemStats(&after)
+		secs := (p.Now() - start).Seconds()
+		allocsOp = float64(after.Mallocs-before.Mallocs) / float64(reads)
+		bytesOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(reads)
+		tput = gbs(passes*pipeFileBytes, secs)
+	})
+	return tput, allocsOp, bytesOp
+}
+
+// WallPipelinedRead is the wall-clock parallel backend (ROADMAP item 2):
+// `workers` independent machines each run the cold pipelined-read workload
+// on a real goroutine, and the result is aggregate wall-clock throughput —
+// how fast this host actually simulates the workload on real cores. Every
+// machine's virtual-time result is untouched (each sim is still
+// deterministic and single-threaded internally); only the harness goes
+// parallel. Non-deterministic by construction, so it is recorded as its
+// own BENCH series and never gated by benchdiff.
+func WallPipelinedRead(hot bool, workers int) float64 {
+	const bs = 2 << 20
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := core.NewMachine(core.Config{
+				DiskBytes:    pipeDiskBytes,
+				PhiMemBytes:  bs + (64 << 20),
+				ProxyWorkers: 8,
+				Pipeline:     true,
+				BatchRecv:    true,
+				Overlap:      true,
+				HotPath:      hot,
+			})
+			m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+				phi := mm.Phis[0]
+				fd, err := phi.FS.Open(p, "/pipe", ninep.OCreate|ninep.OBuffer)
+				if err != nil {
+					panic(err)
+				}
+				f, err := mm.FS.Open(p, "/pipe")
+				if err != nil {
+					panic(err)
+				}
+				if err := f.Truncate(p, pipeFileBytes); err != nil {
+					panic(err)
+				}
+				buf := phi.FS.AllocBuffer(bs)
+				for off := int64(0); off+bs <= pipeFileBytes; off += bs {
+					if _, err := phi.FS.Read(p, fd, off, buf, bs); err != nil {
+						panic(err)
+					}
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	return gbs(int64(workers)*pipeFileBytes, time.Since(start).Seconds())
+}
+
+// HotpathSchema versions the BENCH_hotpath.json format.
+const HotpathSchema = "solros-bench-hotpath/v1"
+
+// HotpathBenchmarks runs the hot-path benchmark points for
+// BENCH_hotpath.json: pipelined-read throughput and heap traffic with the
+// pools off and on, the headline allocs/op reduction, and (when parallel
+// > 0) the wall-clock parallel series.
+func HotpathBenchmarks(parallel int) CoreBench {
+	offT, offA, offB := hotPipe(false)
+	onT, onA, onB := hotPipe(true)
+	reduction := 0.0
+	if offA > 0 {
+		reduction = (offA - onA) / offA * 100
+	}
+	points := []CorePoint{
+		{Name: "pipelined_read_2mb_gbs_pool_off", Value: offT, Unit: "GB/s", HigherIsBetter: true},
+		{Name: "pipelined_read_2mb_gbs_pool_on", Value: onT, Unit: "GB/s", HigherIsBetter: true},
+		{Name: "pipelined_read_2mb_allocs_pool_off", Value: offA, Unit: "allocs/read", HigherIsBetter: false},
+		{Name: "pipelined_read_2mb_allocs_pool_on", Value: onA, Unit: "allocs/read", HigherIsBetter: false},
+		{Name: "pipelined_read_2mb_bytes_pool_off", Value: offB, Unit: "B/read", HigherIsBetter: false},
+		{Name: "pipelined_read_2mb_bytes_pool_on", Value: onB, Unit: "B/read", HigherIsBetter: false},
+		{Name: "pipelined_read_allocs_reduction", Value: reduction, Unit: "%", HigherIsBetter: true},
+	}
+	if parallel > 0 {
+		points = append(points,
+			CorePoint{Name: "wall_pipelined_read_2mb_pool_off", Value: WallPipelinedRead(false, parallel), Unit: "GB/s-wall", HigherIsBetter: true},
+			CorePoint{Name: "wall_pipelined_read_2mb_pool_on", Value: WallPipelinedRead(true, parallel), Unit: "GB/s-wall", HigherIsBetter: true},
+		)
+	}
+	return CoreBench{Schema: HotpathSchema, Points: points}
+}

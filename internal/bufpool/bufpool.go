@@ -1,0 +1,110 @@
+// Package bufpool provides the pooled-buffer layer of the zero-alloc hot
+// path: size-classed free lists for message buffers that are checked out
+// and explicitly recycled, plus grow-once scratch buffers for encode and
+// decode staging.
+//
+// Nothing here is goroutine-safe and nothing needs to be: every pool is
+// owned by exactly one ring, connection, or serve-loop, and the sim kernel
+// serializes all procs of one machine. The wall-clock parallel bench
+// backend runs one machine (and therefore one set of pools) per goroutine,
+// so pools are never shared across OS threads either.
+package bufpool
+
+// minClassBits is the smallest size class, 64 bytes — one cache line,
+// and comfortably larger than a header-only ninep message.
+const minClassBits = 6
+
+// numClasses covers 64 B .. 2 GB-ish; in practice ring messages top out at
+// the ring capacity (a few MB).
+const numClasses = 26
+
+// maxPerClass bounds how many idle buffers one class retains. Beyond this
+// the buffer is dropped for the GC — the pool is a hot-path amortizer, not
+// a leak.
+const maxPerClass = 64
+
+// classFor returns the class index whose buffers hold at least n bytes.
+func classFor(n int) int {
+	c := 0
+	for size := 1 << minClassBits; size < n; size <<= 1 {
+		c++
+	}
+	return c
+}
+
+// classSize is the capacity of buffers in class c.
+func classSize(c int) int { return 1 << (minClassBits + c) }
+
+// Pool hands out byte buffers from per-size-class free lists. Get checks a
+// buffer out; Put checks it back in. A buffer that is never Put is simply
+// garbage — correctness never depends on recycling, only allocation rates.
+type Pool struct {
+	classes [numClasses][][]byte
+
+	// gets/news report pool effectiveness: news counts Gets that had to
+	// allocate.
+	gets, news int64
+}
+
+// Get returns a length-n buffer with capacity of n's size class.
+func (p *Pool) Get(n int) []byte {
+	if n < 0 {
+		panic("bufpool: negative size")
+	}
+	p.gets++
+	c := classFor(n)
+	if c >= numClasses {
+		p.news++
+		return make([]byte, n)
+	}
+	if l := p.classes[c]; len(l) > 0 {
+		b := l[len(l)-1]
+		l[len(l)-1] = nil
+		p.classes[c] = l[:len(l)-1]
+		return b[:n]
+	}
+	p.news++
+	return make([]byte, n, classSize(c))
+}
+
+// Put returns b to its size class. Buffers with off-class capacities (or a
+// full class) are dropped; Put(nil) is a no-op.
+func (p *Pool) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	c := classFor(cap(b))
+	if c >= numClasses || classSize(c) != cap(b) {
+		return // not one of ours (or oversized); let the GC have it
+	}
+	if len(p.classes[c]) >= maxPerClass {
+		return
+	}
+	p.classes[c] = append(p.classes[c], b[:cap(b)])
+}
+
+// Stats reports total Gets and how many of them allocated.
+func (p *Pool) Stats() (gets, news int64) { return p.gets, p.news }
+
+// Scratch is a grow-once reusable buffer: Bytes returns a length-n view,
+// growing the backing array only when n exceeds every previous request.
+// The view is valid until the next Bytes call.
+type Scratch struct{ buf []byte }
+
+// Bytes returns a length-n view of the scratch, growing as needed.
+func (s *Scratch) Bytes(n int) []byte {
+	if cap(s.buf) < n {
+		// Round up to the size class so repeated near-misses don't
+		// reallocate per call.
+		c := classFor(n)
+		size := n
+		if c < numClasses {
+			size = classSize(c)
+		}
+		s.buf = make([]byte, size)
+	}
+	return s.buf[:n]
+}
+
+// Cap reports the current backing capacity, for tests.
+func (s *Scratch) Cap() int { return cap(s.buf) }

@@ -1,0 +1,93 @@
+package bufpool
+
+import "testing"
+
+func TestGetPutReuses(t *testing.T) {
+	var p Pool
+	b := p.Get(100)
+	if len(b) != 100 || cap(b) != 128 {
+		t.Fatalf("Get(100) = len %d cap %d, want 100/128", len(b), cap(b))
+	}
+	b[0] = 0xAA
+	p.Put(b)
+	b2 := p.Get(80) // same 128-byte class
+	if cap(b2) != 128 {
+		t.Fatalf("recycled Get(80) cap = %d, want 128 (same class)", cap(b2))
+	}
+	if &b2[0] != &b[0] {
+		t.Fatal("Get after Put did not reuse the buffer")
+	}
+	gets, news := p.Stats()
+	if gets != 2 || news != 1 {
+		t.Fatalf("stats = %d gets / %d news, want 2/1", gets, news)
+	}
+}
+
+func TestClassSeparation(t *testing.T) {
+	var p Pool
+	small := p.Get(64)
+	p.Put(small)
+	big := p.Get(65)
+	if cap(big) != 128 {
+		t.Fatalf("Get(65) cap = %d, want 128", cap(big))
+	}
+	if len(big) != 65 {
+		t.Fatalf("Get(65) len = %d", len(big))
+	}
+}
+
+func TestPutForeignBufferDropped(t *testing.T) {
+	var p Pool
+	p.Put(make([]byte, 0, 100)) // 100 is no class size; must be dropped
+	b := p.Get(100)
+	if cap(b) != 128 {
+		t.Fatalf("foreign Put leaked into pool: cap %d", cap(b))
+	}
+}
+
+func TestPutBounded(t *testing.T) {
+	var p Pool
+	for i := 0; i < maxPerClass+10; i++ {
+		p.Put(make([]byte, 64))
+	}
+	if n := len(p.classes[0]); n != maxPerClass {
+		t.Fatalf("class retained %d buffers, want %d", n, maxPerClass)
+	}
+}
+
+func TestGetZero(t *testing.T) {
+	var p Pool
+	b := p.Get(0)
+	if len(b) != 0 {
+		t.Fatalf("Get(0) len = %d", len(b))
+	}
+}
+
+func TestScratchGrowOnce(t *testing.T) {
+	var s Scratch
+	b := s.Bytes(100)
+	if len(b) != 100 || s.Cap() != 128 {
+		t.Fatalf("Bytes(100): len %d cap %d", len(b), s.Cap())
+	}
+	b2 := s.Bytes(50)
+	if &b2[0] != &b[0] {
+		t.Fatal("smaller Bytes reallocated")
+	}
+	s.Bytes(4096)
+	if s.Cap() != 4096 {
+		t.Fatalf("grown cap = %d, want 4096", s.Cap())
+	}
+}
+
+func TestPoolAllocsSteadyState(t *testing.T) {
+	var p Pool
+	warm := p.Get(4096)
+	p.Put(warm)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := p.Get(4096)
+		p.Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %v per op, want 0", allocs)
+	}
+}

@@ -5,8 +5,6 @@
 package cache
 
 import (
-	"container/list"
-
 	"solros/internal/pcie"
 	"solros/internal/sim"
 	"solros/internal/telemetry"
@@ -21,18 +19,23 @@ type key struct {
 	Blk int64
 }
 
+// page is an intrusive LRU node: the recency links live in the record
+// itself, so list maintenance never allocates, and retired records are
+// recycled through a free list. Steady-state insert-with-eviction reuses
+// the victim's record and touches the heap not at all.
 type page struct {
-	k   key
-	loc pcie.Loc
-	elt *list.Element
+	k          key
+	loc        pcie.Loc
+	prev, next *page
 }
 
 // Cache is a fixed-capacity LRU page cache backed by host RAM.
 type Cache struct {
-	pages    map[key]*page
-	lru      *list.List // front = most recent
-	freeLocs []pcie.Loc
-	capacity int
+	pages      map[key]*page
+	head, tail *page // head = most recent, tail = LRU victim
+	freeLocs   []pcie.Loc
+	freePages  *page // recycled page records, chained through next
+	capacity   int
 
 	hits, misses, evictions int64
 
@@ -49,7 +52,6 @@ func New(fab *pcie.Fabric, capacityBytes int64) *Cache {
 	}
 	c := &Cache{
 		pages:    make(map[key]*page, n),
-		lru:      list.New(),
 		capacity: n,
 	}
 	if tel := fab.Telemetry(); tel != nil {
@@ -66,6 +68,57 @@ func New(fab *pcie.Fabric, capacityBytes int64) *Cache {
 	return c
 }
 
+func (c *Cache) pushFront(pg *page) {
+	pg.prev = nil
+	pg.next = c.head
+	if c.head != nil {
+		c.head.prev = pg
+	}
+	c.head = pg
+	if c.tail == nil {
+		c.tail = pg
+	}
+}
+
+func (c *Cache) unlink(pg *page) {
+	if pg.prev != nil {
+		pg.prev.next = pg.next
+	} else {
+		c.head = pg.next
+	}
+	if pg.next != nil {
+		pg.next.prev = pg.prev
+	} else {
+		c.tail = pg.prev
+	}
+	pg.prev, pg.next = nil, nil
+}
+
+func (c *Cache) moveToFront(pg *page) {
+	if c.head == pg {
+		return
+	}
+	c.unlink(pg)
+	c.pushFront(pg)
+}
+
+func (c *Cache) allocPage() *page {
+	if pg := c.freePages; pg != nil {
+		c.freePages = pg.next
+		pg.next = nil
+		return pg
+	}
+	return &page{}
+}
+
+func (c *Cache) retirePage(pg *page) {
+	pg.k = key{}
+	pg.loc = pcie.Loc{}
+	pg.prev = nil
+	pg.next = c.freePages
+	c.freePages = pg
+}
+
 // Lookup returns the page frame holding (ino, blk) if cached, promoting it
 // to most-recently-used.
 func (c *Cache) Lookup(ino uint32, blk int64) (pcie.Loc, bool) {
@@ -77,7 +130,7 @@ func (c *Cache) Lookup(ino uint32, blk int64) (pcie.Loc, bool) {
 	}
 	c.hits++
 	c.telHits.Add(1)
-	c.lru.MoveToFront(pg.elt)
+	c.moveToFront(pg)
 	return pg.loc, true
 }
 
@@ -95,16 +148,18 @@ func (c *Cache) Insert(ino uint32, blk int64) pcie.Loc {
 func (c *Cache) InsertAt(p *sim.Proc, ino uint32, blk int64) pcie.Loc {
 	k := key{ino, blk}
 	if pg, ok := c.pages[k]; ok {
-		c.lru.MoveToFront(pg.elt)
+		c.moveToFront(pg)
 		return pg.loc
 	}
 	var loc pcie.Loc
+	var pg *page
 	if len(c.freeLocs) > 0 {
 		loc = c.freeLocs[len(c.freeLocs)-1]
 		c.freeLocs = c.freeLocs[:len(c.freeLocs)-1]
+		pg = c.allocPage()
 	} else {
-		victim := c.lru.Back().Value.(*page)
-		c.lru.Remove(victim.elt)
+		victim := c.tail
+		c.unlink(victim)
 		delete(c.pages, victim.k)
 		c.evictions++
 		c.telEvictions.Add(1)
@@ -115,9 +170,11 @@ func (c *Cache) InsertAt(p *sim.Proc, ino uint32, blk int64) pcie.Loc {
 			sp.End(p)
 		}
 		loc = victim.loc
+		pg = victim // reuse the victim's record in place
 	}
-	pg := &page{k: k, loc: loc}
-	pg.elt = c.lru.PushFront(pg)
+	pg.k = k
+	pg.loc = loc
+	c.pushFront(pg)
 	c.pages[k] = pg
 	c.telResident.Set(int64(len(c.pages)))
 	return loc
@@ -128,9 +185,10 @@ func (c *Cache) InsertAt(p *sim.Proc, ino uint32, blk int64) pcie.Loc {
 func (c *Cache) Invalidate(ino uint32) {
 	for k, pg := range c.pages {
 		if k.Ino == ino {
-			c.lru.Remove(pg.elt)
+			c.unlink(pg)
 			delete(c.pages, k)
 			c.freeLocs = append(c.freeLocs, pg.loc)
+			c.retirePage(pg)
 		}
 	}
 	c.telResident.Set(int64(len(c.pages)))
@@ -142,9 +200,10 @@ func (c *Cache) InvalidateRange(ino uint32, off, n int64) {
 	last := (off + n - 1) / PageSize
 	for blk := first; blk <= last; blk++ {
 		if pg, ok := c.pages[key{ino, blk}]; ok {
-			c.lru.Remove(pg.elt)
+			c.unlink(pg)
 			delete(c.pages, key{ino, blk})
 			c.freeLocs = append(c.freeLocs, pg.loc)
+			c.retirePage(pg)
 		}
 	}
 	c.telResident.Set(int64(len(c.pages)))
@@ -154,8 +213,7 @@ func (c *Cache) InvalidateRange(ino uint32, off, n int64) {
 // recent first) without touching recency or stats. Oracles use it to audit
 // frame contents against backing storage.
 func (c *Cache) ForEach(fn func(ino uint32, blk int64, loc pcie.Loc) bool) {
-	for elt := c.lru.Front(); elt != nil; elt = elt.Next() {
-		pg := elt.Value.(*page)
+	for pg := c.head; pg != nil; pg = pg.next {
 		if !fn(pg.k.Ino, pg.k.Blk, pg.loc) {
 			return
 		}

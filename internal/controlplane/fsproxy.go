@@ -64,6 +64,14 @@ type FSProxy struct {
 	// combiner and PCIe costs when requests arrive back to back
 	// (pipelined chunk windows). Default off.
 	BatchRecv bool
+	// CoalesceDoorbell batches the replies of one drained request batch
+	// into a single SendBatch enqueue: k replies share one combiner
+	// pass, one lazy control flush, and one receiver doorbell instead of
+	// paying each per reply — the reply-side extension of the combining
+	// discipline. Only effective together with BatchRecv. Default off
+	// (behavior-visible: the first replies of a batch are held until the
+	// whole batch is handled).
+	CoalesceDoorbell bool
 	// Overlap double-buffers buffered reads: missing pages are filled
 	// from the flash by parallel worker procs while already-filled pages
 	// stream to the co-processor, so the NVMe leg of chunk k+1 proceeds
@@ -181,6 +189,10 @@ func (px *FSProxy) Start(p *sim.Proc, workers int) {
 
 // startChannel spawns the worker procs for one channel incarnation.
 func (px *FSProxy) startChannel(p *sim.Proc, ch *channel) {
+	// Pool the request ring's receive buffers: workers recycle each raw
+	// request after decoding it, so steady-state serving stops allocating
+	// per message. Heap-only — virtual time is unchanged.
+	ch.req.EnablePool()
 	for w := 0; w < px.workers; w++ {
 		p.Spawn(fmt.Sprintf("fsproxy-%s-%d", ch.phi.Name, w), func(wp *sim.Proc) {
 			px.serve(wp, ch)
@@ -209,14 +221,24 @@ func (px *FSProxy) Reattach(p *sim.Proc, idx int, req, resp *transport.Port) {
 const serveRecvBatch = 8
 
 func (px *FSProxy) serve(p *sim.Proc, ch *channel) {
+	// Per-worker reusable storage: the decoded request, the response
+	// under construction, and the encode scratches all live for the
+	// worker's lifetime, so a steady-state request allocates nothing in
+	// the serve loop itself. Safe to share across yields because each
+	// worker proc owns its own set.
 	single := make([][]byte, 1)
+	scratch := make([][]byte, 0, serveRecvBatch)
+	var m, out ninep.Msg
+	var enc []byte
+	var encs, encBufs [][]byte
 	for {
 		var raws [][]byte
 		if px.BatchRecv {
-			batch, ok := ch.req.RecvBatch(p, serveRecvBatch)
+			batch, ok := ch.req.RecvBatchInto(p, serveRecvBatch, scratch[:0])
 			if !ok {
 				return
 			}
+			scratch = batch // keep the grown backing for the next drain
 			raws = batch
 		} else {
 			raw, ok := ch.req.Recv(p)
@@ -226,11 +248,15 @@ func (px *FSProxy) serve(p *sim.Proc, ch *channel) {
 			single[0] = raw
 			raws = single
 		}
-		for _, raw := range raws {
-			m, err := ninep.Decode(raw)
-			if err != nil {
+		coalesce := px.CoalesceDoorbell && len(raws) > 1
+		encs = encs[:0]
+		for i, raw := range raws {
+			if err := ninep.DecodeInto(&m, raw); err != nil {
 				panic("fsproxy: corrupt request: " + err.Error())
 			}
+			// The decode copied everything it keeps; the raw buffer can
+			// go straight back to the request ring's pool.
+			ch.req.Recycle(raw)
 			// Join the request's causal tree via the wire context (zero
 			// when the stub isn't tracing — StartCtx then degrades to a
 			// plain Start), and echo the context into the response so
@@ -240,18 +266,39 @@ func (px *FSProxy) serve(p *sim.Proc, ch *channel) {
 			sp.Tag("type", m.Type.String())
 			px.telInflight.Arrive(p)
 			p.Advance(model.FSProxyCost)
-			resp := px.handle(p, ch, m)
-			resp.Tag = m.Tag
-			resp.Trace, resp.Span = m.Trace, m.Span
-			ch.resp.Send(p, resp.Encode())
+			out.Reset()
+			px.handle(p, ch, &m, &out)
+			out.Tag = m.Tag
+			out.Trace, out.Span = m.Trace, m.Span
+			if coalesce {
+				// Stash the encoded reply (reusing this slot's backing
+				// from earlier batches) for one coalesced enqueue below.
+				for len(encBufs) <= i {
+					encBufs = append(encBufs, nil)
+				}
+				encBufs[i] = out.AppendTo(encBufs[i][:0])
+				encs = append(encs, encBufs[i])
+			} else {
+				enc = out.AppendTo(enc[:0])
+				ch.resp.Send(p, enc)
+			}
 			px.telInflight.Depart(p)
 			sp.End(p)
+		}
+		if coalesce && len(encs) > 0 {
+			// One combining pass, one lazy flush, one doorbell for the
+			// whole batch of replies (§4.2's combining argument applied
+			// to the reply side).
+			ch.resp.SendBatch(p, encs)
 		}
 	}
 }
 
-func rerror(err error) *ninep.Msg {
-	return &ninep.Msg{Type: ninep.Rerror, Err: err.Error()}
+// rerrorInto fills out as an Rerror reply.
+func rerrorInto(out *ninep.Msg, err error) {
+	out.Reset()
+	out.Type = ninep.Rerror
+	out.Err = err.Error()
 }
 
 // fidKey spreads fids across co-processors: each channel has its own fid
@@ -260,7 +307,11 @@ func (px *FSProxy) fidKey(ch *channel, fid uint32) uint32 {
 	return uint32(ch.idx)<<24 | fid
 }
 
-func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
+// handle executes one request and fills out (already Reset by the caller)
+// with the reply. Filling a caller-owned message instead of returning a
+// fresh one keeps the per-request reply off the heap; out's payload
+// backing (Rreaddir) is amortized across the worker's lifetime.
+func (px *FSProxy) handle(p *sim.Proc, ch *channel, m, out *ninep.Msg) {
 	switch m.Type {
 	case ninep.Topen, ninep.Tcreate:
 		// Metadata ops walk directory blocks on the same NVMe the data
@@ -277,36 +328,44 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
 			return e
 		})
 		if err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
 		px.opens[px.fidKey(ch, m.Fid)] = &openFile{f: f, phi: ch.phi, flags: m.Flags, path: m.Name}
-		return &ninep.Msg{Type: ninep.Ropen, Size: f.Size()}
+		out.Type = ninep.Ropen
+		out.Size = f.Size()
 
 	case ninep.Tclose:
 		delete(px.opens, px.fidKey(ch, m.Fid))
-		return &ninep.Msg{Type: ninep.Rclose}
+		out.Type = ninep.Rclose
 
 	case ninep.Tread:
 		of, ok := px.opens[px.fidKey(ch, m.Fid)]
 		if !ok {
-			return rerror(fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+			rerrorInto(out, fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+			return
 		}
 		n, err := px.read(p, of, m.Off, m.Count, m.Addr)
 		if err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
-		return &ninep.Msg{Type: ninep.Rread, Count: n}
+		out.Type = ninep.Rread
+		out.Count = n
 
 	case ninep.Twrite:
 		of, ok := px.opens[px.fidKey(ch, m.Fid)]
 		if !ok {
-			return rerror(fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+			rerrorInto(out, fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+			return
 		}
 		n, err := px.write(p, of, m.Off, m.Count, m.Addr)
 		if err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
-		return &ninep.Msg{Type: ninep.Rwrite, Count: n}
+		out.Type = ninep.Rwrite
+		out.Count = n
 
 	case ninep.Tstat:
 		var st fs.FileInfo
@@ -316,9 +375,12 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
 			return e
 		})
 		if err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
-		return &ninep.Msg{Type: ninep.Rstat, Size: st.Size, Mode: st.Mode}
+		out.Type = ninep.Rstat
+		out.Size = st.Size
+		out.Mode = st.Mode
 
 	case ninep.Tunlink:
 		var ino uint32
@@ -329,20 +391,22 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
 			return e
 		})
 		if err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
 		if freed && !px.DisableCache {
 			// The inode (and its blocks) can be reallocated to another
 			// file; stale frames keyed by this ino must not survive that.
 			px.Cache.Invalidate(ino)
 		}
-		return &ninep.Msg{Type: ninep.Runlink}
+		out.Type = ninep.Runlink
 
 	case ninep.Tmkdir:
 		if err := px.retryIO(p, func() error { return px.FS.Mkdir(p, m.Name) }); err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
-		return &ninep.Msg{Type: ninep.Rmkdir}
+		out.Type = ninep.Rmkdir
 
 	case ninep.Treaddir:
 		var ents []fs.Dirent
@@ -352,65 +416,77 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m *ninep.Msg) *ninep.Msg {
 			return e
 		})
 		if err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
-		var data []byte
+		data := out.Data // Reset kept the backing; reuse it
 		for _, d := range ents {
 			data = append(data, byte(len(d.Name)))
 			data = append(data, d.Name...)
 		}
-		return &ninep.Msg{Type: ninep.Rreaddir, Data: data}
+		out.Type = ninep.Rreaddir
+		out.Data = data
 
 	case ninep.Ttrunc:
 		of, ok := px.opens[px.fidKey(ch, m.Fid)]
 		if !ok {
-			return rerror(fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+			rerrorInto(out, fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+			return
 		}
 		if err := px.retryIO(p, func() error { return of.f.Truncate(p, m.Size) }); err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
 		px.Cache.Invalidate(of.f.Ino())
-		return &ninep.Msg{Type: ninep.Rtrunc}
+		out.Type = ninep.Rtrunc
 
 	case ninep.Trename:
 		// Name carries "old\x00new".
 		parts := strings.SplitN(m.Name, "\x00", 2)
 		if len(parts) != 2 {
-			return rerror(fmt.Errorf("fsproxy: malformed rename %q", m.Name))
+			rerrorInto(out, fmt.Errorf("fsproxy: malformed rename %q", m.Name))
+			return
 		}
 		if err := px.retryIO(p, func() error { return px.FS.Rename(p, parts[0], parts[1]) }); err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
-		return &ninep.Msg{Type: ninep.Rrename}
+		out.Type = ninep.Rrename
 
 	case ninep.Tlink:
 		parts := strings.SplitN(m.Name, "\x00", 2)
 		if len(parts) != 2 {
-			return rerror(fmt.Errorf("fsproxy: malformed link %q", m.Name))
+			rerrorInto(out, fmt.Errorf("fsproxy: malformed link %q", m.Name))
+			return
 		}
 		if err := px.retryIO(p, func() error { return px.FS.Link(p, parts[0], parts[1]) }); err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
-		return &ninep.Msg{Type: ninep.Rlink}
+		out.Type = ninep.Rlink
 
 	case ninep.Tsync:
 		// Metadata flush is a disk leg like any other: in degraded mode a
 		// transient media error mid-sync is retried (syncLocked re-writes
 		// whatever is still dirty; block writes are idempotent).
 		if err := px.retryIO(p, func() error { return px.FS.Sync(p) }); err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
-		return &ninep.Msg{Type: ninep.Rsync}
+		out.Type = ninep.Rsync
 
 	case ninep.Treadahead:
 		of, ok := px.opens[px.fidKey(ch, m.Fid)]
 		if !ok {
-			return rerror(fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+			rerrorInto(out, fmt.Errorf("fsproxy: bad fid %d", m.Fid))
+			return
 		}
 		px.readahead(p, of, m.Off, m.Count)
-		return &ninep.Msg{Type: ninep.Rreadahead}
+		out.Type = ninep.Rreadahead
+
+	default:
+		rerrorInto(out, fmt.Errorf("fsproxy: unhandled message %v", m.Type))
 	}
-	return rerror(fmt.Errorf("fsproxy: unhandled message %v", m.Type))
 }
 
 // choosePath is the §4.3.2 decision: buffered when the file demands it

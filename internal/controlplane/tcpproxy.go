@@ -158,26 +158,31 @@ func (px *TCPProxy) Start(p *sim.Proc) {
 }
 
 func (px *TCPProxy) serveRPC(p *sim.Proc, ch *netChannel) {
+	ch.rpcReq.EnablePool()
+	var m, out ninep.Msg
+	var enc []byte
 	for {
 		raw, ok := ch.rpcReq.Recv(p)
 		if !ok {
 			return
 		}
-		m, err := ninep.Decode(raw)
-		if err != nil {
+		if err := ninep.DecodeInto(&m, raw); err != nil {
 			panic("tcpproxy: corrupt rpc: " + err.Error())
 		}
+		ch.rpcReq.Recycle(raw)
 		sp := px.tel.Start(p, "controlplane.tcpproxy")
 		sp.Tag("type", m.Type.String())
 		p.Advance(model.FSProxyCost)
-		resp := px.handleRPC(p, ch, m)
-		resp.Tag = m.Tag
-		ch.rpcResp.Send(p, resp.Encode())
+		out.Reset()
+		px.handleRPC(p, ch, &m, &out)
+		out.Tag = m.Tag
+		enc = out.AppendTo(enc[:0])
+		ch.rpcResp.Send(p, enc)
 		sp.End(p)
 	}
 }
 
-func (px *TCPProxy) handleRPC(p *sim.Proc, ch *netChannel, m *ninep.Msg) *ninep.Msg {
+func (px *TCPProxy) handleRPC(p *sim.Proc, ch *netChannel, m, out *ninep.Msg) {
 	switch m.Type {
 	case ninep.Tlisten:
 		port := int(m.Off)
@@ -185,7 +190,8 @@ func (px *TCPProxy) handleRPC(p *sim.Proc, ch *netChannel, m *ninep.Msg) *ninep.
 		if !ok {
 			l, err := px.Stack.Listen(port)
 			if err != nil {
-				return rerror(err)
+				rerrorInto(out, err)
+				return
 			}
 			sl = &sharedListener{port: port, listener: l}
 			px.shared[port] = sl
@@ -195,35 +201,42 @@ func (px *TCPProxy) handleRPC(p *sim.Proc, ch *netChannel, m *ninep.Msg) *ninep.
 		}
 		for _, mem := range sl.members {
 			if mem == ch.phi {
-				return rerror(fmt.Errorf("tcpproxy: %s already listens on %d", ch.phi.Name, port))
+				rerrorInto(out, fmt.Errorf("tcpproxy: %s already listens on %d", ch.phi.Name, port))
+				return
 			}
 		}
 		sl.members = append(sl.members, ch.phi)
-		return &ninep.Msg{Type: ninep.Rlisten}
+		out.Type = ninep.Rlisten
 
 	case ninep.Tconnect:
 		dst := px.Stack.LookupPeer(m.Name)
 		if dst == nil {
-			return rerror(fmt.Errorf("tcpproxy: unknown host %q", m.Name))
+			rerrorInto(out, fmt.Errorf("tcpproxy: unknown host %q", m.Name))
+			return
 		}
 		conn, err := px.Stack.Dial(p, dst, int(m.Off))
 		if err != nil {
-			return rerror(err)
+			rerrorInto(out, err)
+			return
 		}
 		pc := px.register(p, conn.Side(px.Stack), ch)
-		return &ninep.Msg{Type: ninep.Rconnect, Addr: int64(pc.id)}
+		out.Type = ninep.Rconnect
+		out.Addr = int64(pc.id)
 
 	case ninep.Tsockclose:
 		pc, ok := px.conns[uint64(m.Addr)]
 		if !ok {
-			return rerror(fmt.Errorf("tcpproxy: unknown conn %d", m.Addr))
+			rerrorInto(out, fmt.Errorf("tcpproxy: unknown conn %d", m.Addr))
+			return
 		}
 		pc.side.Close(p)
 		pc.ch.active--
 		delete(px.conns, pc.id)
-		return &ninep.Msg{Type: ninep.Rsockclose}
+		out.Type = ninep.Rsockclose
+
+	default:
+		rerrorInto(out, fmt.Errorf("tcpproxy: unhandled rpc %v", m.Type))
 	}
-	return rerror(fmt.Errorf("tcpproxy: unhandled rpc %v", m.Type))
 }
 
 // acceptPump accepts inbound connections on a shared listener and shards
@@ -321,31 +334,44 @@ func (px *TCPProxy) startPump(p *sim.Proc, pc *proxConn) {
 // the point of the large inbound ring (§4.4.1).
 func (px *TCPProxy) inboundPump(p *sim.Proc, pc *proxConn) {
 	const frameCap = 60 << 10
+	var hdr [ninep.FrameHdrLen]byte
+	var frame []byte // grow-once coalescing scratch, reused across frames
 	for {
 		data, err := pc.side.Recv(p, frameCap)
 		if err != nil {
 			return // closed locally
 		}
 		if len(data) == 0 {
-			pc.ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameEOF, pc.id, nil))
+			ninep.PutFrameHeader(hdr[:], ninep.FrameEOF, pc.id)
+			pc.ch.inbound.Send(p, hdr[:])
 			return
 		}
-		frame := append([]byte(nil), data...)
-		for len(frame) < frameCap && pc.side.Buffered() > 0 {
-			more, err := pc.side.Recv(p, frameCap-len(frame))
+		if pc.side.Buffered() == 0 {
+			// Common case: one segment, one frame. The ring copies during
+			// Send, so header and payload go out as a two-slice vectored
+			// write with no staging buffer in between.
+			px.telInFrames.Add(1)
+			ninep.PutFrameHeader(hdr[:], ninep.FrameData, pc.id)
+			pc.ch.inbound.SendVec(p, hdr[:], data)
+			continue
+		}
+		frame = ninep.AppendFrame(frame[:0], ninep.FrameData, pc.id, data)
+		for len(frame)-ninep.FrameHdrLen < frameCap && pc.side.Buffered() > 0 {
+			more, err := pc.side.Recv(p, frameCap-(len(frame)-ninep.FrameHdrLen))
 			if err != nil || len(more) == 0 {
 				break
 			}
 			frame = append(frame, more...)
 		}
 		px.telInFrames.Add(1)
-		pc.ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameData, pc.id, frame))
+		pc.ch.inbound.Send(p, frame)
 	}
 }
 
 // outboundPump pulls frames from a co-processor's outbound ring and
 // forwards them onto the host-side connections.
 func (px *TCPProxy) outboundPump(p *sim.Proc, ch *netChannel) {
+	ch.outbound.EnablePool()
 	for {
 		raw, ok := ch.outbound.Recv(p)
 		if !ok {
@@ -356,21 +382,20 @@ func (px *TCPProxy) outboundPump(p *sim.Proc, ch *netChannel) {
 			panic("tcpproxy: " + err.Error())
 		}
 		px.telOutFrames.Add(1)
-		pc, ok := px.conns[id]
-		if !ok {
-			continue // raced with close
-		}
-		switch kind {
-		case ninep.FrameData:
-			if _, err := pc.side.Send(p, payload); err != nil {
-				// Peer gone; drop and let EOF propagate.
-				continue
+		if pc, ok := px.conns[id]; ok {
+			switch kind {
+			case ninep.FrameData:
+				// netstack.Side.Send copies payload into its own segments
+				// before returning, so recycling raw below is safe. A send
+				// error means the peer is gone: drop and let EOF propagate.
+				pc.side.Send(p, payload) //nolint:errcheck
+			case ninep.FrameClose:
+				pc.side.Close(p)
+				pc.ch.active--
+				delete(px.conns, id)
 			}
-		case ninep.FrameClose:
-			pc.side.Close(p)
-			pc.ch.active--
-			delete(px.conns, id)
 		}
+		ch.outbound.Recycle(raw)
 	}
 }
 

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"solros/internal/ninep"
+	"solros/internal/sim"
+)
+
+// TestDelegatedReadAllocBudget is the committed end-to-end regression gate
+// for ISSUE 7: with Config.HotPath armed, a steady-state delegated read
+// RPC — stub encode, request ring, proxy decode/handle (cache hit),
+// reply ring, stub dispatch and wait — must cost at most 2 heap
+// allocations, measured across the whole process with runtime.MemStats
+// inside one sim run (every proc of the machine runs interleaved in this
+// window, so the count covers the full round trip, not just the caller).
+func TestDelegatedReadAllocBudget(t *testing.T) {
+	m := NewMachine(Config{Phis: 1, HotPath: true})
+	var perOp float64
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, err := c.Open(p, "/hot", ninep.OCreate|ninep.OBuffer)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := c.AllocBuffer(8192)
+		payload := bytes.Repeat([]byte{0xA5}, 8192)
+		copy(buf.Data, payload)
+		if _, err := c.Write(p, fd, 0, buf, 8192); err != nil {
+			t.Error(err)
+			return
+		}
+		rbuf := c.AllocBuffer(8192)
+		// Warm every lazy path: buffered first read fills the cache (all
+		// later reads take PathCacheHit), pools fill, maps settle.
+		for i := 0; i < 64; i++ {
+			if _, err := c.Read(p, fd, 0, rbuf, 8192); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		const iters = 500
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < iters; i++ {
+			c.Read(p, fd, 0, rbuf, 8192)
+		}
+		runtime.ReadMemStats(&after)
+		perOp = float64(after.Mallocs-before.Mallocs) / iters
+		if !bytes.Equal(rbuf.Data[:8192], payload) {
+			t.Error("payload corrupted on the hot path")
+		}
+		c.Close(p, fd)
+	})
+	if perOp > 2 {
+		t.Fatalf("delegated read round-trip: %.3f allocs/RPC, budget is 2", perOp)
+	}
+	t.Logf("delegated read round-trip: %.3f allocs/RPC", perOp)
+}
+
+// TestHotPathEndToEnd checks data integrity and timing neutrality: the
+// zero-alloc machinery is heap-only, so the same workload must produce
+// byte-identical results and the identical virtual-time profile with
+// HotPath on and off.
+func TestHotPathEndToEnd(t *testing.T) {
+	run := func(hot bool) sim.Time {
+		m := NewMachine(Config{Phis: 1, HotPath: hot})
+		m.MustRun(func(p *sim.Proc, m *Machine) {
+			c := m.Phis[0].FS
+			fd, err := c.Open(p, "/f", ninep.OCreate)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := c.AllocBuffer(1 << 20)
+			for i := range buf.Data {
+				buf.Data[i] = byte(i * 7)
+			}
+			if n, err := c.Write(p, fd, 0, buf, 1<<20); err != nil || n != 1<<20 {
+				t.Errorf("write n=%d err=%v", n, err)
+				return
+			}
+			rbuf := c.AllocBuffer(1 << 20)
+			if n, err := c.Read(p, fd, 0, rbuf, 1<<20); err != nil || n != 1<<20 {
+				t.Errorf("read n=%d err=%v", n, err)
+				return
+			}
+			if !bytes.Equal(rbuf.Data, buf.Data) {
+				t.Error("payload corrupted")
+			}
+			c.Close(p, fd)
+		})
+		return m.Engine.Now()
+	}
+	off, on := run(false), run(true)
+	if off != on {
+		t.Fatalf("HotPath moved virtual time: off=%v on=%v", off, on)
+	}
+}
+
+// TestCoalesceDoorbellEndToEnd checks the coalesced-reply path end to end
+// under concurrency: many readers over a batch-draining proxy with
+// CoalesceDoorbell set still get correct data.
+func TestCoalesceDoorbellEndToEnd(t *testing.T) {
+	m := NewMachine(Config{Phis: 1, BatchRecv: true, CoalesceDoorbell: true, HotPath: true})
+	m.MustRun(func(p *sim.Proc, m *Machine) {
+		c := m.Phis[0].FS
+		fd, err := c.Open(p, "/shared", ninep.OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := c.AllocBuffer(64 << 10)
+		for i := range buf.Data {
+			buf.Data[i] = byte(i)
+		}
+		if _, err := c.Write(p, fd, 0, buf, 64<<10); err != nil {
+			t.Error(err)
+			return
+		}
+		Parallel(p, 8, "reader", func(i int, wp *sim.Proc) {
+			rbuf := c.AllocBuffer(8 << 10)
+			for k := 0; k < 16; k++ {
+				off := int64((i*16 + k) % 8 * (8 << 10))
+				n, err := c.Read(wp, fd, off, rbuf, 8<<10)
+				if err != nil || n != 8<<10 {
+					t.Errorf("reader %d: n=%d err=%v", i, n, err)
+					return
+				}
+				for j := 0; j < 8<<10; j++ {
+					if rbuf.Data[j] != byte(off+int64(j)) {
+						t.Errorf("reader %d: byte %d corrupt", i, j)
+						return
+					}
+				}
+			}
+		})
+		c.Close(p, fd)
+	})
+}

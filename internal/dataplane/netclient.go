@@ -76,6 +76,7 @@ func (nc *NetClient) Start(p *sim.Proc) {
 	}
 	nc.started = true
 	nc.conn.Start(p)
+	nc.inbound.EnablePool()
 	p.Spawn(nc.conn.Phi.Name+"-net-dispatcher", func(dp *sim.Proc) {
 		for {
 			raw, ok := nc.inbound.Recv(dp)
@@ -100,32 +101,28 @@ func (nc *NetClient) Start(p *sim.Proc) {
 			case ninep.FrameAccept:
 				s := nc.newSocket(id)
 				port := int(payload[0]) | int(payload[1])<<8
-				q := nc.accepts[port]
-				if q == nil {
-					// No listener on this port anymore; drop.
-					continue
+				if q := nc.accepts[port]; q != nil {
+					q.ready = append(q.ready, s)
+					dp.Signal(q.cond)
 				}
-				q.ready = append(q.ready, s)
-				dp.Signal(q.cond)
+				// No listener on this port anymore: drop the event.
 			case ninep.FrameData:
-				s := nc.sockets[id]
-				if s == nil {
-					continue
-				}
-				s.recvq = append(s.recvq, append([]byte(nil), payload...))
-				dp.Signal(s.cond)
-				if s.poller != nil {
-					s.poller.notify(dp)
+				// payload aliases raw, which goes back to the pool below;
+				// the socket queue takes its own copy.
+				if s := nc.sockets[id]; s != nil {
+					s.recvq = append(s.recvq, append([]byte(nil), payload...))
+					dp.Signal(s.cond)
+					if s.poller != nil {
+						s.poller.notify(dp)
+					}
 				}
 			case ninep.FrameEOF:
-				s := nc.sockets[id]
-				if s == nil {
-					continue
-				}
-				s.eof = true
-				dp.Broadcast(s.cond)
-				if s.poller != nil {
-					s.poller.notify(dp)
+				if s := nc.sockets[id]; s != nil {
+					s.eof = true
+					dp.Broadcast(s.cond)
+					if s.poller != nil {
+						s.poller.notify(dp)
+					}
 				}
 			case ninep.FrameListenClosed:
 				for _, q := range nc.accepts {
@@ -133,6 +130,7 @@ func (nc *NetClient) Start(p *sim.Proc) {
 					dp.Broadcast(q.cond)
 				}
 			}
+			nc.inbound.Recycle(raw)
 		}
 	})
 }
@@ -189,13 +187,17 @@ func (s *Socket) Send(p *sim.Proc, data []byte) (int, error) {
 		return 0, ErrSocketClosed
 	}
 	const chunk = 60 << 10
+	var hdr [ninep.FrameHdrLen]byte
+	ninep.PutFrameHeader(hdr[:], ninep.FrameData, s.ID)
 	sent := 0
 	for sent < len(data) {
 		n := len(data) - sent
 		if n > chunk {
 			n = chunk
 		}
-		s.nc.outbound.Send(p, ninep.EncodeFrame(ninep.FrameData, s.ID, data[sent:sent+n]))
+		// The ring copies header+payload contiguously during the send, so
+		// no per-chunk staging frame is ever built.
+		s.nc.outbound.SendVec(p, hdr[:], data[sent:sent+n])
 		sent += n
 	}
 	return sent, nil

@@ -71,6 +71,24 @@ type Conn struct {
 	// virtual-time charges, so the reproduced figures need it off.
 	Tracing bool
 
+	// HotPath arms the zero-alloc delegated fast path: call records are
+	// pooled and reused (encode scratch, response storage, wait cond and
+	// Pending handle all live in the record), the dispatcher routes raw
+	// bytes by PeekTag and decodes straight into the owning record, and
+	// receive buffers recycle through the response port's pool. The cost
+	// is a lifetime contract: the *ninep.Msg returned by Wait/Call is
+	// valid only until the connection's next CallAsync — callers must
+	// consume the response before issuing the next request. Off by
+	// default (every response is then a private allocation, the seed
+	// behavior). Purely heap-visible: virtual time is identical either
+	// way. Set before Start.
+	HotPath bool
+
+	// freeCalls is the call-record free list used when HotPath is set; a
+	// record returns here at Wait time and its storage is reused by a
+	// later CallAsync.
+	freeCalls []*call
+
 	nextTag uint16
 	pending map[uint16]*call
 	// stale holds tags retired while responses were still outstanding
@@ -110,12 +128,20 @@ type Conn struct {
 type call struct {
 	resp *ninep.Msg
 	cond *sim.Cond
-	// raw is the encoded request, kept for same-tag replay.
+	// raw is the encoded request, kept for same-tag replay. Pooled
+	// records reuse its backing array across calls (AppendTo scratch).
 	raw []byte
 	// sent counts transmissions, got counts responses the dispatcher saw
 	// (including duplicates); their difference at reap time is how many
 	// late responses the stale table must absorb.
 	sent, got int
+	// msg is the decoded-response storage on the hot path: the
+	// dispatcher DecodeIntos it and resp points at it, so a pooled
+	// record amortizes its payload backing across calls.
+	msg ninep.Msg
+	// pend is the call's Pending handle, embedded so CallAsync returns
+	// it without a per-call allocation.
+	pend Pending
 }
 
 // Pending is a handle to an RPC issued with CallAsync; redeem it with
@@ -213,7 +239,36 @@ func (c *Conn) Start(p *sim.Proc) {
 		return
 	}
 	c.started = true
+	if c.HotPath {
+		c.resp.EnablePool()
+	}
 	c.spawnDispatcher(p)
+}
+
+// allocCall checks a call record out of the free list (HotPath) or
+// allocates a fresh one. Reused records keep their cond, their encode
+// scratch, and their response payload backing.
+func (c *Conn) allocCall() *call {
+	if n := len(c.freeCalls); c.HotPath && n > 0 {
+		pc := c.freeCalls[n-1]
+		c.freeCalls[n-1] = nil
+		c.freeCalls = c.freeCalls[:n-1]
+		pc.resp = nil
+		pc.sent, pc.got = 0, 0
+		pc.msg.Reset()
+		return pc
+	}
+	return &call{cond: sim.NewCond("rpc-call")}
+}
+
+// releaseCall returns a retired record to the free list. Only called
+// after retire (the tag no longer maps to the record) and only on the hot
+// path, where the Wait lifetime contract makes reuse safe.
+func (c *Conn) releaseCall(pc *call) {
+	if !c.HotPath {
+		return
+	}
+	c.freeCalls = append(c.freeCalls, pc)
 }
 
 // spawnDispatcher starts a dispatcher bound to the current response ring.
@@ -230,13 +285,15 @@ func (c *Conn) spawnDispatcher(p *sim.Proc) {
 			c.failPending(dp)
 		}()
 		single := make([][]byte, 1)
+		scratch := make([][]byte, 0, 64)
 		for {
 			var raws [][]byte
 			if c.BatchRecv {
-				batch, ok := resp.RecvBatch(dp, 0)
+				batch, ok := resp.RecvBatchInto(dp, 0, scratch[:0])
 				if !ok {
 					return
 				}
+				scratch = batch // keep the grown backing for the next drain
 				raws = batch
 			} else {
 				raw, ok := resp.Recv(dp)
@@ -247,40 +304,59 @@ func (c *Conn) spawnDispatcher(p *sim.Proc) {
 				raws = single
 			}
 			for _, raw := range raws {
-				m, err := ninep.Decode(raw)
-				if err != nil {
-					panic("dataplane: corrupt response: " + err.Error())
-				}
-				pc, ok := c.pending[m.Tag]
+				// Route by tag without decoding: dropped (stale, dup)
+				// responses never pay a decode, and matched ones decode
+				// straight into storage their call record owns.
+				tag, ok := ninep.PeekTag(raw)
 				if !ok {
-					if n := c.stale[m.Tag]; n > 0 {
+					panic("dataplane: corrupt response: " + ninep.ErrShortMessage.Error())
+				}
+				pc, ok := c.pending[tag]
+				if !ok {
+					if n := c.stale[tag]; n > 0 {
 						// A late response to a retired call (timed out,
 						// or reaped off an earlier transmission).
 						if n == 1 {
-							delete(c.stale, m.Tag)
+							delete(c.stale, tag)
 						} else {
-							c.stale[m.Tag] = n - 1
+							c.stale[tag] = n - 1
 						}
 						c.telStaleDrops.Add(1)
+						resp.Recycle(raw)
 						continue
 					}
-					panic(fmt.Sprintf("dataplane: response for unknown tag %d", m.Tag))
+					panic(fmt.Sprintf("dataplane: response for unknown tag %d", tag))
 				}
 				pc.got++
 				if pc.resp != nil {
 					// Duplicate from a resend whose original also made
 					// it; first answer wins.
 					c.telDupDrops.Add(1)
+					resp.Recycle(raw)
 					continue
 				}
-				pc.resp = m
-				if m.Trace != 0 {
+				if c.HotPath {
+					if err := ninep.DecodeInto(&pc.msg, raw); err != nil {
+						panic("dataplane: corrupt response: " + err.Error())
+					}
+					pc.resp = &pc.msg
+				} else {
+					m, err := ninep.Decode(raw)
+					if err != nil {
+						panic("dataplane: corrupt response: " + err.Error())
+					}
+					pc.resp = m
+				}
+				// DecodeInto/Decode copied the payload, so the receive
+				// buffer can go back to the port's pool right away.
+				resp.Recycle(raw)
+				if pc.resp.Trace != 0 {
 					// Zero-length completion marker on the dispatcher
 					// proc: when the reply reached the stub side,
 					// within the request's causal tree.
 					cs := c.tel.StartCtx(dp, "dataplane.rpc.complete",
-						telemetry.TraceCtx{Trace: m.Trace, Span: m.Span})
-					cs.Tag("type", m.Type.String())
+						telemetry.TraceCtx{Trace: pc.resp.Trace, Span: pc.resp.Span})
+					cs.Tag("type", pc.resp.Type.String())
 					cs.End(dp)
 				}
 				dp.Signal(pc.cond)
@@ -349,21 +425,22 @@ func (c *Conn) CallAsync(p *sim.Proc, m *ninep.Msg) *Pending {
 		ctx = issue.Ctx()
 		m.Trace, m.Span = ctx.Trace, ctx.Span
 	}
-	pc := &call{cond: sim.NewCond(fmt.Sprintf("rpc-tag-%d", tag))}
+	pc := c.allocCall()
 	c.pending[tag] = pc
 	c.telInflight.Set(int64(len(c.pending)))
+	pc.pend = Pending{tag: tag, typ: m.Type, begin: begin, pc: pc, ctx: ctx}
 	if c.dead || c.down || c.shut {
 		// No dispatcher will ever answer; fail the call in place instead
 		// of sending into a closed ring and parking forever.
 		pc.resp = &ninep.Msg{Type: ninep.Rerror, Tag: tag, Err: errConnClosed}
 		issue.End(p)
-		return &Pending{tag: tag, typ: m.Type, begin: begin, pc: pc, ctx: ctx}
+		return &pc.pend
 	}
-	pc.raw = m.Encode()
+	pc.raw = m.AppendTo(pc.raw[:0])
 	pc.sent = 1
 	c.req.Send(p, pc.raw)
 	issue.End(p)
-	return &Pending{tag: tag, typ: m.Type, begin: begin, pc: pc, ctx: ctx}
+	return &pc.pend
 }
 
 // Wait blocks until pd's response arrives, releases its tag, and returns
@@ -403,8 +480,12 @@ func (c *Conn) Wait(p *sim.Proc, pd *Pending) (*ninep.Msg, error) {
 				wait.Tag("result", "timeout")
 				wait.TagInt("attempts", int64(resends+1))
 			}
-			return nil, fmt.Errorf("dataplane: %s tag %d timed out after %d attempts",
+			err := fmt.Errorf("dataplane: %s tag %d timed out after %d attempts",
 				pd.typ, pd.tag, resends+1)
+			// Late responses drain via the stale table by tag, never
+			// through the record, so it can be reused immediately.
+			c.releaseCall(pc)
+			return nil, err
 		}
 		// Idempotent same-tag replay: resend the identical encoded
 		// request and double the window (exponential backoff).
@@ -424,13 +505,21 @@ func (c *Conn) Wait(p *sim.Proc, pd *Pending) (*ninep.Msg, error) {
 	}
 	c.retire(pd)
 	c.telCalls.Add(1)
-	c.tel.Histogram("dataplane.rpc."+pd.typ.String()).ObserveAt(p, p.Now()-pd.begin)
-	if c.tel.WindowsEnabled() && c.Phi != nil {
-		// Per-channel latency series — the per-channel SLO surface. Gated
-		// on windows so the cumulative text report keeps its seed shape
-		// when the continuous-observability knobs are off.
-		c.tel.Histogram("dataplane.rpc."+pd.typ.String()+"."+c.Phi.Name).ObserveAt(p, p.Now()-pd.begin)
+	if c.tel != nil {
+		// Guarded so the histogram-name concatenations stay off the
+		// telemetry-disabled hot path entirely.
+		c.tel.Histogram("dataplane.rpc."+pd.typ.String()).ObserveAt(p, p.Now()-pd.begin)
+		if c.tel.WindowsEnabled() && c.Phi != nil {
+			// Per-channel latency series — the per-channel SLO surface. Gated
+			// on windows so the cumulative text report keeps its seed shape
+			// when the continuous-observability knobs are off.
+			c.tel.Histogram("dataplane.rpc."+pd.typ.String()+"."+c.Phi.Name).ObserveAt(p, p.Now()-pd.begin)
+		}
 	}
+	// The record goes back to the free list here; on the hot path the
+	// returned response (stored in the record) stays valid until the
+	// connection's next CallAsync reuses it.
+	c.releaseCall(pc)
 	if err := pc.resp.Error(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,162 @@
+package ninep
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendToMatchesEncode pins the zero-alloc encoder to the original
+// wire format, byte for byte.
+func TestAppendToMatchesEncode(t *testing.T) {
+	msgs := []Msg{
+		{Type: Tread, Tag: 7, Fid: 3, Off: 4096, Count: 1 << 20, Addr: 1 << 30},
+		{Type: Topen, Tag: 1, Fid: 9, Flags: OBuffer, Name: "/data/file"},
+		{Type: Rerror, Tag: 2, Err: "no such file"},
+		{Type: Rreaddir, Tag: 3, Data: []byte{1, 'a', 2, 'b', 'c'}},
+		{Type: Tread, Tag: 4, Off: 1, Count: 2, Trace: 0xdead, Span: 0xbeef},
+	}
+	var scratch []byte
+	for _, m := range msgs {
+		want := m.Encode()
+		scratch = m.AppendTo(scratch[:0])
+		if !bytes.Equal(scratch, want) {
+			t.Fatalf("%v: AppendTo != Encode\n got %x\nwant %x", m.Type, scratch, want)
+		}
+		if len(want) != m.EncodedSize() {
+			t.Fatalf("%v: EncodedSize %d != len %d", m.Type, m.EncodedSize(), len(want))
+		}
+	}
+}
+
+// TestDecodeIntoRoundTrip checks the reusable decoder against the
+// allocating one across message shapes, including Data reuse.
+func TestDecodeIntoRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		{Type: Tread, Tag: 7, Fid: 3, Off: 4096, Count: 1 << 20, Addr: 1 << 30},
+		{Type: Rreaddir, Tag: 3, Data: []byte("xyzzy")},
+		{Type: Rread, Tag: 9, Count: 512},
+		{Type: Rreaddir, Tag: 4, Data: bytes.Repeat([]byte{0xAB}, 300)},
+		{Type: Topen, Tag: 5, Name: "/a", Flags: OCreate},
+		{Type: Tread, Tag: 6, Trace: 1, Span: 2},
+	}
+	var reused Msg
+	for _, m := range msgs {
+		raw := m.Encode()
+		want, err := Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeInto(&reused, raw); err != nil {
+			t.Fatal(err)
+		}
+		if reused.Type != want.Type || reused.Tag != want.Tag || reused.Fid != want.Fid ||
+			reused.Flags != want.Flags || reused.Off != want.Off || reused.Count != want.Count ||
+			reused.Addr != want.Addr || reused.Size != want.Size || reused.Mode != want.Mode ||
+			reused.Name != want.Name || reused.Err != want.Err ||
+			reused.Trace != want.Trace || reused.Span != want.Span {
+			t.Fatalf("DecodeInto mismatch: got %+v want %+v", reused, *want)
+		}
+		if !bytes.Equal(reused.Data, want.Data) {
+			t.Fatalf("Data mismatch: got %x want %x", reused.Data, want.Data)
+		}
+	}
+	if err := DecodeInto(&reused, []byte{1, 2}); err != ErrShortMessage {
+		t.Fatalf("short decode: %v", err)
+	}
+}
+
+func TestDecodeIntoNeverAliases(t *testing.T) {
+	m := Msg{Type: Rreaddir, Tag: 1, Data: []byte("payload")}
+	raw := m.Encode()
+	var out Msg
+	if err := DecodeInto(&out, raw); err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		raw[i] = 0xFF // recycle the receive buffer
+	}
+	if string(out.Data) != "payload" {
+		t.Fatalf("Data aliased the recycled buffer: %q", out.Data)
+	}
+}
+
+func TestPeekTag(t *testing.T) {
+	m := Msg{Type: Tread, Tag: 0xBEEF}
+	tag, ok := PeekTag(m.Encode())
+	if !ok || tag != 0xBEEF {
+		t.Fatalf("PeekTag = %d, %v", tag, ok)
+	}
+	if _, ok := PeekTag([]byte{1, 2, 3}); ok {
+		t.Fatal("PeekTag accepted a short buffer")
+	}
+}
+
+func TestResetKeepsDataBacking(t *testing.T) {
+	m := Msg{Type: Rreaddir, Tag: 9, Name: "x", Data: make([]byte, 64, 128)}
+	backing := &m.Data[:1][0]
+	m.Reset()
+	if m.Type != 0 || m.Tag != 0 || m.Name != "" || len(m.Data) != 0 {
+		t.Fatalf("Reset left fields: %+v", m)
+	}
+	if cap(m.Data) != 128 || &m.Data[:1][0] != backing {
+		t.Fatal("Reset dropped the Data backing array")
+	}
+}
+
+func TestAppendFrameMatchesEncodeFrame(t *testing.T) {
+	payload := []byte("hello")
+	want := EncodeFrame(FrameData, 42, payload)
+	got := AppendFrame(nil, FrameData, 42, payload)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendFrame %x != EncodeFrame %x", got, want)
+	}
+	hdr := make([]byte, FrameHdrLen)
+	PutFrameHeader(hdr, FrameData, 42)
+	if !bytes.Equal(hdr, want[:FrameHdrLen]) {
+		t.Fatalf("PutFrameHeader %x != %x", hdr, want[:FrameHdrLen])
+	}
+}
+
+// TestEncodeDecodeAllocFree is the committed regression gate for the ninep
+// half of the zero-alloc hot path: a steady-state encode/decode round trip
+// of a header-only message (the shape of every Tread/Rread on the wire)
+// must not touch the heap, and a payload-carrying response must amortize
+// to zero once its Data backing has grown.
+func TestEncodeDecodeAllocFree(t *testing.T) {
+	req := Msg{Type: Tread, Tag: 5, Fid: 1, Off: 1 << 20, Count: 256 << 10, Addr: 4096}
+	var enc []byte
+	var dec Msg
+	allocs := testing.AllocsPerRun(1000, func() {
+		enc = req.AppendTo(enc[:0])
+		if err := DecodeInto(&dec, enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("header-only round trip: %v allocs/op, want 0", allocs)
+	}
+
+	resp := Msg{Type: Rreaddir, Tag: 6, Data: bytes.Repeat([]byte{7}, 1024)}
+	enc = resp.AppendTo(enc[:0]) // warm the scratch and dec.Data
+	if err := DecodeInto(&dec, enc); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		enc = resp.AppendTo(enc[:0])
+		if err := DecodeInto(&dec, enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("payload round trip: %v allocs/op, want 0 after warmup", allocs)
+	}
+
+	frame := EncodeFrame(FrameData, 9, []byte("data"))
+	var fb []byte
+	allocs = testing.AllocsPerRun(1000, func() {
+		fb = AppendFrame(fb[:0], FrameData, 9, frame[FrameHdrLen:])
+	})
+	if allocs != 0 {
+		t.Fatalf("frame append: %v allocs/op, want 0", allocs)
+	}
+}

@@ -113,12 +113,28 @@ type Msg struct {
 
 const fixedHdr = 1 + 1 + 2 + 4 + 4 + 8 + 8 + 8 + 8 + 2 // + name/err/data prefixes
 
-// Encode serializes the message.
+// EncodedSize reports the exact encoded length of m, for sizing scratch.
+func (m *Msg) EncodedSize() int {
+	n := fixedHdr + 8 + len(m.Name) + len(m.Err) + len(m.Data)
+	if m.Trace != 0 {
+		n += 16
+	}
+	return n
+}
+
+// Encode serializes the message into a fresh buffer.
 func (m *Msg) Encode() []byte {
+	return m.AppendTo(make([]byte, 0, m.EncodedSize()))
+}
+
+// AppendTo serializes the message onto b and returns the extended slice —
+// the zero-alloc encoder of the delegated hot path: callers keep a
+// grow-once scratch and pass scratch[:0], so steady-state encodes never
+// touch the heap.
+func (m *Msg) AppendTo(b []byte) []byte {
 	if len(m.Name) > 0xFFFF || len(m.Err) > 0xFFFF {
 		panic("ninep: string field too long")
 	}
-	b := make([]byte, 0, fixedHdr+6+len(m.Name)+len(m.Err)+len(m.Data))
 	b = append(b, byte(m.Type), 0)
 	b = binary.LittleEndian.AppendUint16(b, m.Tag)
 	b = binary.LittleEndian.AppendUint32(b, m.Fid)
@@ -144,12 +160,47 @@ func (m *Msg) Encode() []byte {
 // ErrShortMessage reports a truncated or corrupt encoding.
 var ErrShortMessage = errors.New("ninep: short or corrupt message")
 
-// Decode parses a message encoded by Encode.
+// Decode parses a message encoded by Encode into a fresh Msg.
 func Decode(b []byte) (*Msg, error) {
-	if len(b) < fixedHdr {
-		return nil, ErrShortMessage
+	m := &Msg{}
+	if err := DecodeInto(m, b); err != nil {
+		return nil, err
 	}
-	m := &Msg{
+	return m, nil
+}
+
+// PeekTag reads the tag of an encoded message without decoding it, so a
+// dispatcher can route raw bytes to the call record that owns the tag (and
+// decode straight into storage the record owns).
+func PeekTag(b []byte) (uint16, bool) {
+	if len(b) < 4 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint16(b[2:]), true
+}
+
+// Reset clears every field for reuse, keeping Data's backing array so a
+// later DecodeInto (or inline payload build) can reuse it.
+func (m *Msg) Reset() {
+	data := m.Data
+	*m = Msg{}
+	if cap(data) > 0 {
+		m.Data = data[:0]
+	}
+}
+
+// DecodeInto parses a message encoded by Encode into m, overwriting every
+// field. The payload is copied into m's existing Data backing array when it
+// has capacity (growing it once otherwise), never aliased to b — so m stays
+// valid after b's buffer is recycled, and a long-lived Msg amortizes its
+// payload storage across decodes. This is the zero-alloc decoder of the
+// delegated hot path.
+func DecodeInto(m *Msg, b []byte) error {
+	if len(b) < fixedHdr {
+		return ErrShortMessage
+	}
+	data := m.Data
+	*m = Msg{
 		Type:  MsgType(b[0]),
 		Tag:   binary.LittleEndian.Uint16(b[2:]),
 		Fid:   binary.LittleEndian.Uint32(b[4:]),
@@ -171,33 +222,35 @@ func Decode(b []byte) (*Msg, error) {
 	}
 	n, ok := take16()
 	if !ok || len(b) < p+n {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
 	m.Name = string(b[p : p+n])
 	p += n
 	n, ok = take16()
 	if !ok || len(b) < p+n {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
 	m.Err = string(b[p : p+n])
 	p += n
 	if len(b) < p+4 {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
 	dn := int(binary.LittleEndian.Uint32(b[p:]))
 	p += 4
 	if len(b) < p+dn {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
 	if dn > 0 {
-		m.Data = append([]byte(nil), b[p:p+dn]...)
+		m.Data = append(data[:0], b[p:p+dn]...)
+	} else if cap(data) > 0 {
+		m.Data = data[:0] // keep the amortized backing across decodes
 	}
 	p += dn
 	if len(b) >= p+16 {
 		m.Trace = binary.LittleEndian.Uint64(b[p:])
 		m.Span = binary.LittleEndian.Uint64(b[p+8:])
 	}
-	return m, nil
+	return nil
 }
 
 // Error wraps an Rerror into a Go error.

@@ -47,13 +47,29 @@ const (
 // frameHdr is kind + connID.
 const frameHdr = 1 + 8
 
-// EncodeFrame packs a ring frame.
+// FrameHdrLen is the ring-frame header length, exported for callers that
+// build headers into their own scratch for vectored (writev-style) sends.
+const FrameHdrLen = frameHdr
+
+// EncodeFrame packs a ring frame into a fresh buffer.
 func EncodeFrame(kind byte, connID uint64, payload []byte) []byte {
-	b := make([]byte, frameHdr+len(payload))
+	return AppendFrame(make([]byte, 0, frameHdr+len(payload)), kind, connID, payload)
+}
+
+// AppendFrame packs a ring frame onto b and returns the extended slice;
+// with a grow-once scratch the steady-state encode is allocation-free.
+func AppendFrame(b []byte, kind byte, connID uint64, payload []byte) []byte {
+	b = append(b, kind)
+	b = binary.LittleEndian.AppendUint64(b, connID)
+	return append(b, payload...)
+}
+
+// PutFrameHeader writes just the frame header into b (len >= FrameHdrLen),
+// for writev-style two-slice sends that keep header and payload separate
+// instead of joining them in a staging buffer.
+func PutFrameHeader(b []byte, kind byte, connID uint64) {
 	b[0] = kind
 	binary.LittleEndian.PutUint64(b[1:], connID)
-	copy(b[frameHdr:], payload)
-	return b
 }
 
 // ErrBadFrame reports a corrupt ring frame.

@@ -63,6 +63,26 @@ func (f *Fabric) CopyOut(p *sim.Proc, at *Device, k cpu.Kind, src Loc, buf []byt
 	f.charge(p, at, k, src.Dev, n, mech, false)
 }
 
+// CopyInVec moves hdr then payload contiguously into remote fabric memory
+// at dst — a writev-style two-slice send. The fabric cost is ONE transfer
+// of the combined size, exactly what a pre-joined buffer would pay; what
+// the caller saves is the heap staging buffer that used to join them.
+func (f *Fabric) CopyInVec(p *sim.Proc, at *Device, k cpu.Kind, dst Loc, hdr, payload []byte, mech Mech) {
+	n := int64(len(hdr) + len(payload))
+	s := dst.mem(f).Slice(dst.Off, n)
+	copy(s, hdr)
+	copy(s[len(hdr):], payload)
+	f.charge(p, at, k, dst.Dev, n, mech, true)
+}
+
+// ChargeOut accounts the fabric cost of reading n bytes at src without
+// moving them into a local buffer — the receive half of a borrowed-view
+// dequeue, where the consumer decodes the master-memory slice in place.
+// Time-identical to CopyOut of the same size; only heap traffic differs.
+func (f *Fabric) ChargeOut(p *sim.Proc, at *Device, k cpu.Kind, src Loc, n int64, mech Mech) {
+	f.charge(p, at, k, src.Dev, n, mech, false)
+}
+
 // LocalCopy charges a same-domain memory copy on a core of kind k and
 // moves the bytes. No PCIe traffic is involved.
 func LocalCopy(p *sim.Proc, k cpu.Kind, dst, src []byte) {
@@ -120,6 +140,9 @@ func (f *Fabric) charge(p *sim.Proc, a *Device, k cpu.Kind, b *Device, n int64, 
 func (f *Fabric) streamCharge(p *sim.Proc, initiator cpu.Kind, srcDev, dstDev *Device, n int64) {
 	var latest sim.Time
 	for _, r := range f.path(srcDev, dstDev) {
+		if r == nil {
+			break
+		}
 		rate := f.effectiveRate(r, initiator)
 		scaled := n * r.Rate / rate
 		done := p.UseAsync(r, scaled)
@@ -150,6 +173,9 @@ func (f *Fabric) CopyCost(a *Device, k cpu.Kind, b *Device, n int64, mech Mech) 
 		}
 		var worst sim.Time
 		for _, r := range f.path(a, b) {
+			if r == nil {
+				break
+			}
 			rate := f.effectiveRate(r, k)
 			d := r.Latency + sim.Time(n*int64(sim.Second)/rate)
 			if d > worst {

@@ -301,6 +301,9 @@ func (f *Fabric) DMATime(initiator cpu.Kind, src, dst Loc, n int64) sim.Time {
 	}
 	var worst sim.Time
 	for _, r := range f.path(src.Dev, dst.Dev) {
+		if r == nil {
+			break
+		}
 		rate := f.effectiveRate(r, initiator)
 		d := r.Latency + sim.Time(n*int64(sim.Second)/rate)
 		if d > worst {
@@ -317,6 +320,9 @@ func (f *Fabric) DMATime(initiator cpu.Kind, src, dst Loc, n int64) sim.Time {
 func (f *Fabric) StreamAsync(p *sim.Proc, srcDev, dstDev *Device, n int64) sim.Time {
 	var latest sim.Time
 	for _, r := range f.path(srcDev, dstDev) {
+		if r == nil {
+			break
+		}
 		f.countLink(r, n)
 		sn, stall := f.legFault(p, r, n)
 		if done := p.UseAsync(r, sn) + stall; done > latest {
@@ -332,6 +338,9 @@ func (f *Fabric) stream(p *sim.Proc, initiator cpu.Kind, src, dst Loc, n int64) 
 	copy(dst.mem(f).Slice(dst.Off, n), src.mem(f).Slice(src.Off, n))
 	var latest sim.Time
 	for _, r := range f.path(src.Dev, dst.Dev) {
+		if r == nil {
+			break
+		}
 		rate := f.effectiveRate(r, initiator)
 		// Temporarily apply the initiator scaling by inflating the
 		// byte count on this reservation.
@@ -359,16 +368,22 @@ func (f *Fabric) effectiveRate(r *sim.Resource, initiator cpu.Kind) int64 {
 // path returns the shared resources a transfer between the two endpoints
 // crosses. Directionality: we pick each device's link by whether data
 // flows out of (up) or into (down) it.
-func (f *Fabric) path(srcDev, dstDev *Device) []*sim.Resource {
-	var rs []*sim.Resource
+// path collects the fabric links a transfer crosses (at most three) into
+// a fixed-size array so the per-transfer hot path never heap-allocates a
+// link vector; callers range over the returned prefix.
+func (f *Fabric) path(srcDev, dstDev *Device) [3]*sim.Resource {
+	var rs [3]*sim.Resource
+	n := 0
 	if srcDev != nil {
-		rs = append(rs, srcDev.linkUp)
+		rs[n] = srcDev.linkUp
+		n++
 	}
 	if dstDev != nil {
-		rs = append(rs, dstDev.linkDown)
+		rs[n] = dstDev.linkDown
+		n++
 	}
 	if CrossNUMA(srcDev, dstDev) {
-		rs = append(rs, f.qpiRelay)
+		rs[n] = f.qpiRelay
 	}
 	return rs
 }
@@ -378,6 +393,9 @@ func (f *Fabric) path(srcDev, dstDev *Device) []*sim.Resource {
 func (f *Fabric) PathBandwidth(srcDev, dstDev *Device) int64 {
 	var min int64
 	for _, r := range f.path(srcDev, dstDev) {
+		if r == nil {
+			break
+		}
 		if min == 0 || r.Rate < min {
 			min = r.Rate
 		}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"solros/internal/bufpool"
 	"solros/internal/cpu"
 	"solros/internal/model"
 	"solros/internal/pcie"
@@ -224,6 +225,14 @@ type Port struct {
 	ring *Ring
 	dev  *pcie.Device
 	kind cpu.Kind
+
+	// pool, when enabled, recycles receive buffers through a per-port
+	// free list: the Recv family checks buffers out and the consumer
+	// checks them back in with Recycle once decoded. A buffer that is
+	// never recycled is ordinary garbage — pooling changes allocation
+	// rates, never correctness — so multiple serve workers sharing one
+	// port need no coordination beyond the sim kernel's serialization.
+	pool *bufpool.Pool
 }
 
 // Port returns an endpoint handle for code running on dev (nil = host)
@@ -234,6 +243,48 @@ func (r *Ring) Port(dev *pcie.Device, kind cpu.Kind) *Port {
 
 // Ring returns the port's underlying ring.
 func (pt *Port) Ring() *Ring { return pt.ring }
+
+// EnablePool turns on receive-buffer pooling for this port.
+func (pt *Port) EnablePool() {
+	if pt.pool == nil {
+		pt.pool = new(bufpool.Pool)
+	}
+}
+
+// Recycle returns a buffer handed out by this port's Recv family to the
+// pool; a no-op when pooling is off (or for a nil buffer), so consumers
+// can call it unconditionally.
+func (pt *Port) Recycle(buf []byte) {
+	if pt.pool != nil {
+		pt.pool.Put(buf)
+	}
+}
+
+// PoolStats reports the receive pool's checkout count and how many
+// checkouts had to allocate; zeros when pooling is off.
+func (pt *Port) PoolStats() (gets, news int64) {
+	if pt.pool == nil {
+		return 0, 0
+	}
+	return pt.pool.Stats()
+}
+
+// getBuf checks a length-n receive buffer out of the pool, or allocates
+// one when pooling is off.
+func (pt *Port) getBuf(n int) []byte {
+	if pt.pool != nil {
+		return pt.pool.Get(n)
+	}
+	return make([]byte, n)
+}
+
+// mem returns the memory region holding the ring's master storage.
+func (r *Ring) mem() *pcie.Memory {
+	if r.masterDev != nil {
+		return r.masterDev.Mem
+	}
+	return r.fabric.HostRAM
+}
 
 // SetInjector installs a plan-driven fault injector. lossy additionally
 // arms send drops; set it only for rings whose callers retry end to end
@@ -291,11 +342,44 @@ func (pt *Port) combineExit(p *sim.Proc, s *side, batch int) {
 // full. The sequence models the paper's three-phase API: reserve under the
 // combiner, copy outside it, publish.
 func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
+	return pt.trySendVec(p, msg, nil)
+}
+
+// TrySendVec enqueues the concatenation of hdr and payload as ONE message
+// without joining them first — the writev of the zero-alloc hot path. The
+// two slices gather-copy straight into the reserved ring slot, charged as
+// a single transfer of the combined size, so the cost (and the receiver's
+// view) is byte-identical to TrySend(hdr+payload) minus the staging
+// buffer.
+func (pt *Port) TrySendVec(p *sim.Proc, hdr, payload []byte) error {
+	return pt.trySendVec(p, hdr, payload)
+}
+
+// SendVec blocks until the two-slice message is enqueued; same close and
+// panic semantics as Send.
+func (pt *Port) SendVec(p *sim.Proc, hdr, payload []byte) {
+	for {
+		err := pt.trySendVec(p, hdr, payload)
+		if err == nil || err == ErrClosed {
+			return
+		}
+		if err != ErrWouldBlock {
+			panic("transport: " + err.Error())
+		}
+		if pt.ring.closed {
+			return
+		}
+		p.Wait(pt.ring.spaceCond)
+	}
+}
+
+func (pt *Port) trySendVec(p *sim.Proc, msg, payload []byte) error {
 	r := pt.ring
 	if r.closed {
 		return ErrClosed
 	}
-	need := (int64(len(msg)) + 7) &^ 7
+	size := len(msg) + len(payload)
+	need := (int64(size) + 7) &^ 7
 	if need > r.capBytes {
 		return errors.New("transport: message larger than ring")
 	}
@@ -305,7 +389,7 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 		return nil
 	}
 	sp := r.tel.Start(p, "transport.send")
-	sp.TagInt("bytes", int64(len(msg)))
+	sp.TagInt("bytes", int64(size))
 	cs := r.tel.Start(p, "transport.combine")
 	combineEnter(p, &r.enq)
 	if r.opt.Update == Eager {
@@ -313,14 +397,14 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 		pt.remoteTxn(p)
 		pt.remoteTxn(p)
 	}
-	ent, ok := r.reserve(len(msg), need)
+	ent, ok := r.reserve(size, need)
 	if !ok {
 		// Ring looks full: Lazy mode refreshes the head replica from
 		// the remote original and retries once (§4.2.4).
 		if r.opt.Update == Lazy {
 			pt.remoteTxn(p)
 			r.reclaim()
-			ent, ok = r.reserve(len(msg), need)
+			ent, ok = r.reserve(size, need)
 		}
 		if !ok {
 			pt.combineExit(p, &r.enq, r.opt.Batch)
@@ -341,10 +425,10 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 	if r.opt.BugReadyBeforeCopy {
 		// Deliberately wrong order (see Options.BugReadyBeforeCopy).
 		ent.state = entReady
-		r.fabric.CopyIn(p, pt.dev, pt.kind, loc, msg, r.opt.Copy)
+		pt.copyIn(p, loc, msg, payload)
 		ent.copied = true
 	} else {
-		r.fabric.CopyIn(p, pt.dev, pt.kind, loc, msg, r.opt.Copy)
+		pt.copyIn(p, loc, msg, payload)
 		// Publish: mark ready. Remote publication rides on the copy's last
 		// transaction (write-combined header), so no extra charge.
 		ent.copied = true
@@ -352,14 +436,25 @@ func (pt *Port) TrySend(p *sim.Proc, msg []byte) error {
 	}
 	r.inflightSend--
 	r.sent++
-	r.sentBytes += int64(len(msg))
+	r.sentBytes += int64(size)
 	r.telSent.Add(1)
-	r.telSentBytes.Add(int64(len(msg)))
+	r.telSentBytes.Add(int64(size))
 	r.telOccupancy.Set(int64(r.Len()))
 	r.telQueue.Arrive(p)
 	sp.End(p)
 	p.Signal(r.dataCond)
 	return nil
+}
+
+// copyIn moves one message (optionally gathered from two slices) into
+// master memory at loc.
+func (pt *Port) copyIn(p *sim.Proc, loc pcie.Loc, msg, payload []byte) {
+	r := pt.ring
+	if payload == nil {
+		r.fabric.CopyIn(p, pt.dev, pt.kind, loc, msg, r.opt.Copy)
+		return
+	}
+	r.fabric.CopyInVec(p, pt.dev, pt.kind, loc, msg, payload, r.opt.Copy)
 }
 
 // Send blocks until msg is enqueued. Messages sent to a closed ring are
@@ -410,7 +505,7 @@ func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 	}
 
 	r.inflightRecv++
-	buf := make([]byte, ent.size)
+	buf := pt.getBuf(ent.size)
 	loc := pcie.Loc{Dev: r.masterDev, Off: r.base + ent.off}
 	r.fabric.CopyOut(p, pt.dev, pt.kind, loc, buf, r.opt.Copy)
 	r.inflightRecv--
@@ -434,6 +529,19 @@ func (pt *Port) TryRecv(p *sim.Proc) ([]byte, error) {
 // of the paper's combining argument (§4.2). Returns ErrWouldBlock when
 // nothing is ready.
 func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
+	return pt.TryRecvBatchInto(p, max, nil)
+}
+
+// batchPass bounds how many elements one combining pass handles with
+// stack-side bookkeeping; larger drains fall back to a heap vector.
+const batchPass = 64
+
+// TryRecvBatchInto is TryRecvBatch with a caller-owned destination: the
+// dequeued payloads are appended to dst (reusing its backing array), so a
+// serve loop that keeps a per-worker scratch [][]byte drains whole batches
+// without allocating the vector. On ErrWouldBlock dst is returned
+// unchanged.
+func (pt *Port) TryRecvBatchInto(p *sim.Proc, max int, dst [][]byte) ([][]byte, error) {
 	r := pt.ring
 	if max <= 0 || max > r.opt.Batch {
 		max = r.opt.Batch
@@ -446,7 +554,11 @@ func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
 		pt.remoteTxn(p)
 		pt.remoteTxn(p)
 	}
-	var ents []*entry
+	var entsArr [batchPass]*entry
+	ents := entsArr[:0]
+	if max > batchPass {
+		ents = make([]*entry, 0, max)
+	}
 	for len(ents) < max {
 		ent, ok := r.take()
 		if !ok {
@@ -475,14 +587,14 @@ func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
 		r.telRecvBlock.Add(1)
 		sp.Tag("result", "wouldblock")
 		sp.End(p)
-		return nil, ErrWouldBlock
+		return dst, ErrWouldBlock
 	}
 
 	r.inflightRecv++
-	msgs := make([][]byte, 0, len(ents))
+	msgs := dst
 	var payload int64
 	for _, ent := range ents {
-		buf := make([]byte, ent.size)
+		buf := pt.getBuf(ent.size)
 		loc := pcie.Loc{Dev: r.masterDev, Off: r.base + ent.off}
 		r.fabric.CopyOut(p, pt.dev, pt.kind, loc, buf, r.opt.Copy)
 		ent.state = entDone
@@ -490,12 +602,13 @@ func (pt *Port) TryRecvBatch(p *sim.Proc, max int) ([][]byte, error) {
 		msgs = append(msgs, buf)
 	}
 	r.inflightRecv--
-	r.received += int64(len(msgs))
-	r.telReceived.Add(int64(len(msgs)))
-	r.telBatchOut.ObserveAt(p, sim.Time(len(msgs)))
+	n := int64(len(ents))
+	r.received += n
+	r.telReceived.Add(n)
+	r.telBatchOut.ObserveAt(p, sim.Time(n))
 	r.telOccupancy.Set(int64(r.Len()))
-	r.telQueue.DepartN(p, int64(len(msgs)))
-	sp.TagInt("count", int64(len(msgs)))
+	r.telQueue.DepartN(p, n)
+	sp.TagInt("count", n)
 	sp.TagInt("bytes", payload)
 	sp.End(p)
 	p.Broadcast(r.spaceCond)
@@ -513,6 +626,220 @@ func (pt *Port) RecvBatch(p *sim.Proc, max int) ([][]byte, bool) {
 		}
 		if pt.ring.closed {
 			return nil, false
+		}
+		p.Wait(pt.ring.dataCond)
+	}
+}
+
+// RecvBatchInto is RecvBatch with a caller-owned destination slice (see
+// TryRecvBatchInto); blocks until at least one element is appended, ok is
+// false once the ring is closed and drained.
+func (pt *Port) RecvBatchInto(p *sim.Proc, max int, dst [][]byte) ([][]byte, bool) {
+	for {
+		msgs, err := pt.TryRecvBatchInto(p, max, dst)
+		if err == nil {
+			return msgs, true
+		}
+		if pt.ring.closed {
+			return dst, false
+		}
+		p.Wait(pt.ring.dataCond)
+	}
+}
+
+// SendBatch enqueues every message in msgs in order, blocking for space as
+// needed. Up to batchPass messages are reserved under ONE combiner
+// acquisition with one Lazy flush (or one Eager head/tail transaction
+// pair) and ONE receiver wakeup — k replies cost one doorbell instead of
+// k, the enqueue-side analogue of TryRecvBatch's combining amortization.
+// Messages sent to a closed ring are silently dropped, like Send; an
+// oversized message panics, like Send.
+func (pt *Port) SendBatch(p *sim.Proc, msgs [][]byte) {
+	if pt.ring.lossy {
+		// Fault-armed rings keep the per-message path so injected drop
+		// decisions land exactly as they would under Send.
+		for _, m := range msgs {
+			pt.Send(p, m)
+		}
+		return
+	}
+	for len(msgs) > 0 {
+		n := pt.trySendBatch(p, msgs)
+		msgs = msgs[n:]
+		if len(msgs) == 0 || pt.ring.closed {
+			return
+		}
+		if n == 0 {
+			p.Wait(pt.ring.spaceCond)
+		}
+	}
+}
+
+// trySendBatch enqueues a prefix of msgs under one combining pass and
+// returns how many messages it consumed (0 = ring full, caller waits).
+func (pt *Port) trySendBatch(p *sim.Proc, msgs [][]byte) int {
+	r := pt.ring
+	if r.closed {
+		return len(msgs)
+	}
+	if len(msgs) > batchPass {
+		msgs = msgs[:batchPass]
+	}
+	for _, m := range msgs {
+		if (int64(len(m))+7)&^7 > r.capBytes {
+			panic("transport: message larger than ring")
+		}
+	}
+	sp := r.tel.Start(p, "transport.send_batch")
+	cs := r.tel.Start(p, "transport.combine")
+	combineEnter(p, &r.enq)
+	if r.opt.Update == Eager {
+		// One head-read/tail-update pair covers the whole pass: the
+		// coalesced doorbell this API exists for.
+		pt.remoteTxn(p)
+		pt.remoteTxn(p)
+	}
+	var ents [batchPass]*entry
+	k := 0
+	for _, m := range msgs {
+		need := (int64(len(m)) + 7) &^ 7
+		ent, ok := r.reserve(len(m), need)
+		if !ok && k == 0 && r.opt.Update == Lazy {
+			// Ring looks full at the start of the pass: refresh the head
+			// replica once and retry, as TrySend does.
+			pt.remoteTxn(p)
+			r.reclaim()
+			ent, ok = r.reserve(len(m), need)
+		}
+		if !ok {
+			break
+		}
+		ents[k] = ent
+		k++
+	}
+	// k reservations shared one combining pass; credit the extras so Lazy
+	// keeps its flush-once-per-Batch cadence.
+	if k > 1 {
+		r.enq.opsInBatch += k - 1
+	}
+	pt.combineExit(p, &r.enq, r.opt.Batch)
+	cs.End(p)
+	if k == 0 {
+		r.telSendBlock.Add(1)
+		sp.Tag("result", "wouldblock")
+		sp.End(p)
+		return 0
+	}
+
+	// Copy payloads into master memory outside the combiner, publishing
+	// each element as its copy lands (receivers may start draining the
+	// early ones while later copies are still in flight).
+	r.inflightSend++
+	var payload int64
+	for i := 0; i < k; i++ {
+		ent, m := ents[i], msgs[i]
+		loc := pcie.Loc{Dev: r.masterDev, Off: r.base + ent.off}
+		r.fabric.CopyIn(p, pt.dev, pt.kind, loc, m, r.opt.Copy)
+		ent.copied = true
+		ent.state = entReady
+		payload += int64(len(m))
+	}
+	r.inflightSend--
+	r.sent += int64(k)
+	r.sentBytes += payload
+	r.telSent.Add(int64(k))
+	r.telSentBytes.Add(payload)
+	r.telOccupancy.Set(int64(r.Len()))
+	r.telQueue.ArriveN(p, int64(k))
+	sp.TagInt("count", int64(k))
+	sp.TagInt("bytes", payload)
+	sp.End(p)
+	p.Broadcast(r.dataCond)
+	return k
+}
+
+// View is a borrowed slice of ring master memory: a dequeued element's
+// payload read in place, with no copy-out buffer and no allocation. Data
+// stays valid until Release, which retires the element so the ring can
+// reclaim its bytes. The fabric charge is identical to TryRecv — the
+// receiver still reads every byte across the bus — only heap traffic
+// differs.
+type View struct {
+	Data []byte
+	ent  *entry
+	pt   *Port
+}
+
+// Release retires the viewed element, making its slot reclaimable and
+// waking one blocked sender. Releasing a zero View is a no-op; a double
+// Release panics.
+func (v *View) Release(p *sim.Proc) {
+	if v.ent == nil {
+		return
+	}
+	if v.ent.state != entTaken {
+		panic("transport: View released twice")
+	}
+	v.ent.state = entDone
+	p.Signal(v.pt.ring.spaceCond)
+	v.ent = nil
+	v.Data = nil
+}
+
+// TryRecvView dequeues the oldest ready element as a borrowed view of
+// master memory instead of copying it out; ErrWouldBlock if none is
+// ready. The element's bytes are not reclaimable until the view is
+// Released, so holding many views narrows the ring.
+func (pt *Port) TryRecvView(p *sim.Proc) (View, error) {
+	r := pt.ring
+	r.recvStall(p)
+	sp := r.tel.Start(p, "transport.recv")
+	cs := r.tel.Start(p, "transport.combine")
+	combineEnter(p, &r.deq)
+	if r.opt.Update == Eager {
+		pt.remoteTxn(p)
+		pt.remoteTxn(p)
+	}
+	ent, ok := r.take()
+	if !ok && r.opt.Update == Lazy {
+		pt.remoteTxn(p)
+		ent, ok = r.take()
+	}
+	pt.combineExit(p, &r.deq, r.opt.Batch)
+	cs.End(p)
+	if !ok {
+		r.telRecvBlock.Add(1)
+		sp.Tag("result", "wouldblock")
+		sp.End(p)
+		return View{}, ErrWouldBlock
+	}
+
+	// Charge reading the payload across the fabric without moving it into
+	// a local buffer; the consumer decodes the master slice in place.
+	r.inflightRecv++
+	loc := pcie.Loc{Dev: r.masterDev, Off: r.base + ent.off}
+	r.fabric.ChargeOut(p, pt.dev, pt.kind, loc, int64(ent.size), r.opt.Copy)
+	r.inflightRecv--
+
+	r.received++
+	r.telReceived.Add(1)
+	r.telOccupancy.Set(int64(r.Len()))
+	r.telQueue.Depart(p)
+	sp.TagInt("bytes", int64(ent.size))
+	sp.End(p)
+	return View{Data: r.mem().Slice(r.base+ent.off, int64(ent.size)), ent: ent, pt: pt}, nil
+}
+
+// RecvView blocks until an element is available and returns it as a
+// borrowed view; ok is false once the ring is closed and drained.
+func (pt *Port) RecvView(p *sim.Proc) (View, bool) {
+	for {
+		v, err := pt.TryRecvView(p)
+		if err == nil {
+			return v, true
+		}
+		if pt.ring.closed {
+			return View{}, false
 		}
 		p.Wait(pt.ring.dataCond)
 	}
