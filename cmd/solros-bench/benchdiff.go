@@ -10,6 +10,29 @@ import (
 	"solros/internal/bench"
 )
 
+// runBenchServe runs the gated serving points and writes BENCH_serve.json.
+func runBenchServe(args []string) {
+	fs := flag.NewFlagSet("benchserve", flag.ExitOnError)
+	out := fs.String("o", "BENCH_serve.json", "output path for the serving baseline document")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: solros-bench benchserve [-o BENCH_serve.json]")
+		fmt.Fprintln(os.Stderr, "\nRuns the KV serving baseline (throughput and p99 below and at")
+		fmt.Fprintln(os.Stderr, "saturation, cache on and off) and writes the document benchdiff")
+		fmt.Fprintln(os.Stderr, "compares against.")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	sb := bench.ServeBenchmarks()
+	for _, p := range sb.Points {
+		fmt.Printf("%-24s %10.3f %s\n", p.Name, p.Value, p.Unit)
+	}
+	if err := bench.WriteCoreBench(*out, sb); err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "solros-bench: wrote %s\n", *out)
+}
+
 // runBenchCore runs the core benchmark baseline and writes BENCH_core.json.
 func runBenchCore(args []string) {
 	fs := flag.NewFlagSet("benchcore", flag.ExitOnError)
@@ -81,14 +104,19 @@ func runBenchDiff(args []string) {
 		fmt.Fprintln(os.Stderr, "solros-bench:", err)
 		os.Exit(2)
 	}
-	oldCB, err := bench.LoadCoreBench(fs.Arg(0))
+	oldCB, err := bench.LoadBenchAny(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "solros-bench:", err)
 		os.Exit(2)
 	}
-	newCB, err := bench.LoadCoreBench(fs.Arg(1))
+	newCB, err := bench.LoadBenchAny(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(2)
+	}
+	if oldCB.Schema != newCB.Schema {
+		fmt.Fprintf(os.Stderr, "solros-bench: schema mismatch: %s carries %q, %s carries %q\n",
+			fs.Arg(0), oldCB.Schema, fs.Arg(1), newCB.Schema)
 		os.Exit(2)
 	}
 	deltas := bench.CompareCore(oldCB, newCB, budget)

@@ -95,6 +95,9 @@ func main() {
 	case "benchhotpath":
 		runBenchHotpath(args[1:])
 		return
+	case "benchserve":
+		runBenchServe(args[1:])
+		return
 	case "benchdiff":
 		runBenchDiff(args[1:])
 		return
@@ -234,5 +237,6 @@ func usage() {
 	fmt.Println("  top      run a looping workload and render a live per-stage utilization/latency table (see top -h)")
 	fmt.Println("  benchcore   run the core benchmark points and write BENCH_core.json (see benchcore -h)")
 	fmt.Println("  benchhotpath  run the zero-alloc hot-path points (and optional -parallel wall-clock backend), write BENCH_hotpath.json")
-	fmt.Println("  benchdiff   compare two BENCH_core.json files and flag regressions (see benchdiff -h)")
+	fmt.Println("  benchserve  run the KV serving baseline points and write BENCH_serve.json (see benchserve -h)")
+	fmt.Println("  benchdiff   compare two benchmark JSON files of the same schema and flag regressions (see benchdiff -h)")
 }

@@ -1,22 +1,22 @@
 // A sharded key-value store on Solros — the scenario §4.4.3 motivates:
 // two co-processors listen on one port; the control plane routes each
 // connection by the key it carries (content-based balancing), so every
-// key is owned by exactly one co-processor. Each shard persists its data
-// in an append-only log on solrosfs through the file-system service and
-// serves its connections with the event-dispatcher-backed Poller.
+// key is owned by exactly one co-processor. The store itself lives in
+// internal/apps/kvstore: per-shard append-only logs on solrosfs with an
+// in-memory index, served over the uint16-key/uint32-value wire protocol
+// (the old demo protocol's single-byte key length silently truncated
+// keys past 255 bytes — note the long key below round-tripping fine).
 //
 //	go run ./examples/kvstore
 package main
 
 import (
-	"encoding/binary"
 	"fmt"
 	"log"
+	"strings"
 
-	"solros/internal/controlplane"
+	"solros/internal/apps/kvstore"
 	"solros/internal/core"
-	"solros/internal/dataplane"
-	"solros/internal/ninep"
 	"solros/internal/sim"
 )
 
@@ -27,37 +27,34 @@ const (
 	updates = 2
 )
 
-// Wire protocol: 'P' keyLen key valLen val -> "OK"
-//                'G' keyLen key           -> valLen val (valLen=0: miss)
-
 func main() {
 	m := core.NewMachine(core.Config{Phis: shards})
 	m.EnableNetwork()
 	err := m.Run(func(p *sim.Proc, m *core.Machine) {
 		// Route connections by the key in their first request.
-		m.TCPProxy.Balance = &controlplane.ContentBalancer{
-			Key: func(first []byte) uint32 {
-				if len(first) < 2 {
-					return 0
-				}
-				kl := int(first[1])
-				if len(first) < 2+kl {
-					return 0
-				}
-				return controlplane.FNV1a(first[2 : 2+kl])
-			},
-		}
+		m.TCPProxy.Balance = kvstore.Balancer()
 
 		done := sim.NewWaitGroup("kv")
+		servers := make([]*kvstore.Server, shards)
 		for i, phi := range m.Phis {
-			i, phi := i, phi
 			if err := phi.Net.Listen(p, port); err != nil {
 				log.Fatal(err)
 			}
+			shard := kvstore.NewShard(m, i, kvstore.Options{})
+			if err := shard.Open(p); err != nil {
+				log.Fatal(err)
+			}
+			servers[i] = kvstore.NewServer(shard, phi.Net, port)
 			done.Add(1)
-			p.Spawn(fmt.Sprintf("shard-%d", i), func(sp *sim.Proc) {
+			sv, id := servers[i], i
+			p.Spawn(fmt.Sprintf("shard-%d", id), func(sp *sim.Proc) {
 				defer sp.DoneWG(done)
-				runShard(sp, i, phi)
+				if err := sv.Run(sp); err != nil {
+					log.Fatal(err)
+				}
+				st := sv.Shard.Stats()
+				fmt.Printf("shard %d: served %d requests, log %d bytes, %d keys\n",
+					id, sv.Served(), st.LogBytes, st.Keys)
 			})
 		}
 
@@ -75,158 +72,41 @@ func main() {
 	}
 }
 
-// shardStore is one co-processor's state: an in-memory table backed by an
-// append-only log on the Solros file system.
-type shardStore struct {
-	table  map[string][]byte
-	logFd  dataplane.Fd
-	logOff int64
-	buf    dataplane.Buffer
-	fs     *dataplane.FSClient
-}
-
-func (s *shardStore) put(p *sim.Proc, key string, val []byte) {
-	s.table[key] = append([]byte(nil), val...)
-	// Append "klen key vlen val" to the shard log through the FS
-	// service (zero-copy from co-processor memory to the SSD).
-	rec := make([]byte, 0, 3+len(key)+len(val))
-	rec = append(rec, byte(len(key)))
-	rec = append(rec, key...)
-	rec = binary.LittleEndian.AppendUint16(rec, uint16(len(val)))
-	rec = append(rec, val...)
-	copy(s.buf.Data, rec)
-	if _, err := s.fs.Write(p, s.logFd, s.logOff, s.buf, int64(len(rec))); err != nil {
-		log.Fatal(err)
-	}
-	s.logOff += int64(len(rec))
-}
-
-func runShard(sp *sim.Proc, i int, phi *core.Phi) {
-	store := &shardStore{table: make(map[string][]byte), fs: phi.FS}
-	fd, err := phi.FS.Open(sp, fmt.Sprintf("/kv-shard-%d.log", i), ninep.OCreate)
-	if err != nil {
-		log.Fatal(err)
-	}
-	store.logFd = fd
-	store.buf = phi.FS.AllocBuffer(4096)
-
-	poller := phi.Net.NewPoller()
-	served := 0
-	// One acceptor feeding the poller, one poll loop serving requests.
-	acceptDone := false
-	sp.Spawn(fmt.Sprintf("acceptor-%d", i), func(ap *sim.Proc) {
-		for {
-			sock, err := phi.Net.Accept(ap, port)
-			if err != nil {
-				acceptDone = true
-				return
-			}
-			poller.Watch(sock)
-		}
-	})
-	for {
-		ready := poller.Wait(sp)
-		if ready == nil {
-			if acceptDone {
-				fmt.Printf("shard %d: served %d requests, log %d bytes, %d keys\n",
-					i, served, store.logOff, len(store.table))
-				return
-			}
-			sp.Advance(10 * sim.Microsecond)
-			continue
-		}
-		for _, sock := range ready {
-			if handleOne(sp, sock, store) {
-				served++
-			} else {
-				poller.Unwatch(sock)
-			}
-		}
-	}
-}
-
-// handleOne serves a single request; false means the connection is done.
-func handleOne(sp *sim.Proc, sock *dataplane.Socket, store *shardStore) bool {
-	hdr, err := sock.RecvFull(sp, 2)
-	if err != nil || len(hdr) < 2 {
-		return false
-	}
-	op, kl := hdr[0], int(hdr[1])
-	key, err := sock.RecvFull(sp, kl)
-	if err != nil || len(key) != kl {
-		return false
-	}
-	switch op {
-	case 'P':
-		vl, err := sock.RecvFull(sp, 2)
-		if err != nil || len(vl) != 2 {
-			return false
-		}
-		val, err := sock.RecvFull(sp, int(binary.LittleEndian.Uint16(vl)))
-		if err != nil {
-			return false
-		}
-		store.put(sp, string(key), val)
-		sock.Send(sp, []byte("OK"))
-	case 'G':
-		val := store.table[string(key)]
-		resp := binary.LittleEndian.AppendUint16(nil, uint16(len(val)))
-		sock.Send(sp, append(resp, val...))
-	default:
-		return false
-	}
-	return true
-}
-
 func runClient(cp *sim.Proc, m *core.Machine) {
-	get := func(s *clientConn, key string) []byte {
-		s.side.Send(cp, append([]byte{'G', byte(len(key))}, key...))
-		vl, _ := s.side.RecvFull(cp, 2)
-		n := int(binary.LittleEndian.Uint16(vl))
-		val, _ := s.side.RecvFull(cp, n)
-		return val
-	}
-	put := func(s *clientConn, key string, val []byte) {
-		req := append([]byte{'P', byte(len(key))}, key...)
-		req = binary.LittleEndian.AppendUint16(req, uint16(len(val)))
-		req = append(req, val...)
-		s.side.Send(cp, req)
-		s.side.RecvFull(cp, 2) // "OK"
-	}
-
 	ok := 0
-	for k := 0; k < keys; k++ {
-		key := fmt.Sprintf("user:%04d", k)
+	names := make([]string, keys)
+	for k := range names {
+		names[k] = fmt.Sprintf("user:%04d", k)
+	}
+	// A key far past the old 255-byte limit exercises the uint16 prefix.
+	names = append(names, "bucket/"+strings.Repeat("deeply-nested-object-path/", 12)+"blob")
+
+	for _, key := range names {
 		// Content routing binds a connection to its key's shard, so
 		// each key uses its own connection (as a kv client would pool).
-		conn := dialFor(cp, m, key)
-		var want []byte
-		for u := 0; u < updates; u++ {
-			want = []byte(fmt.Sprintf("value-%d-of-%s", u, key))
-			put(conn, key, want)
+		conn, err := m.ClientStack.Dial(cp, m.HostStack, port)
+		if err != nil {
+			log.Fatal(err)
 		}
-		if got := get(conn, key); string(got) == string(want) {
+		side := conn.Side(m.ClientStack)
+		cl := kvstore.NewClient(side)
+		var want string
+		for u := 0; u < updates; u++ {
+			want = fmt.Sprintf("value-%d-of-%.16s", u, key)
+			if err := cl.Put(cp, key, []byte(want)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		got, found, err := cl.Get(cp, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if found && string(got) == want {
 			ok++
 		} else {
-			fmt.Printf("MISMATCH key %s: %q\n", key, got)
+			fmt.Printf("MISMATCH key %.32s: %q\n", key, got)
 		}
-		conn.side.Close(cp)
+		side.Close(cp)
 	}
-	fmt.Printf("client: %d/%d keys verified after %d updates each\n", ok, keys, updates)
-}
-
-type clientConn struct {
-	side interface {
-		Send(*sim.Proc, []byte) (int, error)
-		RecvFull(*sim.Proc, int) ([]byte, error)
-		Close(*sim.Proc)
-	}
-}
-
-func dialFor(cp *sim.Proc, m *core.Machine, key string) *clientConn {
-	conn, err := m.ClientStack.Dial(cp, m.HostStack, port)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return &clientConn{side: conn.Side(m.ClientStack)}
+	fmt.Printf("client: %d/%d keys verified after %d updates each\n", ok, len(names), updates)
 }

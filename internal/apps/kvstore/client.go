@@ -1,0 +1,122 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+
+	"solros/internal/sim"
+)
+
+// ErrRemote wraps a StatusError message from the server.
+var ErrRemote = errors.New("kvstore: server error")
+
+// Client speaks the KV wire protocol over any Stream — a netstack.Side
+// for external clients coming through the TCP proxy, or a
+// dataplane.Socket for co-processor-local callers. Content routing binds
+// a connection to the shard owning its first request's key, so callers
+// pool one client per shard (OwnerShard tells them which).
+type Client struct {
+	s   Stream
+	req []byte // reused encode scratch
+}
+
+// NewClient wraps an established stream.
+func NewClient(s Stream) *Client { return &Client{s: s} }
+
+// Get fetches key. found=false means the key does not exist.
+func (c *Client) Get(p *sim.Proc, key string) (val []byte, found bool, err error) {
+	c.req = AppendGet(c.req[:0], key)
+	if _, err = c.s.Send(p, c.req); err != nil {
+		return nil, false, err
+	}
+	status, err := c.status(p)
+	if err != nil || status == StatusNotFound {
+		return nil, false, err
+	}
+	vl, err := c.s.RecvFull(p, 4)
+	if err != nil {
+		return nil, false, err
+	}
+	val, err = c.s.RecvFull(p, decodeUint32(vl))
+	return val, err == nil, err
+}
+
+// Put stores val under key.
+func (c *Client) Put(p *sim.Proc, key string, val []byte) error {
+	c.req = AppendPut(c.req[:0], key, val)
+	if _, err := c.s.Send(p, c.req); err != nil {
+		return err
+	}
+	_, err := c.status(p)
+	return err
+}
+
+// Delete removes key; found=false means it did not exist.
+func (c *Client) Delete(p *sim.Proc, key string) (found bool, err error) {
+	c.req = AppendDelete(c.req[:0], key)
+	if _, err = c.s.Send(p, c.req); err != nil {
+		return false, err
+	}
+	status, err := c.status(p)
+	return err == nil && status == StatusOK, err
+}
+
+// Scan returns up to limit entries whose keys carry prefix, in key order
+// within the connection's shard.
+func (c *Client) Scan(p *sim.Proc, prefix string, limit int) ([]KV, error) {
+	c.req = AppendScan(c.req[:0], prefix, limit)
+	if _, err := c.s.Send(p, c.req); err != nil {
+		return nil, err
+	}
+	if _, err := c.status(p); err != nil {
+		return nil, err
+	}
+	cnt, err := c.s.RecvFull(p, 4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, 0, decodeUint32(cnt))
+	for i := 0; i < decodeUint32(cnt); i++ {
+		kl, err := c.s.RecvFull(p, 2)
+		if err != nil {
+			return out, err
+		}
+		key, err := c.s.RecvFull(p, decodeUint16(kl))
+		if err != nil {
+			return out, err
+		}
+		vl, err := c.s.RecvFull(p, 4)
+		if err != nil {
+			return out, err
+		}
+		val, err := c.s.RecvFull(p, decodeUint32(vl))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, KV{Key: string(key), Val: append([]byte(nil), val...)})
+	}
+	return out, nil
+}
+
+// status reads the one-byte response status, absorbing error payloads.
+func (c *Client) status(p *sim.Proc) (byte, error) {
+	st, err := c.s.RecvFull(p, 1)
+	if err != nil {
+		return 0, err
+	}
+	switch st[0] {
+	case StatusOK, StatusNotFound:
+		return st[0], nil
+	case StatusError:
+		ml, err := c.s.RecvFull(p, 2)
+		if err != nil {
+			return StatusError, err
+		}
+		msg, err := c.s.RecvFull(p, decodeUint16(ml))
+		if err != nil {
+			return StatusError, err
+		}
+		return StatusError, fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	return st[0], fmt.Errorf("kvstore: bad status byte %d", st[0])
+}

@@ -1,0 +1,273 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"solros/internal/core"
+	"solros/internal/sim"
+)
+
+// withShard runs fn against a fresh single-phi machine and an opened
+// shard configured by opts.
+func withShard(t *testing.T, opts Options, fn func(p *sim.Proc, s *Shard)) {
+	t.Helper()
+	m := core.NewMachine(core.Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *core.Machine) {
+		s := NewShard(m, 0, opts)
+		if err := s.Open(p); err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		fn(p, s)
+	})
+}
+
+func mustPut(t *testing.T, p *sim.Proc, s *Shard, key, val string) {
+	t.Helper()
+	if err := s.Put(p, key, []byte(val)); err != nil {
+		t.Fatalf("put %q: %v", key, err)
+	}
+}
+
+func mustGet(t *testing.T, p *sim.Proc, s *Shard, key, want string) {
+	t.Helper()
+	got, found, err := s.Get(p, key)
+	if err != nil {
+		t.Fatalf("get %q: %v", key, err)
+	}
+	if !found {
+		t.Fatalf("get %q: not found, want %q", key, want)
+	}
+	if string(got) != want {
+		t.Fatalf("get %q = %q, want %q", key, got, want)
+	}
+}
+
+func checkCoherent(t *testing.T, p *sim.Proc, s *Shard) {
+	t.Helper()
+	if err := s.Check(); err != nil {
+		t.Fatalf("coherence check: %v", err)
+	}
+	if err := s.VerifyLog(p); err != nil {
+		t.Fatalf("log verification: %v", err)
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	withShard(t, Options{}, func(p *sim.Proc, s *Shard) {
+		mustPut(t, p, s, "alpha", "one")
+		mustPut(t, p, s, "beta", "two")
+		mustGet(t, p, s, "alpha", "one")
+		mustGet(t, p, s, "beta", "two")
+
+		if _, found, _ := s.Get(p, "gamma"); found {
+			t.Fatal("get of absent key reported found")
+		}
+		found, err := s.Delete(p, "alpha")
+		if err != nil || !found {
+			t.Fatalf("delete alpha: found=%v err=%v", found, err)
+		}
+		if _, found, _ := s.Get(p, "alpha"); found {
+			t.Fatal("deleted key still readable")
+		}
+		if found, _ := s.Delete(p, "alpha"); found {
+			t.Fatal("double delete reported found")
+		}
+		mustGet(t, p, s, "beta", "two")
+		checkCoherent(t, p, s)
+
+		st := s.Stats()
+		if st.Keys != 1 || st.Gets != 5 || st.Puts != 2 || st.Deletes != 2 || st.Misses != 3 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+}
+
+func TestOverwriteAccounting(t *testing.T) {
+	withShard(t, Options{}, func(p *sim.Proc, s *Shard) {
+		mustPut(t, p, s, "k", "short")
+		mustPut(t, p, s, "k", "a longer replacement value")
+		mustGet(t, p, s, "k", "a longer replacement value")
+		st := s.Stats()
+		wantDead := int64(recHdrLen + 1 + len("short"))
+		if st.DeadBytes != wantDead {
+			t.Fatalf("dead bytes %d after overwrite, want %d", st.DeadBytes, wantDead)
+		}
+		if st.LiveBytes+st.DeadBytes != st.LogBytes {
+			t.Fatalf("accounting identity broken: %+v", st)
+		}
+		checkCoherent(t, p, s)
+	})
+}
+
+// TestLongKeys pins the reason the protocol moved to uint16 key lengths:
+// keys past the old single-byte limit round-trip intact.
+func TestLongKeys(t *testing.T) {
+	withShard(t, Options{}, func(p *sim.Proc, s *Shard) {
+		long := strings.Repeat("k", 300)
+		mustPut(t, p, s, long, "long-key-value")
+		mustGet(t, p, s, long, "long-key-value")
+		checkCoherent(t, p, s)
+	})
+}
+
+func TestScanPrefixOrderAndLimit(t *testing.T) {
+	withShard(t, Options{}, func(p *sim.Proc, s *Shard) {
+		for _, k := range []string{"b:2", "a:3", "b:1", "a:1", "c:1", "a:2"} {
+			mustPut(t, p, s, k, "v-"+k)
+		}
+		var got []string
+		err := s.Scan(p, "a:", 0, func(k string, v []byte) bool {
+			if string(v) != "v-"+k {
+				t.Errorf("scan %q carries value %q", k, v)
+			}
+			got = append(got, k)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if want := []string{"a:1", "a:2", "a:3"}; fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("scan a: = %v, want %v", got, want)
+		}
+		got = got[:0]
+		s.Scan(p, "", 2, func(k string, v []byte) bool { got = append(got, k); return true })
+		if want := []string{"a:1", "a:2"}; fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("limited scan = %v, want %v", got, want)
+		}
+	})
+}
+
+func TestCompaction(t *testing.T) {
+	withShard(t, Options{Compact: true, CompactEvery: 1, CompactFrac: 0.3}, func(p *sim.Proc, s *Shard) {
+		val := strings.Repeat("v", 100)
+		for round := 0; round < 6; round++ {
+			for k := 0; k < 8; k++ {
+				mustPut(t, p, s, fmt.Sprintf("key-%d", k), fmt.Sprintf("%s-%d", val, round))
+			}
+		}
+		st := s.Stats()
+		if st.Compactions == 0 {
+			t.Fatalf("no compaction after 6 rounds of overwrites: %+v", st)
+		}
+		if st.LogBytes >= 6*8*100 {
+			t.Fatalf("log grew to %d bytes; compaction did not reclaim", st.LogBytes)
+		}
+		for k := 0; k < 8; k++ {
+			mustGet(t, p, s, fmt.Sprintf("key-%d", k), val+"-5")
+		}
+		checkCoherent(t, p, s)
+	})
+}
+
+func TestCompactionOffByDefault(t *testing.T) {
+	withShard(t, Options{CompactEvery: 1, CompactFrac: 0.01}, func(p *sim.Proc, s *Shard) {
+		for round := 0; round < 4; round++ {
+			mustPut(t, p, s, "k", fmt.Sprintf("round-%d", round))
+		}
+		if st := s.Stats(); st.Compactions != 0 {
+			t.Fatalf("compaction ran %d times with the knob off", st.Compactions)
+		}
+	})
+}
+
+// TestRecovery closes a shard and reopens its log under a new shard with
+// a deliberately tiny I/O buffer, so records straddle the chunked replay.
+func TestRecovery(t *testing.T) {
+	m := core.NewMachine(core.Config{Phis: 1})
+	m.MustRun(func(p *sim.Proc, m *core.Machine) {
+		s := NewShard(m, 0, Options{})
+		if err := s.Open(p); err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		long := strings.Repeat("L", 280)
+		mustPut(t, p, s, "keep-1", "v1")
+		mustPut(t, p, s, "drop", "dead")
+		mustPut(t, p, s, long, strings.Repeat("x", 500))
+		mustPut(t, p, s, "keep-2", "v2")
+		mustPut(t, p, s, "keep-1", "v1-final")
+		if _, err := s.Delete(p, "drop"); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		want := s.Stats()
+		if err := s.Close(p); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+
+		// Tiny buffer: 64-byte replay chunks versus ~800-byte records, so
+		// every record straddles chunk boundaries. (64 bytes is too small
+		// to serve the long value, so this shard only checks accounting.)
+		r := NewShard(m, 0, Options{BufBytes: 64})
+		if err := r.Open(p); err != nil {
+			t.Fatalf("reopen (chunked): %v", err)
+		}
+		st := r.Stats()
+		if st.Keys != want.Keys || st.LiveBytes != want.LiveBytes || st.DeadBytes != want.DeadBytes || st.LogBytes != want.LogBytes {
+			t.Fatalf("chunked recovery accounting %+v, want %+v", st, want)
+		}
+		if err := r.Check(); err != nil {
+			t.Fatalf("recovered shard incoherent: %v", err)
+		}
+		if err := r.Close(p); err != nil {
+			t.Fatalf("close chunked: %v", err)
+		}
+
+		// Full-size reopen serves reads.
+		r2 := NewShard(m, 0, Options{})
+		if err := r2.Open(p); err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		mustGet(t, p, r2, "keep-1", "v1-final")
+		mustGet(t, p, r2, "keep-2", "v2")
+		if _, found, _ := r2.Get(p, "drop"); found {
+			t.Fatal("tombstoned key resurrected by recovery")
+		}
+		got, found, err := r2.Get(p, long)
+		if err != nil || !found {
+			t.Fatalf("long key lost in recovery: found=%v err=%v", found, err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte("x"), 500)) {
+			t.Fatalf("long key value corrupted: %d bytes", len(got))
+		}
+		checkCoherent(t, p, r2)
+	})
+}
+
+// TestConfigKnobsInherited checks that shard options mirror the machine's
+// serve knobs and that NewShard's defaults land.
+func TestConfigKnobsInherited(t *testing.T) {
+	m := core.NewMachine(core.Config{Phis: 1, KVCompact: true, KVCompactFrac: 0.25, KVCompactEvery: 7})
+	s := NewShard(m, 0, Options{})
+	if !s.opts.Compact || s.opts.CompactFrac != 0.25 || s.opts.CompactEvery != 7 {
+		t.Fatalf("options did not inherit machine knobs: %+v", s.opts)
+	}
+	d := NewShard(core.NewMachine(core.Config{Phis: 1}), 0, Options{})
+	if d.opts.Compact || d.opts.CompactFrac != 0.5 || d.opts.CompactEvery != 64 || d.opts.Path != "/kv-shard-0.log" {
+		t.Fatalf("defaults wrong: %+v", d.opts)
+	}
+}
+
+func TestOwnerShardMatchesBalanceKey(t *testing.T) {
+	for _, key := range []string{"a", "user123", strings.Repeat("z", 400), ""} {
+		first := AppendGet(nil, key)
+		for _, n := range []int{1, 2, 3, 5} {
+			if got, want := int(BalanceKey(first))%n, OwnerShard(key, n); got != want {
+				t.Fatalf("key %q over %d shards: balancer picks %d, OwnerShard says %d", key, n, got, want)
+			}
+		}
+	}
+}
+
+func TestEncodersRoundTripLimits(t *testing.T) {
+	if AppendGet(nil, "k")[0] != OpGet {
+		t.Fatal("AppendGet op byte")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized key did not panic the encoder")
+		}
+	}()
+	AppendGet(nil, strings.Repeat("k", MaxKeyLen+1))
+}

@@ -1,0 +1,46 @@
+package kvstore
+
+import (
+	"solros/internal/core"
+	"solros/internal/sim"
+)
+
+// CoherenceOracle is the log/index coherence invariant for schedule
+// exploration: at every dispatch point it runs each tracked shard's
+// cheap Check (index ↔ sorted-list agreement, record bounds, and the
+// live + dead == logged byte identity). The deep on-disk check,
+// VerifyAll, is for quiesce points — it issues delegated reads, which an
+// Oracle.Check must never do.
+type CoherenceOracle struct {
+	shards []*Shard
+}
+
+// Track registers a shard with the oracle (shards are built after the
+// oracle when the workload wires Config.Oracles before boot, so
+// registration is late-bound).
+func (o *CoherenceOracle) Track(s *Shard) { o.shards = append(o.shards, s) }
+
+// Name implements core.Oracle.
+func (o *CoherenceOracle) Name() string { return "kv-coherence" }
+
+// Check implements core.Oracle.
+func (o *CoherenceOracle) Check(m *core.Machine) error {
+	for _, s := range o.shards {
+		if err := s.Check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyAll replays every tracked shard's log and compares it against
+// the live index — the deep end-of-run check. Call it only when the
+// shards are quiesced (servers drained, no in-flight ops).
+func (o *CoherenceOracle) VerifyAll(p *sim.Proc) error {
+	for _, s := range o.shards {
+		if err := s.VerifyLog(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package kvstore is the request-serving application of the reproduction
+// (ROADMAP item 3): a sharded key-value/object store served through the
+// delegated FS + TCP paths. Each co-processor owns one shard — the
+// control plane's content balancer routes every connection by the key in
+// its first request (§4.4.3) — and persists its data in an append-only
+// log on solrosfs with an in-memory index and periodic compaction, so
+// GETs of hot keys become delegated buffered reads (the shared cache's
+// natural victim under Zipfian skew) and PUTs become delegated appends.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"solros/internal/controlplane"
+	"solros/internal/sim"
+)
+
+// Wire protocol (all integers little-endian):
+//
+//	request:  op(1) keyLen(2) key
+//	          op 'P' appends valLen(4) val
+//	          op 'S' appends limit(2)           — key is the scan prefix
+//	response: status(1)
+//	          GET ok       appends valLen(4) val
+//	          SCAN ok      appends count(4) then count × (keyLen(2) key valLen(4) val)
+//	          any error    appends msgLen(2) msg
+//
+// Key lengths are a full uint16 — the old examples/kvstore protocol's
+// single-byte keyLen silently truncated keys past 255 bytes; this format
+// replaces it everywhere (the example now runs on this package).
+
+// Op bytes.
+const (
+	OpGet    = byte('G')
+	OpPut    = byte('P')
+	OpDelete = byte('D')
+	OpScan   = byte('S')
+)
+
+// Status bytes.
+const (
+	StatusOK       = byte(0)
+	StatusNotFound = byte(1)
+	StatusError    = byte(2)
+)
+
+// Limits. MaxValLen is bounded by the shard's I/O scratch buffer; this is
+// the protocol-level cap.
+const (
+	MaxKeyLen  = 1<<16 - 1
+	MaxValLen  = 1 << 20
+	MaxScanLen = 1 << 10
+
+	// ReqHdrLen is the fixed request prefix: op + keyLen.
+	ReqHdrLen = 3
+)
+
+// ErrTooLarge reports a key or value over the protocol limits.
+var ErrTooLarge = errors.New("kvstore: key or value exceeds protocol limit")
+
+// AppendGet encodes a GET request.
+func AppendGet(dst []byte, key string) []byte {
+	dst = appendHdr(dst, OpGet, key)
+	return dst
+}
+
+// AppendPut encodes a PUT request.
+func AppendPut(dst []byte, key string, val []byte) []byte {
+	dst = appendHdr(dst, OpPut, key)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(val)))
+	return append(dst, val...)
+}
+
+// AppendDelete encodes a DELETE request.
+func AppendDelete(dst []byte, key string) []byte {
+	return appendHdr(dst, OpDelete, key)
+}
+
+// AppendScan encodes a SCAN request: up to limit entries with keys ≥
+// prefix that carry it as a prefix, in key order.
+func AppendScan(dst []byte, prefix string, limit int) []byte {
+	dst = appendHdr(dst, OpScan, prefix)
+	return binary.LittleEndian.AppendUint16(dst, uint16(limit))
+}
+
+func appendHdr(dst []byte, op byte, key string) []byte {
+	if len(key) > MaxKeyLen {
+		panic("kvstore: key exceeds uint16 length prefix")
+	}
+	dst = append(dst, op)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+	return append(dst, key...)
+}
+
+// BalanceKey is the content-balancer key extractor for this protocol: it
+// hashes the key of a connection's first request, so the connection lands
+// on the shard that owns the key. Incomplete first frames (shorter than
+// the header, or truncated mid-key) hash what is present after the
+// header — the balancer's modular placement still gives them a valid,
+// deterministic member; a well-formed client's first request always
+// arrives whole, so in practice every connection reaches its key's owner.
+func BalanceKey(first []byte) uint32 {
+	if len(first) < ReqHdrLen {
+		return 0
+	}
+	kl := int(binary.LittleEndian.Uint16(first[1:3]))
+	end := ReqHdrLen + kl
+	if end > len(first) {
+		end = len(first)
+	}
+	return controlplane.FNV1a(first[ReqHdrLen:end])
+}
+
+// OwnerShard reports which of n shards owns key — the same placement the
+// content balancer computes from a request's first bytes.
+func OwnerShard(key string, n int) int {
+	return int(controlplane.FNV1a([]byte(key))) % n
+}
+
+// Balancer returns the control-plane balancer routing connections by this
+// protocol's keys.
+func Balancer() *controlplane.ContentBalancer {
+	return &controlplane.ContentBalancer{Key: BalanceKey}
+}
+
+// KV is one decoded key/value pair of a scan response.
+type KV struct {
+	Key string
+	Val []byte
+}
+
+// Stream is the byte-stream surface the client and server loops need;
+// netstack.Side (external clients) and dataplane.Socket (co-processor
+// side) both provide it.
+type Stream interface {
+	Send(p *sim.Proc, data []byte) (int, error)
+	RecvFull(p *sim.Proc, n int) ([]byte, error)
+}
+
+// decodeUint16 and decodeUint32 are tiny helpers shared by the parsers.
+func decodeUint16(b []byte) int { return int(binary.LittleEndian.Uint16(b)) }
+func decodeUint32(b []byte) int { return int(binary.LittleEndian.Uint32(b)) }

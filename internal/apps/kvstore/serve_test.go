@@ -1,0 +1,216 @@
+package kvstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"solros/internal/core"
+	"solros/internal/sim"
+	"solros/internal/workload"
+)
+
+const testPort = 6379
+
+// TestServeEndToEnd drives the full delegated serving stack: external
+// clients dial through the TCP proxy, the content balancer routes each
+// connection to the shard owning its first request's key, and every
+// op persists through the delegated FS path. The model map is the truth
+// the store must match; the run ends with a deep log verification.
+func TestServeEndToEnd(t *testing.T) {
+	m := core.NewMachine(core.Config{Phis: 2})
+	m.EnableNetwork()
+	m.MustRun(func(p *sim.Proc, m *core.Machine) {
+		m.TCPProxy.Balance = Balancer()
+		oracle := &CoherenceOracle{}
+		servers := make([]*Server, len(m.Phis))
+		done := sim.NewWaitGroup("kv-serve")
+		for i, phi := range m.Phis {
+			if err := phi.Net.Listen(p, testPort); err != nil {
+				t.Fatalf("listen shard %d: %v", i, err)
+			}
+			s := NewShard(m, i, Options{})
+			if err := s.Open(p); err != nil {
+				t.Fatalf("open shard %d: %v", i, err)
+			}
+			oracle.Track(s)
+			servers[i] = NewServer(s, phi.Net, testPort)
+			done.Add(1)
+			sv := servers[i]
+			p.Spawn(fmt.Sprintf("kv-server-%d", i), func(sp *sim.Proc) {
+				defer sp.DoneWG(done)
+				if err := sv.Run(sp); err != nil {
+					t.Errorf("server: %v", err)
+				}
+			})
+		}
+
+		done.Add(1)
+		p.Spawn("client", func(cp *sim.Proc) {
+			defer cp.DoneWG(done)
+			cp.Advance(100 * sim.Microsecond)
+			model := map[string]string{}
+
+			// One pooled connection per shard, bound by its first key.
+			clients := map[int]*Client{}
+			clientFor := func(key string) *Client {
+				shard := OwnerShard(key, len(m.Phis))
+				if c, ok := clients[shard]; ok {
+					return c
+				}
+				conn, err := m.ClientStack.Dial(cp, m.HostStack, testPort)
+				if err != nil {
+					t.Fatalf("dial: %v", err)
+				}
+				c := NewClient(conn.Side(m.ClientStack))
+				// The first request routes the connection; send a GET for
+				// the key so the balancer binds it to the right shard.
+				c.Get(cp, key)
+				clients[shard] = c
+				return c
+			}
+
+			long := "bucket/" + strings.Repeat("object-name-", 30) // ≈360 bytes
+			keys := []string{"a:1", "a:2", "b:7", long}
+			for round := 0; round < 3; round++ {
+				for _, k := range keys {
+					v := fmt.Sprintf("%s=round%d", k, round)
+					if err := clientFor(k).Put(cp, k, []byte(v)); err != nil {
+						t.Fatalf("put %q: %v", k, err)
+					}
+					model[k] = v
+				}
+			}
+			if found, err := clientFor("a:2").Delete(cp, "a:2"); err != nil || !found {
+				t.Fatalf("delete a:2: found=%v err=%v", found, err)
+			}
+			delete(model, "a:2")
+
+			for _, k := range keys {
+				val, found, err := clientFor(k).Get(cp, k)
+				if err != nil {
+					t.Fatalf("get %q: %v", k, err)
+				}
+				want, ok := model[k]
+				if found != ok || (found && string(val) != want) {
+					t.Fatalf("get %q = %q,%v; model %q,%v", k, val, found, want, ok)
+				}
+			}
+
+			// SCAN stays within the connection's shard: every returned key
+			// must be live in the model and owned by that shard.
+			shard := OwnerShard("a:1", len(m.Phis))
+			kvs, err := clients[shard].Scan(cp, "a:", 10)
+			if err != nil {
+				t.Fatalf("scan: %v", err)
+			}
+			for _, kv := range kvs {
+				if OwnerShard(kv.Key, len(m.Phis)) != shard {
+					t.Fatalf("scan leaked key %q from another shard", kv.Key)
+				}
+				if model[kv.Key] != string(kv.Val) {
+					t.Fatalf("scan %q = %q, model %q", kv.Key, kv.Val, model[kv.Key])
+				}
+			}
+
+			// Quiesce: close client conns, stop the proxy so the listeners
+			// close and the servers drain.
+			for _, c := range clients {
+				if side, ok := c.s.(interface{ Close(*sim.Proc) }); ok {
+					side.Close(cp)
+				}
+			}
+			m.TCPProxy.Stop(cp)
+		})
+		p.WaitWG(done)
+
+		var served int64
+		for _, sv := range servers {
+			served += sv.Served()
+		}
+		if served == 0 {
+			t.Fatal("servers completed no requests")
+		}
+		if err := oracle.Check(m); err != nil {
+			t.Fatalf("coherence: %v", err)
+		}
+		if err := oracle.VerifyAll(p); err != nil {
+			t.Fatalf("deep verification: %v", err)
+		}
+	})
+}
+
+// TestServeYCSBMixDeterminism replays a seeded YCSB class-A stream twice
+// through two full machines and expects identical stats — the property
+// the fig-serve digest rests on.
+func TestServeYCSBMixDeterminism(t *testing.T) {
+	run := func() []Stats {
+		var out []Stats
+		m := core.NewMachine(core.Config{Phis: 2})
+		m.EnableNetwork()
+		m.MustRun(func(p *sim.Proc, m *core.Machine) {
+			m.TCPProxy.Balance = Balancer()
+			shards := make([]*Shard, len(m.Phis))
+			done := sim.NewWaitGroup("kv")
+			for i, phi := range m.Phis {
+				if err := phi.Net.Listen(p, testPort); err != nil {
+					t.Fatalf("listen: %v", err)
+				}
+				shards[i] = NewShard(m, i, Options{})
+				if err := shards[i].Open(p); err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				sv := NewServer(shards[i], phi.Net, testPort)
+				done.Add(1)
+				p.Spawn(fmt.Sprintf("kv-server-%d", i), func(sp *sim.Proc) {
+					defer sp.DoneWG(done)
+					sv.Run(sp)
+				})
+			}
+			done.Add(1)
+			p.Spawn("driver", func(cp *sim.Proc) {
+				defer cp.DoneWG(done)
+				cp.Advance(100 * sim.Microsecond)
+				g := workload.NewGenerator(42, workload.MixFor('A'), 64)
+				clients := map[int]*Client{}
+				for _, op := range g.Ops(200) {
+					key := workload.KeyName(0, op.Key)
+					shard := OwnerShard(key, len(m.Phis))
+					c, ok := clients[shard]
+					if !ok {
+						conn, err := m.ClientStack.Dial(cp, m.HostStack, testPort)
+						if err != nil {
+							t.Fatalf("dial: %v", err)
+						}
+						c = NewClient(conn.Side(m.ClientStack))
+						c.Get(cp, key)
+						clients[shard] = c
+					}
+					switch op.Kind {
+					case workload.OpRead:
+						c.Get(cp, key)
+					default:
+						c.Put(cp, key, []byte(key))
+					}
+				}
+				for _, c := range clients {
+					if side, ok := c.s.(interface{ Close(*sim.Proc) }); ok {
+						side.Close(cp)
+					}
+				}
+				m.TCPProxy.Stop(cp)
+			})
+			p.WaitWG(done)
+			for _, s := range shards {
+				out = append(out, s.Stats())
+			}
+		})
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d stats diverged across identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"solros/internal/dataplane"
+	"solros/internal/sim"
+)
+
+// Server drives one shard's request loop on its co-processor: an
+// acceptor proc feeds the event-dispatcher-backed Poller, and the serve
+// loop parses one request at a time per ready connection — the same
+// run-to-completion shape as the other Solros data-plane services, so
+// the shard's single-proc ownership contract holds by construction.
+type Server struct {
+	Shard *Shard
+	nc    *dataplane.NetClient
+	port  int
+
+	served     int64
+	acceptDone bool
+}
+
+// NewServer wires a shard to its co-processor's network stub. The caller
+// must have called Listen on the port already (the bench does it for all
+// phis before starting traffic, so no connection races the listeners).
+func NewServer(shard *Shard, nc *dataplane.NetClient, port int) *Server {
+	return &Server{Shard: shard, nc: nc, port: port}
+}
+
+// Served reports how many requests the server has completed.
+func (sv *Server) Served() int64 { return sv.served }
+
+// Run accepts and serves connections until the listener closes (proxy
+// Stop/DetachNet) and all accepted connections drain.
+func (sv *Server) Run(p *sim.Proc) error {
+	poller := sv.nc.NewPoller()
+	p.Spawn(fmt.Sprintf("kv-accept-%d", sv.Shard.ID), func(ap *sim.Proc) {
+		for {
+			sock, err := sv.nc.Accept(ap, sv.port)
+			if err != nil {
+				sv.acceptDone = true
+				return
+			}
+			poller.Watch(sock)
+		}
+	})
+	for {
+		ready := poller.Wait(p)
+		if ready == nil {
+			if sv.acceptDone {
+				return nil
+			}
+			p.Advance(10 * sim.Microsecond)
+			continue
+		}
+		for _, sock := range ready {
+			ok, err := sv.serveOne(p, sock)
+			if err != nil {
+				return err
+			}
+			if ok {
+				sv.served++
+			} else {
+				poller.Unwatch(sock)
+				sock.Close(p)
+			}
+		}
+	}
+}
+
+// serveOne parses and serves a single request from sock. ok=false means
+// the connection is finished (peer closed or sent garbage); a non-nil
+// error is a shard-side storage failure and aborts the server.
+func (sv *Server) serveOne(p *sim.Proc, sock *dataplane.Socket) (ok bool, err error) {
+	hdr, err := sock.RecvFull(p, ReqHdrLen)
+	if err != nil || len(hdr) < ReqHdrLen {
+		return false, nil
+	}
+	op := hdr[0]
+	key, err := sock.RecvFull(p, decodeUint16(hdr[1:3]))
+	if err != nil {
+		return false, nil
+	}
+	s := sv.Shard
+	// One span per request so the causal tracer attributes the delegated
+	// FS round-trips under it (free when telemetry is off: nil sink).
+	span := s.tel.Start(p, opSpanName(op))
+	defer span.End(p)
+	switch op {
+	case OpGet:
+		val, found, gerr := s.Get(p, string(key))
+		if gerr != nil {
+			return false, gerr
+		}
+		if !found {
+			return send(p, sock, []byte{StatusNotFound})
+		}
+		resp := make([]byte, 0, 5+len(val))
+		resp = append(resp, StatusOK)
+		resp = binary.LittleEndian.AppendUint32(resp, uint32(len(val)))
+		return send(p, sock, append(resp, val...))
+
+	case OpPut:
+		vl, rerr := sock.RecvFull(p, 4)
+		if rerr != nil {
+			return false, nil
+		}
+		vlen := decodeUint32(vl)
+		if vlen > MaxValLen {
+			return sendErr(p, sock, "value exceeds protocol limit")
+		}
+		val, rerr := sock.RecvFull(p, vlen)
+		if rerr != nil {
+			return false, nil
+		}
+		if perr := s.Put(p, string(key), val); perr != nil {
+			if perr == ErrTooLarge {
+				return sendErr(p, sock, perr.Error())
+			}
+			return false, perr
+		}
+		return send(p, sock, []byte{StatusOK})
+
+	case OpDelete:
+		found, derr := s.Delete(p, string(key))
+		if derr != nil {
+			return false, derr
+		}
+		if !found {
+			return send(p, sock, []byte{StatusNotFound})
+		}
+		return send(p, sock, []byte{StatusOK})
+
+	case OpScan:
+		lim, rerr := sock.RecvFull(p, 2)
+		if rerr != nil {
+			return false, nil
+		}
+		// Collect matches first: the scan reuses the shard scratch per
+		// entry, and the count header precedes the entries on the wire.
+		var body []byte
+		var count uint32
+		serr := s.Scan(p, string(key), decodeUint16(lim), func(k string, v []byte) bool {
+			body = binary.LittleEndian.AppendUint16(body, uint16(len(k)))
+			body = append(body, k...)
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
+			body = append(body, v...)
+			count++
+			return true
+		})
+		if serr != nil {
+			return false, serr
+		}
+		resp := make([]byte, 0, 5+len(body))
+		resp = append(resp, StatusOK)
+		resp = binary.LittleEndian.AppendUint32(resp, count)
+		return send(p, sock, append(resp, body...))
+	}
+	return sendErr(p, sock, fmt.Sprintf("unknown op %q", op))
+}
+
+// opSpanName avoids a per-request string concat on the hot path.
+func opSpanName(op byte) string {
+	switch op {
+	case OpGet:
+		return "apps.kvstore.serve.get"
+	case OpPut:
+		return "apps.kvstore.serve.put"
+	case OpDelete:
+		return "apps.kvstore.serve.delete"
+	case OpScan:
+		return "apps.kvstore.serve.scan"
+	}
+	return "apps.kvstore.serve.unknown"
+}
+
+func send(p *sim.Proc, sock *dataplane.Socket, b []byte) (bool, error) {
+	_, err := sock.Send(p, b)
+	return err == nil, nil // a send failure just ends the connection
+}
+
+func sendErr(p *sim.Proc, sock *dataplane.Socket, msg string) (bool, error) {
+	resp := append([]byte{StatusError}, binary.LittleEndian.AppendUint16(nil, uint16(len(msg)))...)
+	return send(p, sock, append(resp, msg...))
+}

@@ -1,0 +1,545 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"solros/internal/core"
+	"solros/internal/cpu"
+	"solros/internal/dataplane"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+)
+
+// On-log record format (all integers little-endian):
+//
+//	keyLen(2) valLen(4) key val
+//
+// valLen == tombstone marks a delete; tombstone records carry no value
+// bytes. The log is append-only: a key's latest record wins, so replaying
+// the log front to back rebuilds the index exactly (Recover), and the
+// ratio of dead to total bytes drives compaction.
+const (
+	recHdrLen = 6
+	tombstone = uint32(0xFFFFFFFF)
+)
+
+// Options sizes one shard.
+type Options struct {
+	// Path is the shard's log file (default "/kv-shard-<id>.log").
+	Path string
+	// Compact arms online log compaction (default off — mirrored from
+	// core.Config.KVCompact by NewShard).
+	Compact bool
+	// CompactFrac is the dead-byte fraction of the log that triggers a
+	// compaction (default 0.5).
+	CompactFrac float64
+	// CompactEvery is how many appends pass between compaction checks
+	// (default 64).
+	CompactEvery int
+	// BufBytes sizes the shard's I/O scratch in co-processor memory; one
+	// record (header + key + value) must fit (default 128 KB).
+	BufBytes int64
+	// OpCompute is the per-request index/service compute charged to the
+	// shard's core (default 2 µs).
+	OpCompute sim.Time
+}
+
+func (o *Options) fill(id int, cfg core.Config) {
+	if o.Path == "" {
+		o.Path = fmt.Sprintf("/kv-shard-%d.log", id)
+	}
+	if cfg.KVCompact {
+		o.Compact = true
+	}
+	if o.CompactFrac == 0 {
+		o.CompactFrac = cfg.KVCompactFrac
+	}
+	if o.CompactFrac == 0 {
+		o.CompactFrac = 0.5
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = cfg.KVCompactEvery
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 64
+	}
+	if o.BufBytes == 0 {
+		o.BufBytes = 128 << 10
+	}
+	if o.OpCompute == 0 {
+		o.OpCompute = 2 * sim.Microsecond
+	}
+}
+
+// entry locates a live value in the log.
+type entry struct {
+	off  int64 // offset of the record (header) in the log
+	vlen int32
+	klen int32
+}
+
+func (e entry) recLen() int64 { return recHdrLen + int64(e.klen) + int64(e.vlen) }
+func (e entry) valOff() int64 { return e.off + recHdrLen + int64(e.klen) }
+
+// Stats is a shard's served-operation and storage accounting.
+type Stats struct {
+	Gets, Puts, Deletes, Scans int64
+	Misses                     int64
+	Compactions                int64
+	LogBytes, LiveBytes        int64
+	DeadBytes                  int64
+	Keys                       int
+}
+
+// Shard is one co-processor's slice of the store: an in-memory index over
+// an append-only log on solrosfs, accessed through the delegated FS stub
+// so every GET is a (cacheable) delegated read and every PUT a delegated
+// append. A shard is single-proc: one serving proc owns all mutations
+// (the store mirrors a run-to-completion event loop, like the paper's
+// per-co-processor services), so there is no lock; the coherence oracle
+// only reads.
+type Shard struct {
+	ID   int
+	opts Options
+
+	fs    *dataplane.FSClient
+	core  *cpu.Core
+	fd    dataplane.Fd
+	buf   dataplane.Buffer
+	stage dataplane.Buffer // compaction/verification scratch
+
+	idx    map[string]entry
+	sorted []string // live keys in order, for deterministic scans
+
+	logOff    int64 // append offset == log size
+	liveBytes int64 // sum of live record lengths
+	deadBytes int64 // logOff - liveBytes (overwritten, deleted, tombstones)
+	appends   int   // since the last compaction check
+	stats     Stats
+
+	// compacting marks the window where the log is being rewritten and
+	// the in-memory accounting intentionally disagrees with the old file;
+	// the coherence oracle skips deep checks inside it.
+	compacting bool
+	opened     bool
+
+	tel     *telemetry.Sink
+	latGet  *telemetry.Hist
+	latPut  *telemetry.Hist
+	latScan *telemetry.Hist
+}
+
+// NewShard builds shard i of machine m. Options zero-values inherit the
+// machine's serve knobs (core.Config.KVCompact*) and then the package
+// defaults; the shard is not usable until Open.
+func NewShard(m *core.Machine, i int, opts Options) *Shard {
+	opts.fill(i, m.Config())
+	phi := m.Phis[i]
+	s := &Shard{
+		ID:   i,
+		opts: opts,
+		fs:   phi.FS,
+		core: phi.Pool.Core(0),
+		idx:  make(map[string]entry),
+		tel:  m.Telemetry(),
+	}
+	s.latGet = s.tel.Histogram("apps.kvstore.get")
+	s.latPut = s.tel.Histogram("apps.kvstore.put")
+	s.latScan = s.tel.Histogram("apps.kvstore.scan")
+	return s
+}
+
+// Open creates (or opens) the shard's log and rebuilds the index from any
+// existing records — the recovery path a proxy Reattach composes with:
+// the fid survives in the proxy's namespace, and a shard restarted from
+// the log alone reaches the exact pre-crash index.
+func (s *Shard) Open(p *sim.Proc) error {
+	fd, err := s.fs.Open(p, s.opts.Path, ninep.OCreate|ninep.OBuffer)
+	if err != nil {
+		return err
+	}
+	s.fd = fd
+	if s.buf.Data == nil {
+		s.buf = s.fs.AllocBuffer(s.opts.BufBytes)
+		s.stage = s.fs.AllocBuffer(s.opts.BufBytes)
+	}
+	s.opened = true
+	size, _, err := s.fs.Stat(p, s.opts.Path)
+	if err != nil {
+		return err
+	}
+	if size > 0 {
+		return s.recover(p, size)
+	}
+	return nil
+}
+
+// Close releases the shard's log descriptor.
+func (s *Shard) Close(p *sim.Proc) error {
+	if !s.opened {
+		return nil
+	}
+	s.opened = false
+	return s.fs.Close(p, s.fd)
+}
+
+// Get reads key's value through the delegated read path into the shard
+// scratch; the returned slice is valid until the next shard operation.
+func (s *Shard) Get(p *sim.Proc, key string) ([]byte, bool, error) {
+	s.core.Compute(p, s.opts.OpCompute)
+	s.stats.Gets++
+	e, ok := s.idx[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false, nil
+	}
+	start := p.Now()
+	if _, err := s.fs.Read(p, s.fd, e.valOff(), s.buf, int64(e.vlen)); err != nil {
+		return nil, false, err
+	}
+	s.latGet.ObserveAt(p, p.Now()-start)
+	return s.buf.Data[:e.vlen], true, nil
+}
+
+// Put appends a record for key and repoints the index. The append goes
+// out before the index mutates, so the log is never behind the index.
+func (s *Shard) Put(p *sim.Proc, key string, val []byte) error {
+	s.core.Compute(p, s.opts.OpCompute)
+	if len(key) > MaxKeyLen || len(val) > MaxValLen {
+		return ErrTooLarge
+	}
+	rec := int64(recHdrLen + len(key) + len(val))
+	if rec > int64(len(s.buf.Data)) {
+		return ErrTooLarge
+	}
+	start := p.Now()
+	off := s.logOff
+	s.encodeRecord(key, uint32(len(val)), val)
+	if _, err := s.fs.Write(p, s.fd, off, s.buf, rec); err != nil {
+		return err
+	}
+	// Commit point: mutate index and accounting together, with no yields
+	// in between, so every dispatch sees a coherent store.
+	old, existed := s.idx[key]
+	s.idx[key] = entry{off: off, vlen: int32(len(val)), klen: int32(len(key))}
+	s.logOff = off + rec
+	s.liveBytes += rec
+	if existed {
+		s.liveBytes -= old.recLen()
+		s.deadBytes += old.recLen()
+	} else {
+		s.insertSorted(key)
+	}
+	s.stats.Puts++
+	s.latPut.ObserveAt(p, p.Now()-start)
+	s.appends++
+	return s.maybeCompact(p)
+}
+
+// Delete appends a tombstone and drops key from the index; it reports
+// whether the key existed.
+func (s *Shard) Delete(p *sim.Proc, key string) (bool, error) {
+	s.core.Compute(p, s.opts.OpCompute)
+	old, existed := s.idx[key]
+	if !existed {
+		s.stats.Deletes++
+		s.stats.Misses++
+		return false, nil
+	}
+	rec := int64(recHdrLen + len(key))
+	off := s.logOff
+	s.encodeRecord(key, tombstone, nil)
+	if _, err := s.fs.Write(p, s.fd, off, s.buf, rec); err != nil {
+		return false, err
+	}
+	delete(s.idx, key)
+	s.removeSorted(key)
+	s.logOff = off + rec
+	s.liveBytes -= old.recLen()
+	s.deadBytes += old.recLen() + rec // old record and the tombstone itself
+	s.stats.Deletes++
+	s.appends++
+	return true, s.maybeCompact(p)
+}
+
+// Scan streams up to limit live entries whose key carries prefix, in key
+// order, to fn; fn's val slice is only valid during the call. fn
+// returning false stops the scan early.
+func (s *Shard) Scan(p *sim.Proc, prefix string, limit int, fn func(key string, val []byte) bool) error {
+	s.core.Compute(p, s.opts.OpCompute)
+	s.stats.Scans++
+	if limit <= 0 || limit > MaxScanLen {
+		limit = MaxScanLen
+	}
+	start := p.Now()
+	i := sort.SearchStrings(s.sorted, prefix)
+	for n := 0; i < len(s.sorted) && n < limit; i++ {
+		key := s.sorted[i]
+		if len(key) < len(prefix) || key[:len(prefix)] != prefix {
+			break
+		}
+		e := s.idx[key]
+		if _, err := s.fs.Read(p, s.fd, e.valOff(), s.buf, int64(e.vlen)); err != nil {
+			return err
+		}
+		n++
+		if !fn(key, s.buf.Data[:e.vlen]) {
+			break
+		}
+	}
+	s.latScan.ObserveAt(p, p.Now()-start)
+	return nil
+}
+
+// encodeRecord stages one record at the start of the shard scratch.
+func (s *Shard) encodeRecord(key string, vlen uint32, val []byte) {
+	b := s.buf.Data
+	binary.LittleEndian.PutUint16(b[0:2], uint16(len(key)))
+	binary.LittleEndian.PutUint32(b[2:6], vlen)
+	copy(b[recHdrLen:], key)
+	copy(b[recHdrLen+len(key):], val)
+}
+
+func (s *Shard) insertSorted(key string) {
+	i := sort.SearchStrings(s.sorted, key)
+	s.sorted = append(s.sorted, "")
+	copy(s.sorted[i+1:], s.sorted[i:])
+	s.sorted[i] = key
+}
+
+func (s *Shard) removeSorted(key string) {
+	i := sort.SearchStrings(s.sorted, key)
+	if i < len(s.sorted) && s.sorted[i] == key {
+		s.sorted = append(s.sorted[:i], s.sorted[i+1:]...)
+	}
+}
+
+// maybeCompact runs a compaction when the knob is armed, the check period
+// elapsed, and dead bytes crossed the configured fraction of the log.
+func (s *Shard) maybeCompact(p *sim.Proc) error {
+	if !s.opts.Compact || s.appends < s.opts.CompactEvery {
+		return nil
+	}
+	s.appends = 0
+	if s.logOff == 0 || float64(s.deadBytes)/float64(s.logOff) < s.opts.CompactFrac {
+		return nil
+	}
+	return s.Compact(p)
+}
+
+// Compact rewrites the live records into a fresh log (in key order —
+// deterministic, and it leaves scans sequential on disk), swaps it in
+// place of the old one, and repoints the index. The shard is unavailable
+// for the duration: the serving proc runs the compaction inline, exactly
+// like a single-threaded store stalling on maintenance — the serve
+// experiment's tail latencies show it, which is the point of making
+// compaction a policy under contention.
+func (s *Shard) Compact(p *sim.Proc) error {
+	s.compacting = true
+	defer func() { s.compacting = false }()
+	tmp := s.opts.Path + ".compact"
+	tfd, err := s.fs.Open(p, tmp, ninep.OCreate|ninep.OBuffer)
+	if err != nil {
+		return err
+	}
+	newIdx := make(map[string]entry, len(s.idx))
+	var newOff int64
+	// Records are staged through the dedicated stage scratch: s.buf holds
+	// the value just read, and records are sized against a full buffer.
+	stage := s.stage
+	for _, key := range s.sorted {
+		e := s.idx[key]
+		if _, err := s.fs.Read(p, s.fd, e.valOff(), s.buf, int64(e.vlen)); err != nil {
+			return err
+		}
+		rec := int64(recHdrLen + len(key) + int(e.vlen))
+		b := stage.Data
+		binary.LittleEndian.PutUint16(b[0:2], uint16(len(key)))
+		binary.LittleEndian.PutUint32(b[2:6], uint32(e.vlen))
+		copy(b[recHdrLen:], key)
+		copy(b[recHdrLen+len(key):], s.buf.Data[:e.vlen])
+		if _, err := s.fs.Write(p, tfd, newOff, stage, rec); err != nil {
+			return err
+		}
+		newIdx[key] = entry{off: newOff, vlen: e.vlen, klen: int32(len(key))}
+		newOff += rec
+	}
+	if err := s.fs.Close(p, tfd); err != nil {
+		return err
+	}
+	if err := s.fs.Close(p, s.fd); err != nil {
+		return err
+	}
+	if err := s.fs.Unlink(p, s.opts.Path); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(p, tmp, s.opts.Path); err != nil {
+		return err
+	}
+	fd, err := s.fs.Open(p, s.opts.Path, ninep.OBuffer)
+	if err != nil {
+		return err
+	}
+	// Commit point: swap everything at once.
+	s.fd = fd
+	s.idx = newIdx
+	s.logOff = newOff
+	s.liveBytes = newOff
+	s.deadBytes = 0
+	s.stats.Compactions++
+	return nil
+}
+
+// recover rebuilds the index by replaying the log front to back in
+// scratch-sized chunks (records may straddle chunk boundaries).
+func (s *Shard) recover(p *sim.Proc, size int64) error {
+	s.compacting = true // accounting is inconsistent until replay finishes
+	defer func() { s.compacting = false }()
+	var carry []byte
+	var off int64
+	var recStart int64
+	for off < size || len(carry) > 0 {
+		if off < size {
+			n := size - off
+			if n > int64(len(s.buf.Data)) {
+				n = int64(len(s.buf.Data))
+			}
+			if _, err := s.fs.Read(p, s.fd, off, s.buf, n); err != nil {
+				return err
+			}
+			carry = append(carry, s.buf.Data[:n]...)
+			off += n
+		}
+		consumed := 0
+		for {
+			rest := carry[consumed:]
+			if len(rest) < recHdrLen {
+				break
+			}
+			klen := decodeUint16(rest[0:2])
+			vlen32 := binary.LittleEndian.Uint32(rest[2:6])
+			vlen := 0
+			if vlen32 != tombstone {
+				vlen = int(vlen32)
+			}
+			rec := recHdrLen + klen + vlen
+			if len(rest) < rec {
+				break
+			}
+			key := string(rest[recHdrLen : recHdrLen+klen])
+			e := entry{off: recStart, klen: int32(klen)}
+			if vlen32 == tombstone {
+				if old, ok := s.idx[key]; ok {
+					s.liveBytes -= old.recLen()
+					s.deadBytes += old.recLen()
+				}
+				s.deadBytes += int64(rec)
+				delete(s.idx, key)
+			} else {
+				e.vlen = int32(vlen)
+				if old, ok := s.idx[key]; ok {
+					s.liveBytes -= old.recLen()
+					s.deadBytes += old.recLen()
+				}
+				s.idx[key] = e
+				s.liveBytes += int64(rec)
+			}
+			recStart += int64(rec)
+			consumed += rec
+		}
+		if consumed == 0 && off >= size {
+			return fmt.Errorf("kvstore: shard %d: trailing garbage at log offset %d", s.ID, recStart)
+		}
+		carry = carry[consumed:]
+	}
+	s.logOff = size
+	s.sorted = s.sorted[:0]
+	for key := range s.idx {
+		s.sorted = append(s.sorted, key)
+	}
+	sort.Strings(s.sorted)
+	return nil
+}
+
+// Stats snapshots the shard's counters.
+func (s *Shard) Stats() Stats {
+	st := s.stats
+	st.LogBytes = s.logOff
+	st.LiveBytes = s.liveBytes
+	st.DeadBytes = s.deadBytes
+	st.Keys = len(s.idx)
+	return st
+}
+
+// Check is the cheap log/index coherence invariant the explore oracle
+// polls at every scheduling decision: index and sorted agree, every entry
+// lies inside the log, and the byte accounting identity live + dead ==
+// logged holds. It must not block or advance virtual time, so it never
+// touches the file system. Mid-compaction and mid-recovery states are
+// skipped — the store is mid-swap by design there.
+func (s *Shard) Check() error {
+	if s.compacting {
+		return nil
+	}
+	if len(s.idx) != len(s.sorted) {
+		return fmt.Errorf("kvstore: shard %d: index has %d keys, sorted list %d", s.ID, len(s.idx), len(s.sorted))
+	}
+	for i, key := range s.sorted {
+		if i > 0 && s.sorted[i-1] >= key {
+			return fmt.Errorf("kvstore: shard %d: sorted list out of order at %d (%q >= %q)", s.ID, i, s.sorted[i-1], key)
+		}
+		e, ok := s.idx[key]
+		if !ok {
+			return fmt.Errorf("kvstore: shard %d: sorted key %q missing from index", s.ID, key)
+		}
+		if int(e.klen) != len(key) {
+			return fmt.Errorf("kvstore: shard %d: key %q indexed with klen %d", s.ID, key, e.klen)
+		}
+		if e.off < 0 || e.off+e.recLen() > s.logOff {
+			return fmt.Errorf("kvstore: shard %d: key %q record [%d,%d) outside log [0,%d)", s.ID, key, e.off, e.off+e.recLen(), s.logOff)
+		}
+	}
+	if s.liveBytes+s.deadBytes != s.logOff {
+		return fmt.Errorf("kvstore: shard %d: live %d + dead %d != logged %d", s.ID, s.liveBytes, s.deadBytes, s.logOff)
+	}
+	return nil
+}
+
+// VerifyLog is the deep coherence check workloads run at quiesce points:
+// it replays the on-disk log into a fresh index and compares it to the
+// live one entry by entry. Unlike Check it issues delegated reads, so it
+// must run from a proc that owns the shard (no concurrent server).
+func (s *Shard) VerifyLog(p *sim.Proc) error {
+	replay := &Shard{
+		ID:   s.ID,
+		opts: s.opts,
+		fs:   s.fs,
+		core: s.core,
+		fd:   s.fd,
+		buf:  s.stage, // quiesced: the compaction scratch is free
+		idx:  make(map[string]entry),
+	}
+	if err := replay.recover(p, s.logOff); err != nil {
+		return err
+	}
+	if len(replay.idx) != len(s.idx) {
+		return fmt.Errorf("kvstore: shard %d: log replays to %d keys, index has %d", s.ID, len(replay.idx), len(s.idx))
+	}
+	for key, want := range s.idx {
+		got, ok := replay.idx[key]
+		if !ok {
+			return fmt.Errorf("kvstore: shard %d: key %q in index but not in log replay", s.ID, key)
+		}
+		if got != want {
+			return fmt.Errorf("kvstore: shard %d: key %q replays to %+v, index holds %+v", s.ID, key, got, want)
+		}
+	}
+	if replay.liveBytes != s.liveBytes || replay.deadBytes != s.deadBytes {
+		return fmt.Errorf("kvstore: shard %d: replay accounting live=%d dead=%d, index holds live=%d dead=%d",
+			s.ID, replay.liveBytes, replay.deadBytes, s.liveBytes, s.deadBytes)
+	}
+	return nil
+}

@@ -103,6 +103,7 @@ var Experiments = []struct {
 	{"hotpath", "zero-alloc delegated hot path: heap traffic with pooling off vs on", HotPath},
 	{"chaos", "fault injection: recovery correctness and determinism per fault class", Chaos},
 	{"traceov", "overhead of end-to-end causal tracing on the pipelined read", TraceOverhead},
+	{"serve", "KV store under open-loop Zipfian YCSB load: tput and tail latency vs offered rate", Serve},
 }
 
 // Lookup finds an experiment by id.

@@ -106,6 +106,23 @@ func LoadBench(path, schema string) (CoreBench, error) {
 	return cb, nil
 }
 
+// LoadBenchAny reads a benchmark document accepting any schema; callers
+// (benchdiff) must check that the documents they compare agree on it.
+func LoadBenchAny(path string) (CoreBench, error) {
+	var cb CoreBench
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return cb, err
+	}
+	if err := json.Unmarshal(blob, &cb); err != nil {
+		return cb, fmt.Errorf("%s: %w", path, err)
+	}
+	if cb.Schema == "" {
+		return cb, fmt.Errorf("%s: missing schema", path)
+	}
+	return cb, nil
+}
+
 // CoreDelta is one point's old-vs-new comparison.
 type CoreDelta struct {
 	Name     string

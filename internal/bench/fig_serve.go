@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"solros/internal/apps/kvstore"
+	"solros/internal/core"
+	"solros/internal/sim"
+	"solros/internal/workload"
+)
+
+// fig-serve: the KV store under an open-loop, Zipf-skewed, multi-tenant
+// YCSB-style workload (ISSUE 8 / ROADMAP item 3). Requests arrive on a
+// Poisson schedule at the offered rate regardless of how fast the store
+// drains them, so observed latency includes queueing delay and the
+// throughput/latency curve shows the classic knee at saturation. The
+// shared buffer cache is the knob under test: GETs are delegated buffered
+// reads, so with the cache on the Zipfian head is served from host DRAM
+// and the knee sits far to the right of the no-cache series, where every
+// read pays the NVMe round trip.
+
+const (
+	servePort          = 7400
+	serveValBytes      = 256
+	serveConnsPerShard = 4
+)
+
+// serveOp is one dispatched request waiting on a shard queue.
+type serveOp struct {
+	key     string
+	write   bool
+	arrival sim.Time
+	idx     int
+}
+
+// serveResult is one offered-load run.
+type serveResult struct {
+	achievedKops float64
+	p50, p99     sim.Time
+	digest       uint32
+}
+
+// Serve produces the fig-serve table.
+func Serve() []Row {
+	loads, n := serveLoads()
+	var rows []Row
+	for _, sc := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"cache", core.Config{Phis: 2}},
+		{"no-cache", core.Config{Phis: 2, DisableCache: true}},
+	} {
+		var digest uint32 = 2166136261
+		for _, load := range loads {
+			r := serveRun(sc.cfg, load, n)
+			x := fmt.Sprintf("%gk/s", load/1000)
+			rows = append(rows,
+				row("fig-serve", sc.name+" tput", x, r.achievedKops, "Kops/s"),
+				row("fig-serve", sc.name+" p50", x, us(r.p50), "us"),
+				row("fig-serve", sc.name+" p99", x, us(r.p99), "us"),
+			)
+			digest = digest*16777619 ^ r.digest
+		}
+		rows = append(rows, row("fig-serve", "digest", sc.name, float64(digest), "fnv32"))
+	}
+	return rows
+}
+
+// serveLoads picks the offered-load sweep (req/s) and ops per point.
+func serveLoads() ([]float64, int) {
+	if Quick {
+		return []float64{20e3, 120e3}, 400
+	}
+	return []float64{10e3, 20e3, 40e3, 80e3, 160e3, 320e3}, 2000
+}
+
+func us(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// serveRun drives one machine at one offered load: preload, open-loop
+// dispatch onto per-shard queues, pooled client connections per shard,
+// latency measured from scheduled arrival to completion.
+func serveRun(cfg core.Config, ratePerSec float64, n int) serveResult {
+	m := core.NewMachine(cfg)
+	m.EnableNetwork()
+	phis := len(m.Phis)
+	var res serveResult
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		mm.TCPProxy.Balance = kvstore.Balancer()
+		shards := make([]*kvstore.Shard, phis)
+		servers := make([]*kvstore.Server, phis)
+		serversDone := sim.NewWaitGroup("kv-servers")
+		for i, phi := range mm.Phis {
+			if err := phi.Net.Listen(p, servePort); err != nil {
+				panic(err)
+			}
+			shards[i] = kvstore.NewShard(mm, i, kvstore.Options{})
+			if err := shards[i].Open(p); err != nil {
+				panic(err)
+			}
+			servers[i] = kvstore.NewServer(shards[i], phi.Net, servePort)
+			serversDone.Add(1)
+			sv := servers[i]
+			p.Spawn(fmt.Sprintf("kv-server-%d", i), func(sp *sim.Proc) {
+				defer sp.DoneWG(serversDone)
+				if err := sv.Run(sp); err != nil {
+					panic(err)
+				}
+			})
+		}
+
+		// Two traffic classes: a read-mostly frontend owning 3/4 of the
+		// load and an update-heavy batch tenant owning the rest.
+		tenants := []workload.Tenant{
+			{Name: "frontend", Mix: workload.MixFor('B'), Keys: 512, Share: 3},
+			{Name: "batch", Mix: workload.MixFor('A'), Keys: 128, Share: 1},
+		}
+		g := workload.NewMultiGenerator(Seed, tenants)
+
+		// Preload every key through the delegated FS path, and remember
+		// one key per shard so pooled connections can bind their routing.
+		val := bytes.Repeat([]byte("v"), serveValBytes)
+		bindKey := make([]string, phis)
+		for t := range tenants {
+			for k := 0; k < tenants[t].Keys; k++ {
+				key := workload.KeyName(t, k)
+				sh := kvstore.OwnerShard(key, phis)
+				if err := shards[sh].Put(p, key, val); err != nil {
+					panic(err)
+				}
+				if bindKey[sh] == "" {
+					bindKey[sh] = key
+				}
+			}
+		}
+
+		ops := g.Ops(n)
+		gaps := workload.Arrivals(Seed+1, ratePerSec, n)
+		queues := make([][]serveOp, phis)
+		conds := make([]*sim.Cond, phis)
+		for i := range conds {
+			conds[i] = sim.NewCond(fmt.Sprintf("kv-q-%d", i))
+		}
+		dispatchDone := false
+		latencies := make([]sim.Time, n)
+		var firstArrival, lastDone sim.Time
+
+		// Open-loop dispatcher: arrivals advance on the Poisson schedule
+		// no matter how far behind service is.
+		p.Spawn("kv-dispatch", func(dp *sim.Proc) {
+			t := dp.Now()
+			for i, op := range ops {
+				t += sim.Time(gaps[i])
+				dp.AdvanceTo(t)
+				key := workload.KeyName(op.Tenant, op.Key)
+				sh := kvstore.OwnerShard(key, phis)
+				queues[sh] = append(queues[sh], serveOp{
+					key:     key,
+					write:   op.Kind != workload.OpRead,
+					arrival: t,
+					idx:     i,
+				})
+				dp.Signal(conds[sh])
+				if i == 0 {
+					firstArrival = t
+				}
+			}
+			dispatchDone = true
+			for _, c := range conds {
+				dp.Broadcast(c)
+			}
+		})
+
+		// Pooled workers: serveConnsPerShard connections per shard, each
+		// bound to its shard by the key in its first request.
+		workersDone := sim.NewWaitGroup("kv-workers")
+		for sh := 0; sh < phis; sh++ {
+			sh := sh
+			for w := 0; w < serveConnsPerShard; w++ {
+				workersDone.Add(1)
+				p.Spawn(fmt.Sprintf("kv-worker-%d-%d", sh, w), func(wp *sim.Proc) {
+					defer wp.DoneWG(workersDone)
+					conn, err := mm.ClientStack.Dial(wp, mm.HostStack, servePort)
+					if err != nil {
+						panic(err)
+					}
+					side := conn.Side(mm.ClientStack)
+					cl := kvstore.NewClient(side)
+					if _, _, err := cl.Get(wp, bindKey[sh]); err != nil {
+						panic(err)
+					}
+					for {
+						if len(queues[sh]) == 0 {
+							if dispatchDone {
+								break
+							}
+							wp.Wait(conds[sh])
+							continue
+						}
+						op := queues[sh][0]
+						queues[sh] = queues[sh][1:]
+						if op.write {
+							err = cl.Put(wp, op.key, val)
+						} else {
+							_, _, err = cl.Get(wp, op.key)
+						}
+						if err != nil {
+							panic(err)
+						}
+						done := wp.Now()
+						latencies[op.idx] = done - op.arrival
+						if done > lastDone {
+							lastDone = done
+						}
+					}
+					side.Close(wp)
+				})
+			}
+		}
+		p.WaitWG(workersDone)
+		mm.TCPProxy.Stop(p)
+		p.WaitWG(serversDone)
+
+		res = summarize(latencies, firstArrival, lastDone)
+	})
+	return res
+}
+
+// summarize folds per-op latencies into the run's result. The digest is
+// an FNV-1a fold over every op's latency in op order — any change to
+// scheduling, routing, or store behavior moves it, which is what the CI
+// determinism smoke diffs.
+func summarize(latencies []sim.Time, first, last sim.Time) serveResult {
+	var r serveResult
+	if len(latencies) == 0 || last <= first {
+		return r
+	}
+	r.achievedKops = float64(len(latencies)) / (last - first).Seconds() / 1e3
+	sorted := append([]sim.Time(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	r.p50 = sorted[len(sorted)/2]
+	r.p99 = sorted[len(sorted)*99/100]
+	h := uint32(2166136261)
+	for _, l := range latencies {
+		for shift := 0; shift < 64; shift += 8 {
+			h = (h ^ uint32(uint64(l)>>shift&0xff)) * 16777619
+		}
+	}
+	r.digest = h
+	return r
+}
+
+// ServeSchema versions the BENCH_serve.json format (same point layout as
+// the core document).
+const ServeSchema = "solros-bench-serve/v1"
+
+// ServeBenchmarks runs the gated serving points: throughput and p99 at a
+// below-knee and an above-knee offered load with the cache on, plus the
+// no-cache saturation throughput — the three numbers that move when the
+// serving path, the cache, or the balancer regress.
+func ServeBenchmarks() CoreBench {
+	n := 2000
+	if Quick {
+		n = 400
+	}
+	cache := core.Config{Phis: 2}
+	nocache := core.Config{Phis: 2, DisableCache: true}
+	low := serveRun(cache, 40e3, n)
+	high := serveRun(cache, 320e3, n)
+	nc := serveRun(nocache, 320e3, n)
+	return CoreBench{
+		Schema: ServeSchema,
+		Points: []CorePoint{
+			{Name: "serve_tput_40k", Value: low.achievedKops, Unit: "Kops/s", HigherIsBetter: true},
+			{Name: "serve_p99_40k", Value: us(low.p99), Unit: "us", HigherIsBetter: false},
+			{Name: "serve_tput_sat", Value: high.achievedKops, Unit: "Kops/s", HigherIsBetter: true},
+			{Name: "serve_p99_sat", Value: us(high.p99), Unit: "us", HigherIsBetter: false},
+			{Name: "serve_tput_sat_nocache", Value: nc.achievedKops, Unit: "Kops/s", HigherIsBetter: true},
+		},
+	}
+}

@@ -1,0 +1,146 @@
+package controlplane_test
+
+// Edge cases of content-based connection balancing (§4.4.3), driven
+// through the full machine: degenerate first frames, pathological key
+// skew where every connection hashes to one member, and rebalancing when
+// DetachNet removes the owning member mid-run. Lives in the external
+// test package so it can drive core machines (core imports controlplane).
+
+import (
+	"fmt"
+	"testing"
+
+	"solros/internal/controlplane"
+	"solros/internal/core"
+	"solros/internal/sim"
+)
+
+const balPort = 7100
+
+func TestContentBalancerDegenerateFrames(t *testing.T) {
+	cb := &controlplane.ContentBalancer{Key: controlplane.FNV1a}
+	for _, frame := range [][]byte{{}, {0x41}, {0x41, 0x42}} {
+		for _, members := range []int{1, 2, 3, 7} {
+			got := cb.PickContent(frame, members)
+			if got < 0 || got >= members {
+				t.Fatalf("frame %v over %d members: pick %d out of range", frame, members, got)
+			}
+			if again := cb.PickContent(frame, members); again != got {
+				t.Fatalf("frame %v not deterministic: %d then %d", frame, got, again)
+			}
+		}
+	}
+}
+
+// echoMachine runs servers on every phi that answer one-byte requests
+// with the phi's index, and hands the client body a dial helper. The
+// returned counts are per-phi served totals.
+func echoMachine(t *testing.T, phis int, body func(cp *sim.Proc, m *core.Machine, ask func(first byte) int)) []int {
+	t.Helper()
+	served := make([]int, phis)
+	m := core.NewMachine(core.Config{Phis: phis})
+	m.EnableNetwork()
+	m.MustRun(func(p *sim.Proc, m *core.Machine) {
+		m.TCPProxy.Balance = &controlplane.ContentBalancer{
+			// Shard by the first payload byte, so tests dictate placement.
+			Key: func(first []byte) uint32 {
+				if len(first) == 0 {
+					return 0
+				}
+				return uint32(first[0])
+			},
+		}
+		done := sim.NewWaitGroup("bal")
+		for i, phi := range m.Phis {
+			if err := phi.Net.Listen(p, balPort); err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			i, phi := i, phi
+			done.Add(1)
+			p.Spawn(fmt.Sprintf("srv-%d", i), func(sp *sim.Proc) {
+				defer sp.DoneWG(done)
+				for {
+					sock, err := phi.Net.Accept(sp, balPort)
+					if err != nil {
+						return
+					}
+					for {
+						req, err := sock.RecvFull(sp, 1)
+						if err != nil || len(req) != 1 {
+							break
+						}
+						sock.Send(sp, []byte{byte(i)})
+						served[i]++
+					}
+				}
+			})
+		}
+		done.Add(1)
+		p.Spawn("client", func(cp *sim.Proc) {
+			defer cp.DoneWG(done)
+			cp.Advance(100 * sim.Microsecond)
+			ask := func(first byte) int {
+				conn, err := m.ClientStack.Dial(cp, m.HostStack, balPort)
+				if err != nil {
+					t.Fatalf("dial: %v", err)
+				}
+				side := conn.Side(m.ClientStack)
+				side.Send(cp, []byte{first})
+				resp, err := side.RecvFull(cp, 1)
+				if err != nil || len(resp) != 1 {
+					t.Fatalf("echo: %v", err)
+				}
+				side.Close(cp)
+				return int(resp[0])
+			}
+			body(cp, m, ask)
+			m.TCPProxy.Stop(cp)
+		})
+		p.WaitWG(done)
+	})
+	return served
+}
+
+// TestContentBalancerSkewAllOneShard sends every connection a first byte
+// hashing to member 0 of 2: the balancer must honor the skew (content
+// placement is ownership, not load spreading), leaving member 1 idle.
+func TestContentBalancerSkewAllOneShard(t *testing.T) {
+	served := echoMachine(t, 2, func(cp *sim.Proc, m *core.Machine, ask func(byte) int) {
+		for i := 0; i < 8; i++ {
+			if got := ask(4); got != 0 { // 4 % 2 == 0 → member 0
+				t.Fatalf("conn %d landed on member %d, want 0", i, got)
+			}
+		}
+	})
+	if served[0] != 8 || served[1] != 0 {
+		t.Fatalf("served = %v, want all 8 on member 0", served)
+	}
+}
+
+// TestDetachNetRebalances removes the member that owns a key mid-run:
+// the shared listener's member list shrinks, so new connections for that
+// key land on the surviving member instead of hanging or crashing.
+func TestDetachNetRebalances(t *testing.T) {
+	served := echoMachine(t, 2, func(cp *sim.Proc, m *core.Machine, ask func(byte) int) {
+		if got := ask(2); got != 0 { // 2 % 2 == 0 → member 0 owns key 2
+			t.Fatalf("pre-detach: key 2 on member %d, want 0", got)
+		}
+		if got := ask(3); got != 1 {
+			t.Fatalf("pre-detach: key 3 on member %d, want 1", got)
+		}
+		m.TCPProxy.DetachNet(cp, m.Phis[0].Dev)
+		if n := m.TCPProxy.Detaches(); n != 1 {
+			t.Fatalf("detaches = %d, want 1", n)
+		}
+		// Key 2's owner is gone; with one member left every key lands on
+		// the survivor (index % 1 == 0 → member list holds only phi1).
+		for i := 0; i < 4; i++ {
+			if got := ask(2); got != 1 {
+				t.Fatalf("post-detach: key 2 on member %d, want 1", got)
+			}
+		}
+	})
+	if served[0] != 1 || served[1] != 5 {
+		t.Fatalf("served = %v, want [1 5]", served)
+	}
+}

@@ -154,6 +154,16 @@ type Config struct {
 	// OracleEvery polls the oracles every N dispatches (default 1, i.e.
 	// at every scheduling decision).
 	OracleEvery int
+	// KVCompact arms online log compaction in the KV store shards
+	// (internal/apps/kvstore). Default off: serving runs pay no
+	// maintenance stalls unless the experiment asks for them.
+	KVCompact bool
+	// KVCompactFrac is the dead-byte fraction of a shard's log that
+	// triggers a compaction when KVCompact is armed (default 0.5).
+	KVCompactFrac float64
+	// KVCompactEvery is how many appends pass between compaction checks
+	// (default 64).
+	KVCompactEvery int
 }
 
 // Oracle is a machine-wide invariant checker for schedule exploration. The
@@ -273,6 +283,11 @@ type Machine struct {
 	stopped   bool
 	violation *Violation
 }
+
+// Config reports the machine's (filled) configuration, so layered
+// subsystems built on top of a machine — the KV store's shards, for
+// example — can inherit its knobs without re-threading them.
+func (m *Machine) Config() Config { return m.cfg }
 
 // Telemetry reports the sink this machine's subsystems emit into (nil when
 // telemetry is off). When Config.Tracing or Config.FlightRecorder armed a

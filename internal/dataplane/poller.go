@@ -12,7 +12,12 @@ import (
 type Poller struct {
 	nc      *NetClient
 	watched map[uint64]*Socket
-	cond    *sim.Cond
+	// order holds the watch set in Watch order. ready() must walk a
+	// slice, not the map: map iteration order is randomized per run, and
+	// with several sockets readable at once the serve order — and so
+	// every downstream latency — would differ between identical seeds.
+	order []*Socket
+	cond  *sim.Cond
 }
 
 // NewPoller returns an empty poller on this network stub.
@@ -26,6 +31,9 @@ func (nc *NetClient) NewPoller() *Poller {
 
 // Watch adds a socket to the poll set.
 func (pl *Poller) Watch(s *Socket) {
+	if _, ok := pl.watched[s.ID]; !ok {
+		pl.order = append(pl.order, s)
+	}
 	pl.watched[s.ID] = s
 	if s.poller != nil && s.poller != pl {
 		panic("dataplane: socket watched by two pollers")
@@ -35,14 +43,23 @@ func (pl *Poller) Watch(s *Socket) {
 
 // Unwatch removes a socket from the poll set.
 func (pl *Poller) Unwatch(s *Socket) {
+	if _, ok := pl.watched[s.ID]; ok {
+		for i, w := range pl.order {
+			if w == s {
+				pl.order = append(pl.order[:i], pl.order[i+1:]...)
+				break
+			}
+		}
+	}
 	delete(pl.watched, s.ID)
 	s.poller = nil
 }
 
-// ready collects watched sockets with data or EOF pending.
+// ready collects watched sockets with data or EOF pending, in watch
+// order (deterministic).
 func (pl *Poller) ready() []*Socket {
 	var out []*Socket
-	for _, s := range pl.watched {
+	for _, s := range pl.order {
 		if len(s.recvq) > 0 || s.eof {
 			out = append(out, s)
 		}

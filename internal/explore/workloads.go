@@ -2,11 +2,16 @@ package explore
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
 
+	"solros/internal/apps/kvstore"
 	"solros/internal/core"
 	"solros/internal/dataplane"
 	"solros/internal/faults"
 	"solros/internal/fs"
+	"solros/internal/netstack"
 	"solros/internal/ninep"
 	"solros/internal/sim"
 	"solros/internal/workload"
@@ -27,12 +32,12 @@ type Workload struct {
 // Workloads returns the explorer's scenario catalogue. "quick" is the CI
 // smoke scenario; All() is the default sweep set.
 func Workloads() []Workload {
-	return []Workload{quickWorkload(), transportWorkload(), fsWorkload(), chaosWorkload()}
+	return []Workload{quickWorkload(), transportWorkload(), fsWorkload(), chaosWorkload(), kvWorkload()}
 }
 
 // All returns the default sweep set (everything except the smoke scenario).
 func All() []Workload {
-	return []Workload{transportWorkload(), fsWorkload(), chaosWorkload()}
+	return []Workload{transportWorkload(), fsWorkload(), chaosWorkload(), kvWorkload()}
 }
 
 // Lookup resolves a workload by name.
@@ -274,6 +279,185 @@ func chaosWorkload() Workload {
 			})
 		},
 	}
+}
+
+// kvPort is the KV scenario's listen port (per-machine, so any value works).
+const kvPort = 7200
+
+// kvWorkload drives the sharded KV store through the full network path:
+// content-routed connections to per-phi servers, a mixed op stream
+// (put/get/delete/scan, compaction armed aggressively) verified against a
+// model map, with the log/index coherence oracle polled at every
+// scheduling decision and the deep log-replay check at quiesce. The op
+// mix is derived from the exploration seed, so the sweep varies the
+// request pattern along with the schedule.
+func kvWorkload() Workload {
+	return Workload{
+		Name: "kv",
+		Desc: "kv store: content-routed shards, mixed ops vs model map, coherence oracle",
+		Run: func(base core.Config) (*core.Machine, error) {
+			cfg := small(base)
+			// The network service sizes its rings up to 8 MB each
+			// regardless of RingOptions, so this scenario cannot run on
+			// small()'s 4 MB phi memory: re-grow just enough for the net
+			// rings plus the shard's log buffers.
+			cfg.PhiMemBytes = 16 << 20
+			cfg.HostRAMBytes = 64 << 20
+			cfg.Phis = 2
+			cfg.KVCompact = true
+			cfg.KVCompactEvery = 8
+			cfg.KVCompactFrac = 0.3
+			oracle := &kvstore.CoherenceOracle{}
+			cfg.Oracles = append(cfg.Oracles, oracle)
+			// EnableNetwork must precede Run, so this scenario cannot use
+			// runBody (which builds the machine itself).
+			m := core.NewMachine(cfg)
+			m.EnableNetwork()
+			var bodyErr error
+			engErr := m.Run(func(p *sim.Proc, mm *core.Machine) {
+				bodyErr = kvBody(p, mm, oracle, base.SchedSeed)
+			})
+			if engErr != nil {
+				return m, engErr
+			}
+			return m, bodyErr
+		},
+	}
+}
+
+func kvBody(p *sim.Proc, m *core.Machine, oracle *kvstore.CoherenceOracle, seed int64) error {
+	m.TCPProxy.Balance = kvstore.Balancer()
+	phis := len(m.Phis)
+	serversDone := sim.NewWaitGroup("kv-servers")
+	srvErrs := make([]error, phis)
+	for i, phi := range m.Phis {
+		if err := phi.Net.Listen(p, kvPort); err != nil {
+			return err
+		}
+		shard := kvstore.NewShard(m, i, kvstore.Options{})
+		if err := shard.Open(p); err != nil {
+			return err
+		}
+		oracle.Track(shard)
+		sv := kvstore.NewServer(shard, phi.Net, kvPort)
+		i := i
+		serversDone.Add(1)
+		p.Spawn(fmt.Sprintf("kv-srv-%d", i), func(sp *sim.Proc) {
+			defer sp.DoneWG(serversDone)
+			srvErrs[i] = sv.Run(sp)
+		})
+	}
+
+	// One pooled connection per shard, bound lazily by its first request's
+	// key (content routing pins the connection to that key's owner).
+	clients := make([]*kvstore.Client, phis)
+	sides := make([]*netstack.Side, phis)
+	clientFor := func(key string) (*kvstore.Client, error) {
+		sh := kvstore.OwnerShard(key, phis)
+		if clients[sh] == nil {
+			conn, err := m.ClientStack.Dial(p, m.HostStack, kvPort)
+			if err != nil {
+				return nil, err
+			}
+			sides[sh] = conn.Side(m.ClientStack)
+			clients[sh] = kvstore.NewClient(sides[sh])
+			// Bind the fresh connection to its shard now: content routing
+			// pins on the first request's key, and a SCAN's prefix would
+			// hash to an arbitrary member otherwise.
+			if _, _, err := clients[sh].Get(p, key); err != nil {
+				return nil, err
+			}
+		}
+		return clients[sh], nil
+	}
+
+	// 16 short keys plus one past the old single-byte length limit.
+	names := make([]string, 16)
+	for k := range names {
+		names[k] = fmt.Sprintf("k:%02d", k)
+	}
+	names = append(names, "k:big/"+strings.Repeat("x", 300))
+
+	model := make(map[string]string)
+	rng := rand.New(rand.NewSource(seed ^ 0x6b76)) // "kv"
+	opErr := func(i int, op string, err error) error {
+		return fmt.Errorf("explore kv: op %d %s: %w", i, op, err)
+	}
+	for i := 0; i < 80; i++ {
+		key := names[rng.Intn(len(names))]
+		cl, err := clientFor(key)
+		if err != nil {
+			return opErr(i, "dial", err)
+		}
+		switch d := rng.Intn(10); {
+		case d < 5: // put
+			val := fmt.Sprintf("v%03d-%.8s-%s", i, key, workload.Corpus(int64(i), 48))
+			if err := cl.Put(p, key, []byte(val)); err != nil {
+				return opErr(i, "put", err)
+			}
+			model[key] = val
+		case d < 8: // get
+			got, found, err := cl.Get(p, key)
+			if err != nil {
+				return opErr(i, "get", err)
+			}
+			want, ok := model[key]
+			if found != ok || (ok && string(got) != want) {
+				return fmt.Errorf("explore kv: op %d get %s: got (%q,%v), want (%q,%v)",
+					i, key, got, found, want, ok)
+			}
+		case d < 9: // delete
+			found, err := cl.Delete(p, key)
+			if err != nil {
+				return opErr(i, "delete", err)
+			}
+			if _, ok := model[key]; found != ok {
+				return fmt.Errorf("explore kv: op %d delete %s: found=%v, want %v", i, key, found, ok)
+			}
+			delete(model, key)
+		default: // scan this shard for the short-key prefix
+			kvs, err := cl.Scan(p, "k:0", 8)
+			if err != nil {
+				return opErr(i, "scan", err)
+			}
+			sh := kvstore.OwnerShard(key, phis)
+			var want []string
+			for k := range model {
+				if strings.HasPrefix(k, "k:0") && kvstore.OwnerShard(k, phis) == sh {
+					want = append(want, k)
+				}
+			}
+			sort.Strings(want)
+			if len(want) > 8 {
+				want = want[:8]
+			}
+			if len(kvs) != len(want) {
+				return fmt.Errorf("explore kv: op %d scan: %d entries, want %d", i, len(kvs), len(want))
+			}
+			for j, kv := range kvs {
+				if kv.Key != want[j] || string(kv.Val) != model[kv.Key] {
+					return fmt.Errorf("explore kv: op %d scan[%d]: (%q,%q), want (%q,%q)",
+						i, j, kv.Key, kv.Val, want[j], model[want[j]])
+				}
+			}
+		}
+	}
+
+	// Quiesce: close pooled connections, stop the proxy, drain servers,
+	// then replay every log against its live index.
+	for _, side := range sides {
+		if side != nil {
+			side.Close(p)
+		}
+	}
+	m.TCPProxy.Stop(p)
+	p.WaitWG(serversDone)
+	for i, err := range srvErrs {
+		if err != nil {
+			return fmt.Errorf("explore kv: server %d: %w", i, err)
+		}
+	}
+	return oracle.VerifyAll(p)
 }
 
 // WithRingBug wraps a workload so every ring publishes `ready` before its

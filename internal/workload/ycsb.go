@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// YCSB-style request generation for the serving experiments: Zipfian key
+// popularity, standard A–F-ish operation mixes, open-loop Poisson
+// arrivals, and multi-tenant traffic classes. Everything is a pure
+// function of its seed so a serving run replays byte-identically.
+
+// OpKind enumerates the YCSB core operations.
+type OpKind uint8
+
+// The operation kinds of the YCSB core workloads. ReadModifyWrite is a
+// read followed by an update of the same key (workload F).
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpScan:
+		return "scan"
+	case OpReadModifyWrite:
+		return "rmw"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Mix is an operation mix: fractions summing to 1. The zero mix is
+// invalid; use MixFor or build one explicitly.
+type Mix struct {
+	Read, Update, Insert, Scan, RMW float64
+}
+
+// MixFor returns the standard YCSB core mix for a workload class:
+//
+//	A  update-heavy   50/50 read/update
+//	B  read-mostly    95/5 read/update
+//	C  read-only      100 read
+//	D  read-latest    95/5 read/insert
+//	E  short-ranges   95/5 scan/insert
+//	F  read-modify-write  50/50 read/rmw
+func MixFor(class byte) Mix {
+	switch class {
+	case 'A', 'a':
+		return Mix{Read: 0.5, Update: 0.5}
+	case 'B', 'b':
+		return Mix{Read: 0.95, Update: 0.05}
+	case 'C', 'c':
+		return Mix{Read: 1}
+	case 'D', 'd':
+		return Mix{Read: 0.95, Insert: 0.05}
+	case 'E', 'e':
+		return Mix{Scan: 0.95, Insert: 0.05}
+	case 'F', 'f':
+		return Mix{Read: 0.5, RMW: 0.5}
+	}
+	panic(fmt.Sprintf("workload: unknown YCSB class %q", class))
+}
+
+// pick draws an op kind from the mix with one uniform variate.
+func (m Mix) pick(u float64) OpKind {
+	u -= m.Read
+	if u < 0 {
+		return OpRead
+	}
+	u -= m.Update
+	if u < 0 {
+		return OpUpdate
+	}
+	u -= m.Insert
+	if u < 0 {
+		return OpInsert
+	}
+	u -= m.Scan
+	if u < 0 {
+		return OpScan
+	}
+	return OpReadModifyWrite
+}
+
+// Op is one generated request.
+type Op struct {
+	Kind OpKind
+	// Tenant indexes the generator's tenant table (0 for single-tenant
+	// generators).
+	Tenant int
+	// Key is the target key index inside the tenant's keyspace. Inserts
+	// extend the keyspace: their Key is the previously-largest index + 1.
+	Key int
+	// ScanLen is the range length for OpScan (0 otherwise).
+	ScanLen int
+}
+
+// Tenant is one traffic class of a multi-tenant serving workload: its own
+// mix, keyspace, and share of the offered load.
+type Tenant struct {
+	// Name labels the class in results ("frontend", "batch", ...).
+	Name string
+	// Mix is the class's operation mix.
+	Mix Mix
+	// Keys is the initial keyspace size (key indices 0..Keys-1).
+	Keys int
+	// Share is the class's fraction of total offered load; shares are
+	// normalized over the tenant table, so they need not sum to 1.
+	Share float64
+}
+
+// ZipfS and ZipfV are the generator's skew parameters for
+// math/rand.Zipf: s ≈ 1.1 gives YCSB-like skew where a few keys absorb
+// most of the traffic while the tail still gets hits.
+const (
+	ZipfS = 1.1
+	ZipfV = 1.0
+)
+
+// Generator produces a deterministic YCSB-style op stream. One rand
+// stream drives tenant choice, op choice, key choice, and scan lengths,
+// so the whole stream is a pure function of (seed, tenant table).
+type Generator struct {
+	r       *rand.Rand
+	tenants []Tenant
+	zipf    []*rand.Zipf
+	nkeys   []int
+	shares  []float64 // cumulative, normalized
+	maxScan int
+}
+
+// NewGenerator builds a single-tenant generator with the given mix over
+// keys initial keys.
+func NewGenerator(seed int64, mix Mix, keys int) *Generator {
+	return NewMultiGenerator(seed, []Tenant{{Name: "default", Mix: mix, Keys: keys, Share: 1}})
+}
+
+// NewMultiGenerator builds a generator over a tenant table. Each tenant
+// gets its own Zipfian popularity curve over its own keyspace; ops are
+// attributed to tenants by normalized Share.
+func NewMultiGenerator(seed int64, tenants []Tenant) *Generator {
+	if len(tenants) == 0 {
+		panic("workload: no tenants")
+	}
+	g := &Generator{
+		r:       rand.New(rand.NewSource(seed)),
+		tenants: tenants,
+		maxScan: 16,
+	}
+	var total float64
+	for _, t := range tenants {
+		if t.Keys < 1 {
+			panic("workload: tenant with empty keyspace")
+		}
+		if t.Share < 0 {
+			panic("workload: negative tenant share")
+		}
+		total += t.Share
+	}
+	if total <= 0 {
+		panic("workload: zero total tenant share")
+	}
+	cum := 0.0
+	for _, t := range tenants {
+		cum += t.Share / total
+		g.shares = append(g.shares, cum)
+		g.zipf = append(g.zipf, rand.NewZipf(g.r, ZipfS, ZipfV, uint64(t.Keys-1)))
+		g.nkeys = append(g.nkeys, t.Keys)
+	}
+	return g
+}
+
+// Keys reports tenant t's current keyspace size (grows with inserts).
+func (g *Generator) Keys(t int) int { return g.nkeys[t] }
+
+// Tenants reports the tenant table.
+func (g *Generator) Tenants() []Tenant { return g.tenants }
+
+// Next draws the next op.
+func (g *Generator) Next() Op {
+	t := 0
+	if len(g.tenants) > 1 {
+		u := g.r.Float64()
+		for t < len(g.shares)-1 && u >= g.shares[t] {
+			t++
+		}
+	}
+	op := Op{Tenant: t, Kind: g.tenants[t].Mix.pick(g.r.Float64())}
+	switch op.Kind {
+	case OpInsert:
+		op.Key = g.nkeys[t]
+		g.nkeys[t]++
+	default:
+		// Zipf rank 0 is the hottest key; spread ranks over the keyspace
+		// deterministically so hot keys are not all clustered at index 0
+		// (which would put them on one shard under modular hashing).
+		rank := int(g.zipf[t].Uint64())
+		op.Key = keyScramble(rank, g.nkeys[t])
+		if op.Kind == OpScan {
+			op.ScanLen = 1 + g.r.Intn(g.maxScan)
+		}
+	}
+	return op
+}
+
+// Ops draws the next n ops.
+func (g *Generator) Ops(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// keyScramble maps a popularity rank to a key index with a fixed affine
+// permutation, so the Zipf head spreads across the keyspace (and so
+// across shards) instead of concentrating on low indices.
+func keyScramble(rank, keys int) int {
+	if keys <= 1 {
+		return 0
+	}
+	// 2654435761 is Knuth's multiplicative hash constant; the modulus
+	// keeps the map total (not a bijection, but collision-free enough
+	// for popularity spreading and fully deterministic).
+	return int((uint64(rank) * 2654435761) % uint64(keys))
+}
+
+// KeyName renders tenant t's key index the way the serving workloads
+// store it: "t<tenant>:user<index>".
+func KeyName(tenant, key int) string {
+	return fmt.Sprintf("t%d:user%06d", tenant, key)
+}
+
+// Arrivals returns n inter-arrival gaps in nanoseconds for an open-loop
+// Poisson process at ratePerSec requests per second, deterministic in
+// seed. Cumulative sums of the gaps give the absolute arrival times; the
+// caller advances the sim clock to each arrival regardless of how far
+// behind service is — that unconditional schedule is what makes the
+// workload open-loop.
+func Arrivals(seed int64, ratePerSec float64, n int) []int64 {
+	if ratePerSec <= 0 {
+		panic("workload: non-positive arrival rate")
+	}
+	r := rand.New(rand.NewSource(seed))
+	mean := 1e9 / ratePerSec
+	out := make([]int64, n)
+	for i := range out {
+		gap := int64(r.ExpFloat64() * mean)
+		if gap < 1 {
+			gap = 1 // strictly increasing arrival times
+		}
+		out[i] = gap
+	}
+	return out
+}

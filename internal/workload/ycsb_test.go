@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfGoldenSample pins the generator's key stream: same seed, same
+// bytes, forever. If this golden changes, every serving experiment's
+// digest changes with it — that is a deliberate tripwire.
+func TestZipfGoldenSample(t *testing.T) {
+	g := NewGenerator(7, MixFor('C'), 1000)
+	got := make([]int, 16)
+	for i := range got {
+		got[i] = g.Next().Key
+	}
+	want := zipfGolden
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zipf sample diverged at %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestGeneratorDeterminismAcrossSeeds(t *testing.T) {
+	a := NewGenerator(11, MixFor('A'), 500).Ops(2000)
+	b := NewGenerator(11, MixFor('A'), 500).Ops(2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := NewGenerator(12, MixFor('A'), 500).Ops(2000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical op streams")
+	}
+}
+
+func TestZipfSkewAndCoverage(t *testing.T) {
+	g := NewGenerator(3, MixFor('C'), 1000)
+	counts := map[int]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// Skew: the hottest key must absorb far more than its uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/100 { // uniform share would be n/1000
+		t.Fatalf("hottest key got %d/%d hits; no Zipfian skew", max, n)
+	}
+	// Coverage: the tail must still be reachable.
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct keys of 1000 touched", len(counts))
+	}
+}
+
+// TestMixConformance draws 10k ops per class and checks the realized
+// ratios against the nominal mix within 2 percentage points.
+func TestMixConformance(t *testing.T) {
+	const n = 10000
+	for _, class := range []byte{'A', 'B', 'C', 'D', 'E', 'F'} {
+		mix := MixFor(class)
+		g := NewGenerator(int64(class), mix, 2000)
+		var counts [5]int
+		for i := 0; i < n; i++ {
+			counts[g.Next().Kind]++
+		}
+		check := func(kind OpKind, want float64) {
+			got := float64(counts[kind]) / n
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("class %c: %v ratio %.4f, want %.2f±0.02", class, kind, got, want)
+			}
+		}
+		check(OpRead, mix.Read)
+		check(OpUpdate, mix.Update)
+		check(OpInsert, mix.Insert)
+		check(OpScan, mix.Scan)
+		check(OpReadModifyWrite, mix.RMW)
+	}
+}
+
+func TestInsertsGrowKeyspace(t *testing.T) {
+	g := NewGenerator(5, MixFor('D'), 100)
+	inserts := 0
+	for i := 0; i < 2000; i++ {
+		op := g.Next()
+		if op.Kind == OpInsert {
+			if op.Key != 100+inserts {
+				t.Fatalf("insert %d got key %d, want %d", inserts, op.Key, 100+inserts)
+			}
+			inserts++
+		} else if op.Key < 0 || op.Key >= g.Keys(0) {
+			t.Fatalf("key %d outside keyspace [0,%d)", op.Key, g.Keys(0))
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("class D produced no inserts in 2000 ops")
+	}
+	if g.Keys(0) != 100+inserts {
+		t.Fatalf("keyspace %d after %d inserts from 100", g.Keys(0), inserts)
+	}
+}
+
+func TestMultiTenantShares(t *testing.T) {
+	g := NewMultiGenerator(9, []Tenant{
+		{Name: "frontend", Mix: MixFor('B'), Keys: 400, Share: 3},
+		{Name: "batch", Mix: MixFor('A'), Keys: 100, Share: 1},
+	})
+	const n = 10000
+	var perTenant [2]int
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		perTenant[op.Tenant]++
+		if op.Kind != OpInsert && (op.Key < 0 || op.Key >= g.Keys(op.Tenant)) {
+			t.Fatalf("tenant %d key %d outside keyspace", op.Tenant, op.Key)
+		}
+	}
+	got := float64(perTenant[0]) / n
+	if math.Abs(got-0.75) > 0.02 {
+		t.Fatalf("tenant 0 share %.4f, want 0.75±0.02", got)
+	}
+}
+
+// TestArrivalRateAccuracy checks the open-loop arrival schedule against
+// the nominal rate on the (virtual) clock: cumulative time for n arrivals
+// at rate λ must be within 5% of n/λ, and every gap must be positive.
+func TestArrivalRateAccuracy(t *testing.T) {
+	for _, rate := range []float64{1000, 50000, 1e6} {
+		const n = 20000
+		gaps := Arrivals(21, rate, n)
+		var total int64
+		for _, g := range gaps {
+			if g <= 0 {
+				t.Fatalf("non-positive gap %d", g)
+			}
+			total += g
+		}
+		wantNs := float64(n) / rate * 1e9
+		if math.Abs(float64(total)-wantNs) > 0.05*wantNs {
+			t.Fatalf("rate %.0f: %d arrivals span %d ns, want %.0f±5%%", rate, n, total, wantNs)
+		}
+	}
+	// Determinism.
+	a := Arrivals(4, 1e5, 100)
+	b := Arrivals(4, 1e5, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("arrival schedule not deterministic")
+		}
+	}
+}
+
+// zipfGolden is the pinned head of NewGenerator(7, MixFor('C'), 1000)'s
+// key stream.
+var zipfGolden = [16]int{100, 0, 420, 918, 283, 786, 0, 999, 0, 577, 811, 19, 522, 0, 220, 157}
+
+func TestKeyName(t *testing.T) {
+	if got := KeyName(1, 42); got != "t1:user000042" {
+		t.Fatalf("KeyName = %q", got)
+	}
+}
