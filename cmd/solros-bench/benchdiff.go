@@ -33,6 +33,31 @@ func runBenchServe(args []string) {
 	fmt.Fprintf(os.Stderr, "solros-bench: wrote %s\n", *out)
 }
 
+// runBenchScale runs the gated control-plane scale-out points and writes
+// BENCH_scale.json.
+func runBenchScale(args []string) {
+	fs := flag.NewFlagSet("benchscale", flag.ExitOnError)
+	out := fs.String("o", "BENCH_scale.json", "output path for the scale-out baseline document")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: solros-bench benchscale [-o BENCH_scale.json]")
+		fmt.Fprintln(os.Stderr, "\nRuns the control-plane scale-out points (sharded throughput and")
+		fmt.Fprintln(os.Stderr, "speedup at 16 co-processors, saturation-knee positions for the")
+		fmt.Fprintln(os.Stderr, "sharded and single-shard series, KV connection churn) and writes")
+		fmt.Fprintln(os.Stderr, "the document benchdiff compares against.")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	sb := bench.ScaleBenchmarks()
+	for _, p := range sb.Points {
+		fmt.Printf("%-26s %10.3f %s\n", p.Name, p.Value, p.Unit)
+	}
+	if err := bench.WriteCoreBench(*out, sb); err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "solros-bench: wrote %s\n", *out)
+}
+
 // runBenchCore runs the core benchmark baseline and writes BENCH_core.json.
 func runBenchCore(args []string) {
 	fs := flag.NewFlagSet("benchcore", flag.ExitOnError)

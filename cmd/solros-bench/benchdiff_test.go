@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"solros/internal/bench"
+)
+
+// The benchdiff subcommand's exit codes are CI contract: 2 for unusable
+// inputs (unreadable file, cross-schema compare), 1 for a regression past
+// budget, 0 otherwise. runBenchDiff calls os.Exit, so each case re-execs
+// the test binary and runs it in a child process.
+
+// TestMain lets the re-exec'd child jump straight into runBenchDiff.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("BENCHDIFF_CHILD_ARGS"); args != "" {
+		runBenchDiff(filepath.SplitList(args))
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runDiffChild(t *testing.T, args ...string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+	cmd.Env = append(os.Environ(),
+		"BENCHDIFF_CHILD_ARGS="+strings.Join(args, string(os.PathListSeparator)))
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("child: %v", err)
+	}
+	return 0
+}
+
+func writeDoc(t *testing.T, dir, name string, cb bench.CoreBench) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := bench.WriteCoreBench(path, cb); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func scaleDoc(margin float64) bench.CoreBench {
+	return bench.CoreBench{
+		Schema: bench.ScaleSchema,
+		Points: []bench.CorePoint{
+			{Name: "scale_fs_knee_margin", Value: margin, Unit: "x", HigherIsBetter: true},
+		},
+	}
+}
+
+func TestBenchDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	scale := writeDoc(t, dir, "scale.json", scaleDoc(8))
+	core := writeDoc(t, dir, "core.json", bench.CoreBench{
+		Schema: bench.CoreSchema,
+		Points: []bench.CorePoint{{Name: "tput", Value: 2, Unit: "GB/s", HigherIsBetter: true}},
+	})
+	worse := writeDoc(t, dir, "worse.json", scaleDoc(2))
+
+	if code := runDiffChild(t, scale, scale); code != 0 {
+		t.Errorf("self-compare exit = %d, want 0", code)
+	}
+	// Cross-schema compare is a usage error, not a regression.
+	if code := runDiffChild(t, scale, core); code != 2 {
+		t.Errorf("cross-schema exit = %d, want 2", code)
+	}
+	// Unreadable input is a usage error too.
+	if code := runDiffChild(t, scale, filepath.Join(dir, "missing.json")); code != 2 {
+		t.Errorf("missing file exit = %d, want 2", code)
+	}
+	// The knee margin collapsing is a hard gate failure.
+	if code := runDiffChild(t, scale, worse); code != 1 {
+		t.Errorf("regressed knee exit = %d, want 1", code)
+	}
+}

@@ -98,6 +98,9 @@ func main() {
 	case "benchserve":
 		runBenchServe(args[1:])
 		return
+	case "benchscale":
+		runBenchScale(args[1:])
+		return
 	case "benchdiff":
 		runBenchDiff(args[1:])
 		return
@@ -238,5 +241,6 @@ func usage() {
 	fmt.Println("  benchcore   run the core benchmark points and write BENCH_core.json (see benchcore -h)")
 	fmt.Println("  benchhotpath  run the zero-alloc hot-path points (and optional -parallel wall-clock backend), write BENCH_hotpath.json")
 	fmt.Println("  benchserve  run the KV serving baseline points and write BENCH_serve.json (see benchserve -h)")
+	fmt.Println("  benchscale  run the control-plane scale-out points and write BENCH_scale.json (see benchscale -h)")
 	fmt.Println("  benchdiff   compare two benchmark JSON files of the same schema and flag regressions (see benchdiff -h)")
 }

@@ -104,6 +104,7 @@ var Experiments = []struct {
 	{"chaos", "fault injection: recovery correctness and determinism per fault class", Chaos},
 	{"traceov", "overhead of end-to-end causal tracing on the pipelined read", TraceOverhead},
 	{"serve", "KV store under open-loop Zipfian YCSB load: tput and tail latency vs offered rate", Serve},
+	{"scale", "control-plane scale-out: aggregate tput and p99 vs co-processor count, sharded vs unsharded proxies", Scale},
 }
 
 // Lookup finds an experiment by id.

@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"solros/internal/apps/kvstore"
+	"solros/internal/core"
+	"solros/internal/dataplane"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+	"solros/internal/workload"
+)
+
+// fig-scale: aggregate throughput and p99 latency vs. co-processor count
+// (ISSUE 9 / ROADMAP scale-out). Two legs exercise the control plane from
+// both sides — delegated cache-hot file reads (the FSProxy serve path)
+// and KV connection churn (the TCPProxy admission path plus the store's
+// delegated I/O underneath). Two series per leg: "unsharded" runs the
+// sharded serve architecture with a single shard, so every request from
+// every co-processor serializes on one shard lock and one global fid
+// table; "sharded" gives each co-processor its own shard with private fid
+// tables. The saturation knee of the unsharded series sits where the
+// single serialized slice caps the fleet; sharding moves it off the right
+// edge of the sweep.
+//
+// Note the unsharded baseline is ProxyShards=1, not the seed's
+// ProxyShards=0 layout: the seed's per-channel serve loops share no lock
+// at all (each channel has a private worker pool), so they scale linearly
+// and model a control plane with no shared state — nothing to shard. The
+// single-shard configuration is the honest baseline: same architecture,
+// same costs, contention on one serialized slice.
+
+const (
+	scalePort          = 7500
+	scaleFileBytes     = 256 << 10
+	scaleBlock         = 4096
+	scaleClientsPerPhi = 8
+	scaleKVWorkers     = 4
+)
+
+// scaleXs is the co-processor sweep.
+func scaleXs() ([]int, int, int) {
+	if Quick {
+		return []int{1, 4, 16}, 12, 2 // phis, FS ops/client, KV conns/worker
+	}
+	return []int{1, 2, 4, 8, 16, 32}, 40, 4
+}
+
+// scaleConfig builds one series point. Unsharded = one shard for the
+// whole fleet; sharded = one shard per co-processor with private fids.
+func scaleConfig(phis int, sharded bool) core.Config {
+	cfg := core.Config{Phis: phis, ProxyWorkers: 8, ProxyShards: 1}
+	if sharded {
+		cfg.ProxyShards = phis
+		cfg.ShardFids = true
+	}
+	return cfg
+}
+
+// Scale produces the fig-scale table.
+func Scale() []Row {
+	xs, fsOps, kvConns := scaleXs()
+	var rows []Row
+	for _, series := range []string{"unsharded", "sharded"} {
+		sharded := series == "sharded"
+		var digest uint32 = 2166136261
+		var fsTput []float64
+		for _, phis := range xs {
+			x := fmt.Sprintf("%dphi", phis)
+			fr := scaleFSRun(scaleConfig(phis, sharded), fsOps)
+			fsTput = append(fsTput, fr.achievedKops)
+			kr := scaleKVRun(scaleConfig(phis, sharded), kvConns)
+			rows = append(rows,
+				row("fig-scale", series+" fs tput", x, fr.achievedKops, "Kops/s"),
+				row("fig-scale", series+" fs p99", x, us(fr.p99), "us"),
+				row("fig-scale", series+" kv tput", x, kr.achievedKops, "Kconn/s"),
+				row("fig-scale", series+" kv p99", x, us(kr.p99), "us"),
+			)
+			digest = digest*16777619 ^ fr.digest
+			digest = digest*16777619 ^ kr.digest
+		}
+		rows = append(rows,
+			row("fig-scale", "knee", series, scaleKnee(xs, fsTput), "phis"),
+			row("fig-scale", "digest", series, float64(digest), "fnv32"),
+		)
+	}
+	return rows
+}
+
+// scaleKnee finds the smallest co-processor count where aggregate
+// throughput falls below 70% of linear scaling from the single-phi
+// point. A series that never saturates inside the sweep reports twice
+// the last x — "beyond the right edge" — so knee positions stay
+// comparable (and gateable) even when one series doesn't bend.
+func scaleKnee(xs []int, tput []float64) float64 {
+	for i, x := range xs {
+		if tput[i] < 0.7*tput[0]*float64(x) {
+			return float64(x)
+		}
+	}
+	return 2 * float64(xs[len(xs)-1])
+}
+
+// scaleFSRun drives closed-loop cache-hot 4KB delegated reads from every
+// co-processor: per-phi private files, prefetched into the shared buffer
+// cache, scaleClientsPerPhi reader procs per phi. Aggregate Kops/s and
+// per-op latency come out through the same summarize fold as fig-serve.
+func scaleFSRun(cfg core.Config, opsPerClient int) serveResult {
+	m := core.NewMachine(cfg)
+	var res serveResult
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		type phiFile struct {
+			fd  dataplane.Fd
+			off []int64
+		}
+		files := make([]phiFile, len(mm.Phis))
+		for i, phi := range mm.Phis {
+			path := fmt.Sprintf("/s%d", i)
+			fd, err := phi.FS.Open(p, path, ninep.OCreate|ninep.OBuffer)
+			if err != nil {
+				panic(err)
+			}
+			f, err := mm.FS.Open(p, path)
+			if err != nil {
+				panic(err)
+			}
+			if err := f.Truncate(p, scaleFileBytes); err != nil {
+				panic(err)
+			}
+			if err := mm.FSProxy.Prefetch(p, path); err != nil {
+				panic(err)
+			}
+			files[i] = phiFile{
+				fd:  fd,
+				off: workload.Offsets(Seed+int64(i), scaleFileBytes, scaleBlock, scaleClientsPerPhi*opsPerClient),
+			}
+		}
+		n := len(mm.Phis) * scaleClientsPerPhi * opsPerClient
+		latencies := make([]sim.Time, n)
+		start := p.Now()
+		var lastDone sim.Time
+		done := sim.NewWaitGroup("scale-fs")
+		for i, phi := range mm.Phis {
+			i, phi := i, phi
+			for c := 0; c < scaleClientsPerPhi; c++ {
+				c := c
+				done.Add(1)
+				p.Spawn(fmt.Sprintf("scale-rd-%d-%d", i, c), func(wp *sim.Proc) {
+					defer wp.DoneWG(done)
+					buf := phi.FS.AllocBuffer(scaleBlock)
+					base := (i*scaleClientsPerPhi + c) * opsPerClient
+					for k := 0; k < opsPerClient; k++ {
+						t0 := wp.Now()
+						if _, err := phi.FS.Read(wp, files[i].fd, files[i].off[c*opsPerClient+k], buf, scaleBlock); err != nil {
+							panic(err)
+						}
+						t1 := wp.Now()
+						latencies[base+k] = t1 - t0
+						if t1 > lastDone {
+							lastDone = t1
+						}
+					}
+				})
+			}
+		}
+		p.WaitWG(done)
+		res = summarize(latencies, start, lastDone)
+	})
+	return res
+}
+
+// scaleKVRun measures connection churn through the shared-listener
+// balancer: scaleKVWorkers procs per co-processor each loop dial → one
+// GET → close, so every round pays admission (the serialized accept
+// slice) plus a delegated buffered read inside the store. Latency is one
+// full churn round; throughput is rounds per second.
+func scaleKVRun(cfg core.Config, connsPerWorker int) serveResult {
+	m := core.NewMachine(cfg)
+	m.EnableNetwork()
+	phis := len(m.Phis)
+	var res serveResult
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		mm.TCPProxy.Balance = kvstore.Balancer()
+		shards := make([]*kvstore.Shard, phis)
+		serversDone := sim.NewWaitGroup("scale-kv-servers")
+		for i, phi := range mm.Phis {
+			if err := phi.Net.Listen(p, scalePort); err != nil {
+				panic(err)
+			}
+			shards[i] = kvstore.NewShard(mm, i, kvstore.Options{})
+			if err := shards[i].Open(p); err != nil {
+				panic(err)
+			}
+			sv := kvstore.NewServer(shards[i], phi.Net, scalePort)
+			serversDone.Add(1)
+			p.Spawn(fmt.Sprintf("scale-kv-server-%d", i), func(sp *sim.Proc) {
+				defer sp.DoneWG(serversDone)
+				if err := sv.Run(sp); err != nil {
+					panic(err)
+				}
+			})
+		}
+		// One bound key per shard so each churn round routes to a known
+		// member and reads a real value off the delegated store.
+		val := bytes.Repeat([]byte("v"), 128)
+		bindKey := make([]string, phis)
+		for k := 0; bindKeysMissing(bindKey); k++ {
+			key := workload.KeyName(0, k)
+			sh := kvstore.OwnerShard(key, phis)
+			if bindKey[sh] == "" {
+				if err := shards[sh].Put(p, key, val); err != nil {
+					panic(err)
+				}
+				bindKey[sh] = key
+			}
+		}
+		n := phis * scaleKVWorkers * connsPerWorker
+		latencies := make([]sim.Time, n)
+		start := p.Now()
+		var lastDone sim.Time
+		done := sim.NewWaitGroup("scale-kv")
+		for i := 0; i < phis; i++ {
+			i := i
+			for w := 0; w < scaleKVWorkers; w++ {
+				w := w
+				done.Add(1)
+				p.Spawn(fmt.Sprintf("scale-kv-%d-%d", i, w), func(wp *sim.Proc) {
+					defer wp.DoneWG(done)
+					base := (i*scaleKVWorkers + w) * connsPerWorker
+					for k := 0; k < connsPerWorker; k++ {
+						t0 := wp.Now()
+						conn, err := mm.ClientStack.Dial(wp, mm.HostStack, scalePort)
+						if err != nil {
+							panic(err)
+						}
+						side := conn.Side(mm.ClientStack)
+						cl := kvstore.NewClient(side)
+						if _, _, err := cl.Get(wp, bindKey[i]); err != nil {
+							panic(err)
+						}
+						side.Close(wp)
+						t1 := wp.Now()
+						latencies[base+k] = t1 - t0
+						if t1 > lastDone {
+							lastDone = t1
+						}
+					}
+				})
+			}
+		}
+		p.WaitWG(done)
+		mm.TCPProxy.Stop(p)
+		p.WaitWG(serversDone)
+		res = summarize(latencies, start, lastDone)
+	})
+	return res
+}
+
+func bindKeysMissing(keys []string) bool {
+	for _, k := range keys {
+		if k == "" {
+			return true
+		}
+	}
+	return false
+}
+
+// ScaleSchema versions the BENCH_scale.json format.
+const ScaleSchema = "solros-bench-scale/v1"
+
+// ScaleBenchmarks runs the gated scale-out points. The sweep is fixed at
+// 1→16 co-processors regardless of Quick (point names must be stable for
+// benchdiff); Quick only reduces per-client work. Gated shape: sharded
+// throughput at 16 phis, its speedup over one phi (the issue demands
+// ≥3×), the knee positions of both series as a margin ratio (sharded
+// knee strictly beyond unsharded knee ⇒ margin > 1), and the KV churn
+// equivalents.
+func ScaleBenchmarks() CoreBench {
+	xs := []int{1, 2, 4, 8, 16}
+	fsOps, kvConns := 40, 4
+	if Quick {
+		fsOps, kvConns = 12, 2
+	}
+	var shTput, unTput []float64
+	var sh16, sh1 serveResult
+	for _, phis := range xs {
+		u := scaleFSRun(scaleConfig(phis, false), fsOps)
+		s := scaleFSRun(scaleConfig(phis, true), fsOps)
+		unTput = append(unTput, u.achievedKops)
+		shTput = append(shTput, s.achievedKops)
+		if phis == 1 {
+			sh1 = s
+		}
+		if phis == 16 {
+			sh16 = s
+		}
+	}
+	kv1 := scaleKVRun(scaleConfig(1, true), kvConns)
+	kv16 := scaleKVRun(scaleConfig(16, true), kvConns)
+	kneeSh := scaleKnee(xs, shTput)
+	kneeUn := scaleKnee(xs, unTput)
+	return CoreBench{
+		Schema: ScaleSchema,
+		Points: []CorePoint{
+			{Name: "scale_fs_x16_sharded", Value: sh16.achievedKops, Unit: "Kops/s", HigherIsBetter: true},
+			{Name: "scale_fs_speedup_x16", Value: sh16.achievedKops / sh1.achievedKops, Unit: "x", HigherIsBetter: true},
+			{Name: "scale_fs_p99_x16_sharded", Value: us(sh16.p99), Unit: "us", HigherIsBetter: false},
+			{Name: "scale_fs_knee_sharded", Value: kneeSh, Unit: "phis", HigherIsBetter: true},
+			{Name: "scale_fs_knee_margin", Value: kneeSh / kneeUn, Unit: "x", HigherIsBetter: true},
+			{Name: "scale_kv_x16_sharded", Value: kv16.achievedKops, Unit: "Kconn/s", HigherIsBetter: true},
+			{Name: "scale_kv_speedup_x16", Value: kv16.achievedKops / kv1.achievedKops, Unit: "x", HigherIsBetter: true},
+		},
+	}
+}

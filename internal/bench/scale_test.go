@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// scalePoints is a miniature BENCH_scale document for gate-logic tests.
+func scalePoints() CoreBench {
+	return CoreBench{
+		Schema: ScaleSchema,
+		Points: []CorePoint{
+			{Name: "scale_fs_x16_sharded", Value: 7000, Unit: "Kops/s", HigherIsBetter: true},
+			{Name: "scale_fs_speedup_x16", Value: 16, Unit: "x", HigherIsBetter: true},
+			{Name: "scale_fs_knee_sharded", Value: 32, Unit: "phis", HigherIsBetter: true},
+			{Name: "scale_fs_knee_margin", Value: 8, Unit: "x", HigherIsBetter: true},
+		},
+	}
+}
+
+// The scale document round-trips through the schema-agnostic loader the
+// benchdiff CLI uses, and the schema-checked writer rejects readbacks
+// under the wrong schema constant.
+func TestScaleBenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	if err := WriteCoreBench(path, scalePoints()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchAny(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ScaleSchema {
+		t.Fatalf("schema = %q, want %q", got.Schema, ScaleSchema)
+	}
+	if len(got.Points) != 4 || got.Points[0] != scalePoints().Points[0] {
+		t.Errorf("round-trip = %+v", got)
+	}
+	// The schema-specific core loader must refuse a scale document: the
+	// cross-schema guard is what makes benchdiff exit 2 instead of
+	// comparing apples to oranges.
+	if _, err := LoadCoreBench(path); err == nil {
+		t.Error("core loader accepted a scale-schema document")
+	}
+}
+
+// A regressed knee hard-fails the gate: the saturation knee sliding left
+// (sharded series bending earlier) and the knee margin shrinking are both
+// HigherIsBetter points, so CompareCore flags them like any throughput
+// loss. This is the regression CI's benchdiff step must catch if sharding
+// quietly stops helping.
+func TestScaleRegressedKneeFails(t *testing.T) {
+	base := scalePoints()
+	worse := scalePoints()
+	worse.Points[2].Value = 8 // knee slid from 32 to 8 phis
+	worse.Points[3].Value = 2 // margin collapsed from 8x to 2x
+	ds := CompareCore(base, worse, 5)
+	if countRegressed(ds) != 2 {
+		t.Fatalf("regressed knee not flagged: %+v", ds)
+	}
+	// And within the budget nothing fires.
+	fine := scalePoints()
+	fine.Points[0].Value = 6800 // -2.9% throughput: inside 5%
+	if ds := CompareCore(base, fine, 5); countRegressed(ds) != 0 {
+		t.Errorf("in-budget movement flagged: %+v", ds)
+	}
+}
+
+// The committed scale baseline loads, carries the scale schema, passes
+// the gate against itself, and already encodes the issue's acceptance
+// shape: >=3x sharded speedup at 16 co-processors and the sharded knee
+// strictly beyond the unsharded knee (margin > 1).
+func TestCommittedScaleBaseline(t *testing.T) {
+	cb, err := LoadBenchAny("BENCH_scale.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Schema != ScaleSchema {
+		t.Fatalf("schema = %q, want %q", cb.Schema, ScaleSchema)
+	}
+	if len(cb.Points) != 7 {
+		t.Fatalf("baseline has %d points, want 7", len(cb.Points))
+	}
+	byName := map[string]float64{}
+	for _, p := range cb.Points {
+		byName[p.Name] = p.Value
+	}
+	if v := byName["scale_fs_speedup_x16"]; v < 3 {
+		t.Errorf("sharded fs speedup at 16 phis = %.2fx, want >= 3x", v)
+	}
+	if v := byName["scale_kv_speedup_x16"]; v < 3 {
+		t.Errorf("sharded kv speedup at 16 phis = %.2fx, want >= 3x", v)
+	}
+	if v := byName["scale_fs_knee_margin"]; v <= 1 {
+		t.Errorf("knee margin = %.2fx: sharded knee not beyond unsharded knee", v)
+	}
+	if ds := CompareCore(cb, cb, 5); countRegressed(ds) != 0 {
+		t.Errorf("committed scale baseline regressed against itself: %+v", ds)
+	}
+}
+
+// TestScaleShape runs the quick fig-scale sweep end to end and asserts
+// the issue's acceptance shape on live numbers: aggregate sharded
+// throughput at 16 co-processors >= 3x the single-phi point, the
+// unsharded series saturating inside the sweep, and the sharded knee
+// strictly beyond it.
+func TestScaleShape(t *testing.T) {
+	defer func(q bool) { Quick = q }(Quick)
+	Quick = true
+	rows := Scale()
+	sh1 := valueOf(t, rows, "sharded fs tput", "1phi")
+	sh16 := valueOf(t, rows, "sharded fs tput", "16phi")
+	if sh16 < 3*sh1 {
+		t.Errorf("sharded fs tput at 16 phis = %.1f Kops/s, want >= 3x single-phi %.1f", sh16, sh1)
+	}
+	un16 := valueOf(t, rows, "unsharded fs tput", "16phi")
+	if sh16 < 2*un16 {
+		t.Errorf("sharded fs tput %.1f not clearly above unsharded %.1f at 16 phis", sh16, un16)
+	}
+	kneeUn := valueOf(t, rows, "knee", "unsharded")
+	kneeSh := valueOf(t, rows, "knee", "sharded")
+	if kneeSh <= kneeUn {
+		t.Errorf("sharded knee %.0f not beyond unsharded knee %.0f", kneeSh, kneeUn)
+	}
+	// KV churn: admission sharding must help too.
+	kv1 := valueOf(t, rows, "sharded kv tput", "1phi")
+	kv16 := valueOf(t, rows, "sharded kv tput", "16phi")
+	if kv16 < 3*kv1 {
+		t.Errorf("sharded kv churn at 16 phis = %.1f Kconn/s, want >= 3x single-phi %.1f", kv16, kv1)
+	}
+}

@@ -89,8 +89,25 @@ type FSProxy struct {
 	// per attempt.
 	RetryBackoff sim.Time
 
+	// Shards partitions the serve plane into that many per-NUMA-domain
+	// shards (§6.3 scale-out): per-channel reader procs feed per-shard
+	// executor pools, the serialized slice of each request queues on the
+	// owning shard's lock, and pending-fill state shards by page hash.
+	// Zero (the default) keeps the legacy per-channel serve loops with
+	// global tables and unchanged virtual-time charges. Sharded serving
+	// always replies per request (CoalesceDoorbell is a per-channel batch
+	// discipline and is ignored).
+	Shards int
+	// ShardFids gives each shard a private fid table. With Shards set but
+	// ShardFids off, fid-touching requests additionally serialize on one
+	// global fid-table lock — the ablation showing that sharding the
+	// tables matters, not just the serve loops.
+	ShardFids bool
+
 	channels []*channel
 	workers  int
+	shards   []*fsShard
+	fidLock  *sim.Resource
 	opens    map[uint32]*openFile
 	readers  map[uint32]map[*pcie.Device]bool // ino -> co-processors that read it
 	fetching map[uint32]bool
@@ -120,10 +137,11 @@ type FSProxy struct {
 }
 
 type channel struct {
-	idx  int // position in px.channels, fixed at Attach
-	phi  *pcie.Device
-	req  *transport.Port
-	resp *transport.Port
+	idx   int // position in px.channels, fixed at Attach
+	phi   *pcie.Device
+	req   *transport.Port
+	resp  *transport.Port
+	shard *fsShard // owning shard; nil in the legacy unsharded layout
 }
 
 // pageKey names one cache page for fill coordination.
@@ -176,12 +194,16 @@ func (px *FSProxy) Attach(phi *pcie.Device, req, resp *transport.Port) {
 
 // Start spawns workers proxy procs per attached co-processor channel.
 // Each worker pulls requests and serves them; workers exit when the
-// request ring closes.
+// request ring closes. With Shards set the layout changes: channels get
+// reader procs and shards get executor pools of the same worker count.
 func (px *FSProxy) Start(p *sim.Proc, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
 	px.workers = workers
+	if px.Shards > 0 {
+		px.assignShards()
+	}
 	for _, ch := range px.channels {
 		px.startChannel(p, ch)
 	}
@@ -193,6 +215,10 @@ func (px *FSProxy) startChannel(p *sim.Proc, ch *channel) {
 	// request after decoding it, so steady-state serving stops allocating
 	// per message. Heap-only — virtual time is unchanged.
 	ch.req.EnablePool()
+	if ch.shard != nil {
+		px.startShardChannel(p, ch)
+		return
+	}
 	for w := 0; w < px.workers; w++ {
 		p.Spawn(fmt.Sprintf("fsproxy-%s-%d", ch.phi.Name, w), func(wp *sim.Proc) {
 			px.serve(wp, ch)
@@ -207,7 +233,9 @@ func (px *FSProxy) startChannel(p *sim.Proc, ch *channel) {
 // and exit without touching the replacement; sibling channels never notice.
 func (px *FSProxy) Reattach(p *sim.Proc, idx int, req, resp *transport.Port) {
 	old := px.channels[idx]
-	ch := &channel{idx: idx, phi: old.phi, req: req, resp: resp}
+	// The replacement keeps its predecessor's shard, so the shard-private
+	// fid table (like the fid namespace itself) survives the outage.
+	ch := &channel{idx: idx, phi: old.phi, req: req, resp: resp, shard: old.shard}
 	px.channels[idx] = ch
 	px.reattaches++
 	px.telReattach.Add(1)
@@ -331,16 +359,16 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m, out *ninep.Msg) {
 			rerrorInto(out, err)
 			return
 		}
-		px.opens[px.fidKey(ch, m.Fid)] = &openFile{f: f, phi: ch.phi, flags: m.Flags, path: m.Name}
+		px.fidTable(ch)[px.fidKey(ch, m.Fid)] = &openFile{f: f, phi: ch.phi, flags: m.Flags, path: m.Name}
 		out.Type = ninep.Ropen
 		out.Size = f.Size()
 
 	case ninep.Tclose:
-		delete(px.opens, px.fidKey(ch, m.Fid))
+		delete(px.fidTable(ch), px.fidKey(ch, m.Fid))
 		out.Type = ninep.Rclose
 
 	case ninep.Tread:
-		of, ok := px.opens[px.fidKey(ch, m.Fid)]
+		of, ok := px.fidTable(ch)[px.fidKey(ch, m.Fid)]
 		if !ok {
 			rerrorInto(out, fmt.Errorf("fsproxy: bad fid %d", m.Fid))
 			return
@@ -354,7 +382,7 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m, out *ninep.Msg) {
 		out.Count = n
 
 	case ninep.Twrite:
-		of, ok := px.opens[px.fidKey(ch, m.Fid)]
+		of, ok := px.fidTable(ch)[px.fidKey(ch, m.Fid)]
 		if !ok {
 			rerrorInto(out, fmt.Errorf("fsproxy: bad fid %d", m.Fid))
 			return
@@ -428,7 +456,7 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m, out *ninep.Msg) {
 		out.Data = data
 
 	case ninep.Ttrunc:
-		of, ok := px.opens[px.fidKey(ch, m.Fid)]
+		of, ok := px.fidTable(ch)[px.fidKey(ch, m.Fid)]
 		if !ok {
 			rerrorInto(out, fmt.Errorf("fsproxy: bad fid %d", m.Fid))
 			return
@@ -476,7 +504,7 @@ func (px *FSProxy) handle(p *sim.Proc, ch *channel, m, out *ninep.Msg) {
 		out.Type = ninep.Rsync
 
 	case ninep.Treadahead:
-		of, ok := px.opens[px.fidKey(ch, m.Fid)]
+		of, ok := px.fidTable(ch)[px.fidKey(ch, m.Fid)]
 		if !ok {
 			rerrorInto(out, fmt.Errorf("fsproxy: bad fid %d", m.Fid))
 			return
@@ -514,7 +542,7 @@ func (px *FSProxy) fullyCached(ino uint32, off, n int64) bool {
 		if _, ok := px.Cache.Lookup(ino, blk); !ok {
 			return false
 		}
-		if px.pendingFill[pageKey{ino: ino, blk: blk}] {
+		if px.fillPending(pageKey{ino: ino, blk: blk}) {
 			// Frame claimed but the disk fill hasn't landed yet.
 			return false
 		}
@@ -525,23 +553,24 @@ func (px *FSProxy) fullyCached(ino uint32, off, n int64) bool {
 // waitFilled blocks until no fill is pending for page k; a pure map probe
 // (never a yield) unless overlap or readahead fills are in flight.
 func (px *FSProxy) waitFilled(p *sim.Proc, k pageKey) {
-	for px.pendingFill[k] {
-		p.Wait(px.fillCond)
+	for px.fillPending(k) {
+		p.Wait(px.fillCondFor(k))
 	}
 }
 
 // claimFill marks page k's frame as claimed-but-unfilled and accounts the
 // claim in the pending_fill queue.
 func (px *FSProxy) claimFill(p *sim.Proc, k pageKey) {
-	px.pendingFill[k] = true
+	px.fillMap(k)[k] = true
 	px.telPending.Arrive(p)
 }
 
 // clearFill releases page k's fill claim. Idempotent, so error-path sweeps
 // that clear a range cannot unbalance the queue accounting.
 func (px *FSProxy) clearFill(p *sim.Proc, k pageKey) {
-	if px.pendingFill[k] {
-		delete(px.pendingFill, k)
+	m := px.fillMap(k)
+	if m[k] {
+		delete(m, k)
 		px.telPending.Depart(p)
 	}
 }
@@ -673,13 +702,14 @@ func (px *FSProxy) bufferedRead(p *sim.Proc, of *openFile, off, n int64, dst pci
 					px.Cache.InvalidateRange(ino, blk*cache.PageSize, cache.PageSize)
 					px.clearFill(p, pageKey{ino: ino, blk: blk})
 				}
-				p.Broadcast(px.fillCond)
+				px.broadcastFills(p)
 				missLocs = missLocs[:0]
 				missStart = -1
 				return err
 			}
-			px.clearFill(p, pageKey{ino: ino, blk: missStart + int64(i)})
-			p.Broadcast(px.fillCond)
+			filled := pageKey{ino: ino, blk: missStart + int64(i)}
+			px.clearFill(p, filled)
+			p.Broadcast(px.fillCondFor(filled))
 		}
 		missLocs = missLocs[:0]
 		missStart = -1
@@ -820,7 +850,7 @@ func (px *FSProxy) startFill(p *sim.Proc, f *fs.File, off, n int64, procs int) *
 	var fills []fill
 	for blk := off / cache.PageSize; blk <= (off+n-1)/cache.PageSize; blk++ {
 		k := pageKey{ino: ino, blk: blk}
-		if px.pendingFill[k] {
+		if px.fillPending(k) {
 			continue // another proc is on it; pushFromCache will wait
 		}
 		if _, ok := px.Cache.Lookup(ino, blk); ok {
@@ -868,11 +898,12 @@ func (px *FSProxy) startFill(p *sim.Proc, f *fs.File, off, n int64, procs int) *
 						px.Cache.InvalidateRange(ino, rest.blk*cache.PageSize, cache.PageSize)
 						px.clearFill(fp, pageKey{ino: ino, blk: rest.blk})
 					}
-					fp.Broadcast(px.fillCond)
+					px.broadcastFills(fp)
 					return
 				}
-				px.clearFill(fp, pageKey{ino: ino, blk: fl.blk})
-				fp.Broadcast(px.fillCond)
+				filled := pageKey{ino: ino, blk: fl.blk}
+				px.clearFill(fp, filled)
+				fp.Broadcast(px.fillCondFor(filled))
 			}
 		})
 	}
@@ -1043,7 +1074,7 @@ func (px *FSProxy) Prefetch(p *sim.Proc, path string) error {
 	for pos := int64(0); pos < limit; pos += cache.PageSize {
 		blk := pos / cache.PageSize
 		k := pageKey{ino: f.Ino(), blk: blk}
-		if px.pendingFill[k] {
+		if px.fillPending(k) {
 			continue // another proc is filling it
 		}
 		if _, ok := px.Cache.Lookup(f.Ino(), blk); ok {
@@ -1059,7 +1090,7 @@ func (px *FSProxy) Prefetch(p *sim.Proc, path string) error {
 			return f.ReadTo(p, pos, sz, loc, px.Coalesce)
 		})
 		px.clearFill(p, k)
-		p.Broadcast(px.fillCond)
+		p.Broadcast(px.fillCondFor(k))
 		if err != nil {
 			px.Cache.InvalidateRange(f.Ino(), pos, cache.PageSize)
 			return err
@@ -1080,7 +1111,7 @@ func (px *FSProxy) CheckCacheCoherence() error {
 	img := px.SSD.Image()
 	var violation error
 	px.Cache.ForEach(func(ino uint32, blk int64, loc pcie.Loc) bool {
-		if px.pendingFill[pageKey{ino: ino, blk: blk}] {
+		if px.fillPending(pageKey{ino: ino, blk: blk}) {
 			return true
 		}
 		extents, _, ok := px.FS.InodeExtents(ino)

@@ -1,0 +1,503 @@
+package controlplane_test
+
+// Scale-out test battery for the sharded control plane (§6.3): shard
+// assignment and fid-table audits, N-shard × M-client churn stress with a
+// mid-run DetachNet, the shared-listener balancer property over a dozen
+// scheduler seeds, and the DetachNet vs. in-flight-accept regression. All
+// of it runs under -race in CI; the simulator is single-threaded, so the
+// races these catch are structural (shared tables mutated across yields),
+// not data races.
+
+import (
+	"fmt"
+	"testing"
+
+	"solros/internal/controlplane"
+	"solros/internal/core"
+	"solros/internal/ninep"
+	"solros/internal/sim"
+)
+
+const scalePort = 7150
+
+// TestShardAssignmentNUMA pins the topology→shard deal: with four phis
+// striped over two sockets and two shards, each NUMA domain gets exactly
+// one shard, and assignment is a pure function of the topology.
+func TestShardAssignmentNUMA(t *testing.T) {
+	m := core.NewMachine(core.Config{Phis: 4, ProxyShards: 2, ShardFids: true})
+	m.MustRun(func(p *sim.Proc, m *core.Machine) {
+		if got := m.FSProxy.ShardCount(); got != 2 {
+			t.Fatalf("ShardCount = %d, want 2", got)
+		}
+		want := []int{0, 0, 1, 1} // phis 0,1 on socket 0; 2,3 on socket 1
+		for i, w := range want {
+			if got := m.FSProxy.ShardOf(i); got != w {
+				t.Errorf("ShardOf(%d) = %d, want %d", i, got, w)
+			}
+		}
+	})
+}
+
+// TestShardedFSEndToEnd drives create/write/read/close through every phi
+// of a sharded proxy, including a file shared across shards, and audits
+// the fid tables afterwards.
+func TestShardedFSEndToEnd(t *testing.T) {
+	for _, shardFids := range []bool{true, false} {
+		t.Run(fmt.Sprintf("shardFids=%v", shardFids), func(t *testing.T) {
+			m := core.NewMachine(core.Config{Phis: 4, ProxyShards: 4, ShardFids: shardFids})
+			m.MustRun(func(p *sim.Proc, m *core.Machine) {
+				done := sim.NewWaitGroup("sharded-fs")
+				for i, phi := range m.Phis {
+					i, phi := i, phi
+					done.Add(1)
+					p.Spawn(fmt.Sprintf("wl-%d", i), func(wp *sim.Proc) {
+						defer wp.DoneWG(done)
+						buf := phi.FS.AllocBuffer(8192)
+						for r := 0; r < 3; r++ {
+							path := fmt.Sprintf("/own-%d", i)
+							fd, err := phi.FS.Open(wp, path, ninep.OCreate)
+							if err != nil {
+								t.Errorf("phi %d open: %v", i, err)
+								return
+							}
+							copy(buf.Data, fmt.Sprintf("phi-%d-round-%d", i, r))
+							if _, err := phi.FS.Write(wp, fd, 0, buf, 4096); err != nil {
+								t.Errorf("phi %d write: %v", i, err)
+							}
+							if _, err := phi.FS.Read(wp, fd, 0, buf, 4096); err != nil {
+								t.Errorf("phi %d read: %v", i, err)
+							}
+							if err := phi.FS.Close(wp, fd); err != nil {
+								t.Errorf("phi %d close: %v", i, err)
+							}
+							// Shared file: every shard touches the same inode,
+							// so pending-fill hashing gets cross-shard traffic.
+							sfd, err := phi.FS.Open(wp, "/shared", ninep.OCreate)
+							if err != nil {
+								t.Errorf("phi %d shared open: %v", i, err)
+								return
+							}
+							phi.FS.Write(wp, sfd, int64(i)*4096, buf, 4096)
+							phi.FS.Read(wp, sfd, 0, buf, 4096)
+							phi.FS.Close(wp, sfd)
+						}
+					})
+				}
+				p.WaitWG(done)
+				if err := m.FSProxy.CheckShards(); err != nil {
+					t.Errorf("CheckShards: %v", err)
+				}
+				if n := m.FSProxy.OpenFids(); n != 0 {
+					t.Errorf("fid leak: %d open fids after quiesce", n)
+				}
+			})
+		})
+	}
+}
+
+// churnMachine runs an echo server fleet behind a content balancer and a
+// set of churn clients doing connect/ask/disconnect loops, plus FS
+// open/write/read/close loops, with a DetachNet fired mid-run. It is the
+// N-shard × M-client stress scenario of the scale-out PR.
+func churnMachine(t *testing.T, shards int, shardFids bool) {
+	const phis = 4
+	const clients = 6
+	const rounds = 4
+	m := core.NewMachine(core.Config{
+		Phis:        phis,
+		ProxyShards: shards,
+		ShardFids:   shardFids,
+	})
+	m.EnableNetwork()
+	m.MustRun(func(p *sim.Proc, m *core.Machine) {
+		m.TCPProxy.Balance = &controlplane.ContentBalancer{
+			Key: func(first []byte) uint32 {
+				if len(first) == 0 {
+					return 0
+				}
+				return uint32(first[0])
+			},
+		}
+		srvDone := sim.NewWaitGroup("churn-srv")
+		done := sim.NewWaitGroup("churn")
+		for i, phi := range m.Phis {
+			if err := phi.Net.Listen(p, scalePort); err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			i, phi := i, phi
+			srvDone.Add(1)
+			p.Spawn(fmt.Sprintf("srv-%d", i), func(sp *sim.Proc) {
+				defer sp.DoneWG(srvDone)
+				for {
+					sock, err := phi.Net.Accept(sp, scalePort)
+					if err != nil {
+						return
+					}
+					for {
+						req, err := sock.RecvFull(sp, 1)
+						if err != nil || len(req) != 1 {
+							break
+						}
+						sock.Send(sp, []byte{byte(i)})
+					}
+				}
+			})
+		}
+		for c := 0; c < clients; c++ {
+			c := c
+			done.Add(1)
+			p.Spawn(fmt.Sprintf("churn-%d", c), func(cp *sim.Proc) {
+				defer cp.DoneWG(done)
+				phi := m.Phis[c%phis]
+				buf := phi.FS.AllocBuffer(4096)
+				for r := 0; r < rounds; r++ {
+					// FS leg: open/write/read/close churn on the client's phi.
+					fd, err := phi.FS.Open(cp, fmt.Sprintf("/churn-%d", c), ninep.OCreate)
+					if err != nil {
+						t.Errorf("client %d open: %v", c, err)
+						return
+					}
+					phi.FS.Write(cp, fd, 0, buf, 2048)
+					phi.FS.Read(cp, fd, 0, buf, 2048)
+					if err := phi.FS.Close(cp, fd); err != nil {
+						t.Errorf("client %d close: %v", c, err)
+					}
+					// TCP leg: connect, one request, disconnect. The reply
+					// may come from any live member — the detach below
+					// shrinks the member set mid-run.
+					conn, err := m.ClientStack.Dial(cp, m.HostStack, scalePort)
+					if err != nil {
+						t.Errorf("client %d dial: %v", c, err)
+						return
+					}
+					side := conn.Side(m.ClientStack)
+					side.Send(cp, []byte{byte(c*rounds + r)})
+					if resp, err := side.RecvFull(cp, 1); err == nil {
+						if got := int(resp[0]); got < 0 || got >= phis {
+							t.Errorf("client %d: reply from member %d out of range", c, got)
+						}
+					}
+					// A detach can close a connection before the reply; an
+					// error here is a legal outcome of the race under test.
+					side.Close(cp)
+				}
+			})
+		}
+		done.Add(1)
+		p.Spawn("detacher", func(dp *sim.Proc) {
+			defer dp.DoneWG(done)
+			dp.Advance(80 * sim.Microsecond)
+			m.TCPProxy.DetachNet(dp, m.Phis[1].Dev)
+		})
+		p.WaitWG(done)
+		// Stopping the proxy closes the listeners, which fails the servers'
+		// Accept and lets them drain.
+		m.TCPProxy.Stop(p)
+		p.WaitWG(srvDone)
+
+		if err := m.FSProxy.CheckShards(); err != nil {
+			t.Errorf("CheckShards after churn: %v", err)
+		}
+		if n := m.FSProxy.OpenFids(); n != 0 {
+			t.Errorf("fid leak after churn: %d open fids", n)
+		}
+		if m.TCPProxy.ActiveConns()[m.Phis[1].Dev.Name] != 0 {
+			t.Errorf("detached member still holds active conns: %v", m.TCPProxy.ActiveConns())
+		}
+		for i, phi := range m.Phis {
+			if err := phi.Net.RPC().CheckTags(); err != nil {
+				t.Errorf("phi %d net RPC tags after churn: %v", i, err)
+			}
+			if err := phi.Conn.CheckTags(); err != nil {
+				t.Errorf("phi %d fs RPC tags after churn: %v", i, err)
+			}
+		}
+	})
+}
+
+// TestShardedProxyChurnStress is the N-shard × M-client concurrency
+// stress: connect/serve/disconnect and open/close loops with DetachNet
+// mid-run, across shard counts (0 = legacy layout) and both fid-table
+// layouts, audited for fid leaks and tag-window imbalance after quiesce.
+func TestShardedProxyChurnStress(t *testing.T) {
+	for _, tc := range []struct {
+		shards    int
+		shardFids bool
+	}{
+		{0, false},
+		{1, false},
+		{2, true},
+		{4, true},
+		{4, false},
+	} {
+		t.Run(fmt.Sprintf("shards=%d,fids=%v", tc.shards, tc.shardFids), func(t *testing.T) {
+			churnMachine(t, tc.shards, tc.shardFids)
+		})
+	}
+}
+
+// TestBalancerSkewProperty is the shared-listener balancer property over
+// 12 scheduler seeds: with round-robin balancing the accepted-connection
+// counts per member stay within a bounded skew, and after a DetachNet the
+// detached member's connections are fully drained with clean tag windows.
+func TestBalancerSkewProperty(t *testing.T) {
+	const phis = 3
+	const conns = 24
+	for _, shards := range []int{0, 3} {
+		for seed := int64(1); seed <= 12; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("shards=%d,seed=%d", shards, seed), func(t *testing.T) {
+				served := make([]int, phis)
+				m := core.NewMachine(core.Config{Phis: phis, ProxyShards: shards, SchedSeed: seed})
+				m.EnableNetwork()
+				m.MustRun(func(p *sim.Proc, m *core.Machine) {
+					// Default Balance is RoundRobin.
+					done := sim.NewWaitGroup("skew")
+					for i, phi := range m.Phis {
+						if err := phi.Net.Listen(p, scalePort); err != nil {
+							t.Fatalf("listen: %v", err)
+						}
+						i, phi := i, phi
+						done.Add(1)
+						p.Spawn(fmt.Sprintf("srv-%d", i), func(sp *sim.Proc) {
+							defer sp.DoneWG(done)
+							for {
+								sock, err := phi.Net.Accept(sp, scalePort)
+								if err != nil {
+									return
+								}
+								for {
+									req, err := sock.RecvFull(sp, 1)
+									if err != nil || len(req) != 1 {
+										break
+									}
+									sock.Send(sp, []byte{byte(i)})
+								}
+							}
+						})
+					}
+					done.Add(1)
+					p.Spawn("client", func(cp *sim.Proc) {
+						defer cp.DoneWG(done)
+						cp.Advance(50 * sim.Microsecond)
+						ask := func() int {
+							conn, err := m.ClientStack.Dial(cp, m.HostStack, scalePort)
+							if err != nil {
+								t.Fatalf("dial: %v", err)
+							}
+							side := conn.Side(m.ClientStack)
+							side.Send(cp, []byte{1})
+							resp, err := side.RecvFull(cp, 1)
+							if err != nil || len(resp) != 1 {
+								t.Fatalf("echo: %v", err)
+							}
+							side.Close(cp)
+							return int(resp[0])
+						}
+						for k := 0; k < conns; k++ {
+							served[ask()]++
+						}
+						lo, hi := served[0], served[0]
+						for _, s := range served[1:] {
+							lo, hi = min(lo, s), max(hi, s)
+						}
+						if hi-lo > 2 {
+							t.Errorf("seed %d: accept skew %v exceeds bound 2", seed, served)
+						}
+						m.TCPProxy.DetachNet(cp, m.Phis[0].Dev)
+						for k := 0; k < 6; k++ {
+							if got := ask(); got == 0 {
+								t.Errorf("seed %d: conn landed on detached member 0", seed)
+							}
+						}
+						m.TCPProxy.Stop(cp)
+					})
+					p.WaitWG(done)
+					if m.TCPProxy.ActiveConns()[m.Phis[0].Dev.Name] != 0 {
+						t.Errorf("seed %d: detached member not drained: %v", seed, m.TCPProxy.ActiveConns())
+					}
+					for i, phi := range m.Phis {
+						if err := phi.Net.RPC().CheckTags(); err != nil {
+							t.Errorf("seed %d: phi %d orphaned tags: %v", seed, i, err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestDetachNetWithQueuedAccepts is the regression for the DetachNet vs.
+// in-flight accept race: connections whose first payload is still being
+// peeked (or which sit in a shard's accept queue) when their picked member
+// detaches must land on a surviving member — not panic on an empty member
+// list or be admitted to the dead channel.
+func TestDetachNetWithQueuedAccepts(t *testing.T) {
+	const dialers = 6
+	for _, shards := range []int{0, 2} {
+		for seed := int64(0); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("shards=%d,seed=%d", shards, seed), func(t *testing.T) {
+				var okConns, failConns int
+				m := core.NewMachine(core.Config{Phis: 2, ProxyShards: shards, SchedSeed: seed})
+				m.EnableNetwork()
+				m.MustRun(func(p *sim.Proc, m *core.Machine) {
+					m.TCPProxy.Balance = &controlplane.ContentBalancer{
+						// Every connection keys to member 0 while it is alive.
+						Key: func([]byte) uint32 { return 0 },
+					}
+					srvDone := sim.NewWaitGroup("detach-race-srv")
+					done := sim.NewWaitGroup("detach-race")
+					for i, phi := range m.Phis {
+						if err := phi.Net.Listen(p, scalePort); err != nil {
+							t.Fatalf("listen: %v", err)
+						}
+						i, phi := i, phi
+						srvDone.Add(1)
+						p.Spawn(fmt.Sprintf("srv-%d", i), func(sp *sim.Proc) {
+							defer sp.DoneWG(srvDone)
+							for {
+								sock, err := phi.Net.Accept(sp, scalePort)
+								if err != nil {
+									return
+								}
+								for {
+									req, err := sock.RecvFull(sp, 1)
+									if err != nil || len(req) != 1 {
+										break
+									}
+									sock.Send(sp, []byte{byte(i)})
+								}
+							}
+						})
+					}
+					for d := 0; d < dialers; d++ {
+						d := d
+						done.Add(1)
+						p.Spawn(fmt.Sprintf("dial-%d", d), func(cp *sim.Proc) {
+							defer cp.DoneWG(done)
+							// Stagger the dials so the detach lands while some
+							// connections are accepted-but-unpeeked and some sit
+							// in accept queues.
+							cp.Advance(sim.Time(d) * 8 * sim.Microsecond)
+							conn, err := m.ClientStack.Dial(cp, m.HostStack, scalePort)
+							if err != nil {
+								failConns++
+								return
+							}
+							side := conn.Side(m.ClientStack)
+							side.Send(cp, []byte{0})
+							resp, err := side.RecvFull(cp, 1)
+							if err != nil || len(resp) != 1 {
+								// Closed under us — only legal while member 0 was
+								// being detached, never after rebalancing.
+								failConns++
+								side.Close(cp)
+								return
+							}
+							okConns++
+							side.Close(cp)
+						})
+					}
+					done.Add(1)
+					p.Spawn("detacher", func(dp *sim.Proc) {
+						defer dp.DoneWG(done)
+						dp.Advance(25 * sim.Microsecond)
+						m.TCPProxy.DetachNet(dp, m.Phis[0].Dev)
+					})
+					p.WaitWG(done)
+
+					// After the detach settles, new conns must reach member 1.
+					var tail int
+					conn, err := m.ClientStack.Dial(p, m.HostStack, scalePort)
+					if err != nil {
+						t.Fatalf("post-detach dial: %v", err)
+					}
+					side := conn.Side(m.ClientStack)
+					side.Send(p, []byte{0})
+					resp, err := side.RecvFull(p, 1)
+					if err != nil || len(resp) != 1 {
+						t.Fatalf("post-detach echo: %v", err)
+					}
+					tail = int(resp[0])
+					side.Close(p)
+					if tail != 1 {
+						t.Errorf("post-detach conn on member %d, want survivor 1", tail)
+					}
+					m.TCPProxy.Stop(p)
+					p.WaitWG(srvDone)
+				})
+				if okConns+failConns != dialers {
+					t.Errorf("lost connections: ok=%d fail=%d of %d", okConns, failConns, dialers)
+				}
+				if okConns == 0 {
+					t.Errorf("no connection survived the detach window (ok=%d fail=%d)", okConns, failConns)
+				}
+			})
+		}
+	}
+}
+
+// TestDetachLastMemberClosesQueued pins the empty-member edge: detaching
+// the only member while dials are in flight must close the queued
+// connections (clients see an error), not divide by zero in PickContent.
+func TestDetachLastMemberClosesQueued(t *testing.T) {
+	for _, shards := range []int{0, 1} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			m := core.NewMachine(core.Config{Phis: 1, ProxyShards: shards})
+			m.EnableNetwork()
+			m.MustRun(func(p *sim.Proc, m *core.Machine) {
+				m.TCPProxy.Balance = &controlplane.ContentBalancer{Key: controlplane.FNV1a}
+				srvDone := sim.NewWaitGroup("last-member-srv")
+				done := sim.NewWaitGroup("last-member")
+				phi := m.Phis[0]
+				if err := phi.Net.Listen(p, scalePort); err != nil {
+					t.Fatalf("listen: %v", err)
+				}
+				srvDone.Add(1)
+				p.Spawn("srv", func(sp *sim.Proc) {
+					defer sp.DoneWG(srvDone)
+					for {
+						sock, err := phi.Net.Accept(sp, scalePort)
+						if err != nil {
+							return
+						}
+						for {
+							req, err := sock.RecvFull(sp, 1)
+							if err != nil || len(req) != 1 {
+								break
+							}
+							sock.Send(sp, []byte{0xEE})
+						}
+					}
+				})
+				for d := 0; d < 4; d++ {
+					d := d
+					done.Add(1)
+					p.Spawn(fmt.Sprintf("dial-%d", d), func(cp *sim.Proc) {
+						defer cp.DoneWG(done)
+						cp.Advance(sim.Time(d) * 6 * sim.Microsecond)
+						conn, err := m.ClientStack.Dial(cp, m.HostStack, scalePort)
+						if err != nil {
+							return
+						}
+						side := conn.Side(m.ClientStack)
+						side.Send(cp, []byte{byte(d)})
+						// Served or closed are both legal; hanging or a panic
+						// in PickContent is the bug under test.
+						side.RecvFull(cp, 1)
+						side.Close(cp)
+					})
+				}
+				done.Add(1)
+				p.Spawn("detacher", func(dp *sim.Proc) {
+					defer dp.DoneWG(done)
+					dp.Advance(20 * sim.Microsecond)
+					m.TCPProxy.DetachNet(dp, phi.Dev)
+				})
+				p.WaitWG(done)
+				m.TCPProxy.Stop(p)
+				p.WaitWG(srvDone)
+			})
+		})
+	}
+}

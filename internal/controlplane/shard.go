@@ -1,0 +1,506 @@
+package controlplane
+
+// Control-plane sharding (§6.3 scale-out). With FSProxy.Shards /
+// TCPProxy.Shards set, the proxies partition into per-NUMA-domain serve
+// loops: each FS shard owns a request queue, an executor pool, a table
+// lock, a pending-fill map, and — with ShardFids — a private fid table;
+// each TCP shard owns a connection-admission queue and lock. Shards are
+// dealt to NUMA domains purely from the topology, so ownership is
+// reproducible across runs and survives channel Reattach. Zero shards is
+// the legacy layout: per-channel serve loops over global tables, with
+// every virtual-time charge unchanged.
+
+import (
+	"fmt"
+
+	"solros/internal/model"
+	"solros/internal/netstack"
+	"solros/internal/ninep"
+	"solros/internal/pcie"
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+)
+
+// lockResource models a mutex as an FCFS sim.Resource: one "byte" of
+// service is one nanosecond of hold, so callers charge variable critical
+// sections against a single queue with p.Use(r, int64(hold)).
+func lockResource(name string) *sim.Resource {
+	return sim.NewResource(name, int64(sim.Second), 0)
+}
+
+// dealShards maps each device to one of n shards, NUMA-aware and purely
+// topological: shards are dealt round-robin across the distinct sockets in
+// device order, and a socket's devices spread round-robin over the shards
+// dealt to that socket. With one shard per socket this is exactly one
+// serve loop per NUMA domain; with one shard per device it degenerates to
+// fully private control planes.
+func dealShards(devs []*pcie.Device, n int) []int {
+	var sockets []int
+	seen := make(map[int]bool)
+	for _, d := range devs {
+		if !seen[d.Socket] {
+			seen[d.Socket] = true
+			sockets = append(sockets, d.Socket)
+		}
+	}
+	shardsOf := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		s := sockets[i%len(sockets)]
+		shardsOf[s] = append(shardsOf[s], i)
+	}
+	out := make([]int, len(devs))
+	nth := make(map[int]int)
+	for i, d := range devs {
+		if own := shardsOf[d.Socket]; len(own) > 0 {
+			out[i] = own[nth[d.Socket]%len(own)]
+		} else {
+			// More sockets than shards: this socket has no shard of its
+			// own, spill its devices across all shards.
+			out[i] = i % n
+		}
+		nth[d.Socket]++
+	}
+	return out
+}
+
+// --- FS control plane ------------------------------------------------------
+
+// fsShard is one partition of the FS control plane: a FIFO of decoded
+// requests fed by the shard's channel readers, an executor pool draining
+// it, the shard's table lock, and — with ShardFids — a private fid table.
+// Pending-fill state is sharded separately by page hash: files are shared
+// across channels, so fill coordination cannot follow channel ownership.
+type fsShard struct {
+	idx   int
+	lock  *sim.Resource
+	queue []*shardReq
+	freed []*shardReq
+	cond  *sim.Cond
+
+	opens map[uint32]*openFile
+
+	pendingFill map[pageKey]bool
+	fillCond    *sim.Cond
+
+	readers   int // live reader procs feeding the queue
+	executors int // live executor procs draining it
+}
+
+// shardReq is one decoded request parked in a shard queue; records are
+// pooled per shard so steady-state serving does not allocate.
+type shardReq struct {
+	ch *channel
+	m  ninep.Msg
+}
+
+func (sh *fsShard) getReq() *shardReq {
+	if n := len(sh.freed); n > 0 {
+		r := sh.freed[n-1]
+		sh.freed = sh.freed[:n-1]
+		return r
+	}
+	return &shardReq{}
+}
+
+func (sh *fsShard) putReq(r *shardReq) {
+	r.ch = nil
+	sh.freed = append(sh.freed, r)
+}
+
+// assignShards builds the shard set and deals every attached channel to
+// one. Called once from Start, after every Attach; Reattach keeps the
+// replacement channel on its predecessor's shard, so the per-shard fid
+// namespace survives the outage.
+func (px *FSProxy) assignShards() {
+	n := px.Shards
+	if n > len(px.channels) {
+		n = len(px.channels)
+	}
+	if n < 1 {
+		n = 1
+	}
+	px.shards = make([]*fsShard, n)
+	for i := range px.shards {
+		px.shards[i] = &fsShard{
+			idx:         i,
+			lock:        lockResource(fmt.Sprintf("fsproxy-shard%d-lock", i)),
+			cond:        sim.NewCond(fmt.Sprintf("fsproxy-shard%d", i)),
+			opens:       make(map[uint32]*openFile),
+			pendingFill: make(map[pageKey]bool),
+			fillCond:    sim.NewCond(fmt.Sprintf("fsproxy-shard%d-fill", i)),
+		}
+	}
+	px.fidLock = lockResource("fsproxy-fid-lock")
+	devs := make([]*pcie.Device, len(px.channels))
+	for i, ch := range px.channels {
+		devs[i] = ch.phi
+	}
+	for i, si := range dealShards(devs, n) {
+		px.channels[i].shard = px.shards[si]
+	}
+}
+
+// startShardChannel spawns the reader proc feeding ch's shard and makes
+// sure the shard's executors run. Called at boot and again on Reattach.
+func (px *FSProxy) startShardChannel(p *sim.Proc, ch *channel) {
+	sh := ch.shard
+	sh.readers++
+	p.Spawn(fmt.Sprintf("fsproxy-rd-%s", ch.phi.Name), func(rp *sim.Proc) {
+		px.shardReader(rp, ch, sh)
+	})
+	if sh.executors > 0 {
+		return // surviving executors (Reattach) keep draining the queue
+	}
+	for w := 0; w < px.workers; w++ {
+		sh.executors++
+		p.Spawn(fmt.Sprintf("fsproxy-shard%d-%d", sh.idx, w), func(wp *sim.Proc) {
+			px.shardExec(wp, sh)
+		})
+	}
+}
+
+// shardReader drains one channel's request ring into its shard's queue.
+// Decode happens here — the reader owns the ring's pooled buffers — while
+// the virtual-time cost of service is charged by the executors.
+func (px *FSProxy) shardReader(p *sim.Proc, ch *channel, sh *fsShard) {
+	defer func() {
+		sh.readers--
+		// Idle executors must re-check the exit condition; Broadcast of a
+		// cond without waiters is free.
+		p.Broadcast(sh.cond)
+	}()
+	single := make([][]byte, 1)
+	scratch := make([][]byte, 0, serveRecvBatch)
+	for {
+		var raws [][]byte
+		if px.BatchRecv {
+			batch, ok := ch.req.RecvBatchInto(p, serveRecvBatch, scratch[:0])
+			if !ok {
+				return
+			}
+			scratch = batch
+			raws = batch
+		} else {
+			raw, ok := ch.req.Recv(p)
+			if !ok {
+				return
+			}
+			single[0] = raw
+			raws = single
+		}
+		for _, raw := range raws {
+			req := sh.getReq()
+			if err := ninep.DecodeInto(&req.m, raw); err != nil {
+				panic("fsproxy: corrupt request: " + err.Error())
+			}
+			ch.req.Recycle(raw)
+			req.ch = ch
+			sh.queue = append(sh.queue, req)
+			px.telInflight.Arrive(p)
+		}
+		p.Broadcast(sh.cond)
+	}
+}
+
+// shardExec is one executor of a shard's serve loop: pop a request, charge
+// the serialized slice under the shard's table lock (plus the global fid
+// lock when fid tables are not sharded), run the handler, reply. Executors
+// survive channel crashes — they exit only once every ring feeding the
+// shard has closed and the queue is drained.
+func (px *FSProxy) shardExec(p *sim.Proc, sh *fsShard) {
+	defer func() { sh.executors-- }()
+	var out ninep.Msg
+	var enc []byte
+	for {
+		for len(sh.queue) == 0 {
+			if sh.readers == 0 {
+				return
+			}
+			p.Wait(sh.cond)
+		}
+		req := sh.queue[0]
+		sh.queue = sh.queue[1:]
+		ch, m := req.ch, &req.m
+		sp := px.tel.StartCtx(p, "controlplane.fsproxy",
+			telemetry.TraceCtx{Trace: m.Trace, Span: m.Span})
+		sp.Tag("type", m.Type.String())
+		// The serialized slice of the proxy cost queues FCFS on the shard
+		// lock — that queueing is the contention model — and the remainder
+		// runs in parallel across executors.
+		p.Use(sh.lock, int64(model.ProxyShardLockHold))
+		if !px.ShardFids && usesFid(m.Type) {
+			p.Use(px.fidLock, int64(model.ProxyFidLockHold))
+		}
+		p.Advance(model.ProxyShardWorkCost)
+		out.Reset()
+		px.handle(p, ch, m, &out)
+		out.Tag = m.Tag
+		out.Trace, out.Span = m.Trace, m.Span
+		enc = out.AppendTo(enc[:0])
+		ch.resp.Send(p, enc)
+		px.telInflight.Depart(p)
+		sp.End(p)
+		sh.putReq(req)
+	}
+}
+
+// usesFid reports whether a request type reads or writes the fid table.
+func usesFid(t ninep.MsgType) bool {
+	switch t {
+	case ninep.Topen, ninep.Tcreate, ninep.Tclose, ninep.Tread, ninep.Twrite,
+		ninep.Ttrunc, ninep.Treadahead:
+		return true
+	}
+	return false
+}
+
+// fidTable returns the fid map serving ch: the shard's private table when
+// fid sharding is on, the global table otherwise (and always in the legacy
+// unsharded layout, where ch.shard is nil).
+func (px *FSProxy) fidTable(ch *channel) map[uint32]*openFile {
+	if px.ShardFids && ch.shard != nil {
+		return ch.shard.opens
+	}
+	return px.opens
+}
+
+// fillShard maps a page to the shard owning its pending-fill state: pure
+// FNV-1a over (ino, blk), independent of which channel triggered the fill.
+func (px *FSProxy) fillShard(k pageKey) *fsShard {
+	h := uint32(2166136261)
+	for _, b := range [...]byte{
+		byte(k.ino), byte(k.ino >> 8), byte(k.ino >> 16), byte(k.ino >> 24),
+		byte(k.blk), byte(k.blk >> 8), byte(k.blk >> 16), byte(k.blk >> 24),
+	} {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return px.shards[h%uint32(len(px.shards))]
+}
+
+// fillMap returns the pending-fill map owning page k.
+func (px *FSProxy) fillMap(k pageKey) map[pageKey]bool {
+	if len(px.shards) == 0 {
+		return px.pendingFill
+	}
+	return px.fillShard(k).pendingFill
+}
+
+// fillCondFor returns the cond fill waiters of page k sleep on.
+func (px *FSProxy) fillCondFor(k pageKey) *sim.Cond {
+	if len(px.shards) == 0 {
+		return px.fillCond
+	}
+	return px.fillShard(k).fillCond
+}
+
+// fillPending reports whether page k has a claimed-but-unfilled frame.
+func (px *FSProxy) fillPending(k pageKey) bool { return px.fillMap(k)[k] }
+
+// broadcastFills wakes every fill waiter; error sweeps that cleared a
+// whole key range use it instead of per-key signaling.
+func (px *FSProxy) broadcastFills(p *sim.Proc) {
+	if len(px.shards) == 0 {
+		p.Broadcast(px.fillCond)
+		return
+	}
+	for _, sh := range px.shards {
+		p.Broadcast(sh.fillCond)
+	}
+}
+
+// ShardCount reports how many shards the FS control plane runs (0 when the
+// legacy unsharded serve loops are active).
+func (px *FSProxy) ShardCount() int { return len(px.shards) }
+
+// ShardOf reports which shard serves channel idx, or -1 when unsharded.
+func (px *FSProxy) ShardOf(idx int) int {
+	if len(px.shards) == 0 || idx < 0 || idx >= len(px.channels) {
+		return -1
+	}
+	return px.channels[idx].shard.idx
+}
+
+// OpenFids reports the live fid count across the global and per-shard
+// tables, for post-quiesce leak audits.
+func (px *FSProxy) OpenFids() int {
+	n := len(px.opens)
+	for _, sh := range px.shards {
+		n += len(sh.opens)
+	}
+	return n
+}
+
+// CheckShards audits shard ownership: every open fid must live in the
+// table of exactly the shard serving its channel, never double-homed in
+// the global table, and every pending fill must sit in the map its page
+// hashes to. Nil when sharding is off. Cheap enough to run as a dispatch
+// oracle: table sizes are bounded by live fids and in-flight fills.
+func (px *FSProxy) CheckShards() error {
+	if len(px.shards) == 0 {
+		return nil
+	}
+	for _, sh := range px.shards {
+		for key := range sh.opens {
+			chIdx := int(key >> 24)
+			if chIdx >= len(px.channels) || px.channels[chIdx].shard != sh {
+				return fmt.Errorf("fsproxy: fid %#x in shard %d but channel %d is served by shard %d",
+					key, sh.idx, chIdx, px.ShardOf(chIdx))
+			}
+			if _, dup := px.opens[key]; dup {
+				return fmt.Errorf("fsproxy: fid %#x double-homed in shard %d and the global table", key, sh.idx)
+			}
+		}
+		for k := range sh.pendingFill {
+			if own := px.fillShard(k); own != sh {
+				return fmt.Errorf("fsproxy: pending fill (ino %d, blk %d) parked on shard %d, owner is %d",
+					k.ino, k.blk, sh.idx, own.idx)
+			}
+		}
+	}
+	if px.ShardFids && len(px.opens) > 0 {
+		return fmt.Errorf("fsproxy: %d fids in the global table with fid sharding on", len(px.opens))
+	}
+	if len(px.pendingFill) > 0 {
+		return fmt.Errorf("fsproxy: %d pending fills in the global map with sharding on", len(px.pendingFill))
+	}
+	return nil
+}
+
+// --- TCP control plane -----------------------------------------------------
+
+// tcpShard is one partition of connection admission: a FIFO of pending
+// admissions plus the shard's admission lock, drained by an admitter proc.
+// RPC service for the shard's channels charges the same lock.
+type tcpShard struct {
+	idx    int
+	lock   *sim.Resource
+	admitq []*admission
+	cond   *sim.Cond
+	closed bool
+}
+
+// admission is one accepted connection parked in a shard's accept queue,
+// carrying the balancer's (possibly stale) pick and any peeked payload.
+type admission struct {
+	sl     *sharedListener
+	side   *netstack.Side
+	member *pcie.Device
+	peeked []byte
+}
+
+// assignShards builds the TCP shard set and deals every attached network
+// channel to one, reusing the NUMA-aware deal of the FS side.
+func (px *TCPProxy) assignShards() {
+	n := px.Shards
+	if n > len(px.order) {
+		n = len(px.order)
+	}
+	if n < 1 {
+		n = 1
+	}
+	px.shards = make([]*tcpShard, n)
+	for i := range px.shards {
+		px.shards[i] = &tcpShard{
+			idx:  i,
+			lock: lockResource(fmt.Sprintf("tcpproxy-shard%d-lock", i)),
+			cond: sim.NewCond(fmt.Sprintf("tcpproxy-shard%d", i)),
+		}
+	}
+	px.shardBy = make(map[*pcie.Device]*tcpShard, len(px.order))
+	for i, si := range dealShards(px.order, n) {
+		px.shardBy[px.order[i]] = px.shards[si]
+	}
+}
+
+// dispatchAdmit routes a picked connection to admission: directly in the
+// legacy layout, or through the member's shard accept queue when sharded.
+func (px *TCPProxy) dispatchAdmit(p *sim.Proc, sl *sharedListener, side *netstack.Side, member *pcie.Device, peeked []byte) {
+	if sh := px.shardBy[member]; sh != nil {
+		sh.admitq = append(sh.admitq, &admission{sl: sl, side: side, member: member, peeked: peeked})
+		p.Signal(sh.cond)
+		return
+	}
+	px.admitChecked(p, sl, side, member, peeked)
+}
+
+// admitChecked revalidates the balancer's pick right before admission —
+// the peek (or queueing) yielded, so the member may have detached since —
+// then admits to the resolved survivor, or closes the connection when the
+// listener has no members left.
+func (px *TCPProxy) admitChecked(p *sim.Proc, sl *sharedListener, side *netstack.Side, member *pcie.Device, peeked []byte) {
+	member, ok := px.resolveMember(sl, member, peeked)
+	if !ok {
+		side.Close(p)
+		return
+	}
+	px.admit(p, sl, side, member, peeked)
+}
+
+// resolveMember revalidates a balancer pick at admission time. A stale
+// pick — the member detached while the admission was in flight — is re-run
+// against the surviving members with the same policy; no members means the
+// connection cannot be served.
+func (px *TCPProxy) resolveMember(sl *sharedListener, member *pcie.Device, peeked []byte) (*pcie.Device, bool) {
+	if len(sl.members) == 0 {
+		return nil, false
+	}
+	for _, mem := range sl.members {
+		if mem == member {
+			return member, true
+		}
+	}
+	if cb, ok := px.Balance.(*ContentBalancer); ok && len(peeked) > 0 {
+		return sl.members[cb.PickContent(peeked, len(sl.members))], true
+	}
+	load := make([]int, len(sl.members))
+	for i, mem := range sl.members {
+		load[i] = px.nets[mem].active
+	}
+	return sl.members[px.Balance.Pick(sl.port, sl.members, load)], true
+}
+
+// admitter is one shard's admission serve loop: it drains the shard's
+// accept queue, charging the serialized admission work against the shard
+// lock. The queued pick is revalidated after the lock wait — DetachNet may
+// have removed the member while the admission queued — and a re-pick that
+// lands on another shard's member is re-queued there, preserving
+// single-shard ownership of each channel's admissions.
+func (px *TCPProxy) admitter(p *sim.Proc, sh *tcpShard) {
+	for {
+		for len(sh.admitq) == 0 {
+			if sh.closed {
+				return
+			}
+			p.Wait(sh.cond)
+		}
+		ad := sh.admitq[0]
+		sh.admitq = sh.admitq[1:]
+		p.Use(sh.lock, int64(model.ProxyAcceptCost))
+		member, ok := px.resolveMember(ad.sl, ad.member, ad.peeked)
+		if !ok {
+			ad.side.Close(p)
+			continue
+		}
+		if tgt := px.shardBy[member]; tgt != sh {
+			ad.member = member
+			tgt.admitq = append(tgt.admitq, ad)
+			p.Signal(tgt.cond)
+			continue
+		}
+		px.admit(p, ad.sl, ad.side, member, ad.peeked)
+	}
+}
+
+// ShardCount reports how many shards the TCP control plane runs (0 when
+// the legacy layout is active).
+func (px *TCPProxy) ShardCount() int { return len(px.shards) }
+
+// ShardOfDev reports which shard admits connections for phi, or -1 when
+// unsharded or unknown.
+func (px *TCPProxy) ShardOfDev(phi *pcie.Device) int {
+	if sh := px.shardBy[phi]; sh != nil {
+		return sh.idx
+	}
+	return -1
+}

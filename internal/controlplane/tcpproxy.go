@@ -2,6 +2,7 @@ package controlplane
 
 import (
 	"fmt"
+	"slices"
 
 	"solros/internal/model"
 	"solros/internal/netstack"
@@ -62,8 +63,13 @@ func (cb *ContentBalancer) Pick(port int, members []*pcie.Device, load []int) in
 	return cb.rr.Pick(port, members, load)
 }
 
-// PickContent routes by the first payload bytes.
+// PickContent routes by the first payload bytes. Zero or negative member
+// counts report index 0 — callers guard the empty-listener case, but a
+// detach racing an in-flight peek must never turn into a division panic.
 func (cb *ContentBalancer) PickContent(first []byte, members int) int {
+	if members <= 0 {
+		return 0
+	}
 	return int(cb.Key(first)) % members
 }
 
@@ -90,6 +96,16 @@ type TCPProxy struct {
 	conns   map[uint64]*proxConn
 	nextID  uint64
 	Balance Balancer
+
+	// Shards partitions connection admission and RPC service into that
+	// many per-NUMA-domain shards (§6.3 scale-out): every accepted
+	// connection queues on its member's shard — the per-shard listener
+	// accept queue — and the serialized admission work charges the shard's
+	// lock. Zero (the default) keeps the legacy layout: admission inline
+	// in the accept pump, virtual-time charges unchanged.
+	Shards  int
+	shards  []*tcpShard
+	shardBy map[*pcie.Device]*tcpShard
 
 	tel          *telemetry.Sink
 	telAccepts   *telemetry.Counter
@@ -148,8 +164,18 @@ func (px *TCPProxy) AttachNet(phi *pcie.Device, rpcReq, rpcResp, outbound, inbou
 }
 
 // Start spawns the proxy's service procs: one RPC server and one outbound
-// pump per co-processor.
+// pump per co-processor, plus — when sharded — one admitter per shard
+// draining its accept queue.
 func (px *TCPProxy) Start(p *sim.Proc) {
+	if px.Shards > 0 {
+		px.assignShards()
+		for _, sh := range px.shards {
+			sh := sh
+			p.Spawn(fmt.Sprintf("tcpproxy-admit-%d", sh.idx), func(wp *sim.Proc) {
+				px.admitter(wp, sh)
+			})
+		}
+	}
 	for _, phi := range px.order {
 		ch := px.nets[phi]
 		p.Spawn("tcpproxy-rpc-"+phi.Name, func(wp *sim.Proc) { px.serveRPC(wp, ch) })
@@ -172,7 +198,14 @@ func (px *TCPProxy) serveRPC(p *sim.Proc, ch *netChannel) {
 		ch.rpcReq.Recycle(raw)
 		sp := px.tel.Start(p, "controlplane.tcpproxy")
 		sp.Tag("type", m.Type.String())
-		p.Advance(model.FSProxyCost)
+		if sh := px.shardBy[ch.phi]; sh != nil {
+			// Sharded: the serialized slice queues on the shard's lock, the
+			// remainder overlaps with sibling shards.
+			p.Use(sh.lock, int64(model.ProxyShardLockHold))
+			p.Advance(model.ProxyShardWorkCost)
+		} else {
+			p.Advance(model.FSProxyCost)
+		}
 		out.Reset()
 		px.handleRPC(p, ch, &m, &out)
 		out.Tag = m.Tag
@@ -261,7 +294,7 @@ func (px *TCPProxy) acceptPump(p *sim.Proc, sl *sharedListener) {
 				load[i] = px.nets[mem].active
 			}
 			member := sl.members[px.Balance.Pick(sl.port, sl.members, load)]
-			px.admit(p, sl, conn.Side(px.Stack), member, nil)
+			px.dispatchAdmit(p, sl, conn.Side(px.Stack), member, nil)
 			continue
 		}
 		side := conn.Side(px.Stack)
@@ -271,8 +304,15 @@ func (px *TCPProxy) acceptPump(p *sim.Proc, sl *sharedListener) {
 				side.Close(pp)
 				return
 			}
+			// The peek yielded, so the membership observed at accept time
+			// is stale: every member may have detached while the client's
+			// first payload was in flight.
+			if len(sl.members) == 0 {
+				side.Close(pp)
+				return
+			}
 			member := sl.members[cb.PickContent(first, len(sl.members))]
-			px.admit(pp, sl, side, member, first)
+			px.dispatchAdmit(pp, sl, side, member, first)
 		})
 	}
 }
@@ -418,16 +458,36 @@ func (px *TCPProxy) DetachNet(p *sim.Proc, phi *pcie.Device) {
 			}
 		}
 	}
-	for id, pc := range px.conns {
-		if pc.ch == ch {
-			pc.side.Close(p)
-			ch.active--
-			delete(px.conns, id)
-		}
+	// Close in id order: map iteration order is randomized, and the closes
+	// have virtual-time side effects (FINs on the host stack), so a stable
+	// order keeps detach scenarios replayable seed for seed. Admissions
+	// already queued for this member re-resolve to a survivor (or close)
+	// when their shard dequeues them.
+	for _, id := range px.sortedConnIDs(func(pc *proxConn) bool { return pc.ch == ch }) {
+		pc := px.conns[id]
+		pc.side.Close(p)
+		// The local close makes the inbound pump exit on error without
+		// emitting its usual end-of-stream frame, so deliver the EOF here:
+		// a still-live stub must see its accepted sockets drain, not hang.
+		ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameEOF, id, nil))
+		ch.active--
+		delete(px.conns, id)
 	}
 	ch.inbound.Send(p, ninep.EncodeFrame(ninep.FrameListenClosed, 0, nil))
 	px.detaches++
 	px.telDetaches.Add(1)
+}
+
+// sortedConnIDs returns the ids of tracked conns matching keep, ascending.
+func (px *TCPProxy) sortedConnIDs(keep func(*proxConn) bool) []uint64 {
+	ids := make([]uint64, 0, len(px.conns))
+	for id, pc := range px.conns {
+		if keep == nil || keep(pc) {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	return ids
 }
 
 // Detaches reports how many co-processors have been detached, for
@@ -437,11 +497,20 @@ func (px *TCPProxy) Detaches() int64 { return px.detaches }
 // Stop closes listeners and all proxied connections so pumps drain, and
 // notifies every data plane that its shared listeners are gone.
 func (px *TCPProxy) Stop(p *sim.Proc) {
-	for _, sl := range px.shared {
-		sl.listener.Close(p)
+	ports := make([]int, 0, len(px.shared))
+	for port := range px.shared {
+		ports = append(ports, port)
 	}
-	for id, pc := range px.conns {
-		pc.side.Close(p)
+	slices.Sort(ports)
+	for _, port := range ports {
+		px.shared[port].listener.Close(p)
+	}
+	for _, sh := range px.shards {
+		sh.closed = true
+		p.Broadcast(sh.cond)
+	}
+	for _, id := range px.sortedConnIDs(nil) {
+		px.conns[id].side.Close(p)
 		delete(px.conns, id)
 	}
 	for _, phi := range px.order {

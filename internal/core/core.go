@@ -41,8 +41,21 @@ type Config struct {
 	// CacheBytes is the shared host buffer cache (default 16 MB).
 	CacheBytes int64
 	// ProxyWorkers is the number of proxy procs per co-processor
-	// channel (default 4).
+	// channel (default 4). With ProxyShards set it is the executor count
+	// per shard instead.
 	ProxyWorkers int
+	// ProxyShards partitions the control plane (§6.3 scale-out): FSProxy
+	// request service and TCPProxy connection admission split into this
+	// many NUMA-aligned shards, each with its own serve loop, lock,
+	// pending-fill map, and accept queue. Zero (the default) keeps the
+	// seed's per-channel serve loops and global tables — every figure is
+	// byte-identical. Shard counts above the co-processor count clamp.
+	ProxyShards int
+	// ShardFids gives each proxy shard a private fid table. With
+	// ProxyShards set but ShardFids off, fid-touching RPCs serialize on
+	// one global fid-table lock — the ablation that shows why sharding
+	// the data structures matters, not just the serve loops.
+	ShardFids bool
 	// CoalesceOff disables the optimized IO-vector NVMe driver
 	// (ablation; §5).
 	CoalesceOff bool
@@ -228,14 +241,24 @@ func (c *Config) fill() {
 	if c.PhiMemBytes == 0 {
 		c.PhiMemBytes = 64 << 20
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 16 << 20
+	}
 	if c.HostRAMBytes == 0 {
 		c.HostRAMBytes = 256 << 20
+		// Fleet-scale topologies: every co-processor's network inbound
+		// ring masters in host DRAM (>= 8 MB each) and staging grows with
+		// channel count, so the default that fits the paper's 4-phi
+		// testbed would exhaust the bump allocator at dozens of phis.
+		// Only the zero-value default grows — explicit sizes are honored.
+		// Memory capacity has no virtual-time cost, so this cannot move
+		// any figure.
+		if need := int64(c.Phis)*(16<<20) + c.CacheBytes + (128 << 20); need > c.HostRAMBytes {
+			c.HostRAMBytes = need
+		}
 	}
 	if c.DiskBytes == 0 {
 		c.DiskBytes = 64 << 20
-	}
-	if c.CacheBytes == 0 {
-		c.CacheBytes = 16 << 20
 	}
 	if c.ProxyWorkers == 0 {
 		c.ProxyWorkers = 4
@@ -479,6 +502,8 @@ func (m *Machine) boot(p *sim.Proc) {
 	m.FSProxy.BatchRecv = m.cfg.BatchRecv
 	m.FSProxy.CoalesceDoorbell = m.cfg.CoalesceDoorbell
 	m.FSProxy.Overlap = m.cfg.Overlap
+	m.FSProxy.Shards = m.cfg.ProxyShards
+	m.FSProxy.ShardFids = m.cfg.ShardFids
 	for _, phi := range m.Phis {
 		m.FSProxy.Attach(phi.Dev, phi.proxyReq, phi.proxyResp)
 		phi.Conn.Start(p)

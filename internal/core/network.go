@@ -23,6 +23,7 @@ func (m *Machine) EnableNetwork() {
 	m.HostStack = m.Net.NewStack("solros-host", cpu.Host, nil)
 	m.ClientStack = m.Net.NewStack("client", cpu.Host, nil)
 	m.TCPProxy = controlplane.NewTCPProxy(m.Fabric, m.HostStack)
+	m.TCPProxy.Shards = m.cfg.ProxyShards
 	for _, phi := range m.Phis {
 		rpcConn, reqPort, respPort := dataplane.NewConn(m.Fabric, phi.Dev, m.cfg.RingOptions)
 		stubOut, stubIn, proxyOut, proxyIn := dataplane.NewNetRings(m.Fabric, phi.Dev, ringOptionsForNet(m.cfg.RingOptions))

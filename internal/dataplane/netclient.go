@@ -25,6 +25,10 @@ type NetClient struct {
 	started  bool
 }
 
+// RPC exposes the stub's control-RPC connection, for tag-window audits
+// (Conn.CheckTags) after churn and detach scenarios.
+func (nc *NetClient) RPC() *Conn { return nc.conn }
+
 // Socket is a data-plane connection endpoint.
 type Socket struct {
 	ID     uint64

@@ -95,6 +95,24 @@ func (o *CacheOracle) Check(m *core.Machine) error {
 	return m.FSProxy.CheckCacheCoherence()
 }
 
+// ShardOracle audits the sharded control plane's ownership invariants:
+// every open fid lives in exactly the shard that owns its channel, every
+// pending fill sits in the shard its page key hashes to, and the global
+// tables stay empty while sharding is armed (see
+// controlplane.FSProxy.CheckShards). Free on unsharded machines.
+type ShardOracle struct{}
+
+// Name implements core.Oracle.
+func (ShardOracle) Name() string { return "shards" }
+
+// Check implements core.Oracle.
+func (ShardOracle) Check(m *core.Machine) error {
+	if m.FSProxy == nil {
+		return nil
+	}
+	return m.FSProxy.CheckShards()
+}
+
 // FsckOracle snapshots the raw NVMe image at scheduler-chosen points and
 // runs the offline fsck on the copy — the crash-point check: would the
 // file system recover if the machine lost power at this exact scheduling
@@ -165,6 +183,7 @@ func DefaultOracles(seed int64) []core.Oracle {
 		RingOracle{},
 		TagOracle{},
 		&CacheOracle{},
+		ShardOracle{},
 		NewFsckOracle(seed),
 	}
 }

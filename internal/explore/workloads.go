@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"solros/internal/apps/kvstore"
+	"solros/internal/controlplane"
 	"solros/internal/core"
 	"solros/internal/dataplane"
 	"solros/internal/faults"
@@ -32,12 +33,12 @@ type Workload struct {
 // Workloads returns the explorer's scenario catalogue. "quick" is the CI
 // smoke scenario; All() is the default sweep set.
 func Workloads() []Workload {
-	return []Workload{quickWorkload(), transportWorkload(), fsWorkload(), chaosWorkload(), kvWorkload()}
+	return []Workload{quickWorkload(), transportWorkload(), fsWorkload(), chaosWorkload(), kvWorkload(), scaleWorkload()}
 }
 
 // All returns the default sweep set (everything except the smoke scenario).
 func All() []Workload {
-	return []Workload{transportWorkload(), fsWorkload(), chaosWorkload(), kvWorkload()}
+	return []Workload{transportWorkload(), fsWorkload(), chaosWorkload(), kvWorkload(), scaleWorkload()}
 }
 
 // Lookup resolves a workload by name.
@@ -458,6 +459,167 @@ func kvBody(p *sim.Proc, m *core.Machine, oracle *kvstore.CoherenceOracle, seed 
 		}
 	}
 	return oracle.VerifyAll(p)
+}
+
+// scalePort is the scale scenario's listen port (per-machine, any value).
+const scalePort = 7250
+
+// scaleWorkload drives the sharded control plane (§6.3 scale-out): four
+// co-processors over two proxy shards with private fid tables, FS churn
+// from every phi (per-phi files plus one shared file so pending fills
+// cross shard boundaries), and content-routed connections through the
+// shared listener. The shard-assignment oracle (ShardOracle, polled at
+// every scheduling decision) audits fid ownership continuously; the body
+// asserts the balancer's assignment is the deterministic function of the
+// first payload byte, and the quiesce audit requires empty fid tables and
+// clean tag windows.
+func scaleWorkload() Workload {
+	return Workload{
+		Name: "scale",
+		Desc: "sharded proxies: 4 phis over 2 shards, fid/fill ownership oracle, content routing",
+		Run: func(base core.Config) (*core.Machine, error) {
+			cfg := small(base)
+			// Network rings are 8 MB each regardless of RingOptions (same
+			// constraint as the kv scenario).
+			cfg.PhiMemBytes = 16 << 20
+			cfg.HostRAMBytes = 128 << 20
+			cfg.Phis = 4
+			cfg.ProxyShards = 2
+			cfg.ShardFids = true
+			m := core.NewMachine(cfg)
+			m.EnableNetwork()
+			var bodyErr error
+			engErr := m.Run(func(p *sim.Proc, mm *core.Machine) {
+				bodyErr = scaleBody(p, mm)
+			})
+			if engErr != nil {
+				return m, engErr
+			}
+			return m, bodyErr
+		},
+	}
+}
+
+func scaleBody(p *sim.Proc, m *core.Machine) error {
+	phis := len(m.Phis)
+	m.TCPProxy.Balance = &controlplane.ContentBalancer{
+		Key: func(first []byte) uint32 {
+			if len(first) == 0 {
+				return 0
+			}
+			return uint32(first[0])
+		},
+	}
+	serversDone := sim.NewWaitGroup("scale-servers")
+	for i, phi := range m.Phis {
+		if err := phi.Net.Listen(p, scalePort); err != nil {
+			return err
+		}
+		i, phi := i, phi
+		serversDone.Add(1)
+		p.Spawn(fmt.Sprintf("scale-srv-%d", i), func(sp *sim.Proc) {
+			defer sp.DoneWG(serversDone)
+			for {
+				sock, err := phi.Net.Accept(sp, scalePort)
+				if err != nil {
+					return
+				}
+				for {
+					req, err := sock.RecvFull(sp, 1)
+					if err != nil || len(req) != 1 {
+						break
+					}
+					sock.Send(sp, []byte{byte(i)})
+				}
+			}
+		})
+	}
+
+	// FS churn on every phi: a private file each, plus rounds against one
+	// shared file so both shards fill and read the same inode.
+	shared := workload.Corpus(31, 16<<10)
+	if err := writeFile(p, m.Phis[0].FS, "/shared", shared); err != nil {
+		return err
+	}
+	fsErrs := make([]error, phis)
+	netErrs := make([]error, phis)
+	workDone := sim.NewWaitGroup("scale-work")
+	for i := range m.Phis {
+		i := i
+		workDone.Add(1)
+		p.Spawn(fmt.Sprintf("scale-wl-%d", i), func(wp *sim.Proc) {
+			defer wp.DoneWG(workDone)
+			fsc := m.Phis[i].FS
+			data := workload.Corpus(int64(200+i), 12<<10)
+			path := fmt.Sprintf("/sc%d", i)
+			for round := 0; round < 2; round++ {
+				if err := writeFile(wp, fsc, path, data); err != nil {
+					fsErrs[i] = fmt.Errorf("write %s: %w", path, err)
+					return
+				}
+				if err := readAndVerify(wp, fsc, path, ninep.OBuffer, data); err != nil {
+					fsErrs[i] = fmt.Errorf("verify %s: %w", path, err)
+					return
+				}
+				if err := readAndVerify(wp, fsc, "/shared", ninep.OBuffer, shared); err != nil {
+					fsErrs[i] = fmt.Errorf("verify /shared: %w", err)
+					return
+				}
+			}
+		})
+		workDone.Add(1)
+		p.Spawn(fmt.Sprintf("scale-net-%d", i), func(cp *sim.Proc) {
+			defer cp.DoneWG(workDone)
+			// Balancer-assignment oracle: with the first-byte key and a
+			// full member set, connection b must land on member b % phis —
+			// a pure function of the payload, identical across seeds.
+			for round := 0; round < 3; round++ {
+				b := byte(i + round*phis)
+				conn, err := m.ClientStack.Dial(cp, m.HostStack, scalePort)
+				if err != nil {
+					netErrs[i] = fmt.Errorf("dial: %w", err)
+					return
+				}
+				side := conn.Side(m.ClientStack)
+				side.Send(cp, []byte{b})
+				resp, err := side.RecvFull(cp, 1)
+				if err != nil || len(resp) != 1 {
+					netErrs[i] = fmt.Errorf("echo %d: %v", b, err)
+					return
+				}
+				if want := int(b) % phis; int(resp[0]) != want {
+					netErrs[i] = fmt.Errorf("conn with first byte %d landed on member %d, want %d",
+						b, resp[0], want)
+					return
+				}
+				side.Close(cp)
+			}
+		})
+	}
+	p.WaitWG(workDone)
+	for _, errs := range [][]error{fsErrs, netErrs} {
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	// Quiesce: stop the proxy (drains servers), then audit shard state.
+	m.TCPProxy.Stop(p)
+	p.WaitWG(serversDone)
+	if err := m.FSProxy.CheckShards(); err != nil {
+		return fmt.Errorf("shard audit: %w", err)
+	}
+	if n := m.FSProxy.OpenFids(); n != 0 {
+		return fmt.Errorf("fid leak: %d open fids at quiesce", n)
+	}
+	for i, phi := range m.Phis {
+		if err := phi.Net.RPC().CheckTags(); err != nil {
+			return fmt.Errorf("phi%d net tags: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // WithRingBug wraps a workload so every ring publishes `ready` before its

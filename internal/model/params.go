@@ -208,6 +208,31 @@ const (
 	NFSTransferCap = 64 << 10
 )
 
+// --- Control-plane sharding (§6.3 scale-out) -------------------------------
+//
+// With core.Config.ProxyShards set, proxy request service splits into a
+// serialized slice held under the owning shard's table lock and a parallel
+// remainder any executor may overlap. Lock holds are sized like fine-grained
+// kernel locks: a few hundred ns of map/list manipulation under a spinlock.
+// The connection-admission hold is the full accept-path bookkeeping, which is
+// what caps an unsharded control plane at a few hundred thousand accepts/sec.
+const (
+	// ProxyShardLockHold is the serialized slice of one FS RPC under its
+	// shard's fid/pending-fill table lock.
+	ProxyShardLockHold = 600 * sim.Nanosecond
+	// ProxyFidLockHold is the extra global fid-table lock hold paid per
+	// fid-touching RPC when ProxyShards is on but ShardFids is off (the
+	// ablation that shows sharding the tables matters, not just the loops).
+	ProxyFidLockHold = 400 * sim.Nanosecond
+	// ProxyShardWorkCost is the parallel remainder of FSProxyCost once the
+	// serialized slice is charged against the shard lock.
+	ProxyShardWorkCost = FSProxyCost - ProxyShardLockHold
+	// ProxyAcceptCost is the serialized per-connection admission work under
+	// a TCP shard's lock: socket hand-off, conn-table insert, accept-frame
+	// build.
+	ProxyAcceptCost = 2 * sim.Microsecond
+)
+
 // PhiDMARate reports the effective DMA streaming rate for a Phi-initiated
 // transfer given the link's host-initiated rate.
 func PhiDMARate(linkRate int64) int64 {
