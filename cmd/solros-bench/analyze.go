@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"solros/internal/bench"
+)
+
+// runAnalyze replays the fig-serve-style planted-anomaly workload with
+// the trace analyzer armed and prints the blame report: which tenant
+// and which shard own the p99 tail, which pipeline stage they lose the
+// time in, and the per-tenant/per-shard rollup tables. The output is
+// byte-deterministic for a given -seed, so two runs diff clean — CI
+// pins that.
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: solros-bench [-seed n] [-quick] analyze")
+		fmt.Fprintln(os.Stderr, "\nServes the multi-tenant KV mix with per-request tracing and the")
+		fmt.Fprintln(os.Stderr, "passive trace analyzer armed, then prints the tail-latency blame")
+		fmt.Fprintln(os.Stderr, "report: p99-outlier cohort vs p50 baseline, ranked by tenant and")
+		fmt.Fprintln(os.Stderr, "shard skew, with the dominant stage and queue-delta per culprit,")
+		fmt.Fprintln(os.Stderr, "followed by per-tenant and per-shard latency rollups and the")
+		fmt.Fprintln(os.Stderr, "shard-imbalance hotspot verdict.")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	s := bench.AnalyzeReport()
+	if s.Traces == 0 {
+		fmt.Fprintln(os.Stderr, "solros-bench: trace index is empty — no workload.request roots were finalized")
+		os.Exit(1)
+	}
+	fmt.Print(s.Text)
+	switch {
+	case s.HotShard != "" && s.HotTenant != "":
+		fmt.Printf("\nhotspot: shard %s is hot (dominant tenant %s)\n", s.HotShard, s.HotTenant)
+	case s.HotShard != "":
+		fmt.Printf("\nhotspot: shard %s is hot\n", s.HotShard)
+	default:
+		fmt.Println("\nhotspot: none (no shard above the skew threshold)")
+	}
+	fmt.Fprintf(os.Stderr, "solros-bench: indexed %d traces; top-2 blame entries name %d/2 planted culprits\n",
+		s.Traces, s.TopHits)
+}
+
+// runBenchAnalyze runs the gated analyze points and writes
+// BENCH_analyze.json. The overhead point is committed at 0.0: the
+// analyzer is passive by construction (it only observes completed
+// spans), so any rise off zero is a regression benchdiff flags.
+func runBenchAnalyze(args []string) {
+	fs := flag.NewFlagSet("benchanalyze", flag.ExitOnError)
+	out := fs.String("o", "BENCH_analyze.json", "output path for the analyze baseline document")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: solros-bench benchanalyze [-o BENCH_analyze.json]")
+		fmt.Fprintln(os.Stderr, "\nRuns the trace-analytics points (analyzer overhead vs tracing-only,")
+		fmt.Fprintln(os.Stderr, "throughput and p99 with the analyzer armed, trace-index depth, and")
+		fmt.Fprintln(os.Stderr, "blame-report accuracy on the planted anomaly) and writes the")
+		fmt.Fprintln(os.Stderr, "document benchdiff compares against.")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	ab := bench.AnalyzeBenchmarks()
+	for _, p := range ab.Points {
+		fmt.Printf("%-26s %10.3f %s\n", p.Name, p.Value, p.Unit)
+	}
+	if err := bench.WriteCoreBench(*out, ab); err != nil {
+		fmt.Fprintln(os.Stderr, "solros-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "solros-bench: wrote %s\n", *out)
+}

@@ -86,6 +86,9 @@ func main() {
 		runExplore(args[1:])
 	case "trace":
 		runTrace(args[1:])
+	case "analyze":
+		runAnalyze(args[1:])
+		return
 	case "top":
 		runTop(args[1:])
 		return
@@ -100,6 +103,9 @@ func main() {
 		return
 	case "benchscale":
 		runBenchScale(args[1:])
+		return
+	case "benchanalyze":
+		runBenchAnalyze(args[1:])
 		return
 	case "benchdiff":
 		runBenchDiff(args[1:])
@@ -237,10 +243,12 @@ func usage() {
 	fmt.Println("  all      run everything in paper order")
 	fmt.Println("  explore  sweep scheduling seeds with invariant oracles armed (see explore -h)")
 	fmt.Println("  trace    run one traced delegated read and print its critical-path breakdown (see trace -h)")
+	fmt.Println("  analyze  replay the multi-tenant KV mix and print the tail-latency blame report (see analyze -h)")
 	fmt.Println("  top      run a looping workload and render a live per-stage utilization/latency table (see top -h)")
 	fmt.Println("  benchcore   run the core benchmark points and write BENCH_core.json (see benchcore -h)")
 	fmt.Println("  benchhotpath  run the zero-alloc hot-path points (and optional -parallel wall-clock backend), write BENCH_hotpath.json")
 	fmt.Println("  benchserve  run the KV serving baseline points and write BENCH_serve.json (see benchserve -h)")
 	fmt.Println("  benchscale  run the control-plane scale-out points and write BENCH_scale.json (see benchscale -h)")
+	fmt.Println("  benchanalyze  run the trace-analytics points and write BENCH_analyze.json (see benchanalyze -h)")
 	fmt.Println("  benchdiff   compare two benchmark JSON files of the same schema and flag regressions (see benchdiff -h)")
 }

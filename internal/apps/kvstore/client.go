@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"solros/internal/sim"
+	"solros/internal/telemetry"
 )
 
 // ErrRemote wraps a StatusError message from the server.
@@ -18,14 +19,27 @@ var ErrRemote = errors.New("kvstore: server error")
 type Client struct {
 	s   Stream
 	req []byte // reused encode scratch
+	tel *telemetry.Sink
 }
 
 // NewClient wraps an established stream.
 func NewClient(s Stream) *Client { return &Client{s: s} }
 
+// EnableTracing makes every request embed the caller's current trace
+// context (tel.Current at call time) in the wire header, so the server's
+// serve span — and the delegated I/O under it — joins the caller's
+// causal tree. A nil sink (or no open traced span) leaves the wire
+// untraced, byte-identical to a client without tracing.
+func (c *Client) EnableTracing(tel *telemetry.Sink) { c.tel = tel }
+
+// ctx resolves the trace context to embed in the next request.
+func (c *Client) ctx(p *sim.Proc) telemetry.TraceCtx {
+	return c.tel.Current(p)
+}
+
 // Get fetches key. found=false means the key does not exist.
 func (c *Client) Get(p *sim.Proc, key string) (val []byte, found bool, err error) {
-	c.req = AppendGet(c.req[:0], key)
+	c.req = AppendGetCtx(c.req[:0], key, c.ctx(p))
 	if _, err = c.s.Send(p, c.req); err != nil {
 		return nil, false, err
 	}
@@ -43,7 +57,7 @@ func (c *Client) Get(p *sim.Proc, key string) (val []byte, found bool, err error
 
 // Put stores val under key.
 func (c *Client) Put(p *sim.Proc, key string, val []byte) error {
-	c.req = AppendPut(c.req[:0], key, val)
+	c.req = AppendPutCtx(c.req[:0], key, val, c.ctx(p))
 	if _, err := c.s.Send(p, c.req); err != nil {
 		return err
 	}
@@ -53,7 +67,7 @@ func (c *Client) Put(p *sim.Proc, key string, val []byte) error {
 
 // Delete removes key; found=false means it did not exist.
 func (c *Client) Delete(p *sim.Proc, key string) (found bool, err error) {
-	c.req = AppendDelete(c.req[:0], key)
+	c.req = AppendDeleteCtx(c.req[:0], key, c.ctx(p))
 	if _, err = c.s.Send(p, c.req); err != nil {
 		return false, err
 	}
@@ -64,7 +78,7 @@ func (c *Client) Delete(p *sim.Proc, key string) (found bool, err error) {
 // Scan returns up to limit entries whose keys carry prefix, in key order
 // within the connection's shard.
 func (c *Client) Scan(p *sim.Proc, prefix string, limit int) ([]KV, error) {
-	c.req = AppendScan(c.req[:0], prefix, limit)
+	c.req = AppendScanCtx(c.req[:0], prefix, limit, c.ctx(p))
 	if _, err := c.s.Send(p, c.req); err != nil {
 		return nil, err
 	}

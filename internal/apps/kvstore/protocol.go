@@ -14,6 +14,7 @@ import (
 
 	"solros/internal/controlplane"
 	"solros/internal/sim"
+	"solros/internal/telemetry"
 )
 
 // Wire protocol (all integers little-endian):
@@ -36,6 +37,16 @@ const (
 	OpPut    = byte('P')
 	OpDelete = byte('D')
 	OpScan   = byte('S')
+
+	// OpTraced flags a request carrying a trace context: the header is
+	// followed by TraceCtxLen bytes (trace ID, parent span ID; both
+	// little-endian uint64) before the key, and the server joins the
+	// sender's causal tree instead of opening a detached span. Op bytes
+	// are all < 0x80, so the flag is unambiguous.
+	OpTraced = byte(0x80)
+
+	// TraceCtxLen is the wire size of an embedded trace context.
+	TraceCtxLen = 16
 )
 
 // Status bytes.
@@ -61,32 +72,58 @@ var ErrTooLarge = errors.New("kvstore: key or value exceeds protocol limit")
 
 // AppendGet encodes a GET request.
 func AppendGet(dst []byte, key string) []byte {
-	dst = appendHdr(dst, OpGet, key)
-	return dst
+	return AppendGetCtx(dst, key, telemetry.TraceCtx{})
+}
+
+// AppendGetCtx encodes a GET carrying ctx (zero ctx = untraced wire).
+func AppendGetCtx(dst []byte, key string, ctx telemetry.TraceCtx) []byte {
+	return appendHdr(dst, OpGet, key, ctx)
 }
 
 // AppendPut encodes a PUT request.
 func AppendPut(dst []byte, key string, val []byte) []byte {
-	dst = appendHdr(dst, OpPut, key)
+	return AppendPutCtx(dst, key, val, telemetry.TraceCtx{})
+}
+
+// AppendPutCtx encodes a PUT carrying ctx.
+func AppendPutCtx(dst []byte, key string, val []byte, ctx telemetry.TraceCtx) []byte {
+	dst = appendHdr(dst, OpPut, key, ctx)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(val)))
 	return append(dst, val...)
 }
 
 // AppendDelete encodes a DELETE request.
 func AppendDelete(dst []byte, key string) []byte {
-	return appendHdr(dst, OpDelete, key)
+	return AppendDeleteCtx(dst, key, telemetry.TraceCtx{})
+}
+
+// AppendDeleteCtx encodes a DELETE carrying ctx.
+func AppendDeleteCtx(dst []byte, key string, ctx telemetry.TraceCtx) []byte {
+	return appendHdr(dst, OpDelete, key, ctx)
 }
 
 // AppendScan encodes a SCAN request: up to limit entries with keys ≥
 // prefix that carry it as a prefix, in key order.
 func AppendScan(dst []byte, prefix string, limit int) []byte {
-	dst = appendHdr(dst, OpScan, prefix)
+	return AppendScanCtx(dst, prefix, limit, telemetry.TraceCtx{})
+}
+
+// AppendScanCtx encodes a SCAN carrying ctx.
+func AppendScanCtx(dst []byte, prefix string, limit int, ctx telemetry.TraceCtx) []byte {
+	dst = appendHdr(dst, OpScan, prefix, ctx)
 	return binary.LittleEndian.AppendUint16(dst, uint16(limit))
 }
 
-func appendHdr(dst []byte, op byte, key string) []byte {
+func appendHdr(dst []byte, op byte, key string, ctx telemetry.TraceCtx) []byte {
 	if len(key) > MaxKeyLen {
 		panic("kvstore: key exceeds uint16 length prefix")
+	}
+	if ctx.Traced() {
+		dst = append(dst, op|OpTraced)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+		dst = binary.LittleEndian.AppendUint64(dst, ctx.Trace)
+		dst = binary.LittleEndian.AppendUint64(dst, ctx.Span)
+		return append(dst, key...)
 	}
 	dst = append(dst, op)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
@@ -105,11 +142,21 @@ func BalanceKey(first []byte) uint32 {
 		return 0
 	}
 	kl := int(binary.LittleEndian.Uint16(first[1:3]))
-	end := ReqHdrLen + kl
+	// A traced request interposes the 16-byte trace context between the
+	// header and the key; skipping it keeps placement identical to the
+	// untraced wire, so tracing never moves a connection to another shard.
+	start := ReqHdrLen
+	if first[0]&OpTraced != 0 {
+		start += TraceCtxLen
+	}
+	end := start + kl
 	if end > len(first) {
 		end = len(first)
 	}
-	return controlplane.FNV1a(first[ReqHdrLen:end])
+	if start > len(first) {
+		start = len(first)
+	}
+	return controlplane.FNV1a(first[start:end])
 }
 
 // OwnerShard reports which of n shards owns key — the same placement the

@@ -6,6 +6,7 @@ import (
 
 	"solros/internal/dataplane"
 	"solros/internal/sim"
+	"solros/internal/telemetry"
 )
 
 // Server drives one shard's request loop on its co-processor: an
@@ -17,6 +18,12 @@ type Server struct {
 	Shard *Shard
 	nc    *dataplane.NetClient
 	port  int
+
+	// Tenants maps the tenant index parsed from a key's "t<i>:" prefix to
+	// a display name for span tags (nil = tag the raw prefix). Set by the
+	// bench when tenant attribution is wanted; requests whose keys carry
+	// no tenant prefix are simply untagged.
+	Tenants []string
 
 	served     int64
 	acceptDone bool
@@ -79,14 +86,33 @@ func (sv *Server) serveOne(p *sim.Proc, sock *dataplane.Socket) (ok bool, err er
 		return false, nil
 	}
 	op := hdr[0]
-	key, err := sock.RecvFull(p, decodeUint16(hdr[1:3]))
+	keyLen := decodeUint16(hdr[1:3])
+	var ctx telemetry.TraceCtx
+	if op&OpTraced != 0 {
+		op &^= OpTraced
+		raw, rerr := sock.RecvFull(p, TraceCtxLen)
+		if rerr != nil {
+			return false, nil
+		}
+		ctx.Trace = binary.LittleEndian.Uint64(raw)
+		ctx.Span = binary.LittleEndian.Uint64(raw[8:])
+	}
+	key, err := sock.RecvFull(p, keyLen)
 	if err != nil {
 		return false, nil
 	}
 	s := sv.Shard
 	// One span per request so the causal tracer attributes the delegated
-	// FS round-trips under it (free when telemetry is off: nil sink).
-	span := s.tel.Start(p, opSpanName(op))
+	// FS round-trips under it (free when telemetry is off: nil sink). A
+	// wire trace context joins the caller's causal tree, and the span
+	// carries the attribution dimensions the trace analyzer indexes by.
+	span := s.tel.StartCtx(p, opSpanName(op), ctx)
+	if span != nil {
+		span.TagInt("shard", int64(s.ID))
+		if tn := sv.tenantOf(key); tn != "" {
+			span.Tag("tenant", tn)
+		}
+	}
 	defer span.End(p)
 	switch op {
 	case OpGet:
@@ -159,6 +185,27 @@ func (sv *Server) serveOne(p *sim.Proc, sock *dataplane.Socket) (ok bool, err er
 		return send(p, sock, append(resp, body...))
 	}
 	return sendErr(p, sock, fmt.Sprintf("unknown op %q", op))
+}
+
+// tenantOf parses the workload key convention "t<i>:..." into a tenant
+// tag: the Tenants table's name for index i when present, else the raw
+// "t<i>" prefix. Empty for keys outside the convention.
+func (sv *Server) tenantOf(key []byte) string {
+	if len(key) < 2 || key[0] != 't' {
+		return ""
+	}
+	idx, n := 0, 0
+	for n+1 < len(key) && key[n+1] >= '0' && key[n+1] <= '9' {
+		idx = idx*10 + int(key[n+1]-'0')
+		n++
+	}
+	if n == 0 || n+1 >= len(key) || key[n+1] != ':' {
+		return ""
+	}
+	if idx < len(sv.Tenants) {
+		return sv.Tenants[idx]
+	}
+	return string(key[:n+1])
 }
 
 // opSpanName avoids a per-request string concat on the hot path.

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fig-analyze acceptance: the planted anomaly — the analytics tenant
+// with 32x values pinned to one shard — must be named by the blame
+// report's top two entries, deterministically, and arming the analyzer
+// must not move virtual time at all relative to tracing alone.
+
+func analyzeQuickRun(t *testing.T, analyzed bool) analyzeResult {
+	t.Helper()
+	defer func(q bool) { Quick = q }(Quick)
+	Quick = true
+	load, n := analyzeLoad()
+	return analyzeRun(analyzed, load, n)
+}
+
+func TestAnalyzeNamesPlantedCulprits(t *testing.T) {
+	r := analyzeQuickRun(t, true)
+	if r.traces == 0 {
+		t.Fatal("trace index is empty — no workload.request roots finalized")
+	}
+	if r.report == nil || len(r.report.Entries) == 0 {
+		t.Fatal("blame report has no entries")
+	}
+	if r.topHits != 2 {
+		for i, e := range r.report.Entries {
+			t.Logf("entry %d: kind=%s name=%s score=%.3f skew=%.2f stage=%s",
+				i+1, e.Kind, e.Name, e.Score, e.Skew, e.Stage)
+		}
+		t.Fatalf("top-2 blame entries name %d/2 planted culprits (want tenant=analytics and shard=%d)",
+			r.topHits, analyzeHotShard)
+	}
+}
+
+func TestAnalyzeHotspotDetector(t *testing.T) {
+	r := analyzeQuickRun(t, true)
+	if r.hotShard != strconv.Itoa(analyzeHotShard) {
+		t.Fatalf("hotspot names shard %q, want %d", r.hotShard, analyzeHotShard)
+	}
+	if r.hotTenant != "analytics" {
+		t.Fatalf("hotspot names tenant %q, want analytics", r.hotTenant)
+	}
+}
+
+// Arming the analyzer on top of tracing must not move the virtual clock:
+// the analyzer only observes completed spans. The digests fold every
+// request's latency, so equality means the schedules are identical
+// operation by operation — overhead is exactly zero.
+func TestAnalyzePassivity(t *testing.T) {
+	base := analyzeQuickRun(t, false)
+	full := analyzeQuickRun(t, true)
+	if base.digest != full.digest {
+		t.Fatalf("latency digests differ: tracing-only %08x, analyze %08x — analyzer perturbed the schedule",
+			base.digest, full.digest)
+	}
+	if base.vt != full.vt {
+		t.Fatalf("final virtual times differ: tracing-only %v, analyze %v", base.vt, full.vt)
+	}
+	if pct := analyzeOverheadPct(base, full); pct != 0 {
+		t.Fatalf("overhead = %g%%, want exactly 0", pct)
+	}
+}
+
+// Same seed, same report bytes: the subcommand's double-run determinism
+// contract, pinned at the package level too.
+func TestAnalyzeReportDeterministic(t *testing.T) {
+	a := analyzeQuickRun(t, true)
+	b := analyzeQuickRun(t, true)
+	if a.blameText != b.blameText {
+		t.Fatalf("blame reports differ between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			a.blameText, b.blameText)
+	}
+	if !strings.Contains(a.blameText, "analytics") {
+		t.Fatalf("report does not mention the analytics tenant:\n%s", a.blameText)
+	}
+}

@@ -1,0 +1,390 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"solros/internal/apps/kvstore"
+	"solros/internal/core"
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+	"solros/internal/telemetry/analyze"
+	"solros/internal/workload"
+)
+
+// fig-analyze: the trace-analytics engine against a run with a planted
+// anomaly (ISSUE 10). The KV store serves three tenants; the smallest
+// ("analytics") is rigged to be the tail: its values are 32x larger than
+// everyone else's and every one of its keys is pinned — by rejection
+// sampling over key indices — onto one shard. Every request opens a
+// "workload.request" root span tagged with tenant, owner shard, and
+// client queueing delay, and the KV wire protocol carries the trace
+// context to the server, so each request is one causal tree from the
+// client through the TCP proxy, the shard server, and the delegated FS
+// path. The analyzer indexes completed trees and its differential blame
+// report must name the planted tenant and shard in its top two entries.
+//
+// The overhead point is the claim that analysis is free: the analyzer
+// only observes completed spans, so the virtual clock of a run with
+// Analyze on is identical to the same run with tracing alone. Both runs
+// execute and the overhead percentage — gated at < 1% by benchdiff, and
+// expected to be exactly 0 — is computed from their final virtual times.
+
+const (
+	analyzePort         = 7500
+	analyzeValBytes     = 256
+	analyzeHotValBytes  = 8192
+	analyzeConnsPerShrd = 4
+	analyzePhis         = 4
+	// analyzeHotShard is the shard the analytics tenant is pinned to.
+	analyzeHotShard = 2
+	// analyzeTenantID is the analytics tenant's index in analyzeTenants.
+	analyzeTenantID = 2
+)
+
+// analyzeTenants builds the three-tenant mix: a read-mostly frontend, an
+// update-heavy batch tenant, and the small hot analytics tenant.
+func analyzeTenants() []workload.Tenant {
+	return []workload.Tenant{
+		{Name: "frontend", Mix: workload.MixFor('B'), Keys: 512, Share: 5},
+		{Name: "batch", Mix: workload.MixFor('A'), Keys: 128, Share: 2},
+		{Name: "analytics", Mix: workload.MixFor('A'), Keys: 48, Share: 1},
+	}
+}
+
+// analyzeOp is one dispatched request waiting on a shard queue.
+type analyzeOp struct {
+	key     string
+	tenant  int
+	write   bool
+	arrival sim.Time
+	idx     int
+}
+
+// analyzeResult is one run's outcome plus the analysis artifacts.
+type analyzeResult struct {
+	serveResult
+	vt        sim.Time // final virtual time of the whole run
+	traces    int      // records in the trace index
+	report    *analyze.BlameReport
+	blameText string // deterministic rendering of report + rollups
+	hotShard  string // hot shard named by the detector ("" = none)
+	hotTenant string
+	topHits   int // of the top-2 blame entries, how many name the plant
+}
+
+// analyzeLoad picks the offered rate and op count.
+func analyzeLoad() (float64, int) {
+	if Quick {
+		return 60e3, 600
+	}
+	return 120e3, 2400
+}
+
+// Analyze produces the fig-analyze table: the planted-anomaly run with
+// the analyzer on, plus the tracing-only twin for the overhead claim.
+func Analyze() []Row {
+	load, n := analyzeLoad()
+	base := analyzeRun(false, load, n)
+	full := analyzeRun(true, load, n)
+	x := fmt.Sprintf("%gk/s", load/1000)
+	rows := []Row{
+		row("fig-analyze", "tput", x, full.achievedKops, "Kops/s"),
+		row("fig-analyze", "p50", x, us(full.p50), "us"),
+		row("fig-analyze", "p99", x, us(full.p99), "us"),
+		row("fig-analyze", "traces", x, float64(full.traces), "records"),
+		row("fig-analyze", "blame top-2 hits", x, float64(full.topHits), "of 2"),
+		row("fig-analyze", "overhead", x, analyzeOverheadPct(base, full), "%"),
+		row("fig-analyze", "digest", "analyze", float64(full.digest), "fnv32"),
+		row("fig-analyze", "digest", "tracing-only", float64(base.digest), "fnv32"),
+	}
+	return rows
+}
+
+// analyzeOverheadPct is the virtual-time cost of arming the analyzer on
+// top of tracing, as a percentage. Zero when the analyzer is passive, as
+// designed.
+func analyzeOverheadPct(base, full analyzeResult) float64 {
+	if base.vt <= 0 {
+		return 0
+	}
+	return float64(full.vt-base.vt) / float64(base.vt) * 100
+}
+
+// analyzeRun drives one planted-anomaly machine. With analyzed false the
+// machine runs tracing alone — the overhead baseline; the driver is
+// byte-identical either way so the two virtual clocks are comparable.
+func analyzeRun(analyzed bool, ratePerSec float64, n int) analyzeResult {
+	cfg := core.Config{Phis: analyzePhis, Tracing: true}
+	if analyzed {
+		cfg.Analyze = true
+		cfg.AnalyzeRoots = []string{"workload.request"}
+	}
+	m := core.NewMachine(cfg)
+	m.EnableNetwork()
+	phis := len(m.Phis)
+	tenants := analyzeTenants()
+	tenantNames := make([]string, len(tenants))
+	for i := range tenants {
+		tenantNames[i] = tenants[i].Name
+	}
+
+	// Pin table: the analytics tenant's j-th key is remapped to the j-th
+	// key index whose name hashes to the hot shard, so its entire keyspace
+	// — and with it every slow 8 KB request — lands on one shard.
+	pin := make([]int, tenants[analyzeTenantID].Keys)
+	for j, k := 0, 0; j < len(pin); k++ {
+		if kvstore.OwnerShard(workload.KeyName(analyzeTenantID, k), phis) == analyzeHotShard {
+			pin[j] = k
+			j++
+		}
+	}
+	keyFor := func(tenant, key int) string {
+		if tenant == analyzeTenantID {
+			return workload.KeyName(tenant, pin[key])
+		}
+		return workload.KeyName(tenant, key)
+	}
+
+	var res analyzeResult
+	m.MustRun(func(p *sim.Proc, mm *core.Machine) {
+		tel := mm.Telemetry()
+		mm.TCPProxy.Balance = kvstore.Balancer()
+		shards := make([]*kvstore.Shard, phis)
+		servers := make([]*kvstore.Server, phis)
+		serversDone := sim.NewWaitGroup("kv-servers")
+		for i, phi := range mm.Phis {
+			if err := phi.Net.Listen(p, analyzePort); err != nil {
+				panic(err)
+			}
+			shards[i] = kvstore.NewShard(mm, i, kvstore.Options{})
+			if err := shards[i].Open(p); err != nil {
+				panic(err)
+			}
+			servers[i] = kvstore.NewServer(shards[i], phi.Net, analyzePort)
+			servers[i].Tenants = tenantNames
+			serversDone.Add(1)
+			sv := servers[i]
+			p.Spawn(fmt.Sprintf("kv-server-%d", i), func(sp *sim.Proc) {
+				defer sp.DoneWG(serversDone)
+				if err := sv.Run(sp); err != nil {
+					panic(err)
+				}
+			})
+		}
+
+		g := workload.NewMultiGenerator(Seed, tenants)
+		val := bytes.Repeat([]byte("v"), analyzeValBytes)
+		hotVal := bytes.Repeat([]byte("V"), analyzeHotValBytes)
+		valFor := func(tenant int) []byte {
+			if tenant == analyzeTenantID {
+				return hotVal
+			}
+			return val
+		}
+
+		// Preload through the delegated FS path; remember one key per
+		// shard for connection binding.
+		bindKey := make([]string, phis)
+		for t := range tenants {
+			for k := 0; k < tenants[t].Keys; k++ {
+				key := keyFor(t, k)
+				sh := kvstore.OwnerShard(key, phis)
+				if err := shards[sh].Put(p, key, valFor(t)); err != nil {
+					panic(err)
+				}
+				if bindKey[sh] == "" {
+					bindKey[sh] = key
+				}
+			}
+		}
+
+		ops := g.Ops(n)
+		gaps := workload.Arrivals(Seed+1, ratePerSec, n)
+		queues := make([][]analyzeOp, phis)
+		conds := make([]*sim.Cond, phis)
+		for i := range conds {
+			conds[i] = sim.NewCond(fmt.Sprintf("kv-q-%d", i))
+		}
+		dispatchDone := false
+		latencies := make([]sim.Time, n)
+		var firstArrival, lastDone sim.Time
+
+		p.Spawn("kv-dispatch", func(dp *sim.Proc) {
+			t := dp.Now()
+			for i, op := range ops {
+				t += sim.Time(gaps[i])
+				dp.AdvanceTo(t)
+				key := keyFor(op.Tenant, op.Key)
+				sh := kvstore.OwnerShard(key, phis)
+				queues[sh] = append(queues[sh], analyzeOp{
+					key:     key,
+					tenant:  op.Tenant,
+					write:   op.Kind != workload.OpRead,
+					arrival: t,
+					idx:     i,
+				})
+				dp.Signal(conds[sh])
+				if i == 0 {
+					firstArrival = t
+				}
+			}
+			dispatchDone = true
+			for _, c := range conds {
+				dp.Broadcast(c)
+			}
+		})
+
+		lat := tel.Histogram("workload.latency")
+		rootSalt := uint64(Seed)
+		workersDone := sim.NewWaitGroup("kv-workers")
+		for sh := 0; sh < phis; sh++ {
+			sh := sh
+			for w := 0; w < analyzeConnsPerShrd; w++ {
+				workersDone.Add(1)
+				p.Spawn(fmt.Sprintf("kv-worker-%d-%d", sh, w), func(wp *sim.Proc) {
+					defer wp.DoneWG(workersDone)
+					conn, err := mm.ClientStack.Dial(wp, mm.HostStack, analyzePort)
+					if err != nil {
+						panic(err)
+					}
+					side := conn.Side(mm.ClientStack)
+					cl := kvstore.NewClient(side)
+					cl.EnableTracing(tel)
+					if _, _, err := cl.Get(wp, bindKey[sh]); err != nil {
+						panic(err)
+					}
+					for {
+						if len(queues[sh]) == 0 {
+							if dispatchDone {
+								break
+							}
+							wp.Wait(conds[sh])
+							continue
+						}
+						op := queues[sh][0]
+						queues[sh] = queues[sh][1:]
+						qwait := wp.Now() - op.arrival
+						if qwait < 0 {
+							qwait = 0
+						}
+						// One root span per request: the causal tree every
+						// downstream span joins, carrying the attribution
+						// dimensions the analyzer indexes by.
+						root := tel.StartCtx(wp, "workload.request",
+							telemetry.RootCtx(rootSalt, uint64(op.idx)))
+						root.Tag("tenant", tenantNames[op.tenant])
+						root.TagInt("shard", int64(sh))
+						root.TagInt("qwait_ns", int64(qwait))
+						if op.write {
+							err = cl.Put(wp, op.key, valFor(op.tenant))
+						} else {
+							_, _, err = cl.Get(wp, op.key)
+						}
+						if err != nil {
+							panic(err)
+						}
+						done := wp.Now()
+						// Observed inside the root span so exemplar capture
+						// links the latency bucket to this trace.
+						lat.ObserveAt(wp, done-op.arrival)
+						root.End(wp)
+						latencies[op.idx] = done - op.arrival
+						if done > lastDone {
+							lastDone = done
+						}
+					}
+					side.Close(wp)
+				})
+			}
+		}
+		p.WaitWG(workersDone)
+		mm.TCPProxy.Stop(p)
+		p.WaitWG(serversDone)
+
+		res.serveResult = summarize(latencies, firstArrival, lastDone)
+	})
+	res.vt = m.Engine.Now()
+
+	if az := m.Analyzer(); az != nil {
+		_, kept, _, _ := az.Stats()
+		res.traces = kept
+		res.report = az.Blame()
+		var b bytes.Buffer
+		if err := res.report.Write(&b); err != nil {
+			panic(err)
+		}
+		b.WriteByte('\n')
+		if err := az.WriteRollups(&b); err != nil {
+			panic(err)
+		}
+		res.blameText = b.String()
+		if hs := az.Hotspot(); hs != nil {
+			res.hotShard = hs.Shard
+			res.hotTenant = hs.Tenant
+		}
+		wantShard := strconv.Itoa(analyzeHotShard)
+		top := res.report.Entries
+		if len(top) > 2 {
+			top = top[:2]
+		}
+		for _, e := range top {
+			if (e.Kind == "tenant" && e.Name == "analytics") ||
+				(e.Kind == "shard" && e.Name == wantShard) {
+				res.topHits++
+			}
+		}
+	}
+	return res
+}
+
+// AnalyzeSummary is what the `solros-bench analyze` subcommand prints:
+// the rendered blame report plus rollups, the hotspot verdict, the
+// indexed trace count, and how many of the top-2 blame entries name the
+// planted culprits.
+type AnalyzeSummary struct {
+	Text      string // deterministic blame report + per-tenant/per-shard rollups
+	HotShard  string // hot shard named by the detector ("" = none)
+	HotTenant string
+	Traces    int // records in the trace index
+	TopHits   int // of the top-2 blame entries, how many name the plant
+}
+
+// AnalyzeReport runs the planted-anomaly scenario with the analyzer on
+// and returns the subcommand's whole surface.
+func AnalyzeReport() AnalyzeSummary {
+	load, n := analyzeLoad()
+	r := analyzeRun(true, load, n)
+	return AnalyzeSummary{
+		Text:      r.blameText,
+		HotShard:  r.hotShard,
+		HotTenant: r.hotTenant,
+		Traces:    r.traces,
+		TopHits:   r.topHits,
+	}
+}
+
+// AnalyzeSchema versions the BENCH_analyze.json format.
+const AnalyzeSchema = "solros-bench-analyze/v1"
+
+// AnalyzeBenchmarks runs the gated analyze points. The overhead point is
+// the passivity gate: committed at 0, so any virtual-time cost the
+// analyzer ever grows registers as a regression. The top-hits point
+// encodes the acceptance criterion — both planted culprits named in the
+// top two blame entries.
+func AnalyzeBenchmarks() CoreBench {
+	load, n := analyzeLoad()
+	base := analyzeRun(false, load, n)
+	full := analyzeRun(true, load, n)
+	return CoreBench{
+		Schema: AnalyzeSchema,
+		Points: []CorePoint{
+			{Name: "analyze_overhead_pct", Value: analyzeOverheadPct(base, full), Unit: "%", HigherIsBetter: false},
+			{Name: "analyze_tput", Value: full.achievedKops, Unit: "Kops/s", HigherIsBetter: true},
+			{Name: "analyze_p99", Value: us(full.p99), Unit: "us", HigherIsBetter: false},
+			{Name: "analyze_traces", Value: float64(full.traces), Unit: "records", HigherIsBetter: true},
+			{Name: "analyze_blame_top_hits", Value: float64(full.topHits), Unit: "of 2", HigherIsBetter: true},
+		},
+	}
+}

@@ -292,6 +292,7 @@ func (px *FSProxy) serve(p *sim.Proc, ch *channel) {
 			sp := px.tel.StartCtx(p, "controlplane.fsproxy",
 				telemetry.TraceCtx{Trace: m.Trace, Span: m.Span})
 			sp.Tag("type", m.Type.String())
+			sp.TagInt("shard", int64(ch.idx))
 			px.telInflight.Arrive(p)
 			p.Advance(model.FSProxyCost)
 			out.Reset()

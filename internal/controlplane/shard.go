@@ -224,6 +224,7 @@ func (px *FSProxy) shardExec(p *sim.Proc, sh *fsShard) {
 		sp := px.tel.StartCtx(p, "controlplane.fsproxy",
 			telemetry.TraceCtx{Trace: m.Trace, Span: m.Span})
 		sp.Tag("type", m.Type.String())
+		sp.TagInt("shard", int64(sh.idx))
 		// The serialized slice of the proxy cost queues FCFS on the shard
 		// lock — that queueing is the contention model — and the remainder
 		// runs in parallel across executors.

@@ -118,6 +118,7 @@ type TCPProxy struct {
 
 type netChannel struct {
 	phi      *pcie.Device
+	idx      int // attach order; the span shard tag when unsharded
 	rpcReq   *transport.Port
 	rpcResp  *transport.Port
 	outbound *transport.Port // phi -> host data (ring master at phi)
@@ -159,7 +160,7 @@ func NewTCPProxy(fab *pcie.Fabric, stack *netstack.Stack) *TCPProxy {
 
 // AttachNet registers a co-processor's network rings (proxy-side ports).
 func (px *TCPProxy) AttachNet(phi *pcie.Device, rpcReq, rpcResp, outbound, inbound *transport.Port) {
-	px.nets[phi] = &netChannel{phi: phi, rpcReq: rpcReq, rpcResp: rpcResp, outbound: outbound, inbound: inbound}
+	px.nets[phi] = &netChannel{phi: phi, idx: len(px.order), rpcReq: rpcReq, rpcResp: rpcResp, outbound: outbound, inbound: inbound}
 	px.order = append(px.order, phi)
 }
 
@@ -199,11 +200,13 @@ func (px *TCPProxy) serveRPC(p *sim.Proc, ch *netChannel) {
 		sp := px.tel.Start(p, "controlplane.tcpproxy")
 		sp.Tag("type", m.Type.String())
 		if sh := px.shardBy[ch.phi]; sh != nil {
+			sp.TagInt("shard", int64(sh.idx))
 			// Sharded: the serialized slice queues on the shard's lock, the
 			// remainder overlaps with sibling shards.
 			p.Use(sh.lock, int64(model.ProxyShardLockHold))
 			p.Advance(model.ProxyShardWorkCost)
 		} else {
+			sp.TagInt("shard", int64(ch.idx))
 			p.Advance(model.FSProxyCost)
 		}
 		out.Reset()

@@ -20,6 +20,7 @@ import (
 	"solros/internal/pcie"
 	"solros/internal/sim"
 	"solros/internal/telemetry"
+	"solros/internal/telemetry/analyze"
 	"solros/internal/transport"
 )
 
@@ -149,6 +150,20 @@ type Config struct {
 	// text format at /metrics, windowed rollups at /metrics/windows) for
 	// wall-clock observation of long runs.
 	MetricsAddr string
+	// Analyze arms the trace-analytics engine (internal/telemetry/analyze):
+	// completed causal trees are folded into a bounded index keyed by
+	// tenant and shard, with differential p99-vs-p50 blame reports, a
+	// hot-shard detector feeding the SLO watchdog, and per-bucket
+	// OpenMetrics exemplars. Implies Tracing (which changes wire sizes —
+	// keep off when reproducing figures); the analysis itself is passive
+	// and adds no virtual time on top of tracing. Default off.
+	Analyze bool
+	// AnalyzeRoots filters which root span names enter the trace index
+	// (empty = all roots). Bench drivers set {"workload.request"} so
+	// preload and connection-binding traffic does not dilute the index.
+	AnalyzeRoots []string
+	// AnalyzeTraces bounds the trace index ring (default 4096).
+	AnalyzeTraces int
 	// SchedSeed arms the sim kernel's seeded tie-break policy: procs
 	// runnable at the same virtual timestamp are ordered by a per-push
 	// PRNG stream instead of spawn order, so each seed explores a
@@ -235,6 +250,9 @@ func (c *Config) fill() {
 	if len(c.SLO) > 0 && c.Windows <= 0 {
 		c.Windows = sim.Millisecond // burn rates need windows to burn over
 	}
+	if c.Analyze && !c.Tracing {
+		c.Tracing = true // the index is built from causal trees
+	}
 	if c.Phis == 0 {
 		c.Phis = 1
 	}
@@ -302,6 +320,7 @@ type Machine struct {
 	cfg       Config
 	inj       *faults.Injector
 	tel       *telemetry.Sink
+	analyzer  *analyze.Analyzer
 	booted    bool
 	stopped   bool
 	violation *Violation
@@ -316,6 +335,11 @@ func (m *Machine) Config() Config { return m.cfg }
 // telemetry is off). When Config.Tracing or Config.FlightRecorder armed a
 // private sink, this is how callers reach it for reports.
 func (m *Machine) Telemetry() *telemetry.Sink { return m.tel }
+
+// Analyzer reports the machine's trace-analytics engine (nil unless
+// Config.Analyze armed it) — the handle for blame reports and rollups
+// after a run.
+func (m *Machine) Analyzer() *analyze.Analyzer { return m.analyzer }
 
 // Violation reports the first oracle violation of the run, or nil.
 func (m *Machine) Violation() *Violation { return m.violation }
@@ -355,15 +379,26 @@ func NewMachine(cfg Config) *Machine {
 			panic("core: metrics addr: " + err.Error())
 		}
 	}
+	var az *analyze.Analyzer
+	if tel != nil && cfg.Analyze {
+		az = analyze.New(analyze.Options{
+			Capacity: cfg.AnalyzeTraces,
+			Roots:    cfg.AnalyzeRoots,
+		})
+		tel.SetSpanObserver(az.OnSpan)
+		tel.SetHotspotSource(az.Hotspot)
+		tel.EnableExemplars()
+	}
 	// Wire telemetry before any device or ring exists so every subsystem
 	// picks the sink up from the fabric as it is constructed.
 	fab.SetTelemetry(tel)
 	m := &Machine{
-		Engine: sim.NewEngine(),
-		Fabric: fab,
-		Host:   cpu.HostPool(),
-		cfg:    cfg,
-		tel:    tel,
+		Engine:   sim.NewEngine(),
+		Fabric:   fab,
+		Host:     cpu.HostPool(),
+		cfg:      cfg,
+		tel:      tel,
+		analyzer: az,
 	}
 	if cfg.SchedSeed != 0 {
 		m.Engine.SetSchedSeed(cfg.SchedSeed)

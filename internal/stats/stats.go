@@ -129,6 +129,12 @@ func bucketOf(t sim.Time) int {
 	return b
 }
 
+// BucketKey reports the log2 bucket key t falls in — -1 for t <= 0, else
+// floor(log2(t)), the same keying Buckets and Count use internally.
+// Exported so callers (telemetry exemplar storage) can attach per-bucket
+// metadata that stays aligned with the histogram's own buckets.
+func BucketKey(t sim.Time) int { return bucketOf(t) }
+
 // N reports the observation count.
 func (h *Histogram) N() int { return h.n }
 
@@ -150,28 +156,25 @@ func (h *Histogram) Merge(other *Histogram) {
 }
 
 // Sub returns h minus old — the window delta between two cumulative
-// snapshots taken of the same histogram. The bucket-mismatch guard: old
-// must be an earlier snapshot of h (every bucket count in old <= the
-// matching count in h); a bucket that would go negative means the
-// snapshots came from different histograms (or out of order) and Sub
-// fails rather than fabricating a delta.
-func (h *Histogram) Sub(old *Histogram) (*Histogram, error) {
+// snapshots taken of the same histogram. A bucket whose delta would go
+// negative clamps to zero instead of underflowing: when a window race
+// lands an observation between a reset and the next snapshot (or the
+// snapshots arrive out of order), the delta degrades to "no observations
+// in that bucket" rather than fabricating a huge count from wraparound.
+// The total n is recomputed from the clamped buckets so it always equals
+// their sum.
+func (h *Histogram) Sub(old *Histogram) *Histogram {
 	out := NewHistogram()
 	if old == nil {
-		return h.Clone(), nil
-	}
-	for k, c := range old.buckets {
-		if h.buckets[k] < c {
-			return nil, fmt.Errorf("stats: histogram bucket %d mismatch: old=%d > new=%d (snapshots of different histograms?)", k, c, h.buckets[k])
-		}
+		return h.Clone()
 	}
 	for k, c := range h.buckets {
 		if d := c - old.buckets[k]; d > 0 {
 			out.buckets[k] = d
+			out.n += d
 		}
 	}
-	out.n = h.n - old.n
-	return out, nil
+	return out
 }
 
 // CountOver reports how many observations landed in buckets entirely

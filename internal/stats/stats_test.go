@@ -184,8 +184,7 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
-// Sub recovers the delta between two snapshots of one histogram, and its
-// bucket-mismatch guard rejects snapshots from different histograms.
+// Sub recovers the delta between two snapshots of one histogram.
 func TestHistogramSub(t *testing.T) {
 	h := NewHistogram()
 	h.Add(3)
@@ -193,22 +192,54 @@ func TestHistogramSub(t *testing.T) {
 	old := h.Clone()
 	h.Add(3)
 	h.Add(0)
-	delta, err := h.Sub(old)
-	if err != nil {
-		t.Fatalf("Sub: %v", err)
-	}
+	delta := h.Sub(old)
 	if delta.N() != 2 || delta.Count(3) != 1 || delta.Count(0) != 1 || delta.Count(100) != 0 {
 		t.Errorf("delta wrong: n=%d count(3)=%d count(0)=%d count(100)=%d",
 			delta.N(), delta.Count(3), delta.Count(0), delta.Count(100))
 	}
-	if d2, err := h.Sub(nil); err != nil || d2.N() != h.N() {
-		t.Errorf("Sub(nil) = (%v, %v), want full clone", d2, err)
+	if d2 := h.Sub(nil); d2.N() != h.N() {
+		t.Errorf("Sub(nil) = %v, want full clone", d2)
 	}
-	// Mismatch guard: "old" has a bucket count the new snapshot lacks.
+}
+
+// A bucket whose count went backwards between snapshots — a window racing
+// a reset, or snapshots of different histograms — clamps to zero instead
+// of underflowing into a huge fabricated delta.
+func TestHistogramSubClampsNegative(t *testing.T) {
+	h := NewHistogram()
+	h.Add(3)
+	h.Add(3)
+	h.Add(100)
+	// "old" claims more observations than h in bucket [1<<20, 1<<21) and in
+	// 100's bucket — counts that cannot be explained as an earlier snapshot
+	// of h.
 	other := NewHistogram()
 	other.Add(1 << 20)
-	if _, err := h.Sub(other); err == nil {
-		t.Error("Sub accepted a snapshot of a different histogram")
+	other.Add(100)
+	other.Add(100)
+	delta := h.Sub(other)
+	if got := delta.Count(1 << 20); got != 0 {
+		t.Errorf("count(1<<20) = %d, want 0 (clamped)", got)
+	}
+	if got := delta.Count(100); got != 0 {
+		t.Errorf("count(100) = %d, want 0 (clamped, old=2 > new=1)", got)
+	}
+	if got := delta.Count(3); got != 2 {
+		t.Errorf("count(3) = %d, want 2", got)
+	}
+	// n is the sum of the clamped buckets, never negative.
+	if delta.N() != 2 {
+		t.Errorf("n = %d, want 2 (sum of clamped buckets)", delta.N())
+	}
+	// Simulated reset race: the histogram restarts from empty, the stale
+	// snapshot still holds the pre-reset counts. The delta is empty, not
+	// negative.
+	fresh := NewHistogram()
+	fresh.Add(7)
+	stale := h.Clone()
+	d := fresh.Sub(stale)
+	if d.N() != 1 || d.Count(7) != 1 {
+		t.Errorf("reset-race delta: n=%d count(7)=%d, want the post-reset observation only", d.N(), d.Count(7))
 	}
 }
 

@@ -1,0 +1,392 @@
+// Package analyze is the trace-analytics engine: a bounded index of
+// completed critical-path trees with per-tenant/per-shard tail
+// decomposition and differential anomaly attribution.
+//
+// The analyzer subscribes to the telemetry sink's completed-span hook
+// (Sink.SetSpanObserver) and groups spans by trace ID as they retire.
+// When a trace's root span completes — children always retire before
+// their root, since End() unwinds the open stack — the tree is finalized:
+// its critical path is computed once (telemetry.ComputePath), its
+// tenant/shard dimensions are pulled from the root's tags, and the result
+// is folded into a bounded ring of Records. Everything downstream —
+// per-dimension rollups, the differential blame report, the hot-shard
+// detector feeding the SLO watchdog — reads from that ring.
+//
+// The analyzer is strictly passive: it never starts spans, never calls
+// back into the sink, and never advances virtual time, so arming it
+// cannot perturb the simulated schedule. That is the mechanism behind the
+// benchmark's "analyze overhead" point being zero by construction — the
+// virtual-time digest of a run with analysis on is byte-identical to the
+// same run with tracing alone.
+package analyze
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"solros/internal/sim"
+	"solros/internal/stats"
+	"solros/internal/telemetry"
+)
+
+// Defaults for Options zero fields.
+const (
+	defaultCapacity   = 4096
+	defaultMaxPending = 1024
+)
+
+// hotSkewThreshold is the outlier-share over-representation at which a
+// dimension value is declared hot (2 = outliers hit it at twice its fair
+// share of traffic).
+const hotSkewThreshold = 2.0
+
+// hotspotMinTraces is the minimum indexed-trace population before the
+// hotspot detector will name a culprit; below it shares are too noisy.
+const hotspotMinTraces = 16
+
+// maxExemplars bounds the exemplar trace IDs attached to a Hotspot.
+const maxExemplars = 4
+
+// Options configures an Analyzer.
+type Options struct {
+	// Capacity bounds the ring of finalized trace Records (default 4096);
+	// the oldest record is evicted when full.
+	Capacity int
+	// MaxPending bounds the number of traces being assembled at once
+	// (default 1024); the oldest pending trace is dropped when exceeded,
+	// guarding against roots that never complete.
+	MaxPending int
+	// Roots filters which root span names produce Records (empty = all).
+	// The bench driver sets {"workload.request"} so infrastructure
+	// traffic — preload Puts, connection binding — minted as ad-hoc
+	// traces by the dataplane stubs does not dilute the index.
+	Roots []string
+}
+
+// Record is one finalized trace in the index: the critical-path
+// decomposition of a completed request plus its attribution dimensions.
+type Record struct {
+	Trace  uint64
+	Tenant string // "" when the root carried no tenant tag
+	Shard  string // "" when no shard tag; else decimal shard index
+	// Total is the request's end-to-end latency including client-side
+	// queueing (the qwait_ns root tag), so it matches what the workload
+	// driver reports as request latency.
+	Total sim.Time
+	// Queue is the do-nothing portion: client queueing plus ring_wait
+	// plus reply_wait from the critical path.
+	Queue sim.Time
+	// Stages is the critical-path decomposition, client_queue first when
+	// present, then telemetry.StageOrder; durations sum to Total.
+	Stages []telemetry.StageDur
+	// End is the root span's finish time — the index's eviction clock.
+	End sim.Time
+}
+
+// Analyzer is the trace index. Safe for concurrent use; OnSpan is
+// designed to be called under the sink mutex and therefore never calls
+// back into the sink.
+type Analyzer struct {
+	mu    sync.Mutex
+	opts  Options
+	roots map[string]bool
+
+	pending     map[uint64][]telemetry.Span
+	pendingFIFO []uint64
+
+	ring []Record
+	next int
+	full bool
+
+	seen     int // roots finalized (pre-filter)
+	kept     int // records admitted to the ring
+	dropped  int // pending traces evicted before their root completed
+	filtered int // roots rejected by the Roots filter
+}
+
+// New returns an Analyzer with opts' zero fields defaulted.
+func New(opts Options) *Analyzer {
+	if opts.Capacity <= 0 {
+		opts.Capacity = defaultCapacity
+	}
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = defaultMaxPending
+	}
+	a := &Analyzer{
+		opts:    opts,
+		pending: make(map[uint64][]telemetry.Span),
+		ring:    make([]Record, opts.Capacity),
+	}
+	if len(opts.Roots) > 0 {
+		a.roots = make(map[string]bool, len(opts.Roots))
+		for _, r := range opts.Roots {
+			a.roots[r] = true
+		}
+	}
+	return a
+}
+
+// OnSpan ingests one completed span. Intended as the sink's span
+// observer: it runs under the sink mutex, so it must not (and does not)
+// call any Sink method. Untraced spans are ignored; a span whose Parent
+// is zero is the root of its tree and triggers finalization — by the
+// sink's End() semantics every descendant has already retired.
+func (a *Analyzer) OnSpan(sp telemetry.Span) {
+	if sp.Trace == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.pending[sp.Trace]; !ok {
+		if len(a.pending) >= a.opts.MaxPending {
+			// Evict the oldest pending trace still unfinalized.
+			for len(a.pendingFIFO) > 0 {
+				old := a.pendingFIFO[0]
+				a.pendingFIFO = a.pendingFIFO[1:]
+				if _, live := a.pending[old]; live {
+					delete(a.pending, old)
+					a.dropped++
+					break
+				}
+			}
+		}
+		a.pendingFIFO = append(a.pendingFIFO, sp.Trace)
+	}
+	a.pending[sp.Trace] = append(a.pending[sp.Trace], sp)
+	if sp.Parent == 0 {
+		a.finalizeLocked(sp.Trace)
+	}
+}
+
+// finalizeLocked turns a completed tree into a Record. Caller holds a.mu.
+func (a *Analyzer) finalizeLocked(trace uint64) {
+	spans := a.pending[trace]
+	delete(a.pending, trace)
+	a.seen++
+	rp := telemetry.ComputePath(trace, spans)
+	if rp == nil {
+		return
+	}
+	if a.roots != nil && !a.roots[rp.Root.Name] {
+		a.filtered++
+		return
+	}
+	rec := Record{
+		Trace: trace,
+		Total: rp.Total,
+		End:   rp.Root.Finish,
+	}
+	rec.Tenant = tagStr(rp, "tenant")
+	rec.Shard = tagInt(rp, "shard")
+	var qwait sim.Time
+	for _, t := range rp.Root.Tags {
+		if t.Key == "qwait_ns" && t.IsInt {
+			qwait = sim.Time(t.Int)
+		}
+	}
+	if qwait > 0 {
+		rec.Total += qwait
+		rec.Stages = append(rec.Stages, telemetry.StageDur{Stage: "client_queue", Dur: qwait})
+	}
+	rec.Stages = append(rec.Stages, rp.Stages...)
+	rec.Queue = qwait
+	for _, sd := range rp.Stages {
+		if sd.Stage == "ring_wait" || sd.Stage == "reply_wait" {
+			rec.Queue += sd.Dur
+		}
+	}
+	a.kept++
+	a.ring[a.next] = rec
+	a.next++
+	if a.next == len(a.ring) {
+		a.next = 0
+		a.full = true
+	}
+}
+
+// tagStr finds the first string tag named key, preferring the root span.
+func tagStr(rp *telemetry.PathReport, key string) string {
+	for _, t := range rp.Root.Tags {
+		if t.Key == key && !t.IsInt {
+			return t.Str
+		}
+	}
+	for i := range rp.Spans {
+		for _, t := range rp.Spans[i].Tags {
+			if t.Key == key && !t.IsInt {
+				return t.Str
+			}
+		}
+	}
+	return ""
+}
+
+// tagInt finds the first integer tag named key (root first), rendered as
+// its decimal string — the dimension-value form the rollups use.
+func tagInt(rp *telemetry.PathReport, key string) string {
+	for _, t := range rp.Root.Tags {
+		if t.Key == key && t.IsInt {
+			return strconv.FormatInt(t.Int, 10)
+		}
+	}
+	for i := range rp.Spans {
+		for _, t := range rp.Spans[i].Tags {
+			if t.Key == key && t.IsInt {
+				return strconv.FormatInt(t.Int, 10)
+			}
+		}
+	}
+	return ""
+}
+
+// Records returns the indexed records, oldest first.
+func (a *Analyzer) Records() []Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.recordsLocked()
+}
+
+func (a *Analyzer) recordsLocked() []Record {
+	if !a.full {
+		return append([]Record(nil), a.ring[:a.next]...)
+	}
+	out := make([]Record, 0, len(a.ring))
+	out = append(out, a.ring[a.next:]...)
+	out = append(out, a.ring[:a.next]...)
+	return out
+}
+
+// Stats reports the index's ingest counters: roots finalized, records
+// kept, pending traces evicted, and roots rejected by the filter.
+func (a *Analyzer) Stats() (seen, kept, dropped, filtered int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seen, a.kept, a.dropped, a.filtered
+}
+
+// stageNames is the canonical stage order for reports: client queueing
+// first, then the critical-path stages.
+func stageNames() []string {
+	return append([]string{"client_queue"}, telemetry.StageOrder...)
+}
+
+// stageDur extracts one stage's duration from a record (zero if absent).
+func stageDur(r *Record, stage string) sim.Time {
+	for _, sd := range r.Stages {
+		if sd.Stage == stage {
+			return sd.Dur
+		}
+	}
+	return 0
+}
+
+// dimOf extracts the record's value for a dimension kind.
+func dimOf(r *Record, kind string) string {
+	if kind == "tenant" {
+		return r.Tenant
+	}
+	return r.Shard
+}
+
+// RollupRow is one (dimension value, stage) cell of the per-dimension
+// latency rollup. Stage "total" carries end-to-end latency.
+type RollupRow struct {
+	Value string
+	Stage string
+	N     int
+	P50   sim.Time
+	P99   sim.Time
+}
+
+// Rollup aggregates the index by one dimension kind ("tenant" or
+// "shard"): per value, end-to-end p50/p99 plus per-stage p50/p99. Rows
+// are ordered by value, then "total" first and stages in canonical order.
+func (a *Analyzer) Rollup(kind string) []RollupRow {
+	recs := a.Records()
+	type acc struct {
+		total  []sim.Time
+		stages map[string][]sim.Time
+	}
+	byVal := make(map[string]*acc)
+	for i := range recs {
+		v := dimOf(&recs[i], kind)
+		if v == "" {
+			continue
+		}
+		c := byVal[v]
+		if c == nil {
+			c = &acc{stages: make(map[string][]sim.Time)}
+			byVal[v] = c
+		}
+		c.total = append(c.total, recs[i].Total)
+		for _, sd := range recs[i].Stages {
+			c.stages[sd.Stage] = append(c.stages[sd.Stage], sd.Dur)
+		}
+	}
+	vals := make([]string, 0, len(byVal))
+	for v := range byVal {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	var out []RollupRow
+	pct := func(xs []sim.Time, p float64) sim.Time {
+		var s stats.Sample
+		for _, x := range xs {
+			s.Add(x)
+		}
+		return s.Percentile(p)
+	}
+	for _, v := range vals {
+		c := byVal[v]
+		out = append(out, RollupRow{Value: v, Stage: "total", N: len(c.total),
+			P50: pct(c.total, 50), P99: pct(c.total, 99)})
+		for _, st := range stageNames() {
+			xs := c.stages[st]
+			if len(xs) == 0 {
+				continue
+			}
+			out = append(out, RollupRow{Value: v, Stage: st, N: len(xs),
+				P50: pct(xs, 50), P99: pct(xs, 99)})
+		}
+	}
+	return out
+}
+
+// Hotspot runs the blame analysis and reports the hot shard (and tenant)
+// when one dimension value is over-represented among tail outliers by at
+// least hotSkewThreshold. Nil when the index is too small or no value
+// clears the bar — the SLO watchdog then files an unattributed breach.
+func (a *Analyzer) Hotspot() *telemetry.Hotspot {
+	recs := a.Records()
+	if len(recs) < hotspotMinTraces {
+		return nil
+	}
+	rep := Blame(recs)
+	var hot *BlameEntry
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		if e.Kind == "shard" && e.Skew >= hotSkewThreshold {
+			hot = e
+			break
+		}
+	}
+	if hot == nil {
+		return nil
+	}
+	hs := &telemetry.Hotspot{Shard: hot.Name, Skew: hot.Skew}
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		if e.Kind == "tenant" && e.Skew >= hotSkewThreshold {
+			hs.Tenant = e.Name
+			break
+		}
+	}
+	// Exemplars: newest outlier traces on the hot shard.
+	for i := len(recs) - 1; i >= 0 && len(hs.Exemplars) < maxExemplars; i-- {
+		if recs[i].Shard == hot.Name && recs[i].Total >= rep.P99 {
+			hs.Exemplars = append(hs.Exemplars, recs[i].Trace)
+		}
+	}
+	return hs
+}

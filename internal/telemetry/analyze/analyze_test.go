@@ -1,0 +1,258 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"solros/internal/sim"
+	"solros/internal/telemetry"
+)
+
+// span builds a completed span for OnSpan; parent 0 marks the tree root.
+func span(trace, id, parent uint64, name string, begin, finish sim.Time, tags ...telemetry.Tag) telemetry.Span {
+	return telemetry.Span{
+		Name: name, Proc: "t0", Begin: begin, Finish: finish,
+		Trace: trace, ID: id, Parent: parent, Tags: tags,
+	}
+}
+
+func TestOnSpanFinalizesOnRoot(t *testing.T) {
+	a := New(Options{})
+	// Child retires first (End unwinds the open stack), then the root.
+	a.OnSpan(span(7, 2, 1, "nvme.submit", 10, 40))
+	if got := a.Records(); len(got) != 0 {
+		t.Fatalf("finalized %d records before the root completed", len(got))
+	}
+	a.OnSpan(span(7, 1, 0, "workload.request", 0, 100,
+		telemetry.Tag{Key: "tenant", Str: "acme"},
+		telemetry.Tag{Key: "shard", Int: 3, IsInt: true},
+		telemetry.Tag{Key: "qwait_ns", Int: 25, IsInt: true}))
+	recs := a.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Trace != 7 || r.Tenant != "acme" || r.Shard != "3" {
+		t.Fatalf("record dims = (%#x, %q, %q), want (0x7, acme, 3)", r.Trace, r.Tenant, r.Shard)
+	}
+	// Total = root duration (100) + client queueing from the qwait_ns tag.
+	if r.Total != 125 {
+		t.Fatalf("Total = %d, want 125 (root 100 + qwait 25)", r.Total)
+	}
+	if got := stageDur(&r, "client_queue"); got != 25 {
+		t.Fatalf("client_queue = %d, want 25", got)
+	}
+	if got := stageDur(&r, "nvme"); got != 30 {
+		t.Fatalf("nvme = %d, want 30", got)
+	}
+	// The stage durations must sum to Total — the sweep's core invariant.
+	var sum sim.Time
+	for _, sd := range r.Stages {
+		sum += sd.Dur
+	}
+	if sum != r.Total {
+		t.Fatalf("stages sum to %d, Total is %d", sum, r.Total)
+	}
+}
+
+func TestUntracedSpansIgnored(t *testing.T) {
+	a := New(Options{})
+	a.OnSpan(span(0, 1, 0, "workload.request", 0, 100))
+	if seen, kept, _, _ := a.Stats(); seen != 0 || kept != 0 {
+		t.Fatalf("untraced span reached the index: seen=%d kept=%d", seen, kept)
+	}
+}
+
+func TestRootsFilter(t *testing.T) {
+	a := New(Options{Roots: []string{"workload.request"}})
+	a.OnSpan(span(1, 1, 0, "dataplane.rpc.issue", 0, 10))
+	a.OnSpan(span(2, 2, 0, "workload.request", 0, 10))
+	if _, kept, _, filtered := a.Stats(); kept != 1 || filtered != 1 {
+		t.Fatalf("kept=%d filtered=%d, want 1 and 1", kept, filtered)
+	}
+	if recs := a.Records(); len(recs) != 1 || recs[0].Trace != 2 {
+		t.Fatalf("index holds %v, want just trace 2", recs)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	a := New(Options{Capacity: 4})
+	for tr := uint64(1); tr <= 6; tr++ {
+		a.OnSpan(span(tr, 1, 0, "workload.request", sim.Time(tr), sim.Time(tr)+10))
+	}
+	recs := a.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records, want capacity 4", len(recs))
+	}
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if recs[i].Trace != want {
+			t.Fatalf("records[%d].Trace = %d, want %d (oldest first)", i, recs[i].Trace, want)
+		}
+	}
+}
+
+func TestPendingEviction(t *testing.T) {
+	a := New(Options{MaxPending: 2})
+	// Three trees start assembling; the third arrival evicts the oldest.
+	a.OnSpan(span(1, 11, 99, "nvme.submit", 0, 10))
+	a.OnSpan(span(2, 21, 99, "nvme.submit", 0, 10))
+	a.OnSpan(span(3, 31, 99, "nvme.submit", 0, 10))
+	if _, _, dropped, _ := a.Stats(); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (trace 1 evicted)", dropped)
+	}
+	// Trace 2 survived and finalizes with both spans.
+	a.OnSpan(span(2, 20, 0, "workload.request", 0, 100))
+	recs := a.Records()
+	if len(recs) != 1 || recs[0].Trace != 2 {
+		t.Fatalf("index holds %v, want just trace 2", recs)
+	}
+	if got := stageDur(&recs[0], "nvme"); got != 10 {
+		t.Fatalf("evicting trace 1 lost trace 2's child: nvme = %d, want 10", got)
+	}
+}
+
+// synthetic builds an index population with a planted culprit: many fast
+// "web" requests spread on shard 0, a few slow "etl" requests pinned to
+// shard 1.
+func synthetic() []Record {
+	var recs []Record
+	for i := 0; i < 90; i++ {
+		recs = append(recs, Record{
+			Trace: uint64(i + 1), Tenant: "web", Shard: "0",
+			Total:  100_000,
+			Stages: []telemetry.StageDur{{Stage: "other", Dur: 100_000}},
+			End:    sim.Time(i),
+		})
+	}
+	for i := 0; i < 10; i++ {
+		recs = append(recs, Record{
+			Trace: uint64(1000 + i), Tenant: "etl", Shard: "1",
+			Total:  5_000_000,
+			Queue:  4_000_000,
+			Stages: []telemetry.StageDur{{Stage: "nvme", Dur: 5_000_000}},
+			End:    sim.Time(1000 + i),
+		})
+	}
+	return recs
+}
+
+func TestBlameNamesPlantedCulprit(t *testing.T) {
+	rep := Blame(synthetic())
+	if len(rep.Entries) < 2 {
+		t.Fatalf("blame produced %d entries, want >= 2", len(rep.Entries))
+	}
+	top := rep.Entries[:2]
+	var shardHit, tenantHit bool
+	for _, e := range top {
+		if e.Kind == "shard" && e.Name == "1" {
+			shardHit = true
+		}
+		if e.Kind == "tenant" && e.Name == "etl" {
+			tenantHit = true
+		}
+	}
+	if !shardHit || !tenantHit {
+		t.Fatalf("top-2 entries are %+v, want shard=1 and tenant=etl", top)
+	}
+	// The culprit's dominant stage must be the one the plant inflates.
+	if top[0].Stage != "nvme" && top[1].Stage != "nvme" {
+		t.Fatalf("no top entry blames the nvme stage: %+v", top)
+	}
+	// A tenant whose tail share tracks its traffic share scores ~0: "web"
+	// holds no outliers at all here and must not appear above the plant.
+	for _, e := range rep.Entries {
+		if e.Name == "web" && e.Score > 0 {
+			t.Fatalf("collateral tenant web scored %g, want 0", e.Score)
+		}
+	}
+}
+
+func TestBlameRenderDeterministic(t *testing.T) {
+	recs := synthetic()
+	render := func() string {
+		var b strings.Builder
+		if err := Blame(recs).Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("renders differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestBlameEmptyIndex(t *testing.T) {
+	rep := Blame(nil)
+	if rep.N != 0 || len(rep.Entries) != 0 {
+		t.Fatalf("empty index produced %+v", rep)
+	}
+	var b strings.Builder
+	if err := rep.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0 traces") {
+		t.Fatalf("empty render missing trace count: %q", b.String())
+	}
+}
+
+func TestHotspotThresholds(t *testing.T) {
+	// Below the minimum population the detector stays silent.
+	small := New(Options{})
+	for tr := uint64(1); tr < hotspotMinTraces; tr++ {
+		small.OnSpan(span(tr, 1, 0, "workload.request", 0, 10,
+			telemetry.Tag{Key: "shard", Int: 1, IsInt: true}))
+	}
+	if hs := small.Hotspot(); hs != nil {
+		t.Fatalf("hotspot fired on %d traces, want nil below %d", hotspotMinTraces-1, hotspotMinTraces)
+	}
+
+	a := New(Options{})
+	for _, r := range synthetic() {
+		rec := r
+		a.mu.Lock()
+		a.ring[a.next] = rec
+		a.next++
+		a.kept++
+		a.mu.Unlock()
+	}
+	hs := a.Hotspot()
+	if hs == nil {
+		t.Fatal("hotspot did not fire on the planted skew")
+	}
+	if hs.Shard != "1" || hs.Tenant != "etl" {
+		t.Fatalf("hotspot names (shard %q, tenant %q), want (1, etl)", hs.Shard, hs.Tenant)
+	}
+	if hs.Skew < hotSkewThreshold {
+		t.Fatalf("hotspot skew %g below threshold %g", hs.Skew, hotSkewThreshold)
+	}
+	if len(hs.Exemplars) == 0 || len(hs.Exemplars) > maxExemplars {
+		t.Fatalf("hotspot carries %d exemplars, want 1..%d", len(hs.Exemplars), maxExemplars)
+	}
+	for _, tr := range hs.Exemplars {
+		if tr < 1000 {
+			t.Fatalf("exemplar %#x is not an outlier trace on the hot shard", tr)
+		}
+	}
+}
+
+func TestRollupOrdering(t *testing.T) {
+	a := New(Options{})
+	for _, r := range synthetic() {
+		rec := r
+		a.mu.Lock()
+		a.ring[a.next] = rec
+		a.next++
+		a.mu.Unlock()
+	}
+	rows := a.Rollup("tenant")
+	if len(rows) == 0 {
+		t.Fatal("rollup is empty")
+	}
+	// Values sorted, "total" row first per value.
+	if rows[0].Value != "etl" || rows[0].Stage != "total" {
+		t.Fatalf("first row = %+v, want etl/total", rows[0])
+	}
+	if rows[0].P50 != 5_000_000 {
+		t.Fatalf("etl total p50 = %v, want 5ms", rows[0].P50)
+	}
+}

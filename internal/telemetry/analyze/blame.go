@@ -1,0 +1,269 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"solros/internal/sim"
+	"solros/internal/stats"
+)
+
+// Differential attribution: explain WHY the p99 is what it is by diffing
+// the tail cohort against the median cohort. The outlier cohort is every
+// indexed trace whose end-to-end latency reaches the exact p99; the base
+// cohort is everything at or under the p50. For each dimension value
+// (each tenant, each shard) the report measures over-representation —
+// what share of the outliers hit that value versus its share of all
+// traffic — and for each value it names the stage whose mean self-time
+// among that value's outliers rose the most above the population mean.
+// Excess tail mass ranks the entries: a value's score is the share of
+// the outlier cohort it holds BEYOND its fair (overall) share, weighted
+// by its skew. Ranking on excess rather than raw outlier share keeps a
+// high-traffic tenant from topping the list on volume alone when it is
+// merely collateral damage — queued behind the real culprit on a shared
+// shard, its tail share tracks its traffic share and the excess is near
+// zero, while the planted anomaly's tail share far exceeds its traffic.
+
+// BlameEntry is one ranked suspect: a dimension value over-represented
+// in the tail.
+type BlameEntry struct {
+	Kind string // "tenant" or "shard"
+	Name string // the dimension value
+
+	// OutlierShare and OverallShare are the value's share of the outlier
+	// cohort and of all indexed traces; Skew is their ratio (1 = fair).
+	OutlierShare float64
+	OverallShare float64
+	Skew         float64
+	// Score ranks entries: max(0, OutlierShare-OverallShare) x Skew —
+	// excess tail mass weighted by relative enrichment.
+	Score float64
+	// NOutlier and NTotal count the value's traces in each population.
+	NOutlier int
+	NTotal   int
+
+	// Stage is the critical-path stage whose mean duration among this
+	// value's outliers exceeds the all-traces mean by the most
+	// (StageDelta); QueueDelta is the same diff for the do-nothing time
+	// (client queue + ring/reply wait).
+	Stage      string
+	StageDelta sim.Time
+	QueueDelta sim.Time
+}
+
+// StageDiff is one row of the cohort stage-decomposition table: mean
+// stage duration in the base (p50) cohort versus the outlier (p99)
+// cohort.
+type StageDiff struct {
+	Stage string
+	Base  sim.Time
+	Tail  sim.Time
+	Delta sim.Time
+}
+
+// BlameReport is the full differential attribution.
+type BlameReport struct {
+	N        int      // indexed traces analyzed
+	P50, P99 sim.Time // exact percentiles of end-to-end latency
+	NOutlier int      // traces in the p99 cohort
+	NBase    int      // traces in the p50 cohort
+	Entries  []BlameEntry
+	Stages   []StageDiff
+}
+
+// Blame computes the differential attribution over a set of records.
+func Blame(recs []Record) *BlameReport {
+	rep := &BlameReport{N: len(recs)}
+	if len(recs) == 0 {
+		return rep
+	}
+	var totals stats.Sample
+	for i := range recs {
+		totals.Add(recs[i].Total)
+	}
+	rep.P50 = totals.Percentile(50)
+	rep.P99 = totals.Percentile(99)
+
+	var outliers, base []*Record
+	for i := range recs {
+		r := &recs[i]
+		if r.Total >= rep.P99 {
+			outliers = append(outliers, r)
+		}
+		if r.Total <= rep.P50 {
+			base = append(base, r)
+		}
+	}
+	rep.NOutlier = len(outliers)
+	rep.NBase = len(base)
+
+	// Population-wide mean per stage and mean queue time — the baseline
+	// the per-value outlier means are diffed against.
+	allStageMean := make(map[string]sim.Time)
+	var allQueueMean sim.Time
+	for i := range recs {
+		for _, sd := range recs[i].Stages {
+			allStageMean[sd.Stage] += sd.Dur
+		}
+		allQueueMean += recs[i].Queue
+	}
+	n := sim.Time(len(recs))
+	for st := range allStageMean {
+		allStageMean[st] /= n
+	}
+	allQueueMean /= n
+
+	for _, kind := range []string{"tenant", "shard"} {
+		countAll := make(map[string]int)
+		countOut := make(map[string]int)
+		stageSum := make(map[string]map[string]sim.Time)
+		queueSum := make(map[string]sim.Time)
+		for i := range recs {
+			if v := dimOf(&recs[i], kind); v != "" {
+				countAll[v]++
+			}
+		}
+		for _, r := range outliers {
+			v := dimOf(r, kind)
+			if v == "" {
+				continue
+			}
+			countOut[v]++
+			ss := stageSum[v]
+			if ss == nil {
+				ss = make(map[string]sim.Time)
+				stageSum[v] = ss
+			}
+			for _, sd := range r.Stages {
+				ss[sd.Stage] += sd.Dur
+			}
+			queueSum[v] += r.Queue
+		}
+		vals := make([]string, 0, len(countOut))
+		for v := range countOut {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
+			outShare := float64(countOut[v]) / float64(len(outliers))
+			allShare := float64(countAll[v]) / float64(len(recs))
+			if allShare == 0 {
+				continue
+			}
+			e := BlameEntry{
+				Kind:         kind,
+				Name:         v,
+				OutlierShare: outShare,
+				OverallShare: allShare,
+				Skew:         outShare / allShare,
+				NOutlier:     countOut[v],
+				NTotal:       countAll[v],
+			}
+			if excess := e.OutlierShare - e.OverallShare; excess > 0 {
+				e.Score = excess * e.Skew
+			}
+			no := sim.Time(countOut[v])
+			var bestDelta sim.Time
+			for _, st := range stageNames() {
+				d := stageSum[v][st]/no - allStageMean[st]
+				if e.Stage == "" || d > bestDelta {
+					e.Stage, bestDelta = st, d
+				}
+			}
+			e.StageDelta = bestDelta
+			e.QueueDelta = queueSum[v]/no - allQueueMean
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	sort.SliceStable(rep.Entries, func(i, j int) bool {
+		a, b := &rep.Entries[i], &rep.Entries[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Name < b.Name
+	})
+
+	// Cohort stage decomposition: base-cohort mean vs outlier-cohort mean
+	// per stage, in canonical order.
+	meanOf := func(cohort []*Record, st string) sim.Time {
+		if len(cohort) == 0 {
+			return 0
+		}
+		var sum sim.Time
+		for _, r := range cohort {
+			sum += stageDur(r, st)
+		}
+		return sum / sim.Time(len(cohort))
+	}
+	for _, st := range stageNames() {
+		b := meanOf(base, st)
+		t := meanOf(outliers, st)
+		if b == 0 && t == 0 {
+			continue
+		}
+		rep.Stages = append(rep.Stages, StageDiff{Stage: st, Base: b, Tail: t, Delta: t - b})
+	}
+	return rep
+}
+
+// Blame computes the differential attribution over the analyzer's
+// current index.
+func (a *Analyzer) Blame() *BlameReport {
+	return Blame(a.Records())
+}
+
+// WriteBlame renders the report deterministically: same records, same
+// bytes. Ranked suspects first, then the cohort stage decomposition.
+func (rep *BlameReport) Write(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== blame report: %d traces, p50 %v, p99 %v ==\n", rep.N, rep.P50, rep.P99)
+	fmt.Fprintf(&b, "cohorts: %d outliers (>= p99), %d base (<= p50)\n", rep.NOutlier, rep.NBase)
+	if len(rep.Entries) == 0 {
+		b.WriteString("no attributable dimensions (no tenant/shard tags in index)\n")
+	} else {
+		fmt.Fprintf(&b, "\n%-4s %-7s %-12s %7s %6s %7s %7s  %-13s %12s %12s\n",
+			"rank", "kind", "name", "score", "skew", "o-shr", "a-shr", "stage", "stage_d", "queue_d")
+		for i := range rep.Entries {
+			e := &rep.Entries[i]
+			fmt.Fprintf(&b, "%-4d %-7s %-12s %7.3f %6.2f %6.1f%% %6.1f%%  %-13s %12v %12v\n",
+				i+1, e.Kind, e.Name, e.Score, e.Skew,
+				e.OutlierShare*100, e.OverallShare*100,
+				e.Stage, e.StageDelta, e.QueueDelta)
+		}
+	}
+	if len(rep.Stages) > 0 {
+		fmt.Fprintf(&b, "\n-- stage decomposition: base (p50) cohort vs tail (p99) cohort --\n")
+		fmt.Fprintf(&b, "%-13s %14s %14s %14s\n", "stage", "base_mean", "tail_mean", "delta")
+		for _, sd := range rep.Stages {
+			fmt.Fprintf(&b, "%-13s %14v %14v %14v\n", sd.Stage, sd.Base, sd.Tail, sd.Delta)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteRollups renders the per-tenant and per-shard stage rollups.
+func (a *Analyzer) WriteRollups(w io.Writer) error {
+	var b strings.Builder
+	for _, kind := range []string{"tenant", "shard"} {
+		rows := a.Rollup(kind)
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "== rollup by %s ==\n", kind)
+		fmt.Fprintf(&b, "%-12s %-13s %7s %14s %14s\n", kind, "stage", "n", "p50", "p99")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-12s %-13s %7d %14v %14v\n", r.Value, r.Stage, r.N, r.P50, r.P99)
+		}
+	}
+	if b.Len() == 0 {
+		b.WriteString("trace index empty\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

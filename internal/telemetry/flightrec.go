@@ -52,12 +52,21 @@ type flightSpan struct {
 	Tags   map[string]any `json:"tags,omitempty"`
 }
 
-// flightDump is the JSON blackbox artifact.
+// flightDump is the JSON blackbox artifact. The Hot*/Scope* fields are
+// present only on scoped dumps (SLO breaches with a hotspot attribution):
+// they name the shard/tenant the analyzer blamed and pull that hotspot's
+// exemplar traces' spans out of the ring so the postmortem starts from
+// the blamed requests.
 type flightDump struct {
 	Reason        string           `json:"reason"`
 	Time          sim.Time         `json:"vtime"`
 	Proc          string           `json:"proc,omitempty"`
 	FaultedTrace  string           `json:"faulted_trace,omitempty"`
+	HotShard      string           `json:"hot_shard,omitempty"`
+	HotTenant     string           `json:"hot_tenant,omitempty"`
+	ShardSkew     float64          `json:"shard_skew,omitempty"`
+	ScopeTraces   []string         `json:"scope_traces,omitempty"`
+	ScopedSpans   []flightSpan     `json:"scoped_spans,omitempty"`
 	Spans         []flightSpan     `json:"spans"`
 	OpenSpans     []flightSpan     `json:"open_spans,omitempty"`
 	Counters      map[string]int64 `json:"counters,omitempty"`
@@ -186,6 +195,15 @@ func (s *Sink) counterSnapshotInto(dst map[string]int64) map[string]int64 {
 // the most recently recorded traced span). Returns the artifact path,
 // empty when unarmed, over the dump cap, or on a write error. Nil-safe.
 func (s *Sink) TriggerFlight(p *sim.Proc, reason string) string {
+	return s.TriggerFlightScoped(p, reason, nil)
+}
+
+// TriggerFlightScoped is TriggerFlight with an optional hotspot scope:
+// when hs is non-nil the dump names the blamed shard/tenant and extracts
+// the hotspot's exemplar traces' spans from the ring into a dedicated
+// section, so a breach-triggered blackbox is pre-filtered to the requests
+// the analyzer holds responsible.
+func (s *Sink) TriggerFlightScoped(p *sim.Proc, reason string, hs *Hotspot) string {
 	if s == nil {
 		return ""
 	}
@@ -200,6 +218,22 @@ func (s *Sink) TriggerFlight(p *sim.Proc, reason string) string {
 		Reason:   reason,
 		Spans:    f.snapshot(),
 		Counters: s.counterSnapshotInto(f.scratch),
+	}
+	if hs != nil {
+		d.HotShard = hs.Shard
+		d.HotTenant = hs.Tenant
+		d.ShardSkew = hs.Skew
+		scope := make(map[string]bool, len(hs.Exemplars))
+		for _, tr := range hs.Exemplars {
+			key := fmt.Sprintf("%#x", tr)
+			d.ScopeTraces = append(d.ScopeTraces, key)
+			scope[key] = true
+		}
+		for i := range d.Spans {
+			if d.Spans[i].Trace != "" && scope[d.Spans[i].Trace] {
+				d.ScopedSpans = append(d.ScopedSpans, d.Spans[i])
+			}
+		}
 	}
 	if p != nil {
 		d.Time = p.Now()

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"solros/internal/sim"
+)
+
+// stubHotspot is the analyzer stand-in: a fixed attribution so the tests
+// pin the plumbing (breach -> hotspot fetch -> stamped violation ->
+// scoped dump) without the full trace index.
+func stubHotspot() *Hotspot {
+	return &Hotspot{Shard: "1", Tenant: "etl", Skew: 3.5, Exemplars: []uint64{0x111, 0x222}}
+}
+
+// breachShards drives four per-shard latency metrics through six windows
+// on one engine: shards 0 and 1 breach their objectives, 2 and 3 stay
+// healthy. Each shard proc also retires one traced span so the hotspot's
+// exemplar traces have spans in the flight ring to scope to.
+func breachShards(t *testing.T, dir string) *Sink {
+	t.Helper()
+	s := New(Options{})
+	s.EnableWindows(100)
+	s.ArmFlightRecorder(dir, 256, 16)
+	s.SetObjectives([]Objective{
+		{Metric: "shard0.lat", Target: 50, Percentile: 99, Budget: 0.10, Burn: 1},
+		{Metric: "shard1.lat", Target: 50, Percentile: 99, Budget: 0.10, Burn: 1},
+	})
+	s.SetHotspotSource(stubHotspot)
+
+	e := sim.NewEngine()
+	mk := func(name, metric string, lat sim.Time, trace uint64) {
+		e.Spawn(name, 0, func(p *sim.Proc) {
+			h := s.Histogram(metric)
+			sp := s.StartCtx(p, "transport.ring_op", TraceCtx{Trace: trace})
+			p.Advance(5)
+			sp.End(p)
+			for w := 0; w < 6; w++ {
+				for n := 0; n < 10; n++ {
+					p.Advance(10)
+					h.ObserveAt(p, lat)
+				}
+			}
+		})
+	}
+	mk("shard0", "shard0.lat", 200, 0x111)
+	mk("shard1", "shard1.lat", 200, 0x222)
+	mk("shard2", "shard2.lat", 1, 0x333)
+	mk("shard3", "shard3.lat", 1, 0x444)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// readDumps returns the dump artifacts in dir, sorted by name.
+func readDumps(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(ents))
+	for _, ent := range ents {
+		blob, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[ent.Name()] = blob
+	}
+	return out
+}
+
+// Two shards breaching their SLOs in the same run: every breach files a
+// violation stamped with the analyzer's hotspot and dumps a blackbox
+// scoped to the blamed traces.
+func TestSLOBreachDumpsScopedToHotspot(t *testing.T) {
+	dir := t.TempDir()
+	s := breachShards(t, dir)
+
+	vs := s.SLOViolations()
+	if len(vs) < 2 {
+		t.Fatalf("got %d violations, want >= 2 (both hot shards breach)", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		seen[v.Objective] = true
+		if v.HotShard != "1" || v.HotTenant != "etl" || v.ShardSkew != 3.5 {
+			t.Errorf("violation %s not stamped with the hotspot: %+v", v.Objective, v)
+		}
+		if !strings.Contains(v.String(), "hot shard 1") {
+			t.Errorf("violation string %q lacks hotspot rendering", v.String())
+		}
+	}
+	if !seen["shard0.lat.p99"] || !seen["shard1.lat.p99"] {
+		t.Fatalf("breached objectives = %v, want both shard0 and shard1", seen)
+	}
+
+	dumps := readDumps(t, dir)
+	if len(dumps) < 2 {
+		t.Fatalf("got %d flight dumps, want >= 2 (one per breach)", len(dumps))
+	}
+	for name, blob := range dumps {
+		var d struct {
+			Reason      string           `json:"reason"`
+			HotShard    string           `json:"hot_shard"`
+			HotTenant   string           `json:"hot_tenant"`
+			ScopeTraces []string         `json:"scope_traces"`
+			ScopedSpans []map[string]any `json:"scoped_spans"`
+		}
+		if err := json.Unmarshal(blob, &d); err != nil {
+			t.Fatalf("dump %s is not valid JSON: %v", name, err)
+		}
+		if !strings.HasPrefix(d.Reason, "slo-") {
+			t.Errorf("dump %s reason = %q, want slo-*", name, d.Reason)
+		}
+		if d.HotShard != "1" || d.HotTenant != "etl" {
+			t.Errorf("dump %s not scoped: hot_shard=%q hot_tenant=%q", name, d.HotShard, d.HotTenant)
+		}
+		if len(d.ScopeTraces) != 2 || d.ScopeTraces[0] != "0x111" || d.ScopeTraces[1] != "0x222" {
+			t.Errorf("dump %s scope_traces = %v, want [0x111 0x222]", name, d.ScopeTraces)
+		}
+		if len(d.ScopedSpans) == 0 {
+			t.Errorf("dump %s has no scoped spans despite exemplar traces in the ring", name)
+		}
+		for _, sp := range d.ScopedSpans {
+			tr, _ := sp["trace"].(string)
+			if tr != "0x111" && tr != "0x222" {
+				t.Errorf("dump %s scoped span carries foreign trace %q", name, tr)
+			}
+		}
+	}
+}
+
+// The same seed must produce the same blackboxes: identical dump file
+// names and identical bytes across two runs of the same schedule.
+func TestSLOBreachDumpsDeterministic(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	breachShards(t, dirA)
+	breachShards(t, dirB)
+	a, b := readDumps(t, dirA), readDumps(t, dirB)
+	names := func(m map[string][]byte) []string {
+		var out []string
+		for n := range m {
+			out = append(out, n)
+		}
+		sort.Strings(out)
+		return out
+	}
+	na, nb := names(a), names(b)
+	if strings.Join(na, ",") != strings.Join(nb, ",") {
+		t.Fatalf("dump file lists differ: %v vs %v", na, nb)
+	}
+	for _, n := range na {
+		if string(a[n]) != string(b[n]) {
+			t.Errorf("dump %s differs between identical runs", n)
+		}
+	}
+}
+
+// Four engines on real goroutines share one sink, each breaching its own
+// objective — under -race this pins the lock discipline of the breach
+// path (sloCheck's hotspot fetch, violation append, scoped dump) against
+// concurrent span retirement and window sealing.
+func TestConcurrentSLOBreachesAcrossShards(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{})
+	s.EnableWindows(100)
+	s.ArmFlightRecorder(dir, 256, 64)
+	s.SetObjectives([]Objective{
+		{Metric: "shard0.lat", Target: 50, Percentile: 99, Budget: 0.10, Burn: 1},
+		{Metric: "shard1.lat", Target: 50, Percentile: 99, Budget: 0.10, Burn: 1},
+		{Metric: "shard2.lat", Target: 50, Percentile: 99, Budget: 0.10, Burn: 1},
+		{Metric: "shard3.lat", Target: 50, Percentile: 99, Budget: 0.10, Burn: 1},
+	})
+	s.SetHotspotSource(stubHotspot)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			metric := "shard" + string(rune('0'+i)) + ".lat"
+			e := sim.NewEngine()
+			e.Spawn("p", 0, func(p *sim.Proc) {
+				h := s.Histogram(metric)
+				for w := 0; w < 6; w++ {
+					for n := 0; n < 10; n++ {
+						p.Advance(10)
+						sp := s.StartCtx(p, "transport.ring_op", TraceCtx{Trace: uint64(0x111 + i)})
+						h.ObserveAt(p, 200)
+						sp.End(p)
+					}
+				}
+			})
+			if err := e.Run(); err != nil {
+				panic(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	vs := s.SLOViolations()
+	if len(vs) < 4 {
+		t.Fatalf("got %d violations, want >= 4 (every shard breaches)", len(vs))
+	}
+	byObj := map[string]int{}
+	for _, v := range vs {
+		byObj[v.Objective]++
+		if v.HotShard != "1" {
+			t.Errorf("violation %s lost its hotspot under concurrency: %+v", v.Objective, v)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		obj := "shard" + string(rune('0'+i)) + ".lat.p99"
+		if byObj[obj] == 0 {
+			t.Errorf("objective %s never breached", obj)
+		}
+	}
+	for name, blob := range readDumps(t, dir) {
+		if !json.Valid(blob) {
+			t.Errorf("dump %s is not valid JSON", name)
+		}
+	}
+}

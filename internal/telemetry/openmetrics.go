@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"solros/internal/sim"
+	"solros/internal/stats"
 )
 
 // OpenMetrics / Prometheus text-format exporter. Two surfaces:
@@ -48,6 +49,37 @@ func omName(name string) string {
 // omFloat renders a float deterministically.
 func omFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// omEscape escapes a label value per the OpenMetrics text format:
+// backslash, double quote, and newline get backslash escapes; everything
+// else passes through verbatim. Go's %q is close but not conformant — it
+// escapes tabs, non-ASCII, and other control characters that OpenMetrics
+// requires to be emitted raw.
+func omEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// omLabel renders one key="value" pair with a conformantly escaped value.
+func omLabel(key, value string) string {
+	return key + `="` + omEscape(value) + `"`
 }
 
 // omSeconds renders a virtual-time value in seconds.
@@ -99,6 +131,13 @@ func (s *Sink) WriteOpenMetrics(w io.Writer) error {
 		buckets := h.h.Buckets()
 		n := h.h.N()
 		timed := h.timed
+		var ex map[int]Exemplar
+		if len(h.ex) > 0 {
+			ex = make(map[int]Exemplar, len(h.ex))
+			for k, e := range h.ex {
+				ex[k] = e
+			}
+		}
 		h.mu.Unlock()
 		mn := omName(name)
 		if timed {
@@ -116,7 +155,16 @@ func (s *Sink) WriteOpenMetrics(w io.Writer) error {
 				mid = (float64(bk.Lo) + float64(bk.Hi)) / 2
 			}
 			sum += mid * float64(bk.Count)
-			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", mn, le, cum)
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d", mn, le, cum)
+			// OpenMetrics exemplar: the trace ID of a representative
+			// observation in this bucket, so a scrape can jump from a
+			// latency bucket straight to a concrete request.
+			if e, ok := ex[stats.BucketKey(bk.Lo)]; ok && e.Trace != 0 {
+				fmt.Fprintf(&b, " # {%s} %s %s",
+					omLabel("trace_id", fmt.Sprintf("%#x", e.Trace)),
+					omSeconds(e.Value), omSeconds(e.At))
+			}
+			b.WriteByte('\n')
 		}
 		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", mn, n)
 		// Sum is reconstructed from bucket midpoints (the log2 histogram
@@ -157,18 +205,20 @@ func (s *Sink) WriteOpenMetrics(w io.Writer) error {
 func (s *Sink) writeWindowBody(b *strings.Builder, r *WindowRollup) {
 	win := strconv.FormatInt(r.Index, 10)
 	fmt.Fprintf(b, "# window %s [%s, %s)\n", win, r.Start, r.End)
-	fmt.Fprintf(b, "solros_window_start_seconds{window=%q} %s\n", win, omSeconds(r.Start))
-	fmt.Fprintf(b, "solros_window_end_seconds{window=%q} %s\n", win, omSeconds(r.End))
+	fmt.Fprintf(b, "solros_window_start_seconds{%s} %s\n", omLabel("window", win), omSeconds(r.Start))
+	fmt.Fprintf(b, "solros_window_end_seconds{%s} %s\n", omLabel("window", win), omSeconds(r.End))
 	for _, st := range r.Stages {
-		l := fmt.Sprintf("{window=%q,stage=%q}", win, st.Stage)
+		wl := omLabel("window", win)
+		sl := omLabel("stage", st.Stage)
+		l := "{" + wl + "," + sl + "}"
 		fmt.Fprintf(b, "solros_window_stage_busy_seconds%s %s\n", l, omSeconds(st.Busy))
 		fmt.Fprintf(b, "solros_window_stage_utilization%s %s\n", l, omFloat(st.Util))
 		fmt.Fprintf(b, "solros_window_stage_ops%s %d\n", l, st.Ops)
-		fmt.Fprintf(b, "solros_window_stage_latency_seconds{window=%q,stage=%q,quantile=\"0.5\"} %s\n", win, st.Stage, omSeconds(st.P50))
-		fmt.Fprintf(b, "solros_window_stage_latency_seconds{window=%q,stage=%q,quantile=\"0.99\"} %s\n", win, st.Stage, omSeconds(st.P99))
+		fmt.Fprintf(b, "solros_window_stage_latency_seconds{%s,%s,quantile=\"0.5\"} %s\n", wl, sl, omSeconds(st.P50))
+		fmt.Fprintf(b, "solros_window_stage_latency_seconds{%s,%s,quantile=\"0.99\"} %s\n", wl, sl, omSeconds(st.P99))
 	}
 	for _, q := range r.Queues {
-		l := fmt.Sprintf("{window=%q,queue=%q}", win, q.Queue)
+		l := "{" + omLabel("window", win) + "," + omLabel("queue", q.Queue) + "}"
 		fmt.Fprintf(b, "solros_window_queue_arrivals%s %d\n", l, q.Arrivals)
 		fmt.Fprintf(b, "solros_window_queue_departures%s %d\n", l, q.Departures)
 		fmt.Fprintf(b, "solros_window_queue_arrival_rate_hz%s %s\n", l, omFloat(q.RateHz))

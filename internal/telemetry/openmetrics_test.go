@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"solros/internal/sim"
+)
+
+// omEscape must escape exactly the three characters the OpenMetrics text
+// format names — backslash, double quote, newline — and pass everything
+// else through raw. Go's %q would over-escape tabs and non-ASCII, which
+// a conformant parser then reads back wrong.
+func TestOMEscape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"tab\tkept", "tab\tkept"},
+		{"utf8 é≤", "utf8 é≤"},
+		{"\\\"\n", `\\\"\n`},
+	}
+	for _, c := range cases {
+		if got := omEscape(c.in); got != c.want {
+			t.Errorf("omEscape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Adversarial label values — quotes, backslashes, newlines in a queue
+// name — must come out escaped so every exposition line stays a single
+// well-formed line, with one # EOF terminator at the very end.
+func TestOpenMetricsConformanceAdversarialLabels(t *testing.T) {
+	s := New(Options{})
+	s.EnableWindows(100)
+	evil := "ring \"prod\"\\v1\nnext"
+	q := s.Queue(evil)
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		sp := s.Start(p, "nvme.submit")
+		q.Arrive(p)
+		p.Advance(70)
+		q.Depart(p)
+		sp.End(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.SealWindows(100)
+
+	var b strings.Builder
+	if err := s.WriteWindows(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	want := `queue="ring \"prod\"\\v1\nnext"`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped label %s missing in:\n%s", want, out)
+	}
+	// Every line must be a comment or a sample starting with the metric
+	// prefix — a raw newline inside a label value would break this.
+	for i, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "solros_") {
+			continue
+		}
+		t.Errorf("line %d is not a valid exposition line: %q", i+1, line)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Error("output not terminated with # EOF")
+	}
+	if n := strings.Count(out, "# EOF"); n != 1 {
+		t.Errorf("found %d # EOF markers, want exactly 1", n)
+	}
+}
+
+// With exemplar capture armed, a histogram observation made under a live
+// trace attaches that trace's ID to its bucket line in OpenMetrics
+// exemplar syntax.
+func TestOpenMetricsExemplars(t *testing.T) {
+	s := New(Options{})
+	s.EnableExemplars()
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		sp := s.StartCtx(p, "workload.request", TraceCtx{Trace: 0xabc})
+		p.Advance(10)
+		s.Histogram("x.lat").ObserveAt(p, 123)
+		sp.End(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	ex := s.Histogram("x.lat").Exemplars()
+	if len(ex) != 1 {
+		t.Fatalf("captured %d exemplars, want 1", len(ex))
+	}
+	for _, x := range ex {
+		if x.Trace != 0xabc || x.Value != 123 || x.At != 10 {
+			t.Fatalf("exemplar = %+v, want trace 0xabc value 123 at 10", x)
+		}
+	}
+
+	var b strings.Builder
+	if err := s.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	hit := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "_bucket{le=") && strings.Contains(line, `# {trace_id="0xabc"}`) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no bucket line carries the exemplar in:\n%s", out)
+	}
+}
+
+// Without EnableExemplars, traced observations leave no exemplar syntax
+// behind — the default exporter output is byte-for-byte what it was
+// before exemplars existed.
+func TestOpenMetricsNoExemplarsByDefault(t *testing.T) {
+	s := New(Options{})
+	e := sim.NewEngine()
+	e.Spawn("p", 0, func(p *sim.Proc) {
+		sp := s.StartCtx(p, "workload.request", TraceCtx{Trace: 0xabc})
+		p.Advance(10)
+		s.Histogram("x.lat").ObserveAt(p, 123)
+		sp.End(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := s.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "# {") {
+		t.Errorf("exemplar syntax leaked without EnableExemplars:\n%s", b.String())
+	}
+}

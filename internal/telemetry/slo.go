@@ -93,11 +93,26 @@ type SLOViolation struct {
 	// observations over target.
 	N    int
 	Over int
+	// HotShard, HotTenant, and ShardSkew carry the trace-analytics
+	// attribution captured at breach time (empty/zero when no hotspot
+	// source is wired or it found no skew): the shard and tenant the
+	// analyzer blames for the tail, and the shard's outlier-share skew.
+	HotShard  string
+	HotTenant string
+	ShardSkew float64
 }
 
 func (v SLOViolation) String() string {
-	return fmt.Sprintf("slo %s breached at %v (window %d): burn short=%.2f long=%.2f, %d/%d over target",
+	base := fmt.Sprintf("slo %s breached at %v (window %d): burn short=%.2f long=%.2f, %d/%d over target",
 		v.Objective, v.At, v.Window, v.BurnShort, v.BurnLong, v.Over, v.N)
+	if v.HotShard != "" {
+		base += fmt.Sprintf(" [hot shard %s", v.HotShard)
+		if v.HotTenant != "" {
+			base += fmt.Sprintf(", tenant %s", v.HotTenant)
+		}
+		base += fmt.Sprintf(", skew %.2fx]", v.ShardSkew)
+	}
+	return base
 }
 
 // sloState is the armed watchdog. objectives and byMetric are immutable
@@ -246,7 +261,7 @@ func (s *Sink) sloCheck(p *sim.Proc, h *Hist, completed int64) {
 		burnLong, n, over := burnOver(h, completed, o.LongWindows, o.Target, o.Budget)
 		breach := n > 0 && burnShort >= o.Burn && burnLong >= o.Burn
 		if breach && !st.breached[i] {
-			v := SLOViolation{
+			fire = append(fire, SLOViolation{
 				Objective: o.Name,
 				Metric:    o.Metric,
 				Window:    completed,
@@ -255,16 +270,31 @@ func (s *Sink) sloCheck(p *sim.Proc, h *Hist, completed int64) {
 				BurnLong:  burnLong,
 				N:         n,
 				Over:      over,
-			}
-			st.violations = append(st.violations, v)
-			fire = append(fire, v)
+			})
 		}
 		st.breached[i] = breach
 	}
 	st.mu.Unlock()
+	if len(fire) == 0 {
+		return
+	}
+	// Attribution runs with no locks held: the hotspot source is the
+	// analyze package, which may take the sink mutex of its own sink-side
+	// bookkeeping. One fetch covers every objective firing on this window.
+	hs := s.hotspot()
+	if hs != nil {
+		for i := range fire {
+			fire[i].HotShard = hs.Shard
+			fire[i].HotTenant = hs.Tenant
+			fire[i].ShardSkew = hs.Skew
+		}
+	}
+	st.mu.Lock()
+	st.violations = append(st.violations, fire...)
+	st.mu.Unlock()
 	for _, v := range fire {
 		s.Counter("slo.breaches").Add(1)
-		s.TriggerFlight(p, "slo-"+v.Objective)
+		s.TriggerFlightScoped(p, "slo-"+v.Objective, hs)
 	}
 }
 

@@ -50,6 +50,30 @@ type TraceCtx struct {
 // Traced reports whether the context carries a live trace.
 func (c TraceCtx) Traced() bool { return c.Trace != 0 }
 
+// RootCtx mints a fresh root trace context from a (salt, sequence) pair:
+// Trace is a well-mixed nonzero 64-bit ID and Span is zero, so a span
+// started with it becomes the root of a new causal tree. Deterministic —
+// the same pair always yields the same ID — so replayed runs produce
+// identical trace IDs, which the analyze determinism tests rely on.
+func RootCtx(salt, seq uint64) TraceCtx {
+	tr := mix64(salt ^ mix64(seq+1))
+	if tr == 0 {
+		tr = 1
+	}
+	return TraceCtx{Trace: tr}
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer that spreads
+// consecutive sequence numbers across the full 64-bit space.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // Start opens a span named name on Proc p at the current virtual time. A
 // nil sink returns a nil span whose methods are no-ops, so call sites
 // need no guards.
@@ -184,15 +208,19 @@ func (sp *Span) End(p *sim.Proc) {
 }
 
 // retain appends a completed span, honouring MaxSpans. Caller holds s.mu.
-// The flight recorder's bounded ring and the windowed stage rollups are
-// fed here too, so both keep seeing activity even after the main trace
-// buffer fills up.
+// The flight recorder's bounded ring, the windowed stage rollups, and the
+// span observer (the analyze package's trace index) are fed here too, so
+// all three keep seeing activity even after the main trace buffer fills
+// up.
 func (s *Sink) retain(sp *Span) {
 	if s.flight != nil {
 		s.flight.record(*sp)
 	}
 	if s.win != nil {
 		s.win.addSpan(sp.Name, sp.Begin, sp.Finish)
+	}
+	if s.observer != nil {
+		s.observer(*sp)
 	}
 	if len(s.spans) >= s.maxSpans {
 		s.dropped++

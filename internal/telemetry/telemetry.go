@@ -71,6 +71,89 @@ type Sink struct {
 
 	// slo is the SLO watchdog; nil until SetObjectives. See slo.go.
 	slo *sloState
+
+	// observer is the completed-span hook (nil = none): called from
+	// retain() for every completed span, including spans past the MaxSpans
+	// cap, so a trace index keeps seeing activity after the main buffer
+	// fills. It runs with s.mu held and must not call back into the sink.
+	observer func(Span)
+
+	// exemplars arms per-bucket exemplar capture on ObserveAt (see
+	// Exemplar); atomic so the hot path checks it without taking s.mu.
+	exemplars atomic.Bool
+
+	// hotspotFn supplies the current hot-shard/hot-tenant attribution to
+	// the SLO watchdog and the flight recorder (nil = none). Guarded by
+	// s.mu for installation; called with no sink locks held.
+	hotspotFn func() *Hotspot
+}
+
+// SetSpanObserver installs fn as the completed-span hook. fn is invoked
+// from retain() under the sink mutex — it must be fast, must not block,
+// and must not call any Sink method (that would self-deadlock). The
+// analyze package's trace index is the intended consumer. Nil-safe;
+// passing nil removes the hook.
+func (s *Sink) SetSpanObserver(fn func(Span)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.observer = fn
+	s.mu.Unlock()
+}
+
+// Hotspot names the dimension values currently dominating tail latency —
+// the shard-imbalance detector's verdict, consumed by the SLO watchdog
+// (breach reports name the hot shard) and the flight recorder (dumps are
+// scoped to the hot shard's exemplar traces).
+type Hotspot struct {
+	// Shard and Tenant are the hottest dimension values ("" = unknown).
+	Shard  string
+	Tenant string
+	// Skew is the hot shard's over-representation among p99-outlier
+	// traces relative to its overall traffic share (1 = perfectly fair).
+	Skew float64
+	// Exemplars are trace IDs of representative outlier traces on the hot
+	// shard, newest first.
+	Exemplars []uint64
+}
+
+// SetHotspotSource installs fn as the hotspot supplier. fn is called with
+// no sink locks held, on SLO breaches only; it may take its own locks but
+// must not advance virtual time. Nil-safe; passing nil removes it.
+func (s *Sink) SetHotspotSource(fn func() *Hotspot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.hotspotFn = fn
+	s.mu.Unlock()
+}
+
+// hotspot fetches the current hotspot, nil when no source is installed or
+// the source has nothing to report. Called with no sink locks held.
+func (s *Sink) hotspot() *Hotspot {
+	s.mu.Lock()
+	fn := s.hotspotFn
+	s.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// EnableExemplars arms exemplar capture: every ObserveAt that lands while
+// a traced span is open on the observing Proc records (trace ID, value,
+// timestamp) against the observation's histogram bucket, and the
+// OpenMetrics exporter emits it on the bucket line — so a latency spike in
+// a dashboard links to the concrete causal tree behind it. The sampling
+// rule is "latest traced observation per bucket wins", which is
+// deterministic under the sim's serialized execution. Nil-safe.
+func (s *Sink) EnableExemplars() {
+	if s == nil {
+		return
+	}
+	s.exemplars.Store(true)
 }
 
 // New returns an empty sink.
@@ -213,6 +296,19 @@ type Hist struct {
 	win     map[int64]*stats.Histogram
 	lastWin int64
 	winSeen bool
+
+	// ex holds one exemplar per occupied bucket (keyed by
+	// stats.BucketKey); nil until the sink's exemplar capture is armed and
+	// a traced observation lands.
+	ex map[int]Exemplar
+}
+
+// Exemplar links one histogram bucket to a representative traced
+// observation: the trace to pull up when the bucket's count spikes.
+type Exemplar struct {
+	Trace uint64   // causal-tree ID of the sampled observation
+	Value sim.Time // the observation itself
+	At    sim.Time // virtual time it was recorded
 }
 
 // Histogram returns the named time-valued histogram, creating it on first
@@ -264,8 +360,21 @@ func (h *Hist) ObserveAt(p *sim.Proc, t sim.Time) {
 		return
 	}
 	now := p.Now()
+	// Exemplar capture resolves the trace context before h.mu is taken:
+	// Current takes the sink mutex, and export paths hold it while taking
+	// h.mu, so fetching it under h.mu would invert that order.
+	var exCtx TraceCtx
+	if h.sink.exemplars.Load() {
+		exCtx = h.sink.Current(p)
+	}
 	h.mu.Lock()
 	h.h.Add(t)
+	if exCtx.Traced() {
+		if h.ex == nil {
+			h.ex = make(map[int]Exemplar)
+		}
+		h.ex[stats.BucketKey(t)] = Exemplar{Trace: exCtx.Trace, Value: t, At: now}
+	}
 	var completed int64
 	check := false
 	if h.every > 0 {
@@ -321,6 +430,24 @@ func (h *Hist) N() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.h.N()
+}
+
+// Exemplars returns a copy of the per-bucket exemplars, keyed by
+// stats.BucketKey. Empty unless the sink's exemplar capture is armed.
+func (h *Hist) Exemplars() map[int]Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.ex) == 0 {
+		return nil
+	}
+	out := make(map[int]Exemplar, len(h.ex))
+	for k, e := range h.ex {
+		out[k] = e
+	}
+	return out
 }
 
 // Snapshot returns an independent copy of the underlying histogram.

@@ -129,10 +129,30 @@ func (s *Sink) TraceSpans(trace uint64) []Span {
 // CriticalPath computes the per-stage latency attribution for one trace.
 // Nil when the trace has no retained spans.
 func (s *Sink) CriticalPath(trace uint64) *PathReport {
-	spans := s.TraceSpans(trace)
+	return ComputePath(trace, s.TraceSpans(trace))
+}
+
+// SortSpans orders spans by (Begin, ID) — the canonical order PathReport
+// and the trace index use.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Begin != spans[j].Begin {
+			return spans[i].Begin < spans[j].Begin
+		}
+		return spans[i].ID < spans[j].ID
+	})
+}
+
+// ComputePath runs the critical-path sweep over one trace's spans — the
+// shared engine behind Sink.CriticalPath and the analyze package's trace
+// index, which feeds it completed trees without re-scanning the sink's
+// span buffer. spans need not be pre-sorted; they are reordered to
+// (Begin, ID) in place. Nil when spans is empty.
+func ComputePath(trace uint64, spans []Span) *PathReport {
 	if len(spans) == 0 {
 		return nil
 	}
+	SortSpans(spans)
 	// Root: the span whose parent is outside the trace (or zero),
 	// breaking ties toward the widest interval.
 	ids := make(map[uint64]bool, len(spans))
